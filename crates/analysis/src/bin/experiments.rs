@@ -1,0 +1,42 @@
+//! `ssmfp-experiments` — regenerates every table of `EXPERIMENTS.md`.
+//!
+//! Usage:
+//!   `cargo run --release -p ssmfp-analysis --bin experiments [seed]`
+//!   `cargo run --release -p ssmfp-analysis --bin experiments -- [seed] --csv DIR`
+//!
+//! With `--csv DIR`, every table is additionally written as a CSV file
+//! (one per experiment) for plotting pipelines.
+
+use ssmfp_analysis::experiments::run_all;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed: u64 = args
+        .iter()
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(2026);
+    let csv_dir: Option<String> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1).cloned());
+    println!("SSMFP experiment suite (seed {seed})");
+    println!("Reproduces: Cournier, Dubois, Villain — IPPS 2009, all figures & propositions.\n");
+    for (i, table) in run_all(seed).into_iter().enumerate() {
+        println!("{table}");
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let slug: String = table
+                .title
+                .chars()
+                .take_while(|c| *c != ' ')
+                .flat_map(|c| c.to_lowercase())
+                .map(|c| if c.is_alphanumeric() { c } else { '_' })
+                .collect();
+            let path = format!("{dir}/{:02}_{slug}.csv", i + 1);
+            std::fs::write(&path, table.to_csv()).expect("write csv");
+        }
+    }
+    if let Some(dir) = &csv_dir {
+        println!("(CSV tables written to {dir}/)");
+    }
+}

@@ -1,0 +1,159 @@
+//! **E17** — the daemon spectrum of §2.1, quantified: the same adversarial
+//! workload under every scheduler the model defines. All fair daemons must
+//! satisfy SP; the unfair one may stall liveness (messages stay in flight)
+//! but can never break safety. The steps-to-drain column shows what each
+//! concurrency model buys.
+
+use crate::report::Table;
+use ssmfp_core::{DaemonKind, Network, NetworkConfig};
+use ssmfp_kernel::TraceStats;
+use ssmfp_routing::CorruptionKind;
+use ssmfp_topology::gen;
+
+/// Result of one daemon run.
+pub struct DaemonRun {
+    /// Whether the run reached quiescence.
+    pub quiescent: bool,
+    /// Valid messages delivered exactly once.
+    pub exactly_once: u64,
+    /// Messages sent.
+    pub sent: u64,
+    /// Steps executed.
+    pub steps: u64,
+    /// Rounds completed.
+    pub rounds: u64,
+    /// Jain fairness index of per-processor moves (1.0 = perfectly even).
+    pub fairness: f64,
+    /// SP violations (safety — must be 0 for every daemon).
+    pub violations: u64,
+}
+
+/// Runs the standard adversarial workload under one daemon.
+pub fn daemon_run(daemon: DaemonKind, seed: u64, budget: u64) -> DaemonRun {
+    let graph = gen::random_connected(9, 5, 13);
+    let n = graph.n();
+    let config = NetworkConfig {
+        daemon,
+        corruption: CorruptionKind::RandomGarbage,
+        garbage_fill: 0.4,
+        seed,
+        routing_priority: true,
+        choice_strategy: Default::default(),
+    };
+    let mut net = Network::new(graph, config);
+    net.engine_mut().enable_trace();
+    let mut ghosts = Vec::new();
+    for s in 0..n {
+        ghosts.push(net.send(s, (s + 4) % n, s as u64 % 8));
+        ghosts.push(net.send(s, (s + 7) % n, (s + 1) as u64 % 8));
+    }
+    let quiescent = net.run_to_quiescence(budget);
+    let exactly_once = ghosts
+        .iter()
+        .filter(|g| net.deliveries_of(**g) == 1)
+        .count() as u64;
+    let fairness = net
+        .engine()
+        .trace()
+        .map(|t| TraceStats::from_trace(t, n).fairness_index())
+        .unwrap_or(0.0);
+    DaemonRun {
+        quiescent,
+        exactly_once,
+        sent: ghosts.len() as u64,
+        steps: net.steps(),
+        rounds: net.rounds(),
+        fairness,
+        violations: net.check_sp().len() as u64,
+    }
+}
+
+/// The E17 table.
+pub fn run(seed: u64) -> Table {
+    let mut table = Table::new(
+        "E17 — daemon spectrum (random graph n=9, garbage start, 18 messages)",
+        &[
+            "daemon", "fair", "exactly-once", "steps", "rounds", "Jain idx",
+            "quiescent", "SP violations",
+        ],
+    );
+    let daemons: Vec<(&str, bool, DaemonKind)> = vec![
+        ("synchronous", true, DaemonKind::Synchronous),
+        ("round-robin", true, DaemonKind::RoundRobin),
+        ("central random", true, DaemonKind::CentralRandom { seed }),
+        (
+            "distributed (p=.5)",
+            true,
+            DaemonKind::DistributedRandom { seed, p_move: 0.5 },
+        ),
+        ("locally central", true, DaemonKind::LocallyCentral { seed }),
+        (
+            "unfair (starve 0)",
+            false,
+            DaemonKind::Adversarial {
+                seed,
+                victims: vec![0],
+            },
+        ),
+    ];
+    for (name, fair, daemon) in daemons {
+        let r = daemon_run(daemon, seed, 2_000_000);
+        table.row(vec![
+            name.to_string(),
+            fair.to_string(),
+            format!("{}/{}", r.exactly_once, r.sent),
+            r.steps.to_string(),
+            r.rounds.to_string(),
+            format!("{:.3}", r.fairness),
+            r.quiescent.to_string(),
+            r.violations.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_fair_daemons_satisfy_sp() {
+        for daemon in [
+            DaemonKind::Synchronous,
+            DaemonKind::RoundRobin,
+            DaemonKind::CentralRandom { seed: 2 },
+            DaemonKind::DistributedRandom { seed: 2, p_move: 0.5 },
+            DaemonKind::LocallyCentral { seed: 2 },
+        ] {
+            let r = daemon_run(daemon.clone(), 2, 2_000_000);
+            assert!(r.quiescent, "{daemon:?}");
+            assert_eq!(r.exactly_once, r.sent, "{daemon:?}");
+            assert_eq!(r.violations, 0, "{daemon:?}");
+        }
+    }
+
+    #[test]
+    fn unfair_daemon_is_safe() {
+        let r = daemon_run(
+            DaemonKind::Adversarial {
+                seed: 3,
+                victims: vec![0],
+            },
+            3,
+            500_000,
+        );
+        assert_eq!(r.violations, 0, "safety must hold even when unfair");
+    }
+
+    #[test]
+    fn synchronous_needs_fewest_steps() {
+        let sync = daemon_run(DaemonKind::Synchronous, 5, 2_000_000);
+        let central = daemon_run(DaemonKind::CentralRandom { seed: 5 }, 5, 2_000_000);
+        assert!(
+            sync.steps < central.steps,
+            "parallel steps should beat serial: {} vs {}",
+            sync.steps,
+            central.steps
+        );
+    }
+}

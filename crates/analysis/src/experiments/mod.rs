@@ -1,0 +1,42 @@
+//! One module per experiment of the DESIGN.md index.
+
+pub mod choice_ablation;
+pub mod corruption;
+pub mod daemons;
+pub mod decay;
+pub mod fig3;
+pub mod fig4;
+pub mod mp_port;
+pub mod overhead;
+pub mod prop4;
+pub mod prop5;
+pub mod prop6;
+pub mod prop7;
+pub mod ra_convergence;
+pub mod schemes;
+pub mod stretch;
+
+use crate::report::Table;
+
+/// Runs every experiment at its default scale and returns the tables in
+/// index order (E1..E11). This is what the `ssmfp-experiments` binary
+/// prints and what `EXPERIMENTS.md` records.
+pub fn run_all(seed: u64) -> Vec<Table> {
+    vec![
+        schemes::run(),
+        fig3::run(seed),
+        fig4::run(seed),
+        prop4::run(seed),
+        prop5::run(seed),
+        prop6::run(seed),
+        prop7::run(seed),
+        overhead::run(seed),
+        corruption::run(seed),
+        ra_convergence::run(seed),
+        choice_ablation::run(seed),
+        mp_port::run(seed),
+        stretch::run(seed),
+        daemons::run(seed),
+        decay::run(seed),
+    ]
+}

@@ -1,0 +1,87 @@
+//! **E1 / E2 / E11** — the buffer-graph schemes (Figures 1 & 2, §4 covers).
+//!
+//! For each topology: build the destination-based scheme (Fig 1), SSMFP's
+//! two-buffer scheme (Fig 2), and — where applicable — the acyclic
+//! orientation cover (§4: 3 buffers on a ring, 2 on a tree); report buffers
+//! per node, acyclicity, and component structure.
+
+use crate::report::Table;
+use crate::workload::standard_suite;
+use ssmfp_buffer_graph::{destination_based, ring_cover, tree_cover, two_buffer};
+use ssmfp_topology::BfsTree;
+
+/// Runs the scheme comparison over the standard suite.
+pub fn run() -> Table {
+    let mut table = Table::new(
+        "E1/E2/E11 — buffer-graph schemes: buffers per node, acyclicity (Figures 1, 2; §4)",
+        &[
+            "topology", "n", "Δ", "fig1 buf/node", "fig1 acyclic", "fig1 comps",
+            "fig2 buf/node", "fig2 acyclic", "cover buf/node", "cover acyclic",
+        ],
+    );
+    for t in standard_suite() {
+        let g = &t.graph;
+        let n = g.n();
+        let trees: Vec<BfsTree> = (0..n).map(|d| BfsTree::new(g, d)).collect();
+        let fig1 = destination_based(&trees);
+        let fig2 = two_buffer(&trees);
+        // The §4 cover applies to rings and trees (the tractable ranks the
+        // paper names); report "-" elsewhere.
+        let cover = if t.name.starts_with("ring") {
+            Some(ring_cover(n))
+        } else if t.name.starts_with("line") || t.name.starts_with("tree") {
+            Some(tree_cover(&trees[0]))
+        } else {
+            None
+        };
+        let (cover_k, cover_acyclic) = match &cover {
+            Some(c) => (
+                c.k().to_string(),
+                c.buffer_graph(g).is_acyclic().to_string(),
+            ),
+            None => ("-".into(), "-".into()),
+        };
+        table.row(vec![
+            t.name.clone(),
+            n.to_string(),
+            g.max_degree().to_string(),
+            fig1.slots_per_node().to_string(),
+            fig1.is_acyclic().to_string(),
+            fig1.weak_components().len().to_string(),
+            (fig2.slots_per_node()).to_string(),
+            fig2.is_acyclic().to_string(),
+            cover_k,
+            cover_acyclic,
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_schemes_acyclic_and_sized_as_paper_states() {
+        let table = run();
+        for row in &table.rows {
+            let n: usize = row[1].parse().unwrap();
+            // Fig 1: n buffers/node, acyclic, n components.
+            assert_eq!(row[3], n.to_string(), "{row:?}");
+            assert_eq!(row[4], "true");
+            assert_eq!(row[5], n.to_string());
+            // Fig 2: 2n buffers/node, acyclic.
+            assert_eq!(row[6], (2 * n).to_string());
+            assert_eq!(row[7], "true");
+            // Cover: 3 on rings, 2 on lines/trees, always acyclic.
+            match row[0].split('-').next().unwrap() {
+                "ring" => assert_eq!(row[8], "3"),
+                "line" | "tree2" => assert_eq!(row[8], "2"),
+                _ => assert_eq!(row[8], "-"),
+            }
+            if row[8] != "-" {
+                assert_eq!(row[9], "true");
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Experiment harness regenerating every figure and proposition of the
+//! paper (the full index lives in `DESIGN.md` §3).
+//!
+//! Each experiment module exposes a `run(...) -> Table` function producing
+//! the rows the paper's claim is checked against; the `ssmfp-experiments`
+//! binary prints them all (that output is the source of `EXPERIMENTS.md`).
+//!
+//! | module | paper artifact |
+//! |--------|----------------|
+//! | [`experiments::schemes`] | Figures 1 & 2 + §4 cover schemes (E1/E2/E11) |
+//! | [`experiments::fig3`] | Figure 3 replay (E3) |
+//! | [`experiments::fig4`] | Figure 4 caterpillar census (E4) |
+//! | [`experiments::prop4`] | Proposition 4: ≤ 2n invalid deliveries (E5) |
+//! | [`experiments::prop5`] | Proposition 5: delivery rounds vs `Δ^D` (E6) |
+//! | [`experiments::prop6`] | Proposition 6: delay & waiting time (E7) |
+//! | [`experiments::prop7`] | Proposition 7: amortized rounds/delivery (E8) |
+//! | [`experiments::overhead`] | §4 "no significant over-cost" (E9) |
+//! | [`experiments::corruption`] | baseline vs SSMFP under corruption (E10) |
+
+pub mod experiments;
+pub mod report;
+pub mod workload;
+
+pub use report::{Stats, Table};

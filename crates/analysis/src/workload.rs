@@ -1,0 +1,91 @@
+//! Workload helpers shared by the experiments: named topology families and
+//! traffic patterns.
+
+use ssmfp_topology::{gen, Graph, GraphMetrics};
+
+/// A named topology instance with its precomputed metrics.
+pub struct Topo {
+    /// Family label for report rows.
+    pub name: String,
+    /// The graph.
+    pub graph: Graph,
+    /// Its metrics (`n`, `Δ`, `D`, distances).
+    pub metrics: GraphMetrics,
+}
+
+impl Topo {
+    /// Wraps a graph with its metrics.
+    pub fn new(name: impl Into<String>, graph: Graph) -> Self {
+        let metrics = GraphMetrics::new(&graph);
+        Topo {
+            name: name.into(),
+            graph,
+            metrics,
+        }
+    }
+}
+
+/// The standard topology suite used across experiments: covers the corners
+/// of the `(Δ, D)` plane the bounds are parameterized by.
+pub fn standard_suite() -> Vec<Topo> {
+    vec![
+        Topo::new("line-8", gen::line(8)),
+        Topo::new("ring-8", gen::ring(8)),
+        Topo::new("star-8", gen::star(8)),
+        Topo::new("tree2-15", gen::kary_tree(15, 2)),
+        Topo::new("grid-3x3", gen::grid(3, 3)),
+        Topo::new("hyper-3", gen::hypercube(3)),
+        Topo::new("rand-10", gen::random_connected(10, 6, 42)),
+        Topo::new("complete-6", gen::complete(6)),
+    ]
+}
+
+/// Smaller suite for the more expensive sweeps.
+pub fn small_suite() -> Vec<Topo> {
+    vec![
+        Topo::new("line-6", gen::line(6)),
+        Topo::new("ring-6", gen::ring(6)),
+        Topo::new("star-6", gen::star(6)),
+        Topo::new("grid-2x3", gen::grid(2, 3)),
+    ]
+}
+
+/// Diameter-scaling family (Δ = 2 fixed): lines of increasing length.
+pub fn line_family(sizes: &[usize]) -> Vec<Topo> {
+    sizes
+        .iter()
+        .map(|&n| Topo::new(format!("line-{n}"), gen::line(n)))
+        .collect()
+}
+
+/// Degree-scaling family (D = 2 fixed): stars of increasing degree.
+pub fn star_family(sizes: &[usize]) -> Vec<Topo> {
+    sizes
+        .iter()
+        .map(|&n| Topo::new(format!("star-{n}"), gen::star(n)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_are_nonempty_and_metrics_match() {
+        for t in standard_suite().iter().chain(small_suite().iter()) {
+            assert_eq!(t.metrics.n(), t.graph.n());
+            assert_eq!(t.metrics.max_degree(), t.graph.max_degree());
+        }
+    }
+
+    #[test]
+    fn families_scale_the_right_parameter() {
+        let lines = line_family(&[4, 8]);
+        assert_eq!(lines[0].metrics.max_degree(), 2);
+        assert_eq!(lines[1].metrics.diameter(), 7);
+        let stars = star_family(&[4, 8]);
+        assert_eq!(stars[0].metrics.max_degree(), 3);
+        assert_eq!(stars[1].metrics.max_degree(), 7);
+        assert_eq!(stars[1].metrics.diameter(), 2);
+    }
+}

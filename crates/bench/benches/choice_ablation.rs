@@ -1,0 +1,31 @@
+//! **E13 bench** — the §4 future-work ablation: cost of the three
+//! `choice_p(d)` selection schemes under hub contention.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use ssmfp_analysis::experiments::choice_ablation::contention_run;
+use ssmfp_core::choice::ChoiceStrategy;
+
+fn bench_choice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("choice_ablation");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for (name, strategy) in [
+        ("rotation", ChoiceStrategy::RotationQueue),
+        ("longest_waiting", ChoiceStrategy::LongestWaiting),
+        ("greedy", ChoiceStrategy::GreedyFirst),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, 6), &6, |b, &n| {
+            b.iter(|| {
+                let r = contention_run(n, 10, strategy, 3);
+                assert!(r.exactly_once);
+                r.total_rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_choice);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! **E12 bench** — the state-model engine itself: steps/second under each
+//! daemon, routing convergence, and the SSMFP guard-evaluation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use ssmfp_core::{Network, NetworkConfig};
+use ssmfp_kernel::{
+    CentralRandomDaemon, Daemon, Engine, RoundRobinDaemon, SynchronousDaemon,
+};
+use ssmfp_kernel::toys::{RingState, TokenRing};
+use ssmfp_routing::{corruption, CorruptionKind, RoutingProtocol, RoutingState};
+use ssmfp_topology::gen;
+
+fn token_ring_steps(n: usize, daemon: Box<dyn Daemon>, steps: u64) -> u64 {
+    let g = gen::ring(n);
+    let proto = TokenRing::new(n, n as u32 + 1);
+    let mut eng = Engine::new(g, proto, daemon, vec![RingState(0); n]);
+    eng.run(steps).steps
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for n in [16usize, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("token_ring_sync_1k_steps", n),
+            &n,
+            |b, &n| b.iter(|| token_ring_steps(n, Box::new(SynchronousDaemon), 1_000)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("token_ring_rr_1k_steps", n),
+            &n,
+            |b, &n| b.iter(|| token_ring_steps(n, Box::new(RoundRobinDaemon::new()), 1_000)),
+        );
+    }
+    for n in [8usize, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("routing_convergence_from_garbage", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let g = gen::grid(2, n / 2);
+                    let proto: RoutingProtocol<RoutingState> = RoutingProtocol::new(g.n());
+                    let states = corruption::corrupt(&g, CorruptionKind::RandomGarbage, 5);
+                    let mut eng =
+                        Engine::new(g, proto, Box::new(CentralRandomDaemon::new(1)), states);
+                    let stats = eng.run(5_000_000);
+                    assert!(stats.terminal);
+                    stats.steps
+                })
+            },
+        );
+    }
+    group.bench_function("ssmfp_single_message_line8", |b| {
+        b.iter(|| {
+            let mut net = Network::new(gen::line(8), NetworkConfig::clean());
+            let g = net.send(0, 7, 1);
+            net.run_until_delivered(g, 1_000_000).expect("delivered");
+            net.steps()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

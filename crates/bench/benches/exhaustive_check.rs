@@ -1,0 +1,62 @@
+//! **E16 bench** — exhaustive state-space exploration throughput of the
+//! model checker on representative small instances.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use ssmfp_check::Explorer;
+use ssmfp_core::state::{NodeState, Outgoing};
+use ssmfp_core::{GhostId, SsmfpProtocol};
+use ssmfp_routing::{corruption, CorruptionKind};
+use ssmfp_topology::gen;
+
+fn explore_line3_two_messages() -> u64 {
+    let graph = gen::line(3);
+    let mut states: Vec<NodeState> = corruption::corrupt(&graph, CorruptionKind::None, 0)
+        .into_iter()
+        .map(|r| NodeState::clean(3, r))
+        .collect();
+    let a = GhostId::Valid(0);
+    let b = GhostId::Valid(1);
+    states[0].outbox.push_back(Outgoing { dest: 2, payload: 3, ghost: a });
+    states[2].outbox.push_back(Outgoing { dest: 0, payload: 5, ghost: b });
+    let explorer = Explorer::new(graph, SsmfpProtocol::new(3, 2), vec![(a, 2), (b, 0)]);
+    let report = explorer.explore(states);
+    assert!(report.verified());
+    report.states
+}
+
+fn explore_triangle_garbage() -> u64 {
+    use ssmfp_core::message::{Color, Message};
+    let graph = gen::ring(3);
+    let mut states: Vec<NodeState> = corruption::corrupt(&graph, CorruptionKind::None, 0)
+        .into_iter()
+        .map(|r| NodeState::clean(3, r))
+        .collect();
+    states[2].slots[1].buf_r = Some(Message {
+        payload: 1,
+        last_hop: 2,
+        color: Color(1),
+        ghost: GhostId::Invalid(0),
+    });
+    let a = GhostId::Valid(0);
+    let b = GhostId::Valid(1);
+    states[0].outbox.push_back(Outgoing { dest: 1, payload: 1, ghost: a });
+    states[1].outbox.push_back(Outgoing { dest: 0, payload: 2, ghost: b });
+    let explorer = Explorer::new(graph, SsmfpProtocol::new(3, 2), vec![(a, 1), (b, 0)]);
+    let report = explorer.explore(states);
+    assert!(report.verified());
+    report.states
+}
+
+fn bench_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exhaustive_check");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_function("line3_two_messages", |b| b.iter(explore_line3_two_messages));
+    group.bench_function("triangle_with_garbage", |b| b.iter(explore_triangle_garbage));
+    group.finish();
+}
+
+criterion_group!(benches, bench_check);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! **E1/E2/E11 bench** — buffer-graph construction and validation cost for
+//! the Figure 1, Figure 2 and §4-cover schemes as the network scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use ssmfp_buffer_graph::{destination_based, ring_cover, tree_cover, two_buffer};
+use ssmfp_topology::{gen, BfsTree};
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_fig2_schemes");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for n in [8usize, 16, 32] {
+        let g = gen::ring(n);
+        let trees: Vec<BfsTree> = (0..n).map(|d| BfsTree::new(&g, d)).collect();
+        group.bench_with_input(BenchmarkId::new("fig1_destination_based", n), &n, |b, _| {
+            b.iter(|| {
+                let bg = destination_based(std::hint::black_box(&trees));
+                assert!(bg.is_acyclic());
+                bg
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fig2_two_buffer", n), &n, |b, _| {
+            b.iter(|| {
+                let bg = two_buffer(std::hint::black_box(&trees));
+                assert!(bg.is_acyclic());
+                bg
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cover_ring", n), &n, |b, _| {
+            b.iter(|| {
+                let cover = ring_cover(std::hint::black_box(n));
+                assert!(cover.covers_all_shortest_paths(&g));
+                cover
+            })
+        });
+        let tg = gen::kary_tree(n, 2);
+        let troot = BfsTree::new(&tg, 0);
+        group.bench_with_input(BenchmarkId::new("cover_tree", n), &n, |b, _| {
+            b.iter(|| {
+                let cover = tree_cover(std::hint::black_box(&troot));
+                assert!(cover.covers_all_shortest_paths(&tg));
+                cover
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! **E3 bench** — full Figure 3 replay to quiescence under the weakly fair
+//! and random daemons (end-to-end snap-stabilization on the paper's own
+//! example network).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use ssmfp_core::api::DaemonKind;
+use ssmfp_core::replay::run_figure3;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_replay");
+    group.sample_size(30);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_function("round_robin", |b| {
+        b.iter(|| {
+            let r = run_figure3(DaemonKind::RoundRobin, true, 200_000);
+            assert_eq!(r.m_deliveries, 1);
+            r
+        })
+    });
+    group.bench_function("central_random", |b| {
+        b.iter(|| {
+            let r = run_figure3(DaemonKind::CentralRandom { seed: 7 }, true, 400_000);
+            assert_eq!(r.m_deliveries, 1);
+            r
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

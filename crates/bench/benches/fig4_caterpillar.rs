@@ -1,0 +1,43 @@
+//! **E4 bench** — caterpillar classification throughput (Definition 3 over
+//! a fully garbage configuration) and the censused adversarial run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use ssmfp_core::{classify_buffers, Network, NetworkConfig};
+use ssmfp_topology::gen;
+
+fn bench_classify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_caterpillar");
+    group.sample_size(30);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for n in [6usize, 10, 14] {
+        let net = Network::new(
+            gen::ring(n),
+            NetworkConfig::adversarial(3).with_garbage_fill(1.0),
+        );
+        let graph = net.graph().clone();
+        group.bench_with_input(BenchmarkId::new("classify_full_garbage", n), &n, |b, _| {
+            b.iter(|| {
+                let census = classify_buffers(&graph, std::hint::black_box(net.states()));
+                assert_eq!(census.orphans, 0);
+                census
+            })
+        });
+    }
+    group.bench_function("censused_adversarial_run_ring6", |b| {
+        b.iter(|| {
+            let mut net = Network::new(gen::ring(6), NetworkConfig::adversarial(5));
+            for s in 0..6 {
+                net.send(s, (s + 2) % 6, s as u64);
+            }
+            let r = ssmfp_analysis::experiments::fig4::censused_run(&mut net, 50_000);
+            assert_eq!(r.orphans, 0);
+            r.steps
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify);
+criterion_main!(benches);

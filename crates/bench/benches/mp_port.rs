@@ -1,0 +1,46 @@
+//! **E14 bench** — the message-passing port: end-to-end all-pairs runs on
+//! the async substrate, clean vs corrupted-with-garbage starts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use ssmfp_mp::{MpConfig, PortNetwork};
+use ssmfp_topology::gen;
+
+fn run_port(seed: u64, corrupt: bool, wire: usize, buffers: usize) -> u64 {
+    let graph = gen::ring(6);
+    let n = graph.n();
+    let mut net = PortNetwork::new(
+        graph,
+        MpConfig { seed, timeout_bias: 0.3 },
+        corrupt,
+        if corrupt { 10 } else { 0 },
+        wire,
+        buffers,
+    );
+    let mut ghosts = Vec::new();
+    for s in 0..n {
+        ghosts.push(net.send(s, (s + 2) % n, s as u64 % 8));
+    }
+    assert!(net.run_to_quiescence(5_000_000));
+    for g in &ghosts {
+        assert_eq!(net.deliveries_of(*g), 1);
+    }
+    net.net().steps()
+}
+
+fn bench_mp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mp_port");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_with_input(BenchmarkId::new("clean", 6), &6, |b, _| {
+        b.iter(|| run_port(1, false, 0, 0))
+    });
+    group.bench_with_input(BenchmarkId::new("corrupted_garbage", 6), &6, |b, _| {
+        b.iter(|| run_port(1, true, 24, 3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mp);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! **E9/E10 bench** — SSMFP vs the fault-free baseline [21]: all-pairs
+//! workload with correct tables (the over-cost claim), and the corrupted-
+//! start sweeps of the motivation experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use ssmfp_analysis::experiments::corruption::sweep;
+use ssmfp_analysis::experiments::overhead::paired_run;
+use ssmfp_core::baseline::BaselineNetwork;
+use ssmfp_core::{DaemonKind, Network, NetworkConfig};
+use ssmfp_routing::CorruptionKind;
+use ssmfp_topology::gen;
+
+fn all_pairs_ssmfp(n: usize, seed: u64) -> u64 {
+    let mut net = Network::new(
+        gen::ring(n),
+        NetworkConfig::clean().with_daemon(DaemonKind::CentralRandom { seed }),
+    );
+    for s in 0..n {
+        for d in 0..n {
+            if s != d {
+                net.send(s, d, ((s + d) % 8) as u64);
+            }
+        }
+    }
+    assert!(net.run_to_quiescence(100_000_000));
+    net.rounds()
+}
+
+fn all_pairs_baseline(n: usize, seed: u64) -> u64 {
+    let mut net = BaselineNetwork::new(
+        gen::ring(n),
+        DaemonKind::CentralRandom { seed },
+        CorruptionKind::None,
+        0.0,
+        seed,
+    );
+    for s in 0..n {
+        for d in 0..n {
+            if s != d {
+                net.send(s, d, ((s + d) % 8) as u64);
+            }
+        }
+    }
+    assert!(net.run_to_quiescence(100_000_000));
+    net.rounds()
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overhead_vs_baseline");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for n in [5usize, 7] {
+        group.bench_with_input(BenchmarkId::new("ssmfp_all_pairs", n), &n, |b, &n| {
+            b.iter(|| all_pairs_ssmfp(n, 3))
+        });
+        group.bench_with_input(BenchmarkId::new("baseline_all_pairs", n), &n, |b, &n| {
+            b.iter(|| all_pairs_baseline(n, 3))
+        });
+    }
+    group.bench_function("paired_run_ring6", |b| {
+        b.iter(|| {
+            let r = paired_run(&gen::ring(6), 2);
+            assert!(r.ssmfp_rounds_per_delivery > 0.0);
+            r.ssmfp_rounds_per_delivery
+        })
+    });
+    group.bench_function("corruption_sweep_ssmfp_3seeds", |b| {
+        b.iter(|| {
+            let t = sweep(0..3, false);
+            assert_eq!(t.exactly_once, t.sent);
+            t.sent
+        })
+    });
+    group.bench_function("corruption_sweep_baseline_3seeds", |b| {
+        b.iter(|| sweep(0..3, true).sent)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! **E5 / Proposition 4 bench** — draining the extremal all-buffers-full
+//! configuration (at most 2n invalid deliveries per destination) as the
+//! network scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use ssmfp_analysis::experiments::prop4::extremal_run;
+use ssmfp_routing::CorruptionKind;
+use ssmfp_topology::gen;
+
+fn bench_prop4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prop4_invalid_drain");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for n in [5usize, 8, 11] {
+        group.bench_with_input(BenchmarkId::new("ring_garbage_tables", n), &n, |b, &n| {
+            b.iter(|| {
+                let r = extremal_run(gen::ring(n), CorruptionKind::RandomGarbage, 3);
+                assert!(r.quiescent);
+                assert!(r.max_per_dest <= r.bound);
+                r.total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prop4);
+criterion_main!(benches);

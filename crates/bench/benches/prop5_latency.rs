@@ -1,0 +1,36 @@
+//! **E6 / Proposition 5 bench** — diameter-probe delivery on the two
+//! scaling families (lines: `D` grows at `Δ = 2`; stars: `Δ` grows at
+//! `D = 2`), clean vs corrupted tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use ssmfp_analysis::experiments::prop5::probe_delivery_rounds;
+use ssmfp_analysis::workload::{line_family, star_family};
+use ssmfp_routing::CorruptionKind;
+
+fn bench_prop5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prop5_probe_latency");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for t in line_family(&[6, 10]).iter().chain(star_family(&[6, 10]).iter()) {
+        for (label, corruption) in [
+            ("clean", CorruptionKind::None),
+            ("garbage", CorruptionKind::RandomGarbage),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}_{label}", t.name), t.metrics.n()),
+                &t.metrics.n(),
+                |b, _| {
+                    b.iter(|| {
+                        probe_delivery_rounds(t, corruption, 5).expect("delivered")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prop5);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! **E7 / Proposition 6 bench** — star-contention runs measuring emission
+//! delay and inter-emission waiting time at the hub.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use ssmfp_analysis::experiments::prop6::star_contention_run;
+use ssmfp_routing::CorruptionKind;
+
+fn bench_prop6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prop6_star_contention");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for n in [4usize, 6, 8] {
+        for (label, corruption) in [
+            ("clean", CorruptionKind::None),
+            ("garbage", CorruptionKind::RandomGarbage),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                b.iter(|| {
+                    let r = star_contention_run(n, corruption, 7);
+                    assert!(r.delay_rounds < 100_000);
+                    r.max_waiting_rounds
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prop6);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! **E8 / Proposition 7 bench** — flood-to-one-destination runs: amortized
+//! rounds per delivery across the line family, clean vs corrupted tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use ssmfp_analysis::experiments::prop7::flood_run;
+use ssmfp_analysis::workload::line_family;
+use ssmfp_routing::CorruptionKind;
+
+fn bench_prop7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prop7_flood");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for t in line_family(&[6, 10, 14]) {
+        for (label, corruption) in [
+            ("clean", CorruptionKind::None),
+            ("garbage", CorruptionKind::RandomGarbage),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, t.metrics.n()),
+                &t.metrics.n(),
+                |b, _| {
+                    b.iter(|| {
+                        let r = flood_run(&t, 2, corruption, 9);
+                        assert!(r.delivered > 0);
+                        r.rounds
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prop7);
+criterion_main!(benches);

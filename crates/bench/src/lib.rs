@@ -1,0 +1,1 @@
+//! Criterion benchmarks for the SSMFP reproduction (see `benches/`).

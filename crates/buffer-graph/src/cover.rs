@@ -1,0 +1,255 @@
+//! Acyclic-orientation-cover buffer graphs — the §4 (conclusion) extension.
+//!
+//! The paper notes that Merlin–Schweitzer's *acyclic covering* scheme needs
+//! far fewer buffers than the destination-based scheme ("3 for a ring, 2 for
+//! a tree") but that computing the optimal cover size (the *rank*) of an
+//! arbitrary graph is NP-hard \[19\]. We implement the two tractable cases the
+//! paper names:
+//!
+//! * **trees** ([`tree_cover`]): cover `(up, down)` — orient all edges toward
+//!   a root, then away from it. Any tree route climbs to the LCA then
+//!   descends, so 2 classes (= 2 buffers per processor) suffice.
+//! * **rings** ([`ring_cover`]): cover `(down, up, down)` with respect to a
+//!   fixed *valley* node. Any shortest ring route crosses the valley at most
+//!   once and the antipodal peak at most once, so 3 classes suffice.
+//!
+//! A message in class `i` hopping `p → q` re-enters the smallest class
+//! `j ≥ i` whose orientation directs `p → q`; class never decreases and each
+//! class's internal moves follow an acyclic orientation, so the resulting
+//! buffer graph is acyclic by construction — deadlock-free with `k ≪ n`
+//! buffers per node.
+
+use crate::graph::{BufferGraph, BufferId};
+use ssmfp_topology::{BfsTree, Graph, NodeId};
+
+/// An orientation of a graph's edges, induced by a height function with
+/// identity tie-break: each edge is directed from its (height, id)-larger
+/// endpoint to its smaller — strictly decreasing potential, hence acyclic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Orientation {
+    /// `key[p] = (height, id)` potential; edges run from larger to smaller.
+    key: Vec<(i64, usize)>,
+    /// If true, all directions are reversed (potential increases).
+    reversed: bool,
+}
+
+impl Orientation {
+    /// Orientation from a height function (ties broken by identity).
+    pub fn from_heights(heights: &[i64]) -> Self {
+        Orientation {
+            key: heights.iter().copied().zip(0..).collect(),
+            reversed: false,
+        }
+    }
+
+    /// The exact reverse orientation.
+    pub fn reversed(&self) -> Self {
+        Orientation {
+            key: self.key.clone(),
+            reversed: !self.reversed,
+        }
+    }
+
+    /// Whether this orientation directs the edge `p → q`.
+    pub fn directs(&self, p: NodeId, q: NodeId) -> bool {
+        let forward = self.key[p] > self.key[q];
+        forward != self.reversed
+    }
+}
+
+/// An ordered sequence of acyclic orientations (the *cover*), defining a
+/// buffer class per entry.
+#[derive(Debug, Clone)]
+pub struct AcyclicCover {
+    orientations: Vec<Orientation>,
+}
+
+impl AcyclicCover {
+    /// Builds a cover from an orientation sequence.
+    pub fn new(orientations: Vec<Orientation>) -> Self {
+        assert!(!orientations.is_empty(), "cover needs at least one class");
+        AcyclicCover { orientations }
+    }
+
+    /// Number of classes `k` (= buffers per processor).
+    pub fn k(&self) -> usize {
+        self.orientations.len()
+    }
+
+    /// Smallest class `j ≥ from_class` whose orientation directs `p → q`.
+    pub fn next_class(&self, from_class: usize, p: NodeId, q: NodeId) -> Option<usize> {
+        (from_class..self.k()).find(|&j| self.orientations[j].directs(p, q))
+    }
+
+    /// Greedily schedules a node route (sequence of processors) into buffer
+    /// classes: the message is injected into the smallest class conforming
+    /// to its first hop and escalates monotonically. Returns the class of
+    /// each hop's *target* buffer, or `None` if the route does not fit in
+    /// `k` classes (such a route would risk deadlock and must be rejected
+    /// by the controller).
+    pub fn schedule_route(&self, route: &[NodeId]) -> Option<Vec<usize>> {
+        let mut classes = Vec::with_capacity(route.len().saturating_sub(1));
+        let mut class = 0;
+        for hop in route.windows(2) {
+            class = self.next_class(class, hop[0], hop[1])?;
+            classes.push(class);
+        }
+        Some(classes)
+    }
+
+    /// Whether every canonical shortest-path route of `g` (via the
+    /// smallest-identity BFS trees) is schedulable in this cover.
+    pub fn covers_all_shortest_paths(&self, g: &Graph) -> bool {
+        for d in 0..g.n() {
+            let tree = BfsTree::new(g, d);
+            for s in 0..g.n() {
+                if self.schedule_route(&tree.path_to_root(s)).is_none() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Materializes the cover as a [`BufferGraph`] over `g`: `k` buffers per
+    /// processor; moves `(p, i) → (q, next_class(i, p, q))` for every edge.
+    pub fn buffer_graph(&self, g: &Graph) -> BufferGraph {
+        let k = self.k();
+        let mut bg = BufferGraph::new(g.n(), k);
+        for &(p, q) in g.edges() {
+            for i in 0..k {
+                if let Some(j) = self.next_class(i, p, q) {
+                    bg.add_move(BufferId::new(p, i), BufferId::new(q, j));
+                }
+                if let Some(j) = self.next_class(i, q, p) {
+                    bg.add_move(BufferId::new(q, i), BufferId::new(p, j));
+                }
+            }
+        }
+        bg
+    }
+}
+
+/// The 2-class tree cover `(toward root, away from root)`.
+pub fn tree_cover(tree: &BfsTree) -> AcyclicCover {
+    let heights: Vec<i64> = (0..tree.n()).map(|p| tree.depth(p) as i64).collect();
+    let down = Orientation::from_heights(&heights); // deeper → shallower
+    let up = down.reversed();
+    AcyclicCover::new(vec![down, up])
+}
+
+/// The 3-class ring cover `(downhill, uphill, downhill)` with respect to the
+/// valley node `⌊n/2⌋` (heights = ring distance to the valley).
+pub fn ring_cover(n: usize) -> AcyclicCover {
+    assert!(n >= 3, "ring cover requires n >= 3");
+    let valley = n / 2;
+    let ring_dist = |p: usize| -> i64 {
+        let fwd = (p + n - valley) % n;
+        fwd.min(n - fwd) as i64
+    };
+    let heights: Vec<i64> = (0..n).map(ring_dist).collect();
+    let down = Orientation::from_heights(&heights);
+    let up = down.reversed();
+    AcyclicCover::new(vec![down.clone(), up, down])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssmfp_topology::gen;
+
+    #[test]
+    fn tree_cover_has_two_classes_and_covers() {
+        for (n, k) in [(7usize, 2usize), (15, 2), (10, 3)] {
+            let g = gen::kary_tree(n, k);
+            let cover = tree_cover(&BfsTree::new(&g, 0));
+            assert_eq!(cover.k(), 2, "paper: 2 buffers per processor on a tree");
+            assert!(cover.covers_all_shortest_paths(&g));
+            assert!(cover.buffer_graph(&g).is_acyclic());
+        }
+    }
+
+    #[test]
+    fn random_trees_covered_by_two_classes() {
+        for seed in 0..10 {
+            let g = gen::random_tree(20, seed);
+            let cover = tree_cover(&BfsTree::new(&g, 0));
+            assert!(cover.covers_all_shortest_paths(&g), "seed {seed}");
+            assert!(cover.buffer_graph(&g).is_acyclic());
+        }
+    }
+
+    #[test]
+    fn ring_cover_has_three_classes_and_covers() {
+        for n in 3..=16 {
+            let g = gen::ring(n);
+            let cover = ring_cover(n);
+            assert_eq!(cover.k(), 3, "paper: 3 buffers per processor on a ring");
+            assert!(
+                cover.covers_all_shortest_paths(&g),
+                "ring of {n} must be covered"
+            );
+            assert!(cover.buffer_graph(&g).is_acyclic(), "ring of {n}");
+        }
+    }
+
+    #[test]
+    fn two_classes_do_not_cover_a_ring() {
+        // Drop the third class: some shortest route must fail to schedule —
+        // this is why the ring's rank is 3, not 2.
+        let n = 8;
+        let g = gen::ring(n);
+        let full = ring_cover(n);
+        let two = AcyclicCover::new(vec![
+            full.orientations[0].clone(),
+            full.orientations[1].clone(),
+        ]);
+        assert!(!two.covers_all_shortest_paths(&g));
+    }
+
+    #[test]
+    fn cover_buffer_graphs_are_always_acyclic() {
+        // Acyclicity holds by construction for ANY cover on ANY graph.
+        let g = gen::random_connected(12, 10, 5);
+        let heights: Vec<i64> = (0..12).map(|p| (p as i64 * 7) % 5).collect();
+        let o = Orientation::from_heights(&heights);
+        let cover = AcyclicCover::new(vec![o.clone(), o.reversed(), o]);
+        assert!(cover.buffer_graph(&g).is_acyclic());
+    }
+
+    #[test]
+    fn schedule_is_monotone() {
+        let n = 11;
+        let g = gen::ring(n);
+        let cover = ring_cover(n);
+        let tree = BfsTree::new(&g, 0);
+        for s in 0..n {
+            if let Some(classes) = cover.schedule_route(&tree.path_to_root(s)) {
+                assert!(classes.windows(2).all(|w| w[0] <= w[1]));
+                assert!(classes.iter().all(|&c| c < cover.k()));
+            } else {
+                panic!("route from {s} should schedule");
+            }
+        }
+    }
+
+    #[test]
+    fn orientation_directs_each_edge_one_way() {
+        let heights = vec![3, 1, 2, 1];
+        let o = Orientation::from_heights(&heights);
+        assert!(o.directs(0, 1));
+        assert!(!o.directs(1, 0));
+        // Tie between nodes 1 and 3 broken by identity: 3 → 1.
+        assert!(o.directs(3, 1));
+        assert!(!o.directs(1, 3));
+        let r = o.reversed();
+        assert!(r.directs(1, 0));
+        assert!(!r.directs(0, 1));
+    }
+
+    #[test]
+    fn empty_route_schedules_trivially() {
+        let cover = ring_cover(5);
+        assert_eq!(cover.schedule_route(&[2]), Some(vec![]));
+    }
+}

@@ -1,0 +1,87 @@
+//! The destination-based buffer graph of **Figure 1**.
+//!
+//! One buffer `b_p(d)` per processor `p` per destination `d` (slot index =
+//! destination). Messages for destination `d` may only move along the routing
+//! tree `T_d`: `b_p(d) → b_{parent_d(p)}(d)`. The resulting graph has `n`
+//! weakly connected components, the component of `d` being isomorphic to
+//! `T_d`, and is acyclic — the Merlin–Schweitzer deadlock-freedom condition.
+
+use crate::graph::{BufferGraph, BufferId};
+use ssmfp_topology::BfsTree;
+
+/// Builds the Figure 1 buffer graph from the per-destination routing trees.
+pub fn destination_based(trees: &[BfsTree]) -> BufferGraph {
+    let n = trees.len();
+    let mut bg = BufferGraph::new(n, n);
+    for (d, tree) in trees.iter().enumerate() {
+        for p in 0..n {
+            if let Some(q) = tree.parent(p) {
+                bg.add_move(BufferId::new(p, d), BufferId::new(q, d));
+            }
+        }
+    }
+    bg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssmfp_topology::{gen, BfsTree, Graph};
+
+    fn trees_of(g: &Graph) -> Vec<BfsTree> {
+        (0..g.n()).map(|d| BfsTree::new(g, d)).collect()
+    }
+
+    #[test]
+    fn figure1_scheme_is_acyclic() {
+        for g in [
+            gen::line(6),
+            gen::ring(7),
+            gen::star(5),
+            gen::grid(3, 3),
+            gen::random_connected(12, 8, 3),
+        ] {
+            let bg = destination_based(&trees_of(&g));
+            assert!(bg.is_acyclic(), "Figure 1 buffer graph must be acyclic");
+        }
+    }
+
+    #[test]
+    fn one_component_per_destination() {
+        let g = gen::random_connected(9, 4, 1);
+        let bg = destination_based(&trees_of(&g));
+        let comps = bg.weak_components();
+        assert_eq!(comps.len(), g.n(), "n components, one per destination");
+        // Each component holds exactly the n buffers of one destination.
+        for comp in comps {
+            let d = comp[0].slot;
+            assert_eq!(comp.len(), g.n());
+            assert!(comp.iter().all(|b| b.slot == d));
+        }
+    }
+
+    #[test]
+    fn component_is_isomorphic_to_tree() {
+        let g = gen::grid(3, 4);
+        let trees = trees_of(&g);
+        let bg = destination_based(&trees);
+        for (d, tree) in trees.iter().enumerate() {
+            for p in 0..g.n() {
+                let out: Vec<_> = bg.moves_from(BufferId::new(p, d)).collect();
+                match tree.parent(p) {
+                    Some(q) => assert_eq!(out, vec![BufferId::new(q, d)]),
+                    None => assert!(out.is_empty(), "root buffer has no outgoing move"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn buffers_per_node_equals_n() {
+        let g = gen::ring(5);
+        let bg = destination_based(&trees_of(&g));
+        assert_eq!(bg.slots_per_node(), g.n());
+        assert_eq!(bg.len(), g.n() * g.n());
+        assert_eq!(bg.n_moves(), g.n() * (g.n() - 1)); // n trees × (n−1) edges
+    }
+}

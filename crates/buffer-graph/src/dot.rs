@@ -1,0 +1,138 @@
+//! Graphviz DOT rendering of buffer graphs — the literal regeneration of
+//! the paper's **Figure 1** and **Figure 2** drawings for any network.
+//!
+//! Buffers are drawn as nodes labelled by the paper's notation (`b_p(d)`
+//! for the destination-based scheme, `R_p(d)` / `E_p(d)` for SSMFP's
+//! two-buffer scheme), clustered by hosting processor, with permitted
+//! moves as directed edges.
+
+use crate::graph::BufferGraph;
+use crate::two_buffer::TwoBufferLayout;
+use std::fmt::Write;
+
+/// Renders a destination-based buffer graph (Figure 1 style): one buffer
+/// per destination per node, labelled `b_p(d)`. When `only_dest` is set,
+/// renders that destination's connected component only (as the figure
+/// does for its chosen destination).
+pub fn destination_based_dot(bg: &BufferGraph, name: &str, only_dest: Option<usize>) -> String {
+    let mut out = String::new();
+    writeln!(out, "digraph {name} {{").expect("infallible");
+    writeln!(out, "  rankdir=LR;").expect("infallible");
+    for p in 0..bg.n_nodes() {
+        writeln!(out, "  subgraph cluster_{p} {{ label=\"processor {p}\";").expect("infallible");
+        for d in 0..bg.slots_per_node() {
+            if only_dest.is_none_or(|od| od == d) {
+                writeln!(out, "    b_{p}_{d} [label=\"b_{p}({d})\"];").expect("infallible");
+            }
+        }
+        writeln!(out, "  }}").expect("infallible");
+    }
+    for idx in 0..bg.len() {
+        let from = bg.buffer(idx);
+        if only_dest.is_some_and(|od| od != from.slot) {
+            continue;
+        }
+        for to in bg.moves_from(from) {
+            writeln!(
+                out,
+                "  b_{}_{} -> b_{}_{};",
+                from.node, from.slot, to.node, to.slot
+            )
+            .expect("infallible");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders an SSMFP two-buffer graph (Figure 2 style): `bufR_p(d)` and
+/// `bufE_p(d)` per node, for one destination's component.
+pub fn two_buffer_dot(bg: &BufferGraph, name: &str, dest: usize) -> String {
+    let n = bg.n_nodes();
+    let layout = TwoBufferLayout::new(n);
+    let mut out = String::new();
+    writeln!(out, "digraph {name} {{").expect("infallible");
+    writeln!(out, "  rankdir=LR;").expect("infallible");
+    for p in 0..n {
+        writeln!(out, "  subgraph cluster_{p} {{ label=\"processor {p}\";").expect("infallible");
+        writeln!(out, "    r_{p} [label=\"bufR_{p}({dest})\" shape=box];").expect("infallible");
+        writeln!(out, "    e_{p} [label=\"bufE_{p}({dest})\" shape=box style=rounded];")
+            .expect("infallible");
+        writeln!(out, "  }}").expect("infallible");
+    }
+    for p in 0..n {
+        for b in [layout.r(p, dest), layout.e(p, dest)] {
+            for to in bg.moves_from(b) {
+                let (d_to, is_e_to) = layout.decode(to.slot);
+                if d_to != dest {
+                    continue;
+                }
+                let (_, is_e_from) = layout.decode(b.slot);
+                let from_name = if is_e_from { format!("e_{}", b.node) } else { format!("r_{}", b.node) };
+                let to_name = if is_e_to { format!("e_{}", to.node) } else { format!("r_{}", to.node) };
+                writeln!(out, "  {from_name} -> {to_name};").expect("infallible");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::destination_based::destination_based;
+    use crate::two_buffer::two_buffer;
+    use ssmfp_topology::{gen, BfsTree};
+
+    fn trees(g: &ssmfp_topology::Graph) -> Vec<BfsTree> {
+        (0..g.n()).map(|d| BfsTree::new(g, d)).collect()
+    }
+
+    #[test]
+    fn figure1_dot_contains_tree_edges() {
+        let g = gen::figure3_network();
+        let bg = destination_based(&trees(&g));
+        let dot = destination_based_dot(&bg, "fig1", Some(1));
+        assert!(dot.contains("digraph fig1 {"));
+        // Destination 1's tree: every non-root buffer has one outgoing move.
+        let t = BfsTree::new(&g, 1);
+        for p in 0..g.n() {
+            if let Some(q) = t.parent(p) {
+                assert!(dot.contains(&format!("b_{p}_1 -> b_{q}_1;")), "{dot}");
+            }
+        }
+        // Other destinations' buffers are filtered out.
+        assert!(!dot.contains("b_0_2 ->"));
+    }
+
+    #[test]
+    fn figure2_dot_contains_internal_and_tree_moves() {
+        let g = gen::figure3_network();
+        let bg = two_buffer(&trees(&g));
+        let dot = two_buffer_dot(&bg, "fig2", 1);
+        // Internal moves R → E everywhere.
+        for p in 0..g.n() {
+            assert!(dot.contains(&format!("r_{p} -> e_{p};")), "{dot}");
+        }
+        // Tree moves E_p → R_{parent}.
+        let t = BfsTree::new(&g, 1);
+        for p in 0..g.n() {
+            if let Some(q) = t.parent(p) {
+                assert!(dot.contains(&format!("e_{p} -> r_{q};")), "{dot}");
+            }
+        }
+        // The destination's emission buffer has no outgoing tree move.
+        assert!(!dot.contains("e_1 -> r_"));
+    }
+
+    #[test]
+    fn full_figure1_dot_renders_all_components() {
+        let g = gen::line(3);
+        let bg = destination_based(&trees(&g));
+        let dot = destination_based_dot(&bg, "all", None);
+        for d in 0..3 {
+            assert!(dot.contains(&format!("b_1_{d}")));
+        }
+    }
+}

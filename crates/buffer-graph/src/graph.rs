@@ -1,0 +1,258 @@
+//! The buffer-graph representation: a directed graph whose vertices are the
+//! network's buffers and whose edges are the moves a controller permits.
+
+use ssmfp_topology::NodeId;
+use std::collections::VecDeque;
+
+/// Identity of a buffer: which processor hosts it and which local slot it is
+/// (slot semantics are scheme-specific: destination index, `R`/`E` pair
+/// index, or orientation class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufferId {
+    /// Hosting processor.
+    pub node: NodeId,
+    /// Local slot index within the processor.
+    pub slot: usize,
+}
+
+impl BufferId {
+    /// Convenience constructor.
+    pub fn new(node: NodeId, slot: usize) -> Self {
+        BufferId { node, slot }
+    }
+}
+
+/// A directed graph over buffers. Buffers are addressed densely as
+/// `node * slots_per_node + slot`.
+///
+/// ```
+/// use ssmfp_buffer_graph::{BufferGraph, BufferId};
+///
+/// let mut bg = BufferGraph::new(3, 1);
+/// bg.add_move(BufferId::new(0, 0), BufferId::new(1, 0));
+/// bg.add_move(BufferId::new(1, 0), BufferId::new(2, 0));
+/// assert!(bg.is_acyclic()); // the Merlin–Schweitzer condition
+/// bg.add_move(BufferId::new(2, 0), BufferId::new(0, 0));
+/// assert!(!bg.is_acyclic()); // a cycle: deadlock becomes possible
+/// ```
+#[derive(Debug, Clone)]
+pub struct BufferGraph {
+    n_nodes: usize,
+    slots_per_node: usize,
+    /// Outgoing move edges per buffer (dense index).
+    succ: Vec<Vec<usize>>,
+}
+
+impl BufferGraph {
+    /// An edgeless buffer graph with `slots_per_node` buffers on each of
+    /// `n_nodes` processors.
+    pub fn new(n_nodes: usize, slots_per_node: usize) -> Self {
+        BufferGraph {
+            n_nodes,
+            slots_per_node,
+            succ: vec![Vec::new(); n_nodes * slots_per_node],
+        }
+    }
+
+    /// Number of processors.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Buffers per processor (`B` in §2.2).
+    pub fn slots_per_node(&self) -> usize {
+        self.slots_per_node
+    }
+
+    /// Total number of buffers.
+    pub fn len(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Whether the graph has no buffers.
+    pub fn is_empty(&self) -> bool {
+        self.succ.is_empty()
+    }
+
+    /// Dense index of a buffer.
+    #[inline]
+    pub fn index(&self, b: BufferId) -> usize {
+        debug_assert!(b.node < self.n_nodes && b.slot < self.slots_per_node);
+        b.node * self.slots_per_node + b.slot
+    }
+
+    /// Buffer id from a dense index.
+    #[inline]
+    pub fn buffer(&self, idx: usize) -> BufferId {
+        BufferId {
+            node: idx / self.slots_per_node,
+            slot: idx % self.slots_per_node,
+        }
+    }
+
+    /// Adds the permitted move `from → to`. Duplicate edges are ignored.
+    pub fn add_move(&mut self, from: BufferId, to: BufferId) {
+        let (f, t) = (self.index(from), self.index(to));
+        assert_ne!(f, t, "a buffer cannot move a message to itself");
+        if !self.succ[f].contains(&t) {
+            self.succ[f].push(t);
+        }
+    }
+
+    /// Permitted moves out of `b`.
+    pub fn moves_from(&self, b: BufferId) -> impl Iterator<Item = BufferId> + '_ {
+        self.succ[self.index(b)].iter().map(|&i| self.buffer(i))
+    }
+
+    /// Whether the move `from → to` is permitted.
+    pub fn permits(&self, from: BufferId, to: BufferId) -> bool {
+        self.succ[self.index(from)].contains(&self.index(to))
+    }
+
+    /// Total number of permitted-move edges.
+    pub fn n_moves(&self) -> usize {
+        self.succ.iter().map(Vec::len).sum()
+    }
+
+    /// Kahn's algorithm: `Some(order)` if acyclic, `None` otherwise. An
+    /// acyclic buffer graph is the Merlin–Schweitzer sufficient condition
+    /// for deadlock freedom.
+    pub fn topological_order(&self) -> Option<Vec<BufferId>> {
+        let n = self.succ.len();
+        let mut indeg = vec![0usize; n];
+        for out in &self.succ {
+            for &t in out {
+                indeg[t] += 1;
+            }
+        }
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = queue.pop_front() {
+            order.push(self.buffer(i));
+            for &t in &self.succ[i] {
+                indeg[t] -= 1;
+                if indeg[t] == 0 {
+                    queue.push_back(t);
+                }
+            }
+        }
+        if order.len() == n {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the buffer graph is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        self.topological_order().is_some()
+    }
+
+    /// Weakly connected components (sets of buffer indices), sorted by their
+    /// smallest member. Figure 1's scheme yields exactly `n` components, one
+    /// per destination.
+    pub fn weak_components(&self) -> Vec<Vec<BufferId>> {
+        let n = self.succ.len();
+        // Build the undirected adjacency once.
+        let mut und = vec![Vec::new(); n];
+        for (f, out) in self.succ.iter().enumerate() {
+            for &t in out {
+                und[f].push(t);
+                und[t].push(f);
+            }
+        }
+        let mut comp = vec![usize::MAX; n];
+        let mut components = Vec::new();
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let cid = components.len();
+            let mut members = Vec::new();
+            let mut stack = vec![start];
+            comp[start] = cid;
+            while let Some(i) = stack.pop() {
+                members.push(self.buffer(i));
+                for &j in &und[i] {
+                    if comp[j] == usize::MAX {
+                        comp[j] = cid;
+                        stack.push(j);
+                    }
+                }
+            }
+            members.sort_unstable();
+            components.push(members);
+        }
+        components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(node: NodeId, slot: usize) -> BufferId {
+        BufferId::new(node, slot)
+    }
+
+    #[test]
+    fn chain_is_acyclic() {
+        let mut bg = BufferGraph::new(3, 1);
+        bg.add_move(b(0, 0), b(1, 0));
+        bg.add_move(b(1, 0), b(2, 0));
+        assert!(bg.is_acyclic());
+        let order = bg.topological_order().unwrap();
+        let pos = |x: BufferId| order.iter().position(|&y| y == x).unwrap();
+        assert!(pos(b(0, 0)) < pos(b(1, 0)));
+        assert!(pos(b(1, 0)) < pos(b(2, 0)));
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut bg = BufferGraph::new(3, 1);
+        bg.add_move(b(0, 0), b(1, 0));
+        bg.add_move(b(1, 0), b(2, 0));
+        bg.add_move(b(2, 0), b(0, 0));
+        assert!(!bg.is_acyclic());
+        assert!(bg.topological_order().is_none());
+    }
+
+    #[test]
+    fn duplicate_moves_ignored() {
+        let mut bg = BufferGraph::new(2, 1);
+        bg.add_move(b(0, 0), b(1, 0));
+        bg.add_move(b(0, 0), b(1, 0));
+        assert_eq!(bg.n_moves(), 1);
+        assert!(bg.permits(b(0, 0), b(1, 0)));
+        assert!(!bg.permits(b(1, 0), b(0, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot move a message to itself")]
+    fn self_move_rejected() {
+        let mut bg = BufferGraph::new(1, 2);
+        bg.add_move(b(0, 1), b(0, 1));
+    }
+
+    #[test]
+    fn components_partition_buffers() {
+        let mut bg = BufferGraph::new(2, 2);
+        bg.add_move(b(0, 0), b(1, 0)); // slot-0 component
+        // slot-1 buffers remain isolated singletons
+        let comps = bg.weak_components();
+        assert_eq!(comps.len(), 3);
+        let total: usize = comps.iter().map(Vec::len).sum();
+        assert_eq!(total, bg.len());
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let bg = BufferGraph::new(4, 3);
+        for node in 0..4 {
+            for slot in 0..3 {
+                let id = b(node, slot);
+                assert_eq!(bg.buffer(bg.index(id)), id);
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The classical **hop scheme** — the third Merlin–Schweitzer controller
+//! family, included to complete the §4 comparison of buffer budgets:
+//!
+//! * destination-based (Fig 1): `n` buffers per node,
+//! * SSMFP two-buffer (Fig 2): `2n` buffers per node,
+//! * acyclic orientation cover: `rank(G)` buffers per node (2 on trees,
+//!   3 on rings, NP-hard in general \[19\]),
+//! * **hop scheme**: `D + 1` buffers per node — class `i` holds messages
+//!   that have taken `i` hops; every move strictly increases the class, so
+//!   the buffer graph is trivially acyclic, and any shortest-path route
+//!   (length ≤ D) fits.
+//!
+//! The hop scheme beats the destination schemes whenever `D + 1 < n`
+//! (almost always) but, unlike them, needs a bound on `D` and cannot
+//! distinguish destinations — which is exactly why the paper's protocol
+//! builds on the destination-based family instead.
+
+use crate::graph::{BufferGraph, BufferId};
+use ssmfp_topology::{Graph, NodeId};
+
+/// Builds the hop-scheme buffer graph with classes `0..=max_hops`:
+/// a message in class `i < max_hops` at `p` may move to class `i+1` at any
+/// neighbour.
+pub fn hop_scheme(g: &Graph, max_hops: u32) -> BufferGraph {
+    let k = max_hops as usize + 1;
+    let mut bg = BufferGraph::new(g.n(), k);
+    for &(p, q) in g.edges() {
+        for i in 0..k - 1 {
+            bg.add_move(BufferId::new(p, i), BufferId::new(q, i + 1));
+            bg.add_move(BufferId::new(q, i), BufferId::new(p, i + 1));
+        }
+    }
+    bg
+}
+
+/// The buffer route of a node route under the hop scheme: hop `i` lands in
+/// class `i`. Returns `None` if the route exceeds the class budget.
+pub fn hop_route(route: &[NodeId], max_hops: u32) -> Option<Vec<BufferId>> {
+    if route.len() > max_hops as usize + 1 {
+        return None;
+    }
+    Some(
+        route
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| BufferId::new(p, i))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{DrainOutcome, StoreForward};
+    use rand::SeedableRng;
+    use ssmfp_topology::{gen, AllPairs, BfsTree, GraphMetrics};
+
+    #[test]
+    fn hop_scheme_is_acyclic() {
+        for g in [gen::ring(8), gen::grid(3, 3), gen::petersen()] {
+            let d = GraphMetrics::new(&g).diameter();
+            assert!(hop_scheme(&g, d).is_acyclic());
+        }
+    }
+
+    #[test]
+    fn buffers_per_node_is_diameter_plus_one() {
+        let g = gen::line(9); // D = 8
+        let bg = hop_scheme(&g, 8);
+        assert_eq!(bg.slots_per_node(), 9);
+    }
+
+    #[test]
+    fn every_shortest_route_fits() {
+        let g = gen::torus(3, 4);
+        let d = GraphMetrics::new(&g).diameter();
+        let ap = AllPairs::new(&g);
+        for dst in 0..g.n() {
+            let tree = BfsTree::new(&g, dst);
+            for src in 0..g.n() {
+                let route = tree.path_to_root(src);
+                let bufs = hop_route(&route, d).expect("shortest route fits in D+1 classes");
+                assert_eq!(bufs.len() as u32, ap.dist(src, dst) + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn over_length_route_rejected() {
+        assert!(hop_route(&[0, 1, 2, 3], 2).is_none());
+        assert!(hop_route(&[0, 1, 2], 2).is_some());
+    }
+
+    #[test]
+    fn hop_scheme_drains_under_saturation() {
+        let g = gen::ring(7);
+        let d = GraphMetrics::new(&g).diameter();
+        let bg = hop_scheme(&g, d);
+        let mut sim = StoreForward::new(bg);
+        let mut id = 0;
+        for dst in 0..g.n() {
+            let tree = BfsTree::new(&g, dst);
+            for src in 0..g.n() {
+                if src == dst {
+                    continue;
+                }
+                let route = hop_route(&tree.path_to_root(src), d).expect("fits");
+                sim.inject(id, route);
+                id += 1;
+            }
+        }
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let outcome = sim.drain(&mut rng, 1_000_000);
+        assert!(matches!(outcome, DrainOutcome::Drained { .. }), "{outcome:?}");
+    }
+
+    #[test]
+    fn class_budget_comparison_matches_paper_discussion() {
+        // On a large ring: cover (3) < hop (D+1) < destination (n) < SSMFP (2n).
+        let n = 20;
+        let g = gen::ring(n);
+        let d = GraphMetrics::new(&g).diameter() as usize;
+        let cover = crate::cover::ring_cover(n).k();
+        assert!(cover < d + 1);
+        assert!(d + 1 < n);
+        assert!(n < 2 * n);
+    }
+}

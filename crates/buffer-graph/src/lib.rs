@@ -1,0 +1,38 @@
+//! Buffer graphs and deadlock-free controllers for message-switched
+//! (store-and-forward) networks — the substrate of §2.2 and §3.1.
+//!
+//! Merlin–Schweitzer \[21\] showed that restricting message moves to the edges
+//! of an **acyclic** directed graph over the network's buffers yields a
+//! deadlock-free controller. The paper uses two instances:
+//!
+//! * the classical **destination-based** scheme of **Figure 1** — one buffer
+//!   `b_p(d)` per processor per destination, moves along the routing tree
+//!   `T_d` ([`mod@destination_based`]);
+//! * SSMFP's **two-buffer** adaptation of **Figure 2** — a reception buffer
+//!   `bufR_p(d)` and an emission buffer `bufE_p(d)` per processor per
+//!   destination, with internal moves `R → E` and tree moves
+//!   `E_p → R_{nextHop(p)}` ([`mod@two_buffer`]);
+//!
+//! and its conclusion discusses a third, the **acyclic orientation cover**
+//! scheme (3 buffers per processor on a ring, 2 on a tree), which we build in
+//! [`cover`] as the E11 extension.
+//!
+//! [`graph`] provides the buffer-graph representation itself (acyclicity
+//! check, topological order, weakly-connected components) and [`sim`] a small
+//! token-level store-and-forward simulator used to demonstrate empirically
+//! that acyclic buffer graphs never deadlock while cyclic ones do.
+
+pub mod cover;
+pub mod dot;
+pub mod destination_based;
+pub mod graph;
+pub mod hop;
+pub mod sim;
+pub mod two_buffer;
+
+pub use cover::{ring_cover, tree_cover, AcyclicCover, Orientation};
+pub use destination_based::destination_based;
+pub use graph::{BufferGraph, BufferId};
+pub use dot::{destination_based_dot, two_buffer_dot};
+pub use hop::{hop_route, hop_scheme};
+pub use two_buffer::{two_buffer, two_buffer_from_fn, TwoBufferLayout};

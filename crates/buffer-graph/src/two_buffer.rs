@@ -1,0 +1,178 @@
+//! SSMFP's two-buffer-per-destination buffer graph of **Figure 2**.
+//!
+//! For each destination `d`, every processor `p` has a reception buffer
+//! `bufR_p(d)` and an emission buffer `bufE_p(d)`. Permitted moves:
+//!
+//! * internal forwarding `bufR_p(d) → bufE_p(d)` (rule `R2`),
+//! * tree forwarding `bufE_p(d) → bufR_{nextHop_p(d)}(d)` for `p ≠ d`
+//!   (rule `R3`).
+//!
+//! With correct routing tables this graph is acyclic; with corrupted tables
+//! it may contain cycles (the Figure 3 `a ↔ c` situation) — SSMFP's colors
+//! and erasure rules are exactly what keeps the protocol live and lossless
+//! until the routing algorithm `A` restores acyclicity.
+
+use crate::graph::{BufferGraph, BufferId};
+use ssmfp_topology::{NodeId, BfsTree};
+
+/// Slot-layout helper for the two-buffer scheme: slot `2d` is `bufR_p(d)`,
+/// slot `2d + 1` is `bufE_p(d)`.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoBufferLayout {
+    /// Number of destinations (= processors).
+    pub n: usize,
+}
+
+impl TwoBufferLayout {
+    /// Layout for a network of `n` processors.
+    pub fn new(n: usize) -> Self {
+        TwoBufferLayout { n }
+    }
+
+    /// Reception buffer `bufR_p(d)`.
+    pub fn r(&self, p: NodeId, d: NodeId) -> BufferId {
+        debug_assert!(d < self.n);
+        BufferId::new(p, 2 * d)
+    }
+
+    /// Emission buffer `bufE_p(d)`.
+    pub fn e(&self, p: NodeId, d: NodeId) -> BufferId {
+        debug_assert!(d < self.n);
+        BufferId::new(p, 2 * d + 1)
+    }
+
+    /// Decodes a slot into `(destination, is_emission)`.
+    pub fn decode(&self, slot: usize) -> (NodeId, bool) {
+        (slot / 2, slot % 2 == 1)
+    }
+}
+
+/// Builds the Figure 2 buffer graph from a `nextHop` function (so it can be
+/// built from *correct* trees or from *corrupted* routing tables alike).
+///
+/// `next_hop(p, d)` must return the neighbour `p` currently forwards
+/// messages of destination `d` to; it is not consulted for `p = d`.
+pub fn two_buffer_from_fn(n: usize, mut next_hop: impl FnMut(NodeId, NodeId) -> NodeId) -> BufferGraph {
+    let layout = TwoBufferLayout::new(n);
+    let mut bg = BufferGraph::new(n, 2 * n);
+    for d in 0..n {
+        for p in 0..n {
+            // Internal forwarding R → E (rule R2).
+            bg.add_move(layout.r(p, d), layout.e(p, d));
+            // Tree forwarding E_p → R_{nextHop} (rule R3); the destination
+            // consumes from its emission buffer instead (rule R6).
+            if p != d {
+                let q = next_hop(p, d);
+                bg.add_move(layout.e(p, d), layout.r(q, d));
+            }
+        }
+    }
+    bg
+}
+
+/// Builds the Figure 2 buffer graph from converged routing trees.
+pub fn two_buffer(trees: &[BfsTree]) -> BufferGraph {
+    two_buffer_from_fn(trees.len(), |p, d| {
+        trees[d].parent(p).expect("non-destination has a parent")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssmfp_topology::{gen, BfsTree, Graph};
+
+    fn trees_of(g: &Graph) -> Vec<BfsTree> {
+        (0..g.n()).map(|d| BfsTree::new(g, d)).collect()
+    }
+
+    #[test]
+    fn figure2_scheme_is_acyclic_with_correct_tables() {
+        for g in [
+            gen::line(5),
+            gen::ring(6),
+            gen::star(6),
+            gen::figure3_network(),
+            gen::random_connected(10, 6, 2),
+        ] {
+            let bg = two_buffer(&trees_of(&g));
+            assert!(bg.is_acyclic(), "Figure 2 buffer graph must be acyclic");
+        }
+    }
+
+    #[test]
+    fn two_buffers_per_destination_per_node() {
+        let g = gen::ring(5);
+        let bg = two_buffer(&trees_of(&g));
+        assert_eq!(bg.slots_per_node(), 2 * g.n());
+        assert_eq!(bg.len(), 2 * g.n() * g.n());
+    }
+
+    #[test]
+    fn moves_match_rules() {
+        let g = gen::line(4);
+        let trees = trees_of(&g);
+        let bg = two_buffer(&trees);
+        let l = TwoBufferLayout::new(4);
+        // R2 move exists everywhere.
+        for d in 0..4 {
+            for p in 0..4 {
+                assert!(bg.permits(l.r(p, d), l.e(p, d)));
+            }
+        }
+        // R3 moves follow the tree; destination's E has no outgoing move.
+        assert!(bg.permits(l.e(3, 0), l.r(2, 0)));
+        assert!(bg.permits(l.e(1, 0), l.r(0, 0)));
+        assert!(bg.moves_from(l.e(0, 0)).next().is_none());
+    }
+
+    #[test]
+    fn one_component_per_destination() {
+        let g = gen::grid(3, 3);
+        let bg = two_buffer(&trees_of(&g));
+        let comps = bg.weak_components();
+        assert_eq!(comps.len(), g.n());
+        for comp in comps {
+            assert_eq!(comp.len(), 2 * g.n(), "component has 2n buffers");
+            let (d0, _) = TwoBufferLayout::new(g.n()).decode(comp[0].slot);
+            assert!(comp
+                .iter()
+                .all(|b| TwoBufferLayout::new(g.n()).decode(b.slot).0 == d0));
+        }
+    }
+
+    #[test]
+    fn corrupted_tables_can_create_cycles() {
+        // Figure 3's premise: a routing cycle between two neighbours turns
+        // the buffer graph cyclic. Point 0's next hop for destination 3
+        // at 1, and 1's back at 0.
+        let next_hop = |p: NodeId, d: NodeId| -> NodeId {
+            match (p, d) {
+                (0, 3) => 1,
+                (1, 3) => 0,
+                (p, d) => {
+                    // line topology: correct next hop otherwise
+                    if p < d {
+                        p + 1
+                    } else {
+                        p - 1
+                    }
+                }
+            }
+        };
+        let bg = two_buffer_from_fn(4, next_hop);
+        assert!(
+            !bg.is_acyclic(),
+            "a 2-cycle in the routing tables must surface as a buffer-graph cycle"
+        );
+    }
+
+    #[test]
+    fn layout_decode_roundtrip() {
+        let l = TwoBufferLayout::new(7);
+        for d in 0..7 {
+            assert_eq!(l.decode(l.r(3, d).slot), (d, false));
+            assert_eq!(l.decode(l.e(3, d).slot), (d, true));
+        }
+    }
+}

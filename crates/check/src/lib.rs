@@ -1,0 +1,508 @@
+//! Exhaustive bounded model checking for SSMFP.
+//!
+//! The sampled executions elsewhere in the workspace check SP along *some*
+//! schedules; this crate checks it along **all of them** (for the central
+//! daemon) on instances small enough to enumerate. Starting from a given
+//! initial configuration, [`Explorer`] breadth-first-explores the full
+//! transition system — every `(processor, enabled action)` successor of
+//! every reachable configuration — and audits, at every state:
+//!
+//! * **no duplication**: no ghost identity delivered twice,
+//! * **no misdelivery**: deliveries only at the message's destination,
+//! * **no loss**: a generated-but-undelivered message always exists
+//!   somewhere in the system,
+//! * **caterpillar coverage**: Definition 3's structural invariant,
+//! * at **terminal** states: every generated message was delivered.
+//!
+//! Visited states are hash-compacted (the standard explicit-state
+//! model-checking trade-off: a 64-bit collision is astronomically
+//! unlikely at the state counts involved and can only cause a *missed*
+//! state, never a false alarm).
+//!
+//! The checker is also what turns the DESIGN.md §5 argument about rule R5
+//! into a machine-checked fact: with the paper's guard taken literally
+//! (`q ∈ N_p ∪ {p}`), the checker finds a schedule in which a valid
+//! message is erased without delivery (a Lemma 4 violation); with the
+//! deviation (`q ∈ N_p`), the same instance verifies clean — see the
+//! crate tests.
+
+use ssmfp_core::{classify_buffers, GhostId, NodeState, SsmfpProtocol};
+use ssmfp_kernel::{Protocol, View};
+use ssmfp_topology::{Graph, NodeId};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+
+/// One verification state: protocol configuration plus delivery history.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CheckState {
+    nodes: Vec<NodeState>,
+    /// Sorted (ghost, node) delivery records.
+    delivered: Vec<(GhostId, NodeId)>,
+}
+
+/// A safety violation found during exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A ghost identity was delivered twice along some schedule.
+    DuplicateDelivery {
+        /// The message.
+        ghost: GhostId,
+        /// BFS depth of the violating state.
+        depth: u64,
+    },
+    /// A valid message was delivered away from its destination.
+    Misdelivery {
+        /// The message.
+        ghost: GhostId,
+        /// Node that consumed it.
+        at: NodeId,
+        /// Depth of the violating state.
+        depth: u64,
+    },
+    /// A generated message vanished: neither delivered nor anywhere in
+    /// the system.
+    Lost {
+        /// The message.
+        ghost: GhostId,
+        /// Depth of the violating state.
+        depth: u64,
+    },
+    /// Definition 3's coverage invariant failed.
+    CaterpillarOrphan {
+        /// Depth of the violating state.
+        depth: u64,
+    },
+    /// A terminal (deadlocked/quiescent) state left a generated message
+    /// undelivered.
+    UndeliveredAtTerminal {
+        /// The message.
+        ghost: GhostId,
+        /// Depth of the terminal state.
+        depth: u64,
+    },
+}
+
+/// Outcome of an exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Distinct states visited.
+    pub states: u64,
+    /// Terminal states reached.
+    pub terminals: u64,
+    /// Violations found (exploration stops at the first by default).
+    pub violations: Vec<Violation>,
+    /// True if the state or depth cap truncated the exploration.
+    pub truncated: bool,
+    /// Maximum BFS depth reached.
+    pub max_depth: u64,
+    /// When a violation was found and tracing was enabled: the schedule
+    /// that reaches it, as human-readable `processor: action` lines.
+    pub counterexample: Option<Vec<String>>,
+}
+
+impl Report {
+    /// Whether the instance verified clean and completely.
+    pub fn verified(&self) -> bool {
+        self.violations.is_empty() && !self.truncated
+    }
+}
+
+/// The exhaustive explorer.
+///
+/// ```
+/// use ssmfp_check::Explorer;
+/// use ssmfp_core::state::{NodeState, Outgoing};
+/// use ssmfp_core::{GhostId, SsmfpProtocol};
+/// use ssmfp_routing::{corruption, CorruptionKind};
+/// use ssmfp_topology::gen;
+///
+/// let graph = gen::line(2);
+/// let mut states: Vec<NodeState> = corruption::corrupt(&graph, CorruptionKind::None, 0)
+///     .into_iter()
+///     .map(|r| NodeState::clean(2, r))
+///     .collect();
+/// let ghost = GhostId::Valid(0);
+/// states[0].outbox.push_back(Outgoing { dest: 1, payload: 3, ghost });
+/// let explorer = Explorer::new(graph, SsmfpProtocol::new(2, 1), vec![(ghost, 1)]);
+/// let report = explorer.explore(states);
+/// assert!(report.verified()); // every schedule delivers exactly once
+/// ```
+pub struct Explorer {
+    graph: Graph,
+    protocol: SsmfpProtocol,
+    /// Messages expected: (ghost, destination), as enqueued.
+    expectations: Vec<(GhostId, NodeId)>,
+    /// Cap on distinct visited states.
+    pub max_states: u64,
+    /// Stop at the first violation (default true).
+    pub stop_at_first: bool,
+    /// Record parent pointers so a violation comes with the schedule that
+    /// reaches it (costs memory proportional to the visited set).
+    pub trace_counterexamples: bool,
+}
+
+impl Explorer {
+    /// Creates an explorer for `protocol` on `graph`. `expectations` lists
+    /// the valid messages the initial configuration's outboxes contain
+    /// (ghost, destination).
+    pub fn new(
+        graph: Graph,
+        protocol: SsmfpProtocol,
+        expectations: Vec<(GhostId, NodeId)>,
+    ) -> Self {
+        Explorer {
+            graph,
+            protocol,
+            expectations,
+            max_states: 2_000_000,
+            stop_at_first: true,
+            trace_counterexamples: false,
+        }
+    }
+
+    fn hash_state(s: &CheckState) -> u64 {
+        let mut h = DefaultHasher::new();
+        s.hash(&mut h);
+        h.finish()
+    }
+
+    /// Ghosts of every message present anywhere in a configuration.
+    fn ghosts_in_system(nodes: &[NodeState]) -> HashSet<GhostId> {
+        let mut set = HashSet::new();
+        for s in nodes {
+            for slot in &s.slots {
+                for m in [&slot.buf_r, &slot.buf_e].into_iter().flatten() {
+                    set.insert(m.ghost);
+                }
+            }
+            for o in &s.outbox {
+                set.insert(o.ghost);
+            }
+        }
+        set
+    }
+
+    fn audit(
+        &self,
+        state: &CheckState,
+        depth: u64,
+        terminal: bool,
+        violations: &mut Vec<Violation>,
+    ) {
+        // Duplicates and misdeliveries.
+        for (i, &(g, at)) in state.delivered.iter().enumerate() {
+            if state.delivered[..i].iter().any(|&(g2, _)| g2 == g) {
+                violations.push(Violation::DuplicateDelivery { ghost: g, depth });
+            }
+            if let Some(&(_, dest)) = self.expectations.iter().find(|&&(eg, _)| eg == g) {
+                if at != dest {
+                    violations.push(Violation::Misdelivery { ghost: g, at, depth });
+                }
+            }
+        }
+        // Losses (only meaningful for expected valid messages that were
+        // already picked up by R1 — i.e. no longer in an outbox — but
+        // simplest sound form: expected, not delivered, not in system).
+        let in_system = Self::ghosts_in_system(&state.nodes);
+        for &(g, _) in &self.expectations {
+            let delivered = state.delivered.iter().any(|&(dg, _)| dg == g);
+            if !delivered && !in_system.contains(&g) {
+                violations.push(Violation::Lost { ghost: g, depth });
+            }
+            if terminal && !delivered {
+                violations.push(Violation::UndeliveredAtTerminal { ghost: g, depth });
+            }
+        }
+        // Caterpillar coverage.
+        if classify_buffers(&self.graph, &state.nodes).orphans > 0 {
+            violations.push(Violation::CaterpillarOrphan { depth });
+        }
+    }
+
+    /// Successor states under the central daemon (one processor, one
+    /// enabled action per step), each labelled `processor: action`, with
+    /// eager higher-layer re-arming.
+    fn successors(&self, state: &CheckState) -> Vec<(CheckState, String)> {
+        let mut out = Vec::new();
+        let mut actions = Vec::new();
+        for p in 0..self.graph.n() {
+            actions.clear();
+            {
+                let view = View::new(&self.graph, &state.nodes, p);
+                self.protocol.enabled_actions(&view, &mut actions);
+            }
+            for &action in &actions {
+                let mut events = Vec::new();
+                let new_node = {
+                    let view = View::new(&self.graph, &state.nodes, p);
+                    self.protocol.execute(&view, action, &mut events)
+                };
+                let mut nodes = state.nodes.clone();
+                nodes[p] = new_node;
+                let mut delivered = state.delivered.clone();
+                for ev in &events {
+                    if let ssmfp_core::Event::Delivered { ghost, .. } = ev {
+                        delivered.push((*ghost, p));
+                    }
+                }
+                delivered.sort_unstable();
+                // Higher layer: eager request re-arm; normalize the
+                // fairness cursor (it affects only action ordering, which
+                // exhaustive enumeration ignores).
+                for node in nodes.iter_mut() {
+                    if !node.request && !node.outbox.is_empty() {
+                        node.request = true;
+                    }
+                    node.dest_cursor = 0;
+                }
+                let label = format!("{p}: {}", self.protocol.describe(action));
+                out.push((CheckState { nodes, delivered }, label));
+            }
+        }
+        out
+    }
+
+    /// Runs the exhaustive breadth-first exploration from `initial`.
+    pub fn explore(&self, mut initial: Vec<NodeState>) -> Report {
+        for node in initial.iter_mut() {
+            if !node.request && !node.outbox.is_empty() {
+                node.request = true;
+            }
+            node.dest_cursor = 0;
+        }
+        let init = CheckState {
+            nodes: initial,
+            delivered: Vec::new(),
+        };
+        let init_hash = Self::hash_state(&init);
+        let mut visited: HashSet<u64> = HashSet::new();
+        visited.insert(init_hash);
+        // Parent pointers for counterexample reconstruction (hash → (parent
+        // hash, action label)); only populated when tracing is on.
+        let mut parents: std::collections::HashMap<u64, (u64, String)> =
+            std::collections::HashMap::new();
+        let mut frontier: VecDeque<(CheckState, u64, u64)> = VecDeque::new();
+        frontier.push_back((init, 0, init_hash));
+        let mut report = Report {
+            states: 1,
+            terminals: 0,
+            violations: Vec::new(),
+            truncated: false,
+            max_depth: 0,
+            counterexample: None,
+        };
+        let rebuild = |parents: &std::collections::HashMap<u64, (u64, String)>,
+                       mut h: u64|
+         -> Vec<String> {
+            let mut path = Vec::new();
+            while let Some((ph, label)) = parents.get(&h) {
+                path.push(label.clone());
+                h = *ph;
+            }
+            path.reverse();
+            path
+        };
+        while let Some((state, depth, state_hash)) = frontier.pop_front() {
+            report.max_depth = report.max_depth.max(depth);
+            let succs = self.successors(&state);
+            let terminal = succs.is_empty();
+            self.audit(&state, depth, terminal, &mut report.violations);
+            if terminal {
+                report.terminals += 1;
+            }
+            if !report.violations.is_empty() && self.stop_at_first {
+                if self.trace_counterexamples {
+                    report.counterexample = Some(rebuild(&parents, state_hash));
+                }
+                return report;
+            }
+            for (succ, label) in succs {
+                if report.states >= self.max_states {
+                    report.truncated = true;
+                    return report;
+                }
+                let h = Self::hash_state(&succ);
+                if visited.insert(h) {
+                    report.states += 1;
+                    if self.trace_counterexamples {
+                        parents.insert(h, (state_hash, label.clone()));
+                    }
+                    frontier.push_back((succ, depth + 1, h));
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssmfp_core::message::{Color, Message};
+    use ssmfp_core::state::Outgoing;
+    use ssmfp_routing::{corruption, CorruptionKind};
+    use ssmfp_topology::gen;
+
+    fn clean_states(graph: &Graph) -> Vec<NodeState> {
+        corruption::corrupt(graph, CorruptionKind::None, 0)
+            .into_iter()
+            .map(|r| NodeState::clean(graph.n(), r))
+            .collect()
+    }
+
+    fn enqueue(states: &mut [NodeState], src: NodeId, dst: NodeId, payload: u64, seq: u64) -> (GhostId, NodeId) {
+        let ghost = GhostId::Valid(seq);
+        states[src].outbox.push_back(Outgoing {
+            dest: dst,
+            payload,
+            ghost,
+        });
+        (ghost, dst)
+    }
+
+    #[test]
+    fn exhaustive_line2_single_message() {
+        let graph = gen::line(2);
+        let mut states = clean_states(&graph);
+        let exp = vec![enqueue(&mut states, 0, 1, 3, 0)];
+        let proto = SsmfpProtocol::new(2, graph.max_degree());
+        let explorer = Explorer::new(graph, proto, exp);
+        let report = explorer.explore(states);
+        assert!(report.verified(), "{report:?}");
+        assert!(report.terminals >= 1);
+    }
+
+    #[test]
+    fn exhaustive_line3_two_messages() {
+        let graph = gen::line(3);
+        let mut states = clean_states(&graph);
+        let exp = vec![
+            enqueue(&mut states, 0, 2, 3, 0),
+            enqueue(&mut states, 2, 0, 5, 1),
+        ];
+        let proto = SsmfpProtocol::new(3, graph.max_degree());
+        let explorer = Explorer::new(graph, proto, exp);
+        let report = explorer.explore(states);
+        assert!(report.verified(), "{report:?}");
+        assert!(report.states > 50, "exploration too small: {report:?}");
+    }
+
+    #[test]
+    fn exhaustive_same_payload_twice() {
+        // The merge hazard, exhaustively: two messages with identical
+        // useful information from the same source — no schedule may merge
+        // or lose either.
+        let graph = gen::line(3);
+        let mut states = clean_states(&graph);
+        let exp = vec![
+            enqueue(&mut states, 0, 2, 7, 0),
+            enqueue(&mut states, 0, 2, 7, 1),
+        ];
+        let proto = SsmfpProtocol::new(3, graph.max_degree());
+        let explorer = Explorer::new(graph, proto, exp);
+        let report = explorer.explore(states);
+        assert!(report.verified(), "{report:?}");
+    }
+
+    #[test]
+    fn exhaustive_with_invalid_garbage() {
+        // A garbage message sharing the valid message's payload sits in
+        // the middle node's emission buffer.
+        let graph = gen::line(3);
+        let mut states = clean_states(&graph);
+        states[1].slots[2].buf_e = Some(Message {
+            payload: 7,
+            last_hop: 0,
+            color: Color(0),
+            ghost: GhostId::Invalid(0),
+        });
+        let exp = vec![enqueue(&mut states, 0, 2, 7, 0)];
+        let proto = SsmfpProtocol::new(3, graph.max_degree());
+        let explorer = Explorer::new(graph, proto, exp);
+        let report = explorer.explore(states);
+        assert!(report.verified(), "{report:?}");
+    }
+
+    #[test]
+    fn exhaustive_with_corrupted_tables() {
+        // Corrupt the middle node's route for destination 2 (points back
+        // at 0): A must repair it under every schedule, and the message
+        // must still go through exactly once.
+        let graph = gen::line(3);
+        let mut states = clean_states(&graph);
+        states[1].routing.parent[2] = 0;
+        states[1].routing.dist[2] = 2;
+        let exp = vec![enqueue(&mut states, 0, 2, 4, 0)];
+        let proto = SsmfpProtocol::new(3, graph.max_degree());
+        let explorer = Explorer::new(graph, proto, exp);
+        let report = explorer.explore(states);
+        assert!(report.verified(), "{report:?}");
+    }
+
+    #[test]
+    fn literal_r5_loses_a_message_machine_checked() {
+        // The DESIGN.md §5 deviation, machine-checked: with the paper's
+        // R5 guard taken literally (q ∈ N_p ∪ {p}), there is a schedule
+        // in which a freshly generated message whose payload collides
+        // with an in-flight predecessor is erased without delivery.
+        let graph = gen::line(2);
+        let mut states = clean_states(&graph);
+        let exp = vec![
+            enqueue(&mut states, 0, 1, 7, 0),
+            enqueue(&mut states, 0, 1, 7, 1), // same payload, back-to-back
+        ];
+        let proto = SsmfpProtocol::new(2, graph.max_degree()).with_literal_r5();
+        let explorer = Explorer::new(graph.clone(), proto, exp.clone());
+        let report = explorer.explore(states.clone());
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::Lost { .. } | Violation::UndeliveredAtTerminal { .. })),
+            "literal R5 should lose a message: {report:?}"
+        );
+
+        // The deviation closes the hole: same instance, clean verification.
+        let proto = SsmfpProtocol::new(2, graph.max_degree());
+        let explorer = Explorer::new(graph, proto, exp);
+        let report = explorer.explore(states);
+        assert!(report.verified(), "{report:?}");
+    }
+
+    #[test]
+    fn counterexample_trace_is_reconstructed() {
+        let graph = gen::line(2);
+        let mut states = clean_states(&graph);
+        let exp = vec![
+            enqueue(&mut states, 0, 1, 7, 0),
+            enqueue(&mut states, 0, 1, 7, 1),
+        ];
+        let proto = SsmfpProtocol::new(2, graph.max_degree()).with_literal_r5();
+        let mut explorer = Explorer::new(graph, proto, exp);
+        explorer.trace_counterexamples = true;
+        let report = explorer.explore(states);
+        let path = report.counterexample.expect("trace requested");
+        assert!(!path.is_empty());
+        // The losing schedule must involve generation and the rogue R5.
+        assert!(path.iter().any(|s| s.contains("R1")), "{path:?}");
+        assert!(path.iter().any(|s| s.contains("R5")), "{path:?}");
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let graph = gen::line(3);
+        let mut states = clean_states(&graph);
+        let exp = vec![
+            enqueue(&mut states, 0, 2, 1, 0),
+            enqueue(&mut states, 1, 0, 2, 1),
+            enqueue(&mut states, 2, 1, 3, 2),
+        ];
+        let proto = SsmfpProtocol::new(3, graph.max_degree());
+        let mut explorer = Explorer::new(graph, proto, exp);
+        explorer.max_states = 100;
+        let report = explorer.explore(states);
+        assert!(report.truncated);
+        assert!(!report.verified());
+    }
+}

@@ -1,0 +1,257 @@
+//! Caterpillars — Definition 3 and Figure 4, executable.
+//!
+//! A *caterpillar* associated with a message `m` of destination `d` on a
+//! processor `p` is the longest buffer sequence satisfying one of:
+//!
+//! 1. **Type 1**: `bufR_p(d) = (m,q,c)` and the source copy is gone
+//!    (`bufE_q(d) ≠ (m,·,c)`) or the message was generated here (`q = p`).
+//! 2. **Type 2**: `bufE_p(d) = (m,q,c)` with no copy yet at the next hop
+//!    (`bufR_{nextHop_p(d)}(d) ≠ (m,p,c)`).
+//! 3. **Type 3**: `bufE_p(d) = (m,q',c)` together with at least one copy
+//!    `bufR_q(d) = (m,p,c)` in a neighbour's reception buffer (an emission
+//!    buffer can belong to several type-3 caterpillars when routing churn
+//!    duplicated the message).
+//!
+//! The life of a message (Lemma 1) is the cycle *type 1 → type 2 → type 3 →
+//! type 1 at the next hop* (or delivery). The classifier below is used by
+//! the tests to check the structural invariant — **every occupied buffer
+//! belongs to a caterpillar** — and by the E4 experiment to census the
+//! types along executions.
+
+use crate::state::NodeState;
+use ssmfp_topology::{Graph, NodeId};
+
+/// The three caterpillar types of Definition 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CaterpillarType {
+    /// Lone copy in a reception buffer.
+    Type1,
+    /// Lone copy in an emission buffer, next hop not yet served.
+    Type2,
+    /// Emission-buffer copy plus at least one reception-buffer copy at a
+    /// neighbour.
+    Type3,
+}
+
+/// Census of caterpillars (and the structural invariant) over one
+/// configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CaterpillarCensus {
+    /// Number of type-1 caterpillars.
+    pub type1: usize,
+    /// Number of type-2 caterpillars.
+    pub type2: usize,
+    /// Number of type-3 caterpillars (each may have several tail copies).
+    pub type3: usize,
+    /// Reception-buffer copies that are tails of some type-3 caterpillar.
+    pub type3_tails: usize,
+    /// Occupied buffers that belong to **no** caterpillar — must always be
+    /// zero; counted to make the invariant checkable.
+    pub orphans: usize,
+}
+
+impl CaterpillarCensus {
+    /// Total caterpillars.
+    pub fn total(&self) -> usize {
+        self.type1 + self.type2 + self.type3
+    }
+}
+
+/// Role of one occupied reception buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RBufferRole {
+    /// Head of a type-1 caterpillar.
+    Type1Head,
+    /// Tail copy of the type-3 caterpillar anchored at the message's
+    /// recorded last hop.
+    Type3Tail,
+}
+
+/// Classifies the occupied `bufR_p(d)`, if any.
+pub fn classify_r_buffer(
+    graph: &Graph,
+    states: &[NodeState],
+    p: NodeId,
+    d: NodeId,
+) -> Option<RBufferRole> {
+    let m = states[p].slots[d].buf_r.as_ref()?;
+    let q = m.last_hop;
+    let source_alive = q != p
+        && states[q].slots[d]
+            .buf_e
+            .as_ref()
+            .is_some_and(|e| e.same_payload_color(m));
+    debug_assert!(q == p || graph.has_edge(p, q), "last hop within N_p ∪ {{p}}");
+    Some(if source_alive {
+        RBufferRole::Type3Tail
+    } else {
+        RBufferRole::Type1Head
+    })
+}
+
+/// Classifies the occupied `bufE_p(d)`, if any, as the anchor of a type-2
+/// or type-3 caterpillar.
+pub fn classify_e_buffer(
+    graph: &Graph,
+    states: &[NodeState],
+    p: NodeId,
+    d: NodeId,
+) -> Option<CaterpillarType> {
+    let m = states[p].slots[d].buf_e.as_ref()?;
+    let has_tail = graph.neighbors(p).iter().any(|&q| {
+        states[q].slots[d]
+            .buf_r
+            .as_ref()
+            .is_some_and(|r| r.matches_triplet(m.payload, p, m.color))
+    });
+    Some(if has_tail {
+        CaterpillarType::Type3
+    } else {
+        CaterpillarType::Type2
+    })
+}
+
+/// Censuses all caterpillars of a configuration and checks the structural
+/// invariant (no orphaned occupied buffer).
+pub fn classify_buffers(graph: &Graph, states: &[NodeState]) -> CaterpillarCensus {
+    let n = graph.n();
+    let mut census = CaterpillarCensus::default();
+    for p in 0..n {
+        for d in 0..n {
+            match classify_r_buffer(graph, states, p, d) {
+                Some(RBufferRole::Type1Head) => census.type1 += 1,
+                Some(RBufferRole::Type3Tail) => census.type3_tails += 1,
+                None => {}
+            }
+            match classify_e_buffer(graph, states, p, d) {
+                Some(CaterpillarType::Type2) => census.type2 += 1,
+                Some(CaterpillarType::Type3) => census.type3 += 1,
+                Some(CaterpillarType::Type1) => unreachable!("E buffers are type 2 or 3"),
+                None => {}
+            }
+        }
+    }
+    census
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Color, GhostId, Message};
+    use ssmfp_routing::{corruption, CorruptionKind};
+    use ssmfp_topology::gen;
+
+    fn clean(gname: &ssmfp_topology::Graph) -> Vec<NodeState> {
+        corruption::corrupt(gname, CorruptionKind::None, 0)
+            .into_iter()
+            .map(|r| NodeState::clean(gname.n(), r))
+            .collect()
+    }
+
+    fn msg(payload: u64, last_hop: NodeId, color: u8) -> Message {
+        Message {
+            payload,
+            last_hop,
+            color: Color(color),
+            ghost: GhostId::Invalid(0),
+        }
+    }
+
+    #[test]
+    fn generated_message_is_type1() {
+        let g = gen::line(3);
+        let mut states = clean(&g);
+        states[0].slots[2].buf_r = Some(msg(7, 0, 0)); // q = p: generated here
+        assert_eq!(
+            classify_r_buffer(&g, &states, 0, 2),
+            Some(RBufferRole::Type1Head)
+        );
+        let census = classify_buffers(&g, &states);
+        assert_eq!(census.type1, 1);
+        assert_eq!(census.total(), 1);
+    }
+
+    #[test]
+    fn emission_without_forward_copy_is_type2() {
+        let g = gen::line(3);
+        let mut states = clean(&g);
+        states[0].slots[2].buf_e = Some(msg(7, 0, 1));
+        assert_eq!(
+            classify_e_buffer(&g, &states, 0, 2),
+            Some(CaterpillarType::Type2)
+        );
+    }
+
+    #[test]
+    fn emission_with_forward_copy_is_type3_and_tail() {
+        let g = gen::line(3);
+        let mut states = clean(&g);
+        // Copy in 0's emission buffer and its forwarded copy in 1's
+        // reception buffer (last hop recorded as 0, same color).
+        states[0].slots[2].buf_e = Some(msg(7, 0, 1));
+        states[1].slots[2].buf_r = Some(msg(7, 0, 1));
+        assert_eq!(
+            classify_e_buffer(&g, &states, 0, 2),
+            Some(CaterpillarType::Type3)
+        );
+        assert_eq!(
+            classify_r_buffer(&g, &states, 1, 2),
+            Some(RBufferRole::Type3Tail)
+        );
+        let census = classify_buffers(&g, &states);
+        assert_eq!(census.type3, 1);
+        assert_eq!(census.type3_tails, 1);
+        assert_eq!(census.orphans, 0);
+    }
+
+    #[test]
+    fn reception_copy_with_dead_source_is_type1() {
+        let g = gen::line(3);
+        let mut states = clean(&g);
+        // Forwarded copy whose source emission buffer was already erased.
+        states[1].slots[2].buf_r = Some(msg(7, 0, 1));
+        assert_eq!(
+            classify_r_buffer(&g, &states, 1, 2),
+            Some(RBufferRole::Type1Head)
+        );
+    }
+
+    #[test]
+    fn color_mismatch_breaks_the_caterpillar_link() {
+        let g = gen::line(3);
+        let mut states = clean(&g);
+        states[0].slots[2].buf_e = Some(msg(7, 0, 1));
+        states[1].slots[2].buf_r = Some(msg(7, 0, 2)); // different color
+        // The emission copy has no tail; the reception copy has no source.
+        assert_eq!(
+            classify_e_buffer(&g, &states, 0, 2),
+            Some(CaterpillarType::Type2)
+        );
+        assert_eq!(
+            classify_r_buffer(&g, &states, 1, 2),
+            Some(RBufferRole::Type1Head)
+        );
+    }
+
+    #[test]
+    fn one_emission_buffer_can_anchor_many_tails() {
+        // Star: hub 0's emission copy duplicated into several leaves'
+        // reception buffers (routing churn) — one type-3 caterpillar with
+        // several tails, as the paper's remark after Definition 3 allows.
+        let g = gen::star(4);
+        let mut states = clean(&g);
+        states[0].slots[3].buf_e = Some(msg(9, 0, 2));
+        states[1].slots[3].buf_r = Some(msg(9, 0, 2));
+        states[2].slots[3].buf_r = Some(msg(9, 0, 2));
+        let census = classify_buffers(&g, &states);
+        assert_eq!(census.type3, 1);
+        assert_eq!(census.type3_tails, 2);
+    }
+
+    #[test]
+    fn empty_configuration_has_no_caterpillars() {
+        let g = gen::ring(4);
+        let states = clean(&g);
+        assert_eq!(classify_buffers(&g, &states), CaterpillarCensus::default());
+    }
+}

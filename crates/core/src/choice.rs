@@ -1,0 +1,305 @@
+//! The fair selection procedure `choice_p(d)`.
+//!
+//! Algorithm 1: *"fairly chooses one of the processors which can forward or
+//! generate a message in `bufR_p(d)`"*, i.e. a processor satisfying
+//!
+//! ```text
+//! (choice ∈ N_p ∧ bufE_choice(d) = (m,q,c) ∧ nextHop_choice(d) = p)
+//!   ∨ (choice = p ∧ request_p)
+//! ```
+//!
+//! *"We can manage this fairness with a queue of length Δ+1 of processors
+//! which satisfies the predicate."* We implement the queue as a rotation
+//! pointer over the fixed candidate space `N_p ∪ {p}` (size `deg(p)+1 ≤
+//! Δ+1`): `choice_p(d)` is the first satisfying candidate at or after the
+//! pointer, cyclically, and the pointer advances past a candidate whenever
+//! it is served (rules R1/R3). A candidate that satisfies the predicate
+//! continuously is therefore served after at most `deg(p)` other services —
+//! the bounded-overtaking property Proposition 5's `Δ^D` bound consumes.
+//!
+//! `choice_p(d)` is a *function of the state*: guards may evaluate it freely
+//! and two processors evaluating each other's predicates see consistent
+//! values within a step (all reads are against the pre-step configuration).
+
+use crate::state::NodeState;
+use ssmfp_kernel::View;
+use ssmfp_topology::NodeId;
+
+/// A resolved choice: who may fill `bufR_p(d)` and from which position of
+/// the candidate space it was drawn (used to advance the pointer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Choice {
+    /// The chosen processor (`p` itself for generation, a neighbour for
+    /// forwarding).
+    pub who: NodeId,
+    /// Position in `N_p ∪ {p}` (`deg(p)` = the self position).
+    pub position: usize,
+}
+
+/// How `choice_p(d)` selects among satisfying candidates.
+///
+/// The paper (§4) singles out the selection scheme as the lever for
+/// improving the worst case: *"we believe that we can keep our protocol
+/// and modify the fair scheme of selection of messages `choice_p(d)`"*.
+/// This enum makes the scheme pluggable:
+///
+/// * [`ChoiceStrategy::RotationQueue`] — the paper's queue of length
+///   `Δ+1`, realized as a rotation pointer (default; bounded overtaking
+///   ≤ Δ).
+/// * [`ChoiceStrategy::LongestWaiting`] — serve the candidate that has
+///   satisfied the predicate through the most services (LRU-like; also
+///   fair, different constants).
+/// * [`ChoiceStrategy::GreedyFirst`] — always the first satisfying
+///   position. **Unfair**: a continuously supplied earlier candidate
+///   starves later ones — the E13 ablation shows SP's liveness breaking,
+///   demonstrating that the fairness of `choice_p(d)` is load-bearing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChoiceStrategy {
+    /// The paper's fair rotation queue (default).
+    #[default]
+    RotationQueue,
+    /// Longest-waiting-first (fair alternative).
+    LongestWaiting,
+    /// First satisfying position (unfair — ablation only).
+    GreedyFirst,
+}
+
+/// Whether the candidate at `position` currently satisfies the predicate.
+pub(crate) fn satisfies(view: &View<'_, NodeState>, d: NodeId, position: usize) -> bool {
+    let neighbors = view.neighbors();
+    let me = view.me();
+    if position == neighbors.len() {
+        // Generation candidate: p itself, with a waiting message for d.
+        me.request && me.outbox.front().map(|o| o.dest) == Some(d)
+    } else {
+        // Forwarding candidate: neighbour with a message for d in its
+        // emission buffer whose routing table points here.
+        let q = neighbors[position];
+        let qs = view.state(q);
+        qs.slots[d].buf_e.is_some() && qs.routing.parent[d] == view.me_id()
+    }
+}
+
+fn who_at(view: &View<'_, NodeState>, position: usize) -> NodeId {
+    if position == view.neighbors().len() {
+        view.me_id()
+    } else {
+        view.neighbors()[position]
+    }
+}
+
+/// Evaluates `choice_p(d)` at the viewing processor under the paper's
+/// rotation-queue strategy (see [`choice_with`] for the pluggable form).
+pub fn choice(view: &View<'_, NodeState>, d: NodeId) -> Option<Choice> {
+    choice_with(view, d, ChoiceStrategy::RotationQueue)
+}
+
+/// Evaluates `choice_p(d)` under a selection strategy. Pure function of
+/// the configuration: guards may call it freely.
+pub fn choice_with(
+    view: &View<'_, NodeState>,
+    d: NodeId,
+    strategy: ChoiceStrategy,
+) -> Option<Choice> {
+    let len = view.neighbors().len() + 1;
+    match strategy {
+        ChoiceStrategy::RotationQueue => {
+            let start = view.me().slots[d].choice_ptr % len;
+            (0..len)
+                .map(|offset| (start + offset) % len)
+                .find(|&position| satisfies(view, d, position))
+                .map(|position| Choice {
+                    who: who_at(view, position),
+                    position,
+                })
+        }
+        ChoiceStrategy::LongestWaiting => {
+            let slot = &view.me().slots[d];
+            (0..len)
+                .filter(|&position| satisfies(view, d, position))
+                // Max wait; ties broken toward the smallest position. The
+                // negated-wait/position key makes `min_by_key` do both.
+                .min_by_key(|&position| {
+                    let wait = slot.waits.get(position).copied().unwrap_or(0);
+                    (std::cmp::Reverse(wait), position)
+                })
+                .map(|position| Choice {
+                    who: who_at(view, position),
+                    position,
+                })
+        }
+        ChoiceStrategy::GreedyFirst => (0..len)
+            .find(|&position| satisfies(view, d, position))
+            .map(|position| Choice {
+                who: who_at(view, position),
+                position,
+            }),
+    }
+}
+
+/// The pointer value after serving the candidate at `position` (it moves
+/// just past the served candidate).
+pub fn advance_ptr(position: usize, degree: usize) -> usize {
+    (position + 1) % (degree + 1)
+}
+
+/// Applies the post-service bookkeeping of `strategy` to the slot of the
+/// served destination: advances the rotation pointer, or resets/increments
+/// the wait counters. `satisfying` lists the positions that satisfied the
+/// predicate at service time.
+pub fn after_serve(
+    slot: &mut crate::state::FwdSlot,
+    served_position: usize,
+    degree: usize,
+    strategy: ChoiceStrategy,
+    satisfying: &[usize],
+) {
+    match strategy {
+        ChoiceStrategy::RotationQueue => {
+            slot.choice_ptr = advance_ptr(served_position, degree);
+        }
+        ChoiceStrategy::LongestWaiting => {
+            if slot.waits.len() < degree + 1 {
+                slot.waits.resize(degree + 1, 0);
+            }
+            for &pos in satisfying {
+                if pos < slot.waits.len() {
+                    slot.waits[pos] = slot.waits[pos].saturating_add(1);
+                }
+            }
+            slot.waits[served_position] = 0;
+        }
+        ChoiceStrategy::GreedyFirst => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Color, GhostId, Message};
+    use crate::state::{NodeState, Outgoing};
+    use ssmfp_routing::{corruption, CorruptionKind};
+    use ssmfp_topology::{gen, Graph};
+
+    /// Star with hub 0: every leaf is a neighbour of the hub.
+    fn setup(n: usize) -> (Graph, Vec<NodeState>) {
+        let g = gen::star(n);
+        let routing = corruption::corrupt(&g, CorruptionKind::None, 0);
+        let states = routing
+            .into_iter()
+            .map(|r| NodeState::clean(n, r))
+            .collect();
+        (g, states)
+    }
+
+    fn msg(payload: u64, last_hop: NodeId, color: u8) -> Message {
+        Message {
+            payload,
+            last_hop,
+            color: Color(color),
+            ghost: GhostId::Invalid(0),
+        }
+    }
+
+    #[test]
+    fn no_candidates_means_none() {
+        let (g, states) = setup(4);
+        let view = View::new(&g, &states, 0);
+        assert_eq!(choice(&view, 2), None);
+    }
+
+    #[test]
+    fn neighbor_with_emission_toward_us_is_chosen() {
+        let (g, mut states) = setup(4);
+        // Leaf 2 has a message for destination 3 in its emission buffer;
+        // its route to 3 goes through hub 0.
+        states[2].slots[3].buf_e = Some(msg(9, 2, 1));
+        assert_eq!(states[2].routing.parent[3], 0);
+        let view = View::new(&g, &states, 0);
+        let c = choice(&view, 3).expect("leaf 2 is a candidate");
+        assert_eq!(c.who, 2);
+    }
+
+    #[test]
+    fn neighbor_pointing_elsewhere_is_not_a_candidate() {
+        let (g, mut states) = setup(4);
+        states[2].slots[3].buf_e = Some(msg(9, 2, 1));
+        states[2].routing.parent[3] = 2; // corrupted: points at itself
+        let view = View::new(&g, &states, 0);
+        assert_eq!(choice(&view, 3), None);
+    }
+
+    #[test]
+    fn self_candidate_requires_request_and_matching_destination() {
+        let (g, mut states) = setup(4);
+        states[0].outbox.push_back(Outgoing {
+            dest: 2,
+            payload: 5,
+            ghost: GhostId::Valid(0),
+        });
+        // Not yet requested.
+        let view = View::new(&g, &states, 0);
+        assert_eq!(choice(&view, 2), None);
+        drop(view);
+        states[0].request = true;
+        let view = View::new(&g, &states, 0);
+        let c = choice(&view, 2).expect("self-candidate");
+        assert_eq!(c.who, 0);
+        assert_eq!(c.position, g.degree(0));
+        // Wrong destination: not a candidate there.
+        assert_eq!(choice(&view, 1), None);
+    }
+
+    #[test]
+    fn rotation_serves_candidates_fairly() {
+        let (g, mut states) = setup(5);
+        // Leaves 1, 2, 3 all compete for destination 4's reception buffer
+        // at the hub.
+        for leaf in [1, 2, 3] {
+            states[leaf].slots[4].buf_e = Some(msg(leaf as u64, leaf, 0));
+        }
+        // Hub neighbours are [1, 2, 3, 4]; candidate positions 0, 1, 2.
+        let mut served = Vec::new();
+        for _ in 0..3 {
+            let view = View::new(&g, &states, 0);
+            let c = choice(&view, 4).expect("candidates exist");
+            served.push(c.who);
+            let pos = c.position;
+            drop(view);
+            states[0].slots[4].choice_ptr = advance_ptr(pos, g.degree(0));
+            states[c.who].slots[4].buf_e = None; // message consumed upstream
+        }
+        served.sort_unstable();
+        assert_eq!(served, vec![1, 2, 3], "each competitor served once");
+    }
+
+    #[test]
+    fn bounded_overtaking_with_persistent_competitor() {
+        // Competitor 1 always refills its emission buffer; competitor 3 must
+        // still be served within deg(p) services.
+        let (g, mut states) = setup(5);
+        states[1].slots[4].buf_e = Some(msg(1, 1, 0));
+        states[3].slots[4].buf_e = Some(msg(3, 3, 0));
+        let mut services_until_3 = 0;
+        loop {
+            let view = View::new(&g, &states, 0);
+            let c = choice(&view, 4).expect("candidates exist");
+            let (who, pos) = (c.who, c.position);
+            drop(view);
+            states[0].slots[4].choice_ptr = advance_ptr(pos, g.degree(0));
+            services_until_3 += 1;
+            if who == 3 {
+                break;
+            }
+            // Competitor 1 refills immediately (buffer already full).
+            assert!(services_until_3 <= g.degree(0) + 1, "starved");
+        }
+        assert!(services_until_3 <= g.degree(0));
+    }
+
+    #[test]
+    fn advance_ptr_wraps() {
+        assert_eq!(advance_ptr(0, 3), 1);
+        assert_eq!(advance_ptr(3, 3), 0);
+    }
+}

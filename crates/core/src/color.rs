@@ -1,0 +1,122 @@
+//! The color assignment `color_p(d)`.
+//!
+//! Algorithm 1: *"gives a natural integer `c` between 0 and Δ such as
+//! `∀q ∈ N_p`, `bufR_q(d)` does not contain a message with `c` as color."*
+//!
+//! The incoming message (moving from `bufR_p(d)` into `bufE_p(d)` by rule
+//! R2) must be distinguishable from every message currently sitting in the
+//! reception buffers of `p`'s neighbours — those are exactly the buffers the
+//! emission buffer's copy will be compared against by rules R3/R4/R5. Since
+//! `|N_p| ≤ Δ` and there are `Δ+1` colors, at least one color is always
+//! free (pigeonhole); we take the smallest.
+
+use crate::message::Color;
+use crate::state::NodeState;
+use ssmfp_kernel::View;
+use ssmfp_topology::NodeId;
+
+/// Evaluates `color_p(d)` at the viewing processor: the smallest color in
+/// `{0..Δ}` not carried by any message in a neighbour's `bufR(d)`.
+///
+/// `delta` is the network's maximal degree Δ (public knowledge).
+pub fn color(view: &View<'_, NodeState>, d: NodeId, delta: usize) -> Color {
+    debug_assert!(view.neighbors().len() <= delta);
+    // Bit set over the Δ+1 colors (Δ ≤ 63 is ample for simulations; fall
+    // back would only be needed for graphs with degree > 63).
+    assert!(delta < 64, "color bitset supports Δ < 64");
+    let mut used: u64 = 0;
+    for &q in view.neighbors() {
+        if let Some(m) = &view.state(q).slots[d].buf_r {
+            used |= 1 << m.color.0;
+        }
+    }
+    for c in 0..=delta as u8 {
+        if used & (1 << c) == 0 {
+            return Color(c);
+        }
+    }
+    unreachable!("pigeonhole: {} neighbours cannot exclude {} colors", view.neighbors().len(), delta + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{GhostId, Message};
+    use ssmfp_routing::{corruption, CorruptionKind};
+    use ssmfp_topology::gen;
+
+    fn msg(color: u8) -> Message {
+        Message {
+            payload: 0,
+            last_hop: 0,
+            color: Color(color),
+            ghost: GhostId::Invalid(0),
+        }
+    }
+
+    #[test]
+    fn empty_neighborhood_gives_zero() {
+        let g = gen::star(4);
+        let states: Vec<NodeState> = corruption::corrupt(&g, CorruptionKind::None, 0)
+            .into_iter()
+            .map(|r| NodeState::clean(4, r))
+            .collect();
+        let view = View::new(&g, &states, 0);
+        assert_eq!(color(&view, 2, g.max_degree()), Color(0));
+    }
+
+    #[test]
+    fn skips_colors_in_neighbor_reception_buffers() {
+        let g = gen::star(4); // hub 0, leaves 1..3, Δ = 3
+        let mut states: Vec<NodeState> = corruption::corrupt(&g, CorruptionKind::None, 0)
+            .into_iter()
+            .map(|r| NodeState::clean(4, r))
+            .collect();
+        states[1].slots[2].buf_r = Some(msg(0));
+        states[2].slots[2].buf_r = Some(msg(1));
+        let view = View::new(&g, &states, 0);
+        assert_eq!(color(&view, 2, 3), Color(2));
+    }
+
+    #[test]
+    fn pigeonhole_always_finds_a_color_at_full_degree() {
+        let g = gen::star(5); // hub degree 4 = Δ, colors {0..4}
+        let mut states: Vec<NodeState> = corruption::corrupt(&g, CorruptionKind::None, 0)
+            .into_iter()
+            .map(|r| NodeState::clean(5, r))
+            .collect();
+        // Every neighbour's reception buffer occupied with distinct colors.
+        for (i, leaf) in [1usize, 2, 3, 4].iter().enumerate() {
+            states[*leaf].slots[3].buf_r = Some(msg(i as u8));
+        }
+        let view = View::new(&g, &states, 0);
+        assert_eq!(color(&view, 3, 4), Color(4));
+    }
+
+    #[test]
+    fn only_reception_buffers_matter() {
+        let g = gen::line(3);
+        let mut states: Vec<NodeState> = corruption::corrupt(&g, CorruptionKind::None, 0)
+            .into_iter()
+            .map(|r| NodeState::clean(3, r))
+            .collect();
+        // A color in a neighbour's EMISSION buffer does not block it.
+        states[0].slots[2].buf_e = Some(msg(0));
+        let view = View::new(&g, &states, 1);
+        assert_eq!(color(&view, 2, g.max_degree()), Color(0));
+    }
+
+    #[test]
+    fn duplicate_neighbor_colors_counted_once() {
+        let g = gen::star(4);
+        let mut states: Vec<NodeState> = corruption::corrupt(&g, CorruptionKind::None, 0)
+            .into_iter()
+            .map(|r| NodeState::clean(4, r))
+            .collect();
+        states[1].slots[2].buf_r = Some(msg(0));
+        states[2].slots[2].buf_r = Some(msg(0));
+        states[3].slots[2].buf_r = Some(msg(0));
+        let view = View::new(&g, &states, 0);
+        assert_eq!(color(&view, 2, 3), Color(1));
+    }
+}

@@ -1,0 +1,366 @@
+//! The specification monitors: executable versions of `SP` and `SP'`.
+//!
+//! [`DeliveryLedger`] consumes the engine's event stream and maintains the
+//! ground truth the proofs reason about: which valid messages were
+//! generated, how often each physical message (ghost identity) was
+//! delivered, and how many *invalid* messages reached each destination.
+//! [`DeliveryLedger::check_sp`] then audits Specification `SP` —
+//!
+//! * no valid message delivered more than once (Lemma 5: no duplication),
+//! * no valid message lost: every generated message is delivered or still
+//!   in flight (Lemma 4: no deletion without delivery),
+//! * at most `2n` invalid messages delivered per destination
+//!   (Proposition 4).
+
+use crate::message::{GhostId, Payload};
+use crate::protocol::Event;
+use crate::state::NodeState;
+use ssmfp_kernel::engine::EventRecord;
+use ssmfp_topology::NodeId;
+use std::collections::HashMap;
+
+/// A violation of Specification `SP` (or of Proposition 4's bound).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpViolation {
+    /// A valid message was delivered more than once.
+    DuplicateDelivery {
+        /// The offending message.
+        ghost: GhostId,
+        /// How many times it was delivered.
+        count: u64,
+    },
+    /// A valid message was generated, never delivered, and no copy of it
+    /// remains in any buffer: it was lost.
+    Lost {
+        /// The lost message.
+        ghost: GhostId,
+    },
+    /// A valid message was delivered to a processor other than its
+    /// destination.
+    Misdelivered {
+        /// The message.
+        ghost: GhostId,
+        /// Where it should have gone.
+        expected: NodeId,
+        /// Where it arrived.
+        actual: NodeId,
+    },
+    /// More than `2n` invalid messages were delivered to one destination.
+    InvalidOverBound {
+        /// The destination.
+        dest: NodeId,
+        /// Invalid deliveries observed there.
+        count: u64,
+        /// The Proposition 4 bound `2n`.
+        bound: u64,
+    },
+}
+
+/// Record of one generated (valid) message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeneratedRecord {
+    /// The generating processor.
+    pub source: NodeId,
+    /// The destination.
+    pub dest: NodeId,
+    /// The payload.
+    pub payload: Payload,
+    /// Step stamp of the generation.
+    pub step: u64,
+    /// Round stamp of the generation.
+    pub round: u64,
+}
+
+/// Record of one delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveryRecord {
+    /// The delivering (destination) processor.
+    pub node: NodeId,
+    /// Step stamp.
+    pub step: u64,
+    /// Round stamp.
+    pub round: u64,
+}
+
+/// Ground-truth accounting of generations and deliveries.
+#[derive(Debug, Clone, Default)]
+pub struct DeliveryLedger {
+    generated: HashMap<GhostId, GeneratedRecord>,
+    deliveries: HashMap<GhostId, Vec<DeliveryRecord>>,
+    invalid_per_dest: HashMap<NodeId, u64>,
+    /// Counters of rule firings, for the move/overhead metrics.
+    pub forwards: u64,
+    /// R2 firings.
+    pub internal_moves: u64,
+    /// R4 firings.
+    pub erases_after_copy: u64,
+    /// R5 firings.
+    pub duplicate_erases: u64,
+}
+
+impl DeliveryLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs one stamped event.
+    pub fn record(&mut self, rec: &EventRecord<Event>) {
+        match rec.event {
+            Event::Generated {
+                ghost,
+                dest,
+                payload,
+            } => {
+                let prev = self.generated.insert(
+                    ghost,
+                    GeneratedRecord {
+                        source: rec.node,
+                        dest,
+                        payload,
+                        step: rec.step,
+                        round: rec.round,
+                    },
+                );
+                debug_assert!(prev.is_none(), "ghost {ghost:?} generated twice");
+            }
+            Event::Delivered { ghost, .. } => {
+                self.deliveries.entry(ghost).or_default().push(DeliveryRecord {
+                    node: rec.node,
+                    step: rec.step,
+                    round: rec.round,
+                });
+                if !ghost.is_valid() {
+                    *self.invalid_per_dest.entry(rec.node).or_insert(0) += 1;
+                }
+            }
+            Event::Forwarded { .. } => self.forwards += 1,
+            Event::InternalMove { .. } => self.internal_moves += 1,
+            Event::ErasedAfterCopy { .. } => self.erases_after_copy += 1,
+            Event::ErasedDuplicate { .. } => self.duplicate_erases += 1,
+        }
+    }
+
+    /// Absorbs a batch of stamped events.
+    pub fn absorb(&mut self, recs: &[EventRecord<Event>]) {
+        for r in recs {
+            self.record(r);
+        }
+    }
+
+    /// Number of deliveries of one physical message.
+    pub fn deliveries_of(&self, ghost: GhostId) -> u64 {
+        self.deliveries.get(&ghost).map_or(0, |v| v.len() as u64)
+    }
+
+    /// The delivery records of one message.
+    pub fn delivery_records(&self, ghost: GhostId) -> &[DeliveryRecord] {
+        self.deliveries.get(&ghost).map_or(&[], Vec::as_slice)
+    }
+
+    /// The generation record of a valid message, if it was generated.
+    pub fn generation_of(&self, ghost: GhostId) -> Option<&GeneratedRecord> {
+        self.generated.get(&ghost)
+    }
+
+    /// Total valid messages generated.
+    pub fn generated_count(&self) -> u64 {
+        self.generated.len() as u64
+    }
+
+    /// Total deliveries of valid messages.
+    pub fn valid_delivered_count(&self) -> u64 {
+        self.deliveries
+            .iter()
+            .filter(|(g, _)| g.is_valid())
+            .map(|(_, v)| v.len() as u64)
+            .sum()
+    }
+
+    /// Total deliveries of invalid messages.
+    pub fn invalid_delivered_count(&self) -> u64 {
+        self.invalid_per_dest.values().sum()
+    }
+
+    /// Invalid deliveries at one destination (Proposition 4's quantity).
+    pub fn invalid_delivered_at(&self, dest: NodeId) -> u64 {
+        self.invalid_per_dest.get(&dest).copied().unwrap_or(0)
+    }
+
+    /// Valid messages generated but not yet delivered.
+    pub fn outstanding(&self) -> Vec<GhostId> {
+        self.generated
+            .keys()
+            .filter(|g| self.deliveries_of(**g) == 0)
+            .copied()
+            .collect()
+    }
+
+    /// Audits Specification `SP` against the final configuration `states`
+    /// (needed to distinguish "still in flight" from "lost"). `n` is the
+    /// network size (for the `2n` bound).
+    pub fn check_sp(&self, states: &[NodeState], n: usize) -> Vec<SpViolation> {
+        let mut violations = Vec::new();
+        // Which ghosts still exist in some buffer?
+        let mut in_flight: std::collections::HashSet<GhostId> = std::collections::HashSet::new();
+        for s in states {
+            for slot in &s.slots {
+                for m in [&slot.buf_r, &slot.buf_e].into_iter().flatten() {
+                    in_flight.insert(m.ghost);
+                }
+            }
+            for o in &s.outbox {
+                in_flight.insert(o.ghost);
+            }
+        }
+        for (&ghost, gen_rec) in &self.generated {
+            let recs = self.delivery_records(ghost);
+            match recs.len() {
+                0 => {
+                    if !in_flight.contains(&ghost) {
+                        violations.push(SpViolation::Lost { ghost });
+                    }
+                }
+                1 => {
+                    if recs[0].node != gen_rec.dest {
+                        violations.push(SpViolation::Misdelivered {
+                            ghost,
+                            expected: gen_rec.dest,
+                            actual: recs[0].node,
+                        });
+                    }
+                }
+                k => violations.push(SpViolation::DuplicateDelivery {
+                    ghost,
+                    count: k as u64,
+                }),
+            }
+        }
+        for (&dest, &count) in &self.invalid_per_dest {
+            let bound = 2 * n as u64;
+            if count > bound {
+                violations.push(SpViolation::InvalidOverBound { dest, count, bound });
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(step: u64, node: NodeId, event: Event) -> EventRecord<Event> {
+        EventRecord {
+            step,
+            round: step,
+            node,
+            event,
+        }
+    }
+
+    #[test]
+    fn exactly_once_is_clean() {
+        let mut ledger = DeliveryLedger::new();
+        let g = GhostId::Valid(0);
+        ledger.record(&rec(0, 1, Event::Generated { ghost: g, dest: 3, payload: 7 }));
+        ledger.record(&rec(5, 3, Event::Delivered { ghost: g, payload: 7 }));
+        assert_eq!(ledger.deliveries_of(g), 1);
+        assert!(ledger.check_sp(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn duplicate_delivery_detected() {
+        let mut ledger = DeliveryLedger::new();
+        let g = GhostId::Valid(0);
+        ledger.record(&rec(0, 1, Event::Generated { ghost: g, dest: 3, payload: 7 }));
+        ledger.record(&rec(5, 3, Event::Delivered { ghost: g, payload: 7 }));
+        ledger.record(&rec(9, 3, Event::Delivered { ghost: g, payload: 7 }));
+        assert_eq!(
+            ledger.check_sp(&[], 4),
+            vec![SpViolation::DuplicateDelivery { ghost: g, count: 2 }]
+        );
+    }
+
+    #[test]
+    fn misdelivery_detected() {
+        let mut ledger = DeliveryLedger::new();
+        let g = GhostId::Valid(0);
+        ledger.record(&rec(0, 1, Event::Generated { ghost: g, dest: 3, payload: 7 }));
+        ledger.record(&rec(5, 2, Event::Delivered { ghost: g, payload: 7 }));
+        assert_eq!(
+            ledger.check_sp(&[], 4),
+            vec![SpViolation::Misdelivered { ghost: g, expected: 3, actual: 2 }]
+        );
+    }
+
+    #[test]
+    fn undelivered_but_in_flight_is_not_lost() {
+        use crate::message::{Color, Message};
+        use ssmfp_routing::{corruption, CorruptionKind};
+        use ssmfp_topology::gen;
+        let graph = gen::line(3);
+        let mut states: Vec<NodeState> = corruption::corrupt(&graph, CorruptionKind::None, 0)
+            .into_iter()
+            .map(|r| NodeState::clean(3, r))
+            .collect();
+        let g = GhostId::Valid(0);
+        let mut ledger = DeliveryLedger::new();
+        ledger.record(&rec(0, 0, Event::Generated { ghost: g, dest: 2, payload: 7 }));
+        // Not delivered, not in any buffer: lost.
+        assert_eq!(ledger.check_sp(&states, 3), vec![SpViolation::Lost { ghost: g }]);
+        // Put a copy in flight: no violation.
+        states[1].slots[2].buf_r = Some(Message {
+            payload: 7,
+            last_hop: 0,
+            color: Color(1),
+            ghost: g,
+        });
+        assert!(ledger.check_sp(&states, 3).is_empty());
+    }
+
+    #[test]
+    fn invalid_deliveries_counted_per_destination() {
+        let mut ledger = DeliveryLedger::new();
+        for k in 0..5 {
+            ledger.record(&rec(k, 2, Event::Delivered {
+                ghost: GhostId::Invalid(k),
+                payload: 0,
+            }));
+        }
+        assert_eq!(ledger.invalid_delivered_at(2), 5);
+        assert_eq!(ledger.invalid_delivered_at(1), 0);
+        // Bound 2n with n = 2 → bound 4 → violated.
+        assert_eq!(
+            ledger.check_sp(&[], 2),
+            vec![SpViolation::InvalidOverBound { dest: 2, count: 5, bound: 4 }]
+        );
+        // With n = 3 → bound 6 → fine.
+        assert!(ledger.check_sp(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut ledger = DeliveryLedger::new();
+        let g = GhostId::Valid(0);
+        ledger.record(&rec(0, 0, Event::Forwarded { ghost: g }));
+        ledger.record(&rec(1, 0, Event::InternalMove { ghost: g }));
+        ledger.record(&rec(2, 0, Event::ErasedAfterCopy { ghost: g }));
+        ledger.record(&rec(3, 0, Event::ErasedDuplicate { ghost: g }));
+        assert_eq!(
+            (ledger.forwards, ledger.internal_moves, ledger.erases_after_copy, ledger.duplicate_erases),
+            (1, 1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn outstanding_lists_pending_messages() {
+        let mut ledger = DeliveryLedger::new();
+        let a = GhostId::Valid(0);
+        let b = GhostId::Valid(1);
+        ledger.record(&rec(0, 0, Event::Generated { ghost: a, dest: 1, payload: 0 }));
+        ledger.record(&rec(0, 0, Event::Generated { ghost: b, dest: 1, payload: 0 }));
+        ledger.record(&rec(3, 1, Event::Delivered { ghost: a, payload: 0 }));
+        assert_eq!(ledger.outstanding(), vec![b]);
+    }
+}

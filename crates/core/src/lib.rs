@@ -1,0 +1,57 @@
+//! `SSMFP` — the **S**nap-**S**tabilizing **M**essage **F**orwarding
+//! **P**rotocol of Cournier, Dubois & Villain (IPPS 2009), executable.
+//!
+//! The protocol solves the message forwarding problem under Specification
+//! `SP`: starting from **any** configuration — corrupted routing tables,
+//! garbage ("invalid") messages pre-loaded in buffers — any message can be
+//! generated in finite time, and every *valid* (generated) message is
+//! delivered to its destination **once and only once** in finite time.
+//!
+//! Module map (mirroring the paper's Algorithm 1):
+//!
+//! * [`message`] — the message triplet `(m, q, c)`: payload, last hop,
+//!   color in `{0..Δ}`; plus the *ghost identity* instrumentation that lets
+//!   the test harness distinguish physically distinct messages with equal
+//!   useful information (the proofs' "message ≠ useful information" device).
+//! * [`state`] — the per-processor shared variables: `bufR_p(d)`,
+//!   `bufE_p(d)`, `request_p`, the `choice_p(d)` fairness pointers, and the
+//!   higher-layer outbox behind `nextMessage_p`/`nextDestination_p`.
+//! * [`choice`] — the fair selection `choice_p(d)` (queue of length `Δ+1`).
+//! * [`color`] — `color_p(d)`: smallest color absent from all neighbours'
+//!   reception buffers (pigeonhole-guaranteed to exist).
+//! * [`rules`] — rules **R1–R6**, transcribed literally.
+//! * [`protocol`] — [`SsmfpProtocol`]: the per-destination instances
+//!   multiplexed at each processor and composed with the routing algorithm
+//!   `A` under the paper's priority rule.
+//! * [`caterpillar`] — Definition 3's caterpillar classifier (Figure 4).
+//! * [`ledger`] — the `SP`/`SP'` specification monitors: exactly-once
+//!   delivery of valid messages, invalid-delivery census (Proposition 4).
+//! * [`baseline`] — the fault-free Merlin–Schweitzer destination-based
+//!   forwarding protocol of \[21\] (one buffer per destination, source/flag
+//!   dedup), the paper's implicit comparison point.
+//! * [`api`] — [`Network`]: the user-facing facade (build, send, run,
+//!   observe deliveries).
+//! * [`replay`] — the scripted Figure 3 scenario.
+
+pub mod api;
+pub mod baseline;
+pub mod caterpillar;
+pub mod choice;
+pub mod color;
+pub mod ledger;
+pub mod message;
+pub mod protocol;
+pub mod replay;
+pub mod rules;
+pub mod state;
+pub mod trajectory;
+
+pub use api::{DaemonKind, Network, NetworkConfig};
+pub use caterpillar::{classify_buffers, CaterpillarCensus, CaterpillarType};
+pub use ledger::{DeliveryLedger, SpViolation};
+pub use message::{Color, GhostId, Message, Payload};
+pub use protocol::{Event, FwdAction, SsmfpAction, SsmfpProtocol};
+pub use rules::Rule;
+pub use choice::ChoiceStrategy;
+pub use state::{FwdSlot, NodeState};
+pub use trajectory::{Trajectory, TrajectoryLog, TrajectoryViolation};

@@ -1,0 +1,299 @@
+//! [`SsmfpProtocol`]: the per-destination SSMFP instances multiplexed at
+//! each processor, composed with the routing algorithm `A` under the
+//! paper's priority rule (*"a processor which has enabled actions for both
+//! algorithms always chooses the action of A"*).
+
+use crate::choice::ChoiceStrategy;
+use crate::message::{GhostId, Payload};
+use crate::rules::{enabled_rules_with, execute_rule_with, Rule};
+use crate::state::NodeState;
+use ssmfp_kernel::{Protocol, View};
+use ssmfp_routing::{RoutingAction, RoutingProtocol};
+use ssmfp_topology::NodeId;
+
+/// An SSMFP action: one rule of one destination instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FwdAction {
+    /// Which rule fires.
+    pub rule: Rule,
+    /// Which destination instance it belongs to.
+    pub dest: NodeId,
+}
+
+/// An action of the composed protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SsmfpAction {
+    /// A routing correction of `A` (always listed first: priority).
+    Routing(RoutingAction),
+    /// A forwarding rule of SSMFP.
+    Fwd(FwdAction),
+}
+
+/// Observable events emitted by SSMFP statements. The emitting processor is
+/// recorded by the engine's event stamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Rule R1 accepted a message from the higher layer.
+    Generated {
+        /// Identity of the new valid message.
+        ghost: GhostId,
+        /// Its destination.
+        dest: NodeId,
+        /// Its useful information.
+        payload: Payload,
+    },
+    /// Rule R6 delivered a message to the higher layer of the emitting
+    /// processor (which is its destination).
+    Delivered {
+        /// Identity of the delivered message.
+        ghost: GhostId,
+        /// Its useful information.
+        payload: Payload,
+    },
+    /// Rule R2 moved a message from `bufR` to `bufE` (re-colored).
+    InternalMove {
+        /// Identity of the moved message.
+        ghost: GhostId,
+    },
+    /// Rule R3 copied a message from a neighbour's `bufE` into `bufR`.
+    Forwarded {
+        /// Identity of the copied message.
+        ghost: GhostId,
+    },
+    /// Rule R4 erased the source copy after a successful forward.
+    ErasedAfterCopy {
+        /// Identity of the erased copy.
+        ghost: GhostId,
+    },
+    /// Rule R5 erased a duplicate copy created by a routing-table move.
+    ErasedDuplicate {
+        /// Identity of the erased copy.
+        ghost: GhostId,
+    },
+}
+
+/// The composed protocol: `A` (min+1 BFS routing) with priority over the
+/// SSMFP forwarding rules.
+#[derive(Debug, Clone)]
+pub struct SsmfpProtocol {
+    n: usize,
+    delta: usize,
+    routing: RoutingProtocol<NodeState>,
+    routing_priority: bool,
+    choice_strategy: ChoiceStrategy,
+    literal_r5: bool,
+}
+
+impl SsmfpProtocol {
+    /// Creates the composed protocol for a network of `n` processors with
+    /// maximal degree `delta`, with the paper's priority of `A` over SSMFP.
+    pub fn new(n: usize, delta: usize) -> Self {
+        SsmfpProtocol {
+            n,
+            delta,
+            routing: RoutingProtocol::new(n),
+            routing_priority: true,
+            choice_strategy: ChoiceStrategy::RotationQueue,
+            literal_r5: false,
+        }
+    }
+
+    /// Takes rule R5 *literally* from the paper (`q ∈ N_p ∪ {p}`), i.e.
+    /// without the documented deviation. Used only by the exhaustive
+    /// checker to reproduce the Lemma 4 counterexample.
+    pub fn with_literal_r5(mut self) -> Self {
+        self.literal_r5 = true;
+        self
+    }
+
+    /// Disables the priority of `A` (for ablation experiments only — the
+    /// paper's Proposition 2/3 proofs require the priority).
+    pub fn without_routing_priority(mut self) -> Self {
+        self.routing_priority = false;
+        self
+    }
+
+    /// Selects the `choice_p(d)` strategy (E13 ablation; the default is
+    /// the paper's rotation queue).
+    pub fn with_choice_strategy(mut self, strategy: ChoiceStrategy) -> Self {
+        self.choice_strategy = strategy;
+        self
+    }
+
+    /// The configured `choice_p(d)` strategy.
+    pub fn choice_strategy(&self) -> ChoiceStrategy {
+        self.choice_strategy
+    }
+
+    /// Number of processors/destinations.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The network's maximal degree Δ (the color budget is `Δ+1`).
+    pub fn delta(&self) -> usize {
+        self.delta
+    }
+}
+
+impl Protocol for SsmfpProtocol {
+    type State = NodeState;
+    type Action = SsmfpAction;
+    type Event = Event;
+
+    fn enabled_actions(&self, view: &View<'_, Self::State>, out: &mut Vec<Self::Action>) {
+        // Priority phase: actions of A.
+        let mut routing_actions = Vec::new();
+        self.routing.enabled_into(view, &mut routing_actions);
+        out.extend(routing_actions.into_iter().map(SsmfpAction::Routing));
+        if self.routing_priority && !out.is_empty() {
+            return;
+        }
+
+        // SSMFP phase: destinations visited from the processor's fairness
+        // cursor so a deterministic first-action daemon cannot starve high
+        // destination indices.
+        let start = view.me().dest_cursor % self.n;
+        let mut rules_buf = Vec::new();
+        for offset in 0..self.n {
+            let d = (start + offset) % self.n;
+            rules_buf.clear();
+            if self.literal_r5 {
+                crate::rules::enabled_rules_literal_r5(
+                    view,
+                    d,
+                    self.choice_strategy,
+                    &mut rules_buf,
+                );
+            } else {
+                enabled_rules_with(view, d, self.choice_strategy, &mut rules_buf);
+            }
+            out.extend(
+                rules_buf
+                    .iter()
+                    .map(|&rule| SsmfpAction::Fwd(FwdAction { rule, dest: d })),
+            );
+        }
+    }
+
+    fn execute(
+        &self,
+        view: &View<'_, Self::State>,
+        action: Self::Action,
+        events: &mut Vec<Self::Event>,
+    ) -> Self::State {
+        match action {
+            SsmfpAction::Routing(a) => self.routing.apply(view, a),
+            SsmfpAction::Fwd(FwdAction { rule, dest }) => {
+                let mut next =
+                    execute_rule_with(view, dest, rule, self.delta, self.choice_strategy, events);
+                next.dest_cursor = (dest + 1) % self.n;
+                next
+            }
+        }
+    }
+
+    fn describe(&self, action: Self::Action) -> String {
+        match action {
+            SsmfpAction::Routing(a) => format!("A:correct(d={})", a.dest),
+            SsmfpAction::Fwd(FwdAction { rule, dest }) => format!("{rule:?}(d={dest})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::Outgoing;
+    use ssmfp_routing::{corruption, CorruptionKind};
+    use ssmfp_topology::gen;
+
+    fn clean_states(g: &ssmfp_topology::Graph) -> Vec<NodeState> {
+        corruption::corrupt(g, CorruptionKind::None, 0)
+            .into_iter()
+            .map(|r| NodeState::clean(g.n(), r))
+            .collect()
+    }
+
+    #[test]
+    fn quiescent_network_has_no_enabled_actions() {
+        let g = gen::ring(5);
+        let states = clean_states(&g);
+        let proto = SsmfpProtocol::new(5, g.max_degree());
+        for p in 0..5 {
+            let mut out = Vec::new();
+            proto.enabled_actions(&View::new(&g, &states, p), &mut out);
+            assert!(out.is_empty(), "processor {p} should be idle: {out:?}");
+        }
+    }
+
+    #[test]
+    fn request_enables_generation() {
+        let g = gen::line(3);
+        let mut states = clean_states(&g);
+        states[0].outbox.push_back(Outgoing {
+            dest: 2,
+            payload: 11,
+            ghost: GhostId::Valid(0),
+        });
+        states[0].request = true;
+        let proto = SsmfpProtocol::new(3, g.max_degree());
+        let mut out = Vec::new();
+        proto.enabled_actions(&View::new(&g, &states, 0), &mut out);
+        assert_eq!(
+            out,
+            vec![SsmfpAction::Fwd(FwdAction {
+                rule: Rule::R1,
+                dest: 2
+            })]
+        );
+    }
+
+    #[test]
+    fn routing_priority_masks_forwarding() {
+        let g = gen::line(3);
+        let mut states = clean_states(&g);
+        states[0].outbox.push_back(Outgoing {
+            dest: 2,
+            payload: 11,
+            ghost: GhostId::Valid(0),
+        });
+        states[0].request = true;
+        // Corrupt processor 0's own routing entry: A becomes enabled there.
+        states[0].routing.dist[2] = 0;
+        let proto = SsmfpProtocol::new(3, g.max_degree());
+        let mut out = Vec::new();
+        proto.enabled_actions(&View::new(&g, &states, 0), &mut out);
+        assert!(
+            out.iter()
+                .all(|a| matches!(a, SsmfpAction::Routing(_))),
+            "A has priority: {out:?}"
+        );
+        assert!(!out.is_empty());
+
+        // Without priority, both appear, routing still listed first.
+        let proto = SsmfpProtocol::new(3, g.max_degree()).without_routing_priority();
+        let mut out = Vec::new();
+        proto.enabled_actions(&View::new(&g, &states, 0), &mut out);
+        assert!(matches!(out[0], SsmfpAction::Routing(_)));
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, SsmfpAction::Fwd(_))));
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        let proto = SsmfpProtocol::new(4, 2);
+        assert_eq!(
+            proto.describe(SsmfpAction::Fwd(FwdAction {
+                rule: Rule::R3,
+                dest: 1
+            })),
+            "R3(d=1)"
+        );
+        assert_eq!(
+            proto.describe(SsmfpAction::Routing(RoutingAction { dest: 2 })),
+            "A:correct(d=2)"
+        );
+    }
+}

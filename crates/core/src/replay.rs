@@ -1,0 +1,259 @@
+//! The **Figure 3** scenario: the paper's worked execution, reconstructed.
+//!
+//! Figure 3 runs SSMFP on a 4-node network (`a, b, c, d` with `Δ = 3`, so
+//! colors `{0,1,2,3}`) from a configuration where
+//!
+//! * the routing tables contain a **cycle between `a` and `c`** for
+//!   destination `b`,
+//! * an **invalid message** `m'` (color 0) sits in `bufR_b(b)`,
+//! * processor `c` then emits `m`, and later a second message whose
+//!   *useful information equals the invalid `m'`* — the exact situation the
+//!   colors exist to disambiguate.
+//!
+//! The paper walks 12 configurations; the daemon is abstract, so rather
+//! than pin one interleaving we reconstruct the initial configuration
+//! exactly and assert the *phenomena* the figure demonstrates:
+//!
+//! 1. forwarding proceeds while the routing cycle is alive (`m` travels
+//!    `c → a` under the corrupted tables),
+//! 2. the two distinct messages sharing `m'`'s payload coexist in flight
+//!    and are **not merged** (both delivered, exactly once each),
+//! 3. the invalid message is delivered at most once,
+//! 4. afterwards the network drains and `SP` holds.
+//!
+//! The routing corruption is crafted to be *locally consistent at `a`*
+//! (only `b` and `c` hold enabled corrections initially), so even with the
+//! paper's `A`-over-SSMFP priority the cycle genuinely persists for several
+//! rounds — our min+1 `A` counts distances up to the cap before the cycle
+//! breaks, mirroring the figure's delayed repair.
+
+use crate::api::{DaemonKind, Network, NetworkConfig};
+use crate::message::{Color, GhostId, Message};
+use crate::state::NodeState;
+use ssmfp_kernel::StepOutcome;
+use ssmfp_routing::{corruption, CorruptionKind};
+use ssmfp_topology::{gen, NodeId};
+
+/// Node names of the figure.
+pub const A: NodeId = 0;
+/// Destination of every message in the figure.
+pub const B: NodeId = 1;
+/// The emitting processor.
+pub const C: NodeId = 2;
+/// The fourth processor.
+pub const D: NodeId = 3;
+
+/// Payload of the invalid message `m'` (and of the later valid message
+/// with identical useful information).
+pub const M_PRIME_PAYLOAD: u64 = 100;
+/// Payload of the first valid message `m`.
+pub const M_PAYLOAD: u64 = 200;
+
+/// Outcome of a Figure 3 replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Figure3Report {
+    /// Deliveries of the valid message `m`.
+    pub m_deliveries: u64,
+    /// Deliveries of the valid message sharing `m'`'s payload.
+    pub m_prime_valid_deliveries: u64,
+    /// Deliveries of the *invalid* `m'` at `b`.
+    pub invalid_deliveries_at_b: u64,
+    /// Whether two distinct physical messages with `m'`'s payload were
+    /// observed in flight simultaneously (the merge hazard).
+    pub same_payload_coexisted: bool,
+    /// Whether `m` was observed in a buffer of `a` while `a`'s table still
+    /// pointed back at `c` (forwarding under the live routing cycle).
+    pub forwarded_under_cycle: bool,
+    /// Steps until quiescence.
+    pub steps: u64,
+    /// Rounds until quiescence.
+    pub rounds: u64,
+    /// `SP` violations at the end (must be empty).
+    pub violations: usize,
+}
+
+/// Builds the Figure 3 initial configuration and returns the network plus
+/// the ghost identities of the two valid messages (in emission order:
+/// `m` first, then the `m'`-payload message).
+///
+/// `routing_priority` selects whether `A` preempts SSMFP at each processor
+/// (the paper's composition). The figure's interleavings — forwarding while
+/// the tables are still wrong — presume `A` is *slow*; since our `A` repairs
+/// a node in one action, pass `false` to let the daemon emulate a slow `A`
+/// by delaying corrections, exactly as the abstract model allows.
+pub fn figure3_network_setup(
+    daemon: DaemonKind,
+    routing_priority: bool,
+) -> (Network, GhostId, GhostId) {
+    let graph = gen::figure3_network();
+    let n = graph.n();
+    let mut config = NetworkConfig::clean().with_daemon(daemon);
+    config.routing_priority = routing_priority;
+    let mut net = Network::new(graph.clone(), config);
+
+    // Start from correct tables, then corrupt destination B's entries to
+    // create the a ↔ c cycle with a count-to-infinity delay:
+    //   b: dist 4 (cap), parent b   — enabled correction (→ 0)
+    //   a: dist 2, parent c         — locally consistent, no correction yet
+    //   c: dist 1, parent a         — enabled correction (counts up first)
+    //   d: dist 3, parent a         — consistent
+    let mut states: Vec<NodeState> = corruption::corrupt(&graph, CorruptionKind::None, 0)
+        .into_iter()
+        .map(|r| NodeState::clean(n, r))
+        .collect();
+    states[B].routing.dist[B] = 4;
+    states[B].routing.parent[B] = B;
+    states[A].routing.dist[B] = 2;
+    states[A].routing.parent[B] = C;
+    states[C].routing.dist[B] = 1;
+    states[C].routing.parent[B] = A;
+    states[D].routing.dist[B] = 3;
+    states[D].routing.parent[B] = A;
+
+    // The invalid message m' (color 0) in bufR_b(b).
+    states[B].slots[B].buf_r = Some(Message {
+        payload: M_PRIME_PAYLOAD,
+        last_hop: D,
+        color: Color(0),
+        ghost: GhostId::Invalid(0),
+    });
+
+    net.reset_configuration(states);
+
+    // c emits m, then a second message with m''s useful information.
+    let m = net.send(C, B, M_PAYLOAD);
+    let m2 = net.send(C, B, M_PRIME_PAYLOAD);
+    (net, m, m2)
+}
+
+/// Runs the scenario to quiescence, monitoring the figure's phenomena.
+pub fn run_figure3(daemon: DaemonKind, routing_priority: bool, max_steps: u64) -> Figure3Report {
+    let (mut net, m, m2) = figure3_network_setup(daemon, routing_priority);
+    let mut same_payload_coexisted = false;
+    let mut forwarded_under_cycle = false;
+    let mut steps = 0;
+    while steps < max_steps {
+        match net.pump() {
+            StepOutcome::Terminal => break,
+            StepOutcome::Progress { .. } => {}
+        }
+        steps += 1;
+        let states = net.states();
+        // Merge hazard: two distinct ghosts with m''s payload in flight.
+        let mut ghosts = std::collections::HashSet::new();
+        for s in states {
+            for slot in &s.slots {
+                for msg in [&slot.buf_r, &slot.buf_e].into_iter().flatten() {
+                    if msg.payload == M_PRIME_PAYLOAD {
+                        ghosts.insert(msg.ghost);
+                    }
+                }
+            }
+        }
+        if ghosts.len() >= 2 {
+            same_payload_coexisted = true;
+        }
+        // Forwarding under the live cycle: m in a buffer of `a` while `a`
+        // still routes destination B back through `c`.
+        let a_state = &states[A];
+        let a_points_c = a_state.routing.parent[B] == C;
+        let m_at_a = a_state.slots[B]
+            .buf_r
+            .as_ref()
+            .map(|x| x.ghost == m)
+            .unwrap_or(false)
+            || a_state.slots[B]
+                .buf_e
+                .as_ref()
+                .map(|x| x.ghost == m)
+                .unwrap_or(false);
+        if a_points_c && m_at_a {
+            forwarded_under_cycle = true;
+        }
+    }
+    Figure3Report {
+        m_deliveries: net.deliveries_of(m),
+        m_prime_valid_deliveries: net.deliveries_of(m2),
+        invalid_deliveries_at_b: net.ledger().invalid_delivered_at(B),
+        same_payload_coexisted,
+        forwarded_under_cycle,
+        steps: net.steps(),
+        rounds: net.rounds(),
+        violations: net.check_sp().len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_phenomena_hold_round_robin() {
+        // Under the weakly fair daemon the repair of the tables is fast, so
+        // we assert the safety/liveness outcomes (the hazard flags need an
+        // unfair schedule to surface — next test).
+        let report = run_figure3(DaemonKind::RoundRobin, true, 200_000);
+        assert_eq!(report.m_deliveries, 1, "{report:?}");
+        assert_eq!(report.m_prime_valid_deliveries, 1, "{report:?}");
+        assert!(report.invalid_deliveries_at_b <= 1, "{report:?}");
+        assert_eq!(report.violations, 0, "{report:?}");
+    }
+
+    #[test]
+    fn figure3_hazards_surface_under_unfair_daemon() {
+        // Starve `b` and let the daemon delay routing corrections (slow-A
+        // emulation): the a ↔ c routing cycle persists, `m` is forwarded
+        // under the live cycle, and the valid message with `m'`'s payload
+        // coexists with the invalid `m'` — the configuration the colors
+        // disambiguate. An unfair daemon exempts the protocol from the
+        // liveness guarantees, so only the hazard flags and safety are
+        // asserted; the flags are probabilistic per seed, so we require
+        // them across a small seed sweep.
+        let mut cycle_seen = false;
+        let mut coexist_seen = false;
+        for seed in 0..10 {
+            let report = run_figure3(
+                DaemonKind::AdversarialRandomAction {
+                    seed,
+                    victims: vec![B],
+                },
+                false,
+                4_000,
+            );
+            cycle_seen |= report.forwarded_under_cycle;
+            coexist_seen |= report.same_payload_coexisted;
+            assert!(report.invalid_deliveries_at_b <= 1, "{report:?}");
+            // Safety half of SP holds whatever the schedule: nothing
+            // delivered twice, nothing misdelivered, nothing lost.
+            assert_eq!(report.violations, 0, "{report:?}");
+        }
+        assert!(cycle_seen, "no seed exhibited forwarding under the cycle");
+        assert!(coexist_seen, "no seed exhibited payload coexistence");
+    }
+
+    #[test]
+    fn figure3_phenomena_hold_random_daemons() {
+        for seed in 0..5 {
+            let report = run_figure3(DaemonKind::CentralRandom { seed }, true, 400_000);
+            assert_eq!(report.m_deliveries, 1, "seed {seed}: {report:?}");
+            assert_eq!(report.m_prime_valid_deliveries, 1, "seed {seed}: {report:?}");
+            assert!(report.invalid_deliveries_at_b <= 1, "seed {seed}: {report:?}");
+            assert_eq!(report.violations, 0, "seed {seed}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn figure3_network_matches_paper_parameters() {
+        let g = gen::figure3_network();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.max_degree(), 3, "Δ = 3 so colors {{0..3}}");
+    }
+
+    #[test]
+    fn initial_cycle_is_present() {
+        let (net, _, _) = figure3_network_setup(DaemonKind::RoundRobin, true);
+        let states = net.states();
+        assert_eq!(states[A].routing.parent[B], C);
+        assert_eq!(states[C].routing.parent[B], A);
+    }
+}

@@ -1,0 +1,340 @@
+//! Rules **R1–R6** of Algorithm 1, transcribed literally.
+//!
+//! Each rule is a pair *(guard, statement)* over the viewing processor `p`
+//! and one destination `d`. Guards are pure; statements build the
+//! processor's next state (the engine applies all of a step's writes
+//! together). Guard-level message comparisons use only the paper's triplet
+//! fields — never ghost identities.
+//!
+//! One documented deviation: the paper's rule R5 reads
+//! `bufR_p(d) = (m,q,c) ∧ bufE_q(d) = (m,q',c) ∧ nextHop_q(d) ≠ p` with
+//! `q ∈ N_p ∪ {p}`. We restrict R5 to `q ∈ N_p` (i.e. `q ≠ p`). With
+//! `q = p` the literal guard would erase a *freshly generated* message
+//! (always `(m, p, 0)` in `bufR_p(d)`) whenever the processor's own
+//! emission buffer still holds an earlier in-flight message with the same
+//! payload that happened to receive color 0 — `color_p(d)` only avoids the
+//! colors in *neighbours'* reception buffers. That would contradict
+//! Lemma 4 ("SSMFP does not delete a valid message without delivering
+//! it"), so the intended reading is clearly the duplication-after-
+//! forwarding case between distinct processors. See DESIGN.md §5.
+
+use crate::choice::{after_serve, choice_with, satisfies, Choice, ChoiceStrategy};
+use crate::color::color;
+use crate::message::Message;
+use crate::protocol::Event;
+use crate::state::NodeState;
+use ssmfp_kernel::View;
+use ssmfp_topology::NodeId;
+
+/// Which of the six guarded rules fired (per destination instance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Generation of a message from the higher layer into `bufR_p(d)`.
+    R1,
+    /// Internal forwarding `bufR_p(d) → bufE_p(d)` (with re-coloring).
+    R2,
+    /// Forwarding from a chosen neighbour's `bufE` into `bufR_p(d)`.
+    R3,
+    /// Erasure of `bufE_p(d)` after its copy reached `bufR_{nextHop}(d)`.
+    R4,
+    /// Erasure of a duplicate copy from `bufR_p(d)` after routing moved.
+    R5,
+    /// Consumption: delivery of `bufE_p(p)` to the higher layer.
+    R6,
+}
+
+impl Rule {
+    /// All rules, in the drain-before-generate evaluation order used by
+    /// [`enabled_rules`].
+    pub const EVAL_ORDER: [Rule; 6] = [Rule::R6, Rule::R4, Rule::R5, Rule::R2, Rule::R3, Rule::R1];
+}
+
+/// `nextHop_p(d)` as Algorithm 1 reads it: the routing-table parent.
+#[inline]
+fn next_hop_of(view: &View<'_, NodeState>, p: NodeId, d: NodeId) -> NodeId {
+    view.state(p).routing.parent[d]
+}
+
+/// Guard of rule R1 (generation) for destination `d`:
+/// `request_p ∧ nextDestination_p = d ∧ bufR_p(d) = ∅ ∧ choice_p(d) = p`.
+pub fn guard_r1(view: &View<'_, NodeState>, d: NodeId) -> bool {
+    guard_r1_with(view, d, ChoiceStrategy::RotationQueue)
+}
+
+/// [`guard_r1`] under a pluggable `choice_p(d)` strategy.
+pub fn guard_r1_with(view: &View<'_, NodeState>, d: NodeId, strategy: ChoiceStrategy) -> bool {
+    let me = view.me();
+    me.request
+        && me.outbox.front().map(|o| o.dest) == Some(d)
+        && me.slots[d].buf_r.is_none()
+        && choice_with(view, d, strategy).map(|c| c.who) == Some(view.me_id())
+}
+
+/// Guard of rule R2 (internal forwarding) for destination `d`:
+/// `bufE_p(d) = ∅ ∧ bufR_p(d) = (m,q,c) ∧ (q = p ∨ bufE_q(d) ≠ (m,·,c))`.
+pub fn guard_r2(view: &View<'_, NodeState>, d: NodeId) -> bool {
+    let me = view.me();
+    if me.slots[d].buf_e.is_some() {
+        return false;
+    }
+    let Some(m) = &me.slots[d].buf_r else {
+        return false;
+    };
+    let q = m.last_hop;
+    if q == view.me_id() {
+        return true;
+    }
+    // The message must exist *only* in bufR_p(d): its source copy in q's
+    // emission buffer must be gone (same payload and color, any last hop).
+    !view.state(q).slots[d]
+        .buf_e
+        .as_ref()
+        .is_some_and(|e| e.same_payload_color(m))
+}
+
+/// Guard of rule R3 (forwarding between processors) for destination `d`:
+/// `bufR_p(d) = ∅ ∧ choice_p(d) = s ∧ s ≠ p ∧ bufE_s(d) = (m,q,c)`.
+pub fn guard_r3(view: &View<'_, NodeState>, d: NodeId) -> bool {
+    guard_r3_with(view, d, ChoiceStrategy::RotationQueue)
+}
+
+/// [`guard_r3`] under a pluggable `choice_p(d)` strategy.
+pub fn guard_r3_with(view: &View<'_, NodeState>, d: NodeId, strategy: ChoiceStrategy) -> bool {
+    let me = view.me();
+    if me.slots[d].buf_r.is_some() {
+        return false;
+    }
+    match choice_with(view, d, strategy) {
+        Some(c) if c.who != view.me_id() => view.state(c.who).slots[d].buf_e.is_some(),
+        _ => false,
+    }
+}
+
+/// Guard of rule R4 (erasure after forwarding) for destination `d`:
+/// `bufE_p(d) = (m,q,c) ∧ p ≠ d ∧ bufR_{nextHop_p(d)}(d) = (m,p,c)
+///  ∧ ∀r ∈ N_p \ {nextHop_p(d)} : bufR_r(d) ≠ (m,p,c)`.
+pub fn guard_r4(view: &View<'_, NodeState>, d: NodeId) -> bool {
+    let p = view.me_id();
+    if p == d {
+        return false;
+    }
+    let me = view.me();
+    let Some(m) = &me.slots[d].buf_e else {
+        return false;
+    };
+    let nh = me.routing.parent[d];
+    if !view.neighbors().contains(&nh) {
+        // A corrupted table may not point at a neighbour; then no copy can
+        // be certified and the rule stays disabled (A will repair the
+        // table, unblocking it).
+        return false;
+    }
+    let at_next_hop = view.state(nh).slots[d]
+        .buf_r
+        .as_ref()
+        .is_some_and(|r| r.matches_triplet(m.payload, p, m.color));
+    if !at_next_hop {
+        return false;
+    }
+    view.neighbors().iter().all(|&r| {
+        r == nh
+            || !view.state(r).slots[d]
+                .buf_r
+                .as_ref()
+                .is_some_and(|x| x.matches_triplet(m.payload, p, m.color))
+    })
+}
+
+/// Guard of rule R5 (erasure after duplication) for destination `d`:
+/// `bufR_p(d) = (m,q,c) ∧ q ∈ N_p ∧ bufE_q(d) = (m,·,c) ∧ nextHop_q(d) ≠ p`
+/// (see the module docs for the `q ∈ N_p` restriction).
+pub fn guard_r5(view: &View<'_, NodeState>, d: NodeId) -> bool {
+    guard_r5_variant(view, d, false)
+}
+
+/// [`guard_r5`] with the `literal` switch: when true, the paper's guard is
+/// taken verbatim — `q ∈ N_p ∪ {p}` — including the `q = p` case our
+/// deviation excludes. The exhaustive checker in `ssmfp-check` uses this
+/// to produce a machine-checked counterexample (a lost valid message)
+/// justifying the deviation.
+pub fn guard_r5_variant(view: &View<'_, NodeState>, d: NodeId, literal: bool) -> bool {
+    let p = view.me_id();
+    let me = view.me();
+    let Some(m) = &me.slots[d].buf_r else {
+        return false;
+    };
+    let q = m.last_hop;
+    if q == p && !literal {
+        return false;
+    }
+    view.state(q).slots[d]
+        .buf_e
+        .as_ref()
+        .is_some_and(|e| e.same_payload_color(m))
+        && next_hop_of(view, q, d) != p
+}
+
+/// Guard of rule R6 (consumption): `bufE_p(p) = (m,q,c)` — only for the
+/// destination instance `d = p`.
+pub fn guard_r6(view: &View<'_, NodeState>, d: NodeId) -> bool {
+    d == view.me_id() && view.me().slots[d].buf_e.is_some()
+}
+
+/// Evaluates all six guards of destination instance `d` at the viewing
+/// processor, appending the enabled rules in [`Rule::EVAL_ORDER`].
+pub fn enabled_rules(view: &View<'_, NodeState>, d: NodeId, out: &mut Vec<Rule>) {
+    enabled_rules_with(view, d, ChoiceStrategy::RotationQueue, out);
+}
+
+/// [`enabled_rules`] under a pluggable `choice_p(d)` strategy.
+pub fn enabled_rules_with(
+    view: &View<'_, NodeState>,
+    d: NodeId,
+    strategy: ChoiceStrategy,
+    out: &mut Vec<Rule>,
+) {
+    for rule in Rule::EVAL_ORDER {
+        let enabled = match rule {
+            Rule::R1 => guard_r1_with(view, d, strategy),
+            Rule::R2 => guard_r2(view, d),
+            Rule::R3 => guard_r3_with(view, d, strategy),
+            Rule::R4 => guard_r4(view, d),
+            Rule::R5 => guard_r5(view, d),
+            Rule::R6 => guard_r6(view, d),
+        };
+        if enabled {
+            out.push(rule);
+        }
+    }
+}
+
+/// As [`enabled_rules_with`], but with the literal-R5 switch (see
+/// [`guard_r5_variant`]).
+pub fn enabled_rules_literal_r5(
+    view: &View<'_, NodeState>,
+    d: NodeId,
+    strategy: ChoiceStrategy,
+    out: &mut Vec<Rule>,
+) {
+    for rule in Rule::EVAL_ORDER {
+        let enabled = match rule {
+            Rule::R1 => guard_r1_with(view, d, strategy),
+            Rule::R2 => guard_r2(view, d),
+            Rule::R3 => guard_r3_with(view, d, strategy),
+            Rule::R4 => guard_r4(view, d),
+            Rule::R5 => guard_r5_variant(view, d, true),
+            Rule::R6 => guard_r6(view, d),
+        };
+        if enabled {
+            out.push(rule);
+        }
+    }
+}
+
+/// Executes `rule` for destination `d`, returning the processor's next
+/// state and appending observable events. Must only be called when the
+/// corresponding guard holds in `view` (debug-asserted).
+pub fn execute_rule(
+    view: &View<'_, NodeState>,
+    d: NodeId,
+    rule: Rule,
+    delta: usize,
+    events: &mut Vec<Event>,
+) -> NodeState {
+    execute_rule_with(view, d, rule, delta, ChoiceStrategy::RotationQueue, events)
+}
+
+/// [`execute_rule`] under a pluggable `choice_p(d)` strategy.
+pub fn execute_rule_with(
+    view: &View<'_, NodeState>,
+    d: NodeId,
+    rule: Rule,
+    delta: usize,
+    strategy: ChoiceStrategy,
+    events: &mut Vec<Event>,
+) -> NodeState {
+    let p = view.me_id();
+    // Positions currently satisfying the choice predicate (wait-counter
+    // bookkeeping for the LongestWaiting strategy).
+    let satisfying: Vec<usize> = if matches!(strategy, ChoiceStrategy::LongestWaiting)
+        && matches!(rule, Rule::R1 | Rule::R3)
+    {
+        (0..=view.neighbors().len())
+            .filter(|&pos| satisfies(view, d, pos))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let mut next = view.me().clone();
+    match rule {
+        Rule::R1 => {
+            debug_assert!(guard_r1_with(view, d, strategy));
+            let out = next.outbox.pop_front().expect("guard checked outbox");
+            next.slots[d].buf_r = Some(Message::generated(out.payload, p, out.ghost));
+            next.request = false;
+            // The generation was served through choice_p(d): apply the
+            // strategy's fairness bookkeeping (self position = deg).
+            let deg = view.neighbors().len();
+            after_serve(&mut next.slots[d], deg, deg, strategy, &satisfying);
+            events.push(Event::Generated {
+                ghost: out.ghost,
+                dest: d,
+                payload: out.payload,
+            });
+        }
+        Rule::R2 => {
+            debug_assert!(guard_r2(view, d));
+            let m = next.slots[d].buf_r.take().expect("guard checked bufR");
+            next.slots[d].buf_e = Some(Message {
+                payload: m.payload,
+                last_hop: p,
+                color: color(view, d, delta),
+                ghost: m.ghost,
+            });
+            events.push(Event::InternalMove { ghost: m.ghost });
+        }
+        Rule::R3 => {
+            debug_assert!(guard_r3_with(view, d, strategy));
+            let c: Choice = choice_with(view, d, strategy).expect("guard checked choice");
+            let src = view.state(c.who).slots[d]
+                .buf_e
+                .as_ref()
+                .expect("guard checked source bufE");
+            next.slots[d].buf_r = Some(Message {
+                payload: src.payload,
+                last_hop: c.who,
+                color: src.color,
+                ghost: src.ghost,
+            });
+            after_serve(
+                &mut next.slots[d],
+                c.position,
+                view.neighbors().len(),
+                strategy,
+                &satisfying,
+            );
+            events.push(Event::Forwarded { ghost: src.ghost });
+        }
+        Rule::R4 => {
+            debug_assert!(guard_r4(view, d));
+            let m = next.slots[d].buf_e.take().expect("guard checked bufE");
+            events.push(Event::ErasedAfterCopy { ghost: m.ghost });
+        }
+        Rule::R5 => {
+            // Literal-R5 ablation runs through the same statement: accept
+            // either guard variant (the deviation implies the literal one).
+            debug_assert!(guard_r5_variant(view, d, true));
+            let m = next.slots[d].buf_r.take().expect("guard checked bufR");
+            events.push(Event::ErasedDuplicate { ghost: m.ghost });
+        }
+        Rule::R6 => {
+            debug_assert!(guard_r6(view, d));
+            let m = next.slots[d].buf_e.take().expect("guard checked bufE");
+            events.push(Event::Delivered {
+                ghost: m.ghost,
+                payload: m.payload,
+            });
+        }
+    }
+    next
+}

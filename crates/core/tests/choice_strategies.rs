@@ -1,0 +1,160 @@
+//! Tests for the pluggable `choice_p(d)` strategies (the §4 future-work
+//! ablation): both fair strategies preserve SP end-to-end; the unfair
+//! greedy strategy starves the hub's own emission under sustained
+//! competing traffic — demonstrating that the fairness of `choice_p(d)`
+//! is load-bearing for SP's first property.
+
+use ssmfp_core::choice::{choice_with, Choice, ChoiceStrategy};
+use ssmfp_core::message::{Color, GhostId, Message};
+use ssmfp_core::state::{NodeState, Outgoing};
+use ssmfp_core::{DaemonKind, Network, NetworkConfig};
+use ssmfp_kernel::View;
+use ssmfp_routing::{corruption, CorruptionKind};
+use ssmfp_topology::gen;
+
+fn star_states(n: usize) -> (ssmfp_topology::Graph, Vec<NodeState>) {
+    let g = gen::star(n);
+    let states = corruption::corrupt(&g, CorruptionKind::None, 0)
+        .into_iter()
+        .map(|r| NodeState::clean(n, r))
+        .collect();
+    (g, states)
+}
+
+fn msg(payload: u64, last_hop: usize, color: u8) -> Message {
+    Message {
+        payload,
+        last_hop,
+        color: Color(color),
+        ghost: GhostId::Invalid(0),
+    }
+}
+
+#[test]
+fn greedy_always_picks_first_position() {
+    let (g, mut states) = star_states(5);
+    states[1].slots[4].buf_e = Some(msg(1, 1, 0));
+    states[3].slots[4].buf_e = Some(msg(3, 3, 0));
+    // Rotation pointer would favour 3; greedy ignores it.
+    states[0].slots[4].choice_ptr = 2;
+    let view = View::new(&g, &states, 0);
+    assert_eq!(
+        choice_with(&view, 4, ChoiceStrategy::GreedyFirst),
+        Some(Choice { who: 1, position: 0 })
+    );
+    assert_eq!(
+        choice_with(&view, 4, ChoiceStrategy::RotationQueue),
+        Some(Choice { who: 3, position: 2 })
+    );
+}
+
+#[test]
+fn longest_waiting_prefers_higher_wait() {
+    let (g, mut states) = star_states(5);
+    states[1].slots[4].buf_e = Some(msg(1, 1, 0));
+    states[3].slots[4].buf_e = Some(msg(3, 3, 0));
+    states[0].slots[4].waits = vec![0, 0, 5, 0, 0]; // position 2 = node 3
+    let view = View::new(&g, &states, 0);
+    assert_eq!(
+        choice_with(&view, 4, ChoiceStrategy::LongestWaiting),
+        Some(Choice { who: 3, position: 2 })
+    );
+}
+
+#[test]
+fn longest_waiting_ties_break_to_smallest_position() {
+    let (g, mut states) = star_states(5);
+    states[1].slots[4].buf_e = Some(msg(1, 1, 0));
+    states[3].slots[4].buf_e = Some(msg(3, 3, 0));
+    // No waits recorded: all zero, smallest position (node 1) wins.
+    let view = View::new(&g, &states, 0);
+    assert_eq!(
+        choice_with(&view, 4, ChoiceStrategy::LongestWaiting),
+        Some(Choice { who: 1, position: 0 })
+    );
+}
+
+#[test]
+fn self_candidate_visible_to_all_strategies() {
+    let (g, mut states) = star_states(4);
+    states[0].outbox.push_back(Outgoing {
+        dest: 2,
+        payload: 9,
+        ghost: GhostId::Valid(0),
+    });
+    states[0].request = true;
+    let view = View::new(&g, &states, 0);
+    for strategy in [
+        ChoiceStrategy::RotationQueue,
+        ChoiceStrategy::LongestWaiting,
+        ChoiceStrategy::GreedyFirst,
+    ] {
+        let c = choice_with(&view, 2, strategy).expect("self candidate");
+        assert_eq!(c.who, 0, "{strategy:?}");
+        assert_eq!(c.position, g.degree(0), "{strategy:?}");
+    }
+}
+
+/// Both fair strategies satisfy SP end-to-end from adversarial starts.
+#[test]
+fn fair_strategies_preserve_sp() {
+    for strategy in [ChoiceStrategy::RotationQueue, ChoiceStrategy::LongestWaiting] {
+        for seed in 0..4 {
+            let config = NetworkConfig::adversarial(seed).with_choice_strategy(strategy);
+            let mut net = Network::new(gen::ring(6), config);
+            let mut ghosts = Vec::new();
+            for s in 0..6 {
+                ghosts.push(net.send(s, (s + 2) % 6, s as u64 % 8));
+            }
+            assert!(
+                net.run_to_quiescence(20_000_000),
+                "{strategy:?} seed {seed}: must drain"
+            );
+            for g in &ghosts {
+                assert_eq!(net.deliveries_of(*g), 1, "{strategy:?} seed {seed}");
+            }
+            assert!(net.check_sp().is_empty(), "{strategy:?} seed {seed}");
+        }
+    }
+}
+
+/// The unfair greedy strategy lets sustained neighbour traffic starve the
+/// hub's own generation: the hub's first emission waits for the entire
+/// competing backlog, while fair strategies bound the wait by Δ services.
+#[test]
+fn greedy_starves_the_hub_under_sustained_traffic() {
+    let n = 5;
+    let backlog = 30; // messages per leaf, all routed through the hub
+    let measure = |strategy: ChoiceStrategy| -> u64 {
+        let config = NetworkConfig::clean()
+            .with_daemon(DaemonKind::RoundRobin)
+            .with_choice_strategy(strategy);
+        let mut net = Network::new(gen::star(n), config);
+        // Leaves 1..3 flood leaf 4 through the hub.
+        for leaf in 1..4 {
+            for i in 0..backlog {
+                net.send(leaf, 4, (leaf as u64 + i) % 8);
+            }
+        }
+        // Prime the pipelines so the hub faces sustained competition
+        // before it raises its own request.
+        for _ in 0..60 {
+            net.pump();
+        }
+        let send_round = net.rounds();
+        // The hub wants to emit one message of its own to leaf 4.
+        let hub_msg = net.send(0, 4, 7);
+        net.run_to_quiescence(10_000_000);
+        net.ledger()
+            .generation_of(hub_msg)
+            .expect("eventually generated (finite backlog)")
+            .round
+            - send_round
+    };
+    let fair = measure(ChoiceStrategy::RotationQueue);
+    let greedy = measure(ChoiceStrategy::GreedyFirst);
+    assert!(
+        greedy > 3 * fair,
+        "greedy should starve the hub: fair={fair}, greedy={greedy}"
+    );
+}

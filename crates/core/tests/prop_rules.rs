@@ -1,0 +1,254 @@
+//! Property tests over the rule guards: structural mutual-exclusion and
+//! soundness invariants evaluated on *randomized* local configurations
+//! (arbitrary buffer contents within the variable domains, arbitrary
+//! routing entries, arbitrary choice pointers).
+
+use proptest::prelude::*;
+use ssmfp_core::choice::choice;
+use ssmfp_core::message::{Color, GhostId, Message};
+use ssmfp_core::rules::{
+    enabled_rules, guard_r1, guard_r2, guard_r3, guard_r4, guard_r5, guard_r6, Rule,
+};
+use ssmfp_core::state::{NodeState, Outgoing};
+use ssmfp_kernel::View;
+use ssmfp_routing::{corruption, CorruptionKind};
+use ssmfp_topology::{gen, Graph};
+
+/// Randomizes the full forwarding state of every node within the domains.
+fn randomize(
+    graph: &Graph,
+    seed: u64,
+    fill: f64,
+    with_requests: bool,
+) -> Vec<NodeState> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let n = graph.n();
+    let delta = graph.max_degree() as u8;
+    corruption::corrupt(graph, CorruptionKind::RandomGarbage, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(p, routing)| {
+            let mut s = NodeState::clean(n, routing);
+            let neighbors = graph.neighbors(p);
+            for d in 0..n {
+                for is_e in [false, true] {
+                    if rng.gen_bool(fill) {
+                        let last_hop = if neighbors.is_empty() || rng.gen_bool(0.3) {
+                            p
+                        } else {
+                            neighbors[rng.gen_range(0..neighbors.len())]
+                        };
+                        let m = Message {
+                            payload: rng.gen_range(0..4),
+                            last_hop,
+                            color: Color(rng.gen_range(0..=delta)),
+                            ghost: GhostId::Invalid(rng.gen()),
+                        };
+                        if is_e {
+                            s.slots[d].buf_e = Some(m);
+                        } else {
+                            s.slots[d].buf_r = Some(m);
+                        }
+                    }
+                }
+                s.slots[d].choice_ptr = rng.gen_range(0..=neighbors.len());
+            }
+            if with_requests && rng.gen_bool(0.5) {
+                s.outbox.push_back(Outgoing {
+                    dest: rng.gen_range(0..n),
+                    payload: rng.gen_range(0..4),
+                    ghost: GhostId::Valid(p as u64),
+                });
+                s.request = true;
+            }
+            s
+        })
+        .collect()
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    prop_oneof![
+        (3usize..8).prop_map(gen::ring),
+        (2usize..8).prop_map(gen::line),
+        (3usize..8).prop_map(gen::star),
+        ((4usize..9), (0usize..5), any::<u64>())
+            .prop_map(|(n, e, s)| gen::random_connected(n, e, s)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// R1 and R3 are mutually exclusive in every configuration (they share
+    /// the empty-bufR precondition and the single-valued choice).
+    #[test]
+    fn r1_r3_exclusive_everywhere(graph in arb_graph(), seed in any::<u64>(), fill in 0.0f64..1.0) {
+        let states = randomize(&graph, seed, fill, true);
+        for p in 0..graph.n() {
+            let view = View::new(&graph, &states, p);
+            for d in 0..graph.n() {
+                prop_assert!(!(guard_r1(&view, d) && guard_r3(&view, d)),
+                    "p={p} d={d}");
+            }
+        }
+    }
+
+    /// R2 and R5 are mutually exclusive (the source copy is either gone or
+    /// alive, never both).
+    #[test]
+    fn r2_r5_exclusive_everywhere(graph in arb_graph(), seed in any::<u64>(), fill in 0.0f64..1.0) {
+        let states = randomize(&graph, seed, fill, false);
+        for p in 0..graph.n() {
+            let view = View::new(&graph, &states, p);
+            for d in 0..graph.n() {
+                prop_assert!(!(guard_r2(&view, d) && guard_r5(&view, d)),
+                    "p={p} d={d}");
+            }
+        }
+    }
+
+    /// R4 and R6 are mutually exclusive (R4 requires p ≠ d, R6 requires
+    /// p = d), and R6 only ever appears for the own-destination instance.
+    #[test]
+    fn r4_r6_partition_by_destination(graph in arb_graph(), seed in any::<u64>(), fill in 0.0f64..1.0) {
+        let states = randomize(&graph, seed, fill, false);
+        for p in 0..graph.n() {
+            let view = View::new(&graph, &states, p);
+            for d in 0..graph.n() {
+                prop_assert!(!(guard_r4(&view, d) && guard_r6(&view, d)));
+                if guard_r6(&view, d) {
+                    prop_assert_eq!(d, p);
+                }
+            }
+        }
+    }
+
+    /// Guards needing a message are never enabled on empty buffers, and
+    /// `enabled_rules` agrees with the individual guards.
+    #[test]
+    fn enumeration_matches_guards(graph in arb_graph(), seed in any::<u64>(), fill in 0.0f64..1.0) {
+        let states = randomize(&graph, seed, fill, true);
+        for p in 0..graph.n() {
+            let view = View::new(&graph, &states, p);
+            for d in 0..graph.n() {
+                let mut rules = Vec::new();
+                enabled_rules(&view, d, &mut rules);
+                for rule in [Rule::R1, Rule::R2, Rule::R3, Rule::R4, Rule::R5, Rule::R6] {
+                    let individually = match rule {
+                        Rule::R1 => guard_r1(&view, d),
+                        Rule::R2 => guard_r2(&view, d),
+                        Rule::R3 => guard_r3(&view, d),
+                        Rule::R4 => guard_r4(&view, d),
+                        Rule::R5 => guard_r5(&view, d),
+                        Rule::R6 => guard_r6(&view, d),
+                    };
+                    prop_assert_eq!(rules.contains(&rule), individually,
+                        "p={} d={} {:?}", p, d, rule);
+                }
+                // Buffer preconditions.
+                let slot = &states[p].slots[d];
+                if slot.buf_r.is_none() {
+                    prop_assert!(!rules.contains(&Rule::R2));
+                    prop_assert!(!rules.contains(&Rule::R5));
+                }
+                if slot.buf_e.is_none() {
+                    prop_assert!(!rules.contains(&Rule::R4));
+                    prop_assert!(!rules.contains(&Rule::R6));
+                }
+                if slot.buf_r.is_some() {
+                    prop_assert!(!rules.contains(&Rule::R1));
+                    prop_assert!(!rules.contains(&Rule::R3));
+                }
+            }
+        }
+    }
+
+    /// `choice_p(d)` always returns an element of `N_p ∪ {p}` whose
+    /// predicate holds, or `None` when no candidate satisfies it.
+    #[test]
+    fn choice_is_sound(graph in arb_graph(), seed in any::<u64>(), fill in 0.0f64..1.0) {
+        let states = randomize(&graph, seed, fill, true);
+        for p in 0..graph.n() {
+            let view = View::new(&graph, &states, p);
+            for d in 0..graph.n() {
+                if let Some(c) = choice(&view, d) {
+                    let in_space = c.who == p || graph.has_edge(p, c.who);
+                    prop_assert!(in_space, "choice outside N_p ∪ {{p}}");
+                    if c.who == p {
+                        prop_assert!(states[p].request);
+                        prop_assert_eq!(
+                            states[p].outbox.front().map(|o| o.dest), Some(d));
+                    } else {
+                        prop_assert!(states[c.who].slots[d].buf_e.is_some());
+                        prop_assert_eq!(states[c.who].routing.parent[d], p);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Executing any enabled rule never panics and only mutates the acting
+/// processor's state (write-locality of the model).
+#[test]
+fn execution_is_local_and_total() {
+    use ssmfp_core::rules::execute_rule;
+    let graph = gen::random_connected(7, 4, 9);
+    for seed in 0..30 {
+        let states = randomize(&graph, seed, 0.6, true);
+        for p in 0..graph.n() {
+            let view = View::new(&graph, &states, p);
+            for d in 0..graph.n() {
+                let mut rules = Vec::new();
+                enabled_rules(&view, d, &mut rules);
+                for rule in rules {
+                    let mut events = Vec::new();
+                    let next = execute_rule(&view, d, rule, graph.max_degree(), &mut events);
+                    // Only slot `d` / request / outbox may differ; routing
+                    // is untouched by forwarding rules.
+                    assert_eq!(next.routing, states[p].routing, "{rule:?} touched routing");
+                    for other in 0..graph.n() {
+                        if other != d {
+                            assert_eq!(
+                                next.slots[other], states[p].slots[other],
+                                "{rule:?} touched foreign slot {other}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Unique-choice determinism: equal configurations give equal choices.
+#[test]
+fn choice_is_deterministic() {
+    let graph = gen::star(6);
+    let states = randomize(&graph, 4, 0.7, true);
+    for p in 0..graph.n() {
+        let v1 = View::new(&graph, &states, p);
+        let v2 = View::new(&graph, &states, p);
+        for d in 0..graph.n() {
+            assert_eq!(choice(&v1, d), choice(&v2, d));
+        }
+    }
+}
+
+/// Helper sanity: randomize respects the variable domains.
+#[test]
+fn randomize_respects_domains() {
+    let graph = gen::random_connected(8, 5, 2);
+    let delta = graph.max_degree() as u8;
+    let states = randomize(&graph, 11, 0.8, true);
+    for (p, s) in states.iter().enumerate() {
+        for slot in &s.slots {
+            for m in [&slot.buf_r, &slot.buf_e].into_iter().flatten() {
+                assert!(m.color.0 <= delta);
+                assert!(m.last_hop == p || graph.has_edge(p, m.last_hop));
+            }
+            assert!(slot.choice_ptr <= graph.degree(p));
+        }
+    }
+}

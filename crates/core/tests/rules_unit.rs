@@ -1,0 +1,378 @@
+//! Guard-level unit tests for rules R1–R6: each guard's positive case and
+//! every one of its conjuncts' negative cases, plus the statements'
+//! effects, on hand-built configurations.
+
+use ssmfp_core::choice::choice;
+use ssmfp_core::message::{Color, GhostId, Message};
+use ssmfp_core::rules::{
+    enabled_rules, execute_rule, guard_r1, guard_r2, guard_r3, guard_r4, guard_r5, guard_r6, Rule,
+};
+use ssmfp_core::state::{NodeState, Outgoing};
+use ssmfp_kernel::View;
+use ssmfp_routing::{corruption, CorruptionKind};
+use ssmfp_topology::{gen, Graph, NodeId};
+
+/// A line 0—1—2—3 with correct tables and clean buffers.
+fn setup() -> (Graph, Vec<NodeState>) {
+    let g = gen::line(4);
+    let states = corruption::corrupt(&g, CorruptionKind::None, 0)
+        .into_iter()
+        .map(|r| NodeState::clean(4, r))
+        .collect();
+    (g, states)
+}
+
+fn msg(payload: u64, last_hop: NodeId, color: u8) -> Message {
+    Message {
+        payload,
+        last_hop,
+        color: Color(color),
+        ghost: GhostId::Invalid(0),
+    }
+}
+
+fn outgoing(dest: NodeId, payload: u64) -> Outgoing {
+    Outgoing {
+        dest,
+        payload,
+        ghost: GhostId::Valid(0),
+    }
+}
+
+// ---------------- R1: generation ----------------
+
+#[test]
+fn r1_fires_with_request_and_empty_buffer() {
+    let (g, mut states) = setup();
+    states[1].outbox.push_back(outgoing(3, 9));
+    states[1].request = true;
+    assert!(guard_r1(&View::new(&g, &states, 1), 3));
+}
+
+#[test]
+fn r1_requires_request_bit() {
+    let (g, mut states) = setup();
+    states[1].outbox.push_back(outgoing(3, 9));
+    // request stays false
+    assert!(!guard_r1(&View::new(&g, &states, 1), 3));
+}
+
+#[test]
+fn r1_requires_matching_destination() {
+    let (g, mut states) = setup();
+    states[1].outbox.push_back(outgoing(3, 9));
+    states[1].request = true;
+    assert!(!guard_r1(&View::new(&g, &states, 1), 2), "wrong destination");
+}
+
+#[test]
+fn r1_requires_empty_reception_buffer() {
+    let (g, mut states) = setup();
+    states[1].outbox.push_back(outgoing(3, 9));
+    states[1].request = true;
+    states[1].slots[3].buf_r = Some(msg(5, 1, 0));
+    assert!(!guard_r1(&View::new(&g, &states, 1), 3));
+}
+
+#[test]
+fn r1_requires_choice_to_select_self() {
+    let (g, mut states) = setup();
+    states[1].outbox.push_back(outgoing(3, 9));
+    states[1].request = true;
+    // A competing neighbour: node 0 has a message for 3 routed through 1,
+    // and the rotation pointer favours it (position 0 = neighbour 0).
+    states[0].slots[3].buf_e = Some(msg(7, 0, 1));
+    states[1].slots[3].choice_ptr = 0;
+    let view = View::new(&g, &states, 1);
+    assert_eq!(choice(&view, 3).unwrap().who, 0);
+    assert!(!guard_r1(&view, 3), "choice points at the neighbour");
+}
+
+#[test]
+fn r1_statement_creates_color0_message_and_clears_request() {
+    let (g, mut states) = setup();
+    states[1].outbox.push_back(outgoing(3, 9));
+    states[1].request = true;
+    let view = View::new(&g, &states, 1);
+    let mut events = Vec::new();
+    let next = execute_rule(&view, 3, Rule::R1, g.max_degree(), &mut events);
+    let m = next.slots[3].buf_r.expect("generated");
+    assert_eq!(m.payload, 9);
+    assert_eq!(m.last_hop, 1);
+    assert_eq!(m.color, Color(0));
+    assert!(m.ghost.is_valid());
+    assert!(!next.request);
+    assert!(next.outbox.is_empty());
+    assert_eq!(events.len(), 1);
+}
+
+// ---------------- R2: internal forwarding ----------------
+
+#[test]
+fn r2_fires_for_locally_generated_message() {
+    let (g, mut states) = setup();
+    states[1].slots[3].buf_r = Some(msg(9, 1, 0)); // q = p
+    assert!(guard_r2(&View::new(&g, &states, 1), 3));
+}
+
+#[test]
+fn r2_requires_empty_emission_buffer() {
+    let (g, mut states) = setup();
+    states[1].slots[3].buf_r = Some(msg(9, 1, 0));
+    states[1].slots[3].buf_e = Some(msg(4, 1, 1));
+    assert!(!guard_r2(&View::new(&g, &states, 1), 3));
+}
+
+#[test]
+fn r2_blocked_while_source_copy_alive() {
+    let (g, mut states) = setup();
+    // Message forwarded from 0, and 0's emission buffer still holds it.
+    states[1].slots[3].buf_r = Some(msg(9, 0, 2));
+    states[0].slots[3].buf_e = Some(msg(9, 0, 2));
+    assert!(
+        !guard_r2(&View::new(&g, &states, 1), 3),
+        "must wait for R4 at the source"
+    );
+    // Once the source erases, R2 unblocks.
+    states[0].slots[3].buf_e = None;
+    assert!(guard_r2(&View::new(&g, &states, 1), 3));
+}
+
+#[test]
+fn r2_source_match_is_payload_and_color_only() {
+    let (g, mut states) = setup();
+    states[1].slots[3].buf_r = Some(msg(9, 0, 2));
+    // Same payload, different color in 0's emission buffer: not the same
+    // message — R2 may proceed.
+    states[0].slots[3].buf_e = Some(msg(9, 0, 3));
+    assert!(guard_r2(&View::new(&g, &states, 1), 3));
+}
+
+#[test]
+fn r2_statement_recolors_and_sets_last_hop() {
+    let (g, mut states) = setup();
+    states[1].slots[3].buf_r = Some(msg(9, 1, 0));
+    // Neighbour 2's reception buffer holds color 0: color_1(3) must skip it.
+    states[2].slots[3].buf_r = Some(msg(4, 2, 0));
+    let view = View::new(&g, &states, 1);
+    let mut events = Vec::new();
+    let next = execute_rule(&view, 3, Rule::R2, g.max_degree(), &mut events);
+    assert!(next.slots[3].buf_r.is_none());
+    let e = next.slots[3].buf_e.expect("moved");
+    assert_eq!(e.payload, 9);
+    assert_eq!(e.last_hop, 1);
+    assert_eq!(e.color, Color(1), "color 0 occupied at a neighbour");
+}
+
+// ---------------- R3: forwarding between processors ----------------
+
+#[test]
+fn r3_fires_when_chosen_neighbor_has_message() {
+    let (g, mut states) = setup();
+    states[0].slots[3].buf_e = Some(msg(7, 0, 1)); // 0 routes to 3 via 1
+    assert!(guard_r3(&View::new(&g, &states, 1), 3));
+}
+
+#[test]
+fn r3_requires_empty_reception_buffer() {
+    let (g, mut states) = setup();
+    states[0].slots[3].buf_e = Some(msg(7, 0, 1));
+    states[1].slots[3].buf_r = Some(msg(2, 1, 0));
+    assert!(!guard_r3(&View::new(&g, &states, 1), 3));
+}
+
+#[test]
+fn r3_requires_senders_table_to_point_here() {
+    let (g, mut states) = setup();
+    states[0].slots[3].buf_e = Some(msg(7, 0, 1));
+    states[0].routing.parent[3] = 0; // corrupted: points at itself
+    assert!(!guard_r3(&View::new(&g, &states, 1), 3));
+}
+
+#[test]
+fn r3_statement_copies_with_new_last_hop_same_color() {
+    let (g, mut states) = setup();
+    states[0].slots[3].buf_e = Some(msg(7, 0, 1));
+    let view = View::new(&g, &states, 1);
+    let mut events = Vec::new();
+    let next = execute_rule(&view, 3, Rule::R3, g.max_degree(), &mut events);
+    let m = next.slots[3].buf_r.expect("copied");
+    assert_eq!(m.payload, 7);
+    assert_eq!(m.last_hop, 0, "last hop updated to the sender");
+    assert_eq!(m.color, Color(1), "color preserved across the hop");
+}
+
+#[test]
+fn r3_advances_the_choice_pointer() {
+    let (g, mut states) = setup();
+    states[0].slots[3].buf_e = Some(msg(7, 0, 1));
+    states[1].slots[3].choice_ptr = 0;
+    let view = View::new(&g, &states, 1);
+    let pos = choice(&view, 3).unwrap().position;
+    let next = execute_rule(&view, 3, Rule::R3, g.max_degree(), &mut Vec::new());
+    assert_eq!(next.slots[3].choice_ptr, (pos + 1) % (g.degree(1) + 1));
+}
+
+// ---------------- R4: erasure after forwarding ----------------
+
+#[test]
+fn r4_fires_when_exactly_one_copy_at_next_hop() {
+    let (g, mut states) = setup();
+    states[1].slots[3].buf_e = Some(msg(7, 0, 1));
+    states[2].slots[3].buf_r = Some(msg(7, 1, 1)); // copy, last hop = 1
+    assert!(guard_r4(&View::new(&g, &states, 1), 3));
+}
+
+#[test]
+fn r4_disabled_at_the_destination() {
+    let (g, mut states) = setup();
+    states[3].slots[3].buf_e = Some(msg(7, 2, 1));
+    assert!(!guard_r4(&View::new(&g, &states, 3), 3), "p = d uses R6");
+}
+
+#[test]
+fn r4_requires_exact_triplet_at_next_hop() {
+    let (g, mut states) = setup();
+    states[1].slots[3].buf_e = Some(msg(7, 0, 1));
+    // Copy with wrong color: no certified copy.
+    states[2].slots[3].buf_r = Some(msg(7, 1, 2));
+    assert!(!guard_r4(&View::new(&g, &states, 1), 3));
+    // Copy with wrong last hop.
+    states[2].slots[3].buf_r = Some(msg(7, 3, 1));
+    assert!(!guard_r4(&View::new(&g, &states, 1), 3));
+}
+
+#[test]
+fn r4_blocked_while_a_stale_copy_sits_elsewhere() {
+    let (g, mut states) = setup();
+    states[1].slots[3].buf_e = Some(msg(7, 1, 1));
+    states[2].slots[3].buf_r = Some(msg(7, 1, 1)); // copy at next hop
+    states[0].slots[3].buf_r = Some(msg(7, 1, 1)); // stale duplicate at 0
+    assert!(
+        !guard_r4(&View::new(&g, &states, 1), 3),
+        "the ∀-clause must see the duplicate"
+    );
+    // R5 at node 0 is what clears it.
+    assert!(guard_r5(&View::new(&g, &states, 0), 3));
+}
+
+// ---------------- R5: duplicate erasure ----------------
+
+#[test]
+fn r5_fires_when_source_rerouted() {
+    let (g, mut states) = setup();
+    // 1 holds a copy from 2, 2 still has the message, but 2's table no
+    // longer points at 1.
+    states[1].slots[3].buf_r = Some(msg(7, 2, 1));
+    states[2].slots[3].buf_e = Some(msg(7, 2, 1));
+    states[2].routing.parent[3] = 3; // rerouted straight to 3
+    assert!(guard_r5(&View::new(&g, &states, 1), 3));
+}
+
+#[test]
+fn r5_disabled_when_source_still_points_here() {
+    let (g, mut states) = setup();
+    states[1].slots[3].buf_r = Some(msg(7, 2, 1));
+    states[2].slots[3].buf_e = Some(msg(7, 2, 1));
+    states[2].routing.parent[3] = 1; // still the legitimate next hop
+    assert!(!guard_r5(&View::new(&g, &states, 1), 3));
+}
+
+#[test]
+fn r5_disabled_for_locally_generated_messages() {
+    // The documented deviation: q = p never triggers R5, protecting a
+    // fresh generation from a payload/color collision with an in-flight
+    // predecessor (Lemma 4).
+    let (g, mut states) = setup();
+    states[1].slots[3].buf_r = Some(msg(9, 1, 0)); // generated here
+    states[1].slots[3].buf_e = Some(msg(9, 1, 0)); // same payload+color!
+    assert!(!guard_r5(&View::new(&g, &states, 1), 3));
+}
+
+#[test]
+fn r5_match_ignores_source_last_hop() {
+    let (g, mut states) = setup();
+    states[1].slots[3].buf_r = Some(msg(7, 2, 1));
+    states[2].slots[3].buf_e = Some(msg(7, 3, 1)); // (m, q', c) pattern
+    states[2].routing.parent[3] = 3;
+    assert!(guard_r5(&View::new(&g, &states, 1), 3));
+}
+
+// ---------------- R6: consumption ----------------
+
+#[test]
+fn r6_fires_only_for_own_destination_instance() {
+    let (g, mut states) = setup();
+    states[3].slots[3].buf_e = Some(msg(7, 2, 1));
+    assert!(guard_r6(&View::new(&g, &states, 3), 3));
+    assert!(!guard_r6(&View::new(&g, &states, 3), 2));
+    // An occupied bufE for a FOREIGN destination is not consumable.
+    states[2].slots[3].buf_e = Some(msg(5, 2, 0));
+    assert!(!guard_r6(&View::new(&g, &states, 2), 3));
+}
+
+#[test]
+fn r6_statement_delivers_and_empties() {
+    let (g, mut states) = setup();
+    states[3].slots[3].buf_e = Some(msg(7, 2, 1));
+    let view = View::new(&g, &states, 3);
+    let mut events = Vec::new();
+    let next = execute_rule(&view, 3, Rule::R6, g.max_degree(), &mut events);
+    assert!(next.slots[3].buf_e.is_none());
+    assert_eq!(events.len(), 1);
+}
+
+// ---------------- mutual exclusion & enumeration ----------------
+
+#[test]
+fn r1_and_r3_are_mutually_exclusive() {
+    // Both need bufR empty and a choice; the choice is single-valued, so
+    // they can never be enabled together for the same (p, d).
+    let (g, mut states) = setup();
+    states[1].outbox.push_back(outgoing(3, 9));
+    states[1].request = true;
+    states[0].slots[3].buf_e = Some(msg(7, 0, 1));
+    for ptr in 0..=g.degree(1) {
+        states[1].slots[3].choice_ptr = ptr;
+        let view = View::new(&g, &states, 1);
+        assert!(
+            !(guard_r1(&view, 3) && guard_r3(&view, 3)),
+            "ptr {ptr}: R1 and R3 both enabled"
+        );
+        let mut rules = Vec::new();
+        enabled_rules(&view, 3, &mut rules);
+        assert_eq!(rules.len(), 1, "exactly one of R1/R3: {rules:?}");
+    }
+}
+
+#[test]
+fn r2_and_r5_are_mutually_exclusive() {
+    // R2 requires the source copy gone; R5 requires it alive.
+    let (g, mut states) = setup();
+    states[1].slots[3].buf_r = Some(msg(7, 2, 1));
+    for (src_copy, rerouted) in
+        [(true, true), (true, false), (false, true), (false, false)]
+    {
+        states[2].slots[3].buf_e = src_copy.then(|| msg(7, 2, 1));
+        states[2].routing.parent[3] = if rerouted { 3 } else { 1 };
+        let view = View::new(&g, &states, 1);
+        assert!(
+            !(guard_r2(&view, 3) && guard_r5(&view, 3)),
+            "src_copy={src_copy} rerouted={rerouted}"
+        );
+    }
+}
+
+#[test]
+fn enumeration_respects_eval_order() {
+    // R4 (erase) and R3 (pull) can be enabled together; drain-first order
+    // lists R4 before R3.
+    let (g, mut states) = setup();
+    states[1].slots[3].buf_e = Some(msg(7, 0, 1));
+    states[2].slots[3].buf_r = Some(msg(7, 1, 1)); // R4 at 1 enabled
+    states[0].slots[3].buf_e = Some(msg(4, 0, 2)); // R3 at 1 enabled too
+    let view = View::new(&g, &states, 1);
+    let mut rules = Vec::new();
+    enabled_rules(&view, 3, &mut rules);
+    assert_eq!(rules, vec![Rule::R4, Rule::R3]);
+}

@@ -1,0 +1,437 @@
+//! Daemons: the adversarial schedulers of §2.1.
+//!
+//! A daemon observes which processors are enabled and chooses, at each step,
+//! a non-empty subset to execute (and, for each chosen processor, which of
+//! its enabled actions runs). The paper's hierarchy is covered:
+//!
+//! * [`SynchronousDaemon`] — every enabled processor moves every step (the
+//!   strongest *distributed* daemon; trivially weakly fair).
+//! * [`RoundRobinDaemon`] — central (one processor per step), **weakly
+//!   fair**: a continuously enabled processor is eventually chosen. This is
+//!   the daemon the paper's proofs assume.
+//! * [`CentralRandomDaemon`] — central, uniformly random; strongly fair with
+//!   probability 1.
+//! * [`DistributedRandomDaemon`] — every enabled processor tosses a coin;
+//!   at least one always moves.
+//! * [`AdversarialDaemon`] — **unfair**: starves a configurable victim set,
+//!   scheduling a victim only when no one else is enabled (the weakest
+//!   scheduling assumption of §2.1). Used for stress experiments.
+//!
+//! Every stochastic daemon is seeded and fully deterministic given its seed.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use ssmfp_topology::NodeId;
+
+/// A daemon's choice for one step: pairs of (processor, index into that
+/// processor's enabled-action list as returned by the protocol, i.e. index 0
+/// is the protocol's highest-priority enabled action).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selection {
+    /// Chosen processors with the index of the action each executes.
+    pub choices: Vec<(NodeId, usize)>,
+}
+
+/// The daemon abstraction: phase (ii) of the atomic step.
+pub trait Daemon {
+    /// Chooses a non-empty subset of `enabled` (pairs of processor id and
+    /// its number of enabled actions, `≥ 1`). Implementations must return at
+    /// least one choice whenever `enabled` is non-empty, and action indices
+    /// must be in range.
+    fn select(&mut self, enabled: &[(NodeId, usize)]) -> Selection;
+
+    /// Name for traces and reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Executes every enabled processor each step, running each one's
+/// highest-priority enabled action.
+#[derive(Debug, Default, Clone)]
+pub struct SynchronousDaemon;
+
+impl Daemon for SynchronousDaemon {
+    fn select(&mut self, enabled: &[(NodeId, usize)]) -> Selection {
+        Selection {
+            choices: enabled.iter().map(|&(p, _)| (p, 0)).collect(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "synchronous"
+    }
+}
+
+/// Central weakly-fair daemon: cycles a pointer over processor identities and
+/// picks the first enabled processor at or after it. A continuously enabled
+/// processor is chosen after at most `n − 1` other selections.
+#[derive(Debug, Clone)]
+pub struct RoundRobinDaemon {
+    next: NodeId,
+}
+
+impl RoundRobinDaemon {
+    /// Starts the rotation at processor 0.
+    pub fn new() -> Self {
+        RoundRobinDaemon { next: 0 }
+    }
+}
+
+impl Default for RoundRobinDaemon {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Daemon for RoundRobinDaemon {
+    fn select(&mut self, enabled: &[(NodeId, usize)]) -> Selection {
+        assert!(!enabled.is_empty(), "daemon invoked with no enabled processor");
+        // `enabled` is sorted by processor id (engine invariant); find the
+        // first entry >= self.next, wrapping around.
+        let idx = enabled
+            .iter()
+            .position(|&(p, _)| p >= self.next)
+            .unwrap_or(0);
+        let (p, _) = enabled[idx];
+        self.next = p + 1;
+        Selection {
+            choices: vec![(p, 0)],
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin (weakly fair, central)"
+    }
+}
+
+/// Central daemon choosing one enabled processor uniformly at random, and
+/// optionally a uniformly random enabled action instead of the
+/// highest-priority one.
+#[derive(Debug, Clone)]
+pub struct CentralRandomDaemon {
+    rng: ChaCha8Rng,
+    random_action: bool,
+}
+
+impl CentralRandomDaemon {
+    /// Seeded daemon running highest-priority actions.
+    pub fn new(seed: u64) -> Self {
+        CentralRandomDaemon {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            random_action: false,
+        }
+    }
+
+    /// Also randomize which enabled action runs (exercises the full
+    /// nondeterminism of the model; only meaningful for protocols without an
+    /// internal priority requirement).
+    pub fn with_random_action(seed: u64) -> Self {
+        CentralRandomDaemon {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            random_action: true,
+        }
+    }
+}
+
+impl Daemon for CentralRandomDaemon {
+    fn select(&mut self, enabled: &[(NodeId, usize)]) -> Selection {
+        assert!(!enabled.is_empty(), "daemon invoked with no enabled processor");
+        let (p, k) = enabled[self.rng.gen_range(0..enabled.len())];
+        let a = if self.random_action {
+            self.rng.gen_range(0..k)
+        } else {
+            0
+        };
+        Selection {
+            choices: vec![(p, a)],
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "central random"
+    }
+}
+
+/// Distributed daemon: each enabled processor is selected with probability
+/// `p_move`; if the coin flips exclude everyone, one enabled processor is
+/// chosen uniformly (the model requires a non-empty selection).
+#[derive(Debug, Clone)]
+pub struct DistributedRandomDaemon {
+    rng: ChaCha8Rng,
+    p_move: f64,
+}
+
+impl DistributedRandomDaemon {
+    /// Seeded daemon with inclusion probability `p_move ∈ (0, 1]`.
+    pub fn new(seed: u64, p_move: f64) -> Self {
+        assert!(p_move > 0.0 && p_move <= 1.0, "p_move must be in (0, 1]");
+        DistributedRandomDaemon {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            p_move,
+        }
+    }
+}
+
+impl Daemon for DistributedRandomDaemon {
+    fn select(&mut self, enabled: &[(NodeId, usize)]) -> Selection {
+        assert!(!enabled.is_empty(), "daemon invoked with no enabled processor");
+        let mut choices: Vec<(NodeId, usize)> = enabled
+            .iter()
+            .filter(|_| self.rng.gen_bool(self.p_move))
+            .map(|&(p, _)| (p, 0))
+            .collect();
+        if choices.is_empty() {
+            let (p, _) = enabled[self.rng.gen_range(0..enabled.len())];
+            choices.push((p, 0));
+        }
+        Selection { choices }
+    }
+
+    fn name(&self) -> &'static str {
+        "distributed random"
+    }
+}
+
+/// Locally central daemon: selects a maximal set of enabled processors no
+/// two of which are neighbours (a greedy maximal independent set over the
+/// enabled processors, randomized). The classical intermediate between the
+/// central and fully distributed daemons: concurrent, but no two adjacent
+/// processors ever execute in the same step — useful for protocols whose
+/// proofs assume reads and writes of neighbours never race.
+#[derive(Debug, Clone)]
+pub struct LocallyCentralDaemon {
+    rng: ChaCha8Rng,
+    /// Adjacency oracle supplied at construction (the daemon must know the
+    /// topology to avoid selecting neighbours).
+    adjacency: Vec<Vec<NodeId>>,
+}
+
+impl LocallyCentralDaemon {
+    /// Creates the daemon from the network's adjacency lists.
+    pub fn new(seed: u64, adjacency: Vec<Vec<NodeId>>) -> Self {
+        LocallyCentralDaemon {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            adjacency,
+        }
+    }
+
+    /// Convenience constructor from a graph.
+    pub fn from_graph(seed: u64, graph: &ssmfp_topology::Graph) -> Self {
+        let adjacency = graph
+            .nodes()
+            .map(|p| graph.neighbors(p).to_vec())
+            .collect();
+        Self::new(seed, adjacency)
+    }
+}
+
+impl Daemon for LocallyCentralDaemon {
+    fn select(&mut self, enabled: &[(NodeId, usize)]) -> Selection {
+        assert!(!enabled.is_empty(), "daemon invoked with no enabled processor");
+        // Greedy MIS over the enabled set in a random order.
+        let mut order: Vec<usize> = (0..enabled.len()).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, self.rng.gen_range(0..=i));
+        }
+        let mut blocked = vec![false; self.adjacency.len()];
+        let mut choices = Vec::new();
+        for idx in order {
+            let (p, _) = enabled[idx];
+            if blocked[p] {
+                continue;
+            }
+            choices.push((p, 0));
+            for &q in &self.adjacency[p] {
+                blocked[q] = true;
+            }
+        }
+        debug_assert!(!choices.is_empty());
+        choices.sort_unstable();
+        Selection { choices }
+    }
+
+    fn name(&self) -> &'static str {
+        "locally central"
+    }
+}
+
+/// Unfair central daemon: never schedules a processor in `victims` while any
+/// other processor is enabled — the §2.1 *unfair* daemon, which "can forever
+/// prevent a processor to execute an action except if it is the only enabled
+/// processor". Among non-victims it chooses uniformly at random.
+#[derive(Debug, Clone)]
+pub struct AdversarialDaemon {
+    rng: ChaCha8Rng,
+    victims: Vec<NodeId>,
+    random_action: bool,
+}
+
+impl AdversarialDaemon {
+    /// Creates an unfair daemon starving `victims`.
+    pub fn new(seed: u64, victims: Vec<NodeId>) -> Self {
+        AdversarialDaemon {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            victims,
+            random_action: false,
+        }
+    }
+
+    /// As [`AdversarialDaemon::new`], but also picks a uniformly random
+    /// enabled action instead of the highest-priority one — the fully
+    /// nondeterministic adversary of the model.
+    pub fn with_random_action(seed: u64, victims: Vec<NodeId>) -> Self {
+        AdversarialDaemon {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            victims,
+            random_action: true,
+        }
+    }
+
+    /// The starved processor set.
+    pub fn victims(&self) -> &[NodeId] {
+        &self.victims
+    }
+}
+
+impl Daemon for AdversarialDaemon {
+    fn select(&mut self, enabled: &[(NodeId, usize)]) -> Selection {
+        assert!(!enabled.is_empty(), "daemon invoked with no enabled processor");
+        let non_victims: Vec<&(NodeId, usize)> = enabled
+            .iter()
+            .filter(|(p, _)| !self.victims.contains(p))
+            .collect();
+        let (p, k) = if non_victims.is_empty() {
+            enabled[self.rng.gen_range(0..enabled.len())]
+        } else {
+            *non_victims[self.rng.gen_range(0..non_victims.len())]
+        };
+        let a = if self.random_action {
+            self.rng.gen_range(0..k)
+        } else {
+            0
+        };
+        Selection {
+            choices: vec![(p, a)],
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "adversarial unfair"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synchronous_selects_everyone() {
+        let mut d = SynchronousDaemon;
+        let sel = d.select(&[(0, 1), (2, 3), (5, 2)]);
+        assert_eq!(sel.choices, vec![(0, 0), (2, 0), (5, 0)]);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut d = RoundRobinDaemon::new();
+        let enabled = [(1, 1), (3, 1), (4, 1)];
+        assert_eq!(d.select(&enabled).choices, vec![(1, 0)]);
+        assert_eq!(d.select(&enabled).choices, vec![(3, 0)]);
+        assert_eq!(d.select(&enabled).choices, vec![(4, 0)]);
+        assert_eq!(d.select(&enabled).choices, vec![(1, 0)]); // wraps
+    }
+
+    #[test]
+    fn round_robin_is_weakly_fair() {
+        // A continuously enabled processor must be selected within n picks.
+        let mut d = RoundRobinDaemon::new();
+        let enabled: Vec<(NodeId, usize)> = (0..10).map(|p| (p, 1)).collect();
+        let mut seen = vec![false; 10];
+        for _ in 0..10 {
+            let sel = d.select(&enabled);
+            seen[sel.choices[0].0] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn central_random_is_deterministic_per_seed() {
+        let enabled: Vec<(NodeId, usize)> = (0..50).map(|p| (p, 2)).collect();
+        let mut d1 = CentralRandomDaemon::new(9);
+        let mut d2 = CentralRandomDaemon::new(9);
+        for _ in 0..100 {
+            assert_eq!(d1.select(&enabled), d2.select(&enabled));
+        }
+    }
+
+    #[test]
+    fn central_random_picks_single_valid() {
+        let mut d = CentralRandomDaemon::with_random_action(3);
+        let enabled = [(7, 4)];
+        for _ in 0..50 {
+            let sel = d.select(&enabled);
+            assert_eq!(sel.choices.len(), 1);
+            let (p, a) = sel.choices[0];
+            assert_eq!(p, 7);
+            assert!(a < 4);
+        }
+    }
+
+    #[test]
+    fn distributed_random_never_empty() {
+        let mut d = DistributedRandomDaemon::new(1, 0.01);
+        let enabled: Vec<(NodeId, usize)> = (0..5).map(|p| (p, 1)).collect();
+        for _ in 0..200 {
+            assert!(!d.select(&enabled).choices.is_empty());
+        }
+    }
+
+    #[test]
+    fn locally_central_never_selects_neighbors() {
+        let g = ssmfp_topology::gen::ring(8);
+        let mut d = LocallyCentralDaemon::from_graph(3, &g);
+        let enabled: Vec<(NodeId, usize)> = (0..8).map(|p| (p, 1)).collect();
+        for _ in 0..100 {
+            let sel = d.select(&enabled);
+            assert!(!sel.choices.is_empty());
+            for &(p, _) in &sel.choices {
+                for &(q, _) in &sel.choices {
+                    assert!(p == q || !g.has_edge(p, q), "{p} and {q} are neighbours");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn locally_central_selection_is_maximal() {
+        // No enabled processor outside the selection could be added: each
+        // must have a selected neighbour.
+        let g = ssmfp_topology::gen::line(7);
+        let mut d = LocallyCentralDaemon::from_graph(9, &g);
+        let enabled: Vec<(NodeId, usize)> = (0..7).map(|p| (p, 1)).collect();
+        for _ in 0..50 {
+            let sel = d.select(&enabled);
+            let selected: Vec<NodeId> = sel.choices.iter().map(|&(p, _)| p).collect();
+            for p in 0..7 {
+                if !selected.contains(&p) {
+                    assert!(
+                        g.neighbors(p).iter().any(|q| selected.contains(q)),
+                        "{p} could have been added"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_starves_victims() {
+        let mut d = AdversarialDaemon::new(5, vec![0]);
+        let enabled = [(0, 1), (1, 1), (2, 1)];
+        for _ in 0..100 {
+            let sel = d.select(&enabled);
+            assert_ne!(sel.choices[0].0, 0, "victim must never run while others can");
+        }
+        // ... but when the victim is the only enabled processor it runs.
+        let only_victim = [(0, 1)];
+        assert_eq!(d.select(&only_victim).choices, vec![(0, 0)]);
+    }
+}

@@ -1,0 +1,526 @@
+//! The step/round engine: phase loop, composite-atomic writes, event
+//! collection, and the paper's round accounting.
+
+use crate::daemon::Daemon;
+use crate::protocol::{Protocol, View};
+use ssmfp_topology::{Graph, NodeId};
+
+/// Outcome of a single step attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// No processor is enabled: the configuration is terminal.
+    Terminal,
+    /// A step was executed by `moved` processors.
+    Progress {
+        /// Number of processors that executed an action in this step.
+        moved: usize,
+    },
+}
+
+/// A recorded step (only kept when tracing is enabled).
+#[derive(Debug, Clone)]
+pub struct StepRecord<A> {
+    /// Step index (0-based).
+    pub step: u64,
+    /// Round index at the time the step executed.
+    pub round: u64,
+    /// Which processors moved and which action each executed.
+    pub moves: Vec<(NodeId, A)>,
+}
+
+/// An observable protocol event with its time stamps.
+#[derive(Debug, Clone)]
+pub struct EventRecord<E> {
+    /// Step at which the event was emitted.
+    pub step: u64,
+    /// Round at which the event was emitted.
+    pub round: u64,
+    /// Emitting processor.
+    pub node: NodeId,
+    /// The event itself.
+    pub event: E,
+}
+
+/// Summary of a bounded run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// Steps executed during this call.
+    pub steps: u64,
+    /// Rounds *completed* during this call.
+    pub rounds: u64,
+    /// Whether the run ended in a terminal configuration.
+    pub terminal: bool,
+}
+
+/// Drives a [`Protocol`] over a [`Graph`] under a [`Daemon`], counting steps
+/// and rounds and collecting events.
+///
+/// ```
+/// use ssmfp_kernel::toys::{MaxProtocol, MaxState};
+/// use ssmfp_kernel::{Engine, SynchronousDaemon};
+/// use ssmfp_topology::gen;
+///
+/// let mut eng = Engine::new(
+///     gen::line(4),
+///     MaxProtocol,
+///     Box::new(SynchronousDaemon),
+///     vec![MaxState(7), MaxState(0), MaxState(0), MaxState(0)],
+/// );
+/// let stats = eng.run(100);
+/// assert!(stats.terminal);
+/// assert!(eng.states().iter().all(|s| s.0 == 7));
+/// assert_eq!(eng.rounds(), 3); // one synchronous round per wavefront hop
+/// ```
+///
+/// Round accounting follows §2.1 exactly: the first round of an execution is
+/// the minimal prefix in which every processor enabled in the initial
+/// configuration has either executed an action or been *neutralized*
+/// (enabled before a step, not enabled after it, without having executed in
+/// it). When that set empties, the round counter increments and the set is
+/// re-seeded with the currently enabled processors.
+pub struct Engine<P: Protocol> {
+    graph: Graph,
+    protocol: P,
+    daemon: Box<dyn Daemon>,
+    states: Vec<P::State>,
+    /// Enabled actions per processor in the *current* configuration, in the
+    /// protocol's priority order.
+    enabled: Vec<Vec<P::Action>>,
+    /// Processors still owed an action/neutralization in the current round.
+    pending: Vec<bool>,
+    pending_count: usize,
+    steps: u64,
+    rounds: u64,
+    events: Vec<EventRecord<P::Event>>,
+    trace: Option<Vec<StepRecord<P::Action>>>,
+    /// Scratch buffers reused across steps.
+    scratch_list: Vec<(NodeId, usize)>,
+    scratch_events: Vec<P::Event>,
+}
+
+impl<P: Protocol> Engine<P> {
+    /// Creates an engine from an initial configuration (one state per node).
+    pub fn new(graph: Graph, protocol: P, daemon: Box<dyn Daemon>, states: Vec<P::State>) -> Self {
+        assert_eq!(
+            states.len(),
+            graph.n(),
+            "configuration size must equal node count"
+        );
+        let n = graph.n();
+        let mut eng = Engine {
+            graph,
+            protocol,
+            daemon,
+            states,
+            enabled: vec![Vec::new(); n],
+            pending: vec![false; n],
+            pending_count: 0,
+            steps: 0,
+            rounds: 0,
+            events: Vec::new(),
+            trace: None,
+            scratch_list: Vec::new(),
+            scratch_events: Vec::new(),
+        };
+        for p in 0..n {
+            eng.recompute_enabled(p);
+        }
+        eng.seed_round();
+        eng
+    }
+
+    /// Enables step tracing (records every move; memory grows with steps).
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&[StepRecord<P::Action>]> {
+        self.trace.as_deref()
+    }
+
+    /// The network graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The protocol instance.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Current local state of `p`.
+    pub fn state(&self, p: NodeId) -> &P::State {
+        &self.states[p]
+    }
+
+    /// The full current configuration.
+    pub fn states(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// Steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Rounds *completed* so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Events emitted so far (with stamps).
+    pub fn events(&self) -> &[EventRecord<P::Event>] {
+        &self.events
+    }
+
+    /// Removes and returns all collected events.
+    pub fn drain_events(&mut self) -> Vec<EventRecord<P::Event>> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Whether no processor is enabled.
+    pub fn is_terminal(&self) -> bool {
+        self.enabled.iter().all(Vec::is_empty)
+    }
+
+    /// Identities of currently enabled processors (sorted).
+    pub fn enabled_processors(&self) -> Vec<NodeId> {
+        (0..self.graph.n())
+            .filter(|&p| !self.enabled[p].is_empty())
+            .collect()
+    }
+
+    /// The enabled actions of `p` in the current configuration, in priority
+    /// order.
+    pub fn enabled_actions_of(&self, p: NodeId) -> &[P::Action] {
+        &self.enabled[p]
+    }
+
+    /// Externally mutates the state of `p` (higher-layer interaction, fault
+    /// injection). Re-evaluates the guards of `p` and its neighbours.
+    /// A processor that becomes enabled mid-round was not enabled at the
+    /// round's start, so it does not join the round's pending set.
+    pub fn mutate_state(&mut self, p: NodeId, f: impl FnOnce(&mut P::State)) {
+        f(&mut self.states[p]);
+        self.refresh_after_write(p);
+    }
+
+    /// Replaces the entire configuration (fault injection: "the system may
+    /// start from any configuration"). Resets step/round accounting so the
+    /// new configuration is treated as an initial one.
+    pub fn reset_configuration(&mut self, states: Vec<P::State>) {
+        assert_eq!(states.len(), self.graph.n());
+        self.states = states;
+        self.steps = 0;
+        self.rounds = 0;
+        self.events.clear();
+        if let Some(t) = &mut self.trace {
+            t.clear();
+        }
+        for p in 0..self.graph.n() {
+            self.recompute_enabled(p);
+        }
+        self.seed_round();
+    }
+
+    fn recompute_enabled(&mut self, p: NodeId) {
+        let mut actions = std::mem::take(&mut self.enabled[p]);
+        actions.clear();
+        {
+            let view = View::new(&self.graph, &self.states, p);
+            self.protocol.enabled_actions(&view, &mut actions);
+        }
+        self.enabled[p] = actions;
+    }
+
+    fn refresh_after_write(&mut self, p: NodeId) {
+        self.recompute_enabled(p);
+        let neighbors: Vec<NodeId> = self.graph.neighbors(p).to_vec();
+        for q in neighbors {
+            self.recompute_enabled(q);
+        }
+    }
+
+    fn seed_round(&mut self) {
+        self.pending_count = 0;
+        for p in 0..self.graph.n() {
+            let en = !self.enabled[p].is_empty();
+            self.pending[p] = en;
+            if en {
+                self.pending_count += 1;
+            }
+        }
+    }
+
+    /// Executes one atomic step: guard evaluation is already cached, the
+    /// daemon selects, the chosen processors execute against the pre-step
+    /// configuration, and all writes land together.
+    pub fn step(&mut self) -> StepOutcome {
+        // Phase (i): guards are current in `self.enabled`.
+        self.scratch_list.clear();
+        for p in 0..self.graph.n() {
+            if !self.enabled[p].is_empty() {
+                self.scratch_list.push((p, self.enabled[p].len()));
+            }
+        }
+        if self.scratch_list.is_empty() {
+            return StepOutcome::Terminal;
+        }
+
+        // Phase (ii): the daemon chooses.
+        let selection = {
+            let list = std::mem::take(&mut self.scratch_list);
+            let sel = self.daemon.select(&list);
+            self.scratch_list = list;
+            sel
+        };
+        assert!(
+            !selection.choices.is_empty(),
+            "daemon '{}' returned an empty selection",
+            self.daemon.name()
+        );
+
+        // Phase (iii): all chosen processors execute against the PRE-step
+        // configuration; their writes are applied together afterwards.
+        let mut writes: Vec<(NodeId, P::State, P::Action)> =
+            Vec::with_capacity(selection.choices.len());
+        let mut chosen_seen = vec![false; self.graph.n()];
+        for &(p, action_idx) in &selection.choices {
+            assert!(
+                !chosen_seen[p],
+                "daemon '{}' selected processor {p} twice in one step",
+                self.daemon.name()
+            );
+            chosen_seen[p] = true;
+            let action = *self
+                .enabled[p]
+                .get(action_idx)
+                .unwrap_or_else(|| panic!("daemon chose out-of-range action {action_idx} at {p}"));
+            let view = View::new(&self.graph, &self.states, p);
+            self.scratch_events.clear();
+            let new_state = self
+                .protocol
+                .execute(&view, action, &mut self.scratch_events);
+            for ev in self.scratch_events.drain(..) {
+                self.events.push(EventRecord {
+                    step: self.steps,
+                    round: self.rounds,
+                    node: p,
+                    event: ev,
+                });
+            }
+            writes.push((p, new_state, action));
+        }
+
+        if let Some(trace) = &mut self.trace {
+            trace.push(StepRecord {
+                step: self.steps,
+                round: self.rounds,
+                moves: writes.iter().map(|(p, _, a)| (*p, *a)).collect(),
+            });
+        }
+
+        // Snapshot which processors were enabled before the writes (for
+        // neutralization detection).
+        let was_enabled: Vec<bool> = self.enabled.iter().map(|v| !v.is_empty()).collect();
+
+        // Apply the composite write.
+        let mut touched: Vec<NodeId> = Vec::new();
+        for (p, new_state, _) in writes.iter() {
+            self.states[*p] = new_state.clone();
+            touched.push(*p);
+        }
+        // Re-evaluate guards of written processors and their neighbourhoods.
+        let mut dirty = vec![false; self.graph.n()];
+        for &p in &touched {
+            dirty[p] = true;
+            for &q in self.graph.neighbors(p) {
+                dirty[q] = true;
+            }
+        }
+        for p in 0..self.graph.n() {
+            if dirty[p] {
+                self.recompute_enabled(p);
+            }
+        }
+
+        // Round accounting: executors leave the pending set; so do
+        // neutralized processors (enabled before, not after, did not move).
+        for &p in &touched {
+            if self.pending[p] {
+                self.pending[p] = false;
+                self.pending_count -= 1;
+            }
+        }
+        for p in 0..self.graph.n() {
+            if self.pending[p]
+                && was_enabled[p]
+                && self.enabled[p].is_empty()
+                && !chosen_seen[p]
+            {
+                self.pending[p] = false;
+                self.pending_count -= 1;
+            }
+        }
+
+        self.steps += 1;
+        if self.pending_count == 0 {
+            self.rounds += 1;
+            self.seed_round();
+        }
+
+        StepOutcome::Progress {
+            moved: touched.len(),
+        }
+    }
+
+    /// Runs until terminal or `max_steps`, returning run statistics.
+    pub fn run(&mut self, max_steps: u64) -> RunStats {
+        let start_steps = self.steps;
+        let start_rounds = self.rounds;
+        let mut terminal = false;
+        while self.steps - start_steps < max_steps {
+            match self.step() {
+                StepOutcome::Terminal => {
+                    terminal = true;
+                    break;
+                }
+                StepOutcome::Progress { .. } => {}
+            }
+        }
+        RunStats {
+            steps: self.steps - start_steps,
+            rounds: self.rounds - start_rounds,
+            terminal,
+        }
+    }
+
+    /// Runs until `stop` returns true, the configuration is terminal, or
+    /// `max_steps` elapse. `stop` is evaluated after every step.
+    pub fn run_until(&mut self, max_steps: u64, mut stop: impl FnMut(&Self) -> bool) -> RunStats {
+        let start_steps = self.steps;
+        let start_rounds = self.rounds;
+        let mut terminal = false;
+        while self.steps - start_steps < max_steps {
+            match self.step() {
+                StepOutcome::Terminal => {
+                    terminal = true;
+                    break;
+                }
+                StepOutcome::Progress { .. } => {
+                    if stop(self) {
+                        break;
+                    }
+                }
+            }
+        }
+        RunStats {
+            steps: self.steps - start_steps,
+            rounds: self.rounds - start_rounds,
+            terminal,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::{RoundRobinDaemon, SynchronousDaemon};
+    use crate::toys::{MaxProtocol, MaxState};
+    use ssmfp_topology::gen;
+
+    fn max_engine(n: usize, values: Vec<u64>, daemon: Box<dyn Daemon>) -> Engine<MaxProtocol> {
+        let g = gen::line(n);
+        let states = values.into_iter().map(MaxState).collect();
+        Engine::new(g, MaxProtocol, daemon, states)
+    }
+
+    #[test]
+    fn converges_to_terminal() {
+        let mut eng = max_engine(5, vec![3, 1, 4, 1, 5], Box::new(SynchronousDaemon));
+        let stats = eng.run(1_000);
+        assert!(stats.terminal);
+        assert!(eng.states().iter().all(|s| s.0 == 5));
+        assert!(eng.is_terminal());
+    }
+
+    #[test]
+    fn synchronous_rounds_equal_propagation_distance() {
+        // Max value at node 0 of a line: under the synchronous daemon the
+        // value reaches node n−1 in exactly n−1 steps, each step being one
+        // round (every enabled processor moves every step).
+        let n = 6;
+        let mut eng = max_engine(n, vec![9, 0, 0, 0, 0, 0], Box::new(SynchronousDaemon));
+        let stats = eng.run(1_000);
+        assert!(stats.terminal);
+        assert_eq!(eng.steps(), (n - 1) as u64);
+        // Completed rounds = n−1 (the final check that nothing is enabled
+        // does not start a new round).
+        assert_eq!(eng.rounds(), (n - 1) as u64);
+    }
+
+    #[test]
+    fn round_robin_counts_rounds() {
+        let mut eng = max_engine(4, vec![7, 0, 0, 0], Box::new(RoundRobinDaemon::new()));
+        let stats = eng.run(1_000);
+        assert!(stats.terminal);
+        // Rounds are bounded by steps, and at least the propagation distance.
+        assert!(eng.rounds() >= 3);
+        assert!(eng.rounds() <= eng.steps());
+        assert!(eng.states().iter().all(|s| s.0 == 7));
+    }
+
+    #[test]
+    fn terminal_step_reports_terminal() {
+        let mut eng = max_engine(3, vec![2, 2, 2], Box::new(SynchronousDaemon));
+        assert!(eng.is_terminal());
+        assert_eq!(eng.step(), StepOutcome::Terminal);
+        assert_eq!(eng.steps(), 0);
+    }
+
+    #[test]
+    fn mutate_state_reenables() {
+        let mut eng = max_engine(3, vec![1, 1, 1], Box::new(SynchronousDaemon));
+        assert!(eng.is_terminal());
+        eng.mutate_state(0, |s| s.0 = 8);
+        assert!(!eng.is_terminal());
+        let stats = eng.run(100);
+        assert!(stats.terminal);
+        assert!(eng.states().iter().all(|s| s.0 == 8));
+    }
+
+    #[test]
+    fn reset_configuration_restarts_accounting() {
+        let mut eng = max_engine(3, vec![1, 0, 0], Box::new(SynchronousDaemon));
+        eng.run(100);
+        assert!(eng.steps() > 0);
+        eng.reset_configuration(vec![MaxState(5), MaxState(0), MaxState(0)]);
+        assert_eq!(eng.steps(), 0);
+        assert_eq!(eng.rounds(), 0);
+        let stats = eng.run(100);
+        assert!(stats.terminal);
+        assert!(eng.states().iter().all(|s| s.0 == 5));
+    }
+
+    #[test]
+    fn trace_records_moves() {
+        let mut eng = max_engine(3, vec![4, 0, 0], Box::new(RoundRobinDaemon::new()));
+        eng.enable_trace();
+        eng.run(100);
+        let trace = eng.trace().unwrap();
+        assert!(!trace.is_empty());
+        assert!(trace.iter().all(|r| r.moves.len() == 1)); // central daemon
+    }
+
+    #[test]
+    fn run_until_stops_early() {
+        let mut eng = max_engine(10, (0..10).rev().map(|v| v as u64).collect(),
+            Box::new(RoundRobinDaemon::new()));
+        let stats = eng.run_until(10_000, |e| e.state(9).0 == 9);
+        assert!(!stats.terminal || eng.state(9).0 == 9);
+        assert_eq!(eng.state(9).0, 9);
+    }
+}

@@ -1,0 +1,42 @@
+//! Execution engine for the *locally shared memory* state model of §2.1.
+//!
+//! In this model a distributed protocol is a set of guarded actions
+//! `<label> :: <guard> → <statement>` per processor. A processor can read its
+//! own variables and its neighbours', and write only its own. An execution is
+//! a maximal sequence of *steps*; each atomic step has three phases:
+//!
+//! 1. every processor evaluates its guards,
+//! 2. a **daemon** chooses a non-empty subset of the enabled processors,
+//! 3. each chosen processor executes one of its enabled actions — all reads
+//!    happen against the pre-step configuration, all writes are applied
+//!    together (composite atomicity).
+//!
+//! The crate provides:
+//!
+//! * the [`Protocol`] trait ([`protocol`]) — how a protocol exposes its
+//!   guarded actions over a read-only neighbourhood [`View`],
+//! * [`Daemon`] implementations ([`daemon`]) covering the fairness spectrum
+//!   of §2.1: synchronous, weakly-fair central round-robin, uniformly random
+//!   central and distributed daemons, and adversarial *unfair* daemons,
+//! * the [`Engine`] ([`engine`]) which drives steps, applies the composite
+//!   write, collects protocol events, and — crucially for reproducing the
+//!   paper's complexity claims — counts **rounds** exactly as defined by
+//!   Dolev–Israeli–Moran as modified by Bui–Datta–Petit–Villain: a round is
+//!   the minimal execution prefix in which every processor enabled at its
+//!   start executes an action or is *neutralized*,
+//! * two toy protocols ([`toys`]) used to validate the engine itself.
+
+pub mod daemon;
+pub mod engine;
+pub mod protocol;
+pub mod toys;
+pub mod trace;
+
+pub use daemon::{
+    AdversarialDaemon, CentralRandomDaemon, Daemon, DistributedRandomDaemon, RoundRobinDaemon,
+    Selection, SynchronousDaemon,
+};
+pub use daemon::LocallyCentralDaemon;
+pub use engine::{Engine, StepOutcome, StepRecord};
+pub use trace::TraceStats;
+pub use protocol::{Enabled, Protocol, View};

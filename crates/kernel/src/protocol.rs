@@ -1,0 +1,140 @@
+//! The [`Protocol`] trait: a distributed algorithm as a set of guarded
+//! actions over per-processor states, read through a neighbourhood [`View`].
+
+use ssmfp_topology::{Graph, NodeId};
+use std::fmt::Debug;
+
+/// Read-only view of the pre-step configuration from processor `p`'s
+/// perspective: its own state and (per the shared-memory model) the states
+/// of its neighbours. The engine hands the same view to guard evaluation and
+/// statement execution within a step, so a statement always sees exactly the
+/// configuration its guard was evaluated in.
+pub struct View<'a, S> {
+    graph: &'a Graph,
+    states: &'a [S],
+    p: NodeId,
+}
+
+impl<'a, S> View<'a, S> {
+    /// Builds a view for processor `p` over the configuration `states`.
+    pub fn new(graph: &'a Graph, states: &'a [S], p: NodeId) -> Self {
+        View { graph, states, p }
+    }
+
+    /// The observing processor's identity.
+    #[inline]
+    pub fn me_id(&self) -> NodeId {
+        self.p
+    }
+
+    /// The observing processor's own state.
+    #[inline]
+    pub fn me(&self) -> &S {
+        &self.states[self.p]
+    }
+
+    /// State of `q`, which must be the observer itself or one of its
+    /// neighbours — the model forbids reading anyone else.
+    #[inline]
+    pub fn state(&self, q: NodeId) -> &S {
+        debug_assert!(
+            q == self.p || self.graph.has_edge(self.p, q),
+            "state model violation: {} read non-neighbour {}",
+            self.p,
+            q
+        );
+        &self.states[q]
+    }
+
+    /// The neighbour set `N_p` of the observer.
+    #[inline]
+    pub fn neighbors(&self) -> &'a [NodeId] {
+        self.graph.neighbors(self.p)
+    }
+
+    /// The underlying network graph (public knowledge: `n`, identities, `Δ`).
+    #[inline]
+    pub fn graph(&self) -> &'a Graph {
+        self.graph
+    }
+}
+
+/// An enabled action at a processor: an opaque protocol-defined identifier
+/// plus a human-readable label used in traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Enabled<A> {
+    /// Protocol-specific action identifier (e.g. which rule, which
+    /// destination instance).
+    pub action: A,
+}
+
+impl<A> Enabled<A> {
+    /// Wraps an action identifier.
+    pub fn new(action: A) -> Self {
+        Enabled { action }
+    }
+}
+
+/// A distributed protocol in the locally-shared-memory state model.
+///
+/// Implementations must keep `enabled_actions` a *pure* function of the view
+/// (guards may not mutate anything), and `execute` must only be called with
+/// an action that `enabled_actions` just returned for the same view — the
+/// engine guarantees this.
+pub trait Protocol {
+    /// Per-processor local state (the processor's shared variables).
+    type State: Clone + Debug;
+    /// Action identifier: which guarded rule (and rule parameters, such as a
+    /// destination instance) fired.
+    type Action: Copy + Eq + Debug;
+    /// Observable events emitted by statements (e.g. "message delivered"),
+    /// collected by the engine with step/round stamps.
+    type Event: Debug;
+
+    /// Evaluates all guards of `p` against `view`, returning the enabled
+    /// actions **in priority order** (the first entry is what a
+    /// priority-respecting daemon should run).
+    fn enabled_actions(&self, view: &View<'_, Self::State>, out: &mut Vec<Self::Action>);
+
+    /// Executes `action` at the viewing processor, returning its new state
+    /// and appending any observable events to `events`.
+    fn execute(
+        &self,
+        view: &View<'_, Self::State>,
+        action: Self::Action,
+        events: &mut Vec<Self::Event>,
+    ) -> Self::State;
+
+    /// Human-readable label for an action (for traces and debugging).
+    fn describe(&self, action: Self::Action) -> String {
+        format!("{action:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssmfp_topology::gen;
+
+    #[test]
+    fn view_reads_self_and_neighbors() {
+        let g = gen::line(3);
+        let states = vec![10, 20, 30];
+        let v = View::new(&g, &states, 1);
+        assert_eq!(v.me_id(), 1);
+        assert_eq!(*v.me(), 20);
+        assert_eq!(*v.state(0), 10);
+        assert_eq!(*v.state(2), 30);
+        assert_eq!(v.neighbors(), &[0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "state model violation")]
+    #[cfg(debug_assertions)]
+    fn view_rejects_non_neighbor_reads() {
+        let g = gen::line(3);
+        let states = vec![10, 20, 30];
+        let v = View::new(&g, &states, 0);
+        let _ = v.state(2); // 2 is not a neighbour of 0 on the line
+    }
+}

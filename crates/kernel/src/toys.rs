@@ -1,0 +1,226 @@
+//! Tiny reference protocols used to validate the engine semantics (and as
+//! documentation of how to implement [`Protocol`]).
+//!
+//! * [`MaxProtocol`] — silent max-propagation: every processor adopts the
+//!   maximum value among itself and its neighbours. Converges to a terminal
+//!   configuration in at most `D` synchronous rounds; self-stabilizing.
+//! * [`TokenRing`] — Dijkstra's first self-stabilizing K-state token ring
+//!   (1974), the protocol that founded the field the paper builds on. Used
+//!   to validate round accounting and daemon fairness against a protocol
+//!   that never terminates.
+
+use crate::protocol::{Protocol, View};
+use ssmfp_topology::NodeId;
+
+/// State of a [`MaxProtocol`] processor: one value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxState(pub u64);
+
+/// Action of [`MaxProtocol`]: adopt the neighbourhood maximum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdoptMax;
+
+/// Silent max-propagation protocol.
+#[derive(Debug, Clone, Default)]
+pub struct MaxProtocol;
+
+impl Protocol for MaxProtocol {
+    type State = MaxState;
+    type Action = AdoptMax;
+    type Event = ();
+
+    fn enabled_actions(&self, view: &View<'_, Self::State>, out: &mut Vec<Self::Action>) {
+        let my = view.me().0;
+        let max = view
+            .neighbors()
+            .iter()
+            .map(|&q| view.state(q).0)
+            .max()
+            .unwrap_or(my);
+        if max > my {
+            out.push(AdoptMax);
+        }
+    }
+
+    fn execute(
+        &self,
+        view: &View<'_, Self::State>,
+        _action: Self::Action,
+        _events: &mut Vec<Self::Event>,
+    ) -> Self::State {
+        let max = view
+            .neighbors()
+            .iter()
+            .map(|&q| view.state(q).0)
+            .max()
+            .expect("AdoptMax is only enabled with a strictly larger neighbour");
+        MaxState(max.max(view.me().0))
+    }
+}
+
+/// State of a [`TokenRing`] processor: a counter in `0..K`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingState(pub u32);
+
+/// Action of [`TokenRing`]: pass/absorb the token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassToken;
+
+/// Event emitted each time a processor holds (and passes) the token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenAt(pub NodeId);
+
+/// Dijkstra's K-state mutual exclusion protocol on a **directed** ring
+/// embedded in an undirected cycle: processor `p` reads its predecessor
+/// `(p − 1) mod n`. Processor 0 is the distinguished "bottom" machine.
+///
+/// Guards (with `K ≥ n` states, self-stabilizing):
+/// * `p = 0`: enabled iff `S_0 = S_{n−1}`; fires `S_0 := (S_0 + 1) mod K`.
+/// * `p ≠ 0`: enabled iff `S_p ≠ S_{p−1}`; fires `S_p := S_{p−1}`.
+#[derive(Debug, Clone)]
+pub struct TokenRing {
+    n: usize,
+    k: u32,
+}
+
+impl TokenRing {
+    /// Creates the protocol for a ring of `n ≥ 2` processors with `K ≥ n`.
+    pub fn new(n: usize, k: u32) -> Self {
+        assert!(n >= 2, "token ring needs n >= 2");
+        assert!(k as usize >= n, "Dijkstra's proof requires K >= n");
+        TokenRing { n, k }
+    }
+
+    fn predecessor(&self, p: NodeId) -> NodeId {
+        (p + self.n - 1) % self.n
+    }
+}
+
+impl Protocol for TokenRing {
+    type State = RingState;
+    type Action = PassToken;
+    type Event = TokenAt;
+
+    fn enabled_actions(&self, view: &View<'_, Self::State>, out: &mut Vec<Self::Action>) {
+        let p = view.me_id();
+        let pred = view.state(self.predecessor(p)).0;
+        let me = view.me().0;
+        let enabled = if p == 0 { me == pred } else { me != pred };
+        if enabled {
+            out.push(PassToken);
+        }
+    }
+
+    fn execute(
+        &self,
+        view: &View<'_, Self::State>,
+        _action: Self::Action,
+        events: &mut Vec<Self::Event>,
+    ) -> Self::State {
+        let p = view.me_id();
+        events.push(TokenAt(p));
+        let pred = view.state(self.predecessor(p)).0;
+        if p == 0 {
+            RingState((view.me().0 + 1) % self.k)
+        } else {
+            RingState(pred)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::{CentralRandomDaemon, RoundRobinDaemon};
+    use crate::engine::Engine;
+    use ssmfp_topology::gen;
+
+    fn ring_engine(states: Vec<u32>, seed: u64) -> Engine<TokenRing> {
+        let n = states.len();
+        let g = gen::ring(n.max(3));
+        let proto = TokenRing::new(n, n as u32 + 1);
+        Engine::new(
+            g,
+            proto,
+            Box::new(CentralRandomDaemon::new(seed)),
+            states.into_iter().map(RingState).collect(),
+        )
+    }
+
+    /// Counts processors holding a "privilege" (token) in a configuration.
+    fn tokens(states: &[RingState], k: u32) -> usize {
+        let n = states.len();
+        let _ = k;
+        (0..n)
+            .filter(|&p| {
+                let pred = states[(p + n - 1) % n].0;
+                if p == 0 {
+                    states[p].0 == pred
+                } else {
+                    states[p].0 != pred
+                }
+            })
+            .count()
+    }
+
+    #[test]
+    fn legitimate_configuration_has_one_token() {
+        let states: Vec<RingState> = vec![RingState(3); 5];
+        assert_eq!(tokens(&states, 6), 1); // only processor 0 is privileged
+    }
+
+    #[test]
+    fn stabilizes_to_single_token_from_arbitrary_state() {
+        // Arbitrary garbage initial configuration.
+        let mut eng = ring_engine(vec![4, 1, 3, 0, 2], 77);
+        assert!(tokens(eng.states(), 6) >= 1);
+        // Run long enough for Dijkstra's protocol to stabilize.
+        eng.run(10_000);
+        // After stabilization exactly one token circulates forever.
+        for _ in 0..200 {
+            assert_eq!(tokens(eng.states(), 6), 1);
+            eng.step();
+        }
+    }
+
+    #[test]
+    fn never_terminates() {
+        let mut eng = ring_engine(vec![0, 0, 0, 0], 5);
+        let stats = eng.run(5_000);
+        assert!(!stats.terminal);
+        assert_eq!(stats.steps, 5_000);
+    }
+
+    #[test]
+    fn token_events_visit_every_processor() {
+        let g = gen::ring(4);
+        let proto = TokenRing::new(4, 5);
+        let mut eng = Engine::new(
+            g,
+            proto,
+            Box::new(RoundRobinDaemon::new()),
+            vec![RingState(0); 4],
+        );
+        eng.run(500);
+        let mut visited = [false; 4];
+        for rec in eng.events() {
+            visited[rec.event.0] = true;
+        }
+        assert!(visited.iter().all(|&v| v), "token must visit all processors");
+    }
+
+    #[test]
+    fn rounds_advance_under_weakly_fair_daemon() {
+        let g = gen::ring(5);
+        let proto = TokenRing::new(5, 6);
+        let mut eng = Engine::new(
+            g,
+            proto,
+            Box::new(RoundRobinDaemon::new()),
+            vec![RingState(0); 5],
+        );
+        eng.run(1_000);
+        assert!(eng.rounds() > 0);
+        assert!(eng.rounds() <= eng.steps());
+    }
+}

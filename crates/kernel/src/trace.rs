@@ -1,0 +1,175 @@
+//! Trace analysis: post-hoc statistics over recorded executions.
+//!
+//! The engine's optional trace records every move `(step, round, processor,
+//! action)`. This module turns a trace into the aggregates the experiments
+//! report: per-processor activity, per-round move counts, concurrency
+//! profile, and daemon-fairness diagnostics (longest starvation gap).
+
+use crate::engine::StepRecord;
+
+/// Aggregated statistics of one recorded execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total steps recorded.
+    pub steps: u64,
+    /// Total individual moves (≥ steps; > under distributed daemons).
+    pub moves: u64,
+    /// Moves per processor.
+    pub moves_per_processor: Vec<u64>,
+    /// Maximum number of processors moving in a single step.
+    pub max_concurrency: usize,
+    /// For each processor, the longest run of steps between two of its
+    /// moves (∞-like `u64::MAX` if it never moved) — a fairness diagnostic.
+    pub longest_gap: Vec<u64>,
+}
+
+impl TraceStats {
+    /// Computes statistics over a trace for a network of `n` processors.
+    pub fn from_trace<A>(trace: &[StepRecord<A>], n: usize) -> Self {
+        let mut moves_per_processor = vec![0u64; n];
+        let mut last_move = vec![None::<u64>; n];
+        let mut longest_gap = vec![0u64; n];
+        let mut moves = 0u64;
+        let mut max_concurrency = 0usize;
+        for rec in trace {
+            max_concurrency = max_concurrency.max(rec.moves.len());
+            for &(p, _) in &rec.moves {
+                moves += 1;
+                moves_per_processor[p] += 1;
+                if let Some(prev) = last_move[p] {
+                    longest_gap[p] = longest_gap[p].max(rec.step - prev);
+                }
+                last_move[p] = Some(rec.step);
+            }
+        }
+        let steps = trace.len() as u64;
+        for p in 0..n {
+            if last_move[p].is_none() {
+                longest_gap[p] = u64::MAX;
+            } else if let Some(prev) = last_move[p] {
+                // Tail gap: from the last move to the end of the trace.
+                longest_gap[p] = longest_gap[p].max(steps.saturating_sub(prev + 1));
+            }
+        }
+        TraceStats {
+            steps,
+            moves,
+            moves_per_processor,
+            max_concurrency,
+            longest_gap,
+        }
+    }
+
+    /// Jain's fairness index over per-processor move counts (1.0 = all
+    /// processors moved equally; → 1/n as one processor dominates).
+    pub fn fairness_index(&self) -> f64 {
+        let n = self.moves_per_processor.len() as f64;
+        let sum: f64 = self.moves_per_processor.iter().map(|&x| x as f64).sum();
+        let sum_sq: f64 = self
+            .moves_per_processor
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum();
+        if sum_sq == 0.0 {
+            return 1.0;
+        }
+        sum * sum / (n * sum_sq)
+    }
+}
+
+/// Counts, for each distinct action value, how many times it fired.
+pub fn action_histogram<A: Copy + Eq + std::hash::Hash>(
+    trace: &[StepRecord<A>],
+) -> std::collections::HashMap<A, u64> {
+    let mut hist = std::collections::HashMap::new();
+    for rec in trace {
+        for &(_, a) in &rec.moves {
+            *hist.entry(a).or_insert(0) += 1;
+        }
+    }
+    hist
+}
+
+/// Moves per round (the granularity the paper's bounds are stated in).
+pub fn moves_per_round<A>(trace: &[StepRecord<A>]) -> Vec<u64> {
+    let mut per_round: Vec<u64> = Vec::new();
+    for rec in trace {
+        let r = rec.round as usize;
+        if per_round.len() <= r {
+            per_round.resize(r + 1, 0);
+        }
+        per_round[r] += rec.moves.len() as u64;
+    }
+    per_round
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use ssmfp_topology::NodeId;
+
+    fn rec(step: u64, round: u64, moves: Vec<(NodeId, u8)>) -> StepRecord<u8> {
+        StepRecord { step, round, moves }
+    }
+
+    #[test]
+    fn counts_moves_and_concurrency() {
+        let trace = vec![
+            rec(0, 0, vec![(0, 1), (2, 1)]),
+            rec(1, 0, vec![(1, 2)]),
+            rec(2, 1, vec![(0, 1)]),
+        ];
+        let s = TraceStats::from_trace(&trace, 3);
+        assert_eq!(s.steps, 3);
+        assert_eq!(s.moves, 4);
+        assert_eq!(s.moves_per_processor, vec![2, 1, 1]);
+        assert_eq!(s.max_concurrency, 2);
+    }
+
+    #[test]
+    fn gaps_track_starvation() {
+        let trace = vec![
+            rec(0, 0, vec![(0, 1)]),
+            rec(1, 0, vec![(0, 1)]),
+            rec(2, 0, vec![(0, 1)]),
+            rec(3, 0, vec![(1, 1)]),
+        ];
+        let s = TraceStats::from_trace(&trace, 3);
+        assert_eq!(s.longest_gap[0], 1); // tail gap: last move at step 2, trace len 4
+        assert_eq!(s.longest_gap[1], 0);
+        assert_eq!(s.longest_gap[2], u64::MAX); // never moved
+    }
+
+    #[test]
+    fn fairness_index_extremes() {
+        let balanced = TraceStats {
+            steps: 4,
+            moves: 4,
+            moves_per_processor: vec![1, 1, 1, 1],
+            max_concurrency: 1,
+            longest_gap: vec![0; 4],
+        };
+        assert!((balanced.fairness_index() - 1.0).abs() < 1e-9);
+        let skewed = TraceStats {
+            steps: 4,
+            moves: 4,
+            moves_per_processor: vec![4, 0, 0, 0],
+            max_concurrency: 1,
+            longest_gap: vec![0; 4],
+        };
+        assert!((skewed.fairness_index() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_and_rounds() {
+        let trace = vec![
+            rec(0, 0, vec![(0, 7), (1, 7)]),
+            rec(1, 1, vec![(2, 9)]),
+        ];
+        let h = action_histogram(&trace);
+        assert_eq!(h[&7], 2);
+        assert_eq!(h[&9], 1);
+        assert_eq!(moves_per_round(&trace), vec![2, 1]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Tests for the *neutralization* clause of the §2.1 round definition: a
+//! processor enabled at a round's start that becomes disabled by someone
+//! else's move — without executing — is discharged from the round exactly
+//! like one that acted.
+
+use ssmfp_kernel::{CentralRandomDaemon, Engine, Protocol, RoundRobinDaemon, View};
+use ssmfp_topology::gen;
+
+/// A rendezvous toy: a processor is enabled iff both it and some neighbour
+/// `want`; acting clears its own `want`. When two neighbours both want,
+/// either's move *neutralizes* the other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Want(bool);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Withdraw;
+
+struct Rendezvous;
+
+impl Protocol for Rendezvous {
+    type State = Want;
+    type Action = Withdraw;
+    type Event = ();
+
+    fn enabled_actions(&self, view: &View<'_, Want>, out: &mut Vec<Withdraw>) {
+        if view.me().0 && view.neighbors().iter().any(|&q| view.state(q).0) {
+            out.push(Withdraw);
+        }
+    }
+
+    fn execute(
+        &self,
+        _view: &View<'_, Want>,
+        _action: Withdraw,
+        _events: &mut Vec<()>,
+    ) -> Want {
+        Want(false)
+    }
+}
+
+#[test]
+fn neutralized_processor_completes_the_round() {
+    // Two nodes, both wanting: both enabled. One acts; the other is
+    // neutralized in the same step. The §2.1 round must therefore complete
+    // after that single step — not wait for the second processor to move
+    // (it never will).
+    let g = gen::line(2);
+    let mut eng = Engine::new(
+        g,
+        Rendezvous,
+        Box::new(RoundRobinDaemon::new()),
+        vec![Want(true), Want(true)],
+    );
+    assert_eq!(eng.enabled_processors(), vec![0, 1]);
+    let stats = eng.run(10);
+    assert!(stats.terminal);
+    assert_eq!(eng.steps(), 1, "one withdrawal suffices");
+    assert_eq!(
+        eng.rounds(),
+        1,
+        "the neutralized peer must not hold the round open"
+    );
+    assert_eq!(eng.states(), &[Want(false), Want(true)]);
+}
+
+#[test]
+fn chain_of_neutralizations() {
+    // A line of 4 all wanting. Each move can neutralize its neighbours;
+    // the engine must terminate with no enabled processors and the round
+    // accounting must never exceed the step count.
+    for seed in 0..10 {
+        let g = gen::line(4);
+        let mut eng = Engine::new(
+            g,
+            Rendezvous,
+            Box::new(CentralRandomDaemon::new(seed)),
+            vec![Want(true); 4],
+        );
+        let stats = eng.run(100);
+        assert!(stats.terminal, "seed {seed}");
+        assert!(eng.rounds() <= eng.steps(), "seed {seed}");
+        // Terminal: no two adjacent wanting processors remain.
+        let w: Vec<bool> = eng.states().iter().map(|s| s.0).collect();
+        for i in 0..3 {
+            assert!(!(w[i] && w[i + 1]), "seed {seed}: adjacent wants remain");
+        }
+    }
+}
+
+#[test]
+fn reenabled_mid_round_processor_does_not_rejoin_round() {
+    // Engine contract (documented on mutate_state): a processor enabled by
+    // an external mutation mid-round was not enabled at the round's start,
+    // so the current round can complete without it.
+    let g = gen::line(2);
+    let mut eng = Engine::new(
+        g,
+        Rendezvous,
+        Box::new(RoundRobinDaemon::new()),
+        vec![Want(true), Want(true)],
+    );
+    eng.run(10);
+    let r0 = eng.rounds();
+    // Re-arm both externally; a fresh round begins with them.
+    eng.mutate_state(0, |s| s.0 = true);
+    eng.mutate_state(1, |s| s.0 = true);
+    let stats = eng.run(10);
+    assert!(stats.terminal);
+    assert!(eng.rounds() > r0);
+}

@@ -1,0 +1,164 @@
+//! Property tests for the engine's §2.1 semantics, driven by the toy
+//! protocols: composite-atomic writes, round monotonicity, daemon
+//! contracts, and convergence invariance across daemons.
+
+use proptest::prelude::*;
+use ssmfp_kernel::toys::{MaxProtocol, MaxState, RingState, TokenRing};
+use ssmfp_kernel::{
+    CentralRandomDaemon, Daemon, DistributedRandomDaemon, Engine, LocallyCentralDaemon,
+    RoundRobinDaemon, StepOutcome, SynchronousDaemon,
+};
+use ssmfp_topology::gen;
+
+fn daemons(seed: u64, graph: &ssmfp_topology::Graph) -> Vec<Box<dyn Daemon>> {
+    vec![
+        Box::new(SynchronousDaemon),
+        Box::new(RoundRobinDaemon::new()),
+        Box::new(CentralRandomDaemon::new(seed)),
+        Box::new(DistributedRandomDaemon::new(seed, 0.5)),
+        Box::new(LocallyCentralDaemon::from_graph(seed, graph)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Max-propagation converges to the same fixpoint (the global max)
+    /// under every daemon, from any initial values — daemon choice affects
+    /// schedules, never outcomes of a confluent protocol.
+    #[test]
+    fn max_protocol_confluent_across_daemons(
+        values in proptest::collection::vec(0u64..100, 2..20),
+        seed in any::<u64>(),
+    ) {
+        let n = values.len();
+        let graph = gen::line(n);
+        let expected = *values.iter().max().expect("non-empty");
+        for daemon in daemons(seed, &graph) {
+            let states: Vec<MaxState> = values.iter().map(|&v| MaxState(v)).collect();
+            let mut eng = Engine::new(graph.clone(), MaxProtocol, daemon, states);
+            let stats = eng.run(1_000_000);
+            prop_assert!(stats.terminal);
+            prop_assert!(eng.states().iter().all(|s| s.0 == expected));
+        }
+    }
+
+    /// Rounds never exceed steps, and under the synchronous daemon every
+    /// step is exactly one round.
+    #[test]
+    fn rounds_bounded_by_steps(
+        values in proptest::collection::vec(0u64..50, 2..15),
+        seed in any::<u64>(),
+    ) {
+        let n = values.len();
+        let graph = gen::ring(n.max(3));
+        let states: Vec<MaxState> = (0..graph.n())
+            .map(|i| MaxState(values[i % n]))
+            .collect();
+        let mut eng = Engine::new(
+            graph.clone(),
+            MaxProtocol,
+            Box::new(CentralRandomDaemon::new(seed)),
+            states.clone(),
+        );
+        eng.run(10_000);
+        prop_assert!(eng.rounds() <= eng.steps());
+
+        let mut sync = Engine::new(graph, MaxProtocol, Box::new(SynchronousDaemon), states);
+        sync.run(10_000);
+        prop_assert_eq!(sync.rounds(), sync.steps());
+    }
+
+    /// Dijkstra's token ring stabilizes to a single circulating privilege
+    /// under every fair daemon from any initial state.
+    #[test]
+    fn token_ring_stabilizes_under_every_daemon(
+        states in proptest::collection::vec(0u32..6, 3..8),
+        seed in any::<u64>(),
+    ) {
+        let n = states.len();
+        let graph = gen::ring(n);
+        let k = n as u32 + 1;
+        let tokens = |ss: &[RingState]| -> usize {
+            (0..n)
+                .filter(|&p| {
+                    let pred = ss[(p + n - 1) % n].0;
+                    if p == 0 { ss[p].0 == pred } else { ss[p].0 != pred }
+                })
+                .count()
+        };
+        for daemon in daemons(seed, &graph) {
+            let init: Vec<RingState> = states.iter().map(|&v| RingState(v % k)).collect();
+            let mut eng = Engine::new(graph.clone(), TokenRing::new(n, k), daemon, init);
+            eng.run(20_000);
+            // After the generous budget: exactly one privilege, forever.
+            for _ in 0..50 {
+                prop_assert_eq!(tokens(eng.states()), 1);
+                eng.step();
+            }
+        }
+    }
+
+    /// Trace records match the engine's own counters.
+    #[test]
+    fn trace_is_consistent_with_counters(
+        values in proptest::collection::vec(0u64..50, 3..12),
+        seed in any::<u64>(),
+    ) {
+        let n = values.len();
+        let graph = gen::line(n);
+        let states: Vec<MaxState> = values.iter().map(|&v| MaxState(v)).collect();
+        let mut eng = Engine::new(
+            graph,
+            MaxProtocol,
+            Box::new(DistributedRandomDaemon::new(seed, 0.7)),
+            states,
+        );
+        eng.enable_trace();
+        eng.run(5_000);
+        let trace = eng.trace().expect("enabled");
+        prop_assert_eq!(trace.len() as u64, eng.steps());
+        for rec in trace {
+            prop_assert!(!rec.moves.is_empty(), "every step moves someone");
+            prop_assert!(rec.round <= eng.rounds());
+        }
+    }
+}
+
+/// Composite atomicity: under the synchronous daemon all writes of a step
+/// are based on the pre-step configuration. For max-propagation on a line
+/// seeded at one end, the wavefront therefore advances exactly one node
+/// per step — a distinguishing check against read-your-neighbour's-new-
+/// value semantics, which would jump further.
+#[test]
+fn composite_atomicity_wavefront() {
+    let n = 8;
+    let graph = gen::line(n);
+    let mut states = vec![MaxState(0); n];
+    states[0] = MaxState(9);
+    let mut eng = Engine::new(graph, MaxProtocol, Box::new(SynchronousDaemon), states);
+    for step in 1..n {
+        eng.step();
+        for (p, s) in eng.states().iter().enumerate() {
+            let expected = if p <= step { 9 } else { 0 };
+            assert_eq!(s.0, expected, "step {step}, node {p}");
+        }
+    }
+}
+
+/// StepOutcome::Terminal exactly coincides with no enabled processors.
+#[test]
+fn terminal_reporting_is_exact() {
+    let graph = gen::line(4);
+    let mut eng = Engine::new(
+        graph,
+        MaxProtocol,
+        Box::new(RoundRobinDaemon::new()),
+        vec![MaxState(3); 4],
+    );
+    assert!(eng.enabled_processors().is_empty());
+    assert_eq!(eng.step(), StepOutcome::Terminal);
+    eng.mutate_state(2, |s| s.0 = 7);
+    assert_eq!(eng.enabled_processors(), vec![1, 3]);
+    assert!(matches!(eng.step(), StepOutcome::Progress { .. }));
+}

@@ -1,0 +1,346 @@
+//! The asynchronous message-passing substrate: FIFO channels, adversarial
+//! seeded scheduling, fault injection.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use ssmfp_topology::{Graph, NodeId};
+use std::collections::VecDeque;
+use std::fmt::Debug;
+
+/// A directed link `(from, to)` between neighbours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId {
+    /// Sending endpoint.
+    pub from: NodeId,
+    /// Receiving endpoint.
+    pub to: NodeId,
+}
+
+/// Messages a node wants to transmit, collected during a handler call.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    msgs: Vec<(NodeId, M)>,
+}
+
+impl<M> Outbox<M> {
+    fn new() -> Self {
+        Outbox { msgs: Vec::new() }
+    }
+
+    /// Queues `msg` for transmission to neighbour `to`.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.msgs.push((to, msg));
+    }
+}
+
+/// A node of the message-passing model: reacts to received messages and to
+/// local timeouts (its only spontaneous action source).
+pub trait MpNode {
+    /// Wire message type.
+    type Msg: Clone + Debug;
+
+    /// Handles a message delivered from a neighbour.
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, out: &mut Outbox<Self::Msg>);
+
+    /// Handles a local timeout (retransmissions, spontaneous moves).
+    fn on_timeout(&mut self, out: &mut Outbox<Self::Msg>);
+
+    /// Whether the node has pending local work (used for quiescence
+    /// detection together with empty channels).
+    fn is_idle(&self) -> bool;
+}
+
+/// Scheduler event chosen at each step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerEvent {
+    /// Deliver the head message of a link.
+    Deliver(LinkId),
+    /// Fire a node's timeout.
+    Timeout(NodeId),
+}
+
+/// Configuration of the substrate's scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct MpConfig {
+    /// RNG seed (schedule + fault injection).
+    pub seed: u64,
+    /// Probability that a step is a timeout rather than a delivery when
+    /// both are possible (models relative speed of links vs local clocks).
+    pub timeout_bias: f64,
+}
+
+impl Default for MpConfig {
+    fn default() -> Self {
+        MpConfig {
+            seed: 0,
+            timeout_bias: 0.3,
+        }
+    }
+}
+
+/// The asynchronous network: nodes plus FIFO channels per directed edge.
+pub struct MpNetwork<N: MpNode> {
+    graph: Graph,
+    nodes: Vec<N>,
+    /// `channels[i]` is the FIFO queue of link `links[i]`.
+    links: Vec<LinkId>,
+    channels: Vec<VecDeque<N::Msg>>,
+    rng: ChaCha8Rng,
+    config: MpConfig,
+    steps: u64,
+    delivered_msgs: u64,
+    timeouts: u64,
+}
+
+impl<N: MpNode> MpNetwork<N> {
+    /// Builds the network from per-node states.
+    pub fn new(graph: Graph, nodes: Vec<N>, config: MpConfig) -> Self {
+        assert_eq!(nodes.len(), graph.n());
+        let mut links = Vec::new();
+        for &(p, q) in graph.edges() {
+            links.push(LinkId { from: p, to: q });
+            links.push(LinkId { from: q, to: p });
+        }
+        let channels = vec![VecDeque::new(); links.len()];
+        MpNetwork {
+            graph,
+            nodes,
+            links,
+            channels,
+            rng: ChaCha8Rng::seed_from_u64(config.seed),
+            config,
+            steps: 0,
+            delivered_msgs: 0,
+            timeouts: 0,
+        }
+    }
+
+    /// The topology.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, p: NodeId) -> &N {
+        &self.nodes[p]
+    }
+
+    /// Mutable access to a node (fault injection, higher-layer input).
+    pub fn node_mut(&mut self, p: NodeId) -> &mut N {
+        &mut self.nodes[p]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[N] {
+        &self.nodes
+    }
+
+    /// Steps executed (deliveries + timeouts).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Wire messages delivered so far.
+    pub fn delivered_msgs(&self) -> u64 {
+        self.delivered_msgs
+    }
+
+    /// Timeouts fired so far.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    /// Messages currently in flight across all channels.
+    pub fn in_flight(&self) -> usize {
+        self.channels.iter().map(VecDeque::len).sum()
+    }
+
+    /// Injects a message into a channel (fault injection: the initial
+    /// configuration may contain arbitrary in-flight messages).
+    pub fn inject_wire(&mut self, link: LinkId, msg: N::Msg) {
+        let idx = self
+            .links
+            .iter()
+            .position(|l| *l == link)
+            .expect("link must exist");
+        self.channels[idx].push_back(msg);
+    }
+
+    fn link_index(&self, from: NodeId, to: NodeId) -> usize {
+        self.links
+            .iter()
+            .position(|l| l.from == from && l.to == to)
+            .expect("messages may only be sent to neighbours")
+    }
+
+    fn flush_outbox(&mut self, from: NodeId, out: Outbox<N::Msg>) {
+        for (to, msg) in out.msgs {
+            let idx = self.link_index(from, to);
+            self.channels[idx].push_back(msg);
+        }
+    }
+
+    /// Executes one scheduler step. Returns the event, or `None` if the
+    /// system is fully quiescent (no in-flight messages, all nodes idle).
+    pub fn step(&mut self) -> Option<SchedulerEvent> {
+        let busy_links: Vec<usize> = (0..self.channels.len())
+            .filter(|&i| !self.channels[i].is_empty())
+            .collect();
+        let busy_nodes: Vec<NodeId> = (0..self.nodes.len())
+            .filter(|&p| !self.nodes[p].is_idle())
+            .collect();
+        let event = if busy_links.is_empty() && busy_nodes.is_empty() {
+            return None;
+        } else if busy_links.is_empty() {
+            SchedulerEvent::Timeout(busy_nodes[self.rng.gen_range(0..busy_nodes.len())])
+        } else if busy_nodes.is_empty() {
+            SchedulerEvent::Deliver(
+                self.links[busy_links[self.rng.gen_range(0..busy_links.len())]],
+            )
+        } else if self.rng.gen_bool(self.config.timeout_bias) {
+            SchedulerEvent::Timeout(busy_nodes[self.rng.gen_range(0..busy_nodes.len())])
+        } else {
+            SchedulerEvent::Deliver(
+                self.links[busy_links[self.rng.gen_range(0..busy_links.len())]],
+            )
+        };
+        match event {
+            SchedulerEvent::Deliver(link) => {
+                let idx = self.link_index(link.from, link.to);
+                let msg = self.channels[idx].pop_front().expect("busy link");
+                let mut out = Outbox::new();
+                self.nodes[link.to].on_message(link.from, msg, &mut out);
+                self.flush_outbox(link.to, out);
+                self.delivered_msgs += 1;
+            }
+            SchedulerEvent::Timeout(p) => {
+                let mut out = Outbox::new();
+                self.nodes[p].on_timeout(&mut out);
+                self.flush_outbox(p, out);
+                self.timeouts += 1;
+            }
+        }
+        self.steps += 1;
+        Some(event)
+    }
+
+    /// Runs until quiescence or `max_steps`. Returns true if quiescent.
+    pub fn run_to_quiescence(&mut self, max_steps: u64) -> bool {
+        for _ in 0..max_steps {
+            if self.step().is_none() {
+                return true;
+            }
+        }
+        self.step().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssmfp_topology::gen;
+
+    /// Echo node: replies `x+1` to every received value below a cap; one
+    /// initial ping from its timeout.
+    struct Echo {
+        cap: u64,
+        kick: bool,
+        peer: NodeId,
+        received: Vec<u64>,
+    }
+
+    impl MpNode for Echo {
+        type Msg = u64;
+
+        fn on_message(&mut self, from: NodeId, msg: u64, out: &mut Outbox<u64>) {
+            self.received.push(msg);
+            if msg < self.cap {
+                out.send(from, msg + 1);
+            }
+        }
+
+        fn on_timeout(&mut self, out: &mut Outbox<u64>) {
+            if self.kick {
+                self.kick = false;
+                out.send(self.peer, 0);
+            }
+        }
+
+        fn is_idle(&self) -> bool {
+            !self.kick
+        }
+    }
+
+    #[test]
+    fn ping_pong_terminates() {
+        let g = gen::line(2);
+        let nodes = vec![
+            Echo { cap: 10, kick: true, peer: 1, received: vec![] },
+            Echo { cap: 10, kick: false, peer: 0, received: vec![] },
+        ];
+        let mut net = MpNetwork::new(g, nodes, MpConfig::default());
+        assert!(net.run_to_quiescence(1_000));
+        // 0 → 1 → 2 → … → 10: eleven deliveries, alternating receivers.
+        assert_eq!(net.delivered_msgs(), 11);
+        assert_eq!(net.node(1).received, vec![0, 2, 4, 6, 8, 10]);
+        assert_eq!(net.node(0).received, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn channels_are_fifo() {
+        struct Sink {
+            got: Vec<u64>,
+        }
+        impl MpNode for Sink {
+            type Msg = u64;
+            fn on_message(&mut self, _from: NodeId, msg: u64, _out: &mut Outbox<u64>) {
+                self.got.push(msg);
+            }
+            fn on_timeout(&mut self, _out: &mut Outbox<u64>) {}
+            fn is_idle(&self) -> bool {
+                true
+            }
+        }
+        let g = gen::line(2);
+        let mut net = MpNetwork::new(
+            g,
+            vec![Sink { got: vec![] }, Sink { got: vec![] }],
+            MpConfig::default(),
+        );
+        for v in 0..5 {
+            net.inject_wire(LinkId { from: 0, to: 1 }, v);
+        }
+        assert!(net.run_to_quiescence(100));
+        assert_eq!(net.node(1).got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn injected_garbage_is_delivered() {
+        let g = gen::ring(3);
+        let nodes = (0..3)
+            .map(|p| Echo { cap: 0, kick: false, peer: p, received: vec![] })
+            .collect();
+        let mut net = MpNetwork::new(g, nodes, MpConfig { seed: 5, ..Default::default() });
+        net.inject_wire(LinkId { from: 0, to: 1 }, 99);
+        net.inject_wire(LinkId { from: 2, to: 1 }, 98);
+        assert!(net.run_to_quiescence(100));
+        let mut got = net.node(1).received.clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![98, 99]);
+    }
+
+    #[test]
+    fn scheduler_is_deterministic_per_seed() {
+        let run = |seed: u64| -> (u64, u64) {
+            let g = gen::line(2);
+            let nodes = vec![
+                Echo { cap: 50, kick: true, peer: 1, received: vec![] },
+                Echo { cap: 50, kick: false, peer: 0, received: vec![] },
+            ];
+            let mut net = MpNetwork::new(g, nodes, MpConfig { seed, ..Default::default() });
+            net.run_to_quiescence(10_000);
+            (net.steps(), net.delivered_msgs())
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

@@ -1,0 +1,105 @@
+//! Measuring `R_A` — the stabilization time of the routing algorithm `A`.
+//!
+//! Every `max(R_A, ·)` bound of the paper's Propositions 5–7 hides the
+//! routing algorithm's convergence time. These helpers run `A` alone (no
+//! forwarding layer) from a corrupted start under a chosen daemon and
+//! report the number of *rounds* until silence — the quantity the bounds
+//! consume.
+
+use crate::corruption::{corrupt, CorruptionKind};
+use crate::protocol::{RoutingProtocol, RoutingState};
+use crate::tables::routing_is_correct;
+use ssmfp_kernel::{Daemon, Engine};
+use ssmfp_topology::Graph;
+
+/// Result of a convergence measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Convergence {
+    /// Rounds until `A` is silent (the measured `R_A`).
+    pub rounds: u64,
+    /// Steps until silence.
+    pub steps: u64,
+    /// Whether the converged tables are correct (must always hold).
+    pub correct: bool,
+}
+
+/// Runs `A` alone from a corrupted start until silence and measures `R_A`.
+///
+/// Panics if the protocol fails to reach silence within a very generous
+/// step budget (it cannot, being self-stabilizing under the unfair daemon).
+pub fn measure(graph: &Graph, kind: CorruptionKind, daemon: Box<dyn Daemon>, seed: u64) -> Convergence {
+    let proto: RoutingProtocol<RoutingState> = RoutingProtocol::new(graph.n());
+    let states = corrupt(graph, kind, seed);
+    let mut eng = Engine::new(graph.clone(), proto, daemon, states);
+    let budget = 10_000_000u64.max(graph.n() as u64 * graph.n() as u64 * 1_000);
+    let stats = eng.run(budget);
+    assert!(
+        stats.terminal,
+        "A must stabilize (n={}, kind={kind:?})",
+        graph.n()
+    );
+    Convergence {
+        rounds: eng.rounds(),
+        steps: eng.steps(),
+        correct: routing_is_correct(graph, eng.states()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssmfp_kernel::{CentralRandomDaemon, RoundRobinDaemon, SynchronousDaemon};
+    use ssmfp_topology::gen;
+
+    #[test]
+    fn converged_tables_are_always_correct() {
+        for kind in CorruptionKind::ADVERSARIAL {
+            let g = gen::grid(3, 3);
+            let c = measure(&g, kind, Box::new(CentralRandomDaemon::new(1)), 7);
+            assert!(c.correct, "{kind:?}");
+            assert!(c.rounds > 0);
+        }
+    }
+
+    #[test]
+    fn already_correct_tables_take_zero_rounds() {
+        let g = gen::ring(6);
+        let c = measure(&g, CorruptionKind::None, Box::new(SynchronousDaemon), 0);
+        assert_eq!(c.steps, 0);
+        assert_eq!(c.rounds, 0);
+        assert!(c.correct);
+    }
+
+    #[test]
+    fn synchronous_convergence_is_linear_in_n() {
+        // The count-to-cap dynamics bound R_A by O(n) per destination; the
+        // multiplexed engine serializes destinations per processor, keeping
+        // the total linear with a modest constant.
+        for n in [4usize, 8, 12] {
+            let g = gen::line(n);
+            let c = measure(
+                &g,
+                CorruptionKind::AllZero,
+                Box::new(SynchronousDaemon),
+                0,
+            );
+            assert!(
+                c.rounds <= 8 * n as u64 + 8,
+                "line {n}: R_A = {} not linear",
+                c.rounds
+            );
+        }
+    }
+
+    #[test]
+    fn round_robin_and_synchronous_agree_on_correctness() {
+        let g = gen::random_connected(10, 5, 3);
+        for daemon in [
+            Box::new(SynchronousDaemon) as Box<dyn Daemon>,
+            Box::new(RoundRobinDaemon::new()),
+        ] {
+            let c = measure(&g, CorruptionKind::RandomGarbage, daemon, 5);
+            assert!(c.correct);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Adversarial initial routing tables.
+//!
+//! Snap-stabilization quantifies over *every* initial configuration, so the
+//! experiments must start from the nastiest tables the variable domains
+//! allow: distances are any value in `{0..n}` and parents any *link label*
+//! (the `parent_p(d)` variable is a port of `p`, so even a fault cannot make
+//! it point at a non-neighbour — but it can absolutely create routing
+//! **cycles**, the failure mode Figure 3 illustrates between `a` and `c`).
+
+use crate::protocol::RoutingState;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use ssmfp_topology::{BfsTree, Graph, NodeId};
+
+/// Families of adversarial initial routing tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// Uniformly random values over the variable domains.
+    RandomGarbage,
+    /// Correct distances but parent pointers chosen to form cycles wherever
+    /// the topology allows (each non-destination points to its *largest*
+    /// neighbour, which pairs of adjacent local maxima turn into 2-cycles).
+    ParentCycles,
+    /// Anti-correct distances: `n − true distance` (maximally wrong ordering)
+    /// with random parents.
+    AntiDistance,
+    /// All distances zero: every processor believes it *is* every
+    /// destination's neighbourhood minimum — the min+1 rule must rebuild
+    /// everything from scratch.
+    AllZero,
+    /// The correct converged tables (no corruption; baseline control).
+    None,
+}
+
+impl CorruptionKind {
+    /// All adversarial kinds (excludes `None`), for sweep loops.
+    pub const ADVERSARIAL: [CorruptionKind; 4] = [
+        CorruptionKind::RandomGarbage,
+        CorruptionKind::ParentCycles,
+        CorruptionKind::AntiDistance,
+        CorruptionKind::AllZero,
+    ];
+
+    /// Short label for report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            CorruptionKind::RandomGarbage => "garbage",
+            CorruptionKind::ParentCycles => "cycles",
+            CorruptionKind::AntiDistance => "anti-dist",
+            CorruptionKind::AllZero => "all-zero",
+            CorruptionKind::None => "correct",
+        }
+    }
+}
+
+/// Builds per-processor routing states corrupted according to `kind`.
+/// Deterministic in `(graph, kind, seed)`.
+pub fn corrupt(graph: &Graph, kind: CorruptionKind, seed: u64) -> Vec<RoutingState> {
+    let n = graph.n();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let trees: Vec<BfsTree> = (0..n).map(|d| BfsTree::new(graph, d)).collect();
+    (0..n)
+        .map(|p| {
+            let neighbors = graph.neighbors(p);
+            let random_parent = |rng: &mut ChaCha8Rng| -> NodeId {
+                if neighbors.is_empty() {
+                    p
+                } else {
+                    neighbors[rng.gen_range(0..neighbors.len())]
+                }
+            };
+            match kind {
+                CorruptionKind::RandomGarbage => RoutingState {
+                    dist: (0..n).map(|_| rng.gen_range(0..=n as u32)).collect(),
+                    parent: (0..n).map(|_| random_parent(&mut rng)).collect(),
+                },
+                CorruptionKind::ParentCycles => RoutingState {
+                    dist: (0..n).map(|d| trees[d].depth(p)).collect(),
+                    parent: (0..n)
+                        .map(|d| {
+                            if p == d || neighbors.is_empty() {
+                                d
+                            } else {
+                                *neighbors.last().expect("non-empty")
+                            }
+                        })
+                        .collect(),
+                },
+                CorruptionKind::AntiDistance => RoutingState {
+                    dist: (0..n)
+                        .map(|d| (n as u32).saturating_sub(trees[d].depth(p)))
+                        .collect(),
+                    parent: (0..n).map(|_| random_parent(&mut rng)).collect(),
+                },
+                CorruptionKind::AllZero => RoutingState {
+                    dist: vec![0; n],
+                    parent: (0..n).map(|_| random_parent(&mut rng)).collect(),
+                },
+                CorruptionKind::None => RoutingState::converged(graph, &trees, p),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::{routing_is_correct, trace_route, RouteOutcome};
+    use ssmfp_topology::gen;
+
+    #[test]
+    fn none_is_correct() {
+        let g = gen::grid(3, 3);
+        let states = corrupt(&g, CorruptionKind::None, 0);
+        assert!(routing_is_correct(&g, &states));
+    }
+
+    #[test]
+    fn adversarial_kinds_are_incorrect() {
+        let g = gen::ring(8);
+        for kind in CorruptionKind::ADVERSARIAL {
+            let states = corrupt(&g, kind, 1);
+            assert!(
+                !routing_is_correct(&g, &states),
+                "{kind:?} should corrupt the tables"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_is_deterministic() {
+        let g = gen::random_connected(10, 5, 4);
+        for kind in CorruptionKind::ADVERSARIAL {
+            assert_eq!(corrupt(&g, kind, 7), corrupt(&g, kind, 7));
+        }
+    }
+
+    #[test]
+    fn parents_stay_within_link_labels() {
+        let g = gen::random_connected(12, 8, 2);
+        for kind in CorruptionKind::ADVERSARIAL {
+            let states = corrupt(&g, kind, 3);
+            for p in 0..g.n() {
+                for d in 0..g.n() {
+                    let par = states[p].parent[d];
+                    assert!(
+                        par == p || par == d || g.has_edge(p, par),
+                        "{kind:?}: parent_p(d) must be a link label (p={p}, d={d}, par={par})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parent_cycles_create_routing_loops() {
+        // On a line, pointing every node at its largest neighbour sends
+        // everything toward node n−1, so routes to destination 0 loop or
+        // dead-end away from 0.
+        let g = gen::line(6);
+        let states = corrupt(&g, CorruptionKind::ParentCycles, 0);
+        let outcome = trace_route(&g, &states, 2, 0);
+        assert_ne!(
+            outcome,
+            RouteOutcome::Reaches { hops: 2 },
+            "corrupted route should not be the shortest path"
+        );
+    }
+}

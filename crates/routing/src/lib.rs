@@ -1,0 +1,37 @@
+//! The self-stabilizing silent routing algorithm `A` assumed by the paper.
+//!
+//! §3.1: *"we assume the existence of a self-stabilizing **silent** algorithm
+//! `A` to compute routing tables which runs simultaneously to our message
+//! forwarding protocol. Moreover, we assume that `A` has priority over our
+//! protocol. … To simplify the presentation, we assume that `A` induces only
+//! minimal paths in number of edges."*
+//!
+//! The paper cites Huang–Chen-style BFS constructions; we implement the
+//! canonical **min + 1 distance-vector BFS** per destination:
+//!
+//! * every processor `p` keeps, for every destination `d`, a bounded distance
+//!   estimate `dist_p(d) ∈ {0, …, n}` and a parent pointer
+//!   `parent_p(d) ∈ N_p`;
+//! * the destination corrects itself to `dist_d(d) = 0`;
+//! * any other processor corrects itself to
+//!   `dist_p(d) = min(min_{q∈N_p} dist_q(d) + 1, n)` with the parent being
+//!   the **smallest** neighbour identity attaining the minimum.
+//!
+//! This protocol is silent (no guard is enabled once every estimate is
+//! exact), self-stabilizing under the unfair daemon, stabilizes in `O(n)`
+//! rounds (`O(D)` from clean states), and its converged parents coincide with
+//! [`ssmfp_topology::BfsTree`]'s smallest-identity shortest-path trees — the
+//! trees `T_d` that the buffer graphs of Figures 1 and 2 are built on.
+//!
+//! The crate also provides [`corruption`] — adversarial initial routing
+//! tables (random garbage, parent cycles, anti-correct tables) — since the
+//! whole point of snap-stabilization is to survive them.
+
+pub mod convergence;
+pub mod corruption;
+pub mod protocol;
+pub mod tables;
+
+pub use corruption::CorruptionKind;
+pub use protocol::{HasRouting, RoutingAction, RoutingProtocol, RoutingState};
+pub use tables::{next_hop, routing_is_correct, trace_route, RouteOutcome};

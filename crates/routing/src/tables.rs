@@ -1,0 +1,150 @@
+//! Reading routing tables: the `nextHop_p(d)` interface SSMFP consumes, the
+//! global correctness predicate, and route tracing diagnostics.
+
+use crate::protocol::RoutingState;
+use ssmfp_topology::{AllPairs, Graph, NodeId};
+
+/// `nextHop_p(d)`: the neighbour `p` forwards messages of destination `d`
+/// to, as currently recorded in `p`'s (possibly corrupted) table.
+#[inline]
+pub fn next_hop(states: &[RoutingState], p: NodeId, d: NodeId) -> NodeId {
+    states[p].parent[d]
+}
+
+/// Whether the tables are *correct* in the paper's sense: every `dist_p(d)`
+/// equals the true shortest-path distance and every parent is a neighbour
+/// one step closer to `d` (so every route is minimal in edges).
+pub fn routing_is_correct(graph: &Graph, states: &[RoutingState]) -> bool {
+    let ap = AllPairs::new(graph);
+    for p in 0..graph.n() {
+        for d in 0..graph.n() {
+            if states[p].dist[d] != ap.dist(p, d) {
+                return false;
+            }
+            if p != d {
+                let par = states[p].parent[d];
+                if !graph.has_edge(p, par) || ap.dist(par, d) + 1 != ap.dist(p, d) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Result of following parent pointers from a source toward a destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteOutcome {
+    /// The route reaches the destination in `hops` hops.
+    Reaches {
+        /// Number of hops taken.
+        hops: usize,
+    },
+    /// The route revisits a processor without reaching the destination —
+    /// a routing **loop** (the Figure 3 `a ↔ c` situation).
+    Loops {
+        /// Processor at which the cycle closes.
+        at: NodeId,
+    },
+    /// A parent pointer leaves the neighbour relation (cannot happen for
+    /// states produced by this crate, but tolerated for diagnostics).
+    Escapes {
+        /// Processor holding the invalid pointer.
+        at: NodeId,
+    },
+}
+
+/// Follows `nextHop` pointers from `src` toward `dst` for at most `n` hops.
+pub fn trace_route(
+    graph: &Graph,
+    states: &[RoutingState],
+    src: NodeId,
+    dst: NodeId,
+) -> RouteOutcome {
+    let n = graph.n();
+    let mut visited = vec![false; n];
+    let mut cur = src;
+    let mut hops = 0;
+    loop {
+        if cur == dst {
+            return RouteOutcome::Reaches { hops };
+        }
+        if visited[cur] {
+            return RouteOutcome::Loops { at: cur };
+        }
+        visited[cur] = true;
+        let nxt = next_hop(states, cur, dst);
+        if !graph.has_edge(cur, nxt) {
+            return RouteOutcome::Escapes { at: cur };
+        }
+        cur = nxt;
+        hops += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corruption::{corrupt, CorruptionKind};
+    use ssmfp_topology::gen;
+
+    #[test]
+    fn correct_tables_reach_in_dist_hops() {
+        let g = gen::grid(3, 4);
+        let states = corrupt(&g, CorruptionKind::None, 0);
+        let ap = AllPairs::new(&g);
+        for p in 0..g.n() {
+            for d in 0..g.n() {
+                assert_eq!(
+                    trace_route(&g, &states, p, d),
+                    RouteOutcome::Reaches {
+                        hops: ap.dist(p, d) as usize
+                    }
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_tables_can_loop() {
+        let g = gen::ring(10);
+        let mut looped = false;
+        for seed in 0..20 {
+            let states = corrupt(&g, CorruptionKind::RandomGarbage, seed);
+            for p in 0..g.n() {
+                for d in 0..g.n() {
+                    if matches!(trace_route(&g, &states, p, d), RouteOutcome::Loops { .. }) {
+                        looped = true;
+                    }
+                }
+            }
+        }
+        assert!(looped, "random garbage should produce at least one routing loop");
+    }
+
+    #[test]
+    fn correctness_predicate_detects_wrong_distance() {
+        let g = gen::line(4);
+        let mut states = corrupt(&g, CorruptionKind::None, 0);
+        assert!(routing_is_correct(&g, &states));
+        states[0].dist[3] = 1; // lie
+        assert!(!routing_is_correct(&g, &states));
+    }
+
+    #[test]
+    fn correctness_predicate_detects_wrong_parent() {
+        let g = gen::ring(6);
+        let mut states = corrupt(&g, CorruptionKind::None, 0);
+        // Point node 1's route to destination 2 the long way round.
+        states[1].parent[2] = 0;
+        assert!(!routing_is_correct(&g, &states));
+    }
+
+    #[test]
+    fn next_hop_reads_parent() {
+        let g = gen::line(3);
+        let states = corrupt(&g, CorruptionKind::None, 0);
+        assert_eq!(next_hop(&states, 0, 2), 1);
+        assert_eq!(next_hop(&states, 1, 2), 2);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the routing algorithm `A`: self-stabilization from
+//! arbitrary states on random topologies under every daemon, silence ⇔
+//! correctness, and corruption-domain discipline.
+
+use proptest::prelude::*;
+use ssmfp_kernel::{
+    CentralRandomDaemon, Daemon, DistributedRandomDaemon, Engine, RoundRobinDaemon,
+    SynchronousDaemon,
+};
+use ssmfp_routing::{corruption, routing_is_correct, CorruptionKind, RoutingProtocol, RoutingState};
+use ssmfp_topology::{gen, Graph};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    prop_oneof![
+        (2usize..10).prop_map(gen::line),
+        (3usize..10).prop_map(gen::ring),
+        (3usize..10).prop_map(gen::star),
+        ((4usize..12), (0usize..8), any::<u64>())
+            .prop_map(|(n, e, s)| gen::random_connected(n, e, s)),
+    ]
+}
+
+fn arb_corruption() -> impl Strategy<Value = CorruptionKind> {
+    prop_oneof![
+        Just(CorruptionKind::RandomGarbage),
+        Just(CorruptionKind::ParentCycles),
+        Just(CorruptionKind::AntiDistance),
+        Just(CorruptionKind::AllZero),
+    ]
+}
+
+fn daemons(seed: u64) -> Vec<Box<dyn Daemon>> {
+    vec![
+        Box::new(SynchronousDaemon),
+        Box::new(RoundRobinDaemon::new()),
+        Box::new(CentralRandomDaemon::new(seed)),
+        Box::new(DistributedRandomDaemon::new(seed, 0.5)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// From any corrupted state, under any daemon: silence in bounded time,
+    /// and the silent state is the exact BFS tables.
+    #[test]
+    fn stabilizes_and_silence_means_correct(
+        graph in arb_graph(),
+        kind in arb_corruption(),
+        seed in any::<u64>(),
+    ) {
+        for daemon in daemons(seed) {
+            let proto: RoutingProtocol<RoutingState> = RoutingProtocol::new(graph.n());
+            let states = corruption::corrupt(&graph, kind, seed);
+            let mut eng = Engine::new(graph.clone(), proto, daemon, states);
+            let stats = eng.run(5_000_000);
+            prop_assert!(stats.terminal, "{kind:?} must stabilize");
+            prop_assert!(
+                routing_is_correct(&graph, eng.states()),
+                "{kind:?}: silent but incorrect"
+            );
+        }
+    }
+
+    /// Corruption never leaves the variable domains: distances within
+    /// 0..=n, parents within the link labels.
+    #[test]
+    fn corruption_respects_domains(
+        graph in arb_graph(),
+        kind in arb_corruption(),
+        seed in any::<u64>(),
+    ) {
+        let n = graph.n();
+        let states = corruption::corrupt(&graph, kind, seed);
+        for (p, s) in states.iter().enumerate() {
+            for d in 0..n {
+                prop_assert!(s.dist[d] <= n as u32);
+                let par = s.parent[d];
+                prop_assert!(
+                    par == p || par == d || graph.has_edge(p, par),
+                    "parent out of link-label domain"
+                );
+            }
+        }
+    }
+
+    /// Stabilization is monotone in the sense that re-running from the
+    /// converged state does nothing (silence is stable).
+    #[test]
+    fn converged_state_is_a_fixpoint(graph in arb_graph(), seed in any::<u64>()) {
+        let proto: RoutingProtocol<RoutingState> = RoutingProtocol::new(graph.n());
+        let states = corruption::corrupt(&graph, CorruptionKind::None, seed);
+        let eng = Engine::new(
+            graph.clone(),
+            proto,
+            Box::new(SynchronousDaemon),
+            states.clone(),
+        );
+        prop_assert!(eng.is_terminal());
+        prop_assert_eq!(eng.states(), states.as_slice());
+    }
+}

@@ -1,0 +1,61 @@
+//! Minimal Graphviz DOT export, for documentation and debugging of the
+//! experiment topologies (e.g. rendering the Figure 3 network).
+
+use crate::graph::Graph;
+use crate::spanning::BfsTree;
+use std::fmt::Write;
+
+/// Renders `g` as an undirected DOT graph. Node labels are identities.
+pub fn graph_to_dot(g: &Graph, name: &str) -> String {
+    let mut out = String::new();
+    writeln!(out, "graph {name} {{").expect("write to String cannot fail");
+    for p in g.nodes() {
+        writeln!(out, "  {p};").expect("write to String cannot fail");
+    }
+    for &(p, q) in g.edges() {
+        writeln!(out, "  {p} -- {q};").expect("write to String cannot fail");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a BFS tree as a directed DOT graph, edges oriented toward the
+/// root — the orientation of the buffer-graph components of Figure 1.
+pub fn tree_to_dot(t: &BfsTree, name: &str) -> String {
+    let mut out = String::new();
+    writeln!(out, "digraph {name} {{").expect("write to String cannot fail");
+    writeln!(out, "  {} [shape=doublecircle];", t.root()).expect("write to String cannot fail");
+    for p in 0..t.n() {
+        if let Some(q) = t.parent(p) {
+            writeln!(out, "  {p} -> {q};").expect("write to String cannot fail");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn dot_contains_all_edges() {
+        let g = gen::ring(4);
+        let dot = graph_to_dot(&g, "ring4");
+        assert!(dot.starts_with("graph ring4 {"));
+        for &(p, q) in g.edges() {
+            assert!(dot.contains(&format!("{p} -- {q};")));
+        }
+    }
+
+    #[test]
+    fn tree_dot_marks_root() {
+        let g = gen::line(4);
+        let t = BfsTree::new(&g, 2);
+        let dot = tree_to_dot(&t, "t");
+        assert!(dot.contains("2 [shape=doublecircle];"));
+        assert!(dot.contains("3 -> 2;"));
+        assert!(dot.contains("0 -> 1;"));
+    }
+}

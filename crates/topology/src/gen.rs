@@ -1,0 +1,415 @@
+//! Deterministic topology generators for the experiment sweeps.
+//!
+//! The complexity propositions of the paper are parameterized by `n`, the
+//! maximal degree `Δ` and the diameter `D`, so the experiments need families
+//! where each parameter can be scaled independently:
+//!
+//! * **lines / rings** — `Δ = 2`, `D = n−1` resp. `⌊n/2⌋`: scale `D` with Δ
+//!   fixed (Proposition 5's `Δ^D` term with `Δ = 2`);
+//! * **stars** — `Δ = n−1`, `D = 2`: scale `Δ` with `D` fixed;
+//! * **complete graphs** — `Δ = n−1`, `D = 1`: the dense extreme;
+//! * **balanced k-ary trees, random trees, grids, tori, hypercubes,
+//!   random connected graphs** — realistic middles.
+//!
+//! Random generators take an explicit `seed`; identical parameters and seed
+//! always yield the identical graph.
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Path (line) graph `0 — 1 — … — n−1`. Requires `n ≥ 1`.
+pub fn line(n: usize) -> Graph {
+    assert!(n >= 1, "line requires n >= 1");
+    let mut b = GraphBuilder::new(n);
+    for p in 1..n {
+        b.edge(p - 1, p).expect("line edges are simple");
+    }
+    b.build().expect("line is connected")
+}
+
+/// Cycle (ring) graph on `n ≥ 3` nodes.
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3, "ring requires n >= 3");
+    let mut b = GraphBuilder::new(n);
+    for p in 0..n {
+        b.edge(p, (p + 1) % n).expect("ring edges are simple");
+    }
+    b.build().expect("ring is connected")
+}
+
+/// Star graph: node 0 is the hub, nodes `1..n` are leaves. Requires `n ≥ 2`.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2, "star requires n >= 2");
+    let mut b = GraphBuilder::new(n);
+    for p in 1..n {
+        b.edge(0, p).expect("star edges are simple");
+    }
+    b.build().expect("star is connected")
+}
+
+/// Complete graph `K_n`. Requires `n ≥ 1`.
+pub fn complete(n: usize) -> Graph {
+    assert!(n >= 1, "complete requires n >= 1");
+    let mut b = GraphBuilder::new(n);
+    for p in 0..n {
+        for q in (p + 1)..n {
+            b.edge(p, q).expect("complete edges are simple");
+        }
+    }
+    b.build().expect("complete is connected")
+}
+
+/// Balanced `k`-ary tree with `n` nodes in heap order (node `p`'s children
+/// are `k·p + 1 … k·p + k`). Requires `n ≥ 1`, `k ≥ 1`.
+pub fn kary_tree(n: usize, k: usize) -> Graph {
+    assert!(n >= 1 && k >= 1, "kary_tree requires n >= 1, k >= 1");
+    let mut b = GraphBuilder::new(n);
+    for p in 1..n {
+        b.edge((p - 1) / k, p).expect("tree edges are simple");
+    }
+    b.build().expect("tree is connected")
+}
+
+/// Two-dimensional grid of `rows × cols` nodes. Node `(r, c)` is `r·cols+c`.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 1 && cols >= 1, "grid requires rows, cols >= 1");
+    let id = |r: usize, c: usize| r * cols + c;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.edge(id(r, c), id(r, c + 1)).expect("grid edge");
+            }
+            if r + 1 < rows {
+                b.edge(id(r, c), id(r + 1, c)).expect("grid edge");
+            }
+        }
+    }
+    b.build().expect("grid is connected")
+}
+
+/// Two-dimensional torus (`rows, cols ≥ 3` so wrap edges are simple).
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus requires rows, cols >= 3");
+    let id = |r: usize, c: usize| r * cols + c;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            b.edge_dedup(id(r, c), id(r, (c + 1) % cols)).expect("torus edge");
+            b.edge_dedup(id(r, c), id((r + 1) % rows, c)).expect("torus edge");
+        }
+    }
+    b.build().expect("torus is connected")
+}
+
+/// Hypercube of dimension `dim` (`2^dim` nodes, `Δ = D = dim`).
+pub fn hypercube(dim: u32) -> Graph {
+    let n = 1usize << dim;
+    let mut b = GraphBuilder::new(n);
+    for p in 0..n {
+        for bit in 0..dim {
+            let q = p ^ (1usize << bit);
+            if p < q {
+                b.edge(p, q).expect("hypercube edge");
+            }
+        }
+    }
+    b.build().expect("hypercube is connected")
+}
+
+/// Uniform random labelled tree on `n` nodes via a random Prüfer sequence.
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    assert!(n >= 1, "random_tree requires n >= 1");
+    if n == 1 {
+        return Graph::singleton();
+    }
+    if n == 2 {
+        return Graph::from_edges(2, &[(0, 1)]).expect("2-node tree");
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let prufer: Vec<NodeId> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &p in &prufer {
+        degree[p] += 1;
+    }
+    let mut b = GraphBuilder::new(n);
+    // Standard Prüfer decoding with a priority on the smallest leaf.
+    let mut leaf_heap: std::collections::BinaryHeap<std::cmp::Reverse<NodeId>> = (0..n)
+        .filter(|&p| degree[p] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    for &p in &prufer {
+        let std::cmp::Reverse(leaf) = leaf_heap.pop().expect("tree decode always has a leaf");
+        b.edge(leaf, p).expect("Prüfer edges are simple");
+        degree[p] -= 1;
+        if degree[p] == 1 {
+            leaf_heap.push(std::cmp::Reverse(p));
+        }
+    }
+    let std::cmp::Reverse(u) = leaf_heap.pop().expect("two leaves remain");
+    let std::cmp::Reverse(v) = leaf_heap.pop().expect("two leaves remain");
+    b.edge(u, v).expect("final Prüfer edge");
+    b.build().expect("Prüfer decoding yields a tree")
+}
+
+/// Random connected graph: a random spanning tree plus `extra` random
+/// additional edges (deduplicated; fewer may be added on small graphs).
+pub fn random_connected(n: usize, extra: usize, seed: u64) -> Graph {
+    assert!(n >= 1, "random_connected requires n >= 1");
+    if n == 1 {
+        return Graph::singleton();
+    }
+    let tree = random_tree(n, seed);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut b = GraphBuilder::new(n);
+    for &(p, q) in tree.edges() {
+        b.edge(p, q).expect("tree edges are simple");
+    }
+    let max_extra = n * (n - 1) / 2 - (n - 1);
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < extra.min(max_extra) && attempts < 50 * (extra + 1) {
+        attempts += 1;
+        let p = rng.gen_range(0..n);
+        let q = rng.gen_range(0..n);
+        if p == q {
+            continue;
+        }
+        match b.edge(p, q) {
+            Ok(_) => added += 1,
+            Err(crate::graph::GraphError::DuplicateEdge(..)) => {}
+            Err(e) => unreachable!("range-checked edge insertion failed: {e}"),
+        }
+    }
+    b.build().expect("superset of a spanning tree is connected")
+}
+
+/// Wheel graph: a hub (node 0) connected to every node of an outer ring
+/// `1..n`. Requires `n ≥ 4` (outer ring of ≥ 3).
+pub fn wheel(n: usize) -> Graph {
+    assert!(n >= 4, "wheel requires n >= 4");
+    let mut b = GraphBuilder::new(n);
+    for p in 1..n {
+        b.edge(0, p).expect("spoke");
+        let next = if p == n - 1 { 1 } else { p + 1 };
+        b.edge_dedup(p, next).expect("rim");
+    }
+    b.build().expect("wheel is connected")
+}
+
+/// Barbell graph: two complete graphs `K_k` joined by a path of
+/// `bridge ≥ 1` edges. A classic low-conductance stress topology.
+pub fn barbell(k: usize, bridge: usize) -> Graph {
+    assert!(k >= 2 && bridge >= 1, "barbell requires k >= 2, bridge >= 1");
+    let n = 2 * k + bridge.saturating_sub(1);
+    let mut b = GraphBuilder::new(n);
+    // Left clique: 0..k. Right clique: occupies the last k ids.
+    for p in 0..k {
+        for q in (p + 1)..k {
+            b.edge(p, q).expect("left clique");
+        }
+    }
+    let right0 = n - k;
+    for p in right0..n {
+        for q in (p + 1)..n {
+            b.edge(p, q).expect("right clique");
+        }
+    }
+    // Bridge path from node k−1 through intermediates to right0.
+    let mut prev = k - 1;
+    for mid in k..right0 {
+        b.edge(prev, mid).expect("bridge");
+        prev = mid;
+    }
+    b.edge(prev, right0).expect("bridge end");
+    b.build().expect("barbell is connected")
+}
+
+/// The Petersen graph (n = 10, 3-regular, girth 5, diameter 2).
+pub fn petersen() -> Graph {
+    let mut b = GraphBuilder::new(10);
+    for p in 0..5 {
+        b.edge(p, (p + 1) % 5).expect("outer pentagon");
+        b.edge(p, p + 5).expect("spoke");
+        b.edge(5 + p, 5 + (p + 2) % 5).expect("inner pentagram");
+    }
+    b.build().expect("Petersen is connected")
+}
+
+/// The 4-node network of the paper's **Figure 3** example: nodes `a, b, c, d`
+/// mapped to `0, 1, 2, 3`. The figure's network is a cycle `a—c—b—d—a` plus
+/// the chord `a—b`, giving `Δ = 3` (hence the four colors `{0,1,2,3}` used in
+/// the worked example).
+pub fn figure3_network() -> Graph {
+    Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)])
+        .expect("figure 3 network is simple and connected")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::GraphMetrics;
+
+    #[test]
+    fn line_shape() {
+        let g = line(5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.max_degree(), 2);
+        let m = GraphMetrics::new(&g);
+        assert_eq!(m.diameter(), 4);
+    }
+
+    #[test]
+    fn line_singleton() {
+        assert_eq!(line(1).n(), 1);
+    }
+
+    #[test]
+    fn ring_shape() {
+        let g = ring(6);
+        assert_eq!(g.m(), 6);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(GraphMetrics::new(&g).diameter(), 3);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7);
+        assert_eq!(g.m(), 6);
+        assert_eq!(g.max_degree(), 6);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(GraphMetrics::new(&g).diameter(), 2);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(5);
+        assert_eq!(g.m(), 10);
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(GraphMetrics::new(&g).diameter(), 1);
+    }
+
+    #[test]
+    fn kary_tree_shape() {
+        let g = kary_tree(7, 2);
+        assert_eq!(g.m(), 6);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 3, 4]);
+        assert_eq!(GraphMetrics::new(&g).diameter(), 4);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 3 + 2 * 4);
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(GraphMetrics::new(&g).diameter(), 5);
+    }
+
+    #[test]
+    fn torus_shape() {
+        let g = torus(3, 3);
+        assert_eq!(g.n(), 9);
+        assert_eq!(g.m(), 18);
+        assert!(g.nodes().all(|p| g.degree(p) == 4));
+        assert_eq!(GraphMetrics::new(&g).diameter(), 2);
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(3);
+        assert_eq!(g.n(), 8);
+        assert_eq!(g.m(), 12);
+        assert!(g.nodes().all(|p| g.degree(p) == 3));
+        assert_eq!(GraphMetrics::new(&g).diameter(), 3);
+    }
+
+    #[test]
+    fn hypercube_dim0() {
+        assert_eq!(hypercube(0).n(), 1);
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        for seed in 0..10 {
+            let g = random_tree(20, seed);
+            assert_eq!(g.n(), 20);
+            assert_eq!(g.m(), 19); // connected + n−1 edges ⇒ tree
+        }
+    }
+
+    #[test]
+    fn random_tree_deterministic() {
+        assert_eq!(random_tree(15, 42), random_tree(15, 42));
+        assert_ne!(random_tree(15, 42), random_tree(15, 43));
+    }
+
+    #[test]
+    fn random_connected_has_extra_edges() {
+        let g = random_connected(20, 10, 7);
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.m(), 29);
+    }
+
+    #[test]
+    fn random_connected_caps_extras_on_small_graphs() {
+        let g = random_connected(3, 100, 1);
+        assert_eq!(g.m(), 3); // K_3 is the maximum
+    }
+
+    #[test]
+    fn wheel_shape() {
+        let g = wheel(7); // hub + 6-ring
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m(), 12);
+        assert_eq!(g.degree(0), 6);
+        assert!(g.nodes().skip(1).all(|p| g.degree(p) == 3));
+        assert_eq!(GraphMetrics::new(&g).diameter(), 2);
+    }
+
+    #[test]
+    fn wheel_minimum() {
+        let g = wheel(4); // hub + triangle = K4
+        assert_eq!(g.m(), 6);
+    }
+
+    #[test]
+    fn barbell_shape() {
+        let g = barbell(4, 3); // two K4 + 2 intermediate bridge nodes
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 6 + 6 + 3);
+        let m = GraphMetrics::new(&g);
+        // Diameter: clique-corner → bridge(3 edges) → clique-corner = 5.
+        assert_eq!(m.diameter(), 5);
+    }
+
+    #[test]
+    fn barbell_direct_bridge() {
+        let g = barbell(3, 1);
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.m(), 3 + 3 + 1);
+        assert!(g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn petersen_shape() {
+        let g = petersen();
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 15);
+        assert!(g.nodes().all(|p| g.degree(p) == 3));
+        let m = GraphMetrics::new(&g);
+        assert_eq!(m.diameter(), 2);
+    }
+
+    #[test]
+    fn figure3_network_shape() {
+        let g = figure3_network();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 5);
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(GraphMetrics::new(&g).diameter(), 2);
+    }
+}

@@ -1,0 +1,312 @@
+//! The identified, undirected, connected network graph of §2.
+//!
+//! Processors are identified by dense integer [`NodeId`]s `0..n` (the paper's
+//! identity set `I = {0, …, n−1}`). Neighbour sets `N_p` are stored as sorted
+//! adjacency lists, so iteration order is deterministic — a requirement for
+//! reproducible daemon schedules and for the deterministic tie-breaking rules
+//! of the routing substrate.
+
+use std::fmt;
+
+/// Identity of a processor. The paper assumes a fully identified network:
+/// identities are unique and globally known. We use dense indices `0..n`.
+pub type NodeId = usize;
+
+/// Errors raised while constructing or validating a [`Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An endpoint referenced a node outside `0..n`.
+    NodeOutOfRange { node: NodeId, n: usize },
+    /// A self-loop `(p, p)` was supplied; the model forbids them.
+    SelfLoop(NodeId),
+    /// The same undirected edge was supplied twice.
+    DuplicateEdge(NodeId, NodeId),
+    /// The graph is not connected; the model requires connectivity.
+    Disconnected { reached: usize, n: usize },
+    /// The graph has no nodes.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph of {n} nodes")
+            }
+            GraphError::SelfLoop(p) => write!(f, "self-loop at node {p} is not allowed"),
+            GraphError::DuplicateEdge(p, q) => write!(f, "duplicate edge ({p}, {q})"),
+            GraphError::Disconnected { reached, n } => {
+                write!(f, "graph is disconnected: reached {reached} of {n} nodes")
+            }
+            GraphError::Empty => write!(f, "graph must have at least one node"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An undirected, connected, simple graph with identified nodes.
+///
+/// Invariants (enforced at construction):
+/// * at least one node,
+/// * no self-loops, no parallel edges,
+/// * connected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    /// `adj[p]` is the sorted list of neighbours `N_p`.
+    adj: Vec<Vec<NodeId>>,
+    /// Undirected edge list with `p < q`, sorted lexicographically.
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list over nodes `0..n`.
+    ///
+    /// Returns an error if the edge list references out-of-range nodes,
+    /// contains self-loops or duplicates, or does not connect all `n` nodes.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Result<Self, GraphError> {
+        let mut b = GraphBuilder::new(n);
+        for &(p, q) in edges {
+            b.edge(p, q)?;
+        }
+        b.build()
+    }
+
+    /// The single-node graph (a network of one processor, trivially
+    /// connected). Useful as a degenerate base case in tests.
+    pub fn singleton() -> Self {
+        Graph {
+            n: 1,
+            adj: vec![Vec::new()],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of processors `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all node identities `0..n`.
+    #[inline]
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + Clone {
+        0..self.n
+    }
+
+    /// The sorted neighbour set `N_p`.
+    #[inline]
+    pub fn neighbors(&self, p: NodeId) -> &[NodeId] {
+        &self.adj[p]
+    }
+
+    /// Degree of `p` (`|N_p|`).
+    #[inline]
+    pub fn degree(&self, p: NodeId) -> usize {
+        self.adj[p].len()
+    }
+
+    /// Maximal degree `Δ` of the network.
+    #[inline]
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Whether `p` and `q` are neighbours (binary search over sorted list).
+    #[inline]
+    pub fn has_edge(&self, p: NodeId, q: NodeId) -> bool {
+        self.adj[p].binary_search(&q).is_ok()
+    }
+
+    /// The undirected edge list, each edge once with `p < q`, sorted.
+    #[inline]
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// Index of neighbour `q` within `N_p` (its local port label), if any.
+    #[inline]
+    pub fn port_of(&self, p: NodeId, q: NodeId) -> Option<usize> {
+        self.adj[p].binary_search(&q).ok()
+    }
+}
+
+/// Incremental builder for [`Graph`], validating as edges are added.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    adj: Vec<Vec<NodeId>>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph over nodes `0..n`.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Adds the undirected edge `(p, q)`.
+    pub fn edge(&mut self, p: NodeId, q: NodeId) -> Result<&mut Self, GraphError> {
+        if p >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: p, n: self.n });
+        }
+        if q >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: q, n: self.n });
+        }
+        if p == q {
+            return Err(GraphError::SelfLoop(p));
+        }
+        if self.adj[p].contains(&q) {
+            return Err(GraphError::DuplicateEdge(p, q));
+        }
+        self.adj[p].push(q);
+        self.adj[q].push(p);
+        Ok(self)
+    }
+
+    /// Adds the edge if absent; silently ignores duplicates. Used by random
+    /// generators that may propose the same pair twice.
+    pub fn edge_dedup(&mut self, p: NodeId, q: NodeId) -> Result<&mut Self, GraphError> {
+        match self.edge(p, q) {
+            Ok(_) | Err(GraphError::DuplicateEdge(..)) => Ok(self),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Finalizes the graph, checking connectivity.
+    pub fn build(mut self) -> Result<Graph, GraphError> {
+        if self.n == 0 {
+            return Err(GraphError::Empty);
+        }
+        for list in &mut self.adj {
+            list.sort_unstable();
+        }
+        // Connectivity check (iterative DFS).
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![0];
+        seen[0] = true;
+        let mut reached = 1;
+        while let Some(p) = stack.pop() {
+            for &q in &self.adj[p] {
+                if !seen[q] {
+                    seen[q] = true;
+                    reached += 1;
+                    stack.push(q);
+                }
+            }
+        }
+        if reached != self.n {
+            return Err(GraphError::Disconnected { reached, n: self.n });
+        }
+        let mut edges = Vec::new();
+        for p in 0..self.n {
+            for &q in &self.adj[p] {
+                if p < q {
+                    edges.push((p, q));
+                }
+            }
+        }
+        edges.sort_unstable();
+        Ok(Graph {
+            n: self.n,
+            adj: self.adj,
+            edges,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_triangle() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.max_degree(), 2);
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        assert_eq!(
+            Graph::from_edges(2, &[(0, 0), (0, 1)]).unwrap_err(),
+            GraphError::SelfLoop(0)
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        assert_eq!(
+            Graph::from_edges(2, &[(0, 1), (1, 0)]).unwrap_err(),
+            GraphError::DuplicateEdge(1, 0)
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert_eq!(
+            Graph::from_edges(2, &[(0, 5)]).unwrap_err(),
+            GraphError::NodeOutOfRange { node: 5, n: 2 }
+        );
+    }
+
+    #[test]
+    fn rejects_disconnected() {
+        assert_eq!(
+            Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap_err(),
+            GraphError::Disconnected { reached: 2, n: 4 }
+        );
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Graph::from_edges(0, &[]).unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn singleton_is_valid() {
+        let g = Graph::singleton();
+        assert_eq!(g.n(), 1);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn ports_are_sorted_positions() {
+        let g = Graph::from_edges(4, &[(2, 0), (2, 3), (2, 1)]).unwrap();
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        assert_eq!(g.port_of(2, 0), Some(0));
+        assert_eq!(g.port_of(2, 1), Some(1));
+        assert_eq!(g.port_of(2, 3), Some(2));
+        assert_eq!(g.port_of(2, 2), None);
+    }
+
+    #[test]
+    fn edge_dedup_ignores_duplicates() {
+        let mut b = GraphBuilder::new(3);
+        b.edge_dedup(0, 1).unwrap();
+        b.edge_dedup(1, 0).unwrap();
+        b.edge_dedup(1, 2).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn edge_list_is_canonical() {
+        let g = Graph::from_edges(4, &[(3, 1), (0, 2), (1, 0)]).unwrap();
+        assert_eq!(g.edges(), &[(0, 1), (0, 2), (1, 3)]);
+    }
+}

@@ -1,0 +1,31 @@
+//! Network topology substrate for the SSMFP reproduction.
+//!
+//! The paper (§2 *Preliminaries*) models the network as an undirected
+//! connected graph `G = (V, E)` of *identified* processors: every processor
+//! has a unique identity, knows the set `I` of all identities, and can
+//! distinguish its incident links by the neighbour's label. This crate
+//! provides exactly that object — [`Graph`] — together with
+//!
+//! * deterministic **generators** for the topology families used by the
+//!   experiments (lines, rings, stars, trees, grids, tori, hypercubes,
+//!   complete graphs, random connected graphs) in [`gen`],
+//! * **metrics** the paper's complexity bounds are stated in (`Δ` the maximal
+//!   degree, `D` the diameter, `dist(p, q)` shortest-path distances) in
+//!   [`metrics`],
+//! * per-destination **BFS trees** `T_d` used by the destination-based buffer
+//!   graphs of Figures 1 and 2 in [`spanning`],
+//! * a tiny **DOT** exporter for documentation and debugging in [`dot`].
+//!
+//! All generators are pure functions of their parameters (no hidden RNG); the
+//! random generator takes an explicit seed, so every experiment in the
+//! workspace is reproducible.
+
+pub mod dot;
+pub mod gen;
+pub mod graph;
+pub mod metrics;
+pub mod spanning;
+
+pub use graph::{Graph, GraphBuilder, GraphError, NodeId};
+pub use metrics::{AllPairs, GraphMetrics};
+pub use spanning::BfsTree;

@@ -1,0 +1,267 @@
+//! Graph metrics used throughout the paper's complexity analysis: shortest
+//! path distances `dist(p, q)`, the diameter `D`, the maximal degree `Δ`.
+//!
+//! Distances are computed by one BFS per node ([`AllPairs`]); for the graph
+//! sizes the state-model simulator can handle (thousands of nodes) this is
+//! far below the cost of a single simulation run.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// All-pairs shortest path distances (unweighted BFS).
+#[derive(Debug, Clone)]
+pub struct AllPairs {
+    n: usize,
+    /// Row-major `n × n` distance matrix.
+    dist: Vec<u32>,
+}
+
+impl AllPairs {
+    /// Runs a BFS from every node of `g`.
+    pub fn new(g: &Graph) -> Self {
+        let n = g.n();
+        let mut dist = vec![u32::MAX; n * n];
+        let mut queue = VecDeque::new();
+        for src in 0..n {
+            let row = &mut dist[src * n..(src + 1) * n];
+            row[src] = 0;
+            queue.clear();
+            queue.push_back(src);
+            while let Some(p) = queue.pop_front() {
+                let dp = row[p];
+                for &q in g.neighbors(p) {
+                    if row[q] == u32::MAX {
+                        row[q] = dp + 1;
+                        queue.push_back(q);
+                    }
+                }
+            }
+        }
+        AllPairs { n, dist }
+    }
+
+    /// `dist(p, q)`: length of the shortest path between `p` and `q`.
+    #[inline]
+    pub fn dist(&self, p: NodeId, q: NodeId) -> u32 {
+        self.dist[p * self.n + q]
+    }
+
+    /// Eccentricity of `p`: max distance from `p` to any node.
+    pub fn eccentricity(&self, p: NodeId) -> u32 {
+        (0..self.n).map(|q| self.dist(p, q)).max().unwrap_or(0)
+    }
+
+    /// The diameter `D` (max eccentricity).
+    pub fn diameter(&self) -> u32 {
+        (0..self.n).map(|p| self.eccentricity(p)).max().unwrap_or(0)
+    }
+
+    /// The radius (min eccentricity).
+    pub fn radius(&self) -> u32 {
+        (0..self.n).map(|p| self.eccentricity(p)).min().unwrap_or(0)
+    }
+}
+
+/// Bundle of the metrics the paper's bounds are stated in.
+#[derive(Debug, Clone)]
+pub struct GraphMetrics {
+    n: usize,
+    m: usize,
+    max_degree: usize,
+    all_pairs: AllPairs,
+}
+
+impl GraphMetrics {
+    /// Computes all metrics for `g`.
+    pub fn new(g: &Graph) -> Self {
+        GraphMetrics {
+            n: g.n(),
+            m: g.m(),
+            max_degree: g.max_degree(),
+            all_pairs: AllPairs::new(g),
+        }
+    }
+
+    /// Number of processors `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Maximal degree `Δ`.
+    pub fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    /// Diameter `D`.
+    pub fn diameter(&self) -> u32 {
+        self.all_pairs.diameter()
+    }
+
+    /// Radius of the graph.
+    pub fn radius(&self) -> u32 {
+        self.all_pairs.radius()
+    }
+
+    /// `dist(p, q)`.
+    pub fn dist(&self, p: NodeId, q: NodeId) -> u32 {
+        self.all_pairs.dist(p, q)
+    }
+
+    /// The underlying all-pairs table.
+    pub fn all_pairs(&self) -> &AllPairs {
+        &self.all_pairs
+    }
+
+    /// Histogram of node degrees: `hist[k]` = number of nodes of degree `k`.
+    pub fn degree_histogram(&self, g: &Graph) -> Vec<usize> {
+        let mut hist = vec![0usize; self.max_degree + 1];
+        for p in g.nodes() {
+            hist[g.degree(p)] += 1;
+        }
+        hist
+    }
+
+    /// Mean shortest-path distance over ordered pairs `p ≠ q` (0 for the
+    /// singleton graph). The expected uncontended hop count of uniform
+    /// all-pairs traffic.
+    pub fn average_distance(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let mut sum = 0u64;
+        for p in 0..self.n {
+            for q in 0..self.n {
+                if p != q {
+                    sum += self.all_pairs.dist(p, q) as u64;
+                }
+            }
+        }
+        sum as f64 / (self.n * (self.n - 1)) as f64
+    }
+
+    /// The paper's worst-case per-message bound of Proposition 5, `Δ^D`,
+    /// saturating at `u64::MAX` (the bound is astronomically loose already
+    /// for moderate graphs — that looseness is itself one of our findings).
+    pub fn delta_pow_d(&self) -> u64 {
+        let delta = self.max_degree as u64;
+        let d = self.diameter();
+        let mut acc: u64 = 1;
+        for _ in 0..d {
+            acc = acc.saturating_mul(delta.max(1));
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn line_distances() {
+        let g = gen::line(5);
+        let ap = AllPairs::new(&g);
+        assert_eq!(ap.dist(0, 4), 4);
+        assert_eq!(ap.dist(2, 2), 0);
+        assert_eq!(ap.dist(1, 3), 2);
+        assert_eq!(ap.diameter(), 4);
+        assert_eq!(ap.radius(), 2);
+    }
+
+    #[test]
+    fn ring_distances() {
+        let g = gen::ring(8);
+        let ap = AllPairs::new(&g);
+        assert_eq!(ap.dist(0, 4), 4);
+        assert_eq!(ap.dist(0, 5), 3);
+        assert_eq!(ap.diameter(), 4);
+        assert_eq!(ap.radius(), 4);
+    }
+
+    #[test]
+    fn distances_symmetric() {
+        let g = gen::random_connected(30, 15, 3);
+        let ap = AllPairs::new(&g);
+        for p in 0..30 {
+            for q in 0..30 {
+                assert_eq!(ap.dist(p, q), ap.dist(q, p));
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality() {
+        let g = gen::random_connected(25, 10, 9);
+        let ap = AllPairs::new(&g);
+        for p in 0..25 {
+            for q in 0..25 {
+                for r in 0..25 {
+                    assert!(ap.dist(p, r) <= ap.dist(p, q) + ap.dist(q, r));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_at_distance_one() {
+        let g = gen::grid(4, 4);
+        let ap = AllPairs::new(&g);
+        for &(p, q) in g.edges() {
+            assert_eq!(ap.dist(p, q), 1);
+        }
+    }
+
+    #[test]
+    fn delta_pow_d_values() {
+        let m = GraphMetrics::new(&gen::line(5)); // Δ=2, D=4
+        assert_eq!(m.delta_pow_d(), 16);
+        let m = GraphMetrics::new(&gen::star(6)); // Δ=5, D=2
+        assert_eq!(m.delta_pow_d(), 25);
+        let m = GraphMetrics::new(&gen::complete(4)); // Δ=3, D=1
+        assert_eq!(m.delta_pow_d(), 3);
+    }
+
+    #[test]
+    fn delta_pow_d_saturates() {
+        let m = GraphMetrics::new(&gen::line(200)); // 2^199 saturates
+        assert_eq!(m.delta_pow_d(), u64::MAX);
+    }
+
+    #[test]
+    fn singleton_metrics() {
+        let m = GraphMetrics::new(&Graph::singleton());
+        assert_eq!(m.diameter(), 0);
+        assert_eq!(m.delta_pow_d(), 1);
+        assert_eq!(m.average_distance(), 0.0);
+    }
+
+    #[test]
+    fn degree_histogram_star() {
+        let g = gen::star(5); // hub degree 4, four leaves degree 1
+        let m = GraphMetrics::new(&g);
+        let h = m.degree_histogram(&g);
+        assert_eq!(h[1], 4);
+        assert_eq!(h[4], 1);
+        assert_eq!(h.iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn average_distance_complete_is_one() {
+        let m = GraphMetrics::new(&gen::complete(5));
+        assert!((m.average_distance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_distance_line3() {
+        // Distances: (0,1)=1 (0,2)=2 (1,2)=1 → mean over 6 ordered pairs
+        // = (1+2+1)*2/6 = 4/3.
+        let m = GraphMetrics::new(&gen::line(3));
+        assert!((m.average_distance() - 4.0 / 3.0).abs() < 1e-12);
+    }
+}

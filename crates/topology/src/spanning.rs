@@ -1,0 +1,183 @@
+//! Per-destination BFS trees `T_d`.
+//!
+//! The destination-based buffer graph of Figure 1 (and SSMFP's adaptation in
+//! Figure 2) assumes the routing algorithm forwards all packets for
+//! destination `d` along a directed tree `T_d` rooted at `d`, induced by
+//! shortest paths. [`BfsTree`] is that object: for every processor `p ≠ d` it
+//! stores the parent `nextHop` on a shortest `p → d` path (ties broken toward
+//! the smallest neighbour identity, matching the routing substrate's
+//! deterministic tie-break).
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// A shortest-path tree rooted at a destination `d`, oriented toward `d`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfsTree {
+    root: NodeId,
+    /// `parent[p]` is the next hop from `p` toward the root; `parent[root]`
+    /// is `None`.
+    parent: Vec<Option<NodeId>>,
+    /// `depth[p] = dist(p, root)`.
+    depth: Vec<u32>,
+}
+
+impl BfsTree {
+    /// Builds the BFS tree of `g` rooted at `root` with smallest-identity
+    /// tie-breaking: the parent of `p` is the smallest neighbour of `p`
+    /// among those at depth `depth(p) − 1`.
+    pub fn new(g: &Graph, root: NodeId) -> Self {
+        let n = g.n();
+        assert!(root < n, "root {root} out of range");
+        let mut depth = vec![u32::MAX; n];
+        depth[root] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(root);
+        while let Some(p) = queue.pop_front() {
+            for &q in g.neighbors(p) {
+                if depth[q] == u32::MAX {
+                    depth[q] = depth[p] + 1;
+                    queue.push_back(q);
+                }
+            }
+        }
+        // Parent = smallest neighbour one level closer to the root.
+        let parent = (0..n)
+            .map(|p| {
+                if p == root {
+                    None
+                } else {
+                    g.neighbors(p)
+                        .iter()
+                        .copied()
+                        .find(|&q| depth[q] + 1 == depth[p])
+                }
+            })
+            .collect::<Vec<_>>();
+        debug_assert!(parent
+            .iter()
+            .enumerate()
+            .all(|(p, par)| p == root || par.is_some()));
+        BfsTree {
+            root,
+            parent,
+            depth,
+        }
+    }
+
+    /// The tree's root (the destination `d`).
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Next hop from `p` toward the root (`None` iff `p` is the root).
+    pub fn parent(&self, p: NodeId) -> Option<NodeId> {
+        self.parent[p]
+    }
+
+    /// Distance from `p` to the root.
+    pub fn depth(&self, p: NodeId) -> u32 {
+        self.depth[p]
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// The full path from `p` to the root, inclusive of both endpoints.
+    pub fn path_to_root(&self, p: NodeId) -> Vec<NodeId> {
+        let mut path = vec![p];
+        let mut cur = p;
+        while let Some(next) = self.parent[cur] {
+            path.push(next);
+            cur = next;
+        }
+        path
+    }
+
+    /// Children lists (inverse of the parent function).
+    pub fn children(&self) -> Vec<Vec<NodeId>> {
+        let mut ch = vec![Vec::new(); self.parent.len()];
+        for (p, par) in self.parent.iter().enumerate() {
+            if let Some(q) = par {
+                ch[*q].push(p);
+            }
+        }
+        ch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::metrics::AllPairs;
+
+    #[test]
+    fn line_tree() {
+        let g = gen::line(5);
+        let t = BfsTree::new(&g, 0);
+        assert_eq!(t.parent(0), None);
+        assert_eq!(t.parent(3), Some(2));
+        assert_eq!(t.depth(4), 4);
+        assert_eq!(t.path_to_root(4), vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn depths_match_bfs_distances() {
+        let g = gen::random_connected(40, 20, 11);
+        let ap = AllPairs::new(&g);
+        for root in 0..g.n() {
+            let t = BfsTree::new(&g, root);
+            for p in 0..g.n() {
+                assert_eq!(t.depth(p), ap.dist(p, root));
+            }
+        }
+    }
+
+    #[test]
+    fn parent_strictly_decreases_depth() {
+        let g = gen::grid(5, 5);
+        let t = BfsTree::new(&g, 12);
+        for p in 0..g.n() {
+            if let Some(q) = t.parent(p) {
+                assert!(g.has_edge(p, q));
+                assert_eq!(t.depth(q) + 1, t.depth(p));
+            }
+        }
+    }
+
+    #[test]
+    fn smallest_id_tie_break() {
+        // Ring of 4: node 2 is at distance 2 from 0 via both 1 and 3; the
+        // parent must be the smaller neighbour, 1.
+        let g = gen::ring(4);
+        let t = BfsTree::new(&g, 0);
+        assert_eq!(t.parent(2), Some(1));
+    }
+
+    #[test]
+    fn children_inverse_of_parent() {
+        let g = gen::kary_tree(15, 2);
+        let t = BfsTree::new(&g, 0);
+        let ch = t.children();
+        let mut count = 0;
+        for (q, list) in ch.iter().enumerate() {
+            for &p in list {
+                assert_eq!(t.parent(p), Some(q));
+                count += 1;
+            }
+        }
+        assert_eq!(count, g.n() - 1); // every non-root appears exactly once
+    }
+
+    #[test]
+    fn path_lengths_are_depths() {
+        let g = gen::torus(4, 5);
+        let t = BfsTree::new(&g, 7);
+        for p in 0..g.n() {
+            assert_eq!(t.path_to_root(p).len() as u32, t.depth(p) + 1);
+        }
+    }
+}

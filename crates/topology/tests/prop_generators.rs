@@ -1,0 +1,113 @@
+//! Property-based tests for the topology generators: every generated graph
+//! must satisfy the §2 model invariants (connected, simple, identified), and
+//! its metrics must match the closed forms of the family.
+
+use proptest::prelude::*;
+use ssmfp_topology::{gen, Graph, GraphMetrics};
+
+fn assert_model_invariants(g: &Graph) {
+    // Connectivity is enforced at build time; re-derive it via distances.
+    let m = GraphMetrics::new(g);
+    for p in g.nodes() {
+        for q in g.nodes() {
+            assert_ne!(m.dist(p, q), u32::MAX, "graph must be connected");
+        }
+        // Simple graph: sorted, duplicate-free adjacency, no self-loop.
+        let nb = g.neighbors(p);
+        assert!(nb.windows(2).all(|w| w[0] < w[1]));
+        assert!(!nb.contains(&p));
+        // Symmetry of the neighbour relation.
+        for &q in nb {
+            assert!(g.neighbors(q).contains(&p));
+        }
+    }
+    // Handshake lemma.
+    let deg_sum: usize = g.nodes().map(|p| g.degree(p)).sum();
+    assert_eq!(deg_sum, 2 * g.m());
+}
+
+proptest! {
+    #[test]
+    fn lines_are_valid(n in 1usize..60) {
+        let g = gen::line(n);
+        assert_model_invariants(&g);
+        prop_assert_eq!(g.m(), n - 1);
+        prop_assert_eq!(GraphMetrics::new(&g).diameter() as usize, n - 1);
+    }
+
+    #[test]
+    fn rings_are_valid(n in 3usize..60) {
+        let g = gen::ring(n);
+        assert_model_invariants(&g);
+        prop_assert_eq!(g.m(), n);
+        prop_assert_eq!(GraphMetrics::new(&g).diameter() as usize, n / 2);
+    }
+
+    #[test]
+    fn stars_are_valid(n in 2usize..60) {
+        let g = gen::star(n);
+        assert_model_invariants(&g);
+        prop_assert_eq!(g.max_degree(), n - 1);
+        let d = GraphMetrics::new(&g).diameter();
+        prop_assert_eq!(d, if n == 2 { 1 } else { 2 });
+    }
+
+    #[test]
+    fn complete_graphs_are_valid(n in 1usize..25) {
+        let g = gen::complete(n);
+        assert_model_invariants(&g);
+        prop_assert_eq!(g.m(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn kary_trees_are_valid(n in 1usize..80, k in 1usize..5) {
+        let g = gen::kary_tree(n, k);
+        assert_model_invariants(&g);
+        prop_assert_eq!(g.m(), n - 1);
+    }
+
+    #[test]
+    fn grids_are_valid(r in 1usize..8, c in 1usize..8) {
+        let g = gen::grid(r, c);
+        assert_model_invariants(&g);
+        prop_assert_eq!(GraphMetrics::new(&g).diameter() as usize, r + c - 2);
+    }
+
+    #[test]
+    fn tori_are_valid(r in 3usize..7, c in 3usize..7) {
+        let g = gen::torus(r, c);
+        assert_model_invariants(&g);
+        prop_assert_eq!(GraphMetrics::new(&g).diameter() as usize, r / 2 + c / 2);
+    }
+
+    #[test]
+    fn hypercubes_are_valid(dim in 0u32..7) {
+        let g = gen::hypercube(dim);
+        assert_model_invariants(&g);
+        prop_assert_eq!(GraphMetrics::new(&g).diameter(), dim);
+    }
+
+    #[test]
+    fn random_trees_are_trees(n in 1usize..80, seed in any::<u64>()) {
+        let g = gen::random_tree(n, seed);
+        assert_model_invariants(&g);
+        prop_assert_eq!(g.m(), n.saturating_sub(1));
+    }
+
+    #[test]
+    fn random_connected_are_connected(n in 1usize..50, extra in 0usize..30, seed in any::<u64>()) {
+        let g = gen::random_connected(n, extra, seed);
+        assert_model_invariants(&g);
+        prop_assert!(g.m() >= n.saturating_sub(1));
+        prop_assert!(g.m() <= n.saturating_sub(1) + extra);
+    }
+
+    #[test]
+    fn generators_are_deterministic(n in 2usize..40, seed in any::<u64>()) {
+        prop_assert_eq!(gen::random_tree(n, seed), gen::random_tree(n, seed));
+        prop_assert_eq!(
+            gen::random_connected(n, 5, seed),
+            gen::random_connected(n, 5, seed)
+        );
+    }
+}

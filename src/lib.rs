@@ -1,0 +1,46 @@
+//! # ssmfp — snap-stabilizing message forwarding, executable
+//!
+//! Umbrella crate for the reproduction of *“A snap-stabilizing
+//! point-to-point communication protocol in message-switched networks”*
+//! (Cournier, Dubois, Villain — IPPS 2009). It re-exports the workspace
+//! crates under stable module names:
+//!
+//! * [`topology`] — identified network graphs, generators, metrics, `T_d`.
+//! * [`kernel`] — the §2.1 state-model engine: protocols, daemons, rounds.
+//! * [`routing`] — the self-stabilizing silent routing algorithm `A`.
+//! * [`buffer_graph`] — Merlin–Schweitzer buffer graphs and controllers.
+//! * [`core`] — the `SSMFP` protocol itself (rules R1–R6), the baseline,
+//!   invariant monitors, the high-level [`core::Network`] API.
+//! * [`analysis`] — experiment harness regenerating every figure and
+//!   proposition of the paper.
+//! * [`mp`] — the exploratory message-passing port of §4's closing open
+//!   problem (asynchronous FIFO-channel simulator + three-way-handshake
+//!   forwarding).
+//! * [`check`] — exhaustive bounded model checker: verifies safety over
+//!   **all** central-daemon schedules on small instances, including the
+//!   machine-checked counterexample behind the R5 deviation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ssmfp::core::{Network, NetworkConfig};
+//! use ssmfp::topology::gen;
+//!
+//! // A ring of 6 processors with *corrupted* initial routing tables and
+//! // garbage in half the buffers — the worst legal starting point.
+//! let graph = gen::ring(6);
+//! let mut net = Network::new(graph, NetworkConfig::adversarial(42));
+//! let msg = net.send(0, 3, 0xC0FFEE);
+//! net.run_until_delivered(msg, 1_000_000).expect("snap-stabilization");
+//! assert_eq!(net.deliveries_of(msg), 1); // once and only once
+//! assert!(net.check_sp().is_empty());
+//! ```
+
+pub use ssmfp_analysis as analysis;
+pub use ssmfp_buffer_graph as buffer_graph;
+pub use ssmfp_check as check;
+pub use ssmfp_core as core;
+pub use ssmfp_kernel as kernel;
+pub use ssmfp_mp as mp;
+pub use ssmfp_routing as routing;
+pub use ssmfp_topology as topology;

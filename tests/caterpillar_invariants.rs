@@ -1,0 +1,127 @@
+//! Structural invariants along executions: Definition 3 coverage, color
+//! domains, choice pointers, and the Lemma 1 caterpillar life cycle.
+
+use proptest::prelude::*;
+use ssmfp::core::caterpillar::{classify_r_buffer, RBufferRole};
+use ssmfp::core::{classify_buffers, DaemonKind, Network, NetworkConfig};
+use ssmfp::routing::CorruptionKind;
+use ssmfp::topology::gen;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// At every configuration of any execution: no orphaned buffer, every
+    /// color within {0..Δ}, every last-hop within N_p ∪ {p}, and every
+    /// choice pointer within 0..=deg(p).
+    #[test]
+    fn structural_invariants_along_execution(
+        n in 3usize..8,
+        seed in any::<u64>(),
+        garbage in 0.0f64..1.0,
+    ) {
+        let graph = gen::random_connected(n, n / 2, seed);
+        let delta = graph.max_degree() as u8;
+        let config = NetworkConfig {
+            daemon: DaemonKind::CentralRandom { seed },
+            corruption: CorruptionKind::RandomGarbage,
+            garbage_fill: garbage,
+            seed,
+            routing_priority: true,
+            choice_strategy: Default::default(),
+        };
+        let mut net = Network::new(graph.clone(), config);
+        for s in 0..n {
+            net.send(s, (s + 1) % n, s as u64 % 8);
+        }
+        for _ in 0..400 {
+            let census = classify_buffers(&graph, net.states());
+            prop_assert_eq!(census.orphans, 0);
+            for (p, s) in net.states().iter().enumerate() {
+                for (d, slot) in s.slots.iter().enumerate() {
+                    let _ = d;
+                    prop_assert!(slot.choice_ptr <= graph.degree(p));
+                    for m in [&slot.buf_r, &slot.buf_e].into_iter().flatten() {
+                        prop_assert!(m.color.0 <= delta, "color out of domain");
+                        prop_assert!(
+                            m.last_hop == p || graph.has_edge(p, m.last_hop),
+                            "last hop out of domain"
+                        );
+                    }
+                }
+            }
+            if let ssmfp::kernel::StepOutcome::Terminal = net.pump() {
+                break;
+            }
+        }
+    }
+}
+
+/// Lemma 1's life cycle, observed: a freshly generated message starts as a
+/// type-1 caterpillar in its source's reception buffer.
+#[test]
+fn generated_message_starts_as_type1() {
+    let graph = gen::line(4);
+    let mut net = Network::new(graph.clone(), NetworkConfig::clean());
+    let ghost = net.send(0, 3, 5);
+    // Pump until the generation event fires.
+    for _ in 0..100 {
+        net.pump();
+        if net.ledger().generation_of(ghost).is_some() {
+            break;
+        }
+    }
+    let states = net.states();
+    // Right after generation the message is alone in bufR_0(3).
+    if let Some(m) = &states[0].slots[3].buf_r {
+        assert_eq!(m.ghost, ghost);
+        assert_eq!(
+            classify_r_buffer(&graph, states, 0, 3),
+            Some(RBufferRole::Type1Head)
+        );
+    } else {
+        // The engine may already have moved it; it must then be in bufE.
+        assert!(states[0].slots[3].buf_e.is_some());
+    }
+}
+
+/// Buffer occupancy is conserved between steps except through the six
+/// rules: any decrease in message population is accounted for by delivery
+/// or duplicate/copy erasure events.
+#[test]
+fn population_changes_are_event_accounted() {
+    let graph = gen::ring(5);
+    let mut net = Network::new(graph, NetworkConfig::adversarial(3));
+    for s in 0..5 {
+        net.send(s, (s + 2) % 5, s as u64 % 8);
+    }
+    let mut prev_pop = net.messages_in_flight();
+    let mut prev_counts = (
+        net.ledger().generated_count(),
+        net.ledger().valid_delivered_count() + net.ledger().invalid_delivered_count(),
+        net.ledger().erases_after_copy,
+        net.ledger().duplicate_erases,
+        net.ledger().forwards,
+    );
+    for _ in 0..2_000 {
+        if let ssmfp::kernel::StepOutcome::Terminal = net.pump() {
+            break;
+        }
+        let pop = net.messages_in_flight();
+        let counts = (
+            net.ledger().generated_count(),
+            net.ledger().valid_delivered_count() + net.ledger().invalid_delivered_count(),
+            net.ledger().erases_after_copy,
+            net.ledger().duplicate_erases,
+            net.ledger().forwards,
+        );
+        let gained = (counts.0 - prev_counts.0) + (counts.4 - prev_counts.4);
+        let lost = (counts.1 - prev_counts.1) + (counts.2 - prev_counts.2) + (counts.3 - prev_counts.3);
+        let expected = prev_pop as i64 + gained as i64 - lost as i64;
+        assert_eq!(
+            pop as i64, expected,
+            "population change unaccounted: prev={prev_pop} now={pop} gained={gained} lost={lost}"
+        );
+        prev_pop = pop;
+        prev_counts = counts;
+    }
+}
