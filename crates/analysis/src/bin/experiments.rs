@@ -11,10 +11,7 @@ use ssmfp_analysis::experiments::run_all;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let seed: u64 = args
-        .iter()
-        .find_map(|a| a.parse().ok())
-        .unwrap_or(2026);
+    let seed: u64 = args.iter().find_map(|a| a.parse().ok()).unwrap_or(2026);
     let csv_dir: Option<String> = args
         .iter()
         .position(|a| a == "--csv")

@@ -35,9 +35,7 @@ pub fn sweep(seeds: std::ops::Range<u64>, baseline: bool) -> CorruptionTally {
         let graph = gen::ring(8);
         let n = graph.n();
         let sends: Vec<(usize, usize, u64)> = (0..n)
-            .flat_map(|s| {
-                (0..2).map(move |k| (s, (s + 3 + k) % n, ((s + k) % 8) as u64))
-            })
+            .flat_map(|s| (0..2).map(move |k| (s, (s + 3 + k) % n, ((s + k) % 8) as u64)))
             .collect();
         if baseline {
             let mut net = BaselineNetwork::new(
@@ -49,8 +47,7 @@ pub fn sweep(seeds: std::ops::Range<u64>, baseline: bool) -> CorruptionTally {
             );
             let ghosts: Vec<_> = sends.iter().map(|&(s, d, p)| net.send(s, d, p)).collect();
             net.run_to_quiescence(500_000);
-            let lost: std::collections::HashSet<_> =
-                net.lost_messages().into_iter().collect();
+            let lost: std::collections::HashSet<_> = net.lost_messages().into_iter().collect();
             for g in &ghosts {
                 tally.sent += 1;
                 match net.deliveries_of(*g) {

@@ -73,8 +73,14 @@ pub fn run(seed: u64) -> Table {
     let mut table = Table::new(
         "E17 — daemon spectrum (random graph n=9, garbage start, 18 messages)",
         &[
-            "daemon", "fair", "exactly-once", "steps", "rounds", "Jain idx",
-            "quiescent", "SP violations",
+            "daemon",
+            "fair",
+            "exactly-once",
+            "steps",
+            "rounds",
+            "Jain idx",
+            "quiescent",
+            "SP violations",
         ],
     );
     let daemons: Vec<(&str, bool, DaemonKind)> = vec![
@@ -122,7 +128,10 @@ mod tests {
             DaemonKind::Synchronous,
             DaemonKind::RoundRobin,
             DaemonKind::CentralRandom { seed: 2 },
-            DaemonKind::DistributedRandom { seed: 2, p_move: 0.5 },
+            DaemonKind::DistributedRandom {
+                seed: 2,
+                p_move: 0.5,
+            },
             DaemonKind::LocallyCentral { seed: 2 },
         ] {
             let r = daemon_run(daemon.clone(), 2, 2_000_000);

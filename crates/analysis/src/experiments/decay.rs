@@ -98,7 +98,11 @@ mod tests {
         for w in r.quartiles.windows(2) {
             assert!(w[0] + 4 >= w[1], "{:?}", r.quartiles);
         }
-        assert_eq!(r.quartiles[0], 2 * 6 * 6, "extremal start: all buffers full");
+        assert_eq!(
+            r.quartiles[0],
+            2 * 6 * 6,
+            "extremal start: all buffers full"
+        );
         assert_eq!(r.quartiles[4], 0, "full drain");
         assert!(r.half_life_rounds > 0);
         assert!(r.half_life_rounds <= r.total_rounds);

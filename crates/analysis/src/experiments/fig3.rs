@@ -9,8 +9,15 @@ pub fn run(seed: u64) -> Table {
     let mut table = Table::new(
         "E3 — Figure 3 replay: colors prevent merges, invalid delivered ≤ once",
         &[
-            "daemon", "A priority", "m delivered", "m'' delivered", "invalid@b",
-            "coexist", "under-cycle", "steps", "SP violations",
+            "daemon",
+            "A priority",
+            "m delivered",
+            "m'' delivered",
+            "invalid@b",
+            "coexist",
+            "under-cycle",
+            "steps",
+            "SP violations",
         ],
     );
     let scenarios: Vec<(String, DaemonKind, bool, u64)> = vec![
@@ -66,7 +73,11 @@ pub fn run(seed: u64) -> Table {
             coexist.to_string(),
             under_cycle.to_string(),
             r.steps.to_string(),
-            runs.iter().map(|r| r.violations).max().unwrap_or(0).to_string(),
+            runs.iter()
+                .map(|r| r.violations)
+                .max()
+                .unwrap_or(0)
+                .to_string(),
         ]);
     }
     table

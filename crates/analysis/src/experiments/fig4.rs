@@ -58,8 +58,13 @@ pub fn run(seed: u64) -> Table {
     let mut table = Table::new(
         "E4 — Figure 4 caterpillar census: every occupied buffer is in a caterpillar",
         &[
-            "topology", "peak caterpillars", "t1-time", "t2-time", "t3-time",
-            "orphans", "steps",
+            "topology",
+            "peak caterpillars",
+            "t1-time",
+            "t2-time",
+            "t3-time",
+            "orphans",
+            "steps",
         ],
     );
     for t in small_suite() {

@@ -87,15 +87,35 @@ pub fn run(seed: u64) -> Table {
     let mut table = Table::new(
         "E14 — message-passing port (ring-6, 10 seeds/class): exactly-once under async schedules",
         &[
-            "scenario", "runs", "sent", "exactly-once", "lost", "duplicated",
+            "scenario",
+            "runs",
+            "sent",
+            "exactly-once",
+            "lost",
+            "duplicated",
             "non-quiescent",
         ],
     );
     let scenarios: [(&str, PortRouting, usize, usize); 4] = [
         ("clean", PortRouting::Clean, 0, 0),
-        ("corrupted tables (timer repair)", PortRouting::TimerRepair, 0, 0),
-        ("corrupted + wire/buffer garbage", PortRouting::TimerRepair, 24, 3),
-        ("distance-vector layer, garbage init", PortRouting::DistVecGarbage, 12, 2),
+        (
+            "corrupted tables (timer repair)",
+            PortRouting::TimerRepair,
+            0,
+            0,
+        ),
+        (
+            "corrupted + wire/buffer garbage",
+            PortRouting::TimerRepair,
+            24,
+            3,
+        ),
+        (
+            "distance-vector layer, garbage init",
+            PortRouting::DistVecGarbage,
+            12,
+            2,
+        ),
     ];
     for (name, routing, wire, buffers) in scenarios {
         let t = sweep(seed..seed + 10, routing, wire, buffers);
@@ -124,7 +144,10 @@ mod tests {
             (PortRouting::DistVecGarbage, 8, 1),
         ] {
             let t = sweep(0..6, routing, wire, buffers);
-            assert_eq!(t.exactly_once, t.sent, "{routing:?} {wire} {buffers}: {t:?}");
+            assert_eq!(
+                t.exactly_once, t.sent,
+                "{routing:?} {wire} {buffers}: {t:?}"
+            );
             assert_eq!(t.lost + t.duplicated + t.non_quiescent, 0, "{t:?}");
         }
     }

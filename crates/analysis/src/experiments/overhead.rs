@@ -76,8 +76,15 @@ pub fn run(seed: u64) -> Table {
     let mut table = Table::new(
         "E9 — overhead vs fault-free baseline [21], correct tables (all-pairs workload)",
         &[
-            "topology", "n", "ssmfp rnd/del", "base rnd/del", "time ratio",
-            "ssmfp mv/del", "base mv/del", "ssmfp buf/node", "base buf/node",
+            "topology",
+            "n",
+            "ssmfp rnd/del",
+            "base rnd/del",
+            "time ratio",
+            "ssmfp mv/del",
+            "base mv/del",
+            "ssmfp buf/node",
+            "base buf/node",
         ],
     );
     for t in small_suite() {

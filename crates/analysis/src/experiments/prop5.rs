@@ -111,9 +111,6 @@ mod tests {
             9,
         )
         .unwrap();
-        assert!(
-            large > small,
-            "rounds must grow with D: {small} vs {large}"
-        );
+        assert!(large > small, "rounds must grow with D: {small} vs {large}");
     }
 }

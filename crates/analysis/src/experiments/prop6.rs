@@ -81,7 +81,15 @@ pub fn star_contention_run(n: usize, corruption: CorruptionKind, seed: u64) -> P
 pub fn run(seed: u64) -> Table {
     let mut table = Table::new(
         "E7 / Prop 6 — delay and waiting time under maximal contention (stars, flood to one leaf)",
-        &["family", "n", "Δ", "tables", "delay (rounds)", "max waiting (rounds)", "bound Δ²·c"],
+        &[
+            "family",
+            "n",
+            "Δ",
+            "tables",
+            "delay (rounds)",
+            "max waiting (rounds)",
+            "bound Δ²·c",
+        ],
     );
     for t in star_family(&[4, 6, 8, 10]) {
         for corruption in [CorruptionKind::None, CorruptionKind::RandomGarbage] {

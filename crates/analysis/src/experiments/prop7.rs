@@ -66,7 +66,11 @@ pub fn flood_run(topo: &Topo, k: usize, corruption: CorruptionKind, seed: u64) -
     let mut delivery_rounds: Vec<u64> = (0..u64::MAX)
         .map_while(|g| {
             let recs = net.ledger().delivery_records(ssmfp_core::GhostId::Valid(g));
-            if net.ledger().generation_of(ssmfp_core::GhostId::Valid(g)).is_none() {
+            if net
+                .ledger()
+                .generation_of(ssmfp_core::GhostId::Valid(g))
+                .is_none()
+            {
                 None
             } else {
                 Some(recs.first().map(|r| r.round).unwrap_or(u64::MAX))
@@ -96,7 +100,18 @@ pub fn flood_run(topo: &Topo, k: usize, corruption: CorruptionKind, seed: u64) -
 pub fn run(seed: u64) -> Table {
     let mut table = Table::new(
         "E8 / Prop 7 — amortized rounds per delivery ≈ Θ(D), vs the 3D bound (flood to node 0)",
-        &["family", "n", "D", "tables", "deliveries", "rounds", "rounds/delivery", "max gap", "3D", "holds"],
+        &[
+            "family",
+            "n",
+            "D",
+            "tables",
+            "deliveries",
+            "rounds",
+            "rounds/delivery",
+            "max gap",
+            "3D",
+            "holds",
+        ],
     );
     for t in line_family(&[4, 6, 8, 12, 16]) {
         for corruption in [CorruptionKind::None, CorruptionKind::RandomGarbage] {
@@ -104,8 +119,7 @@ pub fn run(seed: u64) -> Table {
             // With corrupted tables the R_A warm-up is amortized over many
             // deliveries; allow the max(R_A, 3D) form with R_A ≤ 2n rounds.
             let allowance = r.bound_3d.max(2 * t.metrics.n() as u64);
-            let holds =
-                r.amortized <= allowance as f64 && r.max_inter_delivery_gap <= allowance;
+            let holds = r.amortized <= allowance as f64 && r.max_inter_delivery_gap <= allowance;
             table.row(vec![
                 t.name.clone(),
                 t.metrics.n().to_string(),

@@ -13,7 +13,12 @@ pub fn run(seed: u64) -> Table {
     let mut table = Table::new(
         "E12 — measured R_A (rounds to silence of A) per corruption family",
         &[
-            "topology", "n", "D", "tables", "R_A sync (rounds)", "R_A round-robin (rounds)",
+            "topology",
+            "n",
+            "D",
+            "tables",
+            "R_A sync (rounds)",
+            "R_A round-robin (rounds)",
             "correct after",
         ],
     );

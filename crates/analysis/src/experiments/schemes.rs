@@ -15,8 +15,16 @@ pub fn run() -> Table {
     let mut table = Table::new(
         "E1/E2/E11 — buffer-graph schemes: buffers per node, acyclicity (Figures 1, 2; §4)",
         &[
-            "topology", "n", "Δ", "fig1 buf/node", "fig1 acyclic", "fig1 comps",
-            "fig2 buf/node", "fig2 acyclic", "cover buf/node", "cover acyclic",
+            "topology",
+            "n",
+            "Δ",
+            "fig1 buf/node",
+            "fig1 acyclic",
+            "fig1 comps",
+            "fig2 buf/node",
+            "fig2 acyclic",
+            "cover buf/node",
+            "cover acyclic",
         ],
     );
     for t in standard_suite() {

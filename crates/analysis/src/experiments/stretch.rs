@@ -91,7 +91,15 @@ pub fn stretch_run(
 pub fn run(seed: u64) -> Table {
     let mut table = Table::new(
         "E15 — route stretch (net hops / distance) when sending before A converges",
-        &["topology", "n", "tables", "messages", "mean stretch", "max stretch", "Lemma-1 violations"],
+        &[
+            "topology",
+            "n",
+            "tables",
+            "messages",
+            "mean stretch",
+            "max stretch",
+            "Lemma-1 violations",
+        ],
     );
     for t in standard_suite() {
         for corruption in [CorruptionKind::None, CorruptionKind::RandomGarbage] {

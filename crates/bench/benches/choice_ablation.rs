@@ -2,9 +2,9 @@
 //! `choice_p(d)` selection schemes under hub contention.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use ssmfp_analysis::experiments::choice_ablation::contention_run;
 use ssmfp_core::choice::ChoiceStrategy;
+use std::time::Duration;
 
 fn bench_choice(c: &mut Criterion) {
     let mut group = c.benchmark_group("choice_ablation");

@@ -2,14 +2,12 @@
 //! daemon, routing convergence, and the SSMFP guard-evaluation cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use ssmfp_core::{Network, NetworkConfig};
-use ssmfp_kernel::{
-    CentralRandomDaemon, Daemon, Engine, RoundRobinDaemon, SynchronousDaemon,
-};
 use ssmfp_kernel::toys::{RingState, TokenRing};
+use ssmfp_kernel::{CentralRandomDaemon, Daemon, Engine, RoundRobinDaemon, SynchronousDaemon};
 use ssmfp_routing::{corruption, CorruptionKind, RoutingProtocol, RoutingState};
 use ssmfp_topology::gen;
+use std::time::Duration;
 
 fn token_ring_steps(n: usize, daemon: Box<dyn Daemon>, steps: u64) -> u64 {
     let g = gen::ring(n);

@@ -2,12 +2,12 @@
 //! model checker on representative small instances.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use ssmfp_check::Explorer;
 use ssmfp_core::state::{NodeState, Outgoing};
 use ssmfp_core::{GhostId, SsmfpProtocol};
 use ssmfp_routing::{corruption, CorruptionKind};
 use ssmfp_topology::gen;
+use std::time::Duration;
 
 fn explore_line3_two_messages() -> u64 {
     let graph = gen::line(3);
@@ -17,8 +17,16 @@ fn explore_line3_two_messages() -> u64 {
         .collect();
     let a = GhostId::Valid(0);
     let b = GhostId::Valid(1);
-    states[0].outbox.push_back(Outgoing { dest: 2, payload: 3, ghost: a });
-    states[2].outbox.push_back(Outgoing { dest: 0, payload: 5, ghost: b });
+    states[0].outbox.push_back(Outgoing {
+        dest: 2,
+        payload: 3,
+        ghost: a,
+    });
+    states[2].outbox.push_back(Outgoing {
+        dest: 0,
+        payload: 5,
+        ghost: b,
+    });
     let explorer = Explorer::new(graph, SsmfpProtocol::new(3, 2), vec![(a, 2), (b, 0)]);
     let report = explorer.explore(states);
     assert!(report.verified());
@@ -40,8 +48,16 @@ fn explore_triangle_garbage() -> u64 {
     });
     let a = GhostId::Valid(0);
     let b = GhostId::Valid(1);
-    states[0].outbox.push_back(Outgoing { dest: 1, payload: 1, ghost: a });
-    states[1].outbox.push_back(Outgoing { dest: 0, payload: 2, ghost: b });
+    states[0].outbox.push_back(Outgoing {
+        dest: 1,
+        payload: 1,
+        ghost: a,
+    });
+    states[1].outbox.push_back(Outgoing {
+        dest: 0,
+        payload: 2,
+        ghost: b,
+    });
     let explorer = Explorer::new(graph, SsmfpProtocol::new(3, 2), vec![(a, 1), (b, 0)]);
     let report = explorer.explore(states);
     assert!(report.verified());
@@ -54,7 +70,9 @@ fn bench_check(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     group.warm_up_time(Duration::from_millis(500));
     group.bench_function("line3_two_messages", |b| b.iter(explore_line3_two_messages));
-    group.bench_function("triangle_with_garbage", |b| b.iter(explore_triangle_garbage));
+    group.bench_function("triangle_with_garbage", |b| {
+        b.iter(explore_triangle_garbage)
+    });
     group.finish();
 }
 

@@ -2,9 +2,9 @@
 //! the Figure 1, Figure 2 and §4-cover schemes as the network scales.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use ssmfp_buffer_graph::{destination_based, ring_cover, tree_cover, two_buffer};
 use ssmfp_topology::{gen, BfsTree};
+use std::time::Duration;
 
 fn bench_schemes(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1_fig2_schemes");

@@ -3,9 +3,9 @@
 //! example network).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use ssmfp_core::api::DaemonKind;
 use ssmfp_core::replay::run_figure3;
+use std::time::Duration;
 
 fn bench_fig3(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_replay");

@@ -2,9 +2,9 @@
 //! a fully garbage configuration) and the censused adversarial run.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use ssmfp_core::{classify_buffers, Network, NetworkConfig};
 use ssmfp_topology::gen;
+use std::time::Duration;
 
 fn bench_classify(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_caterpillar");

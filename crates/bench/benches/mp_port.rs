@@ -2,16 +2,19 @@
 //! the async substrate, clean vs corrupted-with-garbage starts.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use ssmfp_mp::{MpConfig, PortNetwork};
 use ssmfp_topology::gen;
+use std::time::Duration;
 
 fn run_port(seed: u64, corrupt: bool, wire: usize, buffers: usize) -> u64 {
     let graph = gen::ring(6);
     let n = graph.n();
     let mut net = PortNetwork::new(
         graph,
-        MpConfig { seed, timeout_bias: 0.3 },
+        MpConfig {
+            seed,
+            timeout_bias: 0.3,
+        },
         corrupt,
         if corrupt { 10 } else { 0 },
         wire,

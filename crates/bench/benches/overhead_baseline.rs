@@ -3,13 +3,13 @@
 //! start sweeps of the motivation experiment.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use ssmfp_analysis::experiments::corruption::sweep;
 use ssmfp_analysis::experiments::overhead::paired_run;
 use ssmfp_core::baseline::BaselineNetwork;
 use ssmfp_core::{DaemonKind, Network, NetworkConfig};
 use ssmfp_routing::CorruptionKind;
 use ssmfp_topology::gen;
+use std::time::Duration;
 
 fn all_pairs_ssmfp(n: usize, seed: u64) -> u64 {
     let mut net = Network::new(

@@ -3,10 +3,10 @@
 //! network scales.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use ssmfp_analysis::experiments::prop4::extremal_run;
 use ssmfp_routing::CorruptionKind;
 use ssmfp_topology::gen;
+use std::time::Duration;
 
 fn bench_prop4(c: &mut Criterion) {
     let mut group = c.benchmark_group("prop4_invalid_drain");

@@ -3,17 +3,20 @@
 //! `D = 2`), clean vs corrupted tables.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use ssmfp_analysis::experiments::prop5::probe_delivery_rounds;
 use ssmfp_analysis::workload::{line_family, star_family};
 use ssmfp_routing::CorruptionKind;
+use std::time::Duration;
 
 fn bench_prop5(c: &mut Criterion) {
     let mut group = c.benchmark_group("prop5_probe_latency");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(2));
     group.warm_up_time(Duration::from_millis(500));
-    for t in line_family(&[6, 10]).iter().chain(star_family(&[6, 10]).iter()) {
+    for t in line_family(&[6, 10])
+        .iter()
+        .chain(star_family(&[6, 10]).iter())
+    {
         for (label, corruption) in [
             ("clean", CorruptionKind::None),
             ("garbage", CorruptionKind::RandomGarbage),
@@ -21,11 +24,7 @@ fn bench_prop5(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("{}_{label}", t.name), t.metrics.n()),
                 &t.metrics.n(),
-                |b, _| {
-                    b.iter(|| {
-                        probe_delivery_rounds(t, corruption, 5).expect("delivered")
-                    })
-                },
+                |b, _| b.iter(|| probe_delivery_rounds(t, corruption, 5).expect("delivered")),
             );
         }
     }

@@ -2,9 +2,9 @@
 //! delay and inter-emission waiting time at the hub.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use ssmfp_analysis::experiments::prop6::star_contention_run;
 use ssmfp_routing::CorruptionKind;
+use std::time::Duration;
 
 fn bench_prop6(c: &mut Criterion) {
     let mut group = c.benchmark_group("prop6_star_contention");

@@ -2,10 +2,10 @@
 //! rounds per delivery across the line family, clean vs corrupted tables.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use ssmfp_analysis::experiments::prop7::flood_run;
 use ssmfp_analysis::workload::line_family;
 use ssmfp_routing::CorruptionKind;
+use std::time::Duration;
 
 fn bench_prop7(c: &mut Criterion) {
     let mut group = c.benchmark_group("prop7_flood");

@@ -56,8 +56,11 @@ pub fn two_buffer_dot(bg: &BufferGraph, name: &str, dest: usize) -> String {
     for p in 0..n {
         writeln!(out, "  subgraph cluster_{p} {{ label=\"processor {p}\";").expect("infallible");
         writeln!(out, "    r_{p} [label=\"bufR_{p}({dest})\" shape=box];").expect("infallible");
-        writeln!(out, "    e_{p} [label=\"bufE_{p}({dest})\" shape=box style=rounded];")
-            .expect("infallible");
+        writeln!(
+            out,
+            "    e_{p} [label=\"bufE_{p}({dest})\" shape=box style=rounded];"
+        )
+        .expect("infallible");
         writeln!(out, "  }}").expect("infallible");
     }
     for p in 0..n {
@@ -68,8 +71,16 @@ pub fn two_buffer_dot(bg: &BufferGraph, name: &str, dest: usize) -> String {
                     continue;
                 }
                 let (_, is_e_from) = layout.decode(b.slot);
-                let from_name = if is_e_from { format!("e_{}", b.node) } else { format!("r_{}", b.node) };
-                let to_name = if is_e_to { format!("e_{}", to.node) } else { format!("r_{}", to.node) };
+                let from_name = if is_e_from {
+                    format!("e_{}", b.node)
+                } else {
+                    format!("r_{}", b.node)
+                };
+                let to_name = if is_e_to {
+                    format!("e_{}", to.node)
+                } else {
+                    format!("r_{}", to.node)
+                };
                 writeln!(out, "  {from_name} -> {to_name};").expect("infallible");
             }
         }

@@ -238,7 +238,7 @@ mod tests {
     fn components_partition_buffers() {
         let mut bg = BufferGraph::new(2, 2);
         bg.add_move(b(0, 0), b(1, 0)); // slot-0 component
-        // slot-1 buffers remain isolated singletons
+                                       // slot-1 buffers remain isolated singletons
         let comps = bg.weak_components();
         assert_eq!(comps.len(), 3);
         let total: usize = comps.iter().map(Vec::len).sum();

@@ -111,7 +111,10 @@ mod tests {
         }
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
         let outcome = sim.drain(&mut rng, 1_000_000);
-        assert!(matches!(outcome, DrainOutcome::Drained { .. }), "{outcome:?}");
+        assert!(
+            matches!(outcome, DrainOutcome::Drained { .. }),
+            "{outcome:?}"
+        );
     }
 
     #[test]

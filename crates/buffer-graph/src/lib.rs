@@ -23,8 +23,8 @@
 //! that acyclic buffer graphs never deadlock while cyclic ones do.
 
 pub mod cover;
-pub mod dot;
 pub mod destination_based;
+pub mod dot;
 pub mod graph;
 pub mod hop;
 pub mod sim;
@@ -32,7 +32,7 @@ pub mod two_buffer;
 
 pub use cover::{ring_cover, tree_cover, AcyclicCover, Orientation};
 pub use destination_based::destination_based;
-pub use graph::{BufferGraph, BufferId};
 pub use dot::{destination_based_dot, two_buffer_dot};
+pub use graph::{BufferGraph, BufferId};
 pub use hop::{hop_route, hop_scheme};
 pub use two_buffer::{two_buffer, two_buffer_from_fn, TwoBufferLayout};

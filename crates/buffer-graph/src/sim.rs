@@ -300,7 +300,10 @@ mod tests {
             }
         }
         let outcome = sim.drain(&mut rng(5), 1_000_000);
-        assert!(matches!(outcome, DrainOutcome::Drained { .. }), "{outcome:?}");
+        assert!(
+            matches!(outcome, DrainOutcome::Drained { .. }),
+            "{outcome:?}"
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! until the routing algorithm `A` restores acyclicity.
 
 use crate::graph::{BufferGraph, BufferId};
-use ssmfp_topology::{NodeId, BfsTree};
+use ssmfp_topology::{BfsTree, NodeId};
 
 /// Slot-layout helper for the two-buffer scheme: slot `2d` is `bufR_p(d)`,
 /// slot `2d + 1` is `bufE_p(d)`.
@@ -52,7 +52,10 @@ impl TwoBufferLayout {
 ///
 /// `next_hop(p, d)` must return the neighbour `p` currently forwards
 /// messages of destination `d` to; it is not consulted for `p = d`.
-pub fn two_buffer_from_fn(n: usize, mut next_hop: impl FnMut(NodeId, NodeId) -> NodeId) -> BufferGraph {
+pub fn two_buffer_from_fn(
+    n: usize,
+    mut next_hop: impl FnMut(NodeId, NodeId) -> NodeId,
+) -> BufferGraph {
     let layout = TwoBufferLayout::new(n);
     let mut bg = BufferGraph::new(n, 2 * n);
     for d in 0..n {

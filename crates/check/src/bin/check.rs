@@ -23,43 +23,78 @@ fn enqueue(
     seq: u64,
 ) -> (GhostId, NodeId) {
     let ghost = GhostId::Valid(seq);
-    states[src].outbox.push_back(Outgoing { dest: dst, payload, ghost });
+    states[src].outbox.push_back(Outgoing {
+        dest: dst,
+        payload,
+        ghost,
+    });
     (ghost, dst)
 }
 
+fn verdict_of(report: &ssmfp_check::Report) -> String {
+    if report.verified() {
+        "VERIFIED".to_string()
+    } else if report.truncated {
+        "truncated".to_string()
+    } else {
+        let lost = report.violations.iter().any(|v| {
+            matches!(
+                v,
+                Violation::Lost { .. } | Violation::UndeliveredAtTerminal { .. }
+            )
+        });
+        if lost {
+            "LOSS FOUND".to_string()
+        } else {
+            format!("{} violations", report.violations.len())
+        }
+    }
+}
+
 fn main() {
-    println!("Exhaustive verification (ALL central-daemon schedules)\n");
+    println!("Exhaustive verification (ALL central-daemon schedules)");
+    println!("each instance runs twice: full exploration, then footprint-driven POR\n");
     println!(
-        "{:<44} | {:>9} | {:>9} | {:>6} | {:>8}",
-        "instance", "states", "terminals", "depth", "verdict"
+        "{:<44} | {:>9} | {:>9} | {:>6} | {:>9} | {:>6} | {:>10}",
+        "instance", "states", "terminals", "depth", "POR", "saved", "verdict"
     );
 
     let mut counterexample: Option<Vec<String>> = None;
-    let mut run = |name: &str, graph: Graph, states: Vec<NodeState>, exp, literal_r5: bool| {
+    let mut mismatches: Vec<String> = Vec::new();
+    let mut run = |name: &str,
+                   graph: Graph,
+                   states: Vec<NodeState>,
+                   exp: Vec<(GhostId, NodeId)>,
+                   literal_r5: bool| {
         let mut proto = SsmfpProtocol::new(graph.n(), graph.max_degree());
         if literal_r5 {
             proto = proto.with_literal_r5();
         }
-        let mut explorer = Explorer::new(graph, proto, exp);
+        let mut explorer = Explorer::new(graph.clone(), proto.clone(), exp.clone());
         explorer.trace_counterexamples = literal_r5;
-        let report = explorer.explore(states);
+        let report = explorer.explore(states.clone());
         if report.counterexample.is_some() {
             counterexample = report.counterexample.clone();
         }
-        let verdict = if report.verified() {
-            "VERIFIED".to_string()
-        } else if report.truncated {
-            "truncated".to_string()
-        } else {
-            let lost = report
-                .violations
-                .iter()
-                .any(|v| matches!(v, Violation::Lost { .. } | Violation::UndeliveredAtTerminal { .. }));
-            if lost { "LOSS FOUND".to_string() } else { format!("{} violations", report.violations.len()) }
-        };
+        let por_explorer = Explorer::new(graph, proto, exp).with_partial_order_reduction();
+        let por_report = por_explorer.explore(states);
+        if por_report.verified() != report.verified() {
+            mismatches.push(format!(
+                "{name}: full={} POR={}",
+                verdict_of(&report),
+                verdict_of(&por_report)
+            ));
+        }
+        let saved = 100.0 * (1.0 - por_report.states as f64 / report.states as f64);
         println!(
-            "{:<44} | {:>9} | {:>9} | {:>6} | {:>8}",
-            name, report.states, report.terminals, report.max_depth, verdict
+            "{:<44} | {:>9} | {:>9} | {:>6} | {:>9} | {:>5.1}% | {:>10}",
+            name,
+            report.states,
+            report.terminals,
+            report.max_depth,
+            por_report.states,
+            saved,
+            verdict_of(&report)
         );
     };
 
@@ -113,7 +148,14 @@ fn main() {
     let e = vec![enqueue(&mut s, 0, 1, 1, 0), enqueue(&mut s, 1, 0, 2, 1)];
     run("triangle, 2 messages + garbage", g, s, e, false);
 
-    // 7. The literal-R5 counterexample.
+    // 7. 4-ring, two far-apart messages (the POR benchmark: activity at
+    // opposite edges of the ring commutes until the messages meet).
+    let g = gen::ring(4);
+    let mut s = clean_states(&g);
+    let e = vec![enqueue(&mut s, 0, 1, 1, 0), enqueue(&mut s, 2, 3, 2, 1)];
+    run("ring-4, 2 far-apart messages", g, s, e, false);
+
+    // 8. The literal-R5 counterexample.
     let g = gen::line(2);
     let mut s = clean_states(&g);
     let e = vec![enqueue(&mut s, 0, 1, 7, 0), enqueue(&mut s, 0, 1, 7, 1)];
@@ -121,6 +163,14 @@ fn main() {
 
     println!("\nhash-compacted explicit-state exploration; VERIFIED = no duplication,");
     println!("no misdelivery, no loss, caterpillar coverage, and delivery at every terminal.");
+    println!("POR = distinct states under partial-order reduction (footprint independence).");
+    if !mismatches.is_empty() {
+        eprintln!("\nVERDICT MISMATCH between full exploration and POR:");
+        for m in &mismatches {
+            eprintln!("  {m}");
+        }
+        std::process::exit(1);
+    }
     if let Some(path) = counterexample {
         println!("\ncounterexample schedule for the literal-R5 loss (DESIGN.md §5):");
         for (i, step) in path.iter().enumerate() {

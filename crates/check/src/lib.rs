@@ -19,6 +19,14 @@
 //! unlikely at the state counts involved and can only cause a *missed*
 //! state, never a false alarm).
 //!
+//! With [`Explorer::partial_order_reduction`] the explorer uses the
+//! independence relation derived from the rules' declared footprints
+//! (`ssmfp_core::footprint`, the same declarations `ssmfp-lint` checks
+//! statically) to skip redundant interleavings of commuting moves — see
+//! [`Explorer::successors_reduced`] for the exact conditions and the
+//! approximation involved. The `ssmfp-check` binary runs every instance
+//! in both modes and prints the measured state-count reduction.
+//!
 //! The checker is also what turns the DESIGN.md §5 argument about rule R5
 //! into a machine-checked fact: with the paper's guard taken literally
 //! (`q ∈ N_p ∪ {p}`), the checker finds a schedule in which a valid
@@ -26,8 +34,8 @@
 //! deviation (`q ∈ N_p`), the same instance verifies clean — see the
 //! crate tests.
 
-use ssmfp_core::{classify_buffers, GhostId, NodeState, SsmfpProtocol};
-use ssmfp_kernel::{Protocol, View};
+use ssmfp_core::{classify_buffers, GhostId, NodeState, SsmfpAction, SsmfpProtocol};
+use ssmfp_kernel::{independent, Protocol, View};
 use ssmfp_topology::{Graph, NodeId};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashSet, VecDeque};
@@ -140,6 +148,14 @@ pub struct Explorer {
     /// Record parent pointers so a violation comes with the schedule that
     /// reaches it (costs memory proportional to the visited set).
     pub trace_counterexamples: bool,
+    /// Partial-order reduction (default off): when one processor's enabled
+    /// actions are independent — per the rules' declared footprints — of
+    /// every action currently enabled elsewhere, explore only that
+    /// processor's moves and defer the rest, instead of branching on every
+    /// interleaving. See [`Explorer::successors_reduced`]'s notes for the
+    /// approximation this makes; `ssmfp-check` runs every instance in both
+    /// modes and cross-checks the verdicts.
+    pub partial_order_reduction: bool,
 }
 
 impl Explorer {
@@ -158,7 +174,14 @@ impl Explorer {
             max_states: 2_000_000,
             stop_at_first: true,
             trace_counterexamples: false,
+            partial_order_reduction: false,
         }
+    }
+
+    /// Enables partial-order reduction (builder form).
+    pub fn with_partial_order_reduction(mut self) -> Self {
+        self.partial_order_reduction = true;
+        self
     }
 
     fn hash_state(s: &CheckState) -> u64 {
@@ -197,7 +220,11 @@ impl Explorer {
             }
             if let Some(&(_, dest)) = self.expectations.iter().find(|&&(eg, _)| eg == g) {
                 if at != dest {
-                    violations.push(Violation::Misdelivery { ghost: g, at, depth });
+                    violations.push(Violation::Misdelivery {
+                        ghost: g,
+                        at,
+                        depth,
+                    });
                 }
             }
         }
@@ -220,47 +247,140 @@ impl Explorer {
         }
     }
 
+    /// Actions enabled at processor `p` in `state`.
+    fn enabled_at(&self, state: &CheckState, p: NodeId) -> Vec<SsmfpAction> {
+        let mut actions = Vec::new();
+        let view = View::new(&self.graph, &state.nodes, p);
+        self.protocol.enabled_actions(&view, &mut actions);
+        actions
+    }
+
+    /// Applies one `(processor, action)` move, with eager higher-layer
+    /// re-arming and fairness-cursor normalization; the label is
+    /// `processor: action`.
+    fn apply(&self, state: &CheckState, p: NodeId, action: SsmfpAction) -> (CheckState, String) {
+        let mut events = Vec::new();
+        let new_node = {
+            let view = View::new(&self.graph, &state.nodes, p);
+            self.protocol.execute(&view, action, &mut events)
+        };
+        let mut nodes = state.nodes.clone();
+        nodes[p] = new_node;
+        let mut delivered = state.delivered.clone();
+        for ev in &events {
+            if let ssmfp_core::Event::Delivered { ghost, .. } = ev {
+                delivered.push((*ghost, p));
+            }
+        }
+        delivered.sort_unstable();
+        // Higher layer: eager request re-arm; normalize the fairness
+        // cursor (it affects only action ordering, which exhaustive
+        // enumeration ignores).
+        for node in nodes.iter_mut() {
+            if !node.request && !node.outbox.is_empty() {
+                node.request = true;
+            }
+            node.dest_cursor = 0;
+        }
+        let label = format!("{p}: {}", self.protocol.describe(action));
+        (CheckState { nodes, delivered }, label)
+    }
+
     /// Successor states under the central daemon (one processor, one
-    /// enabled action per step), each labelled `processor: action`, with
-    /// eager higher-layer re-arming.
+    /// enabled action per step), each labelled `processor: action`.
     fn successors(&self, state: &CheckState) -> Vec<(CheckState, String)> {
         let mut out = Vec::new();
-        let mut actions = Vec::new();
         for p in 0..self.graph.n() {
-            actions.clear();
-            {
-                let view = View::new(&self.graph, &state.nodes, p);
-                self.protocol.enabled_actions(&view, &mut actions);
-            }
-            for &action in &actions {
-                let mut events = Vec::new();
-                let new_node = {
-                    let view = View::new(&self.graph, &state.nodes, p);
-                    self.protocol.execute(&view, action, &mut events)
-                };
-                let mut nodes = state.nodes.clone();
-                nodes[p] = new_node;
-                let mut delivered = state.delivered.clone();
-                for ev in &events {
-                    if let ssmfp_core::Event::Delivered { ghost, .. } = ev {
-                        delivered.push((*ghost, p));
-                    }
-                }
-                delivered.sort_unstable();
-                // Higher layer: eager request re-arm; normalize the
-                // fairness cursor (it affects only action ordering, which
-                // exhaustive enumeration ignores).
-                for node in nodes.iter_mut() {
-                    if !node.request && !node.outbox.is_empty() {
-                        node.request = true;
-                    }
-                    node.dest_cursor = 0;
-                }
-                let label = format!("{p}: {}", self.protocol.describe(action));
-                out.push((CheckState { nodes, delivered }, label));
+            for action in self.enabled_at(state, p) {
+                out.push(self.apply(state, p, action));
             }
         }
         out
+    }
+
+    /// Successors under partial-order reduction.
+    ///
+    /// An *ample* candidate is a processor `p` whose enabled actions are
+    /// all independent — per [`ssmfp_kernel::independent`] over the rules'
+    /// declared footprints — of every action currently enabled at every
+    /// other processor. Firing any other processor's move first then
+    /// commutes with each of `p`'s moves, so exploring only `p`'s branch
+    /// reaches the same states up to reordering; the deferred moves are
+    /// still enabled there (their footprints are untouched) and get their
+    /// turn later. Two safeguards:
+    ///
+    /// * **cycle proviso**: a candidate is rejected when all of its
+    ///   successors were already visited, so a reduction cannot spin
+    ///   inside a visited cycle while permanently ignoring the deferred
+    ///   moves (the analogue of the ample-set condition C3);
+    /// * **fallback**: if no candidate survives, the full successor set
+    ///   is expanded.
+    ///
+    /// This is the classical *currently-enabled* approximation of a
+    /// persistent set (Godefroid): independence is checked against the
+    /// moves enabled *now*, not against moves that other processors could
+    /// become enabled to take later, and state-dependent guard
+    /// correlations are ignored. It preserves every interleaving up to
+    /// commutation of independent moves — and therefore all stable
+    /// (once-true-always-true) violations: `Lost`, `DuplicateDelivery`,
+    /// `Misdelivery`, and `UndeliveredAtTerminal` (terminal states are
+    /// never pruned: an ample set is a nonempty subset of the enabled
+    /// moves, so deadlocks coincide in both modes). Transient predicates
+    /// observed at intermediate states — `CaterpillarOrphan` is the one
+    /// such audit — could in principle hold only on a pruned
+    /// interleaving. `ssmfp-check` therefore runs every instance in both
+    /// modes and fails loudly on any verdict mismatch, and the
+    /// `por_equivalence` regression test pins full/reduced agreement on
+    /// the CI topologies.
+    fn successors_reduced(
+        &self,
+        state: &CheckState,
+        visited: &HashSet<u64>,
+    ) -> Vec<(CheckState, String)> {
+        let n = self.graph.n();
+        let enabled: Vec<Vec<SsmfpAction>> = (0..n).map(|p| self.enabled_at(state, p)).collect();
+        let active: Vec<NodeId> = (0..n).filter(|&p| !enabled[p].is_empty()).collect();
+        let expand = |ps: &[NodeId]| -> Vec<(CheckState, String)> {
+            ps.iter()
+                .flat_map(|&p| enabled[p].iter().map(move |&a| self.apply(state, p, a)))
+                .collect()
+        };
+        if active.len() <= 1 {
+            // A single active processor is its own (trivial) ample set.
+            return expand(&active);
+        }
+        'candidate: for &p in &active {
+            for &a in &enabled[p] {
+                let fa = self.protocol.footprint(a);
+                for &q in &active {
+                    if q == p {
+                        continue;
+                    }
+                    for &b in &enabled[q] {
+                        let fb = self.protocol.footprint(b);
+                        if !independent(
+                            &fa,
+                            p,
+                            self.graph.neighbors(p),
+                            &fb,
+                            q,
+                            self.graph.neighbors(q),
+                        ) {
+                            continue 'candidate;
+                        }
+                    }
+                }
+            }
+            let succs = expand(&[p]);
+            // Cycle proviso: the reduction must make progress.
+            if succs
+                .iter()
+                .any(|(s, _)| !visited.contains(&Self::hash_state(s)))
+            {
+                return succs;
+            }
+        }
+        expand(&active)
     }
 
     /// Runs the exhaustive breadth-first exploration from `initial`.
@@ -292,20 +412,23 @@ impl Explorer {
             max_depth: 0,
             counterexample: None,
         };
-        let rebuild = |parents: &std::collections::HashMap<u64, (u64, String)>,
-                       mut h: u64|
-         -> Vec<String> {
-            let mut path = Vec::new();
-            while let Some((ph, label)) = parents.get(&h) {
-                path.push(label.clone());
-                h = *ph;
-            }
-            path.reverse();
-            path
-        };
+        let rebuild =
+            |parents: &std::collections::HashMap<u64, (u64, String)>, mut h: u64| -> Vec<String> {
+                let mut path = Vec::new();
+                while let Some((ph, label)) = parents.get(&h) {
+                    path.push(label.clone());
+                    h = *ph;
+                }
+                path.reverse();
+                path
+            };
         while let Some((state, depth, state_hash)) = frontier.pop_front() {
             report.max_depth = report.max_depth.max(depth);
-            let succs = self.successors(&state);
+            let succs = if self.partial_order_reduction {
+                self.successors_reduced(&state, &visited)
+            } else {
+                self.successors(&state)
+            };
             let terminal = succs.is_empty();
             self.audit(&state, depth, terminal, &mut report.violations);
             if terminal {
@@ -351,7 +474,13 @@ mod tests {
             .collect()
     }
 
-    fn enqueue(states: &mut [NodeState], src: NodeId, dst: NodeId, payload: u64, seq: u64) -> (GhostId, NodeId) {
+    fn enqueue(
+        states: &mut [NodeState],
+        src: NodeId,
+        dst: NodeId,
+        payload: u64,
+        seq: u64,
+    ) -> (GhostId, NodeId) {
         let ghost = GhostId::Valid(seq);
         states[src].outbox.push_back(Outgoing {
             dest: dst,
@@ -456,10 +585,10 @@ mod tests {
         let explorer = Explorer::new(graph.clone(), proto, exp.clone());
         let report = explorer.explore(states.clone());
         assert!(
-            report
-                .violations
-                .iter()
-                .any(|v| matches!(v, Violation::Lost { .. } | Violation::UndeliveredAtTerminal { .. })),
+            report.violations.iter().any(|v| matches!(
+                v,
+                Violation::Lost { .. } | Violation::UndeliveredAtTerminal { .. }
+            )),
             "literal R5 should lose a message: {report:?}"
         );
 
@@ -487,6 +616,53 @@ mod tests {
         // The losing schedule must involve generation and the rogue R5.
         assert!(path.iter().any(|s| s.contains("R1")), "{path:?}");
         assert!(path.iter().any(|s| s.contains("R5")), "{path:?}");
+    }
+
+    #[test]
+    fn por_agrees_with_full_exploration_and_reduces() {
+        // Two crossing messages on a line: plenty of concurrency between
+        // the two endpoints, so the reduction has commuting moves to prune.
+        let graph = gen::line(3);
+        let mut states = clean_states(&graph);
+        let exp = vec![
+            enqueue(&mut states, 0, 2, 3, 0),
+            enqueue(&mut states, 2, 0, 5, 1),
+        ];
+        let proto = SsmfpProtocol::new(3, graph.max_degree());
+        let full = Explorer::new(graph.clone(), proto.clone(), exp.clone());
+        let reduced = Explorer::new(graph, proto, exp).with_partial_order_reduction();
+        let full_report = full.explore(states.clone());
+        let reduced_report = reduced.explore(states);
+        assert!(full_report.verified(), "{full_report:?}");
+        assert!(reduced_report.verified(), "{reduced_report:?}");
+        assert_eq!(full_report.violations, reduced_report.violations);
+        assert!(
+            reduced_report.states < full_report.states,
+            "POR should prune: {} vs {}",
+            reduced_report.states,
+            full_report.states
+        );
+    }
+
+    #[test]
+    fn por_still_finds_the_literal_r5_loss() {
+        // A stable violation (loss) must survive the reduction.
+        let graph = gen::line(2);
+        let mut states = clean_states(&graph);
+        let exp = vec![
+            enqueue(&mut states, 0, 1, 7, 0),
+            enqueue(&mut states, 0, 1, 7, 1),
+        ];
+        let proto = SsmfpProtocol::new(2, graph.max_degree()).with_literal_r5();
+        let explorer = Explorer::new(graph, proto, exp).with_partial_order_reduction();
+        let report = explorer.explore(states);
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                Violation::Lost { .. } | Violation::UndeliveredAtTerminal { .. }
+            )),
+            "{report:?}"
+        );
     }
 
     #[test]

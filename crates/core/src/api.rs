@@ -101,9 +101,9 @@ impl DaemonKind {
             DaemonKind::Adversarial { seed, victims } => {
                 Box::new(AdversarialDaemon::new(*seed, victims.clone()))
             }
-            DaemonKind::AdversarialRandomAction { seed, victims } => {
-                Box::new(AdversarialDaemon::with_random_action(*seed, victims.clone()))
-            }
+            DaemonKind::AdversarialRandomAction { seed, victims } => Box::new(
+                AdversarialDaemon::with_random_action(*seed, victims.clone()),
+            ),
             DaemonKind::LocallyCentral { seed } => Box::new(LocallyCentralDaemon::from_graph(
                 *seed,
                 graph.expect("LocallyCentral needs the graph: use build_for"),
@@ -242,8 +242,7 @@ impl Network {
                 s
             })
             .collect();
-        let mut proto =
-            SsmfpProtocol::new(n, delta).with_choice_strategy(config.choice_strategy);
+        let mut proto = SsmfpProtocol::new(n, delta).with_choice_strategy(config.choice_strategy);
         if !config.routing_priority {
             proto = proto.without_routing_priority();
         }

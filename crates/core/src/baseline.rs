@@ -316,8 +316,7 @@ impl Protocol for BaselineProtocol {
                         });
                     }
                     BaselineRule::Pull => {
-                        let (s, position) =
-                            bl_choice(view, d).expect("guard checked choice");
+                        let (s, position) = bl_choice(view, d).expect("guard checked choice");
                         let msg = *view.state(s).bufs[d]
                             .as_ref()
                             .expect("guard checked source buffer");

@@ -81,7 +81,10 @@ pub fn classify_r_buffer(
             .buf_e
             .as_ref()
             .is_some_and(|e| e.same_payload_color(m));
-    debug_assert!(q == p || graph.has_edge(p, q), "last hop within N_p ∪ {{p}}");
+    debug_assert!(
+        q == p || graph.has_edge(p, q),
+        "last hop within N_p ∪ {{p}}"
+    );
     Some(if source_alive {
         RBufferRole::Type3Tail
     } else {
@@ -222,7 +225,7 @@ mod tests {
         let mut states = clean(&g);
         states[0].slots[2].buf_e = Some(msg(7, 0, 1));
         states[1].slots[2].buf_r = Some(msg(7, 0, 2)); // different color
-        // The emission copy has no tail; the reception copy has no source.
+                                                       // The emission copy has no tail; the reception copy has no source.
         assert_eq!(
             classify_e_buffer(&g, &states, 0, 2),
             Some(CaterpillarType::Type2)

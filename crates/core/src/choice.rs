@@ -128,12 +128,14 @@ pub fn choice_with(
                     position,
                 })
         }
-        ChoiceStrategy::GreedyFirst => (0..len)
-            .find(|&position| satisfies(view, d, position))
-            .map(|position| Choice {
-                who: who_at(view, position),
-                position,
-            }),
+        ChoiceStrategy::GreedyFirst => {
+            (0..len)
+                .find(|&position| satisfies(view, d, position))
+                .map(|position| Choice {
+                    who: who_at(view, position),
+                    position,
+                })
+        }
     }
 }
 
@@ -240,7 +242,6 @@ mod tests {
         // Not yet requested.
         let view = View::new(&g, &states, 0);
         assert_eq!(choice(&view, 2), None);
-        drop(view);
         states[0].request = true;
         let view = View::new(&g, &states, 0);
         let c = choice(&view, 2).expect("self-candidate");
@@ -265,7 +266,6 @@ mod tests {
             let c = choice(&view, 4).expect("candidates exist");
             served.push(c.who);
             let pos = c.position;
-            drop(view);
             states[0].slots[4].choice_ptr = advance_ptr(pos, g.degree(0));
             states[c.who].slots[4].buf_e = None; // message consumed upstream
         }
@@ -285,7 +285,6 @@ mod tests {
             let view = View::new(&g, &states, 0);
             let c = choice(&view, 4).expect("candidates exist");
             let (who, pos) = (c.who, c.position);
-            drop(view);
             states[0].slots[4].choice_ptr = advance_ptr(pos, g.degree(0));
             services_until_3 += 1;
             if who == 3 {

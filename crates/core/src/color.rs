@@ -35,7 +35,11 @@ pub fn color(view: &View<'_, NodeState>, d: NodeId, delta: usize) -> Color {
             return Color(c);
         }
     }
-    unreachable!("pigeonhole: {} neighbours cannot exclude {} colors", view.neighbors().len(), delta + 1)
+    unreachable!(
+        "pigeonhole: {} neighbours cannot exclude {} colors",
+        view.neighbors().len(),
+        delta + 1
+    )
 }
 
 #[cfg(test)]

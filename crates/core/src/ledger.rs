@@ -125,11 +125,14 @@ impl DeliveryLedger {
                 debug_assert!(prev.is_none(), "ghost {ghost:?} generated twice");
             }
             Event::Delivered { ghost, .. } => {
-                self.deliveries.entry(ghost).or_default().push(DeliveryRecord {
-                    node: rec.node,
-                    step: rec.step,
-                    round: rec.round,
-                });
+                self.deliveries
+                    .entry(ghost)
+                    .or_default()
+                    .push(DeliveryRecord {
+                        node: rec.node,
+                        step: rec.step,
+                        round: rec.round,
+                    });
                 if !ghost.is_valid() {
                     *self.invalid_per_dest.entry(rec.node).or_insert(0) += 1;
                 }
@@ -263,8 +266,23 @@ mod tests {
     fn exactly_once_is_clean() {
         let mut ledger = DeliveryLedger::new();
         let g = GhostId::Valid(0);
-        ledger.record(&rec(0, 1, Event::Generated { ghost: g, dest: 3, payload: 7 }));
-        ledger.record(&rec(5, 3, Event::Delivered { ghost: g, payload: 7 }));
+        ledger.record(&rec(
+            0,
+            1,
+            Event::Generated {
+                ghost: g,
+                dest: 3,
+                payload: 7,
+            },
+        ));
+        ledger.record(&rec(
+            5,
+            3,
+            Event::Delivered {
+                ghost: g,
+                payload: 7,
+            },
+        ));
         assert_eq!(ledger.deliveries_of(g), 1);
         assert!(ledger.check_sp(&[], 4).is_empty());
     }
@@ -273,9 +291,31 @@ mod tests {
     fn duplicate_delivery_detected() {
         let mut ledger = DeliveryLedger::new();
         let g = GhostId::Valid(0);
-        ledger.record(&rec(0, 1, Event::Generated { ghost: g, dest: 3, payload: 7 }));
-        ledger.record(&rec(5, 3, Event::Delivered { ghost: g, payload: 7 }));
-        ledger.record(&rec(9, 3, Event::Delivered { ghost: g, payload: 7 }));
+        ledger.record(&rec(
+            0,
+            1,
+            Event::Generated {
+                ghost: g,
+                dest: 3,
+                payload: 7,
+            },
+        ));
+        ledger.record(&rec(
+            5,
+            3,
+            Event::Delivered {
+                ghost: g,
+                payload: 7,
+            },
+        ));
+        ledger.record(&rec(
+            9,
+            3,
+            Event::Delivered {
+                ghost: g,
+                payload: 7,
+            },
+        ));
         assert_eq!(
             ledger.check_sp(&[], 4),
             vec![SpViolation::DuplicateDelivery { ghost: g, count: 2 }]
@@ -286,11 +326,30 @@ mod tests {
     fn misdelivery_detected() {
         let mut ledger = DeliveryLedger::new();
         let g = GhostId::Valid(0);
-        ledger.record(&rec(0, 1, Event::Generated { ghost: g, dest: 3, payload: 7 }));
-        ledger.record(&rec(5, 2, Event::Delivered { ghost: g, payload: 7 }));
+        ledger.record(&rec(
+            0,
+            1,
+            Event::Generated {
+                ghost: g,
+                dest: 3,
+                payload: 7,
+            },
+        ));
+        ledger.record(&rec(
+            5,
+            2,
+            Event::Delivered {
+                ghost: g,
+                payload: 7,
+            },
+        ));
         assert_eq!(
             ledger.check_sp(&[], 4),
-            vec![SpViolation::Misdelivered { ghost: g, expected: 3, actual: 2 }]
+            vec![SpViolation::Misdelivered {
+                ghost: g,
+                expected: 3,
+                actual: 2
+            }]
         );
     }
 
@@ -306,9 +365,20 @@ mod tests {
             .collect();
         let g = GhostId::Valid(0);
         let mut ledger = DeliveryLedger::new();
-        ledger.record(&rec(0, 0, Event::Generated { ghost: g, dest: 2, payload: 7 }));
+        ledger.record(&rec(
+            0,
+            0,
+            Event::Generated {
+                ghost: g,
+                dest: 2,
+                payload: 7,
+            },
+        ));
         // Not delivered, not in any buffer: lost.
-        assert_eq!(ledger.check_sp(&states, 3), vec![SpViolation::Lost { ghost: g }]);
+        assert_eq!(
+            ledger.check_sp(&states, 3),
+            vec![SpViolation::Lost { ghost: g }]
+        );
         // Put a copy in flight: no violation.
         states[1].slots[2].buf_r = Some(Message {
             payload: 7,
@@ -323,17 +393,25 @@ mod tests {
     fn invalid_deliveries_counted_per_destination() {
         let mut ledger = DeliveryLedger::new();
         for k in 0..5 {
-            ledger.record(&rec(k, 2, Event::Delivered {
-                ghost: GhostId::Invalid(k),
-                payload: 0,
-            }));
+            ledger.record(&rec(
+                k,
+                2,
+                Event::Delivered {
+                    ghost: GhostId::Invalid(k),
+                    payload: 0,
+                },
+            ));
         }
         assert_eq!(ledger.invalid_delivered_at(2), 5);
         assert_eq!(ledger.invalid_delivered_at(1), 0);
         // Bound 2n with n = 2 → bound 4 → violated.
         assert_eq!(
             ledger.check_sp(&[], 2),
-            vec![SpViolation::InvalidOverBound { dest: 2, count: 5, bound: 4 }]
+            vec![SpViolation::InvalidOverBound {
+                dest: 2,
+                count: 5,
+                bound: 4
+            }]
         );
         // With n = 3 → bound 6 → fine.
         assert!(ledger.check_sp(&[], 3).is_empty());
@@ -348,7 +426,12 @@ mod tests {
         ledger.record(&rec(2, 0, Event::ErasedAfterCopy { ghost: g }));
         ledger.record(&rec(3, 0, Event::ErasedDuplicate { ghost: g }));
         assert_eq!(
-            (ledger.forwards, ledger.internal_moves, ledger.erases_after_copy, ledger.duplicate_erases),
+            (
+                ledger.forwards,
+                ledger.internal_moves,
+                ledger.erases_after_copy,
+                ledger.duplicate_erases
+            ),
             (1, 1, 1, 1)
         );
     }
@@ -358,9 +441,32 @@ mod tests {
         let mut ledger = DeliveryLedger::new();
         let a = GhostId::Valid(0);
         let b = GhostId::Valid(1);
-        ledger.record(&rec(0, 0, Event::Generated { ghost: a, dest: 1, payload: 0 }));
-        ledger.record(&rec(0, 0, Event::Generated { ghost: b, dest: 1, payload: 0 }));
-        ledger.record(&rec(3, 1, Event::Delivered { ghost: a, payload: 0 }));
+        ledger.record(&rec(
+            0,
+            0,
+            Event::Generated {
+                ghost: a,
+                dest: 1,
+                payload: 0,
+            },
+        ));
+        ledger.record(&rec(
+            0,
+            0,
+            Event::Generated {
+                ghost: b,
+                dest: 1,
+                payload: 0,
+            },
+        ));
+        ledger.record(&rec(
+            3,
+            1,
+            Event::Delivered {
+                ghost: a,
+                payload: 0,
+            },
+        ));
         assert_eq!(ledger.outstanding(), vec![b]);
     }
 }

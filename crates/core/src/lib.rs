@@ -20,6 +20,9 @@
 //! * [`color`] — `color_p(d)`: smallest color absent from all neighbours'
 //!   reception buffers (pigeonhole-guaranteed to exist).
 //! * [`rules`] — rules **R1–R6**, transcribed literally.
+//! * [`footprint`] — the rules' declared read/write footprints and guard
+//!   shapes, feeding the `ssmfp-lint` static analyses and the exhaustive
+//!   checker's partial-order reduction.
 //! * [`protocol`] — [`SsmfpProtocol`]: the per-destination instances
 //!   multiplexed at each processor and composed with the routing algorithm
 //!   `A` under the paper's priority rule.
@@ -38,6 +41,7 @@ pub mod baseline;
 pub mod caterpillar;
 pub mod choice;
 pub mod color;
+pub mod footprint;
 pub mod ledger;
 pub mod message;
 pub mod protocol;
@@ -48,10 +52,11 @@ pub mod trajectory;
 
 pub use api::{DaemonKind, Network, NetworkConfig};
 pub use caterpillar::{classify_buffers, CaterpillarCensus, CaterpillarType};
+pub use choice::ChoiceStrategy;
+pub use footprint::{action_footprint, guards_can_overlap, rule_footprint};
 pub use ledger::{DeliveryLedger, SpViolation};
 pub use message::{Color, GhostId, Message, Payload};
 pub use protocol::{Event, FwdAction, SsmfpAction, SsmfpProtocol};
 pub use rules::Rule;
-pub use choice::ChoiceStrategy;
 pub use state::{FwdSlot, NodeState};
 pub use trajectory::{Trajectory, TrajectoryLog, TrajectoryViolation};

@@ -199,6 +199,20 @@ impl Protocol for SsmfpProtocol {
             SsmfpAction::Fwd(FwdAction { rule, dest }) => format!("{rule:?}(d={dest})"),
         }
     }
+
+    fn footprint(&self, action: Self::Action) -> ssmfp_kernel::Footprint {
+        crate::footprint::action_footprint(action, self.routing_priority)
+    }
+
+    fn observe_writes(
+        &self,
+        pre: &Self::State,
+        post: &Self::State,
+    ) -> Option<Vec<ssmfp_kernel::Access>> {
+        let mut out = Vec::new();
+        crate::footprint::diff_node_state(pre, post, &mut out);
+        Some(out)
+    }
 }
 
 #[cfg(test)]
@@ -265,8 +279,7 @@ mod tests {
         let mut out = Vec::new();
         proto.enabled_actions(&View::new(&g, &states, 0), &mut out);
         assert!(
-            out.iter()
-                .all(|a| matches!(a, SsmfpAction::Routing(_))),
+            out.iter().all(|a| matches!(a, SsmfpAction::Routing(_))),
             "A has priority: {out:?}"
         );
         assert!(!out.is_empty());
@@ -276,9 +289,7 @@ mod tests {
         let mut out = Vec::new();
         proto.enabled_actions(&View::new(&g, &states, 0), &mut out);
         assert!(matches!(out[0], SsmfpAction::Routing(_)));
-        assert!(out
-            .iter()
-            .any(|a| matches!(a, SsmfpAction::Fwd(_))));
+        assert!(out.iter().any(|a| matches!(a, SsmfpAction::Fwd(_))));
     }
 
     #[test]

@@ -236,8 +236,14 @@ mod tests {
         for seed in 0..5 {
             let report = run_figure3(DaemonKind::CentralRandom { seed }, true, 400_000);
             assert_eq!(report.m_deliveries, 1, "seed {seed}: {report:?}");
-            assert_eq!(report.m_prime_valid_deliveries, 1, "seed {seed}: {report:?}");
-            assert!(report.invalid_deliveries_at_b <= 1, "seed {seed}: {report:?}");
+            assert_eq!(
+                report.m_prime_valid_deliveries, 1,
+                "seed {seed}: {report:?}"
+            );
+            assert!(
+                report.invalid_deliveries_at_b <= 1,
+                "seed {seed}: {report:?}"
+            );
             assert_eq!(report.violations, 0, "seed {seed}: {report:?}");
         }
     }

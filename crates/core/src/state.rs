@@ -101,7 +101,9 @@ impl NodeState {
         for slot in self.slots.iter_mut().take(n_slots) {
             for buf in [&mut slot.buf_r, &mut slot.buf_e] {
                 if rng.gen_bool(fill) {
-                    let last_hop = if neighbors.is_empty() || rng.gen_bool(1.0 / (neighbors.len() + 1) as f64) {
+                    let last_hop = if neighbors.is_empty()
+                        || rng.gen_bool(1.0 / (neighbors.len() + 1) as f64)
+                    {
                         p
                     } else {
                         neighbors[rng.gen_range(0..neighbors.len())]

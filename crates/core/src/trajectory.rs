@@ -114,9 +114,7 @@ impl Trajectory {
     /// Validates the Lemma 1 structure for a *valid* (generated) message.
     pub fn validate(&self) -> Vec<TrajectoryViolation> {
         let mut violations = Vec::new();
-        if self.events.is_empty()
-            || self.events[0].kind != TrajectoryKind::Generated
-        {
+        if self.events.is_empty() || self.events[0].kind != TrajectoryKind::Generated {
             violations.push(TrajectoryViolation::DoesNotStartWithGeneration);
             return violations;
         }
@@ -139,9 +137,7 @@ impl Trajectory {
                 TrajectoryKind::Generated => copies += 1,
                 TrajectoryKind::Forwarded => copies += 1,
                 TrajectoryKind::InternalMove => {}
-                TrajectoryKind::ErasedAfterCopy | TrajectoryKind::ErasedDuplicate => {
-                    copies -= 1
-                }
+                TrajectoryKind::ErasedAfterCopy | TrajectoryKind::ErasedDuplicate => copies -= 1,
                 TrajectoryKind::Delivered => {
                     copies -= 1;
                     done = true;

@@ -40,11 +40,17 @@ fn greedy_always_picks_first_position() {
     let view = View::new(&g, &states, 0);
     assert_eq!(
         choice_with(&view, 4, ChoiceStrategy::GreedyFirst),
-        Some(Choice { who: 1, position: 0 })
+        Some(Choice {
+            who: 1,
+            position: 0
+        })
     );
     assert_eq!(
         choice_with(&view, 4, ChoiceStrategy::RotationQueue),
-        Some(Choice { who: 3, position: 2 })
+        Some(Choice {
+            who: 3,
+            position: 2
+        })
     );
 }
 
@@ -57,7 +63,10 @@ fn longest_waiting_prefers_higher_wait() {
     let view = View::new(&g, &states, 0);
     assert_eq!(
         choice_with(&view, 4, ChoiceStrategy::LongestWaiting),
-        Some(Choice { who: 3, position: 2 })
+        Some(Choice {
+            who: 3,
+            position: 2
+        })
     );
 }
 
@@ -70,7 +79,10 @@ fn longest_waiting_ties_break_to_smallest_position() {
     let view = View::new(&g, &states, 0);
     assert_eq!(
         choice_with(&view, 4, ChoiceStrategy::LongestWaiting),
-        Some(Choice { who: 1, position: 0 })
+        Some(Choice {
+            who: 1,
+            position: 0
+        })
     );
 }
 
@@ -98,7 +110,10 @@ fn self_candidate_visible_to_all_strategies() {
 /// Both fair strategies satisfy SP end-to-end from adversarial starts.
 #[test]
 fn fair_strategies_preserve_sp() {
-    for strategy in [ChoiceStrategy::RotationQueue, ChoiceStrategy::LongestWaiting] {
+    for strategy in [
+        ChoiceStrategy::RotationQueue,
+        ChoiceStrategy::LongestWaiting,
+    ] {
         for seed in 0..4 {
             let config = NetworkConfig::adversarial(seed).with_choice_strategy(strategy);
             let mut net = Network::new(gen::ring(6), config);

@@ -1,0 +1,257 @@
+//! Property tests tying the *declared* rule footprints (what `ssmfp-lint`
+//! analyzes statically and the checker's partial-order reduction trusts)
+//! to *observed* behaviour: on random small topologies and randomized
+//! configurations, every enabled action executed under an instrumented
+//! [`TrackedView`] must read only processors its declaration names, and
+//! the pre/post state diff must stay inside the declared write set.
+//!
+//! The final test is the dynamic twin of the lint's
+//! `corrupted_ownership_is_caught`: the same deliberately corrupted R2
+//! declaration that the static analyzer rejects is also caught at run
+//! time by the footprint assertion the engine applies in debug builds.
+
+use proptest::prelude::*;
+use ssmfp_core::message::{Color, GhostId, Message};
+use ssmfp_core::rules::enabled_rules_with;
+use ssmfp_core::state::{NodeState, Outgoing};
+use ssmfp_core::{guards_can_overlap, rule_footprint, Rule, SsmfpProtocol};
+use ssmfp_kernel::footprint::{check_reads_within, check_writes_within};
+use ssmfp_kernel::{Access, Locus, Protocol, TrackedView};
+use ssmfp_routing::{corruption, CorruptionKind};
+use ssmfp_topology::{gen, Graph};
+
+/// Randomizes the full forwarding state of every node within the domains
+/// (same generator as `prop_rules.rs`).
+fn randomize(graph: &Graph, seed: u64, fill: f64, with_requests: bool) -> Vec<NodeState> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let n = graph.n();
+    let delta = graph.max_degree() as u8;
+    corruption::corrupt(graph, CorruptionKind::RandomGarbage, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(p, routing)| {
+            let mut s = NodeState::clean(n, routing);
+            let neighbors = graph.neighbors(p);
+            for d in 0..n {
+                for is_e in [false, true] {
+                    if rng.gen_bool(fill) {
+                        let last_hop = if neighbors.is_empty() || rng.gen_bool(0.3) {
+                            p
+                        } else {
+                            neighbors[rng.gen_range(0..neighbors.len())]
+                        };
+                        let m = Message {
+                            payload: rng.gen_range(0..4),
+                            last_hop,
+                            color: Color(rng.gen_range(0..=delta)),
+                            ghost: GhostId::Invalid(rng.gen()),
+                        };
+                        if is_e {
+                            s.slots[d].buf_e = Some(m);
+                        } else {
+                            s.slots[d].buf_r = Some(m);
+                        }
+                    }
+                }
+                s.slots[d].choice_ptr = rng.gen_range(0..=neighbors.len());
+            }
+            if with_requests && rng.gen_bool(0.5) {
+                s.outbox.push_back(Outgoing {
+                    dest: rng.gen_range(0..n),
+                    payload: rng.gen_range(0..4),
+                    ghost: GhostId::Valid(p as u64),
+                });
+                s.request = true;
+            }
+            s
+        })
+        .collect()
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    prop_oneof![
+        (3usize..7).prop_map(gen::ring),
+        (2usize..7).prop_map(gen::line),
+        (3usize..7).prop_map(gen::star),
+        ((4usize..8), (0usize..4), any::<u64>())
+            .prop_map(|(n, e, s)| gen::random_connected(n, e, s)),
+    ]
+}
+
+/// Executes every enabled action at every processor through a
+/// `TrackedView` and checks observed reads/writes against the declaration.
+fn check_all_enabled(
+    graph: &Graph,
+    states: &[NodeState],
+    proto: &SsmfpProtocol,
+) -> Result<(), String> {
+    for p in 0..graph.n() {
+        let tracked = TrackedView::new(graph, states, p);
+        let mut actions = Vec::new();
+        proto.enabled_actions(&tracked.view(), &mut actions);
+        for &action in &actions {
+            tracked.clear();
+            let mut events = Vec::new();
+            let post = proto.execute(&tracked.view(), action, &mut events);
+            let declared = proto.footprint(action);
+            let label = proto.describe(action);
+            check_reads_within(&tracked.reads(), &declared, p, graph.neighbors(p))
+                .map_err(|r| format!("{label} at {p}: undeclared read of processor {r}"))?;
+            let observed = proto
+                .observe_writes(&states[p], &post)
+                .expect("SSMFP declares observable writes");
+            check_writes_within(&observed, &declared)
+                .map_err(|a| format!("{label} at {p}: undeclared write {a:?}"))?;
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Observed footprints ⊆ declared footprints, with the paper's
+    /// priority composition (A-reads attached to forwarding actions).
+    #[test]
+    fn observed_within_declared_with_priority(
+        graph in arb_graph(),
+        seed in any::<u64>(),
+        fill in 0.0f64..1.0,
+    ) {
+        let states = randomize(&graph, seed, fill, true);
+        let proto = SsmfpProtocol::new(graph.n(), graph.max_degree());
+        if let Err(e) = check_all_enabled(&graph, &states, &proto) {
+            prop_assert!(false, "{e}");
+        }
+    }
+
+    /// Same, for the ablation composition without routing priority (the
+    /// declarations drop the A-coupling reads, so this pins that the
+    /// *narrower* declaration is still sound for the rules themselves).
+    #[test]
+    fn observed_within_declared_without_priority(
+        graph in arb_graph(),
+        seed in any::<u64>(),
+        fill in 0.0f64..1.0,
+    ) {
+        let states = randomize(&graph, seed, fill, true);
+        let proto = SsmfpProtocol::new(graph.n(), graph.max_degree()).without_routing_priority();
+        if let Err(e) = check_all_enabled(&graph, &states, &proto) {
+            prop_assert!(false, "{e}");
+        }
+    }
+
+    /// Every pair of rules co-enabled at the same (processor, destination)
+    /// in a reachable-or-not configuration is a pair the static guard
+    /// shapes admit: the lint's overlap matrix over-approximates reality.
+    #[test]
+    fn co_enabled_pairs_within_static_overlap(
+        graph in arb_graph(),
+        seed in any::<u64>(),
+        fill in 0.0f64..1.0,
+    ) {
+        let states = randomize(&graph, seed, fill, true);
+        for p in 0..graph.n() {
+            let tracked = TrackedView::new(&graph, &states, p);
+            for d in 0..graph.n() {
+                let mut rules = Vec::new();
+                enabled_rules_with(
+                    &tracked.view(),
+                    d,
+                    ssmfp_core::ChoiceStrategy::RotationQueue,
+                    &mut rules,
+                );
+                for (i, &a) in rules.iter().enumerate() {
+                    for &b in &rules[i + 1..] {
+                        prop_assert!(
+                            guards_can_overlap(a, b),
+                            "rules {a:?},{b:?} co-enabled at p={p} d={d} \
+                             but statically declared exclusive"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The acceptance-criterion corruption, dynamic half: swap R2's `bufE`
+/// write declaration for routing's `parent` (a variable SSMFP does not
+/// own — the exact corruption `ssmfp-lint` rejects statically as an
+/// `ownership` violation) and drive a real R2 execution through the
+/// instrumented view. The observed write diff escapes the corrupted
+/// declaration, so the debug-build engine assertion would fire.
+#[test]
+fn corrupted_declaration_is_caught_dynamically() {
+    use ssmfp_routing::footprint::PARENT;
+
+    let graph = gen::line(3);
+    let mut states: Vec<NodeState> = corruption::corrupt(&graph, CorruptionKind::None, 0)
+        .into_iter()
+        .map(|r| NodeState::clean(3, r))
+        .collect();
+    states[0].outbox.push_back(Outgoing {
+        dest: 2,
+        payload: 7,
+        ghost: GhostId::Valid(0),
+    });
+    states[0].request = true;
+    let proto = SsmfpProtocol::new(3, graph.max_degree());
+
+    // Drive to a configuration where R2 is enabled at node 0: fire R1.
+    let r1 = ssmfp_core::SsmfpAction::Fwd(ssmfp_core::FwdAction {
+        rule: Rule::R1,
+        dest: 2,
+    });
+    let mut events = Vec::new();
+    states[0] = {
+        let tracked = TrackedView::new(&graph, &states, 0);
+        proto.execute(&tracked.view(), r1, &mut events)
+    };
+
+    // R2 must now be enabled at node 0 for destination 2.
+    let tracked = TrackedView::new(&graph, &states, 0);
+    let mut actions = Vec::new();
+    proto.enabled_actions(&tracked.view(), &mut actions);
+    let r2 = ssmfp_core::SsmfpAction::Fwd(ssmfp_core::FwdAction {
+        rule: Rule::R2,
+        dest: 2,
+    });
+    assert!(actions.contains(&r2), "R2 should be enabled: {actions:?}");
+
+    tracked.clear();
+    let mut events = Vec::new();
+    let post = proto.execute(&tracked.view(), r2, &mut events);
+    let observed = proto.observe_writes(&states[0], &post).unwrap();
+
+    // Honest declaration: clean.
+    let honest = proto.footprint(r2);
+    assert!(check_writes_within(&observed, &honest).is_ok());
+    assert!(check_reads_within(&tracked.reads(), &honest, 0, graph.neighbors(0)).is_ok());
+
+    // Corrupted declaration (bufE write → A's parent): the observed
+    // bufE write is no longer covered — the assertion catches it.
+    let mut corrupted = rule_footprint(Rule::R2, 2);
+    for w in corrupted.writes.iter_mut() {
+        if w.var.name == "bufE" {
+            *w = Access::me(PARENT, 2);
+        }
+    }
+    let err = check_writes_within(&observed, &corrupted);
+    assert!(
+        matches!(err, Err(a) if a.var.name == "bufE"),
+        "corrupted declaration must be caught: {err:?}"
+    );
+
+    // Read-side corruption: strip the Neighbors accesses (R2's re-coloring
+    // reads the neighbours' reception buffers) — also caught.
+    let mut no_neighbor_reads = rule_footprint(Rule::R2, 2);
+    no_neighbor_reads
+        .reads
+        .retain(|a| a.locus != Locus::Neighbors);
+    assert!(
+        check_reads_within(&tracked.reads(), &no_neighbor_reads, 0, graph.neighbors(0)).is_err(),
+        "undeclared neighbour read must be caught"
+    );
+}

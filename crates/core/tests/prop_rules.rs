@@ -15,12 +15,7 @@ use ssmfp_routing::{corruption, CorruptionKind};
 use ssmfp_topology::{gen, Graph};
 
 /// Randomizes the full forwarding state of every node within the domains.
-fn randomize(
-    graph: &Graph,
-    seed: u64,
-    fill: f64,
-    with_requests: bool,
-) -> Vec<NodeState> {
+fn randomize(graph: &Graph, seed: u64, fill: f64, with_requests: bool) -> Vec<NodeState> {
     use rand::{Rng, SeedableRng};
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
     let n = graph.n();

@@ -62,7 +62,10 @@ fn r1_requires_matching_destination() {
     let (g, mut states) = setup();
     states[1].outbox.push_back(outgoing(3, 9));
     states[1].request = true;
-    assert!(!guard_r1(&View::new(&g, &states, 1), 2), "wrong destination");
+    assert!(
+        !guard_r1(&View::new(&g, &states, 1), 2),
+        "wrong destination"
+    );
 }
 
 #[test]
@@ -350,9 +353,7 @@ fn r2_and_r5_are_mutually_exclusive() {
     // R2 requires the source copy gone; R5 requires it alive.
     let (g, mut states) = setup();
     states[1].slots[3].buf_r = Some(msg(7, 2, 1));
-    for (src_copy, rerouted) in
-        [(true, true), (true, false), (false, true), (false, false)]
-    {
+    for (src_copy, rerouted) in [(true, true), (true, false), (false, true), (false, false)] {
         states[2].slots[3].buf_e = src_copy.then(|| msg(7, 2, 1));
         states[2].routing.parent[3] = if rerouted { 3 } else { 1 };
         let view = View::new(&g, &states, 1);

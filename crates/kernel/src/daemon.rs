@@ -84,7 +84,10 @@ impl Default for RoundRobinDaemon {
 
 impl Daemon for RoundRobinDaemon {
     fn select(&mut self, enabled: &[(NodeId, usize)]) -> Selection {
-        assert!(!enabled.is_empty(), "daemon invoked with no enabled processor");
+        assert!(
+            !enabled.is_empty(),
+            "daemon invoked with no enabled processor"
+        );
         // `enabled` is sorted by processor id (engine invariant); find the
         // first entry >= self.next, wrapping around.
         let idx = enabled
@@ -134,7 +137,10 @@ impl CentralRandomDaemon {
 
 impl Daemon for CentralRandomDaemon {
     fn select(&mut self, enabled: &[(NodeId, usize)]) -> Selection {
-        assert!(!enabled.is_empty(), "daemon invoked with no enabled processor");
+        assert!(
+            !enabled.is_empty(),
+            "daemon invoked with no enabled processor"
+        );
         let (p, k) = enabled[self.rng.gen_range(0..enabled.len())];
         let a = if self.random_action {
             self.rng.gen_range(0..k)
@@ -173,7 +179,10 @@ impl DistributedRandomDaemon {
 
 impl Daemon for DistributedRandomDaemon {
     fn select(&mut self, enabled: &[(NodeId, usize)]) -> Selection {
-        assert!(!enabled.is_empty(), "daemon invoked with no enabled processor");
+        assert!(
+            !enabled.is_empty(),
+            "daemon invoked with no enabled processor"
+        );
         let mut choices: Vec<(NodeId, usize)> = enabled
             .iter()
             .filter(|_| self.rng.gen_bool(self.p_move))
@@ -216,17 +225,17 @@ impl LocallyCentralDaemon {
 
     /// Convenience constructor from a graph.
     pub fn from_graph(seed: u64, graph: &ssmfp_topology::Graph) -> Self {
-        let adjacency = graph
-            .nodes()
-            .map(|p| graph.neighbors(p).to_vec())
-            .collect();
+        let adjacency = graph.nodes().map(|p| graph.neighbors(p).to_vec()).collect();
         Self::new(seed, adjacency)
     }
 }
 
 impl Daemon for LocallyCentralDaemon {
     fn select(&mut self, enabled: &[(NodeId, usize)]) -> Selection {
-        assert!(!enabled.is_empty(), "daemon invoked with no enabled processor");
+        assert!(
+            !enabled.is_empty(),
+            "daemon invoked with no enabled processor"
+        );
         // Greedy MIS over the enabled set in a random order.
         let mut order: Vec<usize> = (0..enabled.len()).collect();
         for i in (1..order.len()).rev() {
@@ -294,7 +303,10 @@ impl AdversarialDaemon {
 
 impl Daemon for AdversarialDaemon {
     fn select(&mut self, enabled: &[(NodeId, usize)]) -> Selection {
-        assert!(!enabled.is_empty(), "daemon invoked with no enabled processor");
+        assert!(
+            !enabled.is_empty(),
+            "daemon invoked with no enabled processor"
+        );
         let non_victims: Vec<&(NodeId, usize)> = enabled
             .iter()
             .filter(|(p, _)| !self.victims.contains(p))
@@ -345,7 +357,7 @@ mod tests {
         // A continuously enabled processor must be selected within n picks.
         let mut d = RoundRobinDaemon::new();
         let enabled: Vec<(NodeId, usize)> = (0..10).map(|p| (p, 1)).collect();
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for _ in 0..10 {
             let sel = d.select(&enabled);
             seen[sel.choices[0].0] = true;
@@ -428,7 +440,10 @@ mod tests {
         let enabled = [(0, 1), (1, 1), (2, 1)];
         for _ in 0..100 {
             let sel = d.select(&enabled);
-            assert_ne!(sel.choices[0].0, 0, "victim must never run while others can");
+            assert_ne!(
+                sel.choices[0].0, 0,
+                "victim must never run while others can"
+            );
         }
         // ... but when the victim is the only enabled processor it runs.
         let only_victim = [(0, 1)];

@@ -295,15 +295,37 @@ impl<P: Protocol> Engine<P> {
                 self.daemon.name()
             );
             chosen_seen[p] = true;
-            let action = *self
-                .enabled[p]
+            let action = *self.enabled[p]
                 .get(action_idx)
                 .unwrap_or_else(|| panic!("daemon chose out-of-range action {action_idx} at {p}"));
-            let view = View::new(&self.graph, &self.states, p);
             self.scratch_events.clear();
-            let new_state = self
-                .protocol
-                .execute(&view, action, &mut self.scratch_events);
+            #[cfg(debug_assertions)]
+            let new_state = {
+                // Debug builds execute through a TrackedView and validate
+                // the observed reads/writes against the action's declared
+                // footprint (no-op for opaque footprints).
+                let tracked = crate::protocol::TrackedView::new(&self.graph, &self.states, p);
+                let new_state =
+                    self.protocol
+                        .execute(&tracked.view(), action, &mut self.scratch_events);
+                let declared = self.protocol.footprint(action);
+                if !declared.opaque {
+                    let label = self.protocol.describe(action);
+                    tracked.assert_reads_within(&declared, &label);
+                    if let Some(observed) =
+                        self.protocol.observe_writes(&self.states[p], &new_state)
+                    {
+                        crate::footprint::assert_writes_within(&observed, &declared, p, &label);
+                    }
+                }
+                new_state
+            };
+            #[cfg(not(debug_assertions))]
+            let new_state = {
+                let view = View::new(&self.graph, &self.states, p);
+                self.protocol
+                    .execute(&view, action, &mut self.scratch_events)
+            };
             for ev in self.scratch_events.drain(..) {
                 self.events.push(EventRecord {
                     step: self.steps,
@@ -356,11 +378,7 @@ impl<P: Protocol> Engine<P> {
             }
         }
         for p in 0..self.graph.n() {
-            if self.pending[p]
-                && was_enabled[p]
-                && self.enabled[p].is_empty()
-                && !chosen_seen[p]
-            {
+            if self.pending[p] && was_enabled[p] && self.enabled[p].is_empty() && !chosen_seen[p] {
                 self.pending[p] = false;
                 self.pending_count -= 1;
             }
@@ -517,8 +535,11 @@ mod tests {
 
     #[test]
     fn run_until_stops_early() {
-        let mut eng = max_engine(10, (0..10).rev().map(|v| v as u64).collect(),
-            Box::new(RoundRobinDaemon::new()));
+        let mut eng = max_engine(
+            10,
+            (0..10).rev().map(|v| v as u64).collect(),
+            Box::new(RoundRobinDaemon::new()),
+        );
         let stats = eng.run_until(10_000, |e| e.state(9).0 == 9);
         assert!(!stats.terminal || eng.state(9).0 == 9);
         assert_eq!(eng.state(9).0, 9);

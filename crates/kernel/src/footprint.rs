@@ -1,0 +1,419 @@
+//! Static read/write **footprints** of guarded actions.
+//!
+//! In the locally-shared-memory model an action at processor `p` may read
+//! `p`'s variables and its neighbours', and write only `p`'s own. A
+//! [`Footprint`] declares, per action, *which* variable classes are read
+//! and written, at which locus (own state vs. neighbours') and for which
+//! destination instances. Protocols declare footprints through
+//! [`crate::Protocol::footprint`]; three consumers use them:
+//!
+//! * the `ssmfp-lint` static analyzer (guard-overlap, race and ownership
+//!   lints over the declarations),
+//! * the exhaustive checker's partial-order reduction (the
+//!   [`independent`] relation derived here),
+//! * the engine's debug-build validation: actual reads (via
+//!   `TrackedView`) and actual writes (via
+//!   [`crate::Protocol::observe_writes`]) are asserted to stay inside the
+//!   declaration, so the static model cannot silently drift from the
+//!   code.
+//!
+//! The model is deliberately coarse — a *class* of variables per
+//! destination, not individual fields — because that is the granularity
+//! at which the paper reasons about rule interference (two rules touch
+//! `bufR_p(d)`, not "byte 7 of slot d").
+
+use ssmfp_topology::NodeId;
+
+/// Whose copy of a variable an access touches, relative to the acting
+/// processor `p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Locus {
+    /// `p`'s own variable. The only legal locus for writes.
+    Me,
+    /// The variable at every neighbour of `p` (reads only — a
+    /// neighbour-locus write is a state-model violation the lint rejects).
+    Neighbors,
+}
+
+/// Which destination instances of a per-destination variable an access
+/// touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DestScope {
+    /// The single instance of destination `d`.
+    One(NodeId),
+    /// Every destination instance (e.g. the composed protocol's priority
+    /// guard reads all routing entries).
+    All,
+    /// The variable is not per-destination (`per_dest == false` classes
+    /// such as `request_p`).
+    Global,
+}
+
+impl DestScope {
+    /// Whether two scopes can touch a common instance.
+    #[inline]
+    pub fn overlaps(self, other: DestScope) -> bool {
+        match (self, other) {
+            (DestScope::One(a), DestScope::One(b)) => a == b,
+            _ => true,
+        }
+    }
+}
+
+/// A class of shared variables (e.g. "the reception buffers `bufR`"),
+/// tagged with the algorithm layer that owns (may write) it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarClass {
+    /// Class name, e.g. `"bufR"`.
+    pub name: &'static str,
+    /// Owning layer, e.g. `"SSMFP"` or `"A"`. The lint rejects an action
+    /// of one layer writing a class owned by another (the paper's
+    /// priority composition forbids it).
+    pub owner: &'static str,
+    /// Whether the class has one instance per destination.
+    pub per_dest: bool,
+}
+
+/// One access: a variable class at a locus, for some destination scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Access {
+    /// The variable class touched.
+    pub var: VarClass,
+    /// Whose copy.
+    pub locus: Locus,
+    /// Which destination instances.
+    pub dest: DestScope,
+}
+
+impl Access {
+    /// Read/write of `var`'s instance `d` on the acting processor.
+    pub const fn me(var: VarClass, d: NodeId) -> Self {
+        Access {
+            var,
+            locus: Locus::Me,
+            dest: DestScope::One(d),
+        }
+    }
+
+    /// Access to a non-per-destination variable on the acting processor.
+    pub const fn me_global(var: VarClass) -> Self {
+        Access {
+            var,
+            locus: Locus::Me,
+            dest: DestScope::Global,
+        }
+    }
+
+    /// Read of `var`'s instance `d` on every neighbour.
+    pub const fn neighbors(var: VarClass, d: NodeId) -> Self {
+        Access {
+            var,
+            locus: Locus::Neighbors,
+            dest: DestScope::One(d),
+        }
+    }
+
+    /// Read of every instance of `var` on every neighbour.
+    pub const fn neighbors_all(var: VarClass) -> Self {
+        Access {
+            var,
+            locus: Locus::Neighbors,
+            dest: DestScope::All,
+        }
+    }
+
+    /// Read of every instance of `var` on the acting processor.
+    pub const fn me_all(var: VarClass) -> Self {
+        Access {
+            var,
+            locus: Locus::Me,
+            dest: DestScope::All,
+        }
+    }
+}
+
+/// The declared read/write footprint of one action.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Footprint {
+    /// Variable instances the guard and statement may read.
+    pub reads: Vec<Access>,
+    /// Variable instances the statement may write (all must be
+    /// [`Locus::Me`]).
+    pub writes: Vec<Access>,
+    /// True for the conservative default: the action may touch anything.
+    /// Opaque footprints conflict with everything and are skipped by the
+    /// dynamic validator.
+    pub opaque: bool,
+}
+
+impl Footprint {
+    /// An explicit footprint.
+    pub fn new(reads: Vec<Access>, writes: Vec<Access>) -> Self {
+        Footprint {
+            reads,
+            writes,
+            opaque: false,
+        }
+    }
+
+    /// The conservative "touches anything" footprint ([`crate::Protocol`]'s
+    /// default): never independent of anything, never validated.
+    pub fn opaque() -> Self {
+        Footprint {
+            reads: Vec::new(),
+            writes: Vec::new(),
+            opaque: true,
+        }
+    }
+}
+
+/// Whether an access by `p` and an access by `q` can touch a common
+/// variable instance (same class, overlapping destination scope, and a
+/// common processor once the loci are materialized over the neighbour
+/// sets).
+fn cells_overlap(
+    a: &Access,
+    p: NodeId,
+    p_nbrs: &[NodeId],
+    b: &Access,
+    q: NodeId,
+    q_nbrs: &[NodeId],
+) -> bool {
+    if a.var != b.var || !a.dest.overlaps(b.dest) {
+        return false;
+    }
+    match (a.locus, b.locus) {
+        (Locus::Me, Locus::Me) => p == q,
+        (Locus::Me, Locus::Neighbors) => q_nbrs.contains(&p),
+        (Locus::Neighbors, Locus::Me) => p_nbrs.contains(&q),
+        (Locus::Neighbors, Locus::Neighbors) => p_nbrs.iter().any(|x| q_nbrs.contains(x)),
+    }
+}
+
+/// Whether some write of `fa` (acting at `p`) touches an instance that
+/// `accesses` of the action at `q` also touch.
+fn writes_hit(
+    fa: &Footprint,
+    p: NodeId,
+    p_nbrs: &[NodeId],
+    accesses: &[Access],
+    q: NodeId,
+    q_nbrs: &[NodeId],
+) -> bool {
+    fa.writes.iter().any(|w| {
+        accesses
+            .iter()
+            .any(|r| cells_overlap(w, p, p_nbrs, r, q, q_nbrs))
+    })
+}
+
+/// The derived **independence** relation: action `a` at `p` and action
+/// `b` at `q` are independent iff they act at distinct processors and
+/// neither's writes touch an instance the other reads or writes. For
+/// independent actions, executing one neither enables, disables, nor
+/// changes the effect of the other — the commutation property
+/// partial-order reduction needs.
+pub fn independent(
+    fa: &Footprint,
+    p: NodeId,
+    p_nbrs: &[NodeId],
+    fb: &Footprint,
+    q: NodeId,
+    q_nbrs: &[NodeId],
+) -> bool {
+    if p == q || fa.opaque || fb.opaque {
+        return false;
+    }
+    !writes_hit(fa, p, p_nbrs, &fb.reads, q, q_nbrs)
+        && !writes_hit(fa, p, p_nbrs, &fb.writes, q, q_nbrs)
+        && !writes_hit(fb, q, q_nbrs, &fa.reads, p, p_nbrs)
+        && !writes_hit(fb, q, q_nbrs, &fa.writes, p, p_nbrs)
+}
+
+/// Whether a declared access covers an observed one (same class and
+/// locus, declaration's destination scope at least as wide).
+fn declared_covers(decl: &Access, obs: &Access) -> bool {
+    decl.var == obs.var
+        && decl.locus == obs.locus
+        && match (decl.dest, obs.dest) {
+            (DestScope::All, _) => true,
+            (a, b) => a == b,
+        }
+}
+
+/// Checks that every *processor* actually read (as recorded by a
+/// `TrackedView`) is explicable by the declared read set: the acting
+/// processor is always allowed; a neighbour read requires some
+/// [`Locus::Neighbors`] access in the declaration. Returns the offending
+/// processor on failure.
+///
+/// (Reads are tracked at processor granularity — a `View` hands out whole
+/// neighbour states, so which *field* was read is not observable. Field
+/// granularity is validated on the write side, where pre/post states can
+/// be diffed.)
+pub fn check_reads_within(
+    observed_processors: &[NodeId],
+    declared: &Footprint,
+    p: NodeId,
+    neighbors: &[NodeId],
+) -> Result<(), NodeId> {
+    if declared.opaque {
+        return Ok(());
+    }
+    let reads_neighbors = declared.reads.iter().any(|a| a.locus == Locus::Neighbors);
+    for &r in observed_processors {
+        let ok = r == p || (reads_neighbors && neighbors.contains(&r));
+        if !ok {
+            return Err(r);
+        }
+    }
+    Ok(())
+}
+
+/// Checks that every observed write access (from
+/// [`crate::Protocol::observe_writes`]) is covered by the declaration.
+/// Returns the first uncovered access on failure.
+pub fn check_writes_within(observed: &[Access], declared: &Footprint) -> Result<(), Access> {
+    if declared.opaque {
+        return Ok(());
+    }
+    for obs in observed {
+        if !declared.writes.iter().any(|d| declared_covers(d, obs)) {
+            return Err(*obs);
+        }
+    }
+    Ok(())
+}
+
+/// Panicking form of [`check_reads_within`] (the engine's debug hook).
+pub fn assert_reads_within(
+    observed_processors: &[NodeId],
+    declared: &Footprint,
+    p: NodeId,
+    neighbors: &[NodeId],
+    describe: &str,
+) {
+    if let Err(r) = check_reads_within(observed_processors, declared, p, neighbors) {
+        panic!(
+            "footprint violation: action {describe} at processor {p} read processor {r}, \
+             outside its declared read footprint {:?}",
+            declared.reads
+        );
+    }
+}
+
+/// Panicking form of [`check_writes_within`] (the engine's debug hook).
+pub fn assert_writes_within(observed: &[Access], declared: &Footprint, p: NodeId, describe: &str) {
+    if let Err(acc) = check_writes_within(observed, declared) {
+        panic!(
+            "footprint violation: action {describe} at processor {p} wrote {acc:?}, \
+             outside its declared write footprint {:?}",
+            declared.writes
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const X: VarClass = VarClass {
+        name: "x",
+        owner: "T",
+        per_dest: true,
+    };
+    const Y: VarClass = VarClass {
+        name: "y",
+        owner: "T",
+        per_dest: false,
+    };
+
+    fn fp(reads: Vec<Access>, writes: Vec<Access>) -> Footprint {
+        Footprint::new(reads, writes)
+    }
+
+    #[test]
+    fn same_processor_is_never_independent() {
+        let f = fp(vec![Access::me(X, 0)], vec![Access::me(X, 0)]);
+        assert!(!independent(&f, 1, &[0, 2], &f, 1, &[0, 2]));
+    }
+
+    #[test]
+    fn non_adjacent_me_writes_are_independent() {
+        // Writes are Me-locus; with disjoint neighbourhood overlap the
+        // cells cannot meet even though both read their neighbours.
+        let f = fp(
+            vec![Access::me(X, 0), Access::neighbors(X, 0)],
+            vec![Access::me(X, 0)],
+        );
+        assert!(independent(&f, 0, &[1], &f, 2, &[3]));
+    }
+
+    #[test]
+    fn adjacent_same_dest_conflicts_through_neighbor_read() {
+        let f = fp(
+            vec![Access::me(X, 0), Access::neighbors(X, 0)],
+            vec![Access::me(X, 0)],
+        );
+        // 0 and 1 adjacent: 1's neighbour read of X(0) sees 0's write.
+        assert!(!independent(&f, 0, &[1], &f, 1, &[0]));
+    }
+
+    #[test]
+    fn adjacent_different_dest_is_independent() {
+        let fa = fp(
+            vec![Access::me(X, 0), Access::neighbors(X, 0)],
+            vec![Access::me(X, 0)],
+        );
+        let fb = fp(
+            vec![Access::me(X, 1), Access::neighbors(X, 1)],
+            vec![Access::me(X, 1)],
+        );
+        assert!(independent(&fa, 0, &[1], &fb, 1, &[0]));
+    }
+
+    #[test]
+    fn all_scope_overlaps_every_instance() {
+        let fa = fp(vec![], vec![Access::me(X, 3)]);
+        let fb = fp(vec![Access::neighbors_all(X)], vec![Access::me_global(Y)]);
+        assert!(!independent(&fa, 0, &[1], &fb, 1, &[0]));
+    }
+
+    #[test]
+    fn opaque_conflicts_with_everything() {
+        let f = fp(vec![], vec![]);
+        assert!(!independent(&Footprint::opaque(), 0, &[], &f, 5, &[]));
+    }
+
+    #[test]
+    fn read_check_allows_self_and_declared_neighbors() {
+        let f = fp(vec![Access::me(X, 0), Access::neighbors(X, 0)], vec![]);
+        assert!(check_reads_within(&[2, 1, 3], &f, 2, &[1, 3]).is_ok());
+        // 4 is not a neighbour of 2.
+        assert_eq!(check_reads_within(&[4], &f, 2, &[1, 3]), Err(4));
+        // No Neighbors access declared: neighbour reads are violations.
+        let own_only = fp(vec![Access::me(X, 0)], vec![]);
+        assert_eq!(check_reads_within(&[1], &own_only, 2, &[1, 3]), Err(1));
+    }
+
+    #[test]
+    fn write_check_requires_coverage() {
+        let f = fp(vec![], vec![Access::me(X, 0), Access::me_global(Y)]);
+        assert!(check_writes_within(&[Access::me(X, 0)], &f).is_ok());
+        assert!(check_writes_within(&[Access::me_global(Y)], &f).is_ok());
+        assert_eq!(
+            check_writes_within(&[Access::me(X, 1)], &f),
+            Err(Access::me(X, 1))
+        );
+        // An All-scope declaration covers any instance.
+        let wide = fp(vec![], vec![Access::me_all(X)]);
+        assert!(check_writes_within(&[Access::me(X, 7)], &wide).is_ok());
+    }
+
+    #[test]
+    fn opaque_skips_validation() {
+        let opaque = Footprint::opaque();
+        assert!(check_reads_within(&[9], &opaque, 0, &[]).is_ok());
+        assert!(check_writes_within(&[Access::me(X, 0)], &opaque).is_ok());
+    }
+}

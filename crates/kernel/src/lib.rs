@@ -15,6 +15,11 @@
 //!
 //! * the [`Protocol`] trait ([`protocol`]) — how a protocol exposes its
 //!   guarded actions over a read-only neighbourhood [`View`],
+//! * static action [`footprint`]s — declared read/write sets per action,
+//!   the independence relation derived from them (consumed by the
+//!   `ssmfp-lint` analyzer and the checker's partial-order reduction),
+//!   and the debug-build [`TrackedView`] validation that keeps the
+//!   declarations honest,
 //! * [`Daemon`] implementations ([`daemon`]) covering the fairness spectrum
 //!   of §2.1: synchronous, weakly-fair central round-robin, uniformly random
 //!   central and distributed daemons, and adversarial *unfair* daemons,
@@ -28,15 +33,17 @@
 
 pub mod daemon;
 pub mod engine;
+pub mod footprint;
 pub mod protocol;
 pub mod toys;
 pub mod trace;
 
+pub use daemon::LocallyCentralDaemon;
 pub use daemon::{
     AdversarialDaemon, CentralRandomDaemon, Daemon, DistributedRandomDaemon, RoundRobinDaemon,
     Selection, SynchronousDaemon,
 };
-pub use daemon::LocallyCentralDaemon;
 pub use engine::{Engine, StepOutcome, StepRecord};
+pub use footprint::{independent, Access, DestScope, Footprint, Locus, VarClass};
+pub use protocol::{Enabled, Protocol, TrackedView, View};
 pub use trace::TraceStats;
-pub use protocol::{Enabled, Protocol, View};

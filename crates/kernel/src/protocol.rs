@@ -1,8 +1,26 @@
 //! The [`Protocol`] trait: a distributed algorithm as a set of guarded
 //! actions over per-processor states, read through a neighbourhood [`View`].
 
+use crate::footprint::{Access, Footprint};
 use ssmfp_topology::{Graph, NodeId};
+use std::cell::RefCell;
 use std::fmt::Debug;
+
+/// Record of which processors' states a [`View`] handed out. Backing store
+/// of [`TrackedView`]; shared by reference so the `View` stays `Copy`-cheap.
+#[derive(Debug, Default)]
+pub struct ReadLog {
+    touched: RefCell<Vec<NodeId>>,
+}
+
+impl ReadLog {
+    fn note(&self, q: NodeId) {
+        let mut t = self.touched.borrow_mut();
+        if !t.contains(&q) {
+            t.push(q);
+        }
+    }
+}
 
 /// Read-only view of the pre-step configuration from processor `p`'s
 /// perspective: its own state and (per the shared-memory model) the states
@@ -13,12 +31,18 @@ pub struct View<'a, S> {
     graph: &'a Graph,
     states: &'a [S],
     p: NodeId,
+    log: Option<&'a ReadLog>,
 }
 
 impl<'a, S> View<'a, S> {
     /// Builds a view for processor `p` over the configuration `states`.
     pub fn new(graph: &'a Graph, states: &'a [S], p: NodeId) -> Self {
-        View { graph, states, p }
+        View {
+            graph,
+            states,
+            p,
+            log: None,
+        }
     }
 
     /// The observing processor's identity.
@@ -30,6 +54,9 @@ impl<'a, S> View<'a, S> {
     /// The observing processor's own state.
     #[inline]
     pub fn me(&self) -> &S {
+        if let Some(log) = self.log {
+            log.note(self.p);
+        }
         &self.states[self.p]
     }
 
@@ -43,6 +70,9 @@ impl<'a, S> View<'a, S> {
             self.p,
             q
         );
+        if let Some(log) = self.log {
+            log.note(q);
+        }
         &self.states[q]
     }
 
@@ -56,6 +86,66 @@ impl<'a, S> View<'a, S> {
     #[inline]
     pub fn graph(&self) -> &'a Graph {
         self.graph
+    }
+}
+
+/// An instrumented view: owns a [`ReadLog`] and hands out [`View`]s that
+/// record which processors' states are actually read. The engine wraps
+/// statement execution in one (debug builds) and asserts the observed
+/// reads stay within the action's declared [`Footprint`]; tests use it to
+/// validate guard read-sets rule by rule.
+pub struct TrackedView<'a, S> {
+    graph: &'a Graph,
+    states: &'a [S],
+    p: NodeId,
+    log: ReadLog,
+}
+
+impl<'a, S> TrackedView<'a, S> {
+    /// Builds a tracked view for processor `p` over `states`.
+    pub fn new(graph: &'a Graph, states: &'a [S], p: NodeId) -> Self {
+        TrackedView {
+            graph,
+            states,
+            p,
+            log: ReadLog::default(),
+        }
+    }
+
+    /// A recording [`View`] borrowing this tracker's log.
+    pub fn view(&self) -> View<'_, S> {
+        View {
+            graph: self.graph,
+            states: self.states,
+            p: self.p,
+            log: Some(&self.log),
+        }
+    }
+
+    /// The processors whose state was read so far, sorted.
+    pub fn reads(&self) -> Vec<NodeId> {
+        let mut t = self.log.touched.borrow().clone();
+        t.sort_unstable();
+        t
+    }
+
+    /// Forgets the reads recorded so far (between guard and statement
+    /// phases, say).
+    pub fn clear(&self) {
+        self.log.touched.borrow_mut().clear();
+    }
+
+    /// Panicking validation of the recorded reads against a declaration
+    /// (the engine's debug hook; see
+    /// [`crate::footprint::assert_reads_within`]).
+    pub fn assert_reads_within(&self, declared: &Footprint, describe: &str) {
+        crate::footprint::assert_reads_within(
+            &self.reads(),
+            declared,
+            self.p,
+            self.graph.neighbors(self.p),
+            describe,
+        );
     }
 }
 
@@ -109,6 +199,24 @@ pub trait Protocol {
     fn describe(&self, action: Self::Action) -> String {
         format!("{action:?}")
     }
+
+    /// The declared static read/write footprint of `action` (see
+    /// [`crate::footprint`]). The default is the conservative
+    /// [`Footprint::opaque`]: the action may touch anything, is never
+    /// independent of anything, and is skipped by the debug validator.
+    /// Protocols that declare real footprints unlock the `ssmfp-lint`
+    /// analyses and the checker's partial-order reduction.
+    fn footprint(&self, _action: Self::Action) -> Footprint {
+        Footprint::opaque()
+    }
+
+    /// Diffs a pre/post state pair of the acting processor into the write
+    /// [`Access`]es actually performed, for debug-build validation against
+    /// [`Protocol::footprint`]. `None` (the default) opts out of write
+    /// validation.
+    fn observe_writes(&self, _pre: &Self::State, _post: &Self::State) -> Option<Vec<Access>> {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -136,5 +244,31 @@ mod tests {
         let states = vec![10, 20, 30];
         let v = View::new(&g, &states, 0);
         let _ = v.state(2); // 2 is not a neighbour of 0 on the line
+    }
+
+    #[test]
+    fn tracked_view_records_reads() {
+        let g = gen::line(3);
+        let states = vec![10, 20, 30];
+        let t = TrackedView::new(&g, &states, 1);
+        assert!(t.reads().is_empty());
+        {
+            let v = t.view();
+            let _ = v.me();
+            let _ = v.state(2);
+            let _ = v.state(2); // deduplicated
+        }
+        assert_eq!(t.reads(), vec![1, 2]);
+        t.clear();
+        assert!(t.reads().is_empty());
+    }
+
+    #[test]
+    fn plain_view_does_not_track() {
+        let g = gen::line(3);
+        let states = vec![10, 20, 30];
+        let v = View::new(&g, &states, 1);
+        let _ = v.state(0);
+        assert!(v.log.is_none());
     }
 }

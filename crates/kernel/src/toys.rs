@@ -206,7 +206,10 @@ mod tests {
         for rec in eng.events() {
             visited[rec.event.0] = true;
         }
-        assert!(visited.iter().all(|&v| v), "token must visit all processors");
+        assert!(
+            visited.iter().all(|&v| v),
+            "token must visit all processors"
+        );
     }
 
     #[test]

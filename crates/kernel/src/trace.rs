@@ -163,10 +163,7 @@ mod tests {
 
     #[test]
     fn histogram_and_rounds() {
-        let trace = vec![
-            rec(0, 0, vec![(0, 7), (1, 7)]),
-            rec(1, 1, vec![(2, 9)]),
-        ];
+        let trace = vec![rec(0, 0, vec![(0, 7), (1, 7)]), rec(1, 1, vec![(2, 9)])];
         let h = action_histogram(&trace);
         assert_eq!(h[&7], 2);
         assert_eq!(h[&9], 1);

@@ -28,12 +28,7 @@ impl Protocol for Rendezvous {
         }
     }
 
-    fn execute(
-        &self,
-        _view: &View<'_, Want>,
-        _action: Withdraw,
-        _events: &mut Vec<()>,
-    ) -> Want {
+    fn execute(&self, _view: &View<'_, Want>, _action: Withdraw, _events: &mut Vec<()>) -> Want {
         Want(false)
     }
 }

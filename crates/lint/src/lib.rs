@@ -1,0 +1,532 @@
+//! Static analyses over the declared rule footprints.
+//!
+//! The forwarding rules and the routing algorithm declare read/write
+//! footprints (`ssmfp_core::footprint`, `ssmfp_routing::footprint`); this
+//! crate checks structural properties of those declarations that the
+//! paper's correctness argument relies on:
+//!
+//! * **`non-local-write`** — every write is to the acting processor's own
+//!   variables (the locally-shared-memory model; §2.1).
+//! * **`ownership`** — SSMFP never writes a variable `A` owns and vice
+//!   versa (the priority composition's contract; §3.1).
+//! * **`write-write-race`** — no two rules at *neighbouring* processors
+//!   can write a common variable instance under any daemon selection
+//!   (composite atomicity only merges writes to *different* processors'
+//!   variables; a cross-processor write/write race would make step
+//!   outcomes selection-order dependent).
+//! * **`guard-overlap`** — which rule pairs can be simultaneously enabled
+//!   at one processor for one destination, computed from the guard
+//!   shapes and compared against the hand-verified allow-list (a guard
+//!   edit that creates a new simultaneous-enabledness pair fails the
+//!   lint until the analysis — and the paper argument — is revisited).
+//! * **`cross-dest-interference`** — rules of *different* destination
+//!   instances at neighbouring processors are independent, except for
+//!   the documented coupling through `A`'s priority guard. This
+//!   per-destination isolation is what the paper's per-instance
+//!   reasoning (and the checker's partial-order reduction) stands on.
+//!
+//! Findings are emitted as a machine-readable JSON report by the
+//! `ssmfp-lint` binary, which exits nonzero on violations (and, under
+//! `-D`, on warnings).
+
+use ssmfp_core::footprint::{composed_fwd_footprint, guards_can_overlap, LAYER_SSMFP};
+use ssmfp_core::Rule;
+use ssmfp_kernel::footprint::{independent, Access, Footprint, Locus};
+use ssmfp_routing::footprint::{routing_footprint, LAYER_A};
+
+/// A rule (or routing action) under analysis: its label, owning layer,
+/// and footprints instantiated at two representative destinations.
+///
+/// Two instances suffice: for *adjacent* processors the materialized
+/// conflict relation depends only on the variable classes and on whether
+/// the destination scopes overlap, so one same-destination probe and one
+/// different-destination probe cover all instantiations.
+#[derive(Debug, Clone)]
+pub struct RuleDecl {
+    /// Display label (`"R1"` … `"R6"`, `"A"`).
+    pub label: &'static str,
+    /// The layer the rule belongs to (`"SSMFP"` or `"A"`).
+    pub layer: &'static str,
+    /// Footprint of the instance for destination 0.
+    pub fp_d0: Footprint,
+    /// Footprint of the instance for destination 1.
+    pub fp_d1: Footprint,
+    /// The forwarding rule behind this declaration, if any (drives the
+    /// guard-overlap analysis; `None` for `A`).
+    pub rule: Option<Rule>,
+}
+
+/// The shipped declarations: R1–R6 under the composed protocol (with
+/// `A`'s priority) plus `A`'s correction rule.
+pub fn default_decls() -> Vec<RuleDecl> {
+    let mut decls: Vec<RuleDecl> = Rule::EVAL_ORDER
+        .iter()
+        .map(|&rule| RuleDecl {
+            label: rule_label(rule),
+            layer: LAYER_SSMFP,
+            fp_d0: composed_fwd_footprint(rule, 0, true),
+            fp_d1: composed_fwd_footprint(rule, 1, true),
+            rule: Some(rule),
+        })
+        .collect();
+    decls.sort_by_key(|d| d.label);
+    decls.push(RuleDecl {
+        label: "A",
+        layer: LAYER_A,
+        fp_d0: routing_footprint(0),
+        fp_d1: routing_footprint(1),
+        rule: None,
+    });
+    decls
+}
+
+fn rule_label(rule: Rule) -> &'static str {
+    match rule {
+        Rule::R1 => "R1",
+        Rule::R2 => "R2",
+        Rule::R3 => "R3",
+        Rule::R4 => "R4",
+        Rule::R5 => "R5",
+        Rule::R6 => "R6",
+    }
+}
+
+/// The hand-verified simultaneous-enabledness pairs (same processor, same
+/// destination). Derived in `DESIGN.md` ("Static rule analysis & POR");
+/// `EVAL_ORDER` resolves them at runtime.
+pub const ALLOWED_OVERLAPS: [(&str, &str); 6] = [
+    ("R1", "R4"),
+    ("R1", "R6"),
+    ("R3", "R4"),
+    ("R3", "R6"),
+    ("R4", "R5"),
+    ("R5", "R6"),
+];
+
+/// Severity of a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Breaks a model/paper invariant: the binary always fails on these.
+    Violation,
+    /// Hygiene problem in the declarations; fails only under `-D`.
+    Warning,
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Severity class.
+    pub severity: Severity,
+    /// Stable machine-readable code (e.g. `"non-local-write"`).
+    pub code: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// The full analysis result.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// All findings, violations first.
+    pub findings: Vec<Finding>,
+    /// Computed guard-overlap pairs (same processor, same destination).
+    pub guard_overlaps: Vec<(String, String)>,
+    /// Dependent same-destination pairs at neighbouring processors (the
+    /// forwarding handshake edges the partial-order reduction must keep).
+    pub same_dest_interference: Vec<(String, String)>,
+    /// Independent different-destination pairs at neighbouring processors
+    /// when `A`'s priority coupling is set aside (should be *all* pairs).
+    pub cross_dest_independent: Vec<(String, String)>,
+}
+
+impl LintReport {
+    /// Findings with [`Severity::Violation`].
+    pub fn violations(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Violation)
+    }
+
+    /// Findings with [`Severity::Warning`].
+    pub fn warnings(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning)
+    }
+
+    /// Exit status for the binary: nonzero iff violations exist, or (with
+    /// `deny_warnings`) any finding at all.
+    pub fn exit_code(&self, deny_warnings: bool) -> i32 {
+        let fail =
+            self.violations().next().is_some() || (deny_warnings && !self.findings.is_empty());
+        i32::from(fail)
+    }
+}
+
+fn push(report: &mut LintReport, severity: Severity, code: &'static str, message: String) {
+    report.findings.push(Finding {
+        severity,
+        code,
+        message,
+    });
+}
+
+/// Runs every analysis over `decls`.
+pub fn analyze(decls: &[RuleDecl]) -> LintReport {
+    let mut report = LintReport::default();
+    lint_non_local_writes(decls, &mut report);
+    lint_ownership(decls, &mut report);
+    lint_duplicate_accesses(decls, &mut report);
+    lint_guard_overlap(decls, &mut report);
+    lint_races(decls, &mut report);
+    report
+        .findings
+        .sort_by_key(|f| (f.severity == Severity::Warning) as u8);
+    report
+}
+
+/// Convenience: analyze the shipped declarations.
+pub fn analyze_default() -> LintReport {
+    analyze(&default_decls())
+}
+
+fn lint_non_local_writes(decls: &[RuleDecl], report: &mut LintReport) {
+    for decl in decls {
+        for w in decl.fp_d0.writes.iter().chain(&decl.fp_d1.writes) {
+            if w.locus == Locus::Neighbors {
+                push(
+                    report,
+                    Severity::Violation,
+                    "non-local-write",
+                    format!(
+                        "{} declares a write to a neighbour's `{}` — the locally-shared-memory \
+                         model only allows writing the acting processor's own variables",
+                        decl.label, w.var.name
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn lint_ownership(decls: &[RuleDecl], report: &mut LintReport) {
+    for decl in decls {
+        for w in decl.fp_d0.writes.iter().chain(&decl.fp_d1.writes) {
+            if w.var.owner != decl.layer {
+                push(
+                    report,
+                    Severity::Violation,
+                    "ownership",
+                    format!(
+                        "{} (layer {}) declares a write to `{}`, owned by layer {} — the \
+                         priority composition forbids one layer writing the other's variables",
+                        decl.label, decl.layer, w.var.name, w.var.owner
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn lint_duplicate_accesses(decls: &[RuleDecl], report: &mut LintReport) {
+    let dup = |accesses: &[Access]| -> Option<Access> {
+        accesses
+            .iter()
+            .enumerate()
+            .find(|(i, a)| accesses[..*i].contains(a))
+            .map(|(_, a)| *a)
+    };
+    for decl in decls {
+        for (kind, accesses) in [("read", &decl.fp_d0.reads), ("write", &decl.fp_d0.writes)] {
+            if let Some(a) = dup(accesses) {
+                push(
+                    report,
+                    Severity::Warning,
+                    "duplicate-access",
+                    format!(
+                        "{} declares the {kind} access to `{}` twice",
+                        decl.label, a.var.name
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn lint_guard_overlap(decls: &[RuleDecl], report: &mut LintReport) {
+    let rules: Vec<Rule> = decls.iter().filter_map(|d| d.rule).collect();
+    let mut computed: Vec<(&'static str, &'static str)> = Vec::new();
+    for (i, &a) in rules.iter().enumerate() {
+        for &b in rules.iter().skip(i + 1) {
+            if guards_can_overlap(a, b) {
+                let (la, lb) = (rule_label(a), rule_label(b));
+                let pair = if la <= lb { (la, lb) } else { (lb, la) };
+                computed.push(pair);
+            }
+        }
+    }
+    computed.sort();
+    computed.dedup();
+    for &(a, b) in &computed {
+        report.guard_overlaps.push((a.to_string(), b.to_string()));
+        if !ALLOWED_OVERLAPS.contains(&(a, b)) && !ALLOWED_OVERLAPS.contains(&(b, a)) {
+            push(
+                report,
+                Severity::Violation,
+                "guard-overlap",
+                format!(
+                    "rules {a} and {b} can be simultaneously enabled at one processor for the \
+                     same destination, which the documented overlap analysis does not allow — \
+                     revisit the EVAL_ORDER priority argument before shipping this guard change"
+                ),
+            );
+        }
+    }
+    for &(a, b) in &ALLOWED_OVERLAPS {
+        let present = computed.contains(&(a, b)) || computed.contains(&(b, a));
+        if !present
+            && rules.iter().any(|&r| rule_label(r) == a)
+            && rules.iter().any(|&r| rule_label(r) == b)
+        {
+            push(
+                report,
+                Severity::Warning,
+                "stale-overlap-allowance",
+                format!(
+                    "the allow-list expects rules {a} and {b} to overlap, but the guard shapes \
+                     rule it out — the allow-list is stale"
+                ),
+            );
+        }
+    }
+}
+
+/// Race analyses over neighbouring processors. Representative topology:
+/// processors 0 and 1, mutually adjacent — for adjacent pairs the
+/// materialized conflict relation depends only on classes and scopes.
+fn lint_races(decls: &[RuleDecl], report: &mut LintReport) {
+    let (p, p_nbrs, q, q_nbrs) = (0usize, [1usize], 1usize, [0usize]);
+    for a in decls {
+        for b in decls {
+            // Write/write races, same or different destination.
+            for (fa, fb) in [(&a.fp_d0, &b.fp_d0), (&a.fp_d0, &b.fp_d1)] {
+                let ww = fa.writes.iter().any(|w| {
+                    fb.writes.iter().any(|v| {
+                        w.var == v.var && w.dest.overlaps(v.dest)
+                            // Both loci are Me in a clean model; materialize:
+                            && ((w.locus == Locus::Me && v.locus == Locus::Me && p == q)
+                                || w.locus == Locus::Neighbors
+                                || v.locus == Locus::Neighbors)
+                    })
+                });
+                if ww {
+                    push(
+                        report,
+                        Severity::Violation,
+                        "write-write-race",
+                        format!(
+                            "{} at a processor and {} at a neighbour can write a common `{}` \
+                             instance — step outcomes would depend on daemon selection order",
+                            a.label,
+                            b.label,
+                            fa.writes.first().map(|w| w.var.name).unwrap_or("?")
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    // Interference matrices (ordered pairs deduplicated to unordered).
+    for (i, a) in decls.iter().enumerate() {
+        for b in decls.iter().skip(i) {
+            if !independent(&a.fp_d0, p, &p_nbrs, &b.fp_d0, q, &q_nbrs) {
+                report
+                    .same_dest_interference
+                    .push((a.label.to_string(), b.label.to_string()));
+            }
+            // Cross-destination probe, with A's priority coupling set
+            // aside: rebuild the forwarding footprints without priority.
+            let (fa, fb) = match (a.rule, b.rule) {
+                (Some(ra), Some(rb)) => (
+                    composed_fwd_footprint(ra, 0, false),
+                    composed_fwd_footprint(rb, 1, false),
+                ),
+                (Some(ra), None) => (composed_fwd_footprint(ra, 0, false), b.fp_d1.clone()),
+                (None, Some(rb)) => (a.fp_d0.clone(), composed_fwd_footprint(rb, 1, false)),
+                (None, None) => (a.fp_d0.clone(), b.fp_d1.clone()),
+            };
+            if independent(&fa, p, &p_nbrs, &fb, q, &q_nbrs) {
+                report
+                    .cross_dest_independent
+                    .push((a.label.to_string(), b.label.to_string()));
+            } else {
+                push(
+                    report,
+                    Severity::Violation,
+                    "cross-dest-interference",
+                    format!(
+                        "{} (destination 0) and {} (destination 1) interfere at neighbouring \
+                         processors even without A's priority coupling — per-destination \
+                         isolation is broken",
+                        a.label, b.label
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Serializes a report as JSON (hand-rolled: the workspace builds without
+/// a registry, so no serde).
+pub fn to_json(report: &LintReport) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    fn findings(list: Vec<&Finding>) -> String {
+        let items: Vec<String> = list
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"code\":\"{}\",\"message\":\"{}\"}}",
+                    esc(f.code),
+                    esc(&f.message)
+                )
+            })
+            .collect();
+        format!("[{}]", items.join(","))
+    }
+    fn pairs(list: &[(String, String)]) -> String {
+        let items: Vec<String> = list
+            .iter()
+            .map(|(a, b)| format!("[\"{}\",\"{}\"]", esc(a), esc(b)))
+            .collect();
+        format!("[{}]", items.join(","))
+    }
+    format!(
+        "{{\n  \"tool\": \"ssmfp-lint\",\n  \"violations\": {},\n  \"warnings\": {},\n  \
+         \"guard_overlaps\": {},\n  \"same_dest_interference\": {},\n  \
+         \"cross_dest_independent\": {}\n}}",
+        findings(report.violations().collect()),
+        findings(report.warnings().collect()),
+        pairs(&report.guard_overlaps),
+        pairs(&report.same_dest_interference),
+        pairs(&report.cross_dest_independent),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssmfp_core::footprint::{BUF_E, BUF_R};
+    use ssmfp_kernel::footprint::DestScope;
+
+    #[test]
+    fn shipped_declarations_are_clean() {
+        let report = analyze_default();
+        assert_eq!(
+            report.violations().count(),
+            0,
+            "shipped rules must lint clean: {:?}",
+            report.findings
+        );
+        assert_eq!(report.warnings().count(), 0, "{:?}", report.findings);
+        assert_eq!(report.exit_code(true), 0);
+    }
+
+    #[test]
+    fn overlap_matrix_matches_allow_list() {
+        let report = analyze_default();
+        let mut got: Vec<(String, String)> = report.guard_overlaps.clone();
+        got.sort();
+        let mut want: Vec<(String, String)> = ALLOWED_OVERLAPS
+            .iter()
+            .map(|&(a, b)| (a.to_string(), b.to_string()))
+            .collect();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn cross_destination_isolation_holds_for_all_pairs() {
+        let report = analyze_default();
+        let decls = default_decls();
+        // Every unordered pair (including self-pairs) must be isolated.
+        let expected = decls.len() * (decls.len() + 1) / 2;
+        assert_eq!(report.cross_dest_independent.len(), expected);
+    }
+
+    #[test]
+    fn same_dest_interference_includes_the_handshake() {
+        let report = analyze_default();
+        let has = |a: &str, b: &str| {
+            report
+                .same_dest_interference
+                .iter()
+                .any(|(x, y)| (x == a && y == b) || (x == b && y == a))
+        };
+        // R3 writes bufR which R4's certification guard reads.
+        assert!(has("R3", "R4"));
+        // A's corrections mask every forwarding rule under priority.
+        assert!(has("A", "R6"));
+    }
+
+    #[test]
+    fn corrupted_neighbor_write_is_caught() {
+        let mut decls = default_decls();
+        let r2 = decls.iter_mut().find(|d| d.label == "R2").unwrap();
+        r2.fp_d0.writes.push(Access {
+            var: BUF_R,
+            locus: Locus::Neighbors,
+            dest: DestScope::One(0),
+        });
+        let report = analyze(&decls);
+        assert!(report.findings.iter().any(|f| f.code == "non-local-write"));
+        assert_ne!(report.exit_code(false), 0);
+    }
+
+    #[test]
+    fn corrupted_ownership_is_caught() {
+        // The acceptance-criterion corruption: R2's declaration claims it
+        // writes `parent` (owned by A) instead of its own emission buffer.
+        let mut decls = default_decls();
+        let r2 = decls.iter_mut().find(|d| d.label == "R2").unwrap();
+        for fp in [&mut r2.fp_d0, &mut r2.fp_d1] {
+            for w in fp.writes.iter_mut() {
+                if w.var == BUF_E {
+                    w.var = ssmfp_routing::footprint::PARENT;
+                }
+            }
+        }
+        let report = analyze(&decls);
+        assert!(
+            report.violations().any(|f| f.code == "ownership"),
+            "{:?}",
+            report.findings
+        );
+        assert_ne!(report.exit_code(false), 0);
+    }
+
+    #[test]
+    fn duplicate_access_is_a_warning_only() {
+        let mut decls = default_decls();
+        let first = decls[0].fp_d0.reads[0];
+        decls[0].fp_d0.reads.push(first);
+        let report = analyze(&decls);
+        assert!(report.warnings().any(|f| f.code == "duplicate-access"));
+        assert_eq!(report.exit_code(false), 0);
+        assert_ne!(report.exit_code(true), 0);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let json = to_json(&analyze_default());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"guard_overlaps\""));
+        assert!(json.contains("[\"R1\",\"R4\"]"));
+        // Balanced braces/brackets (no serde, so keep the format honest).
+        let balance = |open: char, close: char| {
+            json.chars().filter(|&c| c == open).count()
+                == json.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}') && balance('[', ']'));
+    }
+}

@@ -1,0 +1,49 @@
+//! `ssmfp-lint` — static rule-footprint analyzer.
+//!
+//! ```text
+//! cargo run -p ssmfp-lint            # JSON report on stdout, summary on stderr
+//! cargo run -p ssmfp-lint -- -D     # also fail (exit 1) on warnings
+//! ```
+//!
+//! Exit status: 0 when the shipped rule declarations pass every analysis,
+//! 1 when any violation (or, under `-D`, any finding) exists.
+
+use ssmfp_lint::{analyze_default, to_json, Severity};
+
+fn main() {
+    let mut deny_warnings = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "-D" | "--deny-warnings" => deny_warnings = true,
+            "-h" | "--help" => {
+                eprintln!("usage: ssmfp-lint [-D|--deny-warnings]");
+                return;
+            }
+            other => {
+                eprintln!("ssmfp-lint: unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = analyze_default();
+    println!("{}", to_json(&report));
+
+    for f in &report.findings {
+        let tag = match f.severity {
+            Severity::Violation => "violation",
+            Severity::Warning => "warning",
+        };
+        eprintln!("{tag}[{}]: {}", f.code, f.message);
+    }
+    eprintln!(
+        "ssmfp-lint: {} violation(s), {} warning(s); {} guard-overlap pair(s), \
+         {} same-destination interference edge(s), {} cross-destination independent pair(s)",
+        report.violations().count(),
+        report.warnings().count(),
+        report.guard_overlaps.len(),
+        report.same_dest_interference.len(),
+        report.cross_dest_independent.len(),
+    );
+    std::process::exit(report.exit_code(deny_warnings));
+}

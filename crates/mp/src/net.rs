@@ -194,15 +194,11 @@ impl<N: MpNode> MpNetwork<N> {
         } else if busy_links.is_empty() {
             SchedulerEvent::Timeout(busy_nodes[self.rng.gen_range(0..busy_nodes.len())])
         } else if busy_nodes.is_empty() {
-            SchedulerEvent::Deliver(
-                self.links[busy_links[self.rng.gen_range(0..busy_links.len())]],
-            )
+            SchedulerEvent::Deliver(self.links[busy_links[self.rng.gen_range(0..busy_links.len())]])
         } else if self.rng.gen_bool(self.config.timeout_bias) {
             SchedulerEvent::Timeout(busy_nodes[self.rng.gen_range(0..busy_nodes.len())])
         } else {
-            SchedulerEvent::Deliver(
-                self.links[busy_links[self.rng.gen_range(0..busy_links.len())]],
-            )
+            SchedulerEvent::Deliver(self.links[busy_links[self.rng.gen_range(0..busy_links.len())]])
         };
         match event {
             SchedulerEvent::Deliver(link) => {
@@ -275,8 +271,18 @@ mod tests {
     fn ping_pong_terminates() {
         let g = gen::line(2);
         let nodes = vec![
-            Echo { cap: 10, kick: true, peer: 1, received: vec![] },
-            Echo { cap: 10, kick: false, peer: 0, received: vec![] },
+            Echo {
+                cap: 10,
+                kick: true,
+                peer: 1,
+                received: vec![],
+            },
+            Echo {
+                cap: 10,
+                kick: false,
+                peer: 0,
+                received: vec![],
+            },
         ];
         let mut net = MpNetwork::new(g, nodes, MpConfig::default());
         assert!(net.run_to_quiescence(1_000));
@@ -318,9 +324,21 @@ mod tests {
     fn injected_garbage_is_delivered() {
         let g = gen::ring(3);
         let nodes = (0..3)
-            .map(|p| Echo { cap: 0, kick: false, peer: p, received: vec![] })
+            .map(|p| Echo {
+                cap: 0,
+                kick: false,
+                peer: p,
+                received: vec![],
+            })
             .collect();
-        let mut net = MpNetwork::new(g, nodes, MpConfig { seed: 5, ..Default::default() });
+        let mut net = MpNetwork::new(
+            g,
+            nodes,
+            MpConfig {
+                seed: 5,
+                ..Default::default()
+            },
+        );
         net.inject_wire(LinkId { from: 0, to: 1 }, 99);
         net.inject_wire(LinkId { from: 2, to: 1 }, 98);
         assert!(net.run_to_quiescence(100));
@@ -334,10 +352,27 @@ mod tests {
         let run = |seed: u64| -> (u64, u64) {
             let g = gen::line(2);
             let nodes = vec![
-                Echo { cap: 50, kick: true, peer: 1, received: vec![] },
-                Echo { cap: 50, kick: false, peer: 0, received: vec![] },
+                Echo {
+                    cap: 50,
+                    kick: true,
+                    peer: 1,
+                    received: vec![],
+                },
+                Echo {
+                    cap: 50,
+                    kick: false,
+                    peer: 0,
+                    received: vec![],
+                },
             ];
-            let mut net = MpNetwork::new(g, nodes, MpConfig { seed, ..Default::default() });
+            let mut net = MpNetwork::new(
+                g,
+                nodes,
+                MpConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
             net.run_to_quiescence(10_000);
             (net.steps(), net.delivered_msgs())
         };

@@ -27,7 +27,12 @@ pub struct Convergence {
 ///
 /// Panics if the protocol fails to reach silence within a very generous
 /// step budget (it cannot, being self-stabilizing under the unfair daemon).
-pub fn measure(graph: &Graph, kind: CorruptionKind, daemon: Box<dyn Daemon>, seed: u64) -> Convergence {
+pub fn measure(
+    graph: &Graph,
+    kind: CorruptionKind,
+    daemon: Box<dyn Daemon>,
+    seed: u64,
+) -> Convergence {
     let proto: RoutingProtocol<RoutingState> = RoutingProtocol::new(graph.n());
     let states = corrupt(graph, kind, seed);
     let mut eng = Engine::new(graph.clone(), proto, daemon, states);
@@ -77,12 +82,7 @@ mod tests {
         // the total linear with a modest constant.
         for n in [4usize, 8, 12] {
             let g = gen::line(n);
-            let c = measure(
-                &g,
-                CorruptionKind::AllZero,
-                Box::new(SynchronousDaemon),
-                0,
-            );
+            let c = measure(&g, CorruptionKind::AllZero, Box::new(SynchronousDaemon), 0);
             assert!(
                 c.rounds <= 8 * n as u64 + 8,
                 "line {n}: R_A = {} not linear",

@@ -1,0 +1,102 @@
+//! Footprint declarations for the routing algorithm `A`.
+//!
+//! `A` owns the routing variables: the distance estimates and parent
+//! pointers. Its single rule per destination `d` reads its own entry and
+//! every neighbour's distance estimate for `d`, and writes its own entry —
+//! nothing else. The composed SSMFP protocol reads (but never writes)
+//! these classes; the `ssmfp-lint` ownership analysis enforces exactly
+//! that split, which is the paper's priority-composition contract.
+
+use ssmfp_kernel::footprint::{Access, Footprint, VarClass};
+use ssmfp_topology::NodeId;
+
+/// The layer tag of the routing algorithm.
+pub const LAYER_A: &str = "A";
+
+/// `dist_p(d)`: the bounded distance estimate maintained by `A`.
+pub const DIST: VarClass = VarClass {
+    name: "dist",
+    owner: LAYER_A,
+    per_dest: true,
+};
+
+/// `parent_p(d)`: the routing-table parent pointer (`nextHop_p(d)` as the
+/// forwarding rules read it) maintained by `A`.
+pub const PARENT: VarClass = VarClass {
+    name: "parent",
+    owner: LAYER_A,
+    per_dest: true,
+};
+
+/// Footprint of the correction rule `C(d)`: guard and statement read
+/// `(dist_p(d), parent_p(d))` and every neighbour's `dist_q(d)`; the
+/// statement overwrites `p`'s own entry.
+pub fn routing_footprint(d: NodeId) -> Footprint {
+    Footprint::new(
+        vec![
+            Access::me(DIST, d),
+            Access::me(PARENT, d),
+            Access::neighbors(DIST, d),
+        ],
+        vec![Access::me(DIST, d), Access::me(PARENT, d)],
+    )
+}
+
+/// Diffs two routing tables into the write accesses that distinguish them
+/// (used by `observe_writes` implementations of any state embedding a
+/// [`crate::RoutingState`]).
+pub fn diff_routing(pre: &crate::RoutingState, post: &crate::RoutingState, out: &mut Vec<Access>) {
+    for d in 0..pre.dist.len().max(post.dist.len()) {
+        if pre.dist.get(d) != post.dist.get(d) {
+            out.push(Access::me(DIST, d));
+        }
+        if pre.parent.get(d) != post.parent.get(d) {
+            out.push(Access::me(PARENT, d));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssmfp_kernel::footprint::{check_writes_within, independent, Locus};
+
+    #[test]
+    fn routing_writes_are_local() {
+        let fp = routing_footprint(2);
+        assert!(fp.writes.iter().all(|w| w.locus == Locus::Me));
+    }
+
+    #[test]
+    fn different_destinations_commute_even_when_adjacent() {
+        let fa = routing_footprint(0);
+        let fb = routing_footprint(1);
+        assert!(independent(&fa, 0, &[1], &fb, 1, &[0]));
+    }
+
+    #[test]
+    fn same_destination_interferes_between_neighbors() {
+        // q's correction writes dist_q(d), which p's guard reads.
+        let fa = routing_footprint(3);
+        let fb = routing_footprint(3);
+        assert!(!independent(&fa, 0, &[1], &fb, 1, &[0]));
+        // Non-adjacent processors cannot see each other's entries.
+        assert!(independent(&fa, 0, &[1], &fb, 2, &[1]));
+    }
+
+    #[test]
+    fn diff_covers_apply() {
+        let pre = crate::RoutingState {
+            dist: vec![0, 5, 2],
+            parent: vec![0, 1, 2],
+        };
+        let mut post = pre.clone();
+        post.dist[1] = 3;
+        post.parent[1] = 0;
+        let mut obs = Vec::new();
+        diff_routing(&pre, &post, &mut obs);
+        assert_eq!(obs, vec![Access::me(DIST, 1), Access::me(PARENT, 1)]);
+        assert!(check_writes_within(&obs, &routing_footprint(1)).is_ok());
+        assert!(check_writes_within(&obs, &routing_footprint(0)).is_err());
+    }
+}

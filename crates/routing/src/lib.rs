@@ -29,6 +29,7 @@
 
 pub mod convergence;
 pub mod corruption;
+pub mod footprint;
 pub mod protocol;
 pub mod tables;
 

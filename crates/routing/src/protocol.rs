@@ -113,10 +113,7 @@ impl<S: HasRouting> RoutingProtocol<S> {
         let mut best = cap;
         let mut parent = view.neighbors()[0];
         for &q in view.neighbors() {
-            let cand = view
-                .state(q)
-                .routing()
-                .dist[dest]
+            let cand = view.state(q).routing().dist[dest]
                 .min(cap)
                 .saturating_add(1)
                 .min(cap);
@@ -175,6 +172,20 @@ impl<S: HasRouting + Clone + std::fmt::Debug> Protocol for RoutingProtocol<S> {
 
     fn describe(&self, action: Self::Action) -> String {
         format!("A:correct(d={})", action.dest)
+    }
+
+    fn footprint(&self, action: Self::Action) -> ssmfp_kernel::Footprint {
+        crate::footprint::routing_footprint(action.dest)
+    }
+
+    fn observe_writes(
+        &self,
+        pre: &Self::State,
+        post: &Self::State,
+    ) -> Option<Vec<ssmfp_kernel::Access>> {
+        let mut out = Vec::new();
+        crate::footprint::diff_routing(pre.routing(), post.routing(), &mut out);
+        Some(out)
     }
 }
 

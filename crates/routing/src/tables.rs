@@ -119,7 +119,10 @@ mod tests {
                 }
             }
         }
-        assert!(looped, "random garbage should produce at least one routing loop");
+        assert!(
+            looped,
+            "random garbage should produce at least one routing loop"
+        );
     }
 
     #[test]

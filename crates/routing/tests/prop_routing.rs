@@ -7,7 +7,9 @@ use ssmfp_kernel::{
     CentralRandomDaemon, Daemon, DistributedRandomDaemon, Engine, RoundRobinDaemon,
     SynchronousDaemon,
 };
-use ssmfp_routing::{corruption, routing_is_correct, CorruptionKind, RoutingProtocol, RoutingState};
+use ssmfp_routing::{
+    corruption, routing_is_correct, CorruptionKind, RoutingProtocol, RoutingState,
+};
 use ssmfp_topology::{gen, Graph};
 
 fn arb_graph() -> impl Strategy<Value = Graph> {

@@ -96,8 +96,10 @@ pub fn torus(rows: usize, cols: usize) -> Graph {
     let mut b = GraphBuilder::new(rows * cols);
     for r in 0..rows {
         for c in 0..cols {
-            b.edge_dedup(id(r, c), id(r, (c + 1) % cols)).expect("torus edge");
-            b.edge_dedup(id(r, c), id((r + 1) % rows, c)).expect("torus edge");
+            b.edge_dedup(id(r, c), id(r, (c + 1) % cols))
+                .expect("torus edge");
+            b.edge_dedup(id(r, c), id((r + 1) % rows, c))
+                .expect("torus edge");
         }
     }
     b.build().expect("torus is connected")
@@ -201,7 +203,10 @@ pub fn wheel(n: usize) -> Graph {
 /// Barbell graph: two complete graphs `K_k` joined by a path of
 /// `bridge ≥ 1` edges. A classic low-conductance stress topology.
 pub fn barbell(k: usize, bridge: usize) -> Graph {
-    assert!(k >= 2 && bridge >= 1, "barbell requires k >= 2, bridge >= 1");
+    assert!(
+        k >= 2 && bridge >= 1,
+        "barbell requires k >= 2, bridge >= 1"
+    );
     let n = 2 * k + bridge.saturating_sub(1);
     let mut b = GraphBuilder::new(n);
     // Left clique: 0..k. Right clique: occupies the last k ids.

@@ -14,7 +14,11 @@ fn main() {
     let daemons: Vec<(&str, DaemonKind, bool)> = vec![
         ("synchronous", DaemonKind::Synchronous, true),
         ("round-robin", DaemonKind::RoundRobin, true),
-        ("central-random", DaemonKind::CentralRandom { seed: 3 }, true),
+        (
+            "central-random",
+            DaemonKind::CentralRandom { seed: 3 },
+            true,
+        ),
         (
             "distributed(p=.4)",
             DaemonKind::DistributedRandom {
@@ -75,9 +79,16 @@ fn main() {
             net.steps(),
             quiescent
         );
-        assert!(violations.is_empty(), "{name}: safety violated: {violations:?}");
+        assert!(
+            violations.is_empty(),
+            "{name}: safety violated: {violations:?}"
+        );
         if fair {
-            assert_eq!(delivered, ghosts.len(), "{name}: fair daemon must deliver all");
+            assert_eq!(
+                delivered,
+                ghosts.len(),
+                "{name}: fair daemon must deliver all"
+            );
         }
     }
     println!("\nok — SP under every fair daemon; safety even under the unfair one");

@@ -107,5 +107,7 @@ fn main() {
         net.check_sp().len()
     );
     assert!(drained && ok && net.check_sp().is_empty());
-    println!("\nok — acyclicity (or SSMFP's erasure rules) is what stands between you and deadlock");
+    println!(
+        "\nok — acyclicity (or SSMFP's erasure rules) is what stands between you and deadlock"
+    );
 }

@@ -56,8 +56,6 @@ fn main() {
         );
         assert_eq!(audit.exactly_once, ghosts.len() as u64, "{name}");
     }
-    println!(
-        "\nok — the handshake port preserved exactly-once delivery in every tested schedule"
-    );
+    println!("\nok — the handshake port preserved exactly-once delivery in every tested schedule");
     println!("(empirical only: the paper's state-model → message-passing problem remains open)");
 }

@@ -115,7 +115,8 @@ fn population_changes_are_event_accounted() {
             net.ledger().forwards,
         );
         let gained = (counts.0 - prev_counts.0) + (counts.4 - prev_counts.4);
-        let lost = (counts.1 - prev_counts.1) + (counts.2 - prev_counts.2) + (counts.3 - prev_counts.3);
+        let lost =
+            (counts.1 - prev_counts.1) + (counts.2 - prev_counts.2) + (counts.3 - prev_counts.3);
         let expected = prev_pop as i64 + gained as i64 - lost as i64;
         assert_eq!(
             pop as i64, expected,

@@ -56,9 +56,7 @@ fn routing_priority_is_enforced_stepwise() {
         // no forwarding action is listed.
         for p in 0..net.graph().n() {
             let actions = net.engine().enabled_actions_of(p);
-            let has_routing = actions
-                .iter()
-                .any(|a| matches!(a, SsmfpAction::Routing(_)));
+            let has_routing = actions.iter().any(|a| matches!(a, SsmfpAction::Routing(_)));
             let has_fwd = actions.iter().any(|a| matches!(a, SsmfpAction::Fwd(_)));
             assert!(
                 !(has_routing && has_fwd),

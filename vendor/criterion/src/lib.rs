@@ -1,0 +1,217 @@
+//! Offline API stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! keeps the workspace's benches compiling and running: same macro and
+//! builder surface (`criterion_group!`, `criterion_main!`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`), but measurement is a simple mean over a capped number
+//! of timed iterations printed to stdout — no warm-up statistics,
+//! outlier analysis, or HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Per-iteration timing callback target.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean duration of one iteration, recorded by [`Bencher::iter`].
+    elapsed_per_iter: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean duration per call.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // One untimed call to warm caches and reach steady state.
+        black_box(f());
+        let iters = self.sample_size.clamp(1, 20) as u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.elapsed_per_iter = Some(start.elapsed() / iters);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark (capped at 20 in
+    /// this stand-in).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; this stand-in does not time-box.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up is a single untimed call.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&full, self.sample_size, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Throughput declaration (accepted, not reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let name = id.id.clone();
+        self.run_one(&name, 10, f);
+        self
+    }
+
+    fn run_one(&mut self, name: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            sample_size,
+            elapsed_per_iter: None,
+        };
+        f(&mut b);
+        match b.elapsed_per_iter {
+            Some(d) => println!("bench: {name:<60} {:>12.1} ns/iter", d.as_nanos() as f64),
+            None => println!("bench: {name:<60} (no iter() call)"),
+        }
+    }
+}
+
+/// Declares a group function running the given benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bench_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(1));
+        let mut ran = 0;
+        group.bench_with_input(BenchmarkId::new("id", 4), &4u64, |b, &n| {
+            b.iter(|| {
+                ran += 1;
+                black_box(n * 2)
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,321 @@
+//! Offline API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the exact surface its property tests use: the [`proptest!`] macro with
+//! `#![proptest_config(...)]`, strategies over integer ranges, tuples,
+//! [`strategy::Just`], [`collection::vec`], [`any`], `prop_map`,
+//! [`prop_oneof!`], and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking** — a failing case panics with the generated values
+//!   formatted into the assertion message instead of a minimized input.
+//! * **Deterministic seeding** — each test derives its RNG seed from its
+//!   module path and name (FNV-1a), so failures reproduce across runs and
+//!   machines.
+//! * `prop_assert!`/`prop_assert_eq!` are plain `assert!`/`assert_eq!`
+//!   (they panic instead of returning `Err`), which is equivalent under
+//!   the standard test harness.
+
+pub mod strategy;
+
+pub mod collection {
+    //! Strategies for collections (subset: `vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size specification for [`vec`]: a fixed size or a range of sizes.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element` and
+    /// whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.rng().gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Types with a canonical uniform strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+                rand::Rng::gen::<$t>(rng.rng())
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+/// The full-range strategy for `T` (subset of `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> strategy::AnyStrategy<T> {
+    strategy::AnyStrategy(std::marker::PhantomData)
+}
+
+pub mod prelude {
+    //! Everything a property test needs in scope.
+    pub use crate::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body (panics on failure; no
+/// shrinking in this offline subset).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case when the assumption does not hold. (The offline
+/// subset simply moves on to the next case without replacement, so heavy
+/// use of assumptions reduces the effective case count.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Uniform choice among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        // Weights are accepted for API compatibility but treated as equal.
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($strat)),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Declares property tests. Supports the standard shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+///     #[test]
+///     fn my_property(x in 0usize..10, (a, b) in (0u64..5, any::<bool>())) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg_pat:pat_param in $arg_strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for __case in 0..config.cases {
+                $(
+                    let $arg_pat =
+                        $crate::strategy::Strategy::new_value(&($arg_strat), &mut rng);
+                )+
+                $body
+            }
+        }
+    )*};
+}
+
+pub mod test_runner {
+    //! Test configuration and the deterministic test RNG.
+
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Runner configuration (subset of `proptest::test_runner::Config`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+        /// Accepted for API compatibility; unused (no shrinking here).
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// The RNG handed to strategies, seeded deterministically per test.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        rng: ChaCha8Rng,
+    }
+
+    impl TestRng {
+        /// Seeds from a test identifier (FNV-1a over the name): stable
+        /// across runs and machines, distinct across tests.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng {
+                rng: ChaCha8Rng::seed_from_u64(h),
+            }
+        }
+
+        /// The backing generator.
+        pub fn rng(&mut self) -> &mut ChaCha8Rng {
+            &mut self.rng
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u64> {
+        (0u64..100).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in 0u8..=5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 5);
+        }
+
+        #[test]
+        fn tuples_and_any((a, b, c) in (0u64..5, any::<u16>(), any::<bool>())) {
+            prop_assert!(a < 5);
+            let _ = (b, c);
+        }
+
+        #[test]
+        fn vec_respects_size(v in crate::collection::vec(0u64..10, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn prop_map_applies(x in arb_even()) {
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn oneof_picks_all_branches(x in prop_oneof![Just(1u8), Just(2u8), Just(3u8)]) {
+            prop_assert!((1..=3).contains(&x));
+        }
+
+        #[test]
+        fn assume_skips(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert!(x != 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_is_stable_per_name() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        let s = 0u64..1_000_000;
+        assert_eq!(s.new_value(&mut a), s.new_value(&mut b));
+    }
+}

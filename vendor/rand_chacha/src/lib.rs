@@ -1,0 +1,98 @@
+//! Offline API stand-in for the `rand_chacha` crate.
+//!
+//! The workspace uses `ChaCha8Rng` purely as a *seedable, deterministic,
+//! portable* simulation generator — no cryptographic property is relied
+//! upon anywhere. Since the build environment has no registry access, this
+//! vendored crate keeps the type name and trait surface
+//! (`SeedableRng<Seed = [u8; 32]>` + `RngCore`) but backs it with
+//! xoshiro256++: different stream than real ChaCha8, same contract.
+
+use rand::{RngCore, SeedableRng};
+
+/// Deterministic seedable generator with the `rand_chacha::ChaCha8Rng`
+/// API surface (xoshiro256++ behind the name; see crate docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    s: [u64; 4],
+}
+
+impl ChaCha8Rng {
+    fn advance(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        (self.advance() >> 32) as u32
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.advance()
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, w) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *w = u64::from_le_bytes(bytes);
+        }
+        if s == [0; 4] {
+            s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+        }
+        ChaCha8Rng { s }
+    }
+}
+
+/// Alias kept for drop-in compatibility with code written against the
+/// larger-round variants (identical backing generator here).
+pub type ChaCha12Rng = ChaCha8Rng;
+/// See [`ChaCha12Rng`].
+pub type ChaCha20Rng = ChaCha8Rng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        let mut b = ChaCha8Rng::seed_from_u64(5);
+        let mut c = ChaCha8Rng::seed_from_u64(6);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn usable_through_rng_trait() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let v: usize = rng.gen_range(0..10);
+        assert!(v < 10);
+        let _: u64 = rng.gen();
+    }
+
+    #[test]
+    fn all_zero_seed_is_not_degenerate() {
+        let mut rng = ChaCha8Rng::from_seed([0u8; 32]);
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert!(a != 0 || b != 0);
+    }
+}
