@@ -1,0 +1,342 @@
+//! `perf` — machine-readable performance harness.
+//!
+//! Measures the two hot paths this workspace optimises and emits
+//! `BENCH_check.json` (explorer throughput: states/sec sequential and
+//! parallel, parallel speedup, report-identity cross-check) and
+//! `BENCH_engine.json` (engine throughput: steps/sec under full-refresh
+//! guard evaluation vs footprint-driven incremental evaluation) into the
+//! current directory. JSON is hand-rolled — numbers and booleans only, no
+//! string escapes needed beyond the fixed instance names.
+//!
+//! Usage: `perf [--quick] [--threads N] [--out-dir DIR]`
+//!
+//! * `--quick` — CI-sized instances (a few seconds total).
+//! * `--threads N` — worker threads for the parallel explorer runs
+//!   (default: available parallelism).
+//! * `--out-dir DIR` — where to write the JSON files (default: `.`).
+
+use ssmfp_check::Explorer;
+use ssmfp_core::state::{NodeState, Outgoing};
+use ssmfp_core::{GhostId, SsmfpProtocol};
+use ssmfp_kernel::{CentralRandomDaemon, Engine, StepOutcome};
+use ssmfp_routing::{corruption, CorruptionKind};
+use ssmfp_topology::{gen, Graph, NodeId};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Options {
+    quick: bool,
+    threads: usize,
+    out_dir: String,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        quick: false,
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        out_dir: ".".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--threads" => {
+                opts.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t| t >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("perf: --threads needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--out-dir" => {
+                opts.out_dir = args.next().unwrap_or_else(|| {
+                    eprintln!("perf: --out-dir needs a value");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("usage: perf [--quick] [--threads N] [--out-dir DIR]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("perf: unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+fn clean_states(graph: &Graph) -> Vec<NodeState> {
+    corruption::corrupt(graph, CorruptionKind::None, 0)
+        .into_iter()
+        .map(|r| NodeState::clean(graph.n(), r))
+        .collect()
+}
+
+fn enqueue(states: &mut [NodeState], src: NodeId, dst: NodeId, payload: u64, seq: u64) {
+    states[src].outbox.push_back(Outgoing {
+        dest: dst,
+        payload,
+        ghost: GhostId::Valid(seq),
+    });
+    states[src].request = true;
+}
+
+/// One explorer instance: name, graph, initial states, expectations.
+struct CheckInstance {
+    name: &'static str,
+    graph: Graph,
+    states: Vec<NodeState>,
+    expectations: Vec<(GhostId, NodeId)>,
+}
+
+/// The benchmark instances. `ring-4, 2 far-apart messages` is the small
+/// regression point; the 4-message corrupted ring and the caterpillar are
+/// the throughput instances (≈10⁴–10⁶ states).
+fn check_instances(quick: bool) -> Vec<CheckInstance> {
+    let mut out = Vec::new();
+
+    let graph = gen::ring(4);
+    let mut states = clean_states(&graph);
+    enqueue(&mut states, 0, 1, 1, 0);
+    enqueue(&mut states, 2, 3, 2, 1);
+    out.push(CheckInstance {
+        name: "ring-4, 2 far-apart messages",
+        graph,
+        states,
+        expectations: vec![(GhostId::Valid(0), 1), (GhostId::Valid(1), 3)],
+    });
+
+    let graph = gen::ring(4);
+    let mut states = clean_states(&graph);
+    let msgs = [(0usize, 2usize), (2, 0), (1, 3), (3, 1)];
+    let mut expectations = Vec::new();
+    for (i, &(src, dst)) in msgs.iter().enumerate() {
+        enqueue(&mut states, src, dst, i as u64 + 1, i as u64);
+        expectations.push((GhostId::Valid(i as u64), dst));
+    }
+    states[1].routing.parent[3] = 2;
+    states[1].routing.dist[3] = 3;
+    out.push(CheckInstance {
+        name: "ring-4, 4 crossing messages, corrupted table",
+        graph,
+        states,
+        expectations,
+    });
+
+    let graph = gen::caterpillar(3, 1);
+    let mut states = clean_states(&graph);
+    let msgs: &[(usize, usize)] = if quick {
+        &[(3, 5), (5, 3)]
+    } else {
+        &[(3, 5), (5, 3), (0, 2)]
+    };
+    let mut expectations = Vec::new();
+    for (i, &(src, dst)) in msgs.iter().enumerate() {
+        enqueue(&mut states, src, dst, i as u64 + 1, i as u64);
+        expectations.push((GhostId::Valid(i as u64), dst));
+    }
+    out.push(CheckInstance {
+        name: "caterpillar(3,1), leg-to-leg messages",
+        graph,
+        states,
+        expectations,
+    });
+
+    out
+}
+
+fn bench_check(opts: &Options, json: &mut String) {
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"check\",").unwrap();
+    writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if opts.quick { "quick" } else { "full" }
+    )
+    .unwrap();
+    writeln!(json, "  \"threads\": {},", opts.threads).unwrap();
+    writeln!(json, "  \"available_parallelism\": {avail},").unwrap();
+    writeln!(json, "  \"instances\": [").unwrap();
+
+    let instances = check_instances(opts.quick);
+    let max_states = if opts.quick { 200_000 } else { 2_000_000 };
+    let last = instances.len() - 1;
+    for (i, inst) in instances.into_iter().enumerate() {
+        let proto = SsmfpProtocol::new(inst.graph.n(), inst.graph.max_degree());
+
+        let mut seq = Explorer::new(inst.graph.clone(), proto.clone(), inst.expectations.clone());
+        seq.max_states = max_states;
+        let t0 = Instant::now();
+        let seq_report = seq.explore(inst.states.clone());
+        let seq_secs = t0.elapsed().as_secs_f64().max(1e-9);
+
+        let mut par = Explorer::new(inst.graph.clone(), proto, inst.expectations.clone())
+            .with_threads(opts.threads);
+        par.max_states = max_states;
+        let t0 = Instant::now();
+        let par_report = par.explore(inst.states.clone());
+        let par_secs = t0.elapsed().as_secs_f64().max(1e-9);
+        let identical = par_report == seq_report;
+
+        eprintln!(
+            "check | {:<44} | {:>8} states | seq {:>9.0} st/s | par(x{}) {:>9.0} st/s | speedup {:.2}x | identical: {identical}",
+            inst.name,
+            seq_report.states,
+            seq_report.states as f64 / seq_secs,
+            opts.threads,
+            par_report.states as f64 / par_secs,
+            seq_secs / par_secs,
+        );
+        writeln!(json, "    {{").unwrap();
+        writeln!(json, "      \"name\": \"{}\",", inst.name).unwrap();
+        writeln!(json, "      \"states\": {},", seq_report.states).unwrap();
+        writeln!(json, "      \"verified\": {},", seq_report.verified()).unwrap();
+        writeln!(
+            json,
+            "      \"sequential\": {{ \"secs\": {seq_secs:.6}, \"states_per_sec\": {:.1} }},",
+            seq_report.states as f64 / seq_secs
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "      \"parallel\": {{ \"threads\": {}, \"secs\": {par_secs:.6}, \"states_per_sec\": {:.1}, \"speedup\": {:.3}, \"report_identical\": {identical} }}",
+            opts.threads,
+            par_report.states as f64 / par_secs,
+            seq_secs / par_secs
+        )
+        .unwrap();
+        writeln!(json, "    }}{}", if i == last { "" } else { "," }).unwrap();
+
+        if !identical {
+            eprintln!("perf: PARALLEL REPORT DIVERGED on {}", inst.name);
+            std::process::exit(1);
+        }
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+}
+
+/// One engine instance: name, graph, traffic pattern (messages enqueued up
+/// front so the run is dominated by forwarding moves).
+fn engine_instance(
+    name: &'static str,
+    graph: Graph,
+    msgs_per_node: u64,
+) -> (&'static str, Graph, Vec<NodeState>) {
+    let n = graph.n();
+    let mut states = clean_states(&graph);
+    let mut seq = 0;
+    for p in 0..n {
+        for k in 0..msgs_per_node {
+            let dst = (p + n / 2 + k as usize % (n - 1)) % n;
+            if dst != p {
+                enqueue(&mut states, p, dst, seq + 1, seq);
+                seq += 1;
+            }
+        }
+    }
+    (name, graph, states)
+}
+
+/// Runs `steps` engine steps (or to terminal) and returns (steps, secs).
+fn drive(graph: &Graph, states: &[NodeState], full_refresh: bool, steps: u64) -> (u64, f64) {
+    let proto = SsmfpProtocol::new(graph.n(), graph.max_degree());
+    let mut eng = Engine::new(
+        graph.clone(),
+        proto,
+        Box::new(CentralRandomDaemon::new(0xC0FFEE)),
+        states.to_vec(),
+    );
+    eng.set_full_refresh(full_refresh);
+    let t0 = Instant::now();
+    let mut done = 0;
+    while done < steps {
+        if matches!(eng.step(), StepOutcome::Terminal) {
+            // All traffic delivered: restart the same workload so the
+            // timed region actually fills the step budget. The restart
+            // recomputes every guard in both modes (equal cost).
+            eng.reset_configuration(states.to_vec());
+            continue;
+        }
+        done += 1;
+    }
+    (done, t0.elapsed().as_secs_f64().max(1e-9))
+}
+
+fn bench_engine(opts: &Options, json: &mut String) {
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"engine\",").unwrap();
+    writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if opts.quick { "quick" } else { "full" }
+    )
+    .unwrap();
+    writeln!(json, "  \"instances\": [").unwrap();
+
+    let steps: u64 = if opts.quick { 4_000 } else { 40_000 };
+    let instances = vec![
+        engine_instance("ring-8, 2 msgs/node", gen::ring(8), 2),
+        engine_instance("ring-16, 2 msgs/node", gen::ring(16), 2),
+        engine_instance("caterpillar(6,2), 2 msgs/node", gen::caterpillar(6, 2), 2),
+        engine_instance("star-12, 2 msgs/node", gen::star(12), 2),
+    ];
+    let last = instances.len() - 1;
+    for (i, (name, graph, states)) in instances.into_iter().enumerate() {
+        // Warm-up pass, then one timed pass per mode (identical seeds, so
+        // both modes execute the identical schedule).
+        drive(&graph, &states, true, steps.min(500));
+        let (full_steps, full_secs) = drive(&graph, &states, true, steps);
+        drive(&graph, &states, false, steps.min(500));
+        let (inc_steps, inc_secs) = drive(&graph, &states, false, steps);
+        assert_eq!(full_steps, inc_steps, "modes must run the same schedule");
+
+        let full_sps = full_steps as f64 / full_secs;
+        let inc_sps = inc_steps as f64 / inc_secs;
+        eprintln!(
+            "engine | {:<32} | {:>6} steps | full {:>9.0} st/s | incremental {:>9.0} st/s | speedup {:.2}x",
+            name, full_steps, full_sps, inc_sps, inc_sps / full_sps
+        );
+        writeln!(json, "    {{").unwrap();
+        writeln!(json, "      \"name\": \"{name}\",").unwrap();
+        writeln!(json, "      \"n\": {},", graph.n()).unwrap();
+        writeln!(json, "      \"steps\": {full_steps},").unwrap();
+        writeln!(
+            json,
+            "      \"full_refresh\": {{ \"secs\": {full_secs:.6}, \"steps_per_sec\": {full_sps:.1} }},"
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "      \"incremental\": {{ \"secs\": {inc_secs:.6}, \"steps_per_sec\": {inc_sps:.1} }},"
+        )
+        .unwrap();
+        writeln!(json, "      \"speedup\": {:.3}", inc_sps / full_sps).unwrap();
+        writeln!(json, "    }}{}", if i == last { "" } else { "," }).unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut check_json = String::new();
+    bench_check(&opts, &mut check_json);
+    let mut engine_json = String::new();
+    bench_engine(&opts, &mut engine_json);
+
+    let check_path = format!("{}/BENCH_check.json", opts.out_dir);
+    let engine_path = format!("{}/BENCH_engine.json", opts.out_dir);
+    std::fs::write(&check_path, check_json).expect("write BENCH_check.json");
+    std::fs::write(&engine_path, engine_json).expect("write BENCH_engine.json");
+    eprintln!("wrote {check_path} and {engine_path}");
+}

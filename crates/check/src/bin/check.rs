@@ -1,5 +1,17 @@
 //! `ssmfp-check` — runs the exhaustive verification suite and prints the
 //! state counts (the source of the EXPERIMENTS.md verification section).
+//!
+//! Every instance is explored three ways: sequentially, in parallel
+//! (unless `--seq`), and under partial-order reduction. The parallel
+//! report must be **bit-identical** to the sequential one and the POR
+//! verdict must agree — any divergence exits nonzero.
+//!
+//! Usage: `ssmfp-check [--threads N] [--seq]`
+//!
+//! * `--threads N` — worker threads for the parallel run (default: the
+//!   machine's available parallelism).
+//! * `--seq` — sequential only: skip the parallel run and the
+//!   cross-check (throughput is then reported for the sequential pass).
 
 use ssmfp_check::{Explorer, Violation};
 use ssmfp_core::message::{Color, GhostId, Message};
@@ -7,6 +19,7 @@ use ssmfp_core::state::{NodeState, Outgoing};
 use ssmfp_core::SsmfpProtocol;
 use ssmfp_routing::{corruption, CorruptionKind};
 use ssmfp_topology::{gen, Graph, NodeId};
+use std::time::Instant;
 
 fn clean_states(graph: &Graph) -> Vec<NodeState> {
     corruption::corrupt(graph, CorruptionKind::None, 0)
@@ -51,12 +64,63 @@ fn verdict_of(report: &ssmfp_check::Report) -> String {
     }
 }
 
+struct Options {
+    threads: usize,
+    seq_only: bool,
+}
+
+fn parse_args() -> Options {
+    let default_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut opts = Options {
+        threads: default_threads,
+        seq_only: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seq" => opts.seq_only = true,
+            "--threads" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| die("--threads needs a value"));
+                opts.threads = v
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("bad --threads value: {v}")));
+                if opts.threads == 0 {
+                    die("--threads must be >= 1");
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: ssmfp-check [--threads N] [--seq]");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+    opts
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("ssmfp-check: {msg}");
+    std::process::exit(2);
+}
+
 fn main() {
+    let opts = parse_args();
     println!("Exhaustive verification (ALL central-daemon schedules)");
-    println!("each instance runs twice: full exploration, then footprint-driven POR\n");
+    if opts.seq_only {
+        println!("sequential exploration, then footprint-driven POR\n");
+    } else {
+        println!(
+            "each instance: sequential, parallel x{} (bit-identical report enforced), POR\n",
+            opts.threads
+        );
+    }
     println!(
-        "{:<44} | {:>9} | {:>9} | {:>6} | {:>9} | {:>6} | {:>10}",
-        "instance", "states", "terminals", "depth", "POR", "saved", "verdict"
+        "{:<40} | {:>8} | {:>6} | {:>5} | {:>8} | {:>6} | {:>8} | {:>6} | {:>10}",
+        "instance", "states", "terms", "depth", "POR", "saved", "kst/s", "spdup", "verdict"
     );
 
     let mut counterexample: Option<Vec<String>> = None;
@@ -72,10 +136,36 @@ fn main() {
         }
         let mut explorer = Explorer::new(graph.clone(), proto.clone(), exp.clone());
         explorer.trace_counterexamples = literal_r5;
+        let t0 = Instant::now();
         let report = explorer.explore(states.clone());
+        let seq_secs = t0.elapsed().as_secs_f64();
         if report.counterexample.is_some() {
             counterexample = report.counterexample.clone();
         }
+
+        // Parallel cross-check: the report must be bit-identical.
+        let (speedup, throughput_secs) = if opts.seq_only || opts.threads <= 1 {
+            (1.0, seq_secs)
+        } else {
+            let mut par =
+                Explorer::new(graph.clone(), proto.clone(), exp.clone()).with_threads(opts.threads);
+            par.trace_counterexamples = literal_r5;
+            let t0 = Instant::now();
+            let par_report = par.explore(states.clone());
+            let par_secs = t0.elapsed().as_secs_f64();
+            if par_report != report {
+                mismatches.push(format!(
+                    "{name}: parallel report diverges from sequential \
+                     (seq {} states/{}, par {} states/{})",
+                    report.states,
+                    verdict_of(&report),
+                    par_report.states,
+                    verdict_of(&par_report)
+                ));
+            }
+            (seq_secs / par_secs.max(1e-9), par_secs)
+        };
+
         let por_explorer = Explorer::new(graph, proto, exp).with_partial_order_reduction();
         let por_report = por_explorer.explore(states);
         if por_report.verified() != report.verified() {
@@ -86,14 +176,17 @@ fn main() {
             ));
         }
         let saved = 100.0 * (1.0 - por_report.states as f64 / report.states as f64);
+        let kstates_per_sec = report.states as f64 / throughput_secs.max(1e-9) / 1e3;
         println!(
-            "{:<44} | {:>9} | {:>9} | {:>6} | {:>9} | {:>5.1}% | {:>10}",
+            "{:<40} | {:>8} | {:>6} | {:>5} | {:>8} | {:>5.1}% | {:>8.1} | {:>5.2}x | {:>10}",
             name,
             report.states,
             report.terminals,
             report.max_depth,
             por_report.states,
             saved,
+            kstates_per_sec,
+            speedup,
             verdict_of(&report)
         );
     };
@@ -148,14 +241,23 @@ fn main() {
     let e = vec![enqueue(&mut s, 0, 1, 1, 0), enqueue(&mut s, 1, 0, 2, 1)];
     run("triangle, 2 messages + garbage", g, s, e, false);
 
-    // 7. 4-ring, two far-apart messages (the POR benchmark: activity at
-    // opposite edges of the ring commutes until the messages meet).
+    // 7. line-4 ("tree depth 3"), end-to-end message with a corrupted
+    // table mid-path — the deeper regression instance of the CI gate.
+    let g = gen::line(4);
+    let mut s = clean_states(&g);
+    s[2].routing.parent[3] = 1;
+    s[2].routing.dist[3] = 3;
+    let e = vec![enqueue(&mut s, 0, 3, 6, 0)];
+    run("line-4 (tree depth 3), corrupted table", g, s, e, false);
+
+    // 8. 4-ring, two far-apart messages (the POR and parallel-speedup
+    // benchmark: activity at opposite edges commutes until they meet).
     let g = gen::ring(4);
     let mut s = clean_states(&g);
     let e = vec![enqueue(&mut s, 0, 1, 1, 0), enqueue(&mut s, 2, 3, 2, 1)];
     run("ring-4, 2 far-apart messages", g, s, e, false);
 
-    // 8. The literal-R5 counterexample.
+    // 9. The literal-R5 counterexample.
     let g = gen::line(2);
     let mut s = clean_states(&g);
     let e = vec![enqueue(&mut s, 0, 1, 7, 0), enqueue(&mut s, 0, 1, 7, 1)];
@@ -164,8 +266,9 @@ fn main() {
     println!("\nhash-compacted explicit-state exploration; VERIFIED = no duplication,");
     println!("no misdelivery, no loss, caterpillar coverage, and delivery at every terminal.");
     println!("POR = distinct states under partial-order reduction (footprint independence).");
+    println!("kst/s = thousand distinct states/second; spdup = sequential/parallel wall time.");
     if !mismatches.is_empty() {
-        eprintln!("\nVERDICT MISMATCH between full exploration and POR:");
+        eprintln!("\nVERDICT MISMATCH:");
         for m in &mismatches {
             eprintln!("  {m}");
         }

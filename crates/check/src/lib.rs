@@ -19,12 +19,39 @@
 //! unlikely at the state counts involved and can only cause a *missed*
 //! state, never a false alarm).
 //!
+//! # Performance architecture
+//!
+//! The explorer is built for throughput (see DESIGN.md §9 for the full
+//! argument):
+//!
+//! * **Copy-on-write states**: a configuration holds `Arc<NodeState>`
+//!   per node; a successor clones `n` pointers and rebuilds only the
+//!   executed node. Per-node hashes are cached, so rehashing a successor
+//!   is one node hash plus an `O(n)` word-combine instead of re-hashing
+//!   every buffer of every node.
+//! * **Parallel frontier** ([`Explorer::threads`]): exploration proceeds
+//!   level by level. Phase A fans the current BFS level out to worker
+//!   threads (`std::thread::scope`, dynamic work pickup off an atomic
+//!   cursor) which do the expensive part — successor generation, audits,
+//!   hashing — against a read-only snapshot of the visited set. Phase B
+//!   merges sequentially, replaying exactly the order the sequential loop
+//!   would have used, so the resulting [`Report`] (state counts,
+//!   violations, counterexample, truncation point) is **bit-identical**
+//!   to a single-threaded run.
+//! * **Sharded visited set** keyed by the vendored Fx hasher: workers
+//!   probe it lock-free through `&self` during phase A (annotating
+//!   already-visited successors so the merge can skip them); all inserts
+//!   happen in phase B through `&mut self` — the two borrow phases
+//!   replace any locking.
+//!
 //! With [`Explorer::partial_order_reduction`] the explorer uses the
 //! independence relation derived from the rules' declared footprints
 //! (`ssmfp_core::footprint`, the same declarations `ssmfp-lint` checks
 //! statically) to skip redundant interleavings of commuting moves — see
 //! [`Explorer::successors_reduced`] for the exact conditions and the
-//! approximation involved. The `ssmfp-check` binary runs every instance
+//! approximation involved. POR's cycle proviso consults the visited set
+//! *mid-level*, which makes its exploration order-dependent, so POR runs
+//! always stay sequential. The `ssmfp-check` binary runs every instance
 //! in both modes and prints the measured state-count reduction.
 //!
 //! The checker is also what turns the DESIGN.md §5 argument about rule R5
@@ -34,19 +61,125 @@
 //! deviation (`q ∈ N_p`), the same instance verifies clean — see the
 //! crate tests.
 
-use ssmfp_core::{classify_buffers, GhostId, NodeState, SsmfpAction, SsmfpProtocol};
+use fxhash::{FxBuildHasher, FxHasher};
+use ssmfp_core::{classify_buffers, Event, GhostId, NodeState, SsmfpAction, SsmfpProtocol};
 use ssmfp_kernel::{independent, Protocol, View};
 use ssmfp_topology::{Graph, NodeId};
-use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// One verification state: protocol configuration plus delivery history.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Node states are `Arc`-shared between a state and its successors
+/// (copy-on-write: a move rewrites one node), and per-node hashes are
+/// cached so the combined hash is recomputed incrementally.
+#[derive(Debug, Clone)]
 struct CheckState {
-    nodes: Vec<NodeState>,
+    nodes: Vec<Arc<NodeState>>,
     /// Sorted (ghost, node) delivery records.
     delivered: Vec<(GhostId, NodeId)>,
+    /// Position-mixed Fx hash of each node state.
+    node_hashes: Vec<u64>,
+    /// Combined hash of `node_hashes` and `delivered`.
+    hash: u64,
+}
+
+fn node_hash(p: NodeId, node: &NodeState) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_usize(p);
+    node.hash(&mut h);
+    h.finish()
+}
+
+fn combine_hash(node_hashes: &[u64], delivered: &[(GhostId, NodeId)]) -> u64 {
+    let mut h = FxHasher::default();
+    for &nh in node_hashes {
+        h.write_u64(nh);
+    }
+    delivered.hash(&mut h);
+    h.finish()
+}
+
+impl CheckState {
+    fn new(nodes: Vec<NodeState>) -> Self {
+        let nodes: Vec<Arc<NodeState>> = nodes.into_iter().map(Arc::new).collect();
+        let node_hashes: Vec<u64> = nodes
+            .iter()
+            .enumerate()
+            .map(|(p, s)| node_hash(p, s))
+            .collect();
+        let hash = combine_hash(&node_hashes, &[]);
+        CheckState {
+            nodes,
+            delivered: Vec::new(),
+            node_hashes,
+            hash,
+        }
+    }
+}
+
+const SHARD_BITS: u32 = 6;
+const SHARDS: usize = 1 << SHARD_BITS;
+
+/// Hash-compacted visited set, sharded by the hash's top bits (the
+/// bottom bits index buckets inside each shard's table). During the
+/// parallel phase, workers probe it lock-free through `&self`; every
+/// insert happens in the sequential merge phase through `&mut self` —
+/// the alternating borrow phases replace any locking.
+struct ShardedVisited {
+    shards: Vec<HashSet<u64, FxBuildHasher>>,
+}
+
+impl ShardedVisited {
+    fn new() -> Self {
+        ShardedVisited {
+            shards: (0..SHARDS).map(|_| HashSet::default()).collect(),
+        }
+    }
+
+    #[inline]
+    fn shard_of(h: u64) -> usize {
+        (h >> (64 - SHARD_BITS)) as usize
+    }
+
+    #[inline]
+    fn contains(&self, h: u64) -> bool {
+        self.shards[Self::shard_of(h)].contains(&h)
+    }
+
+    /// Inserts `h`; true if it was new.
+    #[inline]
+    fn insert(&mut self, h: u64) -> bool {
+        self.shards[Self::shard_of(h)].insert(h)
+    }
+}
+
+/// Per-worker scratch buffers reused across successor generation (no
+/// per-state allocation for guard evaluation or event collection).
+#[derive(Default)]
+struct Scratch {
+    actions: Vec<SsmfpAction>,
+    events: Vec<Event>,
+}
+
+/// One successor edge: the reached state and the move that reached it.
+struct Succ {
+    state: CheckState,
+    by: NodeId,
+    action: SsmfpAction,
+    /// Set during the parallel phase: the successor was already in the
+    /// visited set at the start of the level, so the merge phase can skip
+    /// its insert (the set only grows). Always false sequentially.
+    previsited: bool,
+}
+
+/// Phase-A output for one state of the current BFS level.
+struct StateResult {
+    terminal: bool,
+    violations: Vec<Violation>,
+    succs: Vec<Succ>,
 }
 
 /// A safety violation found during exploration.
@@ -154,8 +287,14 @@ pub struct Explorer {
     /// processor's moves and defer the rest, instead of branching on every
     /// interleaving. See [`Explorer::successors_reduced`]'s notes for the
     /// approximation this makes; `ssmfp-check` runs every instance in both
-    /// modes and cross-checks the verdicts.
+    /// modes and cross-checks the verdicts. POR exploration is always
+    /// sequential (its cycle proviso is order-dependent), regardless of
+    /// [`Explorer::threads`].
     pub partial_order_reduction: bool,
+    /// Worker threads for the level-parallel exploration (default 1 =
+    /// sequential). Any value produces the bit-identical [`Report`]; see
+    /// the module docs for the determinism argument.
+    pub threads: usize,
 }
 
 impl Explorer {
@@ -175,6 +314,7 @@ impl Explorer {
             stop_at_first: true,
             trace_counterexamples: false,
             partial_order_reduction: false,
+            threads: 1,
         }
     }
 
@@ -184,14 +324,14 @@ impl Explorer {
         self
     }
 
-    fn hash_state(s: &CheckState) -> u64 {
-        let mut h = DefaultHasher::new();
-        s.hash(&mut h);
-        h.finish()
+    /// Sets the worker-thread count (builder form). `0` is treated as 1.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Ghosts of every message present anywhere in a configuration.
-    fn ghosts_in_system(nodes: &[NodeState]) -> HashSet<GhostId> {
+    fn ghosts_in_system(nodes: &[Arc<NodeState>]) -> HashSet<GhostId> {
         let mut set = HashSet::new();
         for s in nodes {
             for slot in &s.slots {
@@ -247,55 +387,69 @@ impl Explorer {
         }
     }
 
-    /// Actions enabled at processor `p` in `state`.
-    fn enabled_at(&self, state: &CheckState, p: NodeId) -> Vec<SsmfpAction> {
-        let mut actions = Vec::new();
-        let view = View::new(&self.graph, &state.nodes, p);
-        self.protocol.enabled_actions(&view, &mut actions);
-        actions
-    }
-
-    /// Applies one `(processor, action)` move, with eager higher-layer
-    /// re-arming and fairness-cursor normalization; the label is
-    /// `processor: action`.
-    fn apply(&self, state: &CheckState, p: NodeId, action: SsmfpAction) -> (CheckState, String) {
-        let mut events = Vec::new();
-        let new_node = {
-            let view = View::new(&self.graph, &state.nodes, p);
-            self.protocol.execute(&view, action, &mut events)
+    /// Applies one `(processor, action)` move, copy-on-write: only the
+    /// executed node is rebuilt, re-armed (higher-layer request) and
+    /// cursor-normalized — every other node is unchanged from its already
+    /// normalized parent. The state hash is updated incrementally.
+    fn apply(
+        &self,
+        state: &CheckState,
+        p: NodeId,
+        action: SsmfpAction,
+        events: &mut Vec<Event>,
+    ) -> CheckState {
+        events.clear();
+        let mut new_node = {
+            let view = View::new_shared(&self.graph, &state.nodes, p);
+            self.protocol.execute(&view, action, events)
         };
-        let mut nodes = state.nodes.clone();
-        nodes[p] = new_node;
-        let mut delivered = state.delivered.clone();
-        for ev in &events {
-            if let ssmfp_core::Event::Delivered { ghost, .. } = ev {
-                delivered.push((*ghost, p));
-            }
-        }
-        delivered.sort_unstable();
         // Higher layer: eager request re-arm; normalize the fairness
         // cursor (it affects only action ordering, which exhaustive
         // enumeration ignores).
-        for node in nodes.iter_mut() {
-            if !node.request && !node.outbox.is_empty() {
-                node.request = true;
-            }
-            node.dest_cursor = 0;
+        if !new_node.request && !new_node.outbox.is_empty() {
+            new_node.request = true;
         }
-        let label = format!("{p}: {}", self.protocol.describe(action));
-        (CheckState { nodes, delivered }, label)
+        new_node.dest_cursor = 0;
+        let mut nodes = state.nodes.clone();
+        nodes[p] = Arc::new(new_node);
+        let mut node_hashes = state.node_hashes.clone();
+        node_hashes[p] = node_hash(p, &nodes[p]);
+        let mut delivered = state.delivered.clone();
+        for ev in events.iter() {
+            if let Event::Delivered { ghost, .. } = ev {
+                let rec = (*ghost, p);
+                let at = delivered.partition_point(|e| e < &rec);
+                delivered.insert(at, rec);
+            }
+        }
+        let hash = combine_hash(&node_hashes, &delivered);
+        CheckState {
+            nodes,
+            delivered,
+            node_hashes,
+            hash,
+        }
     }
 
     /// Successor states under the central daemon (one processor, one
-    /// enabled action per step), each labelled `processor: action`.
-    fn successors(&self, state: &CheckState) -> Vec<(CheckState, String)> {
-        let mut out = Vec::new();
+    /// enabled action per step), in `(processor, priority)` order.
+    fn successors(&self, state: &CheckState, scratch: &mut Scratch, out: &mut Vec<Succ>) {
         for p in 0..self.graph.n() {
-            for action in self.enabled_at(state, p) {
-                out.push(self.apply(state, p, action));
+            scratch.actions.clear();
+            {
+                let view = View::new_shared(&self.graph, &state.nodes, p);
+                self.protocol.enabled_actions(&view, &mut scratch.actions);
+            }
+            for i in 0..scratch.actions.len() {
+                let action = scratch.actions[i];
+                out.push(Succ {
+                    state: self.apply(state, p, action, &mut scratch.events),
+                    by: p,
+                    action,
+                    previsited: false,
+                });
             }
         }
-        out
     }
 
     /// Successors under partial-order reduction.
@@ -335,19 +489,36 @@ impl Explorer {
     fn successors_reduced(
         &self,
         state: &CheckState,
-        visited: &HashSet<u64>,
-    ) -> Vec<(CheckState, String)> {
+        visited: &ShardedVisited,
+        scratch: &mut Scratch,
+        out: &mut Vec<Succ>,
+    ) {
         let n = self.graph.n();
-        let enabled: Vec<Vec<SsmfpAction>> = (0..n).map(|p| self.enabled_at(state, p)).collect();
+        let enabled: Vec<Vec<SsmfpAction>> = (0..n)
+            .map(|p| {
+                let mut actions = Vec::new();
+                let view = View::new_shared(&self.graph, &state.nodes, p);
+                self.protocol.enabled_actions(&view, &mut actions);
+                actions
+            })
+            .collect();
         let active: Vec<NodeId> = (0..n).filter(|&p| !enabled[p].is_empty()).collect();
-        let expand = |ps: &[NodeId]| -> Vec<(CheckState, String)> {
-            ps.iter()
-                .flat_map(|&p| enabled[p].iter().map(move |&a| self.apply(state, p, a)))
-                .collect()
+        let mut expand = |ps: &[NodeId], out: &mut Vec<Succ>| {
+            for &p in ps {
+                for &action in &enabled[p] {
+                    out.push(Succ {
+                        state: self.apply(state, p, action, &mut scratch.events),
+                        by: p,
+                        action,
+                        previsited: false,
+                    });
+                }
+            }
         };
         if active.len() <= 1 {
             // A single active processor is its own (trivial) ample set.
-            return expand(&active);
+            expand(&active, out);
+            return;
         }
         'candidate: for &p in &active {
             for &a in &enabled[p] {
@@ -371,39 +542,65 @@ impl Explorer {
                     }
                 }
             }
-            let succs = expand(&[p]);
+            expand(&[p], out);
             // Cycle proviso: the reduction must make progress.
-            if succs
-                .iter()
-                .any(|(s, _)| !visited.contains(&Self::hash_state(s)))
-            {
-                return succs;
+            if out.iter().any(|s| !visited.contains(s.state.hash)) {
+                return;
             }
+            out.clear();
         }
-        expand(&active)
+        expand(&active, out);
     }
 
-    /// Runs the exhaustive breadth-first exploration from `initial`.
-    pub fn explore(&self, mut initial: Vec<NodeState>) -> Report {
+    /// Normalizes the caller's initial configuration into the root state.
+    fn init_state(&self, mut initial: Vec<NodeState>) -> CheckState {
         for node in initial.iter_mut() {
             if !node.request && !node.outbox.is_empty() {
                 node.request = true;
             }
             node.dest_cursor = 0;
         }
-        let init = CheckState {
-            nodes: initial,
-            delivered: Vec::new(),
-        };
-        let init_hash = Self::hash_state(&init);
-        let mut visited: HashSet<u64> = HashSet::new();
+        CheckState::new(initial)
+    }
+
+    fn rebuild_path(
+        &self,
+        parents: &HashMap<u64, (u64, NodeId, SsmfpAction), FxBuildHasher>,
+        mut h: u64,
+    ) -> Vec<String> {
+        let mut path = Vec::new();
+        while let Some(&(ph, p, a)) = parents.get(&h) {
+            path.push(format!("{p}: {}", self.protocol.describe(a)));
+            h = ph;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Runs the exhaustive breadth-first exploration from `initial`.
+    ///
+    /// With [`Explorer::threads`] > 1 (and POR off) the frontier is
+    /// explored level-parallel; the returned [`Report`] is bit-identical
+    /// to the sequential one in every case.
+    pub fn explore(&self, initial: Vec<NodeState>) -> Report {
+        if self.threads > 1 && !self.partial_order_reduction {
+            self.explore_parallel(initial)
+        } else {
+            self.explore_sequential(initial)
+        }
+    }
+
+    fn explore_sequential(&self, initial: Vec<NodeState>) -> Report {
+        let init = self.init_state(initial);
+        let mut visited = ShardedVisited::new();
+        let init_hash = init.hash;
         visited.insert(init_hash);
-        // Parent pointers for counterexample reconstruction (hash → (parent
-        // hash, action label)); only populated when tracing is on.
-        let mut parents: std::collections::HashMap<u64, (u64, String)> =
-            std::collections::HashMap::new();
-        let mut frontier: VecDeque<(CheckState, u64, u64)> = VecDeque::new();
-        frontier.push_back((init, 0, init_hash));
+        // Parent pointers for counterexample reconstruction (hash →
+        // (parent hash, move)); only populated when tracing is on.
+        let mut parents: HashMap<u64, (u64, NodeId, SsmfpAction), FxBuildHasher> =
+            HashMap::default();
+        let mut frontier: VecDeque<(CheckState, u64)> = VecDeque::new();
+        frontier.push_back((init, 0));
         let mut report = Report {
             states: 1,
             terminals: 0,
@@ -412,23 +609,16 @@ impl Explorer {
             max_depth: 0,
             counterexample: None,
         };
-        let rebuild =
-            |parents: &std::collections::HashMap<u64, (u64, String)>, mut h: u64| -> Vec<String> {
-                let mut path = Vec::new();
-                while let Some((ph, label)) = parents.get(&h) {
-                    path.push(label.clone());
-                    h = *ph;
-                }
-                path.reverse();
-                path
-            };
-        while let Some((state, depth, state_hash)) = frontier.pop_front() {
+        let mut scratch = Scratch::default();
+        let mut succs: Vec<Succ> = Vec::new();
+        while let Some((state, depth)) = frontier.pop_front() {
             report.max_depth = report.max_depth.max(depth);
-            let succs = if self.partial_order_reduction {
-                self.successors_reduced(&state, &visited)
+            succs.clear();
+            if self.partial_order_reduction {
+                self.successors_reduced(&state, &visited, &mut scratch, &mut succs);
             } else {
-                self.successors(&state)
-            };
+                self.successors(&state, &mut scratch, &mut succs);
+            }
             let terminal = succs.is_empty();
             self.audit(&state, depth, terminal, &mut report.violations);
             if terminal {
@@ -436,24 +626,156 @@ impl Explorer {
             }
             if !report.violations.is_empty() && self.stop_at_first {
                 if self.trace_counterexamples {
-                    report.counterexample = Some(rebuild(&parents, state_hash));
+                    report.counterexample = Some(self.rebuild_path(&parents, state.hash));
                 }
                 return report;
             }
-            for (succ, label) in succs {
+            for succ in succs.drain(..) {
                 if report.states >= self.max_states {
                     report.truncated = true;
                     return report;
                 }
-                let h = Self::hash_state(&succ);
+                let h = succ.state.hash;
                 if visited.insert(h) {
                     report.states += 1;
                     if self.trace_counterexamples {
-                        parents.insert(h, (state_hash, label.clone()));
+                        parents.insert(h, (state.hash, succ.by, succ.action));
                     }
-                    frontier.push_back((succ, depth + 1, h));
+                    frontier.push_back((succ.state, depth + 1));
                 }
             }
+        }
+        report
+    }
+
+    /// Phase A work for one state: successors, terminality, audit, and
+    /// the previsited annotation against the level-start visited set.
+    fn process_state(
+        &self,
+        state: &CheckState,
+        depth: u64,
+        visited: &ShardedVisited,
+        scratch: &mut Scratch,
+    ) -> StateResult {
+        let mut succs = Vec::new();
+        self.successors(state, scratch, &mut succs);
+        // Terminality comes from the RAW successor count, before any
+        // visited-based filtering — exactly as the sequential loop sees it.
+        let terminal = succs.is_empty();
+        for s in succs.iter_mut() {
+            s.previsited = visited.contains(s.state.hash);
+        }
+        let mut violations = Vec::new();
+        self.audit(state, depth, terminal, &mut violations);
+        StateResult {
+            terminal,
+            violations,
+            succs,
+        }
+    }
+
+    /// Level-synchronous parallel BFS. Phase A (parallel): each worker
+    /// repeatedly claims the next unprocessed state of the level off an
+    /// atomic cursor and computes its successors/audit into a result slot
+    /// — reads of `visited` are plain `&self` probes of a set that no one
+    /// mutates during the phase. Phase B (sequential): results are merged
+    /// in level order, replicating the exact per-successor sequence of
+    /// the sequential loop (truncation check before the visited check,
+    /// duplicates included), so counts, violation order, the truncation
+    /// point and the counterexample all come out bit-identical.
+    fn explore_parallel(&self, initial: Vec<NodeState>) -> Report {
+        let init = self.init_state(initial);
+        let mut visited = ShardedVisited::new();
+        visited.insert(init.hash);
+        let mut parents: HashMap<u64, (u64, NodeId, SsmfpAction), FxBuildHasher> =
+            HashMap::default();
+        let mut report = Report {
+            states: 1,
+            terminals: 0,
+            violations: Vec::new(),
+            truncated: false,
+            max_depth: 0,
+            counterexample: None,
+        };
+        let mut level: Vec<CheckState> = vec![init];
+        let mut depth: u64 = 0;
+        while !level.is_empty() {
+            report.max_depth = report.max_depth.max(depth);
+
+            // Phase A: fan the level out to workers.
+            let workers = self.threads.min(level.len()).max(1);
+            let mut results: Vec<Option<StateResult>> = Vec::with_capacity(level.len());
+            results.resize_with(level.len(), || None);
+            let cursor = AtomicUsize::new(0);
+            let level_ref: &[CheckState] = &level;
+            let visited_ref = &visited;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut scratch = Scratch::default();
+                            let mut out: Vec<(usize, StateResult)> = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                if i >= level_ref.len() {
+                                    break;
+                                }
+                                out.push((
+                                    i,
+                                    self.process_state(
+                                        &level_ref[i],
+                                        depth,
+                                        visited_ref,
+                                        &mut scratch,
+                                    ),
+                                ));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    for (i, res) in handle.join().expect("explorer worker panicked") {
+                        results[i] = Some(res);
+                    }
+                }
+            });
+
+            // Phase B: deterministic sequential merge in level order.
+            let mut next_level: Vec<CheckState> = Vec::new();
+            for (i, slot) in results.into_iter().enumerate() {
+                let res = slot.expect("every level slot processed");
+                let state_hash = level[i].hash;
+                report.violations.extend(res.violations);
+                if res.terminal {
+                    report.terminals += 1;
+                }
+                if !report.violations.is_empty() && self.stop_at_first {
+                    if self.trace_counterexamples {
+                        report.counterexample = Some(self.rebuild_path(&parents, state_hash));
+                    }
+                    return report;
+                }
+                for succ in res.succs {
+                    if report.states >= self.max_states {
+                        report.truncated = true;
+                        return report;
+                    }
+                    if succ.previsited {
+                        continue;
+                    }
+                    let h = succ.state.hash;
+                    if visited.insert(h) {
+                        report.states += 1;
+                        if self.trace_counterexamples {
+                            parents.insert(h, (state_hash, succ.by, succ.action));
+                        }
+                        next_level.push(succ.state);
+                    }
+                }
+            }
+            level = next_level;
+            depth += 1;
         }
         report
     }
@@ -680,5 +1002,62 @@ mod tests {
         let report = explorer.explore(states);
         assert!(report.truncated);
         assert!(!report.verified());
+    }
+
+    #[test]
+    fn parallel_report_is_bit_identical() {
+        // The determinism contract, pinned on a real instance: 1, 2 and 4
+        // workers must produce the exact sequential Report.
+        let graph = gen::ring(4);
+        let mut states = clean_states(&graph);
+        let exp = vec![
+            enqueue(&mut states, 0, 1, 1, 0),
+            enqueue(&mut states, 2, 3, 2, 1),
+        ];
+        let proto = SsmfpProtocol::new(4, graph.max_degree());
+        let seq = Explorer::new(graph.clone(), proto.clone(), exp.clone()).explore(states.clone());
+        for threads in [2, 4] {
+            let par = Explorer::new(graph.clone(), proto.clone(), exp.clone())
+                .with_threads(threads)
+                .explore(states.clone());
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_truncation_and_traces() {
+        // Truncation point and counterexample reconstruction must also be
+        // bit-identical under parallel exploration.
+        let graph = gen::line(3);
+        let mut states = clean_states(&graph);
+        let exp = vec![
+            enqueue(&mut states, 0, 2, 1, 0),
+            enqueue(&mut states, 2, 0, 2, 1),
+        ];
+        let proto = SsmfpProtocol::new(3, graph.max_degree());
+        let mut seq = Explorer::new(graph.clone(), proto.clone(), exp.clone());
+        seq.max_states = 500;
+        let mut par = Explorer::new(graph.clone(), proto.clone(), exp.clone());
+        par.max_states = 500;
+        par.threads = 3;
+        assert_eq!(seq.explore(states.clone()), par.explore(states.clone()));
+
+        // Counterexample: the literal-R5 loss with tracing on.
+        let graph = gen::line(2);
+        let mut states = clean_states(&graph);
+        let exp = vec![
+            enqueue(&mut states, 0, 1, 7, 0),
+            enqueue(&mut states, 0, 1, 7, 1),
+        ];
+        let proto = SsmfpProtocol::new(2, graph.max_degree()).with_literal_r5();
+        let mut seq = Explorer::new(graph.clone(), proto.clone(), exp.clone());
+        seq.trace_counterexamples = true;
+        let mut par = Explorer::new(graph, proto, exp);
+        par.trace_counterexamples = true;
+        par.threads = 4;
+        let seq_report = seq.explore(states.clone());
+        let par_report = par.explore(states);
+        assert_eq!(seq_report, par_report);
+        assert!(par_report.counterexample.is_some());
     }
 }

@@ -1,0 +1,117 @@
+//! Property: parallel exploration is observationally identical to
+//! sequential exploration.
+//!
+//! The explorer's contract is not "same verdict" but **bit-identical
+//! [`Report`]s** — state counts, terminal counts, max depth, violation
+//! list (contents *and* order), truncation point, and the reconstructed
+//! counterexample must all match, on arbitrary small instances and
+//! arbitrary worker counts. The level-synchronous merge (see the crate
+//! docs) is what makes this hold; this suite is its regression net.
+
+use proptest::prelude::*;
+use ssmfp_check::Explorer;
+use ssmfp_core::state::{NodeState, Outgoing};
+use ssmfp_core::{GhostId, SsmfpProtocol};
+use ssmfp_routing::{corruption, CorruptionKind};
+use ssmfp_topology::{gen, Graph, NodeId};
+
+fn clean_states(graph: &Graph) -> Vec<NodeState> {
+    corruption::corrupt(graph, CorruptionKind::None, 0)
+        .into_iter()
+        .map(|r| NodeState::clean(graph.n(), r))
+        .collect()
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    prop_oneof![
+        (2usize..=4).prop_map(gen::line),
+        (3usize..=4).prop_map(gen::ring),
+        (3usize..=4).prop_map(gen::star),
+        Just(gen::caterpillar(2, 1)),
+    ]
+}
+
+/// An instance: a topology, 1–2 valid messages, an optional corrupted
+/// routing entry, and optionally the literal-R5 guard (so violating
+/// explorations — early stop, counterexample reconstruction — are
+/// exercised too, not just clean ones).
+#[derive(Debug, Clone)]
+struct Instance {
+    graph: Graph,
+    states: Vec<NodeState>,
+    expectations: Vec<(GhostId, NodeId)>,
+    literal_r5: bool,
+}
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (
+        arb_graph(),
+        proptest::collection::vec((any::<u32>(), any::<u32>(), 0u64..4), 1..=2),
+        any::<u32>(),
+        prop_oneof![7 => Just(false), 3 => Just(true)],
+        prop_oneof![4 => Just(false), 1 => Just(true)],
+    )
+        .prop_map(|(graph, msgs, corrupt_pick, corrupt, literal_r5)| {
+            let n = graph.n();
+            let mut states = clean_states(&graph);
+            let mut expectations = Vec::new();
+            for (i, &(src, dst, payload)) in msgs.iter().enumerate() {
+                let src = src as usize % n;
+                let dst = (src + 1 + dst as usize % (n - 1)) % n; // dst != src
+                let ghost = GhostId::Valid(i as u64);
+                states[src].outbox.push_back(Outgoing {
+                    dest: dst,
+                    payload,
+                    ghost,
+                });
+                expectations.push((ghost, dst));
+            }
+            if corrupt && n >= 3 {
+                // Point one node's route for one destination at a wrong
+                // (but real) neighbour, forcing repair to interleave.
+                let p = corrupt_pick as usize % n;
+                let d = (p + 1) % n;
+                let nbrs = graph.neighbors(p);
+                states[p].routing.parent[d] = nbrs[corrupt_pick as usize % nbrs.len()];
+                states[p].routing.dist[d] = n as u32;
+            }
+            Instance {
+                graph,
+                states,
+                expectations,
+                literal_r5,
+            }
+        })
+}
+
+fn explorer_for(inst: &Instance, max_states: u64, trace: bool) -> Explorer {
+    let mut proto = SsmfpProtocol::new(inst.graph.n(), inst.graph.max_degree());
+    if inst.literal_r5 {
+        proto = proto.with_literal_r5();
+    }
+    let mut ex = Explorer::new(inst.graph.clone(), proto, inst.expectations.clone());
+    ex.max_states = max_states;
+    ex.stop_at_first = true;
+    ex.trace_counterexamples = trace;
+    ex
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Bit-identical reports across worker counts, including truncated
+    /// runs (the cap is drawn small enough to truncate some instances).
+    #[test]
+    fn parallel_report_equals_sequential(
+        inst in arb_instance(),
+        threads in 2usize..=4,
+        max_states in prop_oneof![Just(400u64), Just(5_000u64)],
+        trace in any::<bool>(),
+    ) {
+        let seq_report = explorer_for(&inst, max_states, trace).explore(inst.states.clone());
+        let par_report = explorer_for(&inst, max_states, trace)
+            .with_threads(threads)
+            .explore(inst.states.clone());
+        prop_assert_eq!(seq_report, par_report);
+    }
+}

@@ -221,6 +221,9 @@ pub struct Network {
     ledger: DeliveryLedger,
     trajectories: Option<TrajectoryLog>,
     next_valid: u64,
+    /// Reused event drain buffer (pump runs once per step; draining into a
+    /// fresh Vec each time would allocate on the hot path).
+    event_buf: Vec<ssmfp_kernel::engine::EventRecord<Event>>,
 }
 
 impl Network {
@@ -253,6 +256,7 @@ impl Network {
             ledger: DeliveryLedger::new(),
             trajectories: None,
             next_valid: 0,
+            event_buf: Vec::new(),
         }
     }
 
@@ -329,10 +333,11 @@ impl Network {
     /// layer (re-raising `request_p` wherever messages still wait).
     pub fn pump(&mut self) -> StepOutcome {
         let outcome = self.engine.step();
-        let events = self.engine.drain_events();
-        self.ledger.absorb(&events);
+        self.event_buf.clear();
+        self.engine.drain_events_into(&mut self.event_buf);
+        self.ledger.absorb(&self.event_buf);
         if let Some(log) = &mut self.trajectories {
-            log.absorb(&events);
+            log.absorb(&self.event_buf);
         }
         // Higher layer: re-arm requests (the paper's blocking wait ends as
         // soon as the protocol lowers the bit and a message still waits).
@@ -437,10 +442,11 @@ impl Network {
     /// Drains any events still buffered in the engine into the ledger
     /// (useful after direct `engine_mut` stepping).
     pub fn sync_ledger(&mut self) {
-        let events: Vec<ssmfp_kernel::engine::EventRecord<Event>> = self.engine.drain_events();
-        self.ledger.absorb(&events);
+        self.event_buf.clear();
+        self.engine.drain_events_into(&mut self.event_buf);
+        self.ledger.absorb(&self.event_buf);
         if let Some(log) = &mut self.trajectories {
-            log.absorb(&events);
+            log.absorb(&self.event_buf);
         }
     }
 }

@@ -356,6 +356,8 @@ pub struct BaselineNetwork {
     engine: Engine<BaselineProtocol>,
     ledger: DeliveryLedger,
     next_valid: u64,
+    /// Reused event drain buffer (see `Network::event_buf`).
+    event_buf: Vec<ssmfp_kernel::engine::EventRecord<Event>>,
 }
 
 impl BaselineNetwork {
@@ -389,6 +391,7 @@ impl BaselineNetwork {
             engine,
             ledger: DeliveryLedger::new(),
             next_valid: 0,
+            event_buf: Vec::new(),
         }
     }
 
@@ -432,8 +435,9 @@ impl BaselineNetwork {
     /// One step plus higher-layer upkeep.
     pub fn pump(&mut self) -> StepOutcome {
         let outcome = self.engine.step();
-        let events = self.engine.drain_events();
-        self.ledger.absorb(&events);
+        self.event_buf.clear();
+        self.engine.drain_events_into(&mut self.event_buf);
+        self.ledger.absorb(&self.event_buf);
         let n = self.graph().n();
         for p in 0..n {
             let s = self.engine.state(p);

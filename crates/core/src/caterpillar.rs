@@ -20,6 +20,7 @@
 
 use crate::state::NodeState;
 use ssmfp_topology::{Graph, NodeId};
+use std::borrow::Borrow;
 
 /// The three caterpillar types of Definition 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -67,17 +68,19 @@ pub enum RBufferRole {
     Type3Tail,
 }
 
-/// Classifies the occupied `bufR_p(d)`, if any.
-pub fn classify_r_buffer(
+/// Classifies the occupied `bufR_p(d)`, if any. Generic over anything
+/// that borrows as a [`NodeState`] (plain states or the checker's
+/// `Arc`-shared copy-on-write states).
+pub fn classify_r_buffer<S: Borrow<NodeState>>(
     graph: &Graph,
-    states: &[NodeState],
+    states: &[S],
     p: NodeId,
     d: NodeId,
 ) -> Option<RBufferRole> {
-    let m = states[p].slots[d].buf_r.as_ref()?;
+    let m = states[p].borrow().slots[d].buf_r.as_ref()?;
     let q = m.last_hop;
     let source_alive = q != p
-        && states[q].slots[d]
+        && states[q].borrow().slots[d]
             .buf_e
             .as_ref()
             .is_some_and(|e| e.same_payload_color(m));
@@ -94,15 +97,15 @@ pub fn classify_r_buffer(
 
 /// Classifies the occupied `bufE_p(d)`, if any, as the anchor of a type-2
 /// or type-3 caterpillar.
-pub fn classify_e_buffer(
+pub fn classify_e_buffer<S: Borrow<NodeState>>(
     graph: &Graph,
-    states: &[NodeState],
+    states: &[S],
     p: NodeId,
     d: NodeId,
 ) -> Option<CaterpillarType> {
-    let m = states[p].slots[d].buf_e.as_ref()?;
+    let m = states[p].borrow().slots[d].buf_e.as_ref()?;
     let has_tail = graph.neighbors(p).iter().any(|&q| {
-        states[q].slots[d]
+        states[q].borrow().slots[d]
             .buf_r
             .as_ref()
             .is_some_and(|r| r.matches_triplet(m.payload, p, m.color))
@@ -116,7 +119,7 @@ pub fn classify_e_buffer(
 
 /// Censuses all caterpillars of a configuration and checks the structural
 /// invariant (no orphaned occupied buffer).
-pub fn classify_buffers(graph: &Graph, states: &[NodeState]) -> CaterpillarCensus {
+pub fn classify_buffers<S: Borrow<NodeState>>(graph: &Graph, states: &[S]) -> CaterpillarCensus {
     let n = graph.n();
     let mut census = CaterpillarCensus::default();
     for p in 0..n {

@@ -25,7 +25,7 @@
 use crate::protocol::{FwdAction, SsmfpAction};
 use crate::rules::Rule;
 use crate::state::NodeState;
-use ssmfp_kernel::footprint::{Access, Footprint, VarClass};
+use ssmfp_kernel::footprint::{Access, Footprint, Locus, VarClass};
 use ssmfp_routing::footprint::{diff_routing, routing_footprint, DIST, PARENT};
 use ssmfp_topology::NodeId;
 
@@ -324,6 +324,66 @@ pub fn guards_can_overlap(a: Rule, b: Rule) -> bool {
         && opt(sa.self_dest, sb.self_dest)
         && opt(sa.choice_self, sb.choice_self)
         && opt(sa.source_copy, sb.source_copy)
+}
+
+/// Which guard *scopes* an action's writes can invalidate, from the
+/// perspective of the engine's incremental re-evaluation: after a step,
+/// only the scopes a write can reach need their cached enablement
+/// recomputed (`Protocol::scope_affected_by`).
+///
+/// `same` means "the scope whose destination equals the action's own",
+/// `any` means "every scope, regardless of destination" (the write hits
+/// a destination-independent guard read such as `request_p` or the
+/// outbox). `self_*` couples the writer's own scopes, `nbr_*` the scopes
+/// of the writer's neighbours (all writes are local, so a write reaches
+/// a neighbour's guard only through its `Neighbors`-locus reads).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScopeAffects {
+    /// The writer's own scope of *any* destination is invalidated.
+    pub self_any: bool,
+    /// The writer's own scope of the action's destination is invalidated.
+    pub self_same: bool,
+    /// Neighbours' scopes of *any* destination are invalidated.
+    pub nbr_any: bool,
+    /// Neighbours' scopes of the action's destination are invalidated.
+    pub nbr_same: bool,
+}
+
+/// Everything a destination-`d` guard scope reads: the routing guard of
+/// instance `d` plus every forwarding rule's guard-and-statement reads.
+/// (The composition wrapper's reads — destination cursor, `A`'s priority
+/// over *all* instances — are excluded on purpose: the engine caches
+/// per-scope enablement *before* composition and replays priority in
+/// `compose_scopes`, so the wrapper never goes stale.)
+fn scope_guard_reads(d: NodeId, out: &mut Vec<Access>) {
+    out.extend(routing_footprint(d).reads);
+    for rule in Rule::EVAL_ORDER {
+        out.extend(rule_footprint(rule, d).reads);
+    }
+}
+
+/// Derives the scope coupling of an action's declared writes, using two
+/// representative destinations: `0` stands for "the same destination as
+/// the writer's action", `1` for "any other destination" — hitting a
+/// scope-`1` read means the coupling is destination-independent.
+pub fn scope_affects_of(writes: &[Access]) -> ScopeAffects {
+    let mut same = Vec::new();
+    scope_guard_reads(0, &mut same);
+    let mut other = Vec::new();
+    scope_guard_reads(1, &mut other);
+    let hit = |reads: &[Access], locus: Locus| {
+        writes.iter().any(|w| {
+            reads
+                .iter()
+                .any(|r| r.locus == locus && w.var == r.var && w.dest.overlaps(r.dest))
+        })
+    };
+    ScopeAffects {
+        self_same: hit(&same, Locus::Me),
+        self_any: hit(&other, Locus::Me),
+        nbr_same: hit(&same, Locus::Neighbors),
+        nbr_any: hit(&other, Locus::Neighbors),
+    }
 }
 
 #[cfg(test)]

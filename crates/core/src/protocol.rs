@@ -4,8 +4,9 @@
 //! algorithms always chooses the action of A"*).
 
 use crate::choice::ChoiceStrategy;
+use crate::footprint::{scope_affects_of, ScopeAffects};
 use crate::message::{GhostId, Payload};
-use crate::rules::{enabled_rules_with, execute_rule_with, Rule};
+use crate::rules::{enabled_rules_with, execute_rule_with, rule_enabled, Rule};
 use crate::state::NodeState;
 use ssmfp_kernel::{Protocol, View};
 use ssmfp_routing::{RoutingAction, RoutingProtocol};
@@ -82,12 +83,25 @@ pub struct SsmfpProtocol {
     routing_priority: bool,
     choice_strategy: ChoiceStrategy,
     literal_r5: bool,
+    /// Per-rule scope coupling (indexed by [`Rule::index`]), derived once
+    /// from the declared footprints: drives the engine's incremental
+    /// guard re-evaluation ([`Protocol::scope_affected_by`]).
+    rule_affects: [ScopeAffects; 6],
+    /// Scope coupling of a routing correction.
+    routing_affects: ScopeAffects,
 }
 
 impl SsmfpProtocol {
     /// Creates the composed protocol for a network of `n` processors with
     /// maximal degree `delta`, with the paper's priority of `A` over SSMFP.
     pub fn new(n: usize, delta: usize) -> Self {
+        let mut rule_affects = [ScopeAffects::default(); 6];
+        for rule in Rule::EVAL_ORDER {
+            rule_affects[rule.index()] =
+                scope_affects_of(&crate::footprint::composed_fwd_footprint(rule, 0, true).writes);
+        }
+        let routing_affects =
+            scope_affects_of(&ssmfp_routing::footprint::routing_footprint(0).writes);
         SsmfpProtocol {
             n,
             delta,
@@ -95,6 +109,8 @@ impl SsmfpProtocol {
             routing_priority: true,
             choice_strategy: ChoiceStrategy::RotationQueue,
             literal_r5: false,
+            rule_affects,
+            routing_affects,
         }
     }
 
@@ -173,6 +189,80 @@ impl Protocol for SsmfpProtocol {
                     .iter()
                     .map(|&rule| SsmfpAction::Fwd(FwdAction { rule, dest: d })),
             );
+        }
+    }
+
+    fn guard_scopes(&self) -> usize {
+        self.n
+    }
+
+    fn enabled_in_scope(
+        &self,
+        view: &View<'_, Self::State>,
+        scope: usize,
+        out: &mut Vec<Self::Action>,
+    ) {
+        // Scope `d` is the destination instance `d`: the routing correction
+        // C(d) (listed first; the priority mask is applied when composing)
+        // plus rules R1–R6 of instance `d` in EVAL_ORDER.
+        let me = &view.me().routing;
+        let (td, tp) = self.routing.target(view, scope);
+        if me.dist[scope] != td || me.parent[scope] != tp {
+            out.push(SsmfpAction::Routing(RoutingAction { dest: scope }));
+        }
+        for rule in Rule::EVAL_ORDER {
+            if rule_enabled(view, scope, rule, self.choice_strategy, self.literal_r5) {
+                out.push(SsmfpAction::Fwd(FwdAction { rule, dest: scope }));
+            }
+        }
+    }
+
+    fn compose_scopes(
+        &self,
+        state: &Self::State,
+        per_scope: &[Vec<Self::Action>],
+        out: &mut Vec<Self::Action>,
+    ) {
+        // Priority phase: A's corrections, ascending destination. Each
+        // scope lists its routing action (if enabled) first.
+        for scope in per_scope {
+            if let Some(a @ SsmfpAction::Routing(_)) = scope.first() {
+                out.push(*a);
+            }
+        }
+        if self.routing_priority && !out.is_empty() {
+            return;
+        }
+        // SSMFP phase: destinations from the fairness cursor; rules are
+        // already in EVAL_ORDER within each scope.
+        let start = state.dest_cursor % self.n;
+        for offset in 0..self.n {
+            let d = (start + offset) % self.n;
+            for &a in &per_scope[d] {
+                if matches!(a, SsmfpAction::Fwd(_)) {
+                    out.push(a);
+                }
+            }
+        }
+    }
+
+    fn scope_affected_by(
+        &self,
+        action: Self::Action,
+        writer: NodeId,
+        _writer_neighbors: &[NodeId],
+        reader: NodeId,
+        _reader_neighbors: &[NodeId],
+        scope: usize,
+    ) -> bool {
+        let (aff, dest) = match action {
+            SsmfpAction::Routing(a) => (self.routing_affects, a.dest),
+            SsmfpAction::Fwd(FwdAction { rule, dest }) => (self.rule_affects[rule.index()], dest),
+        };
+        if reader == writer {
+            aff.self_any || (aff.self_same && scope == dest)
+        } else {
+            aff.nbr_any || (aff.nbr_same && scope == dest)
         }
     }
 

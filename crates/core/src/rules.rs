@@ -47,6 +47,40 @@ impl Rule {
     /// All rules, in the drain-before-generate evaluation order used by
     /// [`enabled_rules`].
     pub const EVAL_ORDER: [Rule; 6] = [Rule::R6, Rule::R4, Rule::R5, Rule::R2, Rule::R3, Rule::R1];
+
+    /// Dense index (R1 → 0 … R6 → 5) for per-rule lookup tables.
+    pub const fn index(self) -> usize {
+        match self {
+            Rule::R1 => 0,
+            Rule::R2 => 1,
+            Rule::R3 => 2,
+            Rule::R4 => 3,
+            Rule::R5 => 4,
+            Rule::R6 => 5,
+        }
+    }
+}
+
+/// Whether one rule's guard holds for destination `d` — the
+/// zero-allocation core behind [`enabled_rules_with`] and the scoped
+/// guard evaluation of the composed protocol. `literal_r5` takes rule R5
+/// verbatim from the paper (see [`guard_r5_variant`]).
+#[inline]
+pub fn rule_enabled(
+    view: &View<'_, NodeState>,
+    d: NodeId,
+    rule: Rule,
+    strategy: ChoiceStrategy,
+    literal_r5: bool,
+) -> bool {
+    match rule {
+        Rule::R1 => guard_r1_with(view, d, strategy),
+        Rule::R2 => guard_r2(view, d),
+        Rule::R3 => guard_r3_with(view, d, strategy),
+        Rule::R4 => guard_r4(view, d),
+        Rule::R5 => guard_r5_variant(view, d, literal_r5),
+        Rule::R6 => guard_r6(view, d),
+    }
 }
 
 /// `nextHop_p(d)` as Algorithm 1 reads it: the routing-table parent.
@@ -194,15 +228,7 @@ pub fn enabled_rules_with(
     out: &mut Vec<Rule>,
 ) {
     for rule in Rule::EVAL_ORDER {
-        let enabled = match rule {
-            Rule::R1 => guard_r1_with(view, d, strategy),
-            Rule::R2 => guard_r2(view, d),
-            Rule::R3 => guard_r3_with(view, d, strategy),
-            Rule::R4 => guard_r4(view, d),
-            Rule::R5 => guard_r5(view, d),
-            Rule::R6 => guard_r6(view, d),
-        };
-        if enabled {
+        if rule_enabled(view, d, rule, strategy, false) {
             out.push(rule);
         }
     }
@@ -217,15 +243,7 @@ pub fn enabled_rules_literal_r5(
     out: &mut Vec<Rule>,
 ) {
     for rule in Rule::EVAL_ORDER {
-        let enabled = match rule {
-            Rule::R1 => guard_r1_with(view, d, strategy),
-            Rule::R2 => guard_r2(view, d),
-            Rule::R3 => guard_r3_with(view, d, strategy),
-            Rule::R4 => guard_r4(view, d),
-            Rule::R5 => guard_r5_variant(view, d, true),
-            Rule::R6 => guard_r6(view, d),
-        };
-        if enabled {
+        if rule_enabled(view, d, rule, strategy, true) {
             out.push(rule);
         }
     }

@@ -1,0 +1,179 @@
+//! Property: footprint-driven incremental guard evaluation is
+//! observationally identical to full recomputation.
+//!
+//! The engine caches per-destination guard scopes and, after each step,
+//! re-evaluates only the scopes whose declared read footprint can
+//! intersect what the executed actions wrote
+//! (`Protocol::scope_affected_by`, derived in `footprint::scope_affects_of`
+//! from the same declarations `ssmfp-lint` checks statically). This suite
+//! drives two engines from the same random initial configuration — one
+//! incremental (the default), one with `set_full_refresh(true)` (the
+//! historical recompute-the-whole-neighbourhood behaviour) — under
+//! identically seeded random daemons, and demands **identical enabled
+//! action sets at every processor after every step**, identical states,
+//! and identical step/round accounting. Any under-approximation in the
+//! derived dirtiness tables (a stale guard surviving a write it should
+//! have observed) shows up here as an enabled-set divergence.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use ssmfp_core::message::{Color, GhostId, Message};
+use ssmfp_core::state::{NodeState, Outgoing};
+use ssmfp_core::SsmfpProtocol;
+use ssmfp_kernel::{
+    CentralRandomDaemon, Daemon, DistributedRandomDaemon, Engine, SynchronousDaemon,
+};
+use ssmfp_routing::{corruption, CorruptionKind};
+use ssmfp_topology::{gen, Graph};
+
+/// Random forwarding state within the variable domains: garbage routing
+/// tables, part-filled buffers, random choice pointers, a few requests.
+fn randomize(graph: &Graph, seed: u64) -> Vec<NodeState> {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let n = graph.n();
+    let delta = graph.max_degree() as u8;
+    corruption::corrupt(graph, CorruptionKind::RandomGarbage, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(p, routing)| {
+            let mut s = NodeState::clean(n, routing);
+            let neighbors = graph.neighbors(p);
+            for d in 0..n {
+                for is_e in [false, true] {
+                    if rng.gen_bool(0.3) {
+                        let last_hop = if neighbors.is_empty() || rng.gen_bool(0.3) {
+                            p
+                        } else {
+                            neighbors[rng.gen_range(0..neighbors.len())]
+                        };
+                        let m = Message {
+                            payload: rng.gen_range(0..4),
+                            last_hop,
+                            color: Color(rng.gen_range(0..=delta)),
+                            ghost: GhostId::Invalid(rng.gen()),
+                        };
+                        if is_e {
+                            s.slots[d].buf_e = Some(m);
+                        } else {
+                            s.slots[d].buf_r = Some(m);
+                        }
+                    }
+                }
+                s.slots[d].choice_ptr = rng.gen_range(0..=neighbors.len());
+            }
+            if rng.gen_bool(0.5) {
+                s.outbox.push_back(Outgoing {
+                    dest: rng.gen_range(0..n),
+                    payload: rng.gen_range(0..4),
+                    ghost: GhostId::Valid(p as u64),
+                });
+                s.request = true;
+            }
+            s
+        })
+        .collect()
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    prop_oneof![
+        (2usize..7).prop_map(gen::line),
+        (3usize..7).prop_map(gen::ring),
+        (3usize..7).prop_map(gen::star),
+        Just(gen::caterpillar(3, 1)),
+        ((4usize..8), (0usize..4), any::<u64>())
+            .prop_map(|(n, e, s)| gen::random_connected(n, e, s)),
+    ]
+}
+
+fn daemon_pair(kind: u8, seed: u64) -> (Box<dyn Daemon>, Box<dyn Daemon>) {
+    match kind % 3 {
+        0 => (
+            Box::new(CentralRandomDaemon::with_random_action(seed)),
+            Box::new(CentralRandomDaemon::with_random_action(seed)),
+        ),
+        1 => (
+            Box::new(DistributedRandomDaemon::new(seed, 0.6)),
+            Box::new(DistributedRandomDaemon::new(seed, 0.6)),
+        ),
+        _ => (Box::new(SynchronousDaemon), Box::new(SynchronousDaemon)),
+    }
+}
+
+/// Runs the incremental and full-refresh engines in lockstep and checks
+/// observational equality after every step.
+fn run_lockstep(graph: Graph, states: Vec<NodeState>, kind: u8, seed: u64, steps: usize) {
+    let proto = SsmfpProtocol::new(graph.n(), graph.max_degree());
+    let (daemon_inc, daemon_full) = daemon_pair(kind, seed);
+    let mut inc = Engine::new(graph.clone(), proto.clone(), daemon_inc, states.clone());
+    let mut full = Engine::new(graph, proto, daemon_full, states);
+    full.set_full_refresh(true);
+    for step in 0..steps {
+        for p in 0..inc.graph().n() {
+            assert_eq!(
+                inc.enabled_actions_of(p),
+                full.enabled_actions_of(p),
+                "enabled set diverged at processor {p} before step {step}"
+            );
+        }
+        // Identical enabled sets + identically seeded daemons ⇒ identical
+        // choices, so the runs stay in lockstep by induction.
+        let out_inc = inc.step();
+        let out_full = full.step();
+        assert_eq!(out_inc, out_full, "step outcome diverged at step {step}");
+        assert_eq!(
+            inc.states(),
+            full.states(),
+            "configuration diverged after step {step}"
+        );
+        assert_eq!(inc.steps(), full.steps());
+        assert_eq!(inc.rounds(), full.rounds(), "round accounting diverged");
+        if matches!(out_inc, ssmfp_kernel::StepOutcome::Terminal) {
+            break;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Incremental == full refresh from arbitrary (corrupted) initial
+    /// configurations under random daemons.
+    #[test]
+    fn incremental_matches_full_refresh(
+        graph in arb_graph(),
+        seed in any::<u64>(),
+        kind in any::<u8>(),
+    ) {
+        let states = randomize(&graph, seed);
+        run_lockstep(graph, states, kind, seed, 120);
+    }
+
+    /// Same property from clean configurations with queued messages (the
+    /// steady-state regime: long runs dominated by forwarding moves).
+    #[test]
+    fn incremental_matches_full_refresh_clean_traffic(
+        graph in arb_graph(),
+        seed in any::<u64>(),
+        kind in any::<u8>(),
+    ) {
+        let n = graph.n();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut states: Vec<NodeState> = corruption::corrupt(&graph, CorruptionKind::None, 0)
+            .into_iter()
+            .map(|r| NodeState::clean(n, r))
+            .collect();
+        if n >= 2 {
+            for i in 0..3u64 {
+                let src = rng.gen_range(0..n);
+                let dst = (src + rng.gen_range(1..n)) % n;
+                states[src].outbox.push_back(Outgoing {
+                    dest: dst,
+                    payload: rng.gen_range(0..4),
+                    ghost: GhostId::Valid(i),
+                });
+                states[src].request = true;
+            }
+        }
+        run_lockstep(graph, states, kind, seed, 200);
+    }
+}

@@ -84,8 +84,21 @@ pub struct Engine<P: Protocol> {
     daemon: Box<dyn Daemon>,
     states: Vec<P::State>,
     /// Enabled actions per processor in the *current* configuration, in the
-    /// protocol's priority order.
+    /// protocol's priority order (the composition of `scope_enabled`).
     enabled: Vec<Vec<P::Action>>,
+    /// Cached per-scope guard results: `scope_enabled[p][s]` holds the
+    /// enabled actions of scope `s` at processor `p`. After a write, only
+    /// the scopes whose guard read footprint can intersect the written
+    /// variable classes (per [`Protocol::scope_affected_by`]) are
+    /// re-evaluated.
+    scope_enabled: Vec<Vec<Vec<P::Action>>>,
+    /// `protocol.guard_scopes()`, cached.
+    scope_count: usize,
+    /// When true, ignore the protocol's dirtiness test and refresh every
+    /// scope of the written processors and their whole neighbourhoods (the
+    /// historical behaviour; kept as a baseline for benchmarks and
+    /// equivalence tests).
+    full_refresh: bool,
     /// Processors still owed an action/neutralization in the current round.
     pending: Vec<bool>,
     pending_count: usize,
@@ -93,9 +106,18 @@ pub struct Engine<P: Protocol> {
     rounds: u64,
     events: Vec<EventRecord<P::Event>>,
     trace: Option<Vec<StepRecord<P::Action>>>,
-    /// Scratch buffers reused across steps.
+    /// Scratch buffers reused across steps (no per-step allocation).
     scratch_list: Vec<(NodeId, usize)>,
     scratch_events: Vec<P::Event>,
+    scratch_chosen: Vec<bool>,
+    scratch_writes: Vec<(NodeId, P::State, P::Action)>,
+    scratch_touched: Vec<(NodeId, P::Action)>,
+    scratch_was_enabled: Vec<bool>,
+    /// Dirty flags per `(processor, scope)` (flattened `p * scope_count + s`)
+    /// plus the marked list used to reset only what was set.
+    scratch_dirty: Vec<bool>,
+    scratch_marked: Vec<(NodeId, usize)>,
+    scratch_recompose: Vec<bool>,
 }
 
 impl<P: Protocol> Engine<P> {
@@ -107,12 +129,16 @@ impl<P: Protocol> Engine<P> {
             "configuration size must equal node count"
         );
         let n = graph.n();
+        let scope_count = protocol.guard_scopes().max(1);
         let mut eng = Engine {
             graph,
             protocol,
             daemon,
             states,
             enabled: vec![Vec::new(); n],
+            scope_enabled: vec![vec![Vec::new(); scope_count]; n],
+            scope_count,
+            full_refresh: false,
             pending: vec![false; n],
             pending_count: 0,
             steps: 0,
@@ -121,12 +147,27 @@ impl<P: Protocol> Engine<P> {
             trace: None,
             scratch_list: Vec::new(),
             scratch_events: Vec::new(),
+            scratch_chosen: vec![false; n],
+            scratch_writes: Vec::new(),
+            scratch_touched: Vec::new(),
+            scratch_was_enabled: vec![false; n],
+            scratch_dirty: vec![false; n * scope_count],
+            scratch_marked: Vec::new(),
+            scratch_recompose: vec![false; n],
         };
         for p in 0..n {
             eng.recompute_enabled(p);
         }
         eng.seed_round();
         eng
+    }
+
+    /// Disables (or re-enables) footprint-driven incremental guard refresh.
+    /// With `true`, every step refreshes every scope of the written
+    /// processors and their neighbourhoods — the engine's historical
+    /// behaviour, kept as the comparison baseline.
+    pub fn set_full_refresh(&mut self, full: bool) {
+        self.full_refresh = full;
     }
 
     /// Enables step tracing (records every move; memory grows with steps).
@@ -181,16 +222,22 @@ impl<P: Protocol> Engine<P> {
         std::mem::take(&mut self.events)
     }
 
+    /// Moves all collected events into `out`, preserving the internal
+    /// buffer's capacity. Callers that poll events every few steps should
+    /// prefer this over [`Engine::drain_events`], which surrenders the
+    /// buffer and forces a fresh allocation on the next emission.
+    pub fn drain_events_into(&mut self, out: &mut Vec<EventRecord<P::Event>>) {
+        out.append(&mut self.events);
+    }
+
     /// Whether no processor is enabled.
     pub fn is_terminal(&self) -> bool {
         self.enabled.iter().all(Vec::is_empty)
     }
 
-    /// Identities of currently enabled processors (sorted).
-    pub fn enabled_processors(&self) -> Vec<NodeId> {
-        (0..self.graph.n())
-            .filter(|&p| !self.enabled[p].is_empty())
-            .collect()
+    /// Identities of currently enabled processors (ascending).
+    pub fn enabled_processors(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.graph.n()).filter(|&p| !self.enabled[p].is_empty())
     }
 
     /// The enabled actions of `p` in the current configuration, in priority
@@ -226,20 +273,41 @@ impl<P: Protocol> Engine<P> {
         self.seed_round();
     }
 
-    fn recompute_enabled(&mut self, p: NodeId) {
-        let mut actions = std::mem::take(&mut self.enabled[p]);
+    /// Re-evaluates the guards of one scope at `p` into the scope cache.
+    fn recompute_scope(&mut self, p: NodeId, scope: usize) {
+        let mut actions = std::mem::take(&mut self.scope_enabled[p][scope]);
         actions.clear();
         {
             let view = View::new(&self.graph, &self.states, p);
-            self.protocol.enabled_actions(&view, &mut actions);
+            self.protocol.enabled_in_scope(&view, scope, &mut actions);
         }
-        self.enabled[p] = actions;
+        self.scope_enabled[p][scope] = actions;
     }
 
+    /// Rebuilds `enabled[p]` from the cached per-scope lists.
+    fn recompose(&mut self, p: NodeId) {
+        let mut out = std::mem::take(&mut self.enabled[p]);
+        out.clear();
+        self.protocol
+            .compose_scopes(&self.states[p], &self.scope_enabled[p], &mut out);
+        self.enabled[p] = out;
+    }
+
+    /// Full refresh of one processor: every scope plus the composition.
+    fn recompute_enabled(&mut self, p: NodeId) {
+        for s in 0..self.scope_count {
+            self.recompute_scope(p, s);
+        }
+        self.recompose(p);
+    }
+
+    /// Full refresh of `p` and its whole neighbourhood — used after
+    /// arbitrary external mutation ([`Engine::mutate_state`]), where no
+    /// footprint bounds the write.
     fn refresh_after_write(&mut self, p: NodeId) {
         self.recompute_enabled(p);
-        let neighbors: Vec<NodeId> = self.graph.neighbors(p).to_vec();
-        for q in neighbors {
+        for i in 0..self.graph.degree(p) {
+            let q = self.graph.neighbors(p)[i];
             self.recompute_enabled(q);
         }
     }
@@ -285,16 +353,15 @@ impl<P: Protocol> Engine<P> {
 
         // Phase (iii): all chosen processors execute against the PRE-step
         // configuration; their writes are applied together afterwards.
-        let mut writes: Vec<(NodeId, P::State, P::Action)> =
-            Vec::with_capacity(selection.choices.len());
-        let mut chosen_seen = vec![false; self.graph.n()];
+        self.scratch_writes.clear();
+        self.scratch_chosen.fill(false);
         for &(p, action_idx) in &selection.choices {
             assert!(
-                !chosen_seen[p],
+                !self.scratch_chosen[p],
                 "daemon '{}' selected processor {p} twice in one step",
                 self.daemon.name()
             );
-            chosen_seen[p] = true;
+            self.scratch_chosen[p] = true;
             let action = *self.enabled[p]
                 .get(action_idx)
                 .unwrap_or_else(|| panic!("daemon chose out-of-range action {action_idx} at {p}"));
@@ -334,51 +401,106 @@ impl<P: Protocol> Engine<P> {
                     event: ev,
                 });
             }
-            writes.push((p, new_state, action));
+            self.scratch_writes.push((p, new_state, action));
         }
 
         if let Some(trace) = &mut self.trace {
             trace.push(StepRecord {
                 step: self.steps,
                 round: self.rounds,
-                moves: writes.iter().map(|(p, _, a)| (*p, *a)).collect(),
+                moves: self
+                    .scratch_writes
+                    .iter()
+                    .map(|(p, _, a)| (*p, *a))
+                    .collect(),
             });
         }
 
         // Snapshot which processors were enabled before the writes (for
         // neutralization detection).
-        let was_enabled: Vec<bool> = self.enabled.iter().map(|v| !v.is_empty()).collect();
-
-        // Apply the composite write.
-        let mut touched: Vec<NodeId> = Vec::new();
-        for (p, new_state, _) in writes.iter() {
-            self.states[*p] = new_state.clone();
-            touched.push(*p);
+        for p in 0..self.graph.n() {
+            self.scratch_was_enabled[p] = !self.enabled[p].is_empty();
         }
-        // Re-evaluate guards of written processors and their neighbourhoods.
-        let mut dirty = vec![false; self.graph.n()];
-        for &p in &touched {
-            dirty[p] = true;
-            for &q in self.graph.neighbors(p) {
-                dirty[q] = true;
+
+        // Apply the composite write (states are moved, not cloned).
+        self.scratch_touched.clear();
+        for (p, new_state, action) in self.scratch_writes.drain(..) {
+            self.states[p] = new_state;
+            self.scratch_touched.push((p, action));
+        }
+
+        // Footprint-driven dirty-set refresh: for each write, mark the
+        // `(processor, scope)` guard instances whose declared read footprint
+        // can intersect the written variable classes, re-evaluate exactly
+        // those, and recompose the affected processors' action lists. With
+        // `full_refresh` (or the default monolithic scope), this degenerates
+        // to the historical whole-neighbourhood re-evaluation.
+        self.scratch_marked.clear();
+        {
+            let graph = &self.graph;
+            let protocol = &self.protocol;
+            let scope_count = self.scope_count;
+            let full = self.full_refresh;
+            let dirty = &mut self.scratch_dirty;
+            let marked = &mut self.scratch_marked;
+            let recompose = &mut self.scratch_recompose;
+            let mut mark = |q: NodeId, s: usize| {
+                let idx = q * scope_count + s;
+                if !dirty[idx] {
+                    dirty[idx] = true;
+                    marked.push((q, s));
+                }
+            };
+            for &(p, action) in &self.scratch_touched {
+                let p_nbrs = graph.neighbors(p);
+                // The writer always recomposes: action ordering may depend
+                // on its own (just written) state even when no guard does.
+                recompose[p] = true;
+                for s in 0..scope_count {
+                    if full || protocol.scope_affected_by(action, p, p_nbrs, p, p_nbrs, s) {
+                        mark(p, s);
+                    }
+                }
+                for &q in p_nbrs {
+                    let q_nbrs = graph.neighbors(q);
+                    for s in 0..scope_count {
+                        if full || protocol.scope_affected_by(action, p, p_nbrs, q, q_nbrs, s) {
+                            mark(q, s);
+                        }
+                    }
+                }
             }
         }
-        for p in 0..self.graph.n() {
-            if dirty[p] {
-                self.recompute_enabled(p);
+        for i in 0..self.scratch_marked.len() {
+            let (q, s) = self.scratch_marked[i];
+            self.recompute_scope(q, s);
+            self.scratch_recompose[q] = true;
+        }
+        for i in 0..self.scratch_marked.len() {
+            let (q, s) = self.scratch_marked[i];
+            self.scratch_dirty[q * self.scope_count + s] = false;
+        }
+        for q in 0..self.graph.n() {
+            if self.scratch_recompose[q] {
+                self.scratch_recompose[q] = false;
+                self.recompose(q);
             }
         }
 
         // Round accounting: executors leave the pending set; so do
         // neutralized processors (enabled before, not after, did not move).
-        for &p in &touched {
+        for &(p, _) in &self.scratch_touched {
             if self.pending[p] {
                 self.pending[p] = false;
                 self.pending_count -= 1;
             }
         }
         for p in 0..self.graph.n() {
-            if self.pending[p] && was_enabled[p] && self.enabled[p].is_empty() && !chosen_seen[p] {
+            if self.pending[p]
+                && self.scratch_was_enabled[p]
+                && self.enabled[p].is_empty()
+                && !self.scratch_chosen[p]
+            {
                 self.pending[p] = false;
                 self.pending_count -= 1;
             }
@@ -391,7 +513,7 @@ impl<P: Protocol> Engine<P> {
         }
 
         StepOutcome::Progress {
-            moved: touched.len(),
+            moved: self.scratch_touched.len(),
         }
     }
 

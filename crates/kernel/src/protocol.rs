@@ -5,6 +5,7 @@ use crate::footprint::{Access, Footprint};
 use ssmfp_topology::{Graph, NodeId};
 use std::cell::RefCell;
 use std::fmt::Debug;
+use std::sync::Arc;
 
 /// Record of which processors' states a [`View`] handed out. Backing store
 /// of [`TrackedView`]; shared by reference so the `View` stays `Copy`-cheap.
@@ -22,6 +23,34 @@ impl ReadLog {
     }
 }
 
+/// How a [`View`] stores the configuration it reads: a contiguous slice of
+/// states (the engine's layout) or a slice of shared `Arc` handles (the
+/// model checker's copy-on-write layout, where successor configurations
+/// share every unmodified node with their parent).
+enum StatesRef<'a, S> {
+    /// One state per node, stored inline.
+    Direct(&'a [S]),
+    /// One shared handle per node (copy-on-write configurations).
+    Shared(&'a [Arc<S>]),
+}
+
+impl<'a, S> Clone for StatesRef<'a, S> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'a, S> Copy for StatesRef<'a, S> {}
+
+impl<'a, S> StatesRef<'a, S> {
+    #[inline]
+    fn get(self, i: NodeId) -> &'a S {
+        match self {
+            StatesRef::Direct(s) => &s[i],
+            StatesRef::Shared(s) => &s[i],
+        }
+    }
+}
+
 /// Read-only view of the pre-step configuration from processor `p`'s
 /// perspective: its own state and (per the shared-memory model) the states
 /// of its neighbours. The engine hands the same view to guard evaluation and
@@ -29,7 +58,7 @@ impl ReadLog {
 /// configuration its guard was evaluated in.
 pub struct View<'a, S> {
     graph: &'a Graph,
-    states: &'a [S],
+    states: StatesRef<'a, S>,
     p: NodeId,
     log: Option<&'a ReadLog>,
 }
@@ -39,7 +68,19 @@ impl<'a, S> View<'a, S> {
     pub fn new(graph: &'a Graph, states: &'a [S], p: NodeId) -> Self {
         View {
             graph,
-            states,
+            states: StatesRef::Direct(states),
+            p,
+            log: None,
+        }
+    }
+
+    /// Builds a view for processor `p` over a copy-on-write configuration
+    /// (one shared handle per node). Guards and statements see exactly the
+    /// same values as through [`View::new`]; only the storage differs.
+    pub fn new_shared(graph: &'a Graph, states: &'a [Arc<S>], p: NodeId) -> Self {
+        View {
+            graph,
+            states: StatesRef::Shared(states),
             p,
             log: None,
         }
@@ -57,7 +98,7 @@ impl<'a, S> View<'a, S> {
         if let Some(log) = self.log {
             log.note(self.p);
         }
-        &self.states[self.p]
+        self.states.get(self.p)
     }
 
     /// State of `q`, which must be the observer itself or one of its
@@ -73,7 +114,7 @@ impl<'a, S> View<'a, S> {
         if let Some(log) = self.log {
             log.note(q);
         }
-        &self.states[q]
+        self.states.get(q)
     }
 
     /// The neighbour set `N_p` of the observer.
@@ -116,7 +157,7 @@ impl<'a, S> TrackedView<'a, S> {
     pub fn view(&self) -> View<'_, S> {
         View {
             graph: self.graph,
-            states: self.states,
+            states: StatesRef::Direct(self.states),
             p: self.p,
             log: Some(&self.log),
         }
@@ -216,6 +257,75 @@ pub trait Protocol {
     /// validation.
     fn observe_writes(&self, _pre: &Self::State, _post: &Self::State) -> Option<Vec<Access>> {
         None
+    }
+
+    // ---- Scoped incremental guard evaluation (performance layer) -------
+    //
+    // A protocol whose guards decompose into independent *scopes* (for
+    // SSMFP: one scope per destination instance) can tell the engine which
+    // scopes a given write can possibly affect, so that a step re-evaluates
+    // only those guards instead of every guard of every neighbour. The
+    // defaults model a monolithic protocol (one scope, always affected),
+    // which reproduces the engine's historical whole-neighbourhood refresh
+    // exactly — protocols without declared footprints lose nothing.
+
+    /// Number of independent guard-evaluation scopes per processor. The
+    /// default `1` means "all guards form one scope".
+    fn guard_scopes(&self) -> usize {
+        1
+    }
+
+    /// Evaluates the guards of `scope` at the viewing processor, appending
+    /// the enabled actions in the protocol's per-scope order. The per-scope
+    /// lists, composed by [`Protocol::compose_scopes`], must equal
+    /// [`Protocol::enabled_actions`]. The default delegates scope `0` to
+    /// `enabled_actions`.
+    fn enabled_in_scope(
+        &self,
+        view: &View<'_, Self::State>,
+        scope: usize,
+        out: &mut Vec<Self::Action>,
+    ) {
+        debug_assert_eq!(scope, 0, "monolithic protocols have a single scope");
+        self.enabled_actions(view, out);
+    }
+
+    /// Combines the cached per-scope enabled lists of one processor into
+    /// its final priority-ordered action list (what a daemon sees). Must
+    /// agree with [`Protocol::enabled_actions`] on every configuration.
+    /// `state` is the processor's current state (for protocols whose action
+    /// *ordering* depends on a variable, such as a fairness cursor). The
+    /// default concatenates the scopes in index order.
+    fn compose_scopes(
+        &self,
+        state: &Self::State,
+        per_scope: &[Vec<Self::Action>],
+        out: &mut Vec<Self::Action>,
+    ) {
+        let _ = state;
+        for scope in per_scope {
+            out.extend_from_slice(scope);
+        }
+    }
+
+    /// Conservative dirtiness test: may executing `action` at `writer`
+    /// change the outcome of [`Protocol::enabled_in_scope`] for `scope` at
+    /// `reader`? The engine calls this for `reader = writer` and for every
+    /// neighbour of `writer` after a step; scopes for which it returns
+    /// `false` keep their cached guard results. Returning `true` must be
+    /// the answer whenever the action's declared write footprint intersects
+    /// the scope's guard read footprint — the default `true` (refresh
+    /// everything) is always sound.
+    fn scope_affected_by(
+        &self,
+        _action: Self::Action,
+        _writer: NodeId,
+        _writer_neighbors: &[NodeId],
+        _reader: NodeId,
+        _reader_neighbors: &[NodeId],
+        _scope: usize,
+    ) -> bool {
+        true
     }
 }
 

@@ -46,7 +46,7 @@ fn neutralized_processor_completes_the_round() {
         Box::new(RoundRobinDaemon::new()),
         vec![Want(true), Want(true)],
     );
-    assert_eq!(eng.enabled_processors(), vec![0, 1]);
+    assert_eq!(eng.enabled_processors().collect::<Vec<_>>(), vec![0, 1]);
     let stats = eng.run(10);
     assert!(stats.terminal);
     assert_eq!(eng.steps(), 1, "one withdrawal suffices");

@@ -156,9 +156,9 @@ fn terminal_reporting_is_exact() {
         Box::new(RoundRobinDaemon::new()),
         vec![MaxState(3); 4],
     );
-    assert!(eng.enabled_processors().is_empty());
+    assert_eq!(eng.enabled_processors().count(), 0);
     assert_eq!(eng.step(), StepOutcome::Terminal);
     eng.mutate_state(2, |s| s.0 = 7);
-    assert_eq!(eng.enabled_processors(), vec![1, 3]);
+    assert_eq!(eng.enabled_processors().collect::<Vec<_>>(), vec![1, 3]);
     assert!(matches!(eng.step(), StepOutcome::Progress { .. }));
 }

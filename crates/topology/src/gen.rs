@@ -187,6 +187,31 @@ pub fn random_connected(n: usize, extra: usize, seed: u64) -> Graph {
     b.build().expect("superset of a spanning tree is connected")
 }
 
+/// Caterpillar graph: a spine path `0 — 1 — … — spine−1` with `legs` leaf
+/// nodes attached to every spine node (leaves of spine node `s` are
+/// `spine + s·legs .. spine + (s+1)·legs`). Requires `spine ≥ 1`.
+///
+/// Named for (and shaped like) the paper's Definition 3 *caterpillar*
+/// structures: the spine carries the in-transit copies, the legs supply
+/// degree without adding diameter. `Δ = legs + 2`, `D = spine + 1` (for
+/// `spine ≥ 2`, `legs ≥ 1`), so both parameters scale independently — it
+/// is also the mid-size benchmark instance of `ssmfp-bench`.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    assert!(spine >= 1, "caterpillar requires spine >= 1");
+    let n = spine + spine * legs;
+    let mut b = GraphBuilder::new(n);
+    for s in 1..spine {
+        b.edge(s - 1, s).expect("spine edges are simple");
+    }
+    for s in 0..spine {
+        for l in 0..legs {
+            b.edge(s, spine + s * legs + l)
+                .expect("leg edges are simple");
+        }
+    }
+    b.build().expect("caterpillar is connected")
+}
+
 /// Wheel graph: a hub (node 0) connected to every node of an outer ring
 /// `1..n`. Requires `n ≥ 4` (outer ring of ≥ 3).
 pub fn wheel(n: usize) -> Graph {
@@ -363,6 +388,23 @@ mod tests {
     fn random_connected_caps_extras_on_small_graphs() {
         let g = random_connected(3, 100, 1);
         assert_eq!(g.m(), 3); // K_3 is the maximum
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(3, 2); // spine 0—1—2, legs 3..9
+        assert_eq!(g.n(), 9);
+        assert_eq!(g.m(), 2 + 6);
+        assert_eq!(g.degree(1), 4); // two spine neighbours + two legs
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(3), 1); // legs are leaves
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(GraphMetrics::new(&g).diameter(), 4); // leg—spine—spine—spine—leg
+    }
+
+    #[test]
+    fn caterpillar_degenerates_to_line() {
+        assert_eq!(caterpillar(4, 0), line(4));
     }
 
     #[test]
