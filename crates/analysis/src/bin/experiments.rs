@@ -2,23 +2,43 @@
 //!
 //! Usage:
 //!   `cargo run --release -p ssmfp-analysis --bin experiments [seed]`
-//!   `cargo run --release -p ssmfp-analysis --bin experiments -- [seed] --csv DIR`
+//!   `cargo run --release -p ssmfp-analysis --bin experiments -- [seed] --csv DIR --threads N`
 //!
 //! With `--csv DIR`, every table is additionally written as a CSV file
-//! (one per experiment) for plotting pipelines.
+//! (one per experiment) for plotting pipelines. With `--threads N` the
+//! replicate sweeps fan out over N workers (deterministic ordered merge:
+//! the tables are identical to a single-threaded run; default: the
+//! machine's available parallelism).
 
-use ssmfp_analysis::experiments::run_all;
+use ssmfp_analysis::experiments::run_all_with;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let seed: u64 = args.iter().find_map(|a| a.parse().ok()).unwrap_or(2026);
     let csv_dir: Option<String> = args
         .iter()
         .position(|a| a == "--csv")
         .and_then(|i| args.get(i + 1).cloned());
-    println!("SSMFP experiment suite (seed {seed})");
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--threads takes a number"))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1);
+    // The seed is the first bare numeric argument — skip option values.
+    let seed: u64 = args
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i == 0 || (args[i - 1] != "--csv" && args[i - 1] != "--threads"))
+        .find_map(|(_, a)| a.parse().ok())
+        .unwrap_or(2026);
+    println!("SSMFP experiment suite (seed {seed}, {threads} sweep threads)");
     println!("Reproduces: Cournier, Dubois, Villain — IPPS 2009, all figures & propositions.\n");
-    for (i, table) in run_all(seed).into_iter().enumerate() {
+    for (i, table) in run_all_with(seed, threads).into_iter().enumerate() {
         println!("{table}");
         if let Some(dir) = &csv_dir {
             std::fs::create_dir_all(dir).expect("create csv dir");

@@ -1,11 +1,42 @@
 //! **E3** — the Figure 3 replay, as a report table.
 
+use crate::parallel::run_ordered;
 use crate::report::Table;
 use ssmfp_core::api::DaemonKind;
 use ssmfp_core::replay::{run_figure3, B};
 
+/// One scenario of the replay table; the unfair scenario is replicated
+/// over several adversary seeds (the hazard flags are schedule-dependent
+/// and the safety columns must hold on every seed).
+struct Scenario {
+    name: &'static str,
+    priority: bool,
+    max_steps: u64,
+    replicates: u64,
+    unfair: bool,
+}
+
+fn daemon_for(sc: &Scenario, seed: u64, replicate: u64) -> DaemonKind {
+    if sc.unfair {
+        DaemonKind::AdversarialRandomAction {
+            seed: seed + replicate,
+            victims: vec![B],
+        }
+    } else if sc.name == "round-robin" {
+        DaemonKind::RoundRobin
+    } else {
+        DaemonKind::CentralRandom { seed }
+    }
+}
+
 /// Replays Figure 3 under several daemons and reports the phenomena.
 pub fn run(seed: u64) -> Table {
+    run_with(seed, 1)
+}
+
+/// Like [`run`], with the replicate runs fanned out over `threads`
+/// workers (deterministic: the table is identical for any count).
+pub fn run_with(seed: u64, threads: usize) -> Table {
     let mut table = Table::new(
         "E3 — Figure 3 replay: colors prevent merges, invalid delivered ≤ once",
         &[
@@ -20,49 +51,53 @@ pub fn run(seed: u64) -> Table {
             "SP violations",
         ],
     );
-    let scenarios: Vec<(String, DaemonKind, bool, u64)> = vec![
-        ("round-robin".into(), DaemonKind::RoundRobin, true, 200_000),
-        (
-            "central-random".into(),
-            DaemonKind::CentralRandom { seed },
-            true,
-            400_000,
-        ),
-        (
-            "unfair (b starved)".into(),
-            DaemonKind::AdversarialRandomAction {
-                seed,
-                victims: vec![B],
-            },
-            false,
-            4_000,
-        ),
+    let scenarios = [
+        Scenario {
+            name: "round-robin",
+            priority: true,
+            max_steps: 200_000,
+            replicates: 1,
+            unfair: false,
+        },
+        Scenario {
+            name: "central-random",
+            priority: true,
+            max_steps: 400_000,
+            replicates: 1,
+            unfair: false,
+        },
+        Scenario {
+            name: "unfair (b starved)",
+            priority: false,
+            max_steps: 4_000,
+            replicates: 10,
+            unfair: true,
+        },
     ];
-    for (name, daemon, priority, max_steps) in scenarios {
-        // The hazard flags are schedule-dependent; for the unfair scenario
-        // sweep a few seeds and report whether any schedule exhibits them
-        // (the safety columns must hold on every seed).
-        let runs: Vec<_> = match &daemon {
-            DaemonKind::AdversarialRandomAction { victims, .. } => (0..10)
-                .map(|s| {
-                    run_figure3(
-                        DaemonKind::AdversarialRandomAction {
-                            seed: seed + s,
-                            victims: victims.clone(),
-                        },
-                        priority,
-                        max_steps,
-                    )
-                })
-                .collect(),
-            _ => vec![run_figure3(daemon, priority, max_steps)],
-        };
+    // Fan every replicate of every scenario out as one job; the ordered
+    // merge groups them back per scenario.
+    let jobs: Vec<(usize, u64)> = scenarios
+        .iter()
+        .enumerate()
+        .flat_map(|(i, sc)| (0..sc.replicates).map(move |r| (i, r)))
+        .collect();
+    let results = run_ordered(&jobs, threads, |_, &(i, r)| {
+        let sc = &scenarios[i];
+        run_figure3(daemon_for(sc, seed, r), sc.priority, sc.max_steps)
+    });
+    for (i, sc) in scenarios.iter().enumerate() {
+        let runs: Vec<_> = jobs
+            .iter()
+            .zip(results.iter())
+            .filter(|((j, _), _)| *j == i)
+            .map(|(_, r)| r)
+            .collect();
         let coexist = runs.iter().any(|r| r.same_payload_coexisted);
         let under_cycle = runs.iter().any(|r| r.forwarded_under_cycle);
-        let r = &runs[0];
+        let r = runs[0];
         table.row(vec![
-            name,
-            priority.to_string(),
+            sc.name.to_string(),
+            sc.priority.to_string(),
             r.m_deliveries.to_string(),
             r.m_prime_valid_deliveries.to_string(),
             runs.iter()
@@ -86,6 +121,14 @@ pub fn run(seed: u64) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parallel_sweep_is_deterministic() {
+        let seq = run_with(3, 1);
+        let par = run_with(3, 4);
+        assert_eq!(seq.title, par.title);
+        assert_eq!(seq.rows, par.rows);
+    }
 
     #[test]
     fn fig3_report_is_clean() {

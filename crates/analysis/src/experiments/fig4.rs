@@ -6,6 +6,7 @@
 //! must hold at every configuration; the census also shows the population
 //! shifting from garbage toward delivery.
 
+use crate::parallel::run_ordered;
 use crate::report::Table;
 use crate::workload::small_suite;
 use ssmfp_core::{classify_buffers, CaterpillarCensus, Network, NetworkConfig};
@@ -55,6 +56,12 @@ pub fn censused_run(net: &mut Network, max_steps: u64) -> Fig4Run {
 /// Censuses adversarial runs over the small suite (garbage everywhere plus
 /// some live traffic).
 pub fn run(seed: u64) -> Table {
+    run_with(seed, 1)
+}
+
+/// Like [`run`], with the per-topology runs fanned out over `threads`
+/// workers (deterministic: the table is identical for any count).
+pub fn run_with(seed: u64, threads: usize) -> Table {
     let mut table = Table::new(
         "E4 — Figure 4 caterpillar census: every occupied buffer is in a caterpillar",
         &[
@@ -67,13 +74,16 @@ pub fn run(seed: u64) -> Table {
             "steps",
         ],
     );
-    for t in small_suite() {
+    let topos = small_suite();
+    let runs = run_ordered(&topos, threads, |_, t| {
         let mut net = Network::new(t.graph.clone(), NetworkConfig::adversarial(seed));
         // Live traffic on top of the garbage.
         for s in 0..t.graph.n() {
             net.send(s, (s + 1) % t.graph.n(), s as u64);
         }
-        let r = censused_run(&mut net, 100_000);
+        censused_run(&mut net, 100_000)
+    });
+    for (t, r) in topos.iter().zip(runs) {
         table.row(vec![
             t.name.clone(),
             r.peak_total.to_string(),
@@ -90,6 +100,13 @@ pub fn run(seed: u64) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parallel_sweep_is_deterministic() {
+        let seq = run_with(11, 1);
+        let par = run_with(11, 4);
+        assert_eq!(seq.rows, par.rows);
+    }
 
     #[test]
     fn no_orphans_ever() {

@@ -22,14 +22,24 @@ use crate::report::Table;
 /// index order (E1..E11). This is what the `ssmfp-experiments` binary
 /// prints and what `EXPERIMENTS.md` records.
 pub fn run_all(seed: u64) -> Vec<Table> {
+    run_all_with(seed, 1)
+}
+
+/// Like [`run_all`], fanning each converted sweep's replicate runs out
+/// over `threads` workers ([`crate::parallel::run_ordered`]). The output
+/// is identical to `run_all(seed)` for every thread count — the fan-out
+/// is a wall-clock optimization only. Experiments whose runs share
+/// mutable state across cells (none today) must stay on the sequential
+/// path.
+pub fn run_all_with(seed: u64, threads: usize) -> Vec<Table> {
     vec![
         schemes::run(),
-        fig3::run(seed),
-        fig4::run(seed),
-        prop4::run(seed),
-        prop5::run(seed),
-        prop6::run(seed),
-        prop7::run(seed),
+        fig3::run_with(seed, threads),
+        fig4::run_with(seed, threads),
+        prop4::run_with(seed, threads),
+        prop5::run_with(seed, threads),
+        prop6::run_with(seed, threads),
+        prop7::run_with(seed, threads),
         overhead::run(seed),
         corruption::run(seed),
         ra_convergence::run(seed),

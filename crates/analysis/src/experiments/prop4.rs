@@ -8,6 +8,7 @@
 //! quiescence under corrupted tables, and check the per-destination
 //! delivery counts against the bound.
 
+use crate::parallel::run_ordered;
 use crate::report::Table;
 use crate::workload::standard_suite;
 use ssmfp_core::{DaemonKind, Network, NetworkConfig};
@@ -56,6 +57,12 @@ pub fn extremal_run(
 
 /// Sweeps the standard suite with corrupted and correct tables.
 pub fn run(seed: u64) -> Table {
+    run_with(seed, 1)
+}
+
+/// Like [`run`], with the sweep cells fanned out over `threads` workers
+/// (deterministic: the table is identical for any count).
+pub fn run_with(seed: u64, threads: usize) -> Table {
     let mut table = Table::new(
         "E5 / Prop 4 — invalid deliveries per destination ≤ 2n (extremal start: all 2n² buffers full)",
         &[
@@ -63,20 +70,31 @@ pub fn run(seed: u64) -> Table {
             "drained", "holds",
         ],
     );
-    for t in standard_suite() {
-        for corruption in [CorruptionKind::None, CorruptionKind::RandomGarbage] {
-            let r = extremal_run(t.graph.clone(), corruption, seed);
-            table.row(vec![
-                t.name.clone(),
-                t.metrics.n().to_string(),
-                corruption.label().to_string(),
-                r.max_per_dest.to_string(),
-                r.bound.to_string(),
-                r.total.to_string(),
-                r.quiescent.to_string(),
-                (r.max_per_dest <= r.bound).to_string(),
-            ]);
-        }
+    let topos = standard_suite();
+    let jobs: Vec<(usize, CorruptionKind)> = topos
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| {
+            [CorruptionKind::None, CorruptionKind::RandomGarbage]
+                .into_iter()
+                .map(move |c| (i, c))
+        })
+        .collect();
+    let runs = run_ordered(&jobs, threads, |_, &(i, corruption)| {
+        extremal_run(topos[i].graph.clone(), corruption, seed)
+    });
+    for (&(i, corruption), r) in jobs.iter().zip(runs) {
+        let t = &topos[i];
+        table.row(vec![
+            t.name.clone(),
+            t.metrics.n().to_string(),
+            corruption.label().to_string(),
+            r.max_per_dest.to_string(),
+            r.bound.to_string(),
+            r.total.to_string(),
+            r.quiescent.to_string(),
+            (r.max_per_dest <= r.bound).to_string(),
+        ]);
     }
     table
 }

@@ -13,6 +13,7 @@
 //! measured shape is low-order polynomial), which we record as a finding in
 //! EXPERIMENTS.md.
 
+use crate::parallel::run_ordered;
 use crate::report::Table;
 use crate::workload::{line_family, star_family, Topo};
 use ssmfp_core::{DaemonKind, Network, NetworkConfig};
@@ -55,30 +56,46 @@ pub fn probe_delivery_rounds(topo: &Topo, corruption: CorruptionKind, seed: u64)
 
 /// Sweeps the two families.
 pub fn run(seed: u64) -> Table {
+    run_with(seed, 1)
+}
+
+/// Like [`run`], with the sweep cells fanned out over `threads` workers
+/// (deterministic: the table is identical for any count).
+pub fn run_with(seed: u64, threads: usize) -> Table {
     let mut table = Table::new(
         "E6 / Prop 5 — delivery rounds after generation vs bound Δ^D (probe across diameter, loaded network)",
         &["family", "n", "Δ", "D", "tables", "rounds", "bound Δ^D", "holds"],
     );
     let mut topos = line_family(&[4, 6, 8, 10]);
     topos.extend(star_family(&[4, 6, 8, 10]));
-    for t in &topos {
-        for corruption in [CorruptionKind::None, CorruptionKind::RandomGarbage] {
-            let rounds = probe_delivery_rounds(t, corruption, seed)
-                .expect("probe must be delivered (snap-stabilization)");
-            let bound = t.metrics.delta_pow_d();
-            table.row(vec![
-                t.name.clone(),
-                t.metrics.n().to_string(),
-                t.metrics.max_degree().to_string(),
-                t.metrics.diameter().to_string(),
-                corruption.label().to_string(),
-                rounds.to_string(),
-                bound.to_string(),
-                // The Prop-5 bound is asymptotic; we check observed ≤ a
-                // small multiple of max(R_A, Δ^D) with R_A ≤ n rounds.
-                (rounds <= 16 * bound.max(t.metrics.n() as u64)).to_string(),
-            ]);
-        }
+    let jobs: Vec<(usize, CorruptionKind)> = topos
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| {
+            [CorruptionKind::None, CorruptionKind::RandomGarbage]
+                .into_iter()
+                .map(move |c| (i, c))
+        })
+        .collect();
+    let results = run_ordered(&jobs, threads, |_, &(i, corruption)| {
+        probe_delivery_rounds(&topos[i], corruption, seed)
+            .expect("probe must be delivered (snap-stabilization)")
+    });
+    for (&(i, corruption), rounds) in jobs.iter().zip(results) {
+        let t = &topos[i];
+        let bound = t.metrics.delta_pow_d();
+        table.row(vec![
+            t.name.clone(),
+            t.metrics.n().to_string(),
+            t.metrics.max_degree().to_string(),
+            t.metrics.diameter().to_string(),
+            corruption.label().to_string(),
+            rounds.to_string(),
+            bound.to_string(),
+            // The Prop-5 bound is asymptotic; we check observed ≤ a
+            // small multiple of max(R_A, Δ^D) with R_A ≤ n rounds.
+            (rounds <= 16 * bound.max(t.metrics.n() as u64)).to_string(),
+        ]);
     }
     table
 }

@@ -9,6 +9,7 @@
 //! emit) and report request→generation delay and the inter-generation
 //! waiting time at the most contended processor.
 
+use crate::parallel::run_ordered;
 use crate::report::Table;
 use crate::workload::star_family;
 use ssmfp_core::{DaemonKind, Network, NetworkConfig};
@@ -79,6 +80,12 @@ pub fn star_contention_run(n: usize, corruption: CorruptionKind, seed: u64) -> P
 
 /// Sweeps star sizes.
 pub fn run(seed: u64) -> Table {
+    run_with(seed, 1)
+}
+
+/// Like [`run`], with the sweep cells fanned out over `threads` workers
+/// (deterministic: the table is identical for any count).
+pub fn run_with(seed: u64, threads: usize) -> Table {
     let mut table = Table::new(
         "E7 / Prop 6 — delay and waiting time under maximal contention (stars, flood to one leaf)",
         &[
@@ -91,19 +98,30 @@ pub fn run(seed: u64) -> Table {
             "bound Δ²·c",
         ],
     );
-    for t in star_family(&[4, 6, 8, 10]) {
-        for corruption in [CorruptionKind::None, CorruptionKind::RandomGarbage] {
-            let r = star_contention_run(t.metrics.n(), corruption, seed);
-            table.row(vec![
-                t.name.clone(),
-                t.metrics.n().to_string(),
-                r.delta.to_string(),
-                corruption.label().to_string(),
-                r.delay_rounds.to_string(),
-                r.max_waiting_rounds.to_string(),
-                (t.metrics.delta_pow_d().max(t.metrics.n() as u64) * 16).to_string(),
-            ]);
-        }
+    let topos = star_family(&[4, 6, 8, 10]);
+    let jobs: Vec<(usize, CorruptionKind)> = topos
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| {
+            [CorruptionKind::None, CorruptionKind::RandomGarbage]
+                .into_iter()
+                .map(move |c| (i, c))
+        })
+        .collect();
+    let runs = run_ordered(&jobs, threads, |_, &(i, corruption)| {
+        star_contention_run(topos[i].metrics.n(), corruption, seed)
+    });
+    for (&(i, corruption), r) in jobs.iter().zip(runs) {
+        let t = &topos[i];
+        table.row(vec![
+            t.name.clone(),
+            t.metrics.n().to_string(),
+            r.delta.to_string(),
+            corruption.label().to_string(),
+            r.delay_rounds.to_string(),
+            r.max_waiting_rounds.to_string(),
+            (t.metrics.delta_pow_d().max(t.metrics.n() as u64) * 16).to_string(),
+        ]);
     }
     table
 }

@@ -8,6 +8,7 @@
 //! corrupted starts), and must scale like `Θ(D)` across the line family —
 //! in sharp contrast with the exponential worst case of Proposition 5.
 
+use crate::parallel::run_ordered;
 use crate::report::Table;
 use crate::workload::{line_family, Topo};
 use ssmfp_core::{DaemonKind, Network, NetworkConfig};
@@ -98,6 +99,12 @@ pub fn flood_run(topo: &Topo, k: usize, corruption: CorruptionKind, seed: u64) -
 
 /// Sweeps the line family (D scales, Δ = 2).
 pub fn run(seed: u64) -> Table {
+    run_with(seed, 1)
+}
+
+/// Like [`run`], with the sweep cells fanned out over `threads` workers
+/// (deterministic: the table is identical for any count).
+pub fn run_with(seed: u64, threads: usize) -> Table {
     let mut table = Table::new(
         "E8 / Prop 7 — amortized rounds per delivery ≈ Θ(D), vs the 3D bound (flood to node 0)",
         &[
@@ -113,26 +120,37 @@ pub fn run(seed: u64) -> Table {
             "holds",
         ],
     );
-    for t in line_family(&[4, 6, 8, 12, 16]) {
-        for corruption in [CorruptionKind::None, CorruptionKind::RandomGarbage] {
-            let r = flood_run(&t, 3, corruption, seed);
-            // With corrupted tables the R_A warm-up is amortized over many
-            // deliveries; allow the max(R_A, 3D) form with R_A ≤ 2n rounds.
-            let allowance = r.bound_3d.max(2 * t.metrics.n() as u64);
-            let holds = r.amortized <= allowance as f64 && r.max_inter_delivery_gap <= allowance;
-            table.row(vec![
-                t.name.clone(),
-                t.metrics.n().to_string(),
-                t.metrics.diameter().to_string(),
-                corruption.label().to_string(),
-                r.delivered.to_string(),
-                r.rounds.to_string(),
-                format!("{:.2}", r.amortized),
-                r.max_inter_delivery_gap.to_string(),
-                r.bound_3d.to_string(),
-                holds.to_string(),
-            ]);
-        }
+    let topos = line_family(&[4, 6, 8, 12, 16]);
+    let jobs: Vec<(usize, CorruptionKind)> = topos
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| {
+            [CorruptionKind::None, CorruptionKind::RandomGarbage]
+                .into_iter()
+                .map(move |c| (i, c))
+        })
+        .collect();
+    let runs = run_ordered(&jobs, threads, |_, &(i, corruption)| {
+        flood_run(&topos[i], 3, corruption, seed)
+    });
+    for (&(i, corruption), r) in jobs.iter().zip(runs) {
+        let t = &topos[i];
+        // With corrupted tables the R_A warm-up is amortized over many
+        // deliveries; allow the max(R_A, 3D) form with R_A ≤ 2n rounds.
+        let allowance = r.bound_3d.max(2 * t.metrics.n() as u64);
+        let holds = r.amortized <= allowance as f64 && r.max_inter_delivery_gap <= allowance;
+        table.row(vec![
+            t.name.clone(),
+            t.metrics.n().to_string(),
+            t.metrics.diameter().to_string(),
+            corruption.label().to_string(),
+            r.delivered.to_string(),
+            r.rounds.to_string(),
+            format!("{:.2}", r.amortized),
+            r.max_inter_delivery_gap.to_string(),
+            r.bound_3d.to_string(),
+            holds.to_string(),
+        ]);
     }
     table
 }

@@ -18,7 +18,9 @@
 //! | [`experiments::corruption`] | baseline vs SSMFP under corruption (E10) |
 
 pub mod experiments;
+pub mod parallel;
 pub mod report;
 pub mod workload;
 
+pub use parallel::run_ordered;
 pub use report::{Stats, Table};

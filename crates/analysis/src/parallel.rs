@@ -1,0 +1,84 @@
+//! Deterministic fan-out for replicate sweeps.
+//!
+//! The experiment sweeps are embarrassingly parallel — every cell of a
+//! table is an independent simulation parameterized by `(topology,
+//! corruption, seed)` — but their *output* is a report table whose row
+//! order is part of the artifact (EXPERIMENTS.md diffs against it). The
+//! runner here mirrors the two-phase discipline of the parallel model
+//! checker (`ssmfp-check`): workers claim jobs dynamically off an atomic
+//! cursor and compute into index-addressed slots (phase A); the caller
+//! receives the results merged back **in job order** (phase B), so the
+//! produced table is byte-identical to a single-threaded run for any
+//! thread count. Each job's randomness comes from seeds carried *in the
+//! job description*, never from worker identity or pickup order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `f` over `items` on up to `threads` workers and returns the
+/// results in item order — identical to
+/// `items.iter().enumerate().map(|(i, t)| f(i, t)).collect()` for every
+/// thread count. `f` must be a pure function of its arguments (all the
+/// experiment runners are: their RNGs are seeded from the job).
+pub fn run_ordered<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    let cursor = AtomicUsize::new(0);
+    let f_ref = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f_ref(i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("sweep worker panicked") {
+                results[i] = Some(r);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every job slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_merge_matches_sequential_for_any_thread_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let seq = run_ordered(&items, 1, |i, &x| (i as u64) * 1000 + x * x);
+        for threads in [2, 3, 8, 64] {
+            let par = run_ordered(&items, threads, |i, &x| (i as u64) * 1000 + x * x);
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert_eq!(run_ordered(&empty, 4, |_, &x| x), Vec::<u32>::new());
+        assert_eq!(run_ordered(&[9u32], 4, |_, &x| x + 1), vec![10]);
+    }
+}

@@ -1,17 +1,24 @@
 //! `ssmfp-check` — runs the exhaustive verification suite and prints the
 //! state counts (the source of the EXPERIMENTS.md verification section).
 //!
-//! Every instance is explored three ways: sequentially, in parallel
-//! (unless `--seq`), and under partial-order reduction. The parallel
-//! report must be **bit-identical** to the sequential one and the POR
-//! verdict must agree — any divergence exits nonzero.
+//! Every instance is explored four ways: sequentially with the packed
+//! frontier (the default representation: interned messages + flat codec
+//! words + interned node blobs), in parallel (unless `--seq`), with the
+//! unpacked `Arc`-based representation, and under partial-order
+//! reduction. The parallel and unpacked reports must be
+//! **bit-identical** to the packed sequential one and the POR verdict
+//! must agree — any divergence exits nonzero. The `B/st` column reports
+//! the packed bytes/state (interning tables amortized in) and `pack` the
+//! compression factor versus the unpacked representation's sharing-aware
+//! accounting.
 //!
 //! Usage: `ssmfp-check [--threads N] [--seq]`
 //!
 //! * `--threads N` — worker threads for the parallel run (default: the
 //!   machine's available parallelism).
-//! * `--seq` — sequential only: skip the parallel run and the
-//!   cross-check (throughput is then reported for the sequential pass).
+//! * `--seq` — sequential only: skip the parallel run and its
+//!   cross-check (throughput is then reported for the sequential pass;
+//!   the packed-vs-unpacked cross-check still runs).
 
 use ssmfp_check::{Explorer, Violation};
 use ssmfp_core::message::{Color, GhostId, Message};
@@ -111,16 +118,27 @@ fn main() {
     let opts = parse_args();
     println!("Exhaustive verification (ALL central-daemon schedules)");
     if opts.seq_only {
-        println!("sequential exploration, then footprint-driven POR\n");
+        println!("packed sequential + unpacked cross-check, then footprint-driven POR\n");
     } else {
         println!(
-            "each instance: sequential, parallel x{} (bit-identical report enforced), POR\n",
+            "each instance: packed sequential, parallel x{}, unpacked (PR-2 \
+             representation) — bit-identical reports enforced — then POR\n",
             opts.threads
         );
     }
     println!(
-        "{:<40} | {:>8} | {:>6} | {:>5} | {:>8} | {:>6} | {:>8} | {:>6} | {:>10}",
-        "instance", "states", "terms", "depth", "POR", "saved", "kst/s", "spdup", "verdict"
+        "{:<40} | {:>8} | {:>6} | {:>5} | {:>8} | {:>6} | {:>6} | {:>6} | {:>8} | {:>6} | {:>10}",
+        "instance",
+        "states",
+        "terms",
+        "depth",
+        "POR",
+        "saved",
+        "B/st",
+        "pack",
+        "kst/s",
+        "spdup",
+        "verdict"
     );
 
     let mut counterexample: Option<Vec<String>> = None;
@@ -137,11 +155,28 @@ fn main() {
         let mut explorer = Explorer::new(graph.clone(), proto.clone(), exp.clone());
         explorer.trace_counterexamples = literal_r5;
         let t0 = Instant::now();
-        let report = explorer.explore(states.clone());
+        let (report, stats) = explorer.explore_with_stats(states.clone());
         let seq_secs = t0.elapsed().as_secs_f64();
         if report.counterexample.is_some() {
             counterexample = report.counterexample.clone();
         }
+
+        // Packed-vs-unpacked cross-check: the PR-2 Arc-based path must
+        // produce the bit-identical report on every instance.
+        let mut unp = Explorer::new(graph.clone(), proto.clone(), exp.clone()).with_packed(false);
+        unp.trace_counterexamples = literal_r5;
+        let (unp_report, unp_stats) = unp.explore_with_stats(states.clone());
+        if unp_report != report {
+            mismatches.push(format!(
+                "{name}: unpacked report diverges from packed \
+                 (packed {} states/{}, unpacked {} states/{})",
+                report.states,
+                verdict_of(&report),
+                unp_report.states,
+                verdict_of(&unp_report)
+            ));
+        }
+        let pack_ratio = unp_stats.bytes_per_state() / stats.bytes_per_state().max(1e-9);
 
         // Parallel cross-check: the report must be bit-identical.
         let (speedup, throughput_secs) = if opts.seq_only || opts.threads <= 1 {
@@ -178,13 +213,15 @@ fn main() {
         let saved = 100.0 * (1.0 - por_report.states as f64 / report.states as f64);
         let kstates_per_sec = report.states as f64 / throughput_secs.max(1e-9) / 1e3;
         println!(
-            "{:<40} | {:>8} | {:>6} | {:>5} | {:>8} | {:>5.1}% | {:>8.1} | {:>5.2}x | {:>10}",
+            "{:<40} | {:>8} | {:>6} | {:>5} | {:>8} | {:>5.1}% | {:>6.0} | {:>5.1}x | {:>8.1} | {:>5.2}x | {:>10}",
             name,
             report.states,
             report.terminals,
             report.max_depth,
             por_report.states,
             saved,
+            stats.bytes_per_state(),
+            pack_ratio,
             kstates_per_sec,
             speedup,
             verdict_of(&report)
@@ -257,7 +294,26 @@ fn main() {
     let e = vec![enqueue(&mut s, 0, 1, 1, 0), enqueue(&mut s, 2, 3, 2, 1)];
     run("ring-4, 2 far-apart messages", g, s, e, false);
 
-    // 9. The literal-R5 counterexample.
+    // 9. line-5, two crossing messages — the larger memory instance the
+    // packed frontier exists for: longer paths, more in-flight copies.
+    let g = gen::line(5);
+    let mut s = clean_states(&g);
+    let e = vec![
+        enqueue(&mut s, 0, 4, 3, 0),
+        enqueue(&mut s, 4, 0, 5, 1),
+        enqueue(&mut s, 2, 4, 1, 2),
+    ];
+    run("line-5, 3 messages (2 crossing)", g, s, e, false);
+
+    // 10. caterpillar(3,2): 9 nodes, Δ = 4 — the wider-degree instance
+    // (per-node state grows with Δ, exercising the codec's slot table).
+    // One end-leg-to-end-leg message crossing the whole spine.
+    let g = gen::caterpillar(3, 2);
+    let mut s = clean_states(&g);
+    let e = vec![enqueue(&mut s, 3, 8, 6, 0), enqueue(&mut s, 7, 4, 2, 1)];
+    run("caterpillar(3,2), 2 leg-to-leg msgs", g, s, e, false);
+
+    // 11. The literal-R5 counterexample.
     let g = gen::line(2);
     let mut s = clean_states(&g);
     let e = vec![enqueue(&mut s, 0, 1, 7, 0), enqueue(&mut s, 0, 1, 7, 1)];
@@ -266,6 +322,8 @@ fn main() {
     println!("\nhash-compacted explicit-state exploration; VERIFIED = no duplication,");
     println!("no misdelivery, no loss, caterpillar coverage, and delivery at every terminal.");
     println!("POR = distinct states under partial-order reduction (footprint independence).");
+    println!("B/st = packed bytes/state, interning tables amortized; pack = unpacked (Arc-");
+    println!("based, sharing-aware) bytes/state over packed — both reports cross-checked.");
     println!("kst/s = thousand distinct states/second; spdup = sequential/parallel wall time.");
     if !mismatches.is_empty() {
         eprintln!("\nVERDICT MISMATCH:");

@@ -422,6 +422,19 @@ impl Network {
         self.engine.protocol()
     }
 
+    /// Captures the current configuration as a packed snapshot (flat
+    /// words + interned messages — see [`crate::codec`]), cheap to store
+    /// by the thousand for later [`Network::restore_snapshot`].
+    pub fn snapshot(&self) -> crate::codec::PackedSnapshot {
+        crate::codec::PackedSnapshot::capture(self.engine.states())
+    }
+
+    /// Restores a configuration captured with [`Network::snapshot`]
+    /// (resets ledger and counters, like any configuration injection).
+    pub fn restore_snapshot(&mut self, snap: &crate::codec::PackedSnapshot) {
+        self.reset_configuration(snap.restore());
+    }
+
     /// Injects an arbitrary configuration (snap-stabilization starts from
     /// *any* configuration). Resets ledger and counters.
     pub fn reset_configuration(&mut self, states: Vec<NodeState>) {

@@ -120,7 +120,12 @@ pub fn choice_with(
                 // Max wait; ties broken toward the smallest position. The
                 // negated-wait/position key makes `min_by_key` do both.
                 .min_by_key(|&position| {
-                    let wait = slot.waits.get(position).copied().unwrap_or(0);
+                    let wait = slot
+                        .waits
+                        .as_deref()
+                        .and_then(|w| w.get(position))
+                        .copied()
+                        .unwrap_or(0);
                     (std::cmp::Reverse(wait), position)
                 })
                 .map(|position| Choice {
@@ -161,15 +166,22 @@ pub fn after_serve(
             slot.choice_ptr = advance_ptr(served_position, degree);
         }
         ChoiceStrategy::LongestWaiting => {
-            if slot.waits.len() < degree + 1 {
-                slot.waits.resize(degree + 1, 0);
+            let len = degree + 1;
+            let needs_grow = slot.waits.as_deref().map(|w| w.len() < len).unwrap_or(true);
+            if needs_grow {
+                let mut grown = vec![0u32; len];
+                if let Some(old) = slot.waits.as_deref() {
+                    grown[..old.len()].copy_from_slice(old);
+                }
+                slot.waits = Some(grown.into_boxed_slice());
             }
+            let waits = slot.waits.as_deref_mut().expect("just materialized");
             for &pos in satisfying {
-                if pos < slot.waits.len() {
-                    slot.waits[pos] = slot.waits[pos].saturating_add(1);
+                if pos < waits.len() {
+                    waits[pos] = waits[pos].saturating_add(1);
                 }
             }
-            slot.waits[served_position] = 0;
+            waits[served_position] = 0;
         }
         ChoiceStrategy::GreedyFirst => {}
     }

@@ -35,11 +35,15 @@
 //! * [`api`] — [`Network`]: the user-facing facade (build, send, run,
 //!   observe deliveries).
 //! * [`replay`] — the scripted Figure 3 scenario.
+//! * [`codec`] — the packed state codec: message interning and the flat
+//!   fixed-width encoding the checker's visited/frontier sets and the
+//!   snapshot path store configurations in.
 
 pub mod api;
 pub mod baseline;
 pub mod caterpillar;
 pub mod choice;
+pub mod codec;
 pub mod color;
 pub mod footprint;
 pub mod ledger;
@@ -53,6 +57,10 @@ pub mod trajectory;
 pub use api::{DaemonKind, Network, NetworkConfig};
 pub use caterpillar::{classify_buffers, CaterpillarCensus, CaterpillarType};
 pub use choice::ChoiceStrategy;
+pub use codec::{
+    codec_footprint, deep_node_bytes, node_fingerprint, MessageTable, PackedSnapshot, StateCodec,
+    NO_MESSAGE,
+};
 pub use footprint::{action_footprint, guards_can_overlap, rule_footprint};
 pub use ledger::{DeliveryLedger, SpViolation};
 pub use message::{Color, GhostId, Message, Payload};

@@ -21,8 +21,10 @@ pub struct FwdSlot {
     pub choice_ptr: usize,
     /// Per-candidate wait counters, used only by the
     /// [`crate::choice::ChoiceStrategy::LongestWaiting`] ablation strategy
-    /// (lazily sized to `deg(p)+1`; empty under the default strategy).
-    pub waits: Vec<u32>,
+    /// (lazily boxed to `deg(p)+1` counters on first service; `None` under
+    /// the default strategy, so the hot state-copy/hash path pays one
+    /// pointer-sized discriminant instead of cloning and hashing a `Vec`).
+    pub waits: Option<Box<[u32]>>,
 }
 
 impl FwdSlot {
@@ -32,7 +34,7 @@ impl FwdSlot {
             buf_r: None,
             buf_e: None,
             choice_ptr: 0,
-            waits: Vec::new(),
+            waits: None,
         }
     }
 }

@@ -59,7 +59,7 @@ fn longest_waiting_prefers_higher_wait() {
     let (g, mut states) = star_states(5);
     states[1].slots[4].buf_e = Some(msg(1, 1, 0));
     states[3].slots[4].buf_e = Some(msg(3, 3, 0));
-    states[0].slots[4].waits = vec![0, 0, 5, 0, 0]; // position 2 = node 3
+    states[0].slots[4].waits = Some(vec![0, 0, 5, 0, 0].into_boxed_slice()); // position 2 = node 3
     let view = View::new(&g, &states, 0);
     assert_eq!(
         choice_with(&view, 4, ChoiceStrategy::LongestWaiting),

@@ -1,0 +1,154 @@
+//! Property tests for the packed state codec: the flat word encoding must
+//! be lossless and its fingerprints must agree with the deep `Hash` over
+//! *randomized* configurations — arbitrary buffer contents (including
+//! invalid ghosts), corrupted routing tables, waiting outboxes, rotated
+//! choice pointers, and populated `waits` counters.
+
+use proptest::prelude::*;
+use ssmfp_core::message::{Color, GhostId, Message};
+use ssmfp_core::state::{NodeState, Outgoing};
+use ssmfp_core::{node_fingerprint, MessageTable, StateCodec};
+use ssmfp_routing::{corruption, CorruptionKind};
+use ssmfp_topology::{gen, Graph};
+
+/// Randomizes every codec-visible variable of every node within its
+/// domain: garbage routing tables, random buffer occupancy with invalid
+/// ghosts, valid-ghost outbox entries, choice pointers, wait counters,
+/// request bits and destination cursors.
+fn randomize(graph: &Graph, seed: u64, fill: f64) -> Vec<NodeState> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let n = graph.n();
+    let delta = graph.max_degree() as u8;
+    corruption::corrupt(graph, CorruptionKind::RandomGarbage, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(p, routing)| {
+            let mut s = NodeState::clean(n, routing);
+            let neighbors = graph.neighbors(p);
+            for d in 0..n {
+                for is_e in [false, true] {
+                    if rng.gen_bool(fill) {
+                        let last_hop = if neighbors.is_empty() || rng.gen_bool(0.3) {
+                            p
+                        } else {
+                            neighbors[rng.gen_range(0..neighbors.len())]
+                        };
+                        let ghost = if rng.gen_bool(0.5) {
+                            GhostId::Invalid(rng.gen())
+                        } else {
+                            GhostId::Valid(rng.gen())
+                        };
+                        let m = Message {
+                            payload: rng.gen_range(0..4),
+                            last_hop,
+                            color: Color(rng.gen_range(0..=delta)),
+                            ghost,
+                        };
+                        if is_e {
+                            s.slots[d].buf_e = Some(m);
+                        } else {
+                            s.slots[d].buf_r = Some(m);
+                        }
+                    }
+                }
+                s.slots[d].choice_ptr = rng.gen_range(0..=neighbors.len());
+                if rng.gen_bool(0.2) {
+                    let w: Vec<u32> = (0..=neighbors.len())
+                        .map(|_| rng.gen_range(0..64))
+                        .collect();
+                    s.slots[d].waits = Some(w.into_boxed_slice());
+                }
+            }
+            for _ in 0..rng.gen_range(0..3) {
+                s.outbox.push_back(Outgoing {
+                    dest: rng.gen_range(0..n),
+                    payload: rng.gen_range(0..4),
+                    ghost: GhostId::Valid(rng.gen()),
+                });
+                s.request = true;
+            }
+            s.dest_cursor = rng.gen_range(0..n);
+            s
+        })
+        .collect()
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    prop_oneof![
+        (3usize..8).prop_map(gen::ring),
+        (2usize..8).prop_map(gen::line),
+        (3usize..8).prop_map(gen::star),
+        ((2usize..4), (0usize..3)).prop_map(|(s, l)| gen::caterpillar(s, l)),
+        ((4usize..9), (0usize..5), any::<u64>())
+            .prop_map(|(n, e, s)| gen::random_connected(n, e, s)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Pack → unpack is the identity on every node, and the reported word
+    /// consumption matches the words produced.
+    #[test]
+    fn node_roundtrip_is_lossless(graph in arb_graph(), seed in any::<u64>(), fill in 0.0f64..1.0) {
+        let states = randomize(&graph, seed, fill);
+        let codec = StateCodec::new(graph.n());
+        let mut table = MessageTable::new();
+        for node in &states {
+            let mut words = Vec::new();
+            codec.pack_node(node, &mut table, &mut words);
+            let (back, used) = codec.unpack_node(&words, &table);
+            prop_assert_eq!(used, words.len());
+            prop_assert_eq!(&back, node);
+        }
+    }
+
+    /// Pack → unpack over a whole configuration (concatenated node blocks
+    /// sharing one message table) is the identity.
+    #[test]
+    fn config_roundtrip_is_lossless(graph in arb_graph(), seed in any::<u64>(), fill in 0.0f64..1.0) {
+        let states = randomize(&graph, seed, fill);
+        let codec = StateCodec::new(graph.n());
+        let mut table = MessageTable::new();
+        let mut words = Vec::new();
+        codec.pack_config(&states, &mut table, &mut words);
+        prop_assert_eq!(codec.unpack_config(&words, &table), states);
+    }
+
+    /// The fingerprint computed from packed words equals the deep
+    /// `Hash`-based fingerprint of the original node — packed and raw
+    /// visited-set entries can never disagree about state identity.
+    #[test]
+    fn packed_fingerprint_matches_deep_hash(graph in arb_graph(), seed in any::<u64>(), fill in 0.0f64..1.0) {
+        let states = randomize(&graph, seed, fill);
+        let codec = StateCodec::new(graph.n());
+        let mut table = MessageTable::new();
+        for (p, node) in states.iter().enumerate() {
+            let mut words = Vec::new();
+            codec.pack_node(node, &mut table, &mut words);
+            prop_assert_eq!(
+                codec.fingerprint(p, &words, &table),
+                node_fingerprint(p, node),
+                "p={}", p
+            );
+        }
+    }
+
+    /// Re-packing the same configuration against the same table produces
+    /// identical words (interning is deterministic within a run), and the
+    /// table only grows on first encounters.
+    #[test]
+    fn repacking_is_stable(graph in arb_graph(), seed in any::<u64>(), fill in 0.0f64..1.0) {
+        let states = randomize(&graph, seed, fill);
+        let codec = StateCodec::new(graph.n());
+        let mut table = MessageTable::new();
+        let mut first = Vec::new();
+        codec.pack_config(&states, &mut table, &mut first);
+        let interned = table.len();
+        let mut second = Vec::new();
+        codec.pack_config(&states, &mut table, &mut second);
+        prop_assert_eq!(first, second);
+        prop_assert_eq!(table.len(), interned);
+    }
+}

@@ -24,13 +24,19 @@
 //!   the documented coupling through `A`'s priority guard. This
 //!   per-destination isolation is what the paper's per-instance
 //!   reasoning (and the checker's partial-order reduction) stands on.
+//! * **`codec-impure` / `codec-coverage`** — the packed state codec
+//!   ([`ssmfp_core::codec_footprint`]) must stay a pure observer (no
+//!   declared writes: packing a configuration may never change it) and
+//!   its reads must cover every variable class some rule can write —
+//!   otherwise the checker's packed storage silently drops state and two
+//!   distinct configurations collapse into one visited entry.
 //!
 //! Findings are emitted as a machine-readable JSON report by the
 //! `ssmfp-lint` binary, which exits nonzero on violations (and, under
 //! `-D`, on warnings).
 
 use ssmfp_core::footprint::{composed_fwd_footprint, guards_can_overlap, LAYER_SSMFP};
-use ssmfp_core::Rule;
+use ssmfp_core::{codec_footprint, Rule};
 use ssmfp_kernel::footprint::{independent, Access, Footprint, Locus};
 use ssmfp_routing::footprint::{routing_footprint, LAYER_A};
 
@@ -136,6 +142,8 @@ pub struct LintReport {
     /// Independent different-destination pairs at neighbouring processors
     /// when `A`'s priority coupling is set aside (should be *all* pairs).
     pub cross_dest_independent: Vec<(String, String)>,
+    /// Variable classes the packed state codec declares it reads.
+    pub codec_reads: Vec<String>,
 }
 
 impl LintReport {
@@ -178,6 +186,7 @@ pub fn analyze(decls: &[RuleDecl]) -> LintReport {
     lint_duplicate_accesses(decls, &mut report);
     lint_guard_overlap(decls, &mut report);
     lint_races(decls, &mut report);
+    lint_codec(decls, &codec_footprint(), &mut report);
     report
         .findings
         .sort_by_key(|f| (f.severity == Severity::Warning) as u8);
@@ -375,6 +384,50 @@ fn lint_races(decls: &[RuleDecl], report: &mut LintReport) {
     }
 }
 
+/// Codec-observer analyses: the packed state codec declares its surface
+/// via [`ssmfp_core::codec_footprint`]; packing must be side-effect-free
+/// and must read every variable class the rules can write (otherwise the
+/// checker's packed visited set conflates distinct configurations).
+fn lint_codec(decls: &[RuleDecl], codec: &Footprint, report: &mut LintReport) {
+    report.codec_reads = codec.reads.iter().map(|a| a.var.name.to_string()).collect();
+    report.codec_reads.sort();
+    report.codec_reads.dedup();
+    for w in &codec.writes {
+        push(
+            report,
+            Severity::Violation,
+            "codec-impure",
+            format!(
+                "the state codec declares a write to `{}` — packing a configuration must be \
+                 a pure observation, never a mutation",
+                w.var.name
+            ),
+        );
+    }
+    for decl in decls {
+        for w in decl.fp_d0.writes.iter().chain(&decl.fp_d1.writes) {
+            let covered = codec.reads.iter().any(|r| r.var == w.var);
+            if !covered {
+                push(
+                    report,
+                    Severity::Violation,
+                    "codec-coverage",
+                    format!(
+                        "{} writes `{}` but the state codec does not read it — packed states \
+                         would silently drop that variable and distinct configurations would \
+                         collapse into one visited entry",
+                        decl.label, w.var.name
+                    ),
+                );
+            }
+        }
+    }
+    // Deduplicate: the same uncovered class surfaces once per rule × dest.
+    report.findings.dedup_by(|a, b| {
+        a.code == "codec-coverage" && b.code == "codec-coverage" && a.message == b.message
+    });
+}
+
 /// Serializes a report as JSON (hand-rolled: the workspace builds without
 /// a registry, so no serde).
 pub fn to_json(report: &LintReport) -> String {
@@ -401,15 +454,21 @@ pub fn to_json(report: &LintReport) -> String {
             .collect();
         format!("[{}]", items.join(","))
     }
+    let codec_reads: Vec<String> = report
+        .codec_reads
+        .iter()
+        .map(|v| format!("\"{}\"", esc(v)))
+        .collect();
     format!(
         "{{\n  \"tool\": \"ssmfp-lint\",\n  \"violations\": {},\n  \"warnings\": {},\n  \
          \"guard_overlaps\": {},\n  \"same_dest_interference\": {},\n  \
-         \"cross_dest_independent\": {}\n}}",
+         \"cross_dest_independent\": {},\n  \"codec_reads\": [{}]\n}}",
         findings(report.violations().collect()),
         findings(report.warnings().collect()),
         pairs(&report.guard_overlaps),
         pairs(&report.same_dest_interference),
         pairs(&report.cross_dest_independent),
+        codec_reads.join(","),
     )
 }
 
@@ -514,6 +573,55 @@ mod tests {
         assert!(report.warnings().any(|f| f.code == "duplicate-access"));
         assert_eq!(report.exit_code(false), 0);
         assert_ne!(report.exit_code(true), 0);
+    }
+
+    #[test]
+    fn shipped_codec_is_a_covering_observer() {
+        let report = analyze_default();
+        assert!(
+            !report.findings.iter().any(|f| f.code.starts_with("codec-")),
+            "{:?}",
+            report.findings
+        );
+        // Every class some rule writes is read back by the codec.
+        for decl in default_decls() {
+            for w in decl.fp_d0.writes.iter().chain(&decl.fp_d1.writes) {
+                assert!(
+                    report.codec_reads.contains(&w.var.name.to_string()),
+                    "codec does not read `{}`",
+                    w.var.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn codec_write_is_caught_as_impure() {
+        let mut codec = codec_footprint();
+        codec.writes.push(Access {
+            var: BUF_R,
+            locus: Locus::Me,
+            dest: DestScope::All,
+        });
+        let mut report = LintReport::default();
+        lint_codec(&default_decls(), &codec, &mut report);
+        assert!(report.violations().any(|f| f.code == "codec-impure"));
+    }
+
+    #[test]
+    fn missing_codec_read_is_caught_as_coverage_gap() {
+        let mut codec = codec_footprint();
+        codec.reads.retain(|a| a.var != BUF_E);
+        let mut report = LintReport::default();
+        lint_codec(&default_decls(), &codec, &mut report);
+        let gaps: Vec<_> = report
+            .violations()
+            .filter(|f| f.code == "codec-coverage")
+            .collect();
+        assert!(
+            gaps.iter().all(|f| f.message.contains("bufE")) && !gaps.is_empty(),
+            "{gaps:?}"
+        );
     }
 
     #[test]
