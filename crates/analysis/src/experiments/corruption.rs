@@ -65,6 +65,7 @@ pub fn sweep(seeds: std::ops::Range<u64>, baseline: bool) -> CorruptionTally {
                 seed,
                 routing_priority: true,
                 choice_strategy: Default::default(),
+                seeded_bug: None,
             };
             let mut net = Network::new(graph, config);
             let ghosts: Vec<_> = sends.iter().map(|&(s, d, p)| net.send(s, d, p)).collect();

@@ -39,6 +39,7 @@ pub fn daemon_run(daemon: DaemonKind, seed: u64, budget: u64) -> DaemonRun {
         seed,
         routing_priority: true,
         choice_strategy: Default::default(),
+        seeded_bug: None,
     };
     let mut net = Network::new(graph, config);
     net.engine_mut().enable_trace();

@@ -33,6 +33,7 @@ pub fn decay_run(graph: ssmfp_topology::Graph, seed: u64) -> DecayRun {
         seed,
         routing_priority: true,
         choice_strategy: Default::default(),
+        seeded_bug: None,
     };
     let mut net = Network::new(graph, config);
     let initial: usize = net.states().iter().map(NodeState::occupied_buffers).sum();

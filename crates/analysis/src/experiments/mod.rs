@@ -4,6 +4,7 @@ pub mod choice_ablation;
 pub mod corruption;
 pub mod daemons;
 pub mod decay;
+pub mod faults;
 pub mod fig3;
 pub mod fig4;
 pub mod mp_port;
@@ -48,5 +49,6 @@ pub fn run_all_with(seed: u64, threads: usize) -> Vec<Table> {
         stretch::run(seed),
         daemons::run(seed),
         decay::run(seed),
+        faults::run_with(seed, threads),
     ]
 }

@@ -40,6 +40,7 @@ pub fn extremal_run(
         seed,
         routing_priority: true,
         choice_strategy: Default::default(),
+        seeded_bug: None,
     };
     let mut net = Network::new(graph, config);
     let quiescent = net.run_to_quiescence(10_000_000);

@@ -30,6 +30,7 @@ pub fn probe_delivery_rounds(topo: &Topo, corruption: CorruptionKind, seed: u64)
         seed,
         routing_priority: true,
         choice_strategy: Default::default(),
+        seeded_bug: None,
     };
     let mut net = Network::new(topo.graph.clone(), config);
     // Background traffic: every node sends one message to a far node.

@@ -37,6 +37,7 @@ pub fn star_contention_run(n: usize, corruption: CorruptionKind, seed: u64) -> P
         seed,
         routing_priority: true,
         choice_strategy: Default::default(),
+        seeded_bug: None,
     };
     let mut net = Network::new(graph, config);
     // All leaves (except dest) send K messages to dest — they all route

@@ -41,6 +41,7 @@ pub fn flood_run(topo: &Topo, k: usize, corruption: CorruptionKind, seed: u64) -
         seed,
         routing_priority: true,
         choice_strategy: Default::default(),
+        seeded_bug: None,
     };
     let mut net = Network::new(topo.graph.clone(), config);
     for s in 1..n {

@@ -53,6 +53,7 @@ pub fn stretch_run(
         seed,
         routing_priority: !corrupted,
         choice_strategy: Default::default(),
+        seeded_bug: None,
     };
     let mut net = Network::new(graph.clone(), config);
     net.enable_trajectories();

@@ -1,0 +1,109 @@
+//! **Fault-injection bench** — the cost of the transient-fault engine:
+//! plan generation, per-fault application through the engine's step hook,
+//! full fault-scenario execution with the epoch-scoped oracle, and the
+//! replay-artifact codec round-trip.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssmfp_core::faults::{FaultPlan, FaultPlanConfig};
+use ssmfp_core::replay::{run_fault_scenario, FaultScenario, SendSpec};
+use ssmfp_core::{DaemonKind, Network, NetworkConfig};
+use ssmfp_routing::CorruptionKind;
+use ssmfp_topology::gen;
+use std::time::Duration;
+
+fn scenario(seed: u64, faults: usize) -> FaultScenario {
+    let graph = gen::ring(6);
+    let n = graph.n();
+    let plan = FaultPlan::random(
+        &graph,
+        FaultPlanConfig {
+            faults,
+            horizon: 200,
+            seed,
+        },
+    );
+    let sends = [0u64, 40, 90, 150, 250]
+        .iter()
+        .enumerate()
+        .map(|(k, &at)| SendSpec {
+            at_step: at,
+            src: k % n,
+            dst: (k + 3) % n,
+            payload: k as u64 % 8,
+        })
+        .collect();
+    FaultScenario {
+        n,
+        edges: graph.edges().to_vec(),
+        daemon: DaemonKind::CentralRandom { seed },
+        corruption: CorruptionKind::RandomGarbage,
+        garbage_fill: 0.4,
+        seed,
+        bug: None,
+        budget: 300_000,
+        sends,
+        plan,
+    }
+}
+
+fn bench_fault_injection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_injection");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    let graph = gen::ring(6);
+    group.bench_function("plan_random_8_faults", |b| {
+        b.iter(|| {
+            FaultPlan::random(
+                &graph,
+                FaultPlanConfig {
+                    faults: 8,
+                    horizon: 200,
+                    seed: 42,
+                },
+            )
+        })
+    });
+
+    // Per-fault application cost, isolated from scheduling: force every
+    // fault of a plan into a fresh network.
+    let plan = FaultPlan::random(
+        &graph,
+        FaultPlanConfig {
+            faults: 8,
+            horizon: 200,
+            seed: 42,
+        },
+    );
+    group.bench_function("force_8_faults", |b| {
+        b.iter(|| {
+            let mut net = Network::new(gen::ring(6), NetworkConfig::clean());
+            for fault in &plan.faults {
+                net.force_fault(fault);
+            }
+            net.steps()
+        })
+    });
+
+    for faults in [0usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("scenario_to_quiescence", faults),
+            &faults,
+            |b, &faults| {
+                let s = scenario(11, faults);
+                b.iter(|| run_fault_scenario(&s).steps)
+            },
+        );
+    }
+
+    let artifact = scenario(11, 8);
+    group.bench_function("artifact_roundtrip", |b| {
+        b.iter(|| FaultScenario::from_text(&artifact.to_text()).expect("roundtrip"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_injection);
+criterion_main!(benches);

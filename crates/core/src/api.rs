@@ -7,6 +7,7 @@
 //! Specification `SP` at any time.
 
 use crate::choice::ChoiceStrategy;
+use crate::faults::{Fault, FaultCursor, FaultInjector, FaultPlan, SeededBug};
 use crate::ledger::{DeliveryLedger, SpViolation};
 use crate::message::{GhostId, Payload};
 use crate::protocol::{Event, SsmfpAction, SsmfpProtocol};
@@ -129,6 +130,9 @@ pub struct NetworkConfig {
     /// The `choice_p(d)` selection strategy (E13 ablation; default: the
     /// paper's rotation queue).
     pub choice_strategy: ChoiceStrategy,
+    /// A deterministic protocol bug to plant (soak-oracle self-test only;
+    /// `None` is the real protocol).
+    pub seeded_bug: Option<SeededBug>,
 }
 
 impl NetworkConfig {
@@ -142,6 +146,7 @@ impl NetworkConfig {
             seed: 0,
             routing_priority: true,
             choice_strategy: ChoiceStrategy::RotationQueue,
+            seeded_bug: None,
         }
     }
 
@@ -156,6 +161,7 @@ impl NetworkConfig {
             seed,
             routing_priority: true,
             choice_strategy: ChoiceStrategy::RotationQueue,
+            seeded_bug: None,
         }
     }
 
@@ -180,6 +186,12 @@ impl NetworkConfig {
     /// Replaces the `choice_p(d)` strategy.
     pub fn with_choice_strategy(mut self, strategy: ChoiceStrategy) -> Self {
         self.choice_strategy = strategy;
+        self
+    }
+
+    /// Plants a deterministic protocol bug (soak-oracle self-test only).
+    pub fn with_seeded_bug(mut self, bug: SeededBug) -> Self {
+        self.seeded_bug = Some(bug);
         self
     }
 }
@@ -248,6 +260,9 @@ impl Network {
         let mut proto = SsmfpProtocol::new(n, delta).with_choice_strategy(config.choice_strategy);
         if !config.routing_priority {
             proto = proto.without_routing_priority();
+        }
+        if let Some(bug) = config.seeded_bug {
+            proto = proto.with_seeded_bug(bug);
         }
         let daemon = config.daemon.build_for(&graph);
         let engine = Engine::new(graph, proto, daemon, states);
@@ -414,6 +429,32 @@ impl Network {
     /// Audits Specification `SP` against the current configuration.
     pub fn check_sp(&self) -> Vec<SpViolation> {
         self.ledger.check_sp(self.states(), self.graph().n())
+    }
+
+    /// Audits `SP` for the post-fault epoch: only messages generated at
+    /// step `>= since_step` are held to exactly-once (see
+    /// [`DeliveryLedger::check_sp_since`]).
+    pub fn check_sp_since(&self, since_step: u64) -> Vec<SpViolation> {
+        self.ledger
+            .check_sp_since(self.states(), self.graph().n(), since_step)
+    }
+
+    /// Installs a [`FaultPlan`] as the engine's step hook and returns the
+    /// shared cursor tracking its progress (fired count, epoch step, warp
+    /// floor). Replaces any previously installed plan.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) -> std::sync::Arc<FaultCursor> {
+        let injector = FaultInjector::new(plan);
+        let cursor = injector.cursor();
+        self.engine.set_step_hook(Box::new(injector));
+        cursor
+    }
+
+    /// Applies one fault immediately (outside any installed plan), with
+    /// guard refresh. Used by replayed scenarios and tests.
+    pub fn force_fault(&mut self, fault: &Fault) {
+        self.engine.mutate_with_graph(|graph, states, touched| {
+            touched.push(fault.apply(graph, states));
+        });
     }
 
     /// Events drained so far live in the ledger; this exposes raw access to

@@ -1,0 +1,904 @@
+//! Mid-execution transient faults.
+//!
+//! Snap-stabilization quantifies over *every* configuration, which the rest
+//! of the harness only exercises through adversarial **initial** states.
+//! This module closes the gap: a [`FaultPlan`] is a seeded, serializable
+//! schedule of transient faults that strike *during* an execution, and a
+//! [`FaultInjector`] is the kernel step-hook that applies them between
+//! daemon selections. Every fault is constrained to the variable **domains**
+//! of Algorithm 1 and of the routing layer `A` (colors in `{0..Δ}`, last
+//! hops in `N_p ∪ {p}`, parents among link labels, distances in `{0..n}`,
+//! choice pointers in `{0..deg(p)}`), so a faulted configuration is always
+//! one the model itself could be started from — the paper's fault model.
+//!
+//! Determinism is the load-bearing property: each [`Fault`] carries its own
+//! RNG seed, so applying it produces the same write whether it fires
+//! through the hook, is force-applied by a scenario driver, or survives a
+//! shrinking pass that deleted its neighbours. That is what makes
+//! delta-debugging of failing plans (see `ssmfp-soak`) sound.
+//!
+//! Ghost identities and the delivery ledger are **not** in any fault's
+//! write-set: faults may touch model variables only, never the
+//! verification harness's instrumentation (`ssmfp-lint` enforces this
+//! against the declared rule footprints).
+
+use crate::message::{Color, GhostId, Message};
+use crate::protocol::SsmfpProtocol;
+use crate::state::NodeState;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use ssmfp_kernel::{StepHook, VarClass};
+use ssmfp_topology::{Graph, NodeId};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// High bit marking invalid ghost ids minted by fault injection, keeping
+/// them disjoint from the initial configuration's garbage sequence.
+const INJECTED_GHOST_BIT: u64 = 1 << 63;
+
+/// Which of the two per-destination buffers a buffer fault targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufSel {
+    /// The reception buffer `bufR_p(d)`.
+    R,
+    /// The emission buffer `bufE_p(d)`.
+    E,
+}
+
+impl BufSel {
+    /// Serialization label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BufSel::R => "R",
+            BufSel::E => "E",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "R" => Ok(BufSel::R),
+            "E" => Ok(BufSel::E),
+            other => Err(format!("unknown buffer selector '{other}'")),
+        }
+    }
+}
+
+/// One kind of domain-legal transient fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Re-corrupts one routing-table entry: `dist_node(dest)` becomes a
+    /// random value in `{0..n}` and `parent_node(dest)` a random link label.
+    RoutingEntry {
+        /// The faulted processor.
+        node: NodeId,
+        /// The corrupted destination entry.
+        dest: NodeId,
+    },
+    /// Overwrites one buffer with a fresh domain-legal invalid message.
+    BufferGarbage {
+        /// The faulted processor.
+        node: NodeId,
+        /// The destination instance.
+        dest: NodeId,
+        /// Which buffer is overwritten.
+        buf: BufSel,
+    },
+    /// Empties one buffer (the message it held vanishes).
+    BufferClear {
+        /// The faulted processor.
+        node: NodeId,
+        /// The destination instance.
+        dest: NodeId,
+        /// Which buffer is emptied.
+        buf: BufSel,
+    },
+    /// Re-colors the message in one buffer (keeping its identity) — the
+    /// hazard `color_p(d)` exists to make survivable.
+    ColorFlip {
+        /// The faulted processor.
+        node: NodeId,
+        /// The destination instance.
+        dest: NodeId,
+        /// Which buffer's occupant is re-colored.
+        buf: BufSel,
+    },
+    /// Flips the `request_node` bit.
+    RequestFlip {
+        /// The faulted processor.
+        node: NodeId,
+    },
+    /// Scrambles the `choice_node(dest)` rotation pointer (and wait
+    /// counters, when the ablation strategy materialized them).
+    ChoiceScramble {
+        /// The faulted processor.
+        node: NodeId,
+        /// The destination instance.
+        dest: NodeId,
+    },
+    /// Whole-node reset: every buffer emptied, every fairness pointer and
+    /// routing entry randomized within its domain, `request` lowered. The
+    /// higher-layer outbox survives (it is the application's, not the
+    /// protocol's).
+    NodeReset {
+        /// The reset processor.
+        node: NodeId,
+    },
+}
+
+impl FaultKind {
+    /// The faulted processor.
+    pub fn node(self) -> NodeId {
+        match self {
+            FaultKind::RoutingEntry { node, .. }
+            | FaultKind::BufferGarbage { node, .. }
+            | FaultKind::BufferClear { node, .. }
+            | FaultKind::ColorFlip { node, .. }
+            | FaultKind::RequestFlip { node }
+            | FaultKind::ChoiceScramble { node, .. }
+            | FaultKind::NodeReset { node } => node,
+        }
+    }
+
+    /// Serialization label of the kind tag.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::RoutingEntry { .. } => "routing",
+            FaultKind::BufferGarbage { .. } => "garbage",
+            FaultKind::BufferClear { .. } => "clear",
+            FaultKind::ColorFlip { .. } => "color",
+            FaultKind::RequestFlip { .. } => "request",
+            FaultKind::ChoiceScramble { .. } => "choice",
+            FaultKind::NodeReset { .. } => "reset",
+        }
+    }
+
+    /// The variable classes this fault kind writes — the contract checked
+    /// by the `ssmfp-lint` fault-domain lint: every class must appear in
+    /// some declared rule footprint's write-set (faults touch model
+    /// variables only, never ghost/ledger instrumentation).
+    pub fn write_set(self) -> Vec<VarClass> {
+        use crate::footprint::{BUF_E, BUF_R, CHOICE_PTR, DEST_CURSOR, REQUEST, WAITS};
+        use ssmfp_routing::footprint::{DIST, PARENT};
+        let buf_class = |buf: BufSel| match buf {
+            BufSel::R => BUF_R,
+            BufSel::E => BUF_E,
+        };
+        match self {
+            FaultKind::RoutingEntry { .. } => vec![DIST, PARENT],
+            FaultKind::BufferGarbage { buf, .. }
+            | FaultKind::BufferClear { buf, .. }
+            | FaultKind::ColorFlip { buf, .. } => vec![buf_class(buf)],
+            FaultKind::RequestFlip { .. } => vec![REQUEST],
+            FaultKind::ChoiceScramble { .. } => vec![CHOICE_PTR, WAITS],
+            FaultKind::NodeReset { .. } => vec![
+                BUF_R,
+                BUF_E,
+                CHOICE_PTR,
+                WAITS,
+                REQUEST,
+                DEST_CURSOR,
+                DIST,
+                PARENT,
+            ],
+        }
+    }
+
+    /// One representative instance of every fault kind (probe node 0,
+    /// destination 0, both buffer variants) — the closed enumeration the
+    /// `ssmfp-lint` fault-domain analysis iterates. Adding a `FaultKind`
+    /// variant without extending this list is caught by the exhaustive
+    /// `match` in [`FaultKind::write_set`].
+    pub fn representatives() -> Vec<FaultKind> {
+        let mut kinds = vec![
+            FaultKind::RoutingEntry { node: 0, dest: 0 },
+            FaultKind::RequestFlip { node: 0 },
+            FaultKind::ChoiceScramble { node: 0, dest: 0 },
+            FaultKind::NodeReset { node: 0 },
+        ];
+        for buf in [BufSel::R, BufSel::E] {
+            kinds.push(FaultKind::BufferGarbage {
+                node: 0,
+                dest: 0,
+                buf,
+            });
+            kinds.push(FaultKind::BufferClear {
+                node: 0,
+                dest: 0,
+                buf,
+            });
+            kinds.push(FaultKind::ColorFlip {
+                node: 0,
+                dest: 0,
+                buf,
+            });
+        }
+        kinds
+    }
+
+    /// Strictly narrower kinds with the same write targets, used by the
+    /// soak shrinker after the greedy drop pass: replacing a fault with a
+    /// narrowing candidate never widens the reproduction.
+    pub fn narrow_candidates(self) -> Vec<FaultKind> {
+        match self {
+            FaultKind::NodeReset { node } => vec![
+                FaultKind::RequestFlip { node },
+                FaultKind::ChoiceScramble { node, dest: 0 },
+                FaultKind::RoutingEntry { node, dest: 0 },
+                FaultKind::BufferClear {
+                    node,
+                    dest: 0,
+                    buf: BufSel::R,
+                },
+            ],
+            FaultKind::BufferGarbage { node, dest, buf } => vec![
+                FaultKind::ColorFlip { node, dest, buf },
+                FaultKind::BufferClear { node, dest, buf },
+            ],
+            FaultKind::RoutingEntry { node, dest } => {
+                vec![FaultKind::ChoiceScramble { node, dest }]
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// One scheduled transient fault. `seed` makes the application
+/// deterministic and independent of every other fault in the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// The step before which the fault strikes (it lands on the first step
+    /// whose index is `>= at_step`).
+    pub at_step: u64,
+    /// Per-fault RNG seed.
+    pub seed: u64,
+    /// What the fault does.
+    pub kind: FaultKind,
+}
+
+fn random_link(graph: &Graph, p: NodeId, rng: &mut impl Rng) -> NodeId {
+    let nb = graph.neighbors(p);
+    if nb.is_empty() {
+        p
+    } else {
+        nb[rng.gen_range(0..nb.len())]
+    }
+}
+
+fn garbage_message(graph: &Graph, p: NodeId, seed: u64, rng: &mut impl Rng) -> Message {
+    let delta = graph.max_degree() as u8;
+    let nb = graph.neighbors(p);
+    let last_hop = if nb.is_empty() || rng.gen_bool(1.0 / (nb.len() + 1) as f64) {
+        p
+    } else {
+        nb[rng.gen_range(0..nb.len())]
+    };
+    Message {
+        payload: rng.gen_range(0..8),
+        last_hop,
+        color: Color(rng.gen_range(0..=delta)),
+        ghost: GhostId::Invalid(INJECTED_GHOST_BIT | (seed & (INJECTED_GHOST_BIT - 1))),
+    }
+}
+
+impl Fault {
+    /// Applies the fault to the configuration, returning the touched node
+    /// (whose guards the caller must refresh). Deterministic in
+    /// `(self, graph)` — the write never depends on the current states.
+    pub fn apply(&self, graph: &Graph, states: &mut [NodeState]) -> NodeId {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let n = graph.n();
+        match self.kind {
+            FaultKind::RoutingEntry { node, dest } => {
+                let dist = rng.gen_range(0..=n as u32);
+                let parent = random_link(graph, node, &mut rng);
+                let s = &mut states[node];
+                s.routing.dist[dest] = dist;
+                s.routing.parent[dest] = parent;
+                node
+            }
+            FaultKind::BufferGarbage { node, dest, buf } => {
+                let m = garbage_message(graph, node, self.seed, &mut rng);
+                let slot = &mut states[node].slots[dest];
+                match buf {
+                    BufSel::R => slot.buf_r = Some(m),
+                    BufSel::E => slot.buf_e = Some(m),
+                }
+                node
+            }
+            FaultKind::BufferClear { node, dest, buf } => {
+                let slot = &mut states[node].slots[dest];
+                match buf {
+                    BufSel::R => slot.buf_r = None,
+                    BufSel::E => slot.buf_e = None,
+                }
+                node
+            }
+            FaultKind::ColorFlip { node, dest, buf } => {
+                let delta = graph.max_degree() as u8;
+                let color = Color(rng.gen_range(0..=delta));
+                let slot = &mut states[node].slots[dest];
+                let target = match buf {
+                    BufSel::R => &mut slot.buf_r,
+                    BufSel::E => &mut slot.buf_e,
+                };
+                if let Some(m) = target {
+                    m.color = color;
+                }
+                node
+            }
+            FaultKind::RequestFlip { node } => {
+                states[node].request = !states[node].request;
+                node
+            }
+            FaultKind::ChoiceScramble { node, dest } => {
+                let deg = graph.degree(node);
+                let s = &mut states[node];
+                s.slots[dest].choice_ptr = rng.gen_range(0..=deg);
+                if let Some(w) = &mut s.slots[dest].waits {
+                    for x in w.iter_mut() {
+                        *x = rng.gen_range(0..16);
+                    }
+                }
+                node
+            }
+            FaultKind::NodeReset { node } => {
+                let deg = graph.degree(node);
+                for d in 0..n {
+                    let dist = rng.gen_range(0..=n as u32);
+                    let parent = random_link(graph, node, &mut rng);
+                    let ptr = rng.gen_range(0..=deg);
+                    let s = &mut states[node];
+                    s.slots[d].buf_r = None;
+                    s.slots[d].buf_e = None;
+                    s.slots[d].choice_ptr = ptr;
+                    s.slots[d].waits = None;
+                    s.routing.dist[d] = dist;
+                    s.routing.parent[d] = parent;
+                }
+                states[node].request = false;
+                states[node].dest_cursor = rng.gen_range(0..n);
+                node
+            }
+        }
+    }
+}
+
+/// Shape of a randomly generated plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlanConfig {
+    /// How many faults to schedule.
+    pub faults: usize,
+    /// Steps over which the `at_step` stamps are drawn (uniformly in
+    /// `0..horizon`).
+    pub horizon: u64,
+    /// Master seed of the draw.
+    pub seed: u64,
+}
+
+/// A seeded, serializable schedule of transient faults, sorted by
+/// `at_step`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// The generating seed (provenance only; the faults are self-contained).
+    pub seed: u64,
+    /// The schedule, ascending by `at_step`.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan (fault-free epoch 0).
+    pub fn empty() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Draws a random plan over `graph`: each fault gets a uniform
+    /// `at_step` in `0..horizon`, a fresh seed, and a uniformly chosen
+    /// kind with domain-legal targets.
+    pub fn random(graph: &Graph, config: FaultPlanConfig) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x000F_A017_5EED);
+        let n = graph.n();
+        let mut faults: Vec<Fault> = (0..config.faults)
+            .map(|_| {
+                let node = rng.gen_range(0..n);
+                let dest = rng.gen_range(0..n);
+                let buf = if rng.gen_bool(0.5) {
+                    BufSel::R
+                } else {
+                    BufSel::E
+                };
+                let kind = match rng.gen_range(0..7u32) {
+                    0 => FaultKind::RoutingEntry { node, dest },
+                    1 => FaultKind::BufferGarbage { node, dest, buf },
+                    2 => FaultKind::BufferClear { node, dest, buf },
+                    3 => FaultKind::ColorFlip { node, dest, buf },
+                    4 => FaultKind::RequestFlip { node },
+                    5 => FaultKind::ChoiceScramble { node, dest },
+                    _ => FaultKind::NodeReset { node },
+                };
+                Fault {
+                    at_step: rng.gen_range(0..config.horizon.max(1)),
+                    seed: rng.gen(),
+                    kind,
+                }
+            })
+            .collect();
+        faults.sort_by_key(|f| f.at_step);
+        FaultPlan {
+            seed: config.seed,
+            faults,
+        }
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// A copy with fault `i` removed (greedy-drop shrinking step).
+    pub fn without(&self, i: usize) -> FaultPlan {
+        let mut faults = self.faults.clone();
+        faults.remove(i);
+        FaultPlan {
+            seed: self.seed,
+            faults,
+        }
+    }
+
+    /// A copy with fault `i`'s kind replaced (narrowing shrinking step);
+    /// stamp and seed are preserved so the rest of the plan is unaffected.
+    pub fn with_kind(&self, i: usize, kind: FaultKind) -> FaultPlan {
+        let mut faults = self.faults.clone();
+        faults[i].kind = kind;
+        FaultPlan {
+            seed: self.seed,
+            faults,
+        }
+    }
+
+    /// Serializes the plan as one `faultplan` header line plus one `fault`
+    /// line per fault (the format [`FaultPlan::from_text`] reads).
+    pub fn to_text(&self) -> String {
+        let mut out = format!("faultplan v1 seed={}\n", self.seed);
+        for f in &self.faults {
+            out.push_str(&fault_line(f));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the [`FaultPlan::to_text`] format.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or("empty fault plan")?;
+        let mut fields = header.split_whitespace();
+        if fields.next() != Some("faultplan") || fields.next() != Some("v1") {
+            return Err(format!("bad fault plan header '{header}'"));
+        }
+        let seed = parse_field(header, "seed")?;
+        let mut faults = Vec::new();
+        for line in lines {
+            faults.push(parse_fault_line(line)?);
+        }
+        Ok(FaultPlan { seed, faults })
+    }
+}
+
+pub(crate) fn fault_line(f: &Fault) -> String {
+    let mut out = format!(
+        "fault at={} seed={} kind={} node={}",
+        f.at_step,
+        f.seed,
+        f.kind.label(),
+        f.kind.node()
+    );
+    match f.kind {
+        FaultKind::RoutingEntry { dest, .. } | FaultKind::ChoiceScramble { dest, .. } => {
+            out.push_str(&format!(" dest={dest}"));
+        }
+        FaultKind::BufferGarbage { dest, buf, .. }
+        | FaultKind::BufferClear { dest, buf, .. }
+        | FaultKind::ColorFlip { dest, buf, .. } => {
+            out.push_str(&format!(" dest={dest} buf={}", buf.label()));
+        }
+        FaultKind::RequestFlip { .. } | FaultKind::NodeReset { .. } => {}
+    }
+    out
+}
+
+/// Finds `key=value` in a whitespace-separated line and parses the value.
+pub(crate) fn parse_field<T: std::str::FromStr>(line: &str, key: &str) -> Result<T, String> {
+    let prefix = format!("{key}=");
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&prefix))
+        .ok_or_else(|| format!("missing field '{key}' in '{line}'"))?
+        .parse()
+        .map_err(|_| format!("bad value for '{key}' in '{line}'"))
+}
+
+pub(crate) fn parse_fault_line(line: &str) -> Result<Fault, String> {
+    if !line.starts_with("fault ") {
+        return Err(format!("bad fault line '{line}'"));
+    }
+    let at_step = parse_field(line, "at")?;
+    let seed = parse_field(line, "seed")?;
+    let kind_tag: String = parse_field(line, "kind")?;
+    let node: NodeId = parse_field(line, "node")?;
+    let kind = match kind_tag.as_str() {
+        "routing" => FaultKind::RoutingEntry {
+            node,
+            dest: parse_field(line, "dest")?,
+        },
+        "garbage" | "clear" | "color" => {
+            let dest = parse_field(line, "dest")?;
+            let buf_tag: String = parse_field(line, "buf")?;
+            let buf = BufSel::parse(&buf_tag)?;
+            match kind_tag.as_str() {
+                "garbage" => FaultKind::BufferGarbage { node, dest, buf },
+                "clear" => FaultKind::BufferClear { node, dest, buf },
+                _ => FaultKind::ColorFlip { node, dest, buf },
+            }
+        }
+        "request" => FaultKind::RequestFlip { node },
+        "choice" => FaultKind::ChoiceScramble {
+            node,
+            dest: parse_field(line, "dest")?,
+        },
+        "reset" => FaultKind::NodeReset { node },
+        other => return Err(format!("unknown fault kind '{other}'")),
+    };
+    Ok(Fault {
+        at_step,
+        seed,
+        kind,
+    })
+}
+
+/// Shared progress of a [`FaultInjector`]: how many faults have fired and
+/// the *actual* step of the last application (the oracle's epoch). The
+/// `warp` floor lets a scenario driver pull the next pending fault forward
+/// when the network quiesces before its stamp — the fault still applies
+/// through the hook, exactly once, with its own seed.
+#[derive(Debug)]
+pub struct FaultCursor {
+    fired: AtomicUsize,
+    epoch: AtomicU64,
+    warp: AtomicU64,
+    total: usize,
+}
+
+impl FaultCursor {
+    fn new(total: usize) -> Self {
+        FaultCursor {
+            fired: AtomicUsize::new(0),
+            epoch: AtomicU64::new(u64::MAX),
+            warp: AtomicU64::new(0),
+            total,
+        }
+    }
+
+    /// Faults applied so far.
+    pub fn fired(&self) -> usize {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    /// Total faults in the plan.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Whether every scheduled fault has been applied.
+    pub fn all_fired(&self) -> bool {
+        self.fired() == self.total
+    }
+
+    /// The engine step at which the last fault actually applied (`None`
+    /// before the first application). Specification `SP` quantifies over
+    /// messages generated at or after this step.
+    pub fn epoch_step(&self) -> Option<u64> {
+        match self.epoch.load(Ordering::SeqCst) {
+            u64::MAX => None,
+            s => Some(s),
+        }
+    }
+
+    /// Raises the virtual-time floor: on the next hook invocation every
+    /// fault stamped `<= step` applies regardless of the real step counter.
+    /// Used by scenario drivers when the network quiesces early.
+    pub fn warp_to(&self, step: u64) {
+        self.warp.fetch_max(step, Ordering::SeqCst);
+    }
+
+    fn effective_step(&self, real: u64) -> u64 {
+        real.max(self.warp.load(Ordering::SeqCst))
+    }
+
+    fn record(&self, fired: usize, step: u64) {
+        self.fired.store(fired, Ordering::SeqCst);
+        self.epoch.store(step, Ordering::SeqCst);
+    }
+}
+
+/// The kernel step-hook that injects a [`FaultPlan`]: before each step,
+/// every not-yet-fired fault stamped at or before the (possibly warped)
+/// current step applies, in schedule order.
+pub struct FaultInjector {
+    plan: FaultPlan,
+    next: usize,
+    cursor: Arc<FaultCursor>,
+}
+
+impl FaultInjector {
+    /// Builds the injector for a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        let cursor = Arc::new(FaultCursor::new(plan.faults.len()));
+        FaultInjector {
+            plan,
+            next: 0,
+            cursor,
+        }
+    }
+
+    /// The shared progress cursor.
+    pub fn cursor(&self) -> Arc<FaultCursor> {
+        Arc::clone(&self.cursor)
+    }
+}
+
+impl StepHook<SsmfpProtocol> for FaultInjector {
+    fn before_step(
+        &mut self,
+        step: u64,
+        graph: &Graph,
+        states: &mut [NodeState],
+        touched: &mut Vec<NodeId>,
+    ) {
+        let eff = self.cursor.effective_step(step);
+        while self.next < self.plan.faults.len() && self.plan.faults[self.next].at_step <= eff {
+            let fault = self.plan.faults[self.next];
+            touched.push(fault.apply(graph, states));
+            self.next += 1;
+            self.cursor.record(self.next, step);
+        }
+    }
+}
+
+/// A deterministically seeded protocol bug, used **only** to self-test the
+/// spec oracle by mutation: a soak campaign over the mutated protocol must
+/// flag a violation (and shrink its plan), or the oracle is vacuous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeededBug {
+    /// Disables rule R4's guard: the source copy is never erased after a
+    /// successful forward, wedging the pipeline (R2 at the next hop stays
+    /// blocked by the surviving source copy).
+    SkipR4Erase,
+    /// Rule R2 always assigns color 0 instead of `color_p(d)`: two
+    /// same-payload messages become indistinguishable and R4 can certify
+    /// against the wrong copy, erasing an un-forwarded message.
+    ColorReuse,
+}
+
+impl SeededBug {
+    /// Serialization label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SeededBug::SkipR4Erase => "skip-r4-erase",
+            SeededBug::ColorReuse => "color-reuse",
+        }
+    }
+
+    /// Parses a [`SeededBug::label`].
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "skip-r4-erase" => Ok(SeededBug::SkipR4Erase),
+            "color-reuse" => Ok(SeededBug::ColorReuse),
+            other => Err(format!("unknown seeded bug '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssmfp_routing::{corruption, CorruptionKind};
+    use ssmfp_topology::gen;
+
+    fn clean_states(g: &Graph) -> Vec<NodeState> {
+        corruption::corrupt(g, CorruptionKind::None, 0)
+            .into_iter()
+            .map(|r| NodeState::clean(g.n(), r))
+            .collect()
+    }
+
+    /// Property: any fault applied to any configuration leaves every
+    /// variable inside its model domain.
+    #[test]
+    fn faults_stay_domain_legal() {
+        for seed in 0..40u64 {
+            let g = gen::random_connected(7, 9, seed);
+            let n = g.n();
+            let delta = g.max_degree() as u8;
+            let plan = FaultPlan::random(
+                &g,
+                FaultPlanConfig {
+                    faults: 12,
+                    horizon: 100,
+                    seed,
+                },
+            );
+            let mut states = clean_states(&g);
+            // Pre-load some garbage so ColorFlip has occupants to re-color.
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut inv = 0;
+            for p in 0..n {
+                states[p].scatter_garbage(&g, p, 0.5, &mut rng, &mut inv);
+            }
+            for f in &plan.faults {
+                let touched = f.apply(&g, &mut states);
+                assert_eq!(touched, f.kind.node());
+            }
+            for p in 0..n {
+                let s = &states[p];
+                for d in 0..n {
+                    assert!(s.routing.dist[d] <= n as u32, "dist domain");
+                    let par = s.routing.parent[d];
+                    assert!(
+                        par == p || par == d || g.has_edge(p, par),
+                        "parent {par} of {p} for {d} is not a link label"
+                    );
+                    assert!(s.slots[d].choice_ptr <= g.degree(p), "choice domain");
+                    for m in [&s.slots[d].buf_r, &s.slots[d].buf_e].into_iter().flatten() {
+                        assert!(m.color.0 <= delta, "color domain");
+                        assert!(
+                            m.last_hop == p || g.has_edge(p, m.last_hop),
+                            "last hop domain"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_application_is_deterministic() {
+        let g = gen::ring(6);
+        let plan = FaultPlan::random(
+            &g,
+            FaultPlanConfig {
+                faults: 8,
+                horizon: 50,
+                seed: 3,
+            },
+        );
+        let run = |plan: &FaultPlan| {
+            let mut states = clean_states(&g);
+            for f in &plan.faults {
+                f.apply(&g, &mut states);
+            }
+            states
+        };
+        assert_eq!(run(&plan), run(&plan));
+        // Dropping one fault leaves the others' effects unchanged where
+        // they don't overlap: same seeds, same writes.
+        let dropped = plan.without(0);
+        assert_eq!(dropped.faults.len(), plan.faults.len() - 1);
+        assert_eq!(&plan.faults[1..], &dropped.faults[..]);
+    }
+
+    #[test]
+    fn plan_text_roundtrip() {
+        let g = gen::grid(2, 3);
+        let plan = FaultPlan::random(
+            &g,
+            FaultPlanConfig {
+                faults: 10,
+                horizon: 64,
+                seed: 11,
+            },
+        );
+        let text = plan.to_text();
+        let back = FaultPlan::from_text(&text).expect("roundtrip");
+        assert_eq!(plan, back);
+        assert!(FaultPlan::from_text("garbage").is_err());
+        assert!(FaultPlan::from_text("faultplan v1 seed=1\nfault at=x").is_err());
+    }
+
+    #[test]
+    fn injector_applies_at_stamps_and_reports_epoch() {
+        use ssmfp_kernel::StepHook as _;
+        let g = gen::line(4);
+        let mut states = clean_states(&g);
+        let plan = FaultPlan {
+            seed: 0,
+            faults: vec![
+                Fault {
+                    at_step: 2,
+                    seed: 7,
+                    kind: FaultKind::RequestFlip { node: 1 },
+                },
+                Fault {
+                    at_step: 5,
+                    seed: 8,
+                    kind: FaultKind::BufferGarbage {
+                        node: 2,
+                        dest: 0,
+                        buf: BufSel::R,
+                    },
+                },
+            ],
+        };
+        let mut inj = FaultInjector::new(plan);
+        let cursor = inj.cursor();
+        let mut touched = Vec::new();
+        inj.before_step(0, &g, &mut states, &mut touched);
+        assert!(touched.is_empty());
+        assert_eq!(cursor.fired(), 0);
+        assert_eq!(cursor.epoch_step(), None);
+        inj.before_step(2, &g, &mut states, &mut touched);
+        assert_eq!(touched, vec![1]);
+        assert!(states[1].request);
+        assert_eq!(cursor.fired(), 1);
+        assert_eq!(cursor.epoch_step(), Some(2));
+        // Warp pulls the remaining fault forward.
+        cursor.warp_to(10);
+        touched.clear();
+        inj.before_step(3, &g, &mut states, &mut touched);
+        assert_eq!(touched, vec![2]);
+        assert!(states[2].slots[0].buf_r.is_some());
+        assert!(cursor.all_fired());
+        assert_eq!(cursor.epoch_step(), Some(3), "epoch is the real step");
+        // No double application.
+        touched.clear();
+        inj.before_step(9, &g, &mut states, &mut touched);
+        assert!(touched.is_empty());
+    }
+
+    #[test]
+    fn injected_ghosts_are_marked_invalid_and_salted() {
+        let g = gen::line(3);
+        let mut states = clean_states(&g);
+        let f = Fault {
+            at_step: 0,
+            seed: 42,
+            kind: FaultKind::BufferGarbage {
+                node: 0,
+                dest: 2,
+                buf: BufSel::E,
+            },
+        };
+        f.apply(&g, &mut states);
+        let m = states[0].slots[2].buf_e.expect("written");
+        match m.ghost {
+            GhostId::Invalid(k) => assert!(k & INJECTED_GHOST_BIT != 0),
+            GhostId::Valid(_) => panic!("injected message must be invalid"),
+        }
+    }
+
+    #[test]
+    fn write_sets_cover_only_model_variables() {
+        let g = gen::ring(4);
+        let plan = FaultPlan::random(
+            &g,
+            FaultPlanConfig {
+                faults: 30,
+                horizon: 10,
+                seed: 5,
+            },
+        );
+        for f in &plan.faults {
+            let ws = f.kind.write_set();
+            assert!(!ws.is_empty());
+            for c in ws {
+                assert!(
+                    c.owner == crate::footprint::LAYER_SSMFP
+                        || c.owner == ssmfp_routing::footprint::LAYER_A,
+                    "fault writes outside the model layers: {c:?}"
+                );
+            }
+        }
+    }
+}

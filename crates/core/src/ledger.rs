@@ -203,6 +203,24 @@ impl DeliveryLedger {
     /// (needed to distinguish "still in flight" from "lost"). `n` is the
     /// network size (for the `2n` bound).
     pub fn check_sp(&self, states: &[NodeState], n: usize) -> Vec<SpViolation> {
+        self.check_sp_since(states, n, 0)
+    }
+
+    /// Audits `SP` for the **post-fault epoch**: only messages generated at
+    /// step `>= since_step` are held to the exactly-once guarantee. This is
+    /// the quantifier the paper actually proves — a transient fault may
+    /// legitimately destroy or duplicate a copy of a message generated
+    /// *before* it struck, but everything generated after the last fault
+    /// must be delivered once and only once. Proposition 4's `2n` bound on
+    /// invalid deliveries likewise only applies to the initial epoch
+    /// (`since_step == 0`): mid-run faults mint fresh invalid messages
+    /// outside its counting argument.
+    pub fn check_sp_since(
+        &self,
+        states: &[NodeState],
+        n: usize,
+        since_step: u64,
+    ) -> Vec<SpViolation> {
         let mut violations = Vec::new();
         // Which ghosts still exist in some buffer?
         let mut in_flight: std::collections::HashSet<GhostId> = std::collections::HashSet::new();
@@ -217,6 +235,9 @@ impl DeliveryLedger {
             }
         }
         for (&ghost, gen_rec) in &self.generated {
+            if gen_rec.step < since_step {
+                continue;
+            }
             let recs = self.delivery_records(ghost);
             match recs.len() {
                 0 => {
@@ -239,13 +260,29 @@ impl DeliveryLedger {
                 }),
             }
         }
-        for (&dest, &count) in &self.invalid_per_dest {
-            let bound = 2 * n as u64;
-            if count > bound {
-                violations.push(SpViolation::InvalidOverBound { dest, count, bound });
+        if since_step == 0 {
+            for (&dest, &count) in &self.invalid_per_dest {
+                let bound = 2 * n as u64;
+                if count > bound {
+                    violations.push(SpViolation::InvalidOverBound { dest, count, bound });
+                }
             }
         }
         violations
+    }
+
+    /// Valid messages generated at step `>= since_step` and not yet
+    /// delivered — the post-fault outstanding set a quiesced network must
+    /// have emptied.
+    pub fn outstanding_since(&self, since_step: u64) -> Vec<GhostId> {
+        let mut out: Vec<GhostId> = self
+            .generated
+            .iter()
+            .filter(|(g, r)| r.step >= since_step && self.deliveries_of(**g) == 0)
+            .map(|(g, _)| *g)
+            .collect();
+        out.sort();
+        out
     }
 }
 
@@ -468,5 +505,73 @@ mod tests {
             },
         ));
         assert_eq!(ledger.outstanding(), vec![b]);
+    }
+
+    #[test]
+    fn epoch_scoped_audit_forgives_pre_fault_messages() {
+        let mut ledger = DeliveryLedger::new();
+        let old = GhostId::Valid(0);
+        let new = GhostId::Valid(1);
+        // `old` generated at step 2 and lost; `new` generated at step 10
+        // and duplicated.
+        ledger.record(&rec(
+            2,
+            0,
+            Event::Generated {
+                ghost: old,
+                dest: 1,
+                payload: 0,
+            },
+        ));
+        ledger.record(&rec(
+            10,
+            0,
+            Event::Generated {
+                ghost: new,
+                dest: 1,
+                payload: 0,
+            },
+        ));
+        for step in [12, 14] {
+            ledger.record(&rec(
+                step,
+                1,
+                Event::Delivered {
+                    ghost: new,
+                    payload: 0,
+                },
+            ));
+        }
+        // Epoch at step 5: the pre-fault loss is forgiven, the post-fault
+        // duplication is not.
+        assert_eq!(
+            ledger.check_sp_since(&[], 2, 5),
+            vec![SpViolation::DuplicateDelivery {
+                ghost: new,
+                count: 2
+            }]
+        );
+        // Full-history audit sees both.
+        assert_eq!(ledger.check_sp(&[], 2).len(), 2);
+        assert_eq!(ledger.outstanding_since(5), vec![]);
+        assert_eq!(ledger.outstanding_since(0), vec![old]);
+    }
+
+    #[test]
+    fn invalid_bound_applies_only_to_initial_epoch() {
+        let mut ledger = DeliveryLedger::new();
+        for k in 0..5 {
+            ledger.record(&rec(
+                k,
+                1,
+                Event::Delivered {
+                    ghost: GhostId::Invalid(k),
+                    payload: 0,
+                },
+            ));
+        }
+        // n = 2 → bound 4 → violated from step 0, forgiven post-fault.
+        assert_eq!(ledger.check_sp_since(&[], 2, 0).len(), 1);
+        assert!(ledger.check_sp_since(&[], 2, 1).is_empty());
     }
 }

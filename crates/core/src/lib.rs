@@ -29,6 +29,9 @@
 //! * [`caterpillar`] — Definition 3's caterpillar classifier (Figure 4).
 //! * [`ledger`] — the `SP`/`SP'` specification monitors: exactly-once
 //!   delivery of valid messages, invalid-delivery census (Proposition 4).
+//! * [`faults`] — mid-execution transient faults: seeded, serializable
+//!   [`FaultPlan`]s of domain-legal corruptions and the [`FaultInjector`]
+//!   step-hook that applies them between daemon selections.
 //! * [`baseline`] — the fault-free Merlin–Schweitzer destination-based
 //!   forwarding protocol of \[21\] (one buffer per destination, source/flag
 //!   dedup), the paper's implicit comparison point.
@@ -45,6 +48,7 @@ pub mod caterpillar;
 pub mod choice;
 pub mod codec;
 pub mod color;
+pub mod faults;
 pub mod footprint;
 pub mod ledger;
 pub mod message;
@@ -60,6 +64,9 @@ pub use choice::ChoiceStrategy;
 pub use codec::{
     codec_footprint, deep_node_bytes, node_fingerprint, MessageTable, PackedSnapshot, StateCodec,
     NO_MESSAGE,
+};
+pub use faults::{
+    BufSel, Fault, FaultCursor, FaultInjector, FaultKind, FaultPlan, FaultPlanConfig, SeededBug,
 };
 pub use footprint::{action_footprint, guards_can_overlap, rule_footprint};
 pub use ledger::{DeliveryLedger, SpViolation};

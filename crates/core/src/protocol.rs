@@ -4,8 +4,9 @@
 //! algorithms always chooses the action of A"*).
 
 use crate::choice::ChoiceStrategy;
+use crate::faults::SeededBug;
 use crate::footprint::{scope_affects_of, ScopeAffects};
-use crate::message::{GhostId, Payload};
+use crate::message::{Color, GhostId, Payload};
 use crate::rules::{enabled_rules_with, execute_rule_with, rule_enabled, Rule};
 use crate::state::NodeState;
 use ssmfp_kernel::{Protocol, View};
@@ -83,6 +84,7 @@ pub struct SsmfpProtocol {
     routing_priority: bool,
     choice_strategy: ChoiceStrategy,
     literal_r5: bool,
+    seeded_bug: Option<SeededBug>,
     /// Per-rule scope coupling (indexed by [`Rule::index`]), derived once
     /// from the declared footprints: drives the engine's incremental
     /// guard re-evaluation ([`Protocol::scope_affected_by`]).
@@ -109,6 +111,7 @@ impl SsmfpProtocol {
             routing_priority: true,
             choice_strategy: ChoiceStrategy::RotationQueue,
             literal_r5: false,
+            seeded_bug: None,
             rule_affects,
             routing_affects,
         }
@@ -134,6 +137,20 @@ impl SsmfpProtocol {
     pub fn with_choice_strategy(mut self, strategy: ChoiceStrategy) -> Self {
         self.choice_strategy = strategy;
         self
+    }
+
+    /// Plants a deterministic protocol bug. **Test harness only**: the
+    /// soak oracle's mutation self-test runs the protocol with a bug
+    /// planted and must flag an `SP` violation — otherwise the oracle is
+    /// vacuous (same runtime-gating precedent as [`Self::with_literal_r5`]).
+    pub fn with_seeded_bug(mut self, bug: SeededBug) -> Self {
+        self.seeded_bug = Some(bug);
+        self
+    }
+
+    /// Whether the seeded bug suppresses `rule` entirely.
+    fn bug_suppresses(&self, rule: Rule) -> bool {
+        self.seeded_bug == Some(SeededBug::SkipR4Erase) && rule == Rule::R4
     }
 
     /// The configured `choice_p(d)` strategy.
@@ -187,6 +204,7 @@ impl Protocol for SsmfpProtocol {
             out.extend(
                 rules_buf
                     .iter()
+                    .filter(|&&rule| !self.bug_suppresses(rule))
                     .map(|&rule| SsmfpAction::Fwd(FwdAction { rule, dest: d })),
             );
         }
@@ -211,7 +229,9 @@ impl Protocol for SsmfpProtocol {
             out.push(SsmfpAction::Routing(RoutingAction { dest: scope }));
         }
         for rule in Rule::EVAL_ORDER {
-            if rule_enabled(view, scope, rule, self.choice_strategy, self.literal_r5) {
+            if !self.bug_suppresses(rule)
+                && rule_enabled(view, scope, rule, self.choice_strategy, self.literal_r5)
+            {
                 out.push(SsmfpAction::Fwd(FwdAction { rule, dest: scope }));
             }
         }
@@ -277,6 +297,14 @@ impl Protocol for SsmfpProtocol {
             SsmfpAction::Fwd(FwdAction { rule, dest }) => {
                 let mut next =
                     execute_rule_with(view, dest, rule, self.delta, self.choice_strategy, events);
+                if self.seeded_bug == Some(SeededBug::ColorReuse) && rule == Rule::R2 {
+                    // The planted bug: R2 ignores `color_p(d)` and always
+                    // stamps color 0, breaking the distinctness the R4
+                    // certification relies on.
+                    if let Some(m) = next.slots[dest].buf_e.as_mut() {
+                        m.color = Color(0);
+                    }
+                }
                 next.dest_cursor = (dest + 1) % self.n;
                 next
             }

@@ -28,11 +28,13 @@
 //! breaks, mirroring the figure's delayed repair.
 
 use crate::api::{DaemonKind, Network, NetworkConfig};
+use crate::faults::{fault_line, parse_fault_line, parse_field, FaultPlan, SeededBug};
+use crate::ledger::SpViolation;
 use crate::message::{Color, GhostId, Message};
 use crate::state::NodeState;
 use ssmfp_kernel::StepOutcome;
 use ssmfp_routing::{corruption, CorruptionKind};
-use ssmfp_topology::{gen, NodeId};
+use ssmfp_topology::{gen, Graph, NodeId};
 
 /// Node names of the figure.
 pub const A: NodeId = 0;
@@ -183,6 +185,402 @@ pub fn run_figure3(daemon: DaemonKind, routing_priority: bool, max_steps: u64) -
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fault scenarios: deterministic re-execution of soak-harness failures.
+// ---------------------------------------------------------------------------
+
+/// One higher-layer send, stamped with the step at which it is issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendSpec {
+    /// Step at (or after) which the send is issued.
+    pub at_step: u64,
+    /// The sending processor.
+    pub src: NodeId,
+    /// The destination.
+    pub dst: NodeId,
+    /// The payload.
+    pub payload: u64,
+}
+
+/// A self-contained, deterministic fault scenario: topology, initial
+/// corruption, daemon, higher-layer sends, and a [`FaultPlan`]. This is
+/// the replay artifact `ssmfp-soak` dumps for a failing campaign — feeding
+/// it back to [`run_fault_scenario`] re-executes the failure bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultScenario {
+    /// Network size.
+    pub n: usize,
+    /// Undirected edges.
+    pub edges: Vec<(NodeId, NodeId)>,
+    /// Scheduling daemon.
+    pub daemon: DaemonKind,
+    /// Initial routing corruption.
+    pub corruption: CorruptionKind,
+    /// Initial buffer-garbage fill probability.
+    pub garbage_fill: f64,
+    /// Master seed (garbage placement).
+    pub seed: u64,
+    /// Planted protocol bug (oracle self-test only).
+    pub bug: Option<SeededBug>,
+    /// Step budget before the run is abandoned as non-converged.
+    pub budget: u64,
+    /// Higher-layer sends, ascending by `at_step`.
+    pub sends: Vec<SendSpec>,
+    /// The mid-execution fault schedule.
+    pub plan: FaultPlan,
+}
+
+/// What the spec oracle concluded about one scenario execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// `SP` violations among post-epoch messages (duplication, loss,
+    /// misdelivery — safety, checked whether or not the run converged).
+    pub violations: Vec<SpViolation>,
+    /// Post-epoch valid messages still undelivered at quiescence
+    /// (liveness: a quiesced network must have drained them).
+    pub undelivered: Vec<GhostId>,
+    /// Sends whose generation (rule R1) never happened by quiescence
+    /// (liveness: generation must always eventually be possible).
+    pub generation_blocked: Vec<GhostId>,
+    /// Whether the network reached a terminal configuration in budget.
+    pub quiescent: bool,
+    /// The step of the last injected fault (`None` if the plan was empty).
+    pub epoch_step: Option<u64>,
+    /// Faults actually applied.
+    pub faults_applied: usize,
+    /// Total steps executed.
+    pub steps: u64,
+    /// Steps executed after the last fault (post-fault convergence time).
+    pub post_fault_steps: u64,
+    /// Rounds completed.
+    pub rounds: u64,
+}
+
+impl ScenarioOutcome {
+    /// Whether the oracle flags this execution. Safety violations always
+    /// count; the liveness obligations (everything delivered, every send
+    /// generated) only bind once the network has quiesced — a budget
+    /// timeout is reported as `quiescent: false`, not as a violation.
+    pub fn is_violation(&self) -> bool {
+        !self.violations.is_empty()
+            || (self.quiescent
+                && (!self.undelivered.is_empty() || !self.generation_blocked.is_empty()))
+    }
+
+    /// One-line description for reports.
+    pub fn summary(&self) -> String {
+        format!(
+            "violations={} undelivered={} gen_blocked={} quiescent={} steps={} post_fault_steps={}",
+            self.violations.len(),
+            self.undelivered.len(),
+            self.generation_blocked.len(),
+            self.quiescent,
+            self.steps,
+            self.post_fault_steps,
+        )
+    }
+}
+
+impl FaultScenario {
+    /// Builds the network this scenario describes (without running it).
+    pub fn build_network(&self) -> Network {
+        let graph = Graph::from_edges(self.n, &self.edges).expect("scenario graph is well-formed");
+        let mut config = NetworkConfig::clean()
+            .with_daemon(self.daemon.clone())
+            .with_corruption(self.corruption)
+            .with_garbage_fill(self.garbage_fill);
+        config.seed = self.seed;
+        if let Some(bug) = self.bug {
+            config = config.with_seeded_bug(bug);
+        }
+        Network::new(graph, config)
+    }
+
+    /// A copy of this scenario with a different fault plan (the shrinker's
+    /// re-execution primitive).
+    pub fn with_plan(&self, plan: FaultPlan) -> FaultScenario {
+        FaultScenario {
+            plan,
+            ..self.clone()
+        }
+    }
+}
+
+/// Executes a [`FaultScenario`] to quiescence (or budget) and audits the
+/// post-fault epoch against Specification `SP`.
+///
+/// The driver plays the higher layer: sends are issued at their stamped
+/// steps, and when the network quiesces *early* — before a pending send's
+/// stamp or a pending fault's stamp — virtual time warps forward so the
+/// schedule still executes in full (a quiescent network has no step
+/// counter of its own to reach the stamps with). Every fault is applied by
+/// the engine's step hook with its own seed, so the execution is
+/// deterministic in the scenario alone.
+pub fn run_fault_scenario(scenario: &FaultScenario) -> ScenarioOutcome {
+    let mut net = scenario.build_network();
+    let cursor = net.install_fault_plan(scenario.plan.clone());
+    let mut ghosts: Vec<GhostId> = Vec::with_capacity(scenario.sends.len());
+    let mut next_send = 0usize;
+    let mut quiescent = false;
+    // Iteration guard: Terminal pumps don't advance the step counter, but
+    // each one either issues a send, fires a fault, or exits the loop.
+    let max_iters = scenario.budget + scenario.sends.len() as u64 + scenario.plan.len() as u64 + 8;
+    let mut iters = 0u64;
+    while net.steps() < scenario.budget && iters < max_iters {
+        iters += 1;
+        while next_send < scenario.sends.len() && scenario.sends[next_send].at_step <= net.steps() {
+            let s = scenario.sends[next_send];
+            ghosts.push(net.send(s.src, s.dst, s.payload));
+            next_send += 1;
+        }
+        match net.pump() {
+            StepOutcome::Progress { .. } => {}
+            StepOutcome::Terminal => {
+                if next_send < scenario.sends.len() {
+                    // Quiesced before the next send's stamp: issue it now.
+                    let s = scenario.sends[next_send];
+                    ghosts.push(net.send(s.src, s.dst, s.payload));
+                    next_send += 1;
+                } else if !cursor.all_fired() {
+                    // Quiesced before the next fault's stamp: warp virtual
+                    // time so the step hook fires it on the next pump.
+                    cursor.warp_to(scenario.plan.faults[cursor.fired()].at_step);
+                } else if net.engine().is_terminal() {
+                    // `pump` re-arms `request_p` after the step, so the
+                    // Terminal outcome alone does not prove quiescence —
+                    // re-check after the re-arm.
+                    quiescent = true;
+                    break;
+                }
+            }
+        }
+    }
+    let epoch_step = cursor.epoch_step();
+    let since = epoch_step.unwrap_or(0);
+    let violations = net.check_sp_since(since);
+    let (undelivered, generation_blocked) = if quiescent {
+        let undelivered = net.ledger().outstanding_since(since);
+        let blocked = ghosts
+            .iter()
+            .filter(|g| net.ledger().generation_of(**g).is_none())
+            .copied()
+            .collect();
+        (undelivered, blocked)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    ScenarioOutcome {
+        violations,
+        undelivered,
+        generation_blocked,
+        quiescent,
+        epoch_step,
+        faults_applied: cursor.fired(),
+        steps: net.steps(),
+        post_fault_steps: net.steps().saturating_sub(since),
+        rounds: net.rounds(),
+    }
+}
+
+fn daemon_to_text(d: &DaemonKind) -> String {
+    match d {
+        DaemonKind::Synchronous => "sync".into(),
+        DaemonKind::RoundRobin => "roundrobin".into(),
+        DaemonKind::CentralRandom { seed } => format!("centralrandom:{seed}"),
+        DaemonKind::CentralRandomAction { seed } => format!("centralrandomaction:{seed}"),
+        DaemonKind::DistributedRandom { seed, p_move } => format!("distributed:{seed}:{p_move}"),
+        DaemonKind::LocallyCentral { seed } => format!("locallycentral:{seed}"),
+        DaemonKind::Adversarial { seed, victims } => {
+            format!("adversarial:{seed}:{}", join_ids(victims))
+        }
+        DaemonKind::AdversarialRandomAction { seed, victims } => {
+            format!("adversarialaction:{seed}:{}", join_ids(victims))
+        }
+    }
+}
+
+fn join_ids(ids: &[NodeId]) -> String {
+    ids.iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+fn split_ids(s: &str) -> Result<Vec<NodeId>, String> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(';')
+        .map(|t| t.parse().map_err(|_| format!("bad victim list '{s}'")))
+        .collect()
+}
+
+fn daemon_from_text(s: &str) -> Result<DaemonKind, String> {
+    let mut parts = s.split(':');
+    let tag = parts.next().unwrap_or("");
+    let mut arg = |what: &str| {
+        parts
+            .next()
+            .ok_or_else(|| format!("daemon '{s}' is missing its {what}"))
+    };
+    match tag {
+        "sync" => Ok(DaemonKind::Synchronous),
+        "roundrobin" => Ok(DaemonKind::RoundRobin),
+        "centralrandom" => Ok(DaemonKind::CentralRandom {
+            seed: parse_num(arg("seed")?)?,
+        }),
+        "centralrandomaction" => Ok(DaemonKind::CentralRandomAction {
+            seed: parse_num(arg("seed")?)?,
+        }),
+        "distributed" => Ok(DaemonKind::DistributedRandom {
+            seed: parse_num(arg("seed")?)?,
+            p_move: arg("p_move")?
+                .parse()
+                .map_err(|_| format!("bad p_move in '{s}'"))?,
+        }),
+        "locallycentral" => Ok(DaemonKind::LocallyCentral {
+            seed: parse_num(arg("seed")?)?,
+        }),
+        "adversarial" => Ok(DaemonKind::Adversarial {
+            seed: parse_num(arg("seed")?)?,
+            victims: split_ids(arg("victims")?)?,
+        }),
+        "adversarialaction" => Ok(DaemonKind::AdversarialRandomAction {
+            seed: parse_num(arg("seed")?)?,
+            victims: split_ids(arg("victims")?)?,
+        }),
+        other => Err(format!("unknown daemon '{other}'")),
+    }
+}
+
+fn parse_num(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("bad number '{s}'"))
+}
+
+fn corruption_from_text(s: &str) -> Result<CorruptionKind, String> {
+    for k in [
+        CorruptionKind::RandomGarbage,
+        CorruptionKind::ParentCycles,
+        CorruptionKind::AntiDistance,
+        CorruptionKind::AllZero,
+        CorruptionKind::None,
+    ] {
+        if k.label() == s {
+            return Ok(k);
+        }
+    }
+    Err(format!("unknown corruption kind '{s}'"))
+}
+
+impl FaultScenario {
+    /// Serializes the scenario as the `ssmfp-fault-scenario v1` replay
+    /// artifact (plain text; `f64` values roundtrip exactly via Rust's
+    /// shortest-representation `Display`).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("ssmfp-fault-scenario v1\n");
+        out.push_str(&format!("n={}\n", self.n));
+        for (a, b) in &self.edges {
+            out.push_str(&format!("edge {a} {b}\n"));
+        }
+        out.push_str(&format!("daemon={}\n", daemon_to_text(&self.daemon)));
+        out.push_str(&format!("corruption={}\n", self.corruption.label()));
+        out.push_str(&format!("garbage={}\n", self.garbage_fill));
+        out.push_str(&format!("seed={}\n", self.seed));
+        out.push_str(&format!(
+            "bug={}\n",
+            self.bug.map_or("none", SeededBug::label)
+        ));
+        out.push_str(&format!("budget={}\n", self.budget));
+        out.push_str(&format!("planseed={}\n", self.plan.seed));
+        for s in &self.sends {
+            out.push_str(&format!(
+                "send at={} src={} dst={} payload={}\n",
+                s.at_step, s.src, s.dst, s.payload
+            ));
+        }
+        for f in &self.plan.faults {
+            out.push_str(&fault_line(f));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the [`FaultScenario::to_text`] artifact.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or("empty scenario")?;
+        if header.trim() != "ssmfp-fault-scenario v1" {
+            return Err(format!("bad scenario header '{header}'"));
+        }
+        let mut n = None;
+        let mut edges = Vec::new();
+        let mut daemon = None;
+        let mut corruption_kind = None;
+        let mut garbage_fill = 0.0f64;
+        let mut seed = 0u64;
+        let mut bug = None;
+        let mut budget = None;
+        let mut plan_seed = 0u64;
+        let mut sends = Vec::new();
+        let mut faults = Vec::new();
+        for line in lines {
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix("edge ") {
+                let mut it = rest.split_whitespace();
+                let a = parse_num(it.next().ok_or("edge missing endpoint")?)? as NodeId;
+                let b = parse_num(it.next().ok_or("edge missing endpoint")?)? as NodeId;
+                edges.push((a, b));
+            } else if line.starts_with("send ") {
+                sends.push(SendSpec {
+                    at_step: parse_field(line, "at")?,
+                    src: parse_field(line, "src")?,
+                    dst: parse_field(line, "dst")?,
+                    payload: parse_field(line, "payload")?,
+                });
+            } else if line.starts_with("fault ") {
+                faults.push(parse_fault_line(line)?);
+            } else if let Some(v) = line.strip_prefix("n=") {
+                n = Some(parse_num(v)? as usize);
+            } else if let Some(v) = line.strip_prefix("daemon=") {
+                daemon = Some(daemon_from_text(v)?);
+            } else if let Some(v) = line.strip_prefix("corruption=") {
+                corruption_kind = Some(corruption_from_text(v)?);
+            } else if let Some(v) = line.strip_prefix("garbage=") {
+                garbage_fill = v.parse().map_err(|_| format!("bad garbage '{v}'"))?;
+            } else if let Some(v) = line.strip_prefix("seed=") {
+                seed = parse_num(v)?;
+            } else if let Some(v) = line.strip_prefix("bug=") {
+                bug = match v {
+                    "none" => None,
+                    other => Some(SeededBug::parse(other)?),
+                };
+            } else if let Some(v) = line.strip_prefix("budget=") {
+                budget = Some(parse_num(v)?);
+            } else if let Some(v) = line.strip_prefix("planseed=") {
+                plan_seed = parse_num(v)?;
+            } else {
+                return Err(format!("unrecognized scenario line '{line}'"));
+            }
+        }
+        Ok(FaultScenario {
+            n: n.ok_or("scenario missing n=")?,
+            edges,
+            daemon: daemon.ok_or("scenario missing daemon=")?,
+            corruption: corruption_kind.ok_or("scenario missing corruption=")?,
+            garbage_fill,
+            seed,
+            bug,
+            budget: budget.ok_or("scenario missing budget=")?,
+            sends,
+            plan: FaultPlan {
+                seed: plan_seed,
+                faults,
+            },
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,5 +659,101 @@ mod tests {
         let states = net.states();
         assert_eq!(states[A].routing.parent[B], C);
         assert_eq!(states[C].routing.parent[B], A);
+    }
+
+    fn sample_scenario(seed: u64) -> FaultScenario {
+        let graph = gen::ring(5);
+        let plan = FaultPlan::random(
+            &graph,
+            crate::faults::FaultPlanConfig {
+                faults: 4,
+                horizon: 400,
+                seed,
+            },
+        );
+        FaultScenario {
+            n: 5,
+            edges: graph.edges().to_vec(),
+            daemon: DaemonKind::CentralRandom { seed },
+            corruption: CorruptionKind::RandomGarbage,
+            garbage_fill: 0.3,
+            seed,
+            bug: None,
+            budget: 400_000,
+            sends: vec![
+                SendSpec {
+                    at_step: 0,
+                    src: 0,
+                    dst: 3,
+                    payload: 7,
+                },
+                SendSpec {
+                    at_step: 500,
+                    src: 2,
+                    dst: 4,
+                    payload: 9,
+                },
+            ],
+            plan,
+        }
+    }
+
+    #[test]
+    fn scenario_artifact_roundtrips() {
+        let scenario = sample_scenario(5);
+        let text = scenario.to_text();
+        let back = FaultScenario::from_text(&text).expect("roundtrip");
+        assert_eq!(scenario, back);
+        // Daemon variants with structured arguments roundtrip too.
+        for daemon in [
+            DaemonKind::Synchronous,
+            DaemonKind::RoundRobin,
+            DaemonKind::DistributedRandom {
+                seed: 3,
+                p_move: 0.35,
+            },
+            DaemonKind::LocallyCentral { seed: 9 },
+            DaemonKind::Adversarial {
+                seed: 1,
+                victims: vec![0, 2],
+            },
+            DaemonKind::AdversarialRandomAction {
+                seed: 1,
+                victims: vec![],
+            },
+        ] {
+            let mut s = scenario.clone();
+            s.daemon = daemon;
+            let back = FaultScenario::from_text(&s.to_text()).expect("roundtrip");
+            assert_eq!(s, back);
+        }
+        assert!(FaultScenario::from_text("not a scenario").is_err());
+    }
+
+    #[test]
+    fn scenario_execution_is_deterministic() {
+        let scenario = sample_scenario(11);
+        let a = run_fault_scenario(&scenario);
+        let b = run_fault_scenario(&FaultScenario::from_text(&scenario.to_text()).unwrap());
+        assert_eq!(a, b, "re-executing the artifact must reproduce the run");
+    }
+
+    #[test]
+    fn real_protocol_survives_fault_scenarios() {
+        for seed in 0..6 {
+            let scenario = sample_scenario(seed);
+            let outcome = run_fault_scenario(&scenario);
+            assert_eq!(
+                outcome.faults_applied,
+                scenario.plan.len(),
+                "warp must flush the whole plan: {outcome:?}"
+            );
+            assert!(
+                !outcome.is_violation(),
+                "seed {seed}: {}",
+                outcome.summary()
+            );
+            assert!(outcome.quiescent, "seed {seed}: {}", outcome.summary());
+        }
     }
 }

@@ -5,6 +5,30 @@ use crate::daemon::Daemon;
 use crate::protocol::{Protocol, View};
 use ssmfp_topology::{Graph, NodeId};
 
+/// A hook invoked at the top of every [`Engine::step`] call, *before* the
+/// terminal check and the daemon's selection — the window in which the
+/// paper's transient faults strike ("between daemon selections"). The hook
+/// may rewrite node states arbitrarily; it must push the id of every node
+/// it touched into `touched` so the engine can re-evaluate the affected
+/// guards (each touched node and its whole neighbourhood, exactly as
+/// [`Engine::mutate_state`] does). Because the hook runs before the
+/// terminal check, it can revive a quiescent network.
+///
+/// Hook-driven mutations follow the `mutate_state` round-accounting rule:
+/// a processor that becomes enabled mid-round does not join the current
+/// round's pending set.
+pub trait StepHook<P: Protocol> {
+    /// Called with the index of the step about to execute, the graph, and
+    /// the mutable configuration.
+    fn before_step(
+        &mut self,
+        step: u64,
+        graph: &Graph,
+        states: &mut [P::State],
+        touched: &mut Vec<NodeId>,
+    );
+}
+
 /// Outcome of a single step attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StepOutcome {
@@ -106,6 +130,8 @@ pub struct Engine<P: Protocol> {
     rounds: u64,
     events: Vec<EventRecord<P::Event>>,
     trace: Option<Vec<StepRecord<P::Action>>>,
+    /// Optional pre-step hook (fault injection, external stimuli).
+    hook: Option<Box<dyn StepHook<P>>>,
     /// Scratch buffers reused across steps (no per-step allocation).
     scratch_list: Vec<(NodeId, usize)>,
     scratch_events: Vec<P::Event>,
@@ -118,6 +144,7 @@ pub struct Engine<P: Protocol> {
     scratch_dirty: Vec<bool>,
     scratch_marked: Vec<(NodeId, usize)>,
     scratch_recompose: Vec<bool>,
+    scratch_hook_touched: Vec<NodeId>,
 }
 
 impl<P: Protocol> Engine<P> {
@@ -145,6 +172,7 @@ impl<P: Protocol> Engine<P> {
             rounds: 0,
             events: Vec::new(),
             trace: None,
+            hook: None,
             scratch_list: Vec::new(),
             scratch_events: Vec::new(),
             scratch_chosen: vec![false; n],
@@ -154,6 +182,7 @@ impl<P: Protocol> Engine<P> {
             scratch_dirty: vec![false; n * scope_count],
             scratch_marked: Vec::new(),
             scratch_recompose: vec![false; n],
+            scratch_hook_touched: Vec::new(),
         };
         for p in 0..n {
             eng.recompute_enabled(p);
@@ -255,6 +284,32 @@ impl<P: Protocol> Engine<P> {
         self.refresh_after_write(p);
     }
 
+    /// Externally mutates any subset of the configuration with read access
+    /// to the graph (multi-node fault injection). The closure pushes every
+    /// node it touched into the provided list; the engine then re-evaluates
+    /// the guards of each touched node and its neighbourhood, exactly as
+    /// [`Engine::mutate_state`] does.
+    pub fn mutate_with_graph(&mut self, f: impl FnOnce(&Graph, &mut [P::State], &mut Vec<NodeId>)) {
+        let mut touched = std::mem::take(&mut self.scratch_hook_touched);
+        touched.clear();
+        f(&self.graph, &mut self.states, &mut touched);
+        for i in 0..touched.len() {
+            self.refresh_after_write(touched[i]);
+        }
+        self.scratch_hook_touched = touched;
+    }
+
+    /// Installs a pre-step hook (replacing any previous one). The hook runs
+    /// at the top of every subsequent [`Engine::step`] call.
+    pub fn set_step_hook(&mut self, hook: Box<dyn StepHook<P>>) {
+        self.hook = Some(hook);
+    }
+
+    /// Removes and returns the installed pre-step hook, if any.
+    pub fn clear_step_hook(&mut self) -> Option<Box<dyn StepHook<P>>> {
+        self.hook.take()
+    }
+
     /// Replaces the entire configuration (fault injection: "the system may
     /// start from any configuration"). Resets step/round accounting so the
     /// new configuration is treated as an initial one.
@@ -327,6 +382,20 @@ impl<P: Protocol> Engine<P> {
     /// daemon selects, the chosen processors execute against the pre-step
     /// configuration, and all writes land together.
     pub fn step(&mut self) -> StepOutcome {
+        // Phase (0): the pre-step hook (fault injection) may rewrite states
+        // before the terminal check — a fault can revive a quiescent
+        // network, so the check must see the post-fault configuration.
+        if let Some(mut hook) = self.hook.take() {
+            let mut touched = std::mem::take(&mut self.scratch_hook_touched);
+            touched.clear();
+            hook.before_step(self.steps, &self.graph, &mut self.states, &mut touched);
+            for i in 0..touched.len() {
+                self.refresh_after_write(touched[i]);
+            }
+            self.scratch_hook_touched = touched;
+            self.hook = Some(hook);
+        }
+
         // Phase (i): guards are current in `self.enabled`.
         self.scratch_list.clear();
         for p in 0..self.graph.n() {
@@ -653,6 +722,67 @@ mod tests {
         let trace = eng.trace().unwrap();
         assert!(!trace.is_empty());
         assert!(trace.iter().all(|r| r.moves.len() == 1)); // central daemon
+    }
+
+    /// A toy fault hook: at one chosen step, overwrite one node's value.
+    struct SpikeHook {
+        at_step: u64,
+        node: NodeId,
+        value: u64,
+        fired: bool,
+    }
+
+    impl StepHook<MaxProtocol> for SpikeHook {
+        fn before_step(
+            &mut self,
+            step: u64,
+            _graph: &Graph,
+            states: &mut [MaxState],
+            touched: &mut Vec<NodeId>,
+        ) {
+            if !self.fired && step >= self.at_step {
+                states[self.node].0 = self.value;
+                touched.push(self.node);
+                self.fired = true;
+            }
+        }
+    }
+
+    #[test]
+    fn step_hook_revives_terminal_network() {
+        // Converge first, then install a hook that injects a larger value:
+        // the very next step() must see the new enabled processor instead
+        // of reporting Terminal, and the network re-converges to it.
+        let mut eng = max_engine(4, vec![3, 0, 0, 0], Box::new(SynchronousDaemon));
+        assert!(eng.run(100).terminal);
+        assert!(eng.is_terminal());
+        let resume_at = eng.steps();
+        eng.set_step_hook(Box::new(SpikeHook {
+            at_step: resume_at,
+            node: 2,
+            value: 9,
+            fired: false,
+        }));
+        let stats = eng.run(100);
+        assert!(stats.terminal);
+        assert!(eng.states().iter().all(|s| s.0 == 9));
+        assert!(eng.clear_step_hook().is_some());
+    }
+
+    #[test]
+    fn step_hook_fires_before_daemon_selection() {
+        // The hook rewrites node 0 at step 0, before any move: the run
+        // must propagate the hook's value, not the initial one.
+        let mut eng = max_engine(3, vec![5, 0, 0], Box::new(SynchronousDaemon));
+        eng.set_step_hook(Box::new(SpikeHook {
+            at_step: 0,
+            node: 0,
+            value: 8,
+            fired: false,
+        }));
+        let stats = eng.run(100);
+        assert!(stats.terminal);
+        assert!(eng.states().iter().all(|s| s.0 == 8));
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub use daemon::{
     AdversarialDaemon, CentralRandomDaemon, Daemon, DistributedRandomDaemon, RoundRobinDaemon,
     Selection, SynchronousDaemon,
 };
-pub use engine::{Engine, StepOutcome, StepRecord};
+pub use engine::{Engine, StepHook, StepOutcome, StepRecord};
 pub use footprint::{independent, Access, DestScope, Footprint, Locus, VarClass};
 pub use protocol::{Enabled, Protocol, TrackedView, View};
 pub use trace::TraceStats;

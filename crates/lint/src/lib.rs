@@ -30,14 +30,21 @@
 //!   its reads must cover every variable class some rule can write —
 //!   otherwise the checker's packed storage silently drops state and two
 //!   distinct configurations collapse into one visited entry.
+//! * **`fault-domain`** — every fault kind the injection engine can plant
+//!   ([`ssmfp_core::faults::FaultKind`]) confines its writes to variable
+//!   classes some declared rule already writes. Snap-stabilization is
+//!   "correct from any *model* configuration": a fault writing a class
+//!   outside every footprint would corrupt ghost/ledger instrumentation
+//!   or state the protocol never repairs, and the soak oracle's
+//!   post-fault argument would be vacuous.
 //!
 //! Findings are emitted as a machine-readable JSON report by the
 //! `ssmfp-lint` binary, which exits nonzero on violations (and, under
 //! `-D`, on warnings).
 
 use ssmfp_core::footprint::{composed_fwd_footprint, guards_can_overlap, LAYER_SSMFP};
-use ssmfp_core::{codec_footprint, Rule};
-use ssmfp_kernel::footprint::{independent, Access, Footprint, Locus};
+use ssmfp_core::{codec_footprint, FaultKind, Rule};
+use ssmfp_kernel::footprint::{independent, Access, Footprint, Locus, VarClass};
 use ssmfp_routing::footprint::{routing_footprint, LAYER_A};
 
 /// A rule (or routing action) under analysis: its label, owning layer,
@@ -144,6 +151,9 @@ pub struct LintReport {
     pub cross_dest_independent: Vec<(String, String)>,
     /// Variable classes the packed state codec declares it reads.
     pub codec_reads: Vec<String>,
+    /// Variable classes the fault-injection engine can write (union over
+    /// all fault kinds' declared write-sets).
+    pub fault_write_classes: Vec<String>,
 }
 
 impl LintReport {
@@ -187,6 +197,7 @@ pub fn analyze(decls: &[RuleDecl]) -> LintReport {
     lint_guard_overlap(decls, &mut report);
     lint_races(decls, &mut report);
     lint_codec(decls, &codec_footprint(), &mut report);
+    lint_fault_domains(decls, &mut report);
     report
         .findings
         .sort_by_key(|f| (f.severity == Severity::Warning) as u8);
@@ -428,6 +439,53 @@ fn lint_codec(decls: &[RuleDecl], codec: &Footprint, report: &mut LintReport) {
     });
 }
 
+/// Fault-domain analysis: every fault kind the injection engine can plant
+/// must confine its writes to variable classes that appear in some
+/// declared rule footprint's write-set (union semantics — a whole-node
+/// reset legitimately spans both layers' variables). A class no rule
+/// writes is either instrumentation (ghost identities, the ledger) or
+/// dead state; corrupting it would step outside the model the
+/// snap-stabilization oracle quantifies over.
+fn lint_fault_domains(decls: &[RuleDecl], report: &mut LintReport) {
+    let covered = |class: VarClass| {
+        decls.iter().any(|d| {
+            d.fp_d0
+                .writes
+                .iter()
+                .chain(&d.fp_d1.writes)
+                .any(|w| w.var == class)
+        })
+    };
+    let mut classes: Vec<String> = Vec::new();
+    for kind in FaultKind::representatives() {
+        for class in kind.write_set() {
+            classes.push(class.name.to_string());
+            if !covered(class) {
+                push(
+                    report,
+                    Severity::Violation,
+                    "fault-domain",
+                    format!(
+                        "fault kind `{}` writes `{}`, which no declared rule footprint writes — \
+                         the injected state would be outside the model and the oracle's \
+                         post-fault convergence argument would not cover it",
+                        kind.label(),
+                        class.name
+                    ),
+                );
+            }
+        }
+    }
+    classes.sort();
+    classes.dedup();
+    report.fault_write_classes = classes;
+    // The same gap surfaces once per (kind, class), and buffer kinds come
+    // in two variants with identical labels: deduplicate.
+    report.findings.dedup_by(|a, b| {
+        a.code == "fault-domain" && b.code == "fault-domain" && a.message == b.message
+    });
+}
+
 /// Serializes a report as JSON (hand-rolled: the workspace builds without
 /// a registry, so no serde).
 pub fn to_json(report: &LintReport) -> String {
@@ -454,21 +512,22 @@ pub fn to_json(report: &LintReport) -> String {
             .collect();
         format!("[{}]", items.join(","))
     }
-    let codec_reads: Vec<String> = report
-        .codec_reads
-        .iter()
-        .map(|v| format!("\"{}\"", esc(v)))
-        .collect();
+    let strings = |list: &[String]| -> String {
+        let items: Vec<String> = list.iter().map(|v| format!("\"{}\"", esc(v))).collect();
+        items.join(",")
+    };
     format!(
         "{{\n  \"tool\": \"ssmfp-lint\",\n  \"violations\": {},\n  \"warnings\": {},\n  \
          \"guard_overlaps\": {},\n  \"same_dest_interference\": {},\n  \
-         \"cross_dest_independent\": {},\n  \"codec_reads\": [{}]\n}}",
+         \"cross_dest_independent\": {},\n  \"codec_reads\": [{}],\n  \
+         \"fault_write_classes\": [{}]\n}}",
         findings(report.violations().collect()),
         findings(report.warnings().collect()),
         pairs(&report.guard_overlaps),
         pairs(&report.same_dest_interference),
         pairs(&report.cross_dest_independent),
-        codec_reads.join(","),
+        strings(&report.codec_reads),
+        strings(&report.fault_write_classes),
     )
 }
 
@@ -622,6 +681,49 @@ mod tests {
             gaps.iter().all(|f| f.message.contains("bufE")) && !gaps.is_empty(),
             "{gaps:?}"
         );
+    }
+
+    #[test]
+    fn fault_domains_are_within_declared_footprints() {
+        let report = analyze_default();
+        assert!(
+            !report.findings.iter().any(|f| f.code == "fault-domain"),
+            "{:?}",
+            report.findings
+        );
+        // The union surface the injection engine may touch, by class name.
+        for class in ["bufR", "bufE", "choicePtr", "request", "dist", "parent"] {
+            assert!(
+                report.fault_write_classes.contains(&class.to_string()),
+                "missing {class}: {:?}",
+                report.fault_write_classes
+            );
+        }
+    }
+
+    #[test]
+    fn fault_outside_declared_domains_is_caught() {
+        // Corrupt the declarations so no rule admits writing `choicePtr`:
+        // the choice-scramble (and node-reset) faults now write outside
+        // every declared footprint and the lint must go red.
+        let mut decls = default_decls();
+        for d in &mut decls {
+            for fp in [&mut d.fp_d0, &mut d.fp_d1] {
+                fp.writes
+                    .retain(|w| w.var != ssmfp_core::footprint::CHOICE_PTR);
+            }
+        }
+        let report = analyze(&decls);
+        let gaps: Vec<_> = report
+            .violations()
+            .filter(|f| f.code == "fault-domain")
+            .collect();
+        assert!(
+            gaps.iter().any(|f| f.message.contains("choice"))
+                && gaps.iter().any(|f| f.message.contains("reset")),
+            "{gaps:?}"
+        );
+        assert_ne!(report.exit_code(false), 0);
     }
 
     #[test]

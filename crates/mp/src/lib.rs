@@ -33,5 +33,5 @@
 pub mod net;
 pub mod port;
 
-pub use net::{LinkId, MpConfig, MpNetwork, MpNode, Outbox, SchedulerEvent};
+pub use net::{ChannelFaults, LinkId, MpConfig, MpNetwork, MpNode, Outbox, SchedulerEvent};
 pub use port::{MpForwarder, MpGhost, MpLedger, MpMessage, PortNetwork, WireMsg};

@@ -78,6 +78,49 @@ impl Default for MpConfig {
     }
 }
 
+/// Transient link-level fault budgets: while a budget lasts, each delivery
+/// may (seeded coin per opportunity) drop the message, duplicate it, or
+/// deliver out of FIFO order. Budgets are *transient* by construction —
+/// once exhausted the channels are reliable again, which is what lets a
+/// test quantify over the post-fault suffix (messages sent after the last
+/// link fault) exactly like the state-model fault plans do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelFaults {
+    /// RNG seed of the fault coin (independent of the scheduler's).
+    pub seed: u64,
+    /// Remaining message drops.
+    pub drop: u32,
+    /// Remaining duplications.
+    pub duplicate: u32,
+    /// Remaining reorders (deliver a random non-head channel slot).
+    pub reorder: u32,
+}
+
+impl ChannelFaults {
+    /// A budget of `k` faults of each kind.
+    pub fn budget(seed: u64, k: u32) -> Self {
+        ChannelFaults {
+            seed,
+            drop: k,
+            duplicate: k,
+            reorder: k,
+        }
+    }
+
+    /// Whether every budget is spent.
+    pub fn exhausted(&self) -> bool {
+        self.drop == 0 && self.duplicate == 0 && self.reorder == 0
+    }
+}
+
+struct FaultState {
+    budgets: ChannelFaults,
+    rng: ChaCha8Rng,
+    dropped: u64,
+    duplicated: u64,
+    reordered: u64,
+}
+
 /// The asynchronous network: nodes plus FIFO channels per directed edge.
 pub struct MpNetwork<N: MpNode> {
     graph: Graph,
@@ -87,6 +130,7 @@ pub struct MpNetwork<N: MpNode> {
     channels: Vec<VecDeque<N::Msg>>,
     rng: ChaCha8Rng,
     config: MpConfig,
+    faults: Option<FaultState>,
     steps: u64,
     delivered_msgs: u64,
     timeouts: u64,
@@ -109,6 +153,7 @@ impl<N: MpNode> MpNetwork<N> {
             channels,
             rng: ChaCha8Rng::seed_from_u64(config.seed),
             config,
+            faults: None,
             steps: 0,
             delivered_msgs: 0,
             timeouts: 0,
@@ -155,6 +200,37 @@ impl<N: MpNode> MpNetwork<N> {
         self.channels.iter().map(VecDeque::len).sum()
     }
 
+    /// Installs transient link-fault budgets. Each subsequent delivery
+    /// opportunity flips a seeded coin per remaining budget; once all
+    /// budgets are spent the channels are reliable again.
+    pub fn set_channel_faults(&mut self, faults: ChannelFaults) {
+        self.faults = Some(FaultState {
+            rng: ChaCha8Rng::seed_from_u64(faults.seed),
+            budgets: faults,
+            dropped: 0,
+            duplicated: 0,
+            reordered: 0,
+        });
+    }
+
+    /// Remaining fault budgets, if faults are installed.
+    pub fn channel_faults(&self) -> Option<ChannelFaults> {
+        self.faults.as_ref().map(|f| f.budgets)
+    }
+
+    /// True when no further link fault can occur (none installed, or all
+    /// budgets spent). The post-fault suffix of the execution starts here.
+    pub fn channel_faults_exhausted(&self) -> bool {
+        self.faults.as_ref().is_none_or(|f| f.budgets.exhausted())
+    }
+
+    /// `(dropped, duplicated, reordered)` wire messages so far.
+    pub fn channel_fault_counts(&self) -> (u64, u64, u64) {
+        self.faults
+            .as_ref()
+            .map_or((0, 0, 0), |f| (f.dropped, f.duplicated, f.reordered))
+    }
+
     /// Injects a message into a channel (fault injection: the initial
     /// configuration may contain arbitrary in-flight messages).
     pub fn inject_wire(&mut self, link: LinkId, msg: N::Msg) {
@@ -180,6 +256,35 @@ impl<N: MpNode> MpNetwork<N> {
         }
     }
 
+    /// Pops the next message of channel `idx`, applying link faults while
+    /// budgets remain. Returns `None` when the message was dropped on the
+    /// wire (the step still counts; nothing is delivered).
+    fn pop_with_faults(&mut self, idx: usize) -> Option<N::Msg> {
+        let Some(fs) = self.faults.as_mut() else {
+            return Some(self.channels[idx].pop_front().expect("busy link"));
+        };
+        let len = self.channels[idx].len();
+        let msg = if fs.budgets.reorder > 0 && len >= 2 && fs.rng.gen_bool(0.5) {
+            fs.budgets.reorder -= 1;
+            fs.reordered += 1;
+            let at = fs.rng.gen_range(1..len);
+            self.channels[idx].remove(at).expect("index in range")
+        } else {
+            self.channels[idx].pop_front().expect("busy link")
+        };
+        if fs.budgets.drop > 0 && fs.rng.gen_bool(0.5) {
+            fs.budgets.drop -= 1;
+            fs.dropped += 1;
+            return None;
+        }
+        if fs.budgets.duplicate > 0 && fs.rng.gen_bool(0.5) {
+            fs.budgets.duplicate -= 1;
+            fs.duplicated += 1;
+            self.channels[idx].push_back(msg.clone());
+        }
+        Some(msg)
+    }
+
     /// Executes one scheduler step. Returns the event, or `None` if the
     /// system is fully quiescent (no in-flight messages, all nodes idle).
     pub fn step(&mut self) -> Option<SchedulerEvent> {
@@ -203,11 +308,12 @@ impl<N: MpNode> MpNetwork<N> {
         match event {
             SchedulerEvent::Deliver(link) => {
                 let idx = self.link_index(link.from, link.to);
-                let msg = self.channels[idx].pop_front().expect("busy link");
-                let mut out = Outbox::new();
-                self.nodes[link.to].on_message(link.from, msg, &mut out);
-                self.flush_outbox(link.to, out);
-                self.delivered_msgs += 1;
+                if let Some(msg) = self.pop_with_faults(idx) {
+                    let mut out = Outbox::new();
+                    self.nodes[link.to].on_message(link.from, msg, &mut out);
+                    self.flush_outbox(link.to, out);
+                    self.delivered_msgs += 1;
+                }
             }
             SchedulerEvent::Timeout(p) => {
                 let mut out = Outbox::new();

@@ -51,6 +51,7 @@ fn main() {
             seed: 21,
             routing_priority: true,
             choice_strategy: Default::default(),
+            seeded_bug: None,
         };
         let mut net = Network::new(graph.clone(), config);
         let mut ghosts = Vec::new();

@@ -34,6 +34,7 @@ fn main() {
             seed: 7,
             routing_priority: true,
             choice_strategy: Default::default(),
+            seeded_bug: None,
         };
         let mut net = Network::new(graph.clone(), config);
         let initially_correct = {

@@ -28,6 +28,7 @@ proptest! {
             seed,
             routing_priority: true,
             choice_strategy: Default::default(),
+            seeded_bug: None,
         };
         let mut net = Network::new(graph.clone(), config);
         for s in 0..n {

@@ -23,6 +23,7 @@ fn quiescence_implies_correct_tables() {
             seed: 4,
             routing_priority: true,
             choice_strategy: Default::default(),
+            seeded_bug: None,
         };
         let mut net = Network::new(graph.clone(), config);
         net.send(0, 8, 5);
@@ -48,6 +49,7 @@ fn routing_priority_is_enforced_stepwise() {
         seed: 9,
         routing_priority: true,
         choice_strategy: Default::default(),
+        seeded_bug: None,
     };
     let mut net = Network::new(graph, config);
     net.send(0, 3, 1);
@@ -82,6 +84,7 @@ fn converged_tables_induce_the_figure2_buffer_graph() {
         seed: 2,
         routing_priority: true,
         choice_strategy: Default::default(),
+        seeded_bug: None,
     };
     let mut net = Network::new(graph.clone(), config);
     assert!(net.run_to_quiescence(10_000_000));
@@ -115,6 +118,7 @@ fn without_priority_sp_still_holds_on_suite() {
             seed,
             routing_priority: false,
             choice_strategy: Default::default(),
+            seeded_bug: None,
         };
         let mut net = Network::new(gen::ring(6), config);
         let mut ghosts = Vec::new();
@@ -141,6 +145,7 @@ fn staggered_sends_during_repair() {
         seed: 6,
         routing_priority: true,
         choice_strategy: Default::default(),
+        seeded_bug: None,
     };
     let mut net = Network::new(graph, config);
     let mut ghosts = Vec::new();

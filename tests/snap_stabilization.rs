@@ -65,6 +65,7 @@ proptest! {
             seed,
             routing_priority: true,
             choice_strategy: Default::default(),
+            seeded_bug: None,
         };
         let mut net = Network::new(graph, config);
         let ghosts: Vec<_> = sends
@@ -100,6 +101,7 @@ proptest! {
             seed,
             routing_priority: true,
             choice_strategy: Default::default(),
+            seeded_bug: None,
         };
         let mut net = Network::new(graph, config);
         let ghosts: Vec<_> = (0..n).map(|s| net.send(s, (s + 1) % n, s as u64 % 8)).collect();
@@ -151,6 +153,7 @@ fn unfair_daemon_preserves_safety() {
             seed,
             routing_priority: true,
             choice_strategy: Default::default(),
+            seeded_bug: None,
         };
         let mut net = Network::new(gen::ring(6), config);
         let mut ghosts = Vec::new();
