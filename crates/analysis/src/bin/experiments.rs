@@ -2,46 +2,74 @@
 //!
 //! Usage:
 //!   `cargo run --release -p ssmfp-analysis --bin experiments [seed]`
-//!   `cargo run --release -p ssmfp-analysis --bin experiments -- [seed] --csv DIR --threads N`
+//!   `cargo run --release -p ssmfp-analysis --bin experiments -- [seed] \
+//!        --csv DIR --json FILE --threads N`
 //!
 //! With `--csv DIR`, every table is additionally written as a CSV file
-//! (one per experiment) for plotting pipelines. With `--threads N` the
-//! replicate sweeps fan out over N workers (deterministic ordered merge:
-//! the tables are identical to a single-threaded run; default: the
-//! machine's available parallelism).
+//! (one per experiment) for plotting pipelines; with `--json FILE` the
+//! whole suite is written as one JSON array of tables (`-` = stdout).
+//! With `--threads N` the replicate sweeps fan out over N workers
+//! (deterministic ordered merge: the tables are identical to a
+//! single-threaded run; default: the machine's available parallelism).
 
 use ssmfp_analysis::experiments::run_all_with;
 
+fn die(msg: &str) -> ! {
+    eprintln!("ssmfp-experiments: {msg}");
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let csv_dir: Option<String> = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1).cloned());
-    let threads: usize = args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .map(|v| v.parse().expect("--threads takes a number"))
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
-        .max(1);
-    // The seed is the first bare numeric argument — skip option values.
-    let seed: u64 = args
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| *i == 0 || (args[i - 1] != "--csv" && args[i - 1] != "--threads"))
-        .find_map(|(_, a)| a.parse().ok())
-        .unwrap_or(2026);
+    let mut csv_dir: Option<String> = None;
+    let mut json: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut seed: u64 = 2026;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| die(&format!("{arg} needs a value")))
+        };
+        match arg.as_str() {
+            "--csv" => csv_dir = Some(value()),
+            "--json" => json = Some(value()),
+            "--threads" => {
+                threads = Some(
+                    value()
+                        .parse::<usize>()
+                        .unwrap_or_else(|_| die("--threads takes a number"))
+                        .max(1),
+                )
+            }
+            "--version" => {
+                println!("ssmfp-experiments {}", env!("CARGO_PKG_VERSION"));
+                std::process::exit(0);
+            }
+            "--help" | "-h" => {
+                println!("usage: ssmfp-experiments [seed] [--csv DIR] [--json FILE] [--threads N]");
+                std::process::exit(0);
+            }
+            bare => match bare.parse() {
+                Ok(s) => seed = s,
+                Err(_) => die(&format!("unknown argument: {bare}")),
+            },
+        }
+    }
+    let threads = threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
     println!("SSMFP experiment suite (seed {seed}, {threads} sweep threads)");
     println!("Reproduces: Cournier, Dubois, Villain — IPPS 2009, all figures & propositions.\n");
-    for (i, table) in run_all_with(seed, threads).into_iter().enumerate() {
+    let tables = run_all_with(seed, threads);
+    for (i, table) in tables.iter().enumerate() {
         println!("{table}");
         if let Some(dir) = &csv_dir {
-            std::fs::create_dir_all(dir).expect("create csv dir");
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| die(&format!("cannot create {dir}: {e}")));
             let slug: String = table
                 .title
                 .chars()
@@ -50,10 +78,28 @@ fn main() {
                 .map(|c| if c.is_alphanumeric() { c } else { '_' })
                 .collect();
             let path = format!("{dir}/{:02}_{slug}.csv", i + 1);
-            std::fs::write(&path, table.to_csv()).expect("write csv");
+            std::fs::write(&path, table.to_csv())
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
         }
     }
     if let Some(dir) = &csv_dir {
         println!("(CSV tables written to {dir}/)");
+    }
+    if let Some(path) = &json {
+        let body = format!(
+            "[\n  {}\n]\n",
+            tables
+                .iter()
+                .map(|t| t.to_json())
+                .collect::<Vec<_>>()
+                .join(",\n  ")
+        );
+        if path == "-" {
+            print!("{body}");
+        } else {
+            std::fs::write(path, body)
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            println!("(JSON suite written to {path})");
+        }
     }
 }

@@ -59,6 +59,32 @@ impl Table {
         }
         out
     }
+
+    /// Renders the table as a JSON object (`title`, `headers`, `rows` —
+    /// all cells as strings, matching the CSV rendering).
+    pub fn to_json(&self) -> String {
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        let arr = |cells: &[String]| {
+            format!(
+                "[{}]",
+                cells
+                    .iter()
+                    .map(|c| format!("\"{}\"", esc(c)))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        };
+        format!(
+            "{{\"title\": \"{}\", \"headers\": {}, \"rows\": [{}]}}",
+            esc(&self.title),
+            arr(&self.headers),
+            self.rows
+                .iter()
+                .map(|r| arr(r))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
 }
 
 impl fmt::Display for Table {
@@ -153,6 +179,16 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.contains("\"x,y\""));
         assert!(csv.contains("\"q\"\"z\""));
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_keeps_shape() {
+        let mut t = Table::new("E1 \"claim\"", &["a", "b"]);
+        t.row(vec!["1".into(), "x\"y".into()]);
+        let j = t.to_json();
+        assert!(j.contains("\"title\": \"E1 \\\"claim\\\"\""));
+        assert!(j.contains("\"headers\": [\"a\", \"b\"]"));
+        assert!(j.contains("\"rows\": [[\"1\", \"x\\\"y\"]]"));
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //! hand-rolled — numbers and booleans only, no string escapes needed
 //! beyond the fixed instance names.
 //!
+//! It also emits `BENCH_cluster.json` (socket-cluster end-to-end
+//! throughput and one-way latency quantiles: line-5 and caterpillar(3,2)
+//! topologies, closed- and open-loop workloads over Unix-domain sockets).
+//!
 //! Usage: `perf [--quick] [--threads N] [--out-dir DIR] [--baseline DIR]`
 //!
 //! * `--quick` — CI-sized instances (a few seconds total).
@@ -93,6 +97,10 @@ fn parse_args() -> Options {
                     eprintln!("perf: --baseline needs a directory");
                     std::process::exit(2);
                 }));
+            }
+            "--version" => {
+                println!("perf {}", env!("CARGO_PKG_VERSION"));
+                std::process::exit(0);
             }
             "--help" | "-h" => {
                 println!("usage: perf [--quick] [--threads N] [--out-dir DIR] [--baseline DIR]");
@@ -495,6 +503,103 @@ fn bench_state(opts: &Options, json: &mut String) {
     writeln!(json, "}}").unwrap();
 }
 
+/// One end-to-end cluster run over real Unix-domain sockets (in-process
+/// node threads, no chaos — this measures the transport and protocol hot
+/// path, not fault recovery). Returns `(primaries, secs, report)`.
+fn cluster_run(
+    topology: &str,
+    graph: Graph,
+    kind: ssmfp_cluster::WorkloadKind,
+    messages: u64,
+    dir: &std::path::Path,
+) -> ssmfp_cluster::RunReport {
+    let spec = ssmfp_cluster::ClusterSpec {
+        topology: topology.to_string(),
+        graph,
+        seed: 0xBE_BC,
+        workload: ssmfp_cluster::WorkloadSpec { kind, messages },
+        chaos: ssmfp_cluster::ChaosSpec::none(),
+        listen: ssmfp_cluster::ListenSpec::Uds {
+            dir: dir.to_path_buf(),
+        },
+        mode: ssmfp_cluster::RunMode::Inproc,
+        timeout: std::time::Duration::from_secs(120),
+    };
+    ssmfp_cluster::run_cluster(&spec).unwrap_or_else(|e| {
+        eprintln!("perf: cluster run {topology} failed: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn bench_cluster(opts: &Options, json: &mut String) {
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"cluster\",").unwrap();
+    writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if opts.quick { "quick" } else { "full" }
+    )
+    .unwrap();
+    writeln!(json, "  \"instances\": [").unwrap();
+
+    let msgs: u64 = if opts.quick { 30 } else { 120 };
+    let open_rate = 2_000.0;
+    let topologies = [
+        ("line-5", gen::line(5)),
+        ("caterpillar(3,2)", gen::caterpillar(3, 2)),
+    ];
+    let workloads = [
+        (
+            "closed-4",
+            ssmfp_cluster::WorkloadKind::Closed { outstanding: 4 },
+        ),
+        (
+            "open-2000/s",
+            ssmfp_cluster::WorkloadKind::Open {
+                rate_per_sec: open_rate,
+            },
+        ),
+    ];
+    let dir = std::env::temp_dir().join(format!("ssmfp-perf-cluster-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create cluster bench dir");
+    let last = topologies.len() * workloads.len() - 1;
+    let mut i = 0;
+    for (topo_name, graph) in &topologies {
+        for (wl_name, kind) in workloads {
+            let report = cluster_run(topo_name, graph.clone(), kind, msgs, &dir);
+            if !report.clean() {
+                eprintln!("perf: CLUSTER RUN NOT CLEAN on {topo_name}/{wl_name}");
+                std::process::exit(1);
+            }
+            let name = format!("{topo_name}, {wl_name}");
+            let (p50, p99) = (report.latency.quantile(0.50), report.latency.quantile(0.99));
+            eprintln!(
+                "cluster | {:<28} | {:>5} primaries | {:>8.0} msg/s | p50 {:>7} us | p99 {:>7} us | wall {:.2}s",
+                name, report.primaries_delivered, report.throughput, p50, p99, report.wall_s
+            );
+            writeln!(json, "    {{").unwrap();
+            writeln!(json, "      \"name\": \"{name}\",").unwrap();
+            writeln!(json, "      \"n\": {},", report.n).unwrap();
+            writeln!(
+                json,
+                "      \"primaries_delivered\": {},",
+                report.primaries_delivered
+            )
+            .unwrap();
+            writeln!(json, "      \"wall_s\": {:.4},", report.wall_s).unwrap();
+            writeln!(json, "      \"msgs_per_sec\": {:.1},", report.throughput).unwrap();
+            writeln!(json, "      \"p50_us\": {p50},").unwrap();
+            writeln!(json, "      \"p99_us\": {p99},").unwrap();
+            writeln!(json, "      \"clean\": {}", report.clean()).unwrap();
+            writeln!(json, "    }}{}", if i == last { "" } else { "," }).unwrap();
+            i += 1;
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+}
+
 /// Extracts `(instance_name, value)` pairs for `key` from one of our
 /// hand-rolled `BENCH_*.json` files, in document order. Each `"name"` line
 /// updates the current instance; each `"<key>": <number>` occurrence is
@@ -581,13 +686,14 @@ fn compare_file(label: &str, key: &str, baseline: &str, current: &str) -> usize 
 /// `dir`. Missing baseline files are skipped with a note (so a baseline
 /// directory can predate `BENCH_state.json`). Exits nonzero on any >25%
 /// throughput regression.
-fn compare_baseline(dir: &str, check: &str, engine: &str, state: &str) {
+fn compare_baseline(dir: &str, check: &str, engine: &str, state: &str, cluster: &str) {
     let mut regressions = 0;
-    let files: [(&str, &str, &str, &str); 4] = [
+    let files: [(&str, &str, &str, &str); 5] = [
         ("check", "BENCH_check.json", "states_per_sec", check),
         ("engine", "BENCH_engine.json", "steps_per_sec", engine),
         ("state", "BENCH_state.json", "nodes_per_sec", state),
         ("state", "BENCH_state.json", "compression", state),
+        ("cluster", "BENCH_cluster.json", "msgs_per_sec", cluster),
     ];
     for (label, file, key, current) in files {
         match std::fs::read_to_string(format!("{dir}/{file}")) {
@@ -610,16 +716,20 @@ fn main() {
     bench_engine(&opts, &mut engine_json);
     let mut state_json = String::new();
     bench_state(&opts, &mut state_json);
+    let mut cluster_json = String::new();
+    bench_cluster(&opts, &mut cluster_json);
 
     let check_path = format!("{}/BENCH_check.json", opts.out_dir);
     let engine_path = format!("{}/BENCH_engine.json", opts.out_dir);
     let state_path = format!("{}/BENCH_state.json", opts.out_dir);
+    let cluster_path = format!("{}/BENCH_cluster.json", opts.out_dir);
     std::fs::write(&check_path, &check_json).expect("write BENCH_check.json");
     std::fs::write(&engine_path, &engine_json).expect("write BENCH_engine.json");
     std::fs::write(&state_path, &state_json).expect("write BENCH_state.json");
-    eprintln!("wrote {check_path}, {engine_path} and {state_path}");
+    std::fs::write(&cluster_path, &cluster_json).expect("write BENCH_cluster.json");
+    eprintln!("wrote {check_path}, {engine_path}, {state_path} and {cluster_path}");
 
     if let Some(dir) = &opts.baseline {
-        compare_baseline(dir, &check_json, &engine_json, &state_json);
+        compare_baseline(dir, &check_json, &engine_json, &state_json, &cluster_json);
     }
 }

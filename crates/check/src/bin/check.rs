@@ -74,6 +74,7 @@ fn verdict_of(report: &ssmfp_check::Report) -> String {
 struct Options {
     threads: usize,
     seq_only: bool,
+    json: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -83,6 +84,7 @@ fn parse_args() -> Options {
     let mut opts = Options {
         threads: default_threads,
         seq_only: false,
+        json: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -99,8 +101,15 @@ fn parse_args() -> Options {
                     die("--threads must be >= 1");
                 }
             }
+            "--json" => {
+                opts.json = Some(args.next().unwrap_or_else(|| die("--json needs a path")));
+            }
+            "--version" => {
+                println!("ssmfp-check {}", env!("CARGO_PKG_VERSION"));
+                std::process::exit(0);
+            }
             "--help" | "-h" => {
-                println!("usage: ssmfp-check [--threads N] [--seq]");
+                println!("usage: ssmfp-check [--threads N] [--seq] [--json FILE]");
                 std::process::exit(0);
             }
             other => die(&format!("unknown argument: {other}")),
@@ -143,6 +152,8 @@ fn main() {
 
     let mut counterexample: Option<Vec<String>> = None;
     let mut mismatches: Vec<String> = Vec::new();
+    let mut unexpected: Vec<String> = Vec::new();
+    let mut json_rows: Vec<String> = Vec::new();
     let mut run = |name: &str,
                    graph: Graph,
                    states: Vec<NodeState>,
@@ -226,6 +237,24 @@ fn main() {
             speedup,
             verdict_of(&report)
         );
+        // The literal-R5 instance is *supposed* to find the paper's loss;
+        // everything else must verify.
+        if !literal_r5 && !report.verified() {
+            unexpected.push(format!("{name}: {}", verdict_of(&report)));
+        }
+        json_rows.push(format!(
+            "{{\"instance\": \"{}\", \"states\": {}, \"terminals\": {}, \"max_depth\": {}, \
+             \"por_states\": {}, \"bytes_per_state\": {:.1}, \"verdict\": \"{}\", \
+             \"expected_loss\": {}}}",
+            name,
+            report.states,
+            report.terminals,
+            report.max_depth,
+            por_report.states,
+            stats.bytes_per_state(),
+            verdict_of(&report),
+            literal_r5
+        ));
     };
 
     // 1. line-2, one message.
@@ -325,9 +354,27 @@ fn main() {
     println!("B/st = packed bytes/state, interning tables amortized; pack = unpacked (Arc-");
     println!("based, sharing-aware) bytes/state over packed — both reports cross-checked.");
     println!("kst/s = thousand distinct states/second; spdup = sequential/parallel wall time.");
-    if !mismatches.is_empty() {
+    if let Some(path) = &opts.json {
+        let body = format!(
+            "{{\n  \"instances\": [\n    {}\n  ],\n  \"mismatches\": {},\n  \"unexpected\": {}\n}}\n",
+            json_rows.join(",\n    "),
+            mismatches.len(),
+            unexpected.len()
+        );
+        let result = if path == "-" {
+            print!("{body}");
+            Ok(())
+        } else {
+            std::fs::write(path, body)
+        };
+        if let Err(e) = result {
+            eprintln!("ssmfp-check: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if !mismatches.is_empty() || !unexpected.is_empty() {
         eprintln!("\nVERDICT MISMATCH:");
-        for m in &mismatches {
+        for m in mismatches.iter().chain(&unexpected) {
             eprintln!("  {m}");
         }
         std::process::exit(1);

@@ -1,0 +1,266 @@
+//! `ssmfp-cluster`: run an SSMFP topology as real nodes over sockets.
+//!
+//! ```text
+//! ssmfp-cluster [--topology line:5] [--workload closed:4:200] [--seed 1]
+//!               [--faults 2] [--partition 20:40] [--transport uds|tcp]
+//!               [--inproc] [--timeout-s 60] [--json FILE] [--quiet]
+//! ```
+//!
+//! Exit codes: `0` clean run (converged, zero SP violations), `1` dirty
+//! or non-converged run, `2` usage error. The hidden `--node-worker` mode
+//! is how the orchestrator spawns per-node processes.
+
+use ssmfp_cluster::{
+    node_main, parse_chaos, parse_node_args, parse_workload, pick_partition, run_cluster,
+    ChaosSpec, ClusterSpec, ListenSpec, RunMode, WorkloadKind, WorkloadSpec,
+};
+use ssmfp_topology::{gen, Graph};
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn die(msg: &str) -> ! {
+    eprintln!("ssmfp-cluster: {msg}");
+    eprintln!("run with --help for usage");
+    std::process::exit(2);
+}
+
+fn help() {
+    println!(
+        "\
+ssmfp-cluster — SSMFP nodes over real sockets
+
+USAGE:
+    ssmfp-cluster [OPTIONS]
+
+OPTIONS:
+    --topology SPEC    line:N | ring:N | star:N | caterpillar:S:L | grid:R:C
+                       (default line:5)
+    --workload SPEC    open:<rate/s>:<msgs> | closed:<K>:<msgs> per node
+                       (default closed:4:50)
+    --seed S           run seed (default 1)
+    --faults K         per-link drop/duplicate/reorder budgets (default 0)
+    --partition F:L    one partition/heal cycle: drop data-plane arrivals
+                       [F, F+L) on a seed-picked edge (default off)
+    --transport T      uds | tcp (default uds)
+    --inproc           nodes as threads instead of processes
+    --timeout-s T      convergence timeout in seconds (default 60)
+    --json FILE        write the JSON run report to FILE ('-' = stdout)
+    --quiet            suppress the human summary
+    --version          print version and exit
+    -h, --help         this text"
+    );
+}
+
+fn parse_topology(s: &str) -> Result<(String, Graph), String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    let num = |i: usize| -> Result<usize, String> {
+        parts
+            .get(i)
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("bad topology {s:?}"))
+    };
+    let g = match (parts[0], parts.len()) {
+        ("line", 2) => gen::line(num(1)?),
+        ("ring", 2) => gen::ring(num(1)?),
+        ("star", 2) => gen::star(num(1)?),
+        ("caterpillar", 3) => gen::caterpillar(num(1)?, num(2)?),
+        ("grid", 3) => gen::grid(num(1)?, num(2)?),
+        _ => return Err(format!("unknown topology {s:?}")),
+    };
+    Ok((s.to_string(), g))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Hidden per-node worker mode (spawned by the orchestrator).
+    if args.first().map(String::as_str) == Some("--node-worker") {
+        let cfg = match parse_node_args(&args[1..]) {
+            Ok(c) => c,
+            Err(e) => die(&e),
+        };
+        return match node_main(&cfg, std::io::stdin(), std::io::stdout()) {
+            Ok(_) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("ssmfp-cluster node {}: {e}", cfg.node);
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let mut topology = None;
+    let mut workload = WorkloadSpec {
+        kind: WorkloadKind::Closed { outstanding: 4 },
+        messages: 50,
+    };
+    let mut seed: u64 = 1;
+    let mut faults: u32 = 0;
+    let mut partition: Option<(u64, u64)> = None;
+    let mut transport = "uds".to_string();
+    let mut inproc = false;
+    let mut timeout_s: u64 = 60;
+    let mut json: Option<String> = None;
+    let mut quiet = false;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || -> &str {
+            it.next()
+                .map(String::as_str)
+                .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--topology" => match parse_topology(val()) {
+                Ok(t) => topology = Some(t),
+                Err(e) => die(&e),
+            },
+            "--workload" => match parse_workload(val()) {
+                Ok(w) => workload = w,
+                Err(e) => die(&e),
+            },
+            "--seed" => {
+                seed = val()
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("--seed: {e}")))
+            }
+            "--faults" => {
+                faults = val()
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("--faults: {e}")))
+            }
+            "--partition" => {
+                let v = val();
+                let Some((f, l)) = v.split_once(':') else {
+                    die(&format!("bad --partition {v:?} (want FROM:LEN)"));
+                };
+                let f = f
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("--partition: {e}")));
+                let l = l
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("--partition: {e}")));
+                partition = Some((f, l));
+            }
+            "--transport" => {
+                transport = val().to_string();
+                if transport != "uds" && transport != "tcp" {
+                    die(&format!("bad --transport {transport:?} (want uds|tcp)"));
+                }
+            }
+            "--inproc" => inproc = true,
+            "--timeout-s" => {
+                timeout_s = val()
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("--timeout-s: {e}")))
+            }
+            "--json" => json = Some(val().to_string()),
+            "--quiet" => quiet = true,
+            "--version" => {
+                println!("ssmfp-cluster {}", env!("CARGO_PKG_VERSION"));
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                help();
+                return ExitCode::SUCCESS;
+            }
+            other => die(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let (name, graph) = topology.unwrap_or_else(|| parse_topology("line:5").expect("default"));
+    if graph.n() < 2 {
+        die("topology needs at least 2 nodes");
+    }
+    // An ignored side effect of `--chaos` syntax reuse: validate early so
+    // the worker round-trip can't fail later.
+    let chaos = ChaosSpec {
+        seed: seed ^ 0xC4A0_5C4A_05C4_A05C,
+        faults_per_link: faults,
+        partition: partition.map(|(f, l)| pick_partition(&graph, seed, f, l)),
+    };
+    debug_assert!(parse_chaos(&format!("{}:{}", chaos.seed, chaos.faults_per_link)).is_ok());
+
+    let uds_dir = std::env::temp_dir().join(format!("ssmfp-cluster-{}", std::process::id()));
+    let listen = if transport == "uds" {
+        if let Err(e) = std::fs::create_dir_all(&uds_dir) {
+            die(&format!("cannot create {}: {e}", uds_dir.display()));
+        }
+        ListenSpec::Uds {
+            dir: uds_dir.clone(),
+        }
+    } else {
+        ListenSpec::Tcp
+    };
+    let mode = if inproc {
+        RunMode::Inproc
+    } else {
+        match std::env::current_exe() {
+            Ok(exe) => RunMode::Proc { exe },
+            Err(e) => die(&format!("cannot locate own binary: {e}")),
+        }
+    };
+
+    let spec = ClusterSpec {
+        topology: name,
+        graph,
+        seed,
+        workload,
+        chaos,
+        listen,
+        mode,
+        timeout: Duration::from_secs(timeout_s),
+    };
+    let report = match run_cluster(&spec) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = std::fs::remove_dir_all(&uds_dir);
+            eprintln!("ssmfp-cluster: run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let _ = std::fs::remove_dir_all(&uds_dir);
+
+    if !quiet {
+        let v = &report.verdict;
+        eprintln!(
+            "{}: n={} seed={} converged={} wall={:.2}s generated={} exactly_once={} \
+             violations={} | {:.0} msg/s p50={}µs p99={}µs | chaos d/u/r={}/{}/{} part={}",
+            report.topology,
+            report.n,
+            report.seed,
+            report.converged,
+            report.wall_s,
+            v.generated,
+            v.exactly_once,
+            v.violations.len(),
+            report.throughput,
+            report.latency.quantile(0.50),
+            report.latency.quantile(0.99),
+            report.counters.chaos_dropped,
+            report.counters.chaos_duplicated,
+            report.counters.chaos_reordered,
+            report.counters.partition_dropped,
+        );
+    }
+    match json.as_deref() {
+        Some("-") => println!("{}", report.to_json()),
+        Some(path) => {
+            let out = report.to_json();
+            if let Err(e) = std::fs::File::create(path).and_then(|mut f| {
+                f.write_all(out.as_bytes())?;
+                f.write_all(b"\n")
+            }) {
+                eprintln!("ssmfp-cluster: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => {}
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("ssmfp-cluster: run was NOT clean");
+        ExitCode::FAILURE
+    }
+}

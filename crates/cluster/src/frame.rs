@@ -1,0 +1,146 @@
+//! Mapping between the simulator's [`WireMsg`] and the wire codec's
+//! [`WireFrame`].
+//!
+//! `crates/mp` stays independent of `crates/core`, so the two sides have
+//! their own message/ghost types; this module is the (total, lossless)
+//! bridge. `Hello`/`Heartbeat` frames are supervision-only and have no
+//! `WireMsg` counterpart — [`frame_to_msg`] returns `None` for them.
+
+use ssmfp_core::wire::{WireFrame, WireMessage};
+use ssmfp_core::GhostId;
+use ssmfp_mp::{MpGhost, MpMessage, WireMsg};
+
+/// `MpGhost` → `GhostId` (same 64-bit identity space).
+pub fn ghost_to_wire(g: MpGhost) -> GhostId {
+    match g {
+        MpGhost::Valid(k) => GhostId::Valid(k),
+        MpGhost::Invalid(k) => GhostId::Invalid(k),
+    }
+}
+
+/// `GhostId` → `MpGhost`.
+pub fn ghost_from_wire(g: GhostId) -> MpGhost {
+    match g {
+        GhostId::Valid(k) => MpGhost::Valid(k),
+        GhostId::Invalid(k) => MpGhost::Invalid(k),
+    }
+}
+
+fn msg_to_wire(m: &MpMessage) -> WireMessage {
+    WireMessage {
+        payload: m.payload,
+        color: m.color,
+        ghost: ghost_to_wire(m.ghost),
+    }
+}
+
+fn msg_from_wire(m: &WireMessage) -> MpMessage {
+    MpMessage {
+        payload: m.payload,
+        color: m.color,
+        ghost: ghost_from_wire(m.ghost),
+    }
+}
+
+/// Encodes a simulator message as a frame. Destinations are `usize` in
+/// the simulator and `u16` on the wire; [`ssmfp_core::wire`]'s layout
+/// bounds instances at `n < 2^16`, far above any deployable topology.
+pub fn msg_to_frame(msg: &WireMsg) -> WireFrame {
+    match msg {
+        WireMsg::Offer { d, msg, nonce } => WireFrame::Offer {
+            d: *d as u16,
+            msg: msg_to_wire(msg),
+            nonce: *nonce,
+        },
+        WireMsg::Accept { d, msg, nonce } => WireFrame::Accept {
+            d: *d as u16,
+            msg: msg_to_wire(msg),
+            nonce: *nonce,
+        },
+        WireMsg::Confirm { d, msg, nonce } => WireFrame::Confirm {
+            d: *d as u16,
+            msg: msg_to_wire(msg),
+            nonce: *nonce,
+        },
+        WireMsg::Deny { d, msg, nonce } => WireFrame::Deny {
+            d: *d as u16,
+            msg: msg_to_wire(msg),
+            nonce: *nonce,
+        },
+        WireMsg::Dv { d, dist } => WireFrame::Dv {
+            d: *d as u16,
+            dist: *dist,
+        },
+    }
+}
+
+/// Decodes a frame back into a simulator message; `None` for the
+/// supervision frames (`Hello`/`Heartbeat`), which never reach the
+/// protocol.
+pub fn frame_to_msg(frame: &WireFrame) -> Option<WireMsg> {
+    Some(match frame {
+        WireFrame::Offer { d, msg, nonce } => WireMsg::Offer {
+            d: *d as usize,
+            msg: msg_from_wire(msg),
+            nonce: *nonce,
+        },
+        WireFrame::Accept { d, msg, nonce } => WireMsg::Accept {
+            d: *d as usize,
+            msg: msg_from_wire(msg),
+            nonce: *nonce,
+        },
+        WireFrame::Confirm { d, msg, nonce } => WireMsg::Confirm {
+            d: *d as usize,
+            msg: msg_from_wire(msg),
+            nonce: *nonce,
+        },
+        WireFrame::Deny { d, msg, nonce } => WireMsg::Deny {
+            d: *d as usize,
+            msg: msg_from_wire(msg),
+            nonce: *nonce,
+        },
+        WireFrame::Dv { d, dist } => WireMsg::Dv {
+            d: *d as usize,
+            dist: *dist,
+        },
+        WireFrame::Hello { .. } | WireFrame::Heartbeat { .. } => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_frame_roundtrip() {
+        let msgs = vec![
+            WireMsg::Offer {
+                d: 3,
+                msg: MpMessage {
+                    payload: 99,
+                    color: 2,
+                    ghost: MpGhost::Valid(7),
+                },
+                nonce: 0xABCD,
+            },
+            WireMsg::Deny {
+                d: 0,
+                msg: MpMessage {
+                    payload: 0,
+                    color: 0,
+                    ghost: MpGhost::Invalid(3),
+                },
+                nonce: 1,
+            },
+            WireMsg::Dv { d: 5, dist: 2 },
+        ];
+        for m in msgs {
+            let f = msg_to_frame(&m);
+            assert_eq!(frame_to_msg(&f), Some(m));
+        }
+        assert_eq!(
+            frame_to_msg(&WireFrame::Heartbeat { node: 1, clock: 2 }),
+            None
+        );
+    }
+}

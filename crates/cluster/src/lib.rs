@@ -1,0 +1,40 @@
+//! Distributed SSMFP cluster runtime: the message-passing port of the
+//! snap-stabilizing forwarder (`crates/mp`) deployed as real nodes over
+//! OS sockets, with supervised connections, workload generators, and
+//! latency/throughput telemetry.
+//!
+//! Module map:
+//! * [`frame`] — lossless bridge between the simulator's `WireMsg` and
+//!   the wire codec's `WireFrame`.
+//! * [`transport`] — [`transport::LoopbackTransport`], a socket-backed
+//!   `ssmfp_mp::Transport` the shared exactly-once suite runs against.
+//! * [`chaos`] — socket-level fault shim (drop/duplicate/reorder budgets
+//!   plus one partition/heal cycle), sharing the simulator's
+//!   `FaultClerk` decision procedure.
+//! * [`workload`] — open-loop (Poisson) and closed-loop (K outstanding)
+//!   generators, with the payload-stamp and ghost-numbering conventions.
+//! * [`node`] — one node: forwarder + listener + per-neighbour writer
+//!   threads (bounded queues, heartbeats, backoff reconnect) + the
+//!   line-based control protocol.
+//! * [`orchestrator`] — spawns a topology (threads or processes), waits
+//!   for convergence, reconciles ledgers into a cluster-wide SP verdict,
+//!   and renders the JSON run report.
+//! * [`telemetry`] — log-bucketed latency histograms and counters.
+
+pub mod chaos;
+pub mod frame;
+pub mod node;
+pub mod orchestrator;
+pub mod telemetry;
+pub mod transport;
+pub mod workload;
+
+pub use chaos::{ChaosSpec, PartitionSpec};
+pub use node::{node_main, ListenSpec, NodeConfig, NodeReport};
+pub use orchestrator::{
+    node_args, parse_chaos, parse_node_args, parse_workload, pick_partition, run_cluster,
+    ClusterSpec, RunMode, RunReport,
+};
+pub use telemetry::{LogHistogram, NodeCounters};
+pub use transport::LoopbackTransport;
+pub use workload::{is_ack_ghost, WorkloadGen, WorkloadKind, WorkloadSpec};

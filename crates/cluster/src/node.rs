@@ -1,0 +1,715 @@
+//! One SSMFP node as an OS process (or thread): the forwarder from
+//! `crates/mp` driven by real sockets instead of the simulated scheduler.
+//!
+//! ## Connection model
+//!
+//! Every *directed* edge gets its own simplex connection: the sender dials
+//! its neighbour's listener, writes a `Hello` identifying itself, then
+//! streams frames. The acceptor side only reads. This keeps reconnection
+//! trivially safe — a lost connection loses in-flight frames (wire drops),
+//! which the protocol's retransmission already tolerates, and the dialer
+//! re-establishes with exponential backoff plus jitter.
+//!
+//! ## Supervision
+//!
+//! Per-neighbour writer threads own the outbound connections: bounded
+//! frame queues (backpressure), heartbeats on idle links, seeded backoff
+//! on reconnect. An accept thread spawns one reader per inbound
+//! connection; readers park garbage/truncated input by dropping the
+//! connection (the codec is total, so malformed bytes can never panic).
+//!
+//! ## Control protocol
+//!
+//! Line-based, over the orchestrator's pipe:
+//! * node → orch: `ready <addr>`
+//! * orch → node: `peers <addr_0> … <addr_{n-1}>`, then `start`
+//! * node → orch: `status <done_issuing> <generated> <delivered> <held>`
+//! * orch → node: `stop`
+//! * node → orch: a multi-line `report … end` block, then exit.
+
+use crate::chaos::{ChaosSpec, InboundChaos};
+use crate::frame::{frame_to_msg, msg_to_frame};
+use crate::telemetry::{LogHistogram, NodeCounters};
+use crate::workload::{ack_payload, is_ack, stamp_of, WorkloadGen, WorkloadSpec, STAMP_MASK};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use ssmfp_core::wire::{encode_frame, FrameReader, WireFrame};
+use ssmfp_mp::{MpForwarder, MpGhost, MpNode, Outbox};
+use ssmfp_topology::{BfsTree, Graph, NodeId};
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Main-loop granularity: protocol timeouts fire at most this often.
+const TICK: Duration = Duration::from_millis(1);
+/// Idle gap after which a writer emits a heartbeat.
+const HEARTBEAT: Duration = Duration::from_millis(50);
+/// Status push period.
+const STATUS_EVERY: Duration = Duration::from_millis(25);
+/// Bounded outbound queue depth per neighbour.
+const SEND_QUEUE: usize = 1024;
+/// Reconnect backoff base (doubles per attempt, capped, jittered).
+const BACKOFF_BASE_MS: u64 = 4;
+const BACKOFF_CAP_MS: u64 = 250;
+/// Dial attempts before the writer gives up (node is shutting down or the
+/// peer is gone for good).
+const MAX_DIAL_ATTEMPTS: u32 = 400;
+
+/// Where a node listens for inbound connections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ListenSpec {
+    /// Unix-domain socket `<dir>/node<k>.sock`.
+    Uds {
+        /// Directory holding the per-node sockets.
+        dir: PathBuf,
+    },
+    /// TCP on `127.0.0.1`, OS-assigned port.
+    Tcp,
+}
+
+/// Everything one node needs to run.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// This node's id.
+    pub node: NodeId,
+    /// Cluster size.
+    pub n: usize,
+    /// The full (undirected) edge list of the topology.
+    pub edges: Vec<(NodeId, NodeId)>,
+    /// Run seed (drives nonces, workload, chaos, backoff jitter).
+    pub seed: u64,
+    /// Listener flavour.
+    pub listen: ListenSpec,
+    /// Workload shape and quota.
+    pub workload: WorkloadSpec,
+    /// Link chaos.
+    pub chaos: ChaosSpec,
+}
+
+/// One node's final report, as parsed by the orchestrator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeReport {
+    /// Reporting node.
+    pub node: NodeId,
+    /// Ghosts this node generated, with their destinations.
+    pub generated: Vec<(MpGhost, NodeId)>,
+    /// Ghosts delivered here.
+    pub delivered: Vec<MpGhost>,
+    /// Ghosts still held at shutdown.
+    pub held: Vec<MpGhost>,
+    /// One-way latency of primaries delivered here (µs).
+    pub latency: LogHistogram,
+    /// Transport/chaos counters.
+    pub counters: NodeCounters,
+}
+
+enum NetListener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl NetListener {
+    fn bind(spec: &ListenSpec, node: NodeId) -> io::Result<(Self, String)> {
+        match spec {
+            ListenSpec::Uds { dir } => {
+                let path = dir.join(format!("node{node}.sock"));
+                let _ = std::fs::remove_file(&path);
+                let l = UnixListener::bind(&path)?;
+                l.set_nonblocking(true)?;
+                Ok((NetListener::Unix(l), format!("uds:{}", path.display())))
+            }
+            ListenSpec::Tcp => {
+                let l = TcpListener::bind("127.0.0.1:0")?;
+                l.set_nonblocking(true)?;
+                let addr = l.local_addr()?;
+                Ok((NetListener::Tcp(l), format!("tcp:{addr}")))
+            }
+        }
+    }
+
+    fn accept(&self) -> io::Result<Box<dyn Read + Send>> {
+        match self {
+            NetListener::Unix(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(false)?;
+                Ok(Box::new(s))
+            }
+            NetListener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(false)?;
+                let _ = s.set_nodelay(true);
+                Ok(Box::new(s))
+            }
+        }
+    }
+}
+
+fn dial(addr: &str) -> io::Result<Box<dyn Write + Send>> {
+    if let Some(path) = addr.strip_prefix("uds:") {
+        Ok(Box::new(UnixStream::connect(path)?))
+    } else if let Some(sock) = addr.strip_prefix("tcp:") {
+        let s = TcpStream::connect(sock)?;
+        let _ = s.set_nodelay(true);
+        Ok(Box::new(s))
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("bad peer address {addr:?}"),
+        ))
+    }
+}
+
+/// Reads frames off one inbound connection until EOF or garbage.
+fn reader_loop(mut stream: Box<dyn Read + Send>, inbound: mpsc::Sender<(NodeId, WireFrame)>) {
+    let mut fr = FrameReader::new();
+    let mut from: Option<NodeId> = None;
+    let mut buf = [0u8; 4096];
+    loop {
+        let k = match stream.read(&mut buf) {
+            Ok(0) | Err(_) => return,
+            Ok(k) => k,
+        };
+        fr.extend(&buf[..k]);
+        loop {
+            match fr.next_frame() {
+                Ok(Some(WireFrame::Hello { node, .. })) => from = Some(node as NodeId),
+                Ok(Some(frame)) => match from {
+                    // Frames before the Hello: unidentified connection,
+                    // drop it (the dialer will reconnect and re-Hello).
+                    None => return,
+                    Some(p) => {
+                        if inbound.send((p, frame)).is_err() {
+                            return;
+                        }
+                    }
+                },
+                Ok(None) => break,
+                Err(_) => return, // garbage on the wire: kill the connection
+            }
+        }
+    }
+}
+
+fn accept_loop(
+    listener: NetListener,
+    inbound: mpsc::Sender<(NodeId, WireFrame)>,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok(stream) => {
+                let tx = inbound.clone();
+                thread::spawn(move || reader_loop(stream, tx));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Owns one outbound simplex connection: dials with backoff, Hellos,
+/// streams frames, heartbeats when idle.
+#[allow(clippy::too_many_arguments)]
+fn writer_loop(
+    my_id: NodeId,
+    addr: String,
+    rx: Receiver<WireFrame>,
+    heartbeats: Arc<AtomicU64>,
+    reconnects: Arc<AtomicU64>,
+    seed: u64,
+) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut incarnation: u32 = 0;
+    let mut buf = Vec::with_capacity(64);
+    let mut clock: u64 = 0;
+    // A frame that failed mid-write is retried on the next connection —
+    // losing it entirely would be a *wire* drop, which is fine, but
+    // retrying is cheap and keeps chaos accounting to the chaos shim.
+    let mut carry: Option<WireFrame> = None;
+    'connect: loop {
+        let mut attempt: u32 = 0;
+        let mut stream = loop {
+            match dial(&addr) {
+                Ok(s) => break s,
+                Err(_) => {
+                    attempt += 1;
+                    if attempt > MAX_DIAL_ATTEMPTS {
+                        return;
+                    }
+                    let backoff = (BACKOFF_BASE_MS << attempt.min(6)).min(BACKOFF_CAP_MS);
+                    let jitter = rng.gen_range(0..=backoff / 2);
+                    thread::sleep(Duration::from_millis(backoff + jitter));
+                }
+            }
+        };
+        if incarnation > 0 {
+            reconnects.fetch_add(1, Ordering::Relaxed);
+        }
+        incarnation += 1;
+        buf.clear();
+        encode_frame(
+            &WireFrame::Hello {
+                node: my_id as u16,
+                incarnation,
+            },
+            &mut buf,
+        );
+        if stream.write_all(&buf).is_err() {
+            continue 'connect;
+        }
+        loop {
+            let frame = match carry.take() {
+                Some(f) => f,
+                None => match rx.recv_timeout(HEARTBEAT) {
+                    Ok(f) => f,
+                    Err(RecvTimeoutError::Timeout) => {
+                        clock += 1;
+                        let hb = WireFrame::Heartbeat {
+                            node: my_id as u16,
+                            clock,
+                        };
+                        buf.clear();
+                        encode_frame(&hb, &mut buf);
+                        if stream.write_all(&buf).is_err() {
+                            continue 'connect;
+                        }
+                        heartbeats.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => return,
+                },
+            };
+            buf.clear();
+            encode_frame(&frame, &mut buf);
+            if stream.write_all(&buf).is_err() {
+                carry = Some(frame);
+                continue 'connect;
+            }
+        }
+    }
+}
+
+/// Wall clock in µs, truncated to the payload stamp width. Latency is the
+/// wrapping difference, so absolute truncation is harmless.
+fn now_stamp() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or(Duration::ZERO)
+        .as_micros() as u64
+        & STAMP_MASK
+}
+
+fn routing_table(graph: &Graph, p: NodeId) -> Vec<NodeId> {
+    let n = graph.n();
+    (0..n)
+        .map(|d| {
+            if p == d {
+                p
+            } else {
+                BfsTree::new(graph, d)
+                    .parent(p)
+                    .expect("connected topology")
+            }
+        })
+        .collect()
+}
+
+/// Runs one node to completion over the given control pipe. Returns the
+/// report it also wrote to the orchestrator.
+pub fn node_main<R, W>(cfg: &NodeConfig, ctrl_r: R, mut ctrl_w: W) -> io::Result<NodeReport>
+where
+    R: Read + Send + 'static,
+    W: Write,
+{
+    let graph = Graph::from_edges(cfg.n, &cfg.edges).map_err(io::Error::other)?;
+    let p = cfg.node;
+    let neighbors: Vec<NodeId> = graph.neighbors(p).to_vec();
+    let mut fwd = MpForwarder::new_static(
+        p,
+        cfg.n,
+        graph.max_degree() as u8,
+        neighbors.clone(),
+        routing_table(&graph, p),
+        cfg.seed,
+    );
+    let mut gen = WorkloadGen::new(cfg.workload, p, cfg.n, cfg.seed);
+    let mut chaos: HashMap<NodeId, InboundChaos> = neighbors
+        .iter()
+        .map(|&q| (q, InboundChaos::new(&cfg.chaos, q, p)))
+        .collect();
+    let mut latency = LogHistogram::new();
+    let mut counters = NodeCounters::default();
+    let mut gen_list: Vec<(MpGhost, NodeId)> = Vec::new();
+
+    // --- sockets up, report ready ---
+    let (listener, my_addr) = NetListener::bind(&cfg.listen, p)?;
+    let stop_flag = Arc::new(AtomicBool::new(false));
+    let (inbound_tx, inbound_rx) = mpsc::channel::<(NodeId, WireFrame)>();
+    {
+        let tx = inbound_tx.clone();
+        let stop = stop_flag.clone();
+        thread::spawn(move || accept_loop(listener, tx, stop));
+    }
+    writeln!(ctrl_w, "ready {my_addr}")?;
+    ctrl_w.flush()?;
+
+    // --- control reader ---
+    let (ctrl_tx, ctrl_rx) = mpsc::channel::<String>();
+    thread::spawn(move || {
+        for line in BufReader::new(ctrl_r).lines() {
+            let Ok(line) = line else { return };
+            if ctrl_tx.send(line).is_err() {
+                return;
+            }
+        }
+    });
+
+    let expect = |rx: &Receiver<String>, what: &str| -> io::Result<String> {
+        loop {
+            let line = rx
+                .recv()
+                .map_err(|_| io::Error::other("control pipe closed"))?;
+            if line.starts_with(what) {
+                return Ok(line);
+            }
+        }
+    };
+
+    // --- peers, writers, start ---
+    let peers_line = expect(&ctrl_rx, "peers ")?;
+    let addrs: Vec<&str> = peers_line["peers ".len()..].split_whitespace().collect();
+    if addrs.len() != cfg.n {
+        return Err(io::Error::other("peers line has wrong arity"));
+    }
+    let heartbeats = Arc::new(AtomicU64::new(0));
+    let reconnects = Arc::new(AtomicU64::new(0));
+    let mut senders: HashMap<NodeId, SyncSender<WireFrame>> = HashMap::new();
+    for &q in &neighbors {
+        let (tx, rx) = mpsc::sync_channel::<WireFrame>(SEND_QUEUE);
+        senders.insert(q, tx);
+        let addr = addrs[q].to_string();
+        let hb = heartbeats.clone();
+        let rc = reconnects.clone();
+        let seed = cfg.seed ^ ((p as u64) << 32 | q as u64).wrapping_mul(0xDEAD_BEEF_1234_5677);
+        thread::spawn(move || writer_loop(p, addr, rx, hb, rc, seed));
+    }
+    expect(&ctrl_rx, "start")?;
+
+    // --- main protocol loop ---
+    let mut out = Outbox::new();
+    let mut seen_deliveries = 0usize;
+    let mut last_tick = Instant::now();
+    let mut last_status = Instant::now();
+    let mut stopping = false;
+    while !stopping {
+        // Control.
+        while let Ok(line) = ctrl_rx.try_recv() {
+            if line.starts_with("stop") {
+                stopping = true;
+            }
+        }
+
+        // Inbound: block briefly so the loop idles at TICK granularity.
+        match inbound_rx.recv_timeout(TICK) {
+            Ok((from, frame)) => {
+                let mut push = |from: NodeId, frame: WireFrame| {
+                    if frame.is_data_plane() {
+                        counters.frames_received += 1;
+                        if let Some(c) = chaos.get_mut(&from) {
+                            c.push(frame);
+                        }
+                    }
+                };
+                push(from, frame);
+                // Drain whatever else arrived in the same tick.
+                while let Ok((from, frame)) = inbound_rx.try_recv() {
+                    push(from, frame);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+
+        // Deliver through the chaos shim.
+        for &q in &neighbors {
+            let c = chaos.get_mut(&q).expect("neighbour chaos");
+            while let Some(frame) = c.poll() {
+                if let Some(msg) = frame_to_msg(&frame) {
+                    fwd.on_message(q, msg, &mut out);
+                }
+            }
+        }
+
+        // Protocol timeouts.
+        if last_tick.elapsed() >= TICK {
+            last_tick = Instant::now();
+            fwd.on_timeout(&mut out);
+        }
+
+        // Workload.
+        if !stopping {
+            let now = now_stamp();
+            while let Some(issue) = gen.poll(now) {
+                fwd.enqueue_send(issue.dest, issue.payload, issue.ghost);
+                gen_list.push((issue.ghost, issue.dest));
+            }
+        }
+
+        // New deliveries: record latency, issue acks, close windows.
+        while seen_deliveries < fwd.delivered_msgs.len() {
+            let (ghost, payload) = fwd.delivered_msgs[seen_deliveries];
+            seen_deliveries += 1;
+            if is_ack(payload) {
+                gen.on_ack();
+            } else {
+                let now = now_stamp();
+                latency.record(now.wrapping_sub(stamp_of(payload)) & STAMP_MASK);
+                let src = crate::workload::ghost_src(ghost);
+                if src < cfg.n && src != p {
+                    let ack_ghost = gen.next_ack_ghost();
+                    fwd.enqueue_send(src, ack_payload(now), ack_ghost);
+                    gen_list.push((ack_ghost, src));
+                }
+            }
+        }
+
+        // Ship the outbox through the bounded writer queues.
+        for (to, msg) in out.drain() {
+            let tx = senders.get(&to).expect("send to non-neighbour");
+            let frame = msg_to_frame(&msg);
+            counters.frames_sent += 1;
+            match tx.try_send(frame) {
+                Ok(()) => {}
+                Err(TrySendError::Full(frame)) => {
+                    counters.backpressure_stalls += 1;
+                    // Block: backpressure propagates into the protocol loop.
+                    if tx.send(frame).is_err() {
+                        break;
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => {}
+            }
+        }
+
+        // Status push.
+        if last_status.elapsed() >= STATUS_EVERY {
+            last_status = Instant::now();
+            writeln!(
+                ctrl_w,
+                "status {} {} {} {}",
+                gen.done_issuing() as u8,
+                fwd.generated.len(),
+                fwd.delivered.len(),
+                fwd.held_ghosts().len()
+            )?;
+            ctrl_w.flush()?;
+        }
+    }
+
+    // --- shutdown: aggregate chaos counters, emit the report ---
+    stop_flag.store(true, Ordering::Relaxed);
+    for c in chaos.values() {
+        let (d, u, r) = c.fault_counts();
+        counters.chaos_dropped += d;
+        counters.chaos_duplicated += u;
+        counters.chaos_reordered += r;
+        counters.partition_dropped += c.partition_dropped();
+    }
+    counters.heartbeats_sent = heartbeats.load(Ordering::Relaxed);
+    counters.reconnects = reconnects.load(Ordering::Relaxed);
+    drop(senders); // writers drain and exit
+
+    let report = NodeReport {
+        node: p,
+        generated: gen_list,
+        delivered: fwd.delivered.clone(),
+        held: fwd.held_ghosts(),
+        latency,
+        counters,
+    };
+    write_report(&mut ctrl_w, &report)?;
+    ctrl_w.flush()?;
+    if let ListenSpec::Uds { dir } = &cfg.listen {
+        let _ = std::fs::remove_file(dir.join(format!("node{p}.sock")));
+    }
+    Ok(report)
+}
+
+fn ghost_key(g: MpGhost) -> String {
+    match g {
+        MpGhost::Valid(k) => format!("v{k}"),
+        MpGhost::Invalid(k) => format!("i{k}"),
+    }
+}
+
+fn parse_ghost(s: &str) -> Option<MpGhost> {
+    let (kind, num) = s.split_at(1);
+    let k: u64 = num.parse().ok()?;
+    match kind {
+        "v" => Some(MpGhost::Valid(k)),
+        "i" => Some(MpGhost::Invalid(k)),
+        _ => None,
+    }
+}
+
+/// Writes the line-based `report … end` block.
+pub fn write_report<W: Write>(w: &mut W, r: &NodeReport) -> io::Result<()> {
+    writeln!(w, "report {}", r.node)?;
+    write!(w, "gen")?;
+    for &(g, d) in &r.generated {
+        write!(w, " {}:{d}", ghost_key(g))?;
+    }
+    writeln!(w)?;
+    write!(w, "del")?;
+    for &g in &r.delivered {
+        write!(w, " {}", ghost_key(g))?;
+    }
+    writeln!(w)?;
+    write!(w, "held")?;
+    for &g in &r.held {
+        write!(w, " {}", ghost_key(g))?;
+    }
+    writeln!(w)?;
+    write!(
+        w,
+        "lat {} {} {}",
+        r.latency.count(),
+        r.latency.max(),
+        r.latency.sum()
+    )?;
+    for (i, c) in r.latency.nonzero_buckets() {
+        write!(w, " {i}:{c}")?;
+    }
+    writeln!(w)?;
+    let c = &r.counters;
+    writeln!(
+        w,
+        "ctr {} {} {} {} {} {} {} {} {}",
+        c.frames_sent,
+        c.frames_received,
+        c.heartbeats_sent,
+        c.reconnects,
+        c.chaos_dropped,
+        c.chaos_duplicated,
+        c.chaos_reordered,
+        c.partition_dropped,
+        c.backpressure_stalls
+    )?;
+    writeln!(w, "end")
+}
+
+/// Parses the block written by [`write_report`]; the `report <node>` line
+/// has already been consumed by the caller (who saw it arrive).
+pub fn parse_report_body(
+    node: NodeId,
+    lines: &mut impl Iterator<Item = String>,
+) -> Option<NodeReport> {
+    let mut r = NodeReport {
+        node,
+        ..NodeReport::default()
+    };
+    for line in lines {
+        let mut it = line.split_whitespace();
+        match it.next()? {
+            "gen" => {
+                for tok in it {
+                    let (g, d) = tok.split_once(':')?;
+                    r.generated.push((parse_ghost(g)?, d.parse().ok()?));
+                }
+            }
+            "del" => {
+                for tok in it {
+                    r.delivered.push(parse_ghost(tok)?);
+                }
+            }
+            "held" => {
+                for tok in it {
+                    r.held.push(parse_ghost(tok)?);
+                }
+            }
+            "lat" => {
+                let _count: u64 = it.next()?.parse().ok()?;
+                let max: u64 = it.next()?.parse().ok()?;
+                let sum: u64 = it.next()?.parse().ok()?;
+                let mut pairs = Vec::new();
+                for tok in it {
+                    let (i, c) = tok.split_once(':')?;
+                    pairs.push((i.parse().ok()?, c.parse().ok()?));
+                }
+                r.latency = LogHistogram::from_parts(&pairs, max, sum);
+            }
+            "ctr" => {
+                let mut next = || it.next().and_then(|t| t.parse::<u64>().ok());
+                r.counters = NodeCounters {
+                    frames_sent: next()?,
+                    frames_received: next()?,
+                    heartbeats_sent: next()?,
+                    reconnects: next()?,
+                    chaos_dropped: next()?,
+                    chaos_duplicated: next()?,
+                    chaos_reordered: next()?,
+                    partition_dropped: next()?,
+                    backpressure_stalls: next()?,
+                };
+            }
+            "end" => return Some(r),
+            _ => return None,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrips_through_the_control_pipe() {
+        let mut lat = LogHistogram::new();
+        for v in [10u64, 500, 70_000] {
+            lat.record(v);
+        }
+        let r = NodeReport {
+            node: 3,
+            generated: vec![(MpGhost::Valid(7), 1), (MpGhost::Invalid(9), 0)],
+            delivered: vec![MpGhost::Valid(42)],
+            held: vec![],
+            latency: lat,
+            counters: NodeCounters {
+                frames_sent: 1,
+                frames_received: 2,
+                heartbeats_sent: 3,
+                reconnects: 4,
+                chaos_dropped: 5,
+                chaos_duplicated: 6,
+                chaos_reordered: 7,
+                partition_dropped: 8,
+                backpressure_stalls: 9,
+            },
+        };
+        let mut buf = Vec::new();
+        write_report(&mut buf, &r).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines().map(str::to_string);
+        let head = lines.next().unwrap();
+        assert_eq!(head, "report 3");
+        let back = parse_report_body(3, &mut lines).unwrap();
+        assert_eq!(back.node, r.node);
+        assert_eq!(back.generated, r.generated);
+        assert_eq!(back.delivered, r.delivered);
+        assert_eq!(back.held, r.held);
+        assert_eq!(back.counters, r.counters);
+        assert_eq!(back.latency.count(), r.latency.count());
+        assert_eq!(back.latency.quantile(0.5), r.latency.quantile(0.5));
+        assert_eq!(back.latency.max(), r.latency.max());
+    }
+}

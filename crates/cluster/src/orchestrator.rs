@@ -1,0 +1,683 @@
+//! Cluster orchestration: spawn an N-node topology, feed it a workload,
+//! watch it converge, reconcile the per-node ledgers into a cluster-wide
+//! SP verdict, and emit a JSON run report.
+//!
+//! Two launch modes share every other code path:
+//! * **Inproc** — each node is a thread calling [`node_main`] over a
+//!   socketpair control pipe (fast, used by tests).
+//! * **Proc** — each node is its own OS process (`ssmfp-cluster
+//!   --node-worker …`) controlled over stdin/stdout, which is the real
+//!   deployment shape.
+
+use crate::chaos::{ChaosSpec, PartitionSpec};
+use crate::frame::ghost_to_wire;
+use crate::node::{node_main, parse_report_body, ListenSpec, NodeConfig, NodeReport};
+use crate::telemetry::{LogHistogram, NodeCounters};
+use crate::workload::{is_ack_ghost, WorkloadKind, WorkloadSpec};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use ssmfp_core::{reconcile_ledgers, ClusterVerdict, NodeLedger};
+use ssmfp_topology::Graph;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How nodes are launched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunMode {
+    /// Threads inside this process.
+    Inproc,
+    /// One OS process per node, running `<exe> --node-worker …`.
+    Proc {
+        /// Path to the `ssmfp-cluster` binary.
+        exe: PathBuf,
+    },
+}
+
+/// A full cluster run specification.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Topology label for the report.
+    pub topology: String,
+    /// The graph itself.
+    pub graph: Graph,
+    /// Run seed.
+    pub seed: u64,
+    /// Per-node workload.
+    pub workload: WorkloadSpec,
+    /// Link chaos.
+    pub chaos: ChaosSpec,
+    /// Socket flavour.
+    pub listen: ListenSpec,
+    /// Launch mode.
+    pub mode: RunMode,
+    /// Give up (converged = false) after this long.
+    pub timeout: Duration,
+}
+
+/// Consecutive identical all-done snapshots required to declare
+/// convergence (guards against reading between a send and its delivery).
+const STABLE_SNAPSHOTS: u32 = 3;
+
+/// Outcome of one cluster run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Topology label.
+    pub topology: String,
+    /// Node count.
+    pub n: usize,
+    /// Run seed.
+    pub seed: u64,
+    /// Whether the cluster quiesced before the timeout.
+    pub converged: bool,
+    /// Wall-clock seconds from `start` to convergence (or timeout).
+    pub wall_s: f64,
+    /// Cluster-wide SP reconciliation.
+    pub verdict: ClusterVerdict,
+    /// Primaries delivered end-to-end.
+    pub primaries_delivered: u64,
+    /// Primaries delivered per wall-clock second.
+    pub throughput: f64,
+    /// Merged one-way latency histogram (µs).
+    pub latency: LogHistogram,
+    /// Summed per-node counters.
+    pub counters: NodeCounters,
+    /// The raw per-node reports.
+    pub nodes: Vec<NodeReport>,
+}
+
+impl RunReport {
+    /// Whether the run met the tentpole bar: converged with a clean
+    /// cluster-wide SP verdict.
+    pub fn clean(&self) -> bool {
+        self.converged && self.verdict.clean()
+    }
+
+    /// Hand-rolled JSON (the workspace carries no serde).
+    pub fn to_json(&self) -> String {
+        let v = &self.verdict;
+        let violations: Vec<String> = v.violations.iter().map(|x| format!("{:?}", x)).collect();
+        let c = &self.counters;
+        format!(
+            concat!(
+                "{{\n",
+                "  \"topology\": \"{}\",\n",
+                "  \"n\": {},\n",
+                "  \"seed\": {},\n",
+                "  \"converged\": {},\n",
+                "  \"wall_s\": {:.4},\n",
+                "  \"sp\": {{\"generated\": {}, \"exactly_once\": {}, \"in_flight\": {}, ",
+                "\"invalid_delivered\": {}, \"violations\": {}, \"violation_list\": [{}]}},\n",
+                "  \"primaries_delivered\": {},\n",
+                "  \"throughput_msgs_per_s\": {:.1},\n",
+                "  \"latency_us\": {{\"count\": {}, \"mean\": {:.1}, \"p50\": {}, \"p95\": {}, ",
+                "\"p99\": {}, \"p999\": {}, \"max\": {}}},\n",
+                "  \"counters\": {{\"frames_sent\": {}, \"frames_received\": {}, ",
+                "\"heartbeats_sent\": {}, \"reconnects\": {}, \"chaos_dropped\": {}, ",
+                "\"chaos_duplicated\": {}, \"chaos_reordered\": {}, \"partition_dropped\": {}, ",
+                "\"backpressure_stalls\": {}}}\n",
+                "}}"
+            ),
+            self.topology,
+            self.n,
+            self.seed,
+            self.converged,
+            self.wall_s,
+            v.generated,
+            v.exactly_once,
+            v.in_flight,
+            v.invalid_delivered,
+            v.violations.len(),
+            violations
+                .iter()
+                .map(|s| format!("\"{}\"", s.replace('"', "'")))
+                .collect::<Vec<_>>()
+                .join(", "),
+            self.primaries_delivered,
+            self.throughput,
+            self.latency.count(),
+            self.latency.mean(),
+            self.latency.quantile(0.50),
+            self.latency.quantile(0.95),
+            self.latency.quantile(0.99),
+            self.latency.quantile(0.999),
+            self.latency.max(),
+            c.frames_sent,
+            c.frames_received,
+            c.heartbeats_sent,
+            c.reconnects,
+            c.chaos_dropped,
+            c.chaos_duplicated,
+            c.chaos_reordered,
+            c.partition_dropped,
+            c.backpressure_stalls,
+        )
+    }
+}
+
+/// Picks the partitioned edge for a run seed: a deterministic function of
+/// `(graph, seed)`, so process and thread modes agree.
+pub fn pick_partition(graph: &Graph, seed: u64, from_arrival: u64, len: u64) -> PartitionSpec {
+    let edges = graph.edges();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9A27_11E5_0DD5_EEDF);
+    let (a, b) = edges[rng.gen_range(0..edges.len())];
+    PartitionSpec {
+        a,
+        b,
+        from_arrival,
+        len,
+    }
+}
+
+enum NodeHandle {
+    Thread {
+        ctrl_w: UnixStream,
+        join: JoinHandle<io::Result<NodeReport>>,
+    },
+    Proc {
+        child: Child,
+        stdin: std::process::ChildStdin,
+    },
+}
+
+impl NodeHandle {
+    fn write_line(&mut self, line: &str) -> io::Result<()> {
+        match self {
+            NodeHandle::Thread { ctrl_w, .. } => {
+                writeln!(ctrl_w, "{line}")?;
+                ctrl_w.flush()
+            }
+            NodeHandle::Proc { stdin, .. } => {
+                writeln!(stdin, "{line}")?;
+                stdin.flush()
+            }
+        }
+    }
+
+    fn finish(self) {
+        match self {
+            NodeHandle::Thread { ctrl_w, join } => {
+                drop(ctrl_w);
+                let _ = join.join();
+            }
+            NodeHandle::Proc { mut child, stdin } => {
+                drop(stdin);
+                let deadline = Instant::now() + Duration::from_secs(5);
+                loop {
+                    match child.try_wait() {
+                        Ok(Some(_)) => break,
+                        Ok(None) if Instant::now() < deadline => {
+                            thread::sleep(Duration::from_millis(10));
+                        }
+                        _ => {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn spawn_line_reader(id: usize, r: impl Read + Send + 'static, tx: Sender<(usize, String)>) {
+    thread::spawn(move || {
+        for line in BufReader::new(r).lines() {
+            let Ok(line) = line else { return };
+            if tx.send((id, line)).is_err() {
+                return;
+            }
+        }
+    });
+}
+
+/// Serializes a node config into `--node-worker` CLI arguments (the
+/// inverse of [`parse_node_args`]).
+pub fn node_args(cfg: &NodeConfig) -> Vec<String> {
+    let edges = cfg
+        .edges
+        .iter()
+        .map(|(a, b)| format!("{a}-{b}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let listen = match &cfg.listen {
+        ListenSpec::Uds { dir } => format!("uds:{}", dir.display()),
+        ListenSpec::Tcp => "tcp".to_string(),
+    };
+    let workload = match cfg.workload.kind {
+        WorkloadKind::Open { rate_per_sec } => {
+            format!("open:{rate_per_sec}:{}", cfg.workload.messages)
+        }
+        WorkloadKind::Closed { outstanding } => {
+            format!("closed:{outstanding}:{}", cfg.workload.messages)
+        }
+    };
+    let mut chaos = format!("{}:{}", cfg.chaos.seed, cfg.chaos.faults_per_link);
+    if let Some(p) = cfg.chaos.partition {
+        chaos.push_str(&format!(":{}-{}:{}:{}", p.a, p.b, p.from_arrival, p.len));
+    }
+    vec![
+        "--id".into(),
+        cfg.node.to_string(),
+        "--n".into(),
+        cfg.n.to_string(),
+        "--edges".into(),
+        edges,
+        "--seed".into(),
+        cfg.seed.to_string(),
+        "--listen".into(),
+        listen,
+        "--workload".into(),
+        workload,
+        "--chaos".into(),
+        chaos,
+    ]
+}
+
+/// Parses the arguments produced by [`node_args`]. `Err` carries a usage
+/// message.
+pub fn parse_node_args(args: &[String]) -> Result<NodeConfig, String> {
+    let mut cfg = NodeConfig {
+        node: usize::MAX,
+        n: 0,
+        edges: Vec::new(),
+        seed: 0,
+        listen: ListenSpec::Tcp,
+        workload: WorkloadSpec {
+            kind: WorkloadKind::Closed { outstanding: 1 },
+            messages: 0,
+        },
+        chaos: ChaosSpec::none(),
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--id" => cfg.node = val()?.parse().map_err(|e| format!("--id: {e}"))?,
+            "--n" => cfg.n = val()?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--edges" => {
+                for pair in val()?.split(',') {
+                    let (a, b) = pair
+                        .split_once('-')
+                        .ok_or_else(|| format!("bad edge {pair:?}"))?;
+                    cfg.edges.push((
+                        a.parse().map_err(|e| format!("edge: {e}"))?,
+                        b.parse().map_err(|e| format!("edge: {e}"))?,
+                    ));
+                }
+            }
+            "--seed" => cfg.seed = val()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--listen" => {
+                let v = val()?;
+                cfg.listen = if v == "tcp" {
+                    ListenSpec::Tcp
+                } else if let Some(dir) = v.strip_prefix("uds:") {
+                    ListenSpec::Uds {
+                        dir: PathBuf::from(dir),
+                    }
+                } else {
+                    return Err(format!("bad --listen {v:?}"));
+                };
+            }
+            "--workload" => cfg.workload = parse_workload(val()?)?,
+            "--chaos" => cfg.chaos = parse_chaos(val()?)?,
+            other => return Err(format!("unknown node-worker flag {other:?}")),
+        }
+    }
+    if cfg.node == usize::MAX || cfg.n == 0 || cfg.edges.is_empty() {
+        return Err("--id, --n and --edges are required".into());
+    }
+    Ok(cfg)
+}
+
+/// Parses `open:<rate>:<msgs>` / `closed:<k>:<msgs>`.
+pub fn parse_workload(s: &str) -> Result<WorkloadSpec, String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    let bad = || format!("bad workload {s:?} (want open:<rate>:<msgs> or closed:<k>:<msgs>)");
+    if parts.len() != 3 {
+        return Err(bad());
+    }
+    let messages: u64 = parts[2].parse().map_err(|_| bad())?;
+    let kind = match parts[0] {
+        "open" => WorkloadKind::Open {
+            rate_per_sec: parts[1].parse().map_err(|_| bad())?,
+        },
+        "closed" => WorkloadKind::Closed {
+            outstanding: parts[1].parse().map_err(|_| bad())?,
+        },
+        _ => return Err(bad()),
+    };
+    Ok(WorkloadSpec { kind, messages })
+}
+
+/// Parses `<seed>:<faults>[:<a>-<b>:<from>:<len>]`.
+pub fn parse_chaos(s: &str) -> Result<ChaosSpec, String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    let bad = || format!("bad chaos {s:?} (want <seed>:<faults>[:<a>-<b>:<from>:<len>])");
+    if parts.len() != 2 && parts.len() != 5 {
+        return Err(bad());
+    }
+    let mut spec = ChaosSpec {
+        seed: parts[0].parse().map_err(|_| bad())?,
+        faults_per_link: parts[1].parse().map_err(|_| bad())?,
+        partition: None,
+    };
+    if parts.len() == 5 {
+        let (a, b) = parts[2].split_once('-').ok_or_else(bad)?;
+        spec.partition = Some(PartitionSpec {
+            a: a.parse().map_err(|_| bad())?,
+            b: b.parse().map_err(|_| bad())?,
+            from_arrival: parts[3].parse().map_err(|_| bad())?,
+            len: parts[4].parse().map_err(|_| bad())?,
+        });
+    }
+    Ok(spec)
+}
+
+fn node_config(spec: &ClusterSpec, p: usize) -> NodeConfig {
+    NodeConfig {
+        node: p,
+        n: spec.graph.n(),
+        edges: spec.graph.edges().to_vec(),
+        seed: spec.seed,
+        listen: spec.listen.clone(),
+        workload: spec.workload,
+        chaos: spec.chaos,
+    }
+}
+
+/// Runs a cluster to convergence (or timeout) and reconciles the ledgers.
+pub fn run_cluster(spec: &ClusterSpec) -> io::Result<RunReport> {
+    let n = spec.graph.n();
+    let (line_tx, line_rx) = mpsc::channel::<(usize, String)>();
+    let mut handles: Vec<NodeHandle> = Vec::with_capacity(n);
+
+    for p in 0..n {
+        let cfg = node_config(spec, p);
+        match &spec.mode {
+            RunMode::Inproc => {
+                let (orch_side, node_side) = UnixStream::pair()?;
+                let node_r = node_side.try_clone()?;
+                let join = thread::spawn(move || node_main(&cfg, node_r, node_side));
+                spawn_line_reader(p, orch_side.try_clone()?, line_tx.clone());
+                handles.push(NodeHandle::Thread {
+                    ctrl_w: orch_side,
+                    join,
+                });
+            }
+            RunMode::Proc { exe } => {
+                let mut child = Command::new(exe)
+                    .arg("--node-worker")
+                    .args(node_args(&cfg))
+                    .stdin(Stdio::piped())
+                    .stdout(Stdio::piped())
+                    .stderr(Stdio::inherit())
+                    .spawn()?;
+                let stdin = child.stdin.take().expect("piped stdin");
+                let stdout = child.stdout.take().expect("piped stdout");
+                spawn_line_reader(p, stdout, line_tx.clone());
+                handles.push(NodeHandle::Proc { child, stdin });
+            }
+        }
+    }
+    drop(line_tx);
+
+    let recv_or_timeout = |rx: &Receiver<(usize, String)>,
+                           deadline: Instant|
+     -> io::Result<Option<(usize, String)>> {
+        let now = Instant::now();
+        if now >= deadline {
+            return Ok(None);
+        }
+        match rx.recv_timeout(deadline - now) {
+            Ok(v) => Ok(Some(v)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(io::Error::other("every node hung up before reporting"))
+            }
+        }
+    };
+
+    // --- gather ready addresses ---
+    let setup_deadline = Instant::now() + spec.timeout;
+    let mut addrs: Vec<Option<String>> = vec![None; n];
+    let mut pending_lines: Vec<(usize, String)> = Vec::new();
+    while addrs.iter().any(Option::is_none) {
+        let Some((p, line)) = recv_or_timeout(&line_rx, setup_deadline)? else {
+            for h in handles {
+                h.finish();
+            }
+            return Err(io::Error::other("timed out waiting for ready"));
+        };
+        if let Some(addr) = line.strip_prefix("ready ") {
+            addrs[p] = Some(addr.to_string());
+        } else {
+            pending_lines.push((p, line));
+        }
+    }
+    let peer_line = format!(
+        "peers {}",
+        addrs
+            .iter()
+            .map(|a| a.as_deref().expect("all ready"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    for h in &mut handles {
+        h.write_line(&peer_line)?;
+    }
+    for h in &mut handles {
+        h.write_line("start")?;
+    }
+
+    // --- watch status until converged or timed out ---
+    #[derive(Clone, Copy, Default, PartialEq)]
+    struct Status {
+        done: bool,
+        generated: u64,
+        delivered: u64,
+        held: u64,
+    }
+    let started = Instant::now();
+    let deadline = started + spec.timeout;
+    let mut status: Vec<Status> = vec![Status::default(); n];
+    let mut last_snapshot: Option<Vec<Status>> = None;
+    let mut stable: u32 = 0;
+    let mut converged = false;
+    let mut wall_s;
+    loop {
+        wall_s = started.elapsed().as_secs_f64();
+        let next = if let Some(l) = pending_lines.pop() {
+            Some(l)
+        } else {
+            recv_or_timeout(&line_rx, deadline)?
+        };
+        let Some((p, line)) = next else {
+            break; // timeout: not converged
+        };
+        let mut it = line.split_whitespace();
+        if it.next() != Some("status") {
+            continue;
+        }
+        let mut num = || it.next().and_then(|t| t.parse::<u64>().ok()).unwrap_or(0);
+        status[p] = Status {
+            done: num() == 1,
+            generated: num(),
+            delivered: num(),
+            held: num(),
+        };
+        let all_done = status.iter().all(|s| s.done);
+        let held: u64 = status.iter().map(|s| s.held).sum();
+        let generated: u64 = status.iter().map(|s| s.generated).sum();
+        let delivered: u64 = status.iter().map(|s| s.delivered).sum();
+        if all_done && held == 0 && generated == delivered && generated > 0 {
+            if last_snapshot.as_deref() == Some(&status[..]) {
+                stable += 1;
+                if stable >= STABLE_SNAPSHOTS {
+                    converged = true;
+                    wall_s = started.elapsed().as_secs_f64();
+                    break;
+                }
+            } else {
+                last_snapshot = Some(status.clone());
+                stable = 1;
+            }
+        } else {
+            last_snapshot = None;
+            stable = 0;
+        }
+    }
+
+    // --- stop everyone, collect reports ---
+    for h in &mut handles {
+        let _ = h.write_line("stop");
+    }
+    let report_deadline = Instant::now() + Duration::from_secs(20);
+    let mut bufs: Vec<Vec<String>> = vec![Vec::new(); n];
+    let mut ended = vec![false; n];
+    while ended.iter().any(|e| !e) {
+        let Some((p, line)) = recv_or_timeout(&line_rx, report_deadline)? else {
+            break;
+        };
+        if line == "end" {
+            ended[p] = true;
+        }
+        bufs[p].push(line);
+    }
+    for h in handles {
+        h.finish();
+    }
+
+    let mut nodes: Vec<NodeReport> = Vec::with_capacity(n);
+    for (p, buf) in bufs.into_iter().enumerate() {
+        let mut it = buf
+            .into_iter()
+            .skip_while(|l| !l.starts_with("report "))
+            .skip(1);
+        let report = parse_report_body(p, &mut it)
+            .ok_or_else(|| io::Error::other(format!("node {p} sent no parsable report")))?;
+        nodes.push(report);
+    }
+
+    // --- reconcile + aggregate ---
+    let ledgers: Vec<NodeLedger> = nodes
+        .iter()
+        .map(|r| NodeLedger {
+            node: r.node,
+            generated: r
+                .generated
+                .iter()
+                .map(|&(g, d)| (ghost_to_wire(g), d))
+                .collect(),
+            delivered: r.delivered.iter().map(|&g| ghost_to_wire(g)).collect(),
+            held: r.held.iter().map(|&g| ghost_to_wire(g)).collect(),
+        })
+        .collect();
+    let verdict = reconcile_ledgers(&ledgers);
+    let mut latency = LogHistogram::new();
+    let mut counters = NodeCounters::default();
+    let mut primaries_delivered = 0u64;
+    for r in &nodes {
+        latency.merge(&r.latency);
+        primaries_delivered += r.delivered.iter().filter(|&&g| !is_ack_ghost(g)).count() as u64;
+        let c = &r.counters;
+        counters.frames_sent += c.frames_sent;
+        counters.frames_received += c.frames_received;
+        counters.heartbeats_sent += c.heartbeats_sent;
+        counters.reconnects += c.reconnects;
+        counters.chaos_dropped += c.chaos_dropped;
+        counters.chaos_duplicated += c.chaos_duplicated;
+        counters.chaos_reordered += c.chaos_reordered;
+        counters.partition_dropped += c.partition_dropped;
+        counters.backpressure_stalls += c.backpressure_stalls;
+    }
+    let throughput = if wall_s > 0.0 {
+        primaries_delivered as f64 / wall_s
+    } else {
+        0.0
+    };
+    Ok(RunReport {
+        topology: spec.topology.clone(),
+        n,
+        seed: spec.seed,
+        converged,
+        wall_s,
+        verdict,
+        primaries_delivered,
+        throughput,
+        latency,
+        counters,
+        nodes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_args_roundtrip() {
+        let cfg = NodeConfig {
+            node: 2,
+            n: 5,
+            edges: vec![(0, 1), (1, 2), (2, 3), (3, 4)],
+            seed: 99,
+            listen: ListenSpec::Uds {
+                dir: PathBuf::from("/tmp/x"),
+            },
+            workload: WorkloadSpec {
+                kind: WorkloadKind::Open {
+                    rate_per_sec: 250.0,
+                },
+                messages: 40,
+            },
+            chaos: ChaosSpec {
+                seed: 7,
+                faults_per_link: 3,
+                partition: Some(PartitionSpec {
+                    a: 1,
+                    b: 2,
+                    from_arrival: 10,
+                    len: 25,
+                }),
+            },
+        };
+        let args = node_args(&cfg);
+        let back = parse_node_args(&args).unwrap();
+        assert_eq!(back.node, cfg.node);
+        assert_eq!(back.n, cfg.n);
+        assert_eq!(back.edges, cfg.edges);
+        assert_eq!(back.seed, cfg.seed);
+        assert_eq!(back.listen, cfg.listen);
+        assert_eq!(back.workload, cfg.workload);
+        assert_eq!(back.chaos, cfg.chaos);
+    }
+
+    #[test]
+    fn workload_and_chaos_parsers_reject_garbage() {
+        assert!(parse_workload("open:fast:10").is_err());
+        assert!(parse_workload("poisson:1:10").is_err());
+        assert!(parse_chaos("1").is_err());
+        assert!(parse_chaos("1:2:0-1:5").is_err());
+        assert!(parse_workload("closed:4:100").is_ok());
+        assert!(parse_chaos("3:2:0-4:10:40").is_ok());
+    }
+
+    #[test]
+    fn partition_pick_is_deterministic() {
+        let g = ssmfp_topology::gen::ring(6);
+        let a = pick_partition(&g, 11, 5, 30);
+        let b = pick_partition(&g, 11, 5, 30);
+        assert_eq!(a, b);
+        assert!(g.has_edge(a.a, a.b));
+    }
+}

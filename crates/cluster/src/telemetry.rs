@@ -1,0 +1,243 @@
+//! Latency histograms and per-node counters.
+//!
+//! [`LogHistogram`] is the standard log-linear ("HDR") layout: values are
+//! bucketed by power of two with 16 linear sub-buckets per power, giving
+//! a worst-case relative error of 1/16 ≈ 6% at any magnitude — accurate
+//! enough for p50…p999 reporting without storing samples.
+
+/// Linear sub-buckets per power of two (must be a power of two).
+const SUB: u64 = 16;
+const SUB_BITS: u32 = 4;
+/// Bucket count: values below `SUB` get exact buckets, then one group of
+/// `SUB` buckets per remaining power of two of the u64 range.
+const BUCKETS: usize = (SUB as usize) + ((64 - SUB_BITS as usize) * SUB as usize);
+
+/// A log-linear histogram of microsecond latencies (any u64 unit works;
+/// the cluster records µs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    max: u64,
+    sum: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            max: 0,
+            sum: 0,
+        }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+    let group = (msb - SUB_BITS) as usize;
+    let sub = ((v >> (msb - SUB_BITS)) & (SUB - 1)) as usize;
+    SUB as usize + group * SUB as usize + sub
+}
+
+/// Representative (midpoint) value of a bucket index.
+fn value_of(idx: usize) -> u64 {
+    if idx < SUB as usize {
+        return idx as u64;
+    }
+    let group = ((idx - SUB as usize) / SUB as usize) as u32;
+    let sub = ((idx - SUB as usize) % SUB as usize) as u64;
+    let base = 1u64 << (group + SUB_BITS);
+    let width = 1u64 << group;
+    base + sub * width + width / 2
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.max = self.max.max(v);
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded value (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (representative bucket
+    /// midpoint; 0 for an empty histogram).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == self.count {
+            return self.max; // the tail quantile is known exactly
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return value_of(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Sparse `(bucket index, count)` pairs, for serialization.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
+    /// Rebuilds a histogram from [`LogHistogram::nonzero_buckets`] output
+    /// plus the exact max/sum carried alongside.
+    pub fn from_parts(pairs: &[(usize, u64)], max: u64, sum: u64) -> Self {
+        let mut h = Self::new();
+        for &(i, c) in pairs {
+            if i < BUCKETS {
+                h.buckets[i] += c;
+                h.count += c;
+            }
+        }
+        h.max = max;
+        h.sum = sum;
+        h
+    }
+
+    /// Exact sum of recorded values (for mean reconstruction).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+}
+
+/// Per-node transport and chaos counters, reported at shutdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeCounters {
+    /// Data-plane frames handed to writer queues.
+    pub frames_sent: u64,
+    /// Data-plane frames received (pre-chaos).
+    pub frames_received: u64,
+    /// Heartbeats written on idle links.
+    pub heartbeats_sent: u64,
+    /// Successful (re)connections dialed, beyond the first per link.
+    pub reconnects: u64,
+    /// Frames the chaos shim dropped.
+    pub chaos_dropped: u64,
+    /// Frames the chaos shim duplicated.
+    pub chaos_duplicated: u64,
+    /// Frames the chaos shim reordered.
+    pub chaos_reordered: u64,
+    /// Frames dropped by the partition window.
+    pub partition_dropped: u64,
+    /// Times a bounded send queue was full and the protocol loop had to
+    /// spin (backpressure events).
+    pub backpressure_stalls: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_tight() {
+        let mut last = 0;
+        for v in [0u64, 1, 15, 16, 17, 100, 1000, 65_535, 1 << 40, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(b >= last || v == 0, "bucket regressed at {v}");
+            last = b;
+            // The representative value is within 1/16 of the true value.
+            let rep = value_of(b);
+            if v >= SUB {
+                let err = (rep as f64 - v as f64).abs() / v as f64;
+                assert!(err < 1.0 / 8.0, "error {err} at {v} (rep {rep})");
+            } else {
+                assert_eq!(rep, v);
+            }
+        }
+        assert!(bucket_of(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let mut h = LogHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10_000);
+        let p50 = h.quantile(0.50) as f64;
+        let p99 = h.quantile(0.99) as f64;
+        assert!((p50 - 5000.0).abs() / 5000.0 < 0.1, "p50 {p50}");
+        assert!((p99 - 9900.0).abs() / 9900.0 < 0.1, "p99 {p99}");
+        assert_eq!(h.quantile(1.0), 10_000);
+        assert_eq!(h.max(), 10_000);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut u = LogHistogram::new();
+        for v in 0..500u64 {
+            let target = if v % 2 == 0 { &mut a } else { &mut b };
+            target.record(v * 7);
+            u.record(v * 7);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), u.count());
+        for q in [0.5, 0.95, 0.99, 0.999] {
+            assert_eq!(a.quantile(q), u.quantile(q));
+        }
+        assert_eq!(a.max(), u.max());
+    }
+
+    #[test]
+    fn roundtrip_through_parts() {
+        let mut h = LogHistogram::new();
+        for v in [3u64, 900, 12_345, 1 << 30] {
+            h.record(v);
+        }
+        let back = LogHistogram::from_parts(&h.nonzero_buckets(), h.max(), h.sum());
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.quantile(0.5), h.quantile(0.5));
+        assert_eq!(back.max(), h.max());
+    }
+}

@@ -286,6 +286,112 @@ impl DeliveryLedger {
     }
 }
 
+/// One cluster node's ledger slice, exported at shutdown. Each node only
+/// knows what it generated, what it delivered, and what it still holds —
+/// the cluster-wide `SP` verdict exists only after
+/// [`reconcile_ledgers`] joins the slices.
+#[derive(Debug, Clone, Default)]
+pub struct NodeLedger {
+    /// The exporting node.
+    pub node: NodeId,
+    /// Valid messages this node generated: `(ghost, destination)`.
+    pub generated: Vec<(GhostId, NodeId)>,
+    /// Ghosts delivered *at this node* (it believed itself the
+    /// destination), valid or not, one entry per physical delivery.
+    pub delivered: Vec<GhostId>,
+    /// Ghosts still held in this node's buffers at export time.
+    pub held: Vec<GhostId>,
+}
+
+/// The cluster-wide `SP` verdict produced by [`reconcile_ledgers`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterVerdict {
+    /// Valid messages generated across the cluster.
+    pub generated: u64,
+    /// Valid messages delivered exactly once at their destination.
+    pub exactly_once: u64,
+    /// Valid messages undelivered but still held somewhere (legal at a
+    /// non-quiescent shutdown; a quiesced cluster must report 0).
+    pub in_flight: u64,
+    /// Invalid (never-generated) messages delivered anywhere.
+    pub invalid_delivered: u64,
+    /// Every `SP` violation the join exposes.
+    pub violations: Vec<SpViolation>,
+}
+
+impl ClusterVerdict {
+    /// True iff the reconciliation found no violation.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Joins per-node ledger slices into the cluster-wide `SP` verdict:
+/// every generated valid message must be delivered exactly once, at its
+/// destination; undelivered messages still held somewhere count as
+/// in-flight, held nowhere as [`SpViolation::Lost`]. A ghost delivered
+/// at several nodes is both duplicated and (at the wrong nodes)
+/// misdelivered; the duplication is reported once and each wrong-node
+/// delivery separately.
+pub fn reconcile_ledgers(ledgers: &[NodeLedger]) -> ClusterVerdict {
+    let mut verdict = ClusterVerdict::default();
+    let mut expected: HashMap<GhostId, NodeId> = HashMap::new();
+    for l in ledgers {
+        for &(ghost, dest) in &l.generated {
+            let prev = expected.insert(ghost, dest);
+            debug_assert!(prev.is_none(), "ghost {ghost:?} generated twice");
+        }
+    }
+    let mut deliveries: HashMap<GhostId, Vec<NodeId>> = HashMap::new();
+    for l in ledgers {
+        for &ghost in &l.delivered {
+            if ghost.is_valid() && expected.contains_key(&ghost) {
+                deliveries.entry(ghost).or_default().push(l.node);
+            } else {
+                verdict.invalid_delivered += 1;
+            }
+        }
+    }
+    let mut held: std::collections::HashSet<GhostId> = std::collections::HashSet::new();
+    for l in ledgers {
+        held.extend(l.held.iter().copied());
+    }
+    verdict.generated = expected.len() as u64;
+    let mut ghosts: Vec<(&GhostId, &NodeId)> = expected.iter().collect();
+    ghosts.sort(); // deterministic violation order across runs
+    for (&ghost, &dest) in ghosts {
+        let at = deliveries.get(&ghost).map_or(&[][..], Vec::as_slice);
+        match at.len() {
+            0 => {
+                if held.contains(&ghost) {
+                    verdict.in_flight += 1;
+                } else {
+                    verdict.violations.push(SpViolation::Lost { ghost });
+                }
+            }
+            1 if at[0] == dest => verdict.exactly_once += 1,
+            k => {
+                if k > 1 {
+                    verdict.violations.push(SpViolation::DuplicateDelivery {
+                        ghost,
+                        count: k as u64,
+                    });
+                }
+                for &node in at {
+                    if node != dest {
+                        verdict.violations.push(SpViolation::Misdelivered {
+                            ghost,
+                            expected: dest,
+                            actual: node,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    verdict
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -573,5 +679,106 @@ mod tests {
         // n = 2 → bound 4 → violated from step 0, forgiven post-fault.
         assert_eq!(ledger.check_sp_since(&[], 2, 0).len(), 1);
         assert!(ledger.check_sp_since(&[], 2, 1).is_empty());
+    }
+
+    #[test]
+    fn reconcile_clean_cluster() {
+        let a = GhostId::Valid(0);
+        let b = GhostId::Valid(1);
+        let ledgers = vec![
+            NodeLedger {
+                node: 0,
+                generated: vec![(a, 2)],
+                delivered: vec![],
+                held: vec![],
+            },
+            NodeLedger {
+                node: 1,
+                generated: vec![(b, 0)],
+                delivered: vec![],
+                held: vec![],
+            },
+            NodeLedger {
+                node: 2,
+                generated: vec![],
+                delivered: vec![a],
+                held: vec![],
+            },
+            NodeLedger {
+                node: 0,
+                generated: vec![],
+                delivered: vec![b],
+                held: vec![],
+            },
+        ];
+        let v = reconcile_ledgers(&ledgers);
+        assert!(v.clean());
+        assert_eq!((v.generated, v.exactly_once, v.in_flight), (2, 2, 0));
+    }
+
+    #[test]
+    fn reconcile_exposes_every_violation_kind() {
+        let lost = GhostId::Valid(0);
+        let dup = GhostId::Valid(1);
+        let stray = GhostId::Valid(2);
+        let flight = GhostId::Valid(3);
+        let ledgers = vec![
+            NodeLedger {
+                node: 0,
+                generated: vec![(lost, 2), (dup, 2), (stray, 2), (flight, 2)],
+                delivered: vec![],
+                held: vec![],
+            },
+            NodeLedger {
+                node: 1,
+                generated: vec![],
+                // `stray` lands at node 1 ≠ dest 2; `dup` lands here too.
+                delivered: vec![stray, dup, GhostId::Invalid(7)],
+                held: vec![flight],
+            },
+            NodeLedger {
+                node: 2,
+                generated: vec![],
+                delivered: vec![dup],
+                held: vec![],
+            },
+        ];
+        let v = reconcile_ledgers(&ledgers);
+        assert_eq!(v.generated, 4);
+        assert_eq!(v.in_flight, 1);
+        assert_eq!(v.invalid_delivered, 1);
+        assert!(v.violations.contains(&SpViolation::Lost { ghost: lost }));
+        assert!(v.violations.contains(&SpViolation::DuplicateDelivery {
+            ghost: dup,
+            count: 2
+        }));
+        assert!(v.violations.contains(&SpViolation::Misdelivered {
+            ghost: stray,
+            expected: 2,
+            actual: 1
+        }));
+        // `dup`'s wrong-node copy is also a misdelivery.
+        assert!(v.violations.contains(&SpViolation::Misdelivered {
+            ghost: dup,
+            expected: 2,
+            actual: 1
+        }));
+        assert!(!v.clean());
+    }
+
+    #[test]
+    fn reconcile_counts_undeclared_valid_ghosts_as_invalid() {
+        // A delivered ghost no node claims to have generated cannot be
+        // audited against `SP` — it is garbage from the cluster's point
+        // of view, counted with the invalid deliveries.
+        let ledgers = vec![NodeLedger {
+            node: 0,
+            generated: vec![],
+            delivered: vec![GhostId::Valid(99)],
+            held: vec![],
+        }];
+        let v = reconcile_ledgers(&ledgers);
+        assert_eq!(v.invalid_delivered, 1);
+        assert!(v.clean());
     }
 }

@@ -41,6 +41,10 @@
 //! * [`codec`] — the packed state codec: message interning and the flat
 //!   fixed-width encoding the checker's visited/frontier sets and the
 //!   snapshot path store configurations in.
+//! * [`wire`] — the cluster runtime's wire codec: length-prefixed frames
+//!   for the link-crossing traffic (handshake, routing advertisements,
+//!   supervision), with a total decoder and the tag/event-kind surface
+//!   `ssmfp-lint`'s `wire-coverage` lint audits.
 
 pub mod api;
 pub mod baseline;
@@ -57,6 +61,7 @@ pub mod replay;
 pub mod rules;
 pub mod state;
 pub mod trajectory;
+pub mod wire;
 
 pub use api::{DaemonKind, Network, NetworkConfig};
 pub use caterpillar::{classify_buffers, CaterpillarCensus, CaterpillarType};
@@ -69,9 +74,13 @@ pub use faults::{
     BufSel, Fault, FaultCursor, FaultInjector, FaultKind, FaultPlan, FaultPlanConfig, SeededBug,
 };
 pub use footprint::{action_footprint, guards_can_overlap, rule_footprint};
-pub use ledger::{DeliveryLedger, SpViolation};
+pub use ledger::{reconcile_ledgers, ClusterVerdict, DeliveryLedger, NodeLedger, SpViolation};
 pub use message::{Color, GhostId, Message, Payload};
 pub use protocol::{Event, FwdAction, SsmfpAction, SsmfpProtocol};
 pub use rules::Rule;
 pub use state::{FwdSlot, NodeState};
 pub use trajectory::{Trajectory, TrajectoryLog, TrajectoryViolation};
+pub use wire::{
+    decode_body, encode_frame, FrameReader, FrameTag, WireError, WireFrame, WireMessage,
+    LINK_EVENT_KINDS, MAX_FRAME_LEN,
+};

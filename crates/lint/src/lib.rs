@@ -30,6 +30,13 @@
 //!   its reads must cover every variable class some rule can write —
 //!   otherwise the checker's packed storage silently drops state and two
 //!   distinct configurations collapse into one visited entry.
+//! * **`wire-coverage`** — the cluster runtime's wire surface
+//!   ([`ssmfp_core::wire`]) must stay a bijection: every protocol event
+//!   kind that crosses a link has exactly one frame tag, and every frame
+//!   tag maps back to exactly one declared kind. A link-crossing event
+//!   with no frame cannot leave the process; two tags for one kind (or
+//!   one tag claiming an undeclared kind) would let the socket and
+//!   in-process transports disagree about what a byte stream means.
 //! * **`fault-domain`** — every fault kind the injection engine can plant
 //!   ([`ssmfp_core::faults::FaultKind`]) confines its writes to variable
 //!   classes some declared rule already writes. Snap-stabilization is
@@ -43,6 +50,7 @@
 //! `-D`, on warnings).
 
 use ssmfp_core::footprint::{composed_fwd_footprint, guards_can_overlap, LAYER_SSMFP};
+use ssmfp_core::wire::{FrameTag, LINK_EVENT_KINDS};
 use ssmfp_core::{codec_footprint, FaultKind, Rule};
 use ssmfp_kernel::footprint::{independent, Access, Footprint, Locus, VarClass};
 use ssmfp_routing::footprint::{routing_footprint, LAYER_A};
@@ -154,6 +162,8 @@ pub struct LintReport {
     /// Variable classes the fault-injection engine can write (union over
     /// all fault kinds' declared write-sets).
     pub fault_write_classes: Vec<String>,
+    /// The wire surface as audited: `(frame tag, event kind)` pairs.
+    pub wire_tags: Vec<(String, String)>,
 }
 
 impl LintReport {
@@ -198,6 +208,7 @@ pub fn analyze(decls: &[RuleDecl]) -> LintReport {
     lint_races(decls, &mut report);
     lint_codec(decls, &codec_footprint(), &mut report);
     lint_fault_domains(decls, &mut report);
+    lint_wire_coverage(&default_wire_surface(), &mut report);
     report
         .findings
         .sort_by_key(|f| (f.severity == Severity::Warning) as u8);
@@ -486,6 +497,92 @@ fn lint_fault_domains(decls: &[RuleDecl], report: &mut LintReport) {
     });
 }
 
+/// The wire surface under audit: the declared link-crossing event kinds
+/// and each frame tag's `(label, claimed kind)` mapping. Decoupled from
+/// [`ssmfp_core::wire`]'s constants so the red tests can corrupt it.
+#[derive(Debug, Clone)]
+pub struct WireSurface {
+    /// Every event kind declared to cross a link.
+    pub kinds: Vec<String>,
+    /// Every frame tag and the kind it claims to carry.
+    pub tags: Vec<(String, String)>,
+}
+
+/// The shipped wire surface, read off [`FrameTag::ALL`] and
+/// [`LINK_EVENT_KINDS`].
+pub fn default_wire_surface() -> WireSurface {
+    WireSurface {
+        kinds: LINK_EVENT_KINDS.iter().map(|k| k.to_string()).collect(),
+        tags: FrameTag::ALL
+            .iter()
+            .map(|t| (format!("{t:?}"), t.event_kind().to_string()))
+            .collect(),
+    }
+}
+
+/// Wire-coverage analysis: the tag ↔ event-kind mapping must be a
+/// bijection onto the declared link-crossing kinds.
+fn lint_wire_coverage(surface: &WireSurface, report: &mut LintReport) {
+    report.wire_tags = surface.tags.clone();
+    for kind in &surface.kinds {
+        let carriers: Vec<&str> = surface
+            .tags
+            .iter()
+            .filter(|(_, k)| k == kind)
+            .map(|(t, _)| t.as_str())
+            .collect();
+        match carriers.len() {
+            0 => push(
+                report,
+                Severity::Violation,
+                "wire-coverage",
+                format!(
+                    "link-crossing event kind `{kind}` has no frame tag — that traffic cannot \
+                     leave the process, so the socket transport would silently diverge from \
+                     the in-process channels"
+                ),
+            ),
+            1 => {}
+            _ => push(
+                report,
+                Severity::Violation,
+                "wire-coverage",
+                format!(
+                    "event kind `{kind}` is claimed by {} frame tags ({}) — decoding is \
+                     ambiguous, the mapping must be a bijection",
+                    carriers.len(),
+                    carriers.join(", ")
+                ),
+            ),
+        }
+    }
+    for (tag, kind) in &surface.tags {
+        if !surface.kinds.iter().any(|k| k == kind) {
+            push(
+                report,
+                Severity::Violation,
+                "wire-coverage",
+                format!(
+                    "frame tag `{tag}` claims event kind `{kind}`, which is not declared as \
+                     link-crossing — either declare the kind or retire the tag"
+                ),
+            );
+        }
+    }
+    let mut seen: Vec<&str> = Vec::new();
+    for (tag, _) in &surface.tags {
+        if seen.contains(&tag.as_str()) {
+            push(
+                report,
+                Severity::Violation,
+                "wire-coverage",
+                format!("frame tag `{tag}` is declared twice"),
+            );
+        }
+        seen.push(tag);
+    }
+}
+
 /// Serializes a report as JSON (hand-rolled: the workspace builds without
 /// a registry, so no serde).
 pub fn to_json(report: &LintReport) -> String {
@@ -520,7 +617,7 @@ pub fn to_json(report: &LintReport) -> String {
         "{{\n  \"tool\": \"ssmfp-lint\",\n  \"violations\": {},\n  \"warnings\": {},\n  \
          \"guard_overlaps\": {},\n  \"same_dest_interference\": {},\n  \
          \"cross_dest_independent\": {},\n  \"codec_reads\": [{}],\n  \
-         \"fault_write_classes\": [{}]\n}}",
+         \"fault_write_classes\": [{}],\n  \"wire_tags\": {}\n}}",
         findings(report.violations().collect()),
         findings(report.warnings().collect()),
         pairs(&report.guard_overlaps),
@@ -528,6 +625,7 @@ pub fn to_json(report: &LintReport) -> String {
         pairs(&report.cross_dest_independent),
         strings(&report.codec_reads),
         strings(&report.fault_write_classes),
+        pairs(&report.wire_tags),
     )
 }
 
@@ -724,6 +822,63 @@ mod tests {
             "{gaps:?}"
         );
         assert_ne!(report.exit_code(false), 0);
+    }
+
+    #[test]
+    fn shipped_wire_surface_is_a_bijection() {
+        let report = analyze_default();
+        assert!(
+            !report.findings.iter().any(|f| f.code == "wire-coverage"),
+            "{:?}",
+            report.findings
+        );
+        assert_eq!(report.wire_tags.len(), LINK_EVENT_KINDS.len());
+    }
+
+    #[test]
+    fn uncovered_link_kind_is_caught() {
+        // Red test: declare a new link-crossing kind no tag carries.
+        let mut surface = default_wire_surface();
+        surface.kinds.push("port.preempt".to_string());
+        let mut report = LintReport::default();
+        lint_wire_coverage(&surface, &mut report);
+        assert!(report
+            .violations()
+            .any(|f| f.code == "wire-coverage" && f.message.contains("port.preempt")));
+    }
+
+    #[test]
+    fn ambiguous_and_stray_tags_are_caught() {
+        // Two tags claiming one kind, and a tag claiming an undeclared kind.
+        let mut surface = default_wire_surface();
+        surface
+            .tags
+            .push(("Offer2".to_string(), "port.offer".to_string()));
+        surface
+            .tags
+            .push(("Gossip".to_string(), "control.gossip".to_string()));
+        let mut report = LintReport::default();
+        lint_wire_coverage(&surface, &mut report);
+        assert!(report
+            .violations()
+            .any(|f| f.code == "wire-coverage" && f.message.contains("2 frame tags")));
+        assert!(report
+            .violations()
+            .any(|f| f.code == "wire-coverage" && f.message.contains("control.gossip")));
+        assert_ne!(report.exit_code(false), 0);
+    }
+
+    #[test]
+    fn duplicate_tag_is_caught() {
+        let mut surface = default_wire_surface();
+        surface
+            .tags
+            .push(("Offer".to_string(), "routing.dv".to_string()));
+        let mut report = LintReport::default();
+        lint_wire_coverage(&surface, &mut report);
+        assert!(report
+            .violations()
+            .any(|f| f.code == "wire-coverage" && f.message.contains("declared twice")));
     }
 
     #[test]

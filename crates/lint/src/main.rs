@@ -3,31 +3,56 @@
 //! ```text
 //! cargo run -p ssmfp-lint            # JSON report on stdout, summary on stderr
 //! cargo run -p ssmfp-lint -- -D     # also fail (exit 1) on warnings
+//! cargo run -p ssmfp-lint -- --json report.json   # write the report to a file
 //! ```
 //!
 //! Exit status: 0 when the shipped rule declarations pass every analysis,
-//! 1 when any violation (or, under `-D`, any finding) exists.
+//! 1 when any violation (or, under `-D`, any finding) exists, 2 on usage
+//! errors.
 
 use ssmfp_lint::{analyze_default, to_json, Severity};
 
+fn die(msg: &str) -> ! {
+    eprintln!("ssmfp-lint: {msg}");
+    std::process::exit(2);
+}
+
 fn main() {
     let mut deny_warnings = false;
-    for arg in std::env::args().skip(1) {
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "-D" | "--deny-warnings" => deny_warnings = true,
-            "-h" | "--help" => {
-                eprintln!("usage: ssmfp-lint [-D|--deny-warnings]");
+            "--json" => {
+                json_path = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--json needs a file ('-' = stdout)")),
+                );
+            }
+            "--version" => {
+                println!("ssmfp-lint {}", env!("CARGO_PKG_VERSION"));
                 return;
             }
-            other => {
-                eprintln!("ssmfp-lint: unknown argument `{other}` (try --help)");
-                std::process::exit(2);
+            "-h" | "--help" => {
+                eprintln!("usage: ssmfp-lint [-D|--deny-warnings] [--json FILE] [--version]");
+                return;
             }
+            other => die(&format!("unknown argument `{other}` (try --help)")),
         }
     }
 
     let report = analyze_default();
-    println!("{}", to_json(&report));
+    let json = to_json(&report);
+    match json_path.as_deref() {
+        None | Some("-") => println!("{json}"),
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                die(&format!("cannot write {path}: {e}"));
+            }
+            eprintln!("ssmfp-lint: report written to {path}");
+        }
+    }
 
     for f in &report.findings {
         let tag = match f.severity {

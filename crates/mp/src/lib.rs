@@ -32,6 +32,10 @@
 
 pub mod net;
 pub mod port;
+pub mod suite;
 
-pub use net::{ChannelFaults, LinkId, MpConfig, MpNetwork, MpNode, Outbox, SchedulerEvent};
+pub use net::{
+    ChannelFaults, ChannelTransport, FaultClerk, LinkId, MpConfig, MpNetwork, MpNode, Outbox,
+    SchedulerEvent, Transport,
+};
 pub use port::{MpForwarder, MpGhost, MpLedger, MpMessage, PortNetwork, WireMsg};

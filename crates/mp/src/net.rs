@@ -1,5 +1,13 @@
 //! The asynchronous message-passing substrate: FIFO channels, adversarial
 //! seeded scheduling, fault injection.
+//!
+//! Since PR 5 the channel storage lives behind the [`Transport`] trait, so
+//! the same node logic — and the same exactly-once property suite — runs
+//! over the in-process [`ChannelTransport`] *and* over the socket-backed
+//! transport in `crates/cluster`. The fault machinery ([`ChannelFaults`]
+//! budgets applied by a [`FaultClerk`]) is shared too: a dropped frame on a
+//! real Unix-domain socket and a dropped message on a simulated channel go
+//! through the identical seeded decision procedure.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -22,14 +30,27 @@ pub struct Outbox<M> {
     msgs: Vec<(NodeId, M)>,
 }
 
-impl<M> Outbox<M> {
-    fn new() -> Self {
+impl<M> Default for Outbox<M> {
+    fn default() -> Self {
         Outbox { msgs: Vec::new() }
+    }
+}
+
+impl<M> Outbox<M> {
+    /// An empty outbox. Public so external drivers (the cluster runtime's
+    /// socket loop) can collect a node's sends without an `MpNetwork`.
+    pub fn new() -> Self {
+        Self::default()
     }
 
     /// Queues `msg` for transmission to neighbour `to`.
     pub fn send(&mut self, to: NodeId, msg: M) {
         self.msgs.push((to, msg));
+    }
+
+    /// Drains the collected `(to, msg)` sends in queue order.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, (NodeId, M)> {
+        self.msgs.drain(..)
     }
 }
 
@@ -113,7 +134,13 @@ impl ChannelFaults {
     }
 }
 
-struct FaultState {
+/// Applies [`ChannelFaults`] budgets to a FIFO queue of messages, one
+/// delivery opportunity at a time. This is the single fault decision
+/// procedure shared by every transport: the in-process channels, the
+/// suite's socketpair transport, and the cluster runtime's per-link inbound
+/// chaos shim all call [`FaultClerk::pull`] instead of `pop_front`.
+#[derive(Debug)]
+pub struct FaultClerk {
     budgets: ChannelFaults,
     rng: ChaCha8Rng,
     dropped: u64,
@@ -121,42 +148,212 @@ struct FaultState {
     reordered: u64,
 }
 
-/// The asynchronous network: nodes plus FIFO channels per directed edge.
-pub struct MpNetwork<N: MpNode> {
-    graph: Graph,
-    nodes: Vec<N>,
-    /// `channels[i]` is the FIFO queue of link `links[i]`.
-    links: Vec<LinkId>,
-    channels: Vec<VecDeque<N::Msg>>,
-    rng: ChaCha8Rng,
-    config: MpConfig,
-    faults: Option<FaultState>,
-    steps: u64,
-    delivered_msgs: u64,
-    timeouts: u64,
+impl FaultClerk {
+    /// A clerk with the given budgets (the clerk's RNG is seeded from
+    /// `faults.seed`, independent of any scheduler RNG).
+    pub fn new(faults: ChannelFaults) -> Self {
+        FaultClerk {
+            rng: ChaCha8Rng::seed_from_u64(faults.seed),
+            budgets: faults,
+            dropped: 0,
+            duplicated: 0,
+            reordered: 0,
+        }
+    }
+
+    /// Takes the next message from `q`, applying link faults while budgets
+    /// remain. Returns `None` when the message was dropped on the wire
+    /// (the delivery opportunity still counts; nothing is delivered).
+    ///
+    /// Panics if `q` is empty — callers pull only from busy queues.
+    pub fn pull<M: Clone>(&mut self, q: &mut VecDeque<M>) -> Option<M> {
+        let len = q.len();
+        let msg = if self.budgets.reorder > 0 && len >= 2 && self.rng.gen_bool(0.5) {
+            self.budgets.reorder -= 1;
+            self.reordered += 1;
+            let at = self.rng.gen_range(1..len);
+            q.remove(at).expect("index in range")
+        } else {
+            q.pop_front().expect("busy queue")
+        };
+        if self.budgets.drop > 0 && self.rng.gen_bool(0.5) {
+            self.budgets.drop -= 1;
+            self.dropped += 1;
+            return None;
+        }
+        if self.budgets.duplicate > 0 && self.rng.gen_bool(0.5) {
+            self.budgets.duplicate -= 1;
+            self.duplicated += 1;
+            q.push_back(msg.clone());
+        }
+        Some(msg)
+    }
+
+    /// Remaining budgets.
+    pub fn budgets(&self) -> ChannelFaults {
+        self.budgets
+    }
+
+    /// Whether every budget is spent.
+    pub fn exhausted(&self) -> bool {
+        self.budgets.exhausted()
+    }
+
+    /// `(dropped, duplicated, reordered)` messages so far.
+    pub fn counts(&self) -> (u64, u64, u64) {
+        (self.dropped, self.duplicated, self.reordered)
+    }
 }
 
-impl<N: MpNode> MpNetwork<N> {
-    /// Builds the network from per-node states.
-    pub fn new(graph: Graph, nodes: Vec<N>, config: MpConfig) -> Self {
-        assert_eq!(nodes.len(), graph.n());
+/// A point-to-point frame transport between the nodes of one topology.
+///
+/// The contract is deliberately minimal — queue a message on a directed
+/// link, enumerate links with something deliverable, take the next
+/// deliverable message — so that both the simulated FIFO channels and a
+/// real socket mesh fit behind it. Fault budgets are part of the trait
+/// because the exactly-once suite quantifies over them: a transport that
+/// cannot inject faults reports itself permanently exhausted.
+pub trait Transport<M> {
+    /// Queues `msg` on the directed link `link`. Panics (or silently
+    /// refuses, for lossy real-world transports) when the link does not
+    /// exist in the topology.
+    fn send(&mut self, link: LinkId, msg: M);
+
+    /// Appends every link that currently has at least one deliverable
+    /// message to `out` (cleared by the caller). For socket transports
+    /// this drains readable OS buffers first, so "deliverable" means the
+    /// frame physically crossed the wire.
+    fn busy_links(&mut self, out: &mut Vec<LinkId>);
+
+    /// Takes the next deliverable message on `link`, applying link faults
+    /// while budgets remain. Returns `None` when the message was consumed
+    /// by a fault (dropped). Panics if the link is not busy.
+    fn recv(&mut self, link: LinkId) -> Option<M>;
+
+    /// Messages currently in flight (sent but not yet received/dropped).
+    fn in_flight(&self) -> usize;
+
+    /// Installs transient link-fault budgets.
+    fn set_faults(&mut self, faults: ChannelFaults);
+
+    /// True when no further link fault can occur.
+    fn faults_exhausted(&self) -> bool;
+
+    /// `(dropped, duplicated, reordered)` messages so far.
+    fn fault_counts(&self) -> (u64, u64, u64);
+}
+
+/// The in-process transport: one FIFO `VecDeque` per directed edge, with
+/// an optional [`FaultClerk`] applying [`ChannelFaults`] budgets across
+/// all links (global budgets, matching the pre-trait behaviour).
+#[derive(Debug)]
+pub struct ChannelTransport<M> {
+    links: Vec<LinkId>,
+    channels: Vec<VecDeque<M>>,
+    clerk: Option<FaultClerk>,
+}
+
+impl<M: Clone> ChannelTransport<M> {
+    /// Empty channels for every directed edge of `graph`.
+    pub fn new(graph: &Graph) -> Self {
         let mut links = Vec::new();
         for &(p, q) in graph.edges() {
             links.push(LinkId { from: p, to: q });
             links.push(LinkId { from: q, to: p });
         }
         let channels = vec![VecDeque::new(); links.len()];
+        ChannelTransport {
+            links,
+            channels,
+            clerk: None,
+        }
+    }
+
+    fn index(&self, link: LinkId) -> usize {
+        self.links
+            .iter()
+            .position(|l| *l == link)
+            .expect("messages may only be sent to neighbours")
+    }
+}
+
+impl<M: Clone> Transport<M> for ChannelTransport<M> {
+    fn send(&mut self, link: LinkId, msg: M) {
+        let idx = self.index(link);
+        self.channels[idx].push_back(msg);
+    }
+
+    fn busy_links(&mut self, out: &mut Vec<LinkId>) {
+        for (i, c) in self.channels.iter().enumerate() {
+            if !c.is_empty() {
+                out.push(self.links[i]);
+            }
+        }
+    }
+
+    fn recv(&mut self, link: LinkId) -> Option<M> {
+        let idx = self.index(link);
+        match &mut self.clerk {
+            Some(clerk) => clerk.pull(&mut self.channels[idx]),
+            None => Some(self.channels[idx].pop_front().expect("busy link")),
+        }
+    }
+
+    fn in_flight(&self) -> usize {
+        self.channels.iter().map(VecDeque::len).sum()
+    }
+
+    fn set_faults(&mut self, faults: ChannelFaults) {
+        self.clerk = Some(FaultClerk::new(faults));
+    }
+
+    fn faults_exhausted(&self) -> bool {
+        self.clerk.as_ref().is_none_or(FaultClerk::exhausted)
+    }
+
+    fn fault_counts(&self) -> (u64, u64, u64) {
+        self.clerk.as_ref().map_or((0, 0, 0), FaultClerk::counts)
+    }
+}
+
+/// The asynchronous network: nodes plus a [`Transport`] carrying their
+/// frames, driven by a seeded adversarial scheduler.
+pub struct MpNetwork<N: MpNode, T: Transport<N::Msg> = ChannelTransport<<N as MpNode>::Msg>> {
+    graph: Graph,
+    nodes: Vec<N>,
+    transport: T,
+    rng: ChaCha8Rng,
+    config: MpConfig,
+    steps: u64,
+    delivered_msgs: u64,
+    timeouts: u64,
+    busy_scratch: Vec<LinkId>,
+}
+
+impl<N: MpNode> MpNetwork<N> {
+    /// Builds the network from per-node states over in-process channels.
+    pub fn new(graph: Graph, nodes: Vec<N>, config: MpConfig) -> Self {
+        let transport = ChannelTransport::new(&graph);
+        Self::with_transport(graph, nodes, config, transport)
+    }
+}
+
+impl<N: MpNode, T: Transport<N::Msg>> MpNetwork<N, T> {
+    /// Builds the network from per-node states over an arbitrary transport
+    /// (the cluster crate passes a socket-backed one here to run the same
+    /// suite over real OS sockets).
+    pub fn with_transport(graph: Graph, nodes: Vec<N>, config: MpConfig, transport: T) -> Self {
+        assert_eq!(nodes.len(), graph.n());
         MpNetwork {
             graph,
             nodes,
-            links,
-            channels,
+            transport,
             rng: ChaCha8Rng::seed_from_u64(config.seed),
             config,
-            faults: None,
             steps: 0,
             delivered_msgs: 0,
             timeouts: 0,
+            busy_scratch: Vec::new(),
         }
     }
 
@@ -180,6 +377,11 @@ impl<N: MpNode> MpNetwork<N> {
         &self.nodes
     }
 
+    /// The underlying transport.
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
     /// Steps executed (deliveries + timeouts).
     pub fn steps(&self) -> u64 {
         self.steps
@@ -197,118 +399,65 @@ impl<N: MpNode> MpNetwork<N> {
 
     /// Messages currently in flight across all channels.
     pub fn in_flight(&self) -> usize {
-        self.channels.iter().map(VecDeque::len).sum()
+        self.transport.in_flight()
     }
 
     /// Installs transient link-fault budgets. Each subsequent delivery
     /// opportunity flips a seeded coin per remaining budget; once all
     /// budgets are spent the channels are reliable again.
     pub fn set_channel_faults(&mut self, faults: ChannelFaults) {
-        self.faults = Some(FaultState {
-            rng: ChaCha8Rng::seed_from_u64(faults.seed),
-            budgets: faults,
-            dropped: 0,
-            duplicated: 0,
-            reordered: 0,
-        });
-    }
-
-    /// Remaining fault budgets, if faults are installed.
-    pub fn channel_faults(&self) -> Option<ChannelFaults> {
-        self.faults.as_ref().map(|f| f.budgets)
+        self.transport.set_faults(faults);
     }
 
     /// True when no further link fault can occur (none installed, or all
     /// budgets spent). The post-fault suffix of the execution starts here.
     pub fn channel_faults_exhausted(&self) -> bool {
-        self.faults.as_ref().is_none_or(|f| f.budgets.exhausted())
+        self.transport.faults_exhausted()
     }
 
     /// `(dropped, duplicated, reordered)` wire messages so far.
     pub fn channel_fault_counts(&self) -> (u64, u64, u64) {
-        self.faults
-            .as_ref()
-            .map_or((0, 0, 0), |f| (f.dropped, f.duplicated, f.reordered))
+        self.transport.fault_counts()
     }
 
     /// Injects a message into a channel (fault injection: the initial
     /// configuration may contain arbitrary in-flight messages).
     pub fn inject_wire(&mut self, link: LinkId, msg: N::Msg) {
-        let idx = self
-            .links
-            .iter()
-            .position(|l| *l == link)
-            .expect("link must exist");
-        self.channels[idx].push_back(msg);
-    }
-
-    fn link_index(&self, from: NodeId, to: NodeId) -> usize {
-        self.links
-            .iter()
-            .position(|l| l.from == from && l.to == to)
-            .expect("messages may only be sent to neighbours")
+        assert!(self.graph.has_edge(link.from, link.to), "link must exist");
+        self.transport.send(link, msg);
     }
 
     fn flush_outbox(&mut self, from: NodeId, out: Outbox<N::Msg>) {
         for (to, msg) in out.msgs {
-            let idx = self.link_index(from, to);
-            self.channels[idx].push_back(msg);
+            self.transport.send(LinkId { from, to }, msg);
         }
-    }
-
-    /// Pops the next message of channel `idx`, applying link faults while
-    /// budgets remain. Returns `None` when the message was dropped on the
-    /// wire (the step still counts; nothing is delivered).
-    fn pop_with_faults(&mut self, idx: usize) -> Option<N::Msg> {
-        let Some(fs) = self.faults.as_mut() else {
-            return Some(self.channels[idx].pop_front().expect("busy link"));
-        };
-        let len = self.channels[idx].len();
-        let msg = if fs.budgets.reorder > 0 && len >= 2 && fs.rng.gen_bool(0.5) {
-            fs.budgets.reorder -= 1;
-            fs.reordered += 1;
-            let at = fs.rng.gen_range(1..len);
-            self.channels[idx].remove(at).expect("index in range")
-        } else {
-            self.channels[idx].pop_front().expect("busy link")
-        };
-        if fs.budgets.drop > 0 && fs.rng.gen_bool(0.5) {
-            fs.budgets.drop -= 1;
-            fs.dropped += 1;
-            return None;
-        }
-        if fs.budgets.duplicate > 0 && fs.rng.gen_bool(0.5) {
-            fs.budgets.duplicate -= 1;
-            fs.duplicated += 1;
-            self.channels[idx].push_back(msg.clone());
-        }
-        Some(msg)
     }
 
     /// Executes one scheduler step. Returns the event, or `None` if the
     /// system is fully quiescent (no in-flight messages, all nodes idle).
     pub fn step(&mut self) -> Option<SchedulerEvent> {
-        let busy_links: Vec<usize> = (0..self.channels.len())
-            .filter(|&i| !self.channels[i].is_empty())
-            .collect();
+        let mut busy_links = std::mem::take(&mut self.busy_scratch);
+        busy_links.clear();
+        self.transport.busy_links(&mut busy_links);
         let busy_nodes: Vec<NodeId> = (0..self.nodes.len())
             .filter(|&p| !self.nodes[p].is_idle())
             .collect();
         let event = if busy_links.is_empty() && busy_nodes.is_empty() {
+            self.busy_scratch = busy_links;
             return None;
         } else if busy_links.is_empty() {
             SchedulerEvent::Timeout(busy_nodes[self.rng.gen_range(0..busy_nodes.len())])
         } else if busy_nodes.is_empty() {
-            SchedulerEvent::Deliver(self.links[busy_links[self.rng.gen_range(0..busy_links.len())]])
+            SchedulerEvent::Deliver(busy_links[self.rng.gen_range(0..busy_links.len())])
         } else if self.rng.gen_bool(self.config.timeout_bias) {
             SchedulerEvent::Timeout(busy_nodes[self.rng.gen_range(0..busy_nodes.len())])
         } else {
-            SchedulerEvent::Deliver(self.links[busy_links[self.rng.gen_range(0..busy_links.len())]])
+            SchedulerEvent::Deliver(busy_links[self.rng.gen_range(0..busy_links.len())])
         };
+        self.busy_scratch = busy_links;
         match event {
             SchedulerEvent::Deliver(link) => {
-                let idx = self.link_index(link.from, link.to);
-                if let Some(msg) = self.pop_with_faults(idx) {
+                if let Some(msg) = self.transport.recv(link) {
                     let mut out = Outbox::new();
                     self.nodes[link.to].on_message(link.from, msg, &mut out);
                     self.flush_outbox(link.to, out);
@@ -483,5 +632,31 @@ mod tests {
             (net.steps(), net.delivered_msgs())
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn fault_clerk_budgets_bound_every_kind() {
+        let mut clerk = FaultClerk::new(ChannelFaults::budget(3, 2));
+        let mut q: VecDeque<u64> = VecDeque::new();
+        let mut delivered = 0u64;
+        for v in 0..200u64 {
+            q.push_back(v);
+            while q.len() >= 2 {
+                if clerk.pull(&mut q).is_some() {
+                    delivered += 1;
+                }
+            }
+        }
+        while !q.is_empty() {
+            if clerk.pull(&mut q).is_some() {
+                delivered += 1;
+            }
+        }
+        let (d, u, r) = clerk.counts();
+        assert!(clerk.exhausted());
+        assert!(d <= 2 && u <= 2 && r <= 2);
+        // Every message not dropped is delivered exactly once, duplicates
+        // add on top.
+        assert_eq!(delivered, 200 - d + u);
     }
 }

@@ -61,6 +61,10 @@ fn parse_args() -> Options {
             "--artifact-dir" => opts.artifact_dir = value("--artifact-dir"),
             "--replay" => opts.replay = Some(value("--replay")),
             "--mutation-check" => opts.mutation_check = true,
+            "--version" => {
+                println!("ssmfp-soak {}", env!("CARGO_PKG_VERSION"));
+                std::process::exit(0);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: ssmfp-soak [--quick] [--seeds N] [--faults N] [--budget N] \
