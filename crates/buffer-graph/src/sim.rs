@@ -197,9 +197,9 @@ mod tests {
         let mut sim = StoreForward::new(bg);
         let mut id = 0;
         for s in 0..g.n() {
-            for d in 0..g.n() {
+            for (d, tree) in trees.iter().enumerate() {
                 if s != d {
-                    let route: Vec<BufferId> = trees[d]
+                    let route: Vec<BufferId> = tree
                         .path_to_root(s)
                         .into_iter()
                         .map(|p| BufferId::new(p, d))

@@ -1,0 +1,268 @@
+//! The cluster runtime's declared concurrency model.
+//!
+//! Every thread role, lock, cross-thread channel and blocking edge of
+//! `node.rs`/`orchestrator.rs`, declared as data for `ssmfp-lint`'s
+//! `conc-*` passes and for the debug-build runtime assertions. Bounds come
+//! from the same [`ClusterTuning`] the running code consumes, so the
+//! declaration cannot drift from the implementation.
+//!
+//! ## The shape of the graph
+//!
+//! Per node: a main protocol loop, an accept thread, one reader per
+//! inbound connection, one writer per neighbour, and a control-pipe
+//! reader. The orchestrator adds its own main thread and one line-reader
+//! per node. Channels:
+//!
+//! * `node.sendq` (per neighbour, blocks when full) — the *only* place
+//!   backpressure deliberately stalls the protocol loop;
+//! * `node.inbound` (sheds when full) — shedding here is a wire drop the
+//!   protocol's retransmission tolerates, and it is what breaks the
+//!   cross-node cycle `main → sendq → writer → socket → peer reader →
+//!   peer inbound → peer main`;
+//! * `node.ctrl` and `orch.lines` — control-plane line muxes.
+//!
+//! `node.ctrl` sheds rather than blocks: the orchestrator sends a
+//! handful of lines per run, far below the bound, so shedding is
+//! *impossible* — and the node asserts at shutdown (debug builds) that
+//! its shed count is zero, turning the capacity argument into a checked
+//! invariant instead of a blocking edge that would close a wait cycle
+//! through the orchestrator.
+//!
+//! One lock: `writer.stats`, the per-writer heartbeat/reconnect counters
+//! the main loop reads at shutdown. It is never held across a blocking
+//! operation (lint `conc-hold-across-block` keeps it that way).
+
+use crate::tuning::ClusterTuning;
+use ssmfp_core::conc::{
+    BlockingEdge, ChannelDecl, ConcModel, FullPolicy, LockDecl, Multiplicity, ThreadDecl,
+    WaitPoint, EXTERN_ROLE,
+};
+
+/// Component name under which cluster threads register.
+pub const COMPONENT: &str = "cluster";
+
+/// Builds the declared model from the tuning the runtime actually uses.
+pub fn model(t: &ClusterTuning) -> ConcModel {
+    ConcModel {
+        component: COMPONENT,
+        threads: vec![
+            ThreadDecl {
+                role: "orch.main",
+                multiplicity: Multiplicity::One,
+                spawned_by: EXTERN_ROLE,
+                doc: "drives the run: launches nodes, muxes their lines, declares convergence",
+            },
+            ThreadDecl {
+                role: "orch.line-reader",
+                multiplicity: Multiplicity::PerNode,
+                spawned_by: "orch.main",
+                doc: "reads one node's status/report lines into orch.lines",
+            },
+            ThreadDecl {
+                role: "node.main",
+                multiplicity: Multiplicity::PerNode,
+                spawned_by: "orch.main",
+                doc: "the protocol loop: inbound frames, timeouts, workload, outbox",
+            },
+            ThreadDecl {
+                role: "node.accept",
+                multiplicity: Multiplicity::PerNode,
+                spawned_by: "node.main",
+                doc: "polls the listener, spawns one reader per inbound connection",
+            },
+            ThreadDecl {
+                role: "net.reader",
+                multiplicity: Multiplicity::PerConnection,
+                spawned_by: "node.accept",
+                doc: "decodes frames off one inbound connection into node.inbound",
+            },
+            ThreadDecl {
+                role: "net.writer",
+                multiplicity: Multiplicity::PerNeighbor,
+                spawned_by: "node.main",
+                doc: "owns one outbound connection: dials, Hellos, streams, heartbeats",
+            },
+            ThreadDecl {
+                role: "ctrl.reader",
+                multiplicity: Multiplicity::PerNode,
+                spawned_by: "node.main",
+                doc: "reads orchestrator control lines into node.ctrl",
+            },
+        ],
+        locks: vec![LockDecl {
+            name: "writer.stats",
+            rank: 10,
+            doc: "per-writer heartbeat/reconnect counters, read by node.main at shutdown",
+        }],
+        channels: vec![
+            ChannelDecl {
+                name: "node.inbound",
+                senders: vec!["net.reader"],
+                receiver: "node.main",
+                bound: Some(t.inbound_queue),
+                policy: Some(FullPolicy::Shed),
+                doc: "decoded inbound frames; sheds when full (a tolerated wire drop)",
+            },
+            ChannelDecl {
+                name: "node.sendq",
+                senders: vec!["node.main"],
+                receiver: "net.writer",
+                bound: Some(t.send_queue),
+                policy: Some(FullPolicy::Block),
+                doc: "per-neighbour outbound frames; blocking is the backpressure path",
+            },
+            ChannelDecl {
+                name: "node.ctrl",
+                senders: vec!["ctrl.reader"],
+                receiver: "node.main",
+                bound: Some(t.ctrl_queue),
+                policy: Some(FullPolicy::Shed),
+                doc: "orchestrator control lines; bound >> lines-per-run, shed asserted zero",
+            },
+            ChannelDecl {
+                name: "orch.lines",
+                senders: vec!["orch.line-reader"],
+                receiver: "orch.main",
+                bound: Some(t.orch_line_queue),
+                policy: Some(FullPolicy::Block),
+                doc: "per-node line mux feeding the orchestrator's event loop",
+            },
+        ],
+        edges: vec![
+            // node.main
+            BlockingEdge {
+                thread: "node.main",
+                waits: WaitPoint::ChanRecv("node.inbound"),
+                holding: vec![],
+                timed: true, // recv_timeout(tick)
+            },
+            BlockingEdge {
+                thread: "node.main",
+                waits: WaitPoint::ChanSend("node.sendq"),
+                holding: vec![],
+                timed: false, // backpressure: deliberately stalls the loop
+            },
+            BlockingEdge {
+                thread: "node.main",
+                waits: WaitPoint::SockWrite("orch.line-reader"),
+                holding: vec![],
+                timed: false, // status/report lines into the control pipe
+            },
+            BlockingEdge {
+                thread: "node.main",
+                waits: WaitPoint::LockAcquire("writer.stats"),
+                holding: vec![],
+                timed: false, // shutdown counter harvest
+            },
+            // node.accept
+            BlockingEdge {
+                thread: "node.accept",
+                waits: WaitPoint::Accept("net.writer"),
+                holding: vec![],
+                timed: true, // non-blocking accept + accept_poll sleep
+            },
+            // net.reader
+            BlockingEdge {
+                thread: "net.reader",
+                waits: WaitPoint::SockRead("net.writer"),
+                holding: vec![],
+                timed: false, // fed by the peer node's writer
+            },
+            // net.writer
+            BlockingEdge {
+                thread: "net.writer",
+                waits: WaitPoint::ChanRecv("node.sendq"),
+                holding: vec![],
+                timed: true, // recv_timeout(heartbeat)
+            },
+            BlockingEdge {
+                thread: "net.writer",
+                waits: WaitPoint::SockWrite("net.reader"),
+                holding: vec![],
+                timed: false, // drained by the peer node's reader
+            },
+            BlockingEdge {
+                thread: "net.writer",
+                waits: WaitPoint::LockAcquire("writer.stats"),
+                holding: vec![],
+                timed: false, // heartbeat/reconnect bump
+            },
+            // ctrl.reader
+            BlockingEdge {
+                thread: "ctrl.reader",
+                waits: WaitPoint::SockRead("orch.main"),
+                holding: vec![],
+                timed: false, // control pipe
+            },
+            // orch.line-reader
+            BlockingEdge {
+                thread: "orch.line-reader",
+                waits: WaitPoint::SockRead("node.main"),
+                holding: vec![],
+                timed: false, // the node's status/report pipe
+            },
+            BlockingEdge {
+                thread: "orch.line-reader",
+                waits: WaitPoint::ChanSend("orch.lines"),
+                holding: vec![],
+                timed: false,
+            },
+            // orch.main
+            BlockingEdge {
+                thread: "orch.main",
+                waits: WaitPoint::ChanRecv("orch.lines"),
+                holding: vec![],
+                timed: true, // recv_timeout against the run deadline
+            },
+            BlockingEdge {
+                thread: "orch.main",
+                waits: WaitPoint::SockWrite("ctrl.reader"),
+                holding: vec![],
+                timed: false, // peers/start/stop lines
+            },
+        ],
+    }
+}
+
+/// The model for the tuning the runtime actually runs with.
+pub fn default_model() -> ConcModel {
+    model(&crate::tuning::TUNING)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuning::TUNING;
+
+    #[test]
+    fn declared_bounds_come_from_tuning() {
+        let m = default_model();
+        assert_eq!(m.channel_decl("node.sendq").bound, Some(TUNING.send_queue));
+        assert_eq!(
+            m.channel_decl("node.inbound").bound,
+            Some(TUNING.inbound_queue)
+        );
+        assert_eq!(m.channel_decl("node.ctrl").bound, Some(TUNING.ctrl_queue));
+        assert_eq!(
+            m.channel_decl("orch.lines").bound,
+            Some(TUNING.orch_line_queue)
+        );
+    }
+
+    #[test]
+    fn every_edge_references_declared_names() {
+        let m = default_model();
+        for e in &m.edges {
+            assert!(m.thread(e.thread).is_some(), "thread {}", e.thread);
+            match e.waits {
+                WaitPoint::ChanSend(c) | WaitPoint::ChanRecv(c) => {
+                    assert!(m.channel(c).is_some(), "channel {c}");
+                }
+                WaitPoint::LockAcquire(l) => assert!(m.lock(l).is_some(), "lock {l}"),
+                WaitPoint::SockRead(p) | WaitPoint::SockWrite(p) | WaitPoint::Accept(p) => {
+                    assert!(m.thread(p).is_some(), "peer role {p}");
+                }
+            }
+        }
+    }
+}

@@ -20,13 +20,20 @@
 //!   for convergence, reconciles ledgers into a cluster-wide SP verdict,
 //!   and renders the JSON run report.
 //! * [`telemetry`] — log-bucketed latency histograms and counters.
+//! * [`tuning`] — every runtime knob in one documented [`ClusterTuning`]
+//!   struct, consumed by both the running code and the declared model.
+//! * [`conc`] — the declared concurrency model (thread roles, lock ranks,
+//!   channel bounds, blocking edges) feeding `ssmfp-lint`'s `conc-*`
+//!   passes and the debug-build runtime assertions.
 
 pub mod chaos;
+pub mod conc;
 pub mod frame;
 pub mod node;
 pub mod orchestrator;
 pub mod telemetry;
 pub mod transport;
+pub mod tuning;
 pub mod workload;
 
 pub use chaos::{ChaosSpec, PartitionSpec};
@@ -37,4 +44,5 @@ pub use orchestrator::{
 };
 pub use telemetry::{LogHistogram, NodeCounters};
 pub use transport::LoopbackTransport;
+pub use tuning::{ClusterTuning, TUNING};
 pub use workload::{is_ack_ghost, WorkloadGen, WorkloadKind, WorkloadSpec};

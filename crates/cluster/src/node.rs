@@ -28,11 +28,16 @@
 //! * node → orch: a multi-line `report … end` block, then exit.
 
 use crate::chaos::{ChaosSpec, InboundChaos};
+use crate::conc::COMPONENT;
 use crate::frame::{frame_to_msg, msg_to_frame};
 use crate::telemetry::{LogHistogram, NodeCounters};
+use crate::tuning::TUNING;
 use crate::workload::{ack_payload, is_ack, stamp_of, WorkloadGen, WorkloadSpec, STAMP_MASK};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use ssmfp_core::conc::{
+    register_thread, spawn_registered, tracked_channel, SendOutcome, TrackedMutex, TrackedSender,
+};
 use ssmfp_core::wire::{encode_frame, FrameReader, WireFrame};
 use ssmfp_mp::{MpForwarder, MpGhost, MpNode, Outbox};
 use ssmfp_topology::{BfsTree, Graph, NodeId};
@@ -41,26 +46,11 @@ use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
-
-/// Main-loop granularity: protocol timeouts fire at most this often.
-const TICK: Duration = Duration::from_millis(1);
-/// Idle gap after which a writer emits a heartbeat.
-const HEARTBEAT: Duration = Duration::from_millis(50);
-/// Status push period.
-const STATUS_EVERY: Duration = Duration::from_millis(25);
-/// Bounded outbound queue depth per neighbour.
-const SEND_QUEUE: usize = 1024;
-/// Reconnect backoff base (doubles per attempt, capped, jittered).
-const BACKOFF_BASE_MS: u64 = 4;
-const BACKOFF_CAP_MS: u64 = 250;
-/// Dial attempts before the writer gives up (node is shutting down or the
-/// peer is gone for good).
-const MAX_DIAL_ATTEMPTS: u32 = 400;
 
 /// Where a node listens for inbound connections.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -166,8 +156,16 @@ fn dial(addr: &str) -> io::Result<Box<dyn Write + Send>> {
     }
 }
 
+/// Per-writer supervision counters, behind the declared `writer.stats`
+/// lock (see `crate::conc`). Never held across a blocking operation.
+#[derive(Debug, Default)]
+struct WriterStats {
+    heartbeats: u64,
+    reconnects: u64,
+}
+
 /// Reads frames off one inbound connection until EOF or garbage.
-fn reader_loop(mut stream: Box<dyn Read + Send>, inbound: mpsc::Sender<(NodeId, WireFrame)>) {
+fn reader_loop(mut stream: Box<dyn Read + Send>, inbound: TrackedSender<(NodeId, WireFrame)>) {
     let mut fr = FrameReader::new();
     let mut from: Option<NodeId> = None;
     let mut buf = [0u8; 4096];
@@ -185,7 +183,10 @@ fn reader_loop(mut stream: Box<dyn Read + Send>, inbound: mpsc::Sender<(NodeId, 
                     // drop it (the dialer will reconnect and re-Hello).
                     None => return,
                     Some(p) => {
-                        if inbound.send((p, frame)).is_err() {
+                        // A Shed outcome is a counted wire drop; the
+                        // reader never blocks here (that non-edge is what
+                        // keeps the cross-node wait graph acyclic).
+                        if inbound.send((p, frame)) == SendOutcome::Disconnected {
                             return;
                         }
                     }
@@ -199,17 +200,17 @@ fn reader_loop(mut stream: Box<dyn Read + Send>, inbound: mpsc::Sender<(NodeId, 
 
 fn accept_loop(
     listener: NetListener,
-    inbound: mpsc::Sender<(NodeId, WireFrame)>,
+    inbound: TrackedSender<(NodeId, WireFrame)>,
     stop: Arc<AtomicBool>,
 ) {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok(stream) => {
                 let tx = inbound.clone();
-                thread::spawn(move || reader_loop(stream, tx));
+                spawn_registered(COMPONENT, "net.reader", move || reader_loop(stream, tx));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(2));
+                thread::sleep(TUNING.accept_poll());
             }
             Err(_) => return,
         }
@@ -218,13 +219,11 @@ fn accept_loop(
 
 /// Owns one outbound simplex connection: dials with backoff, Hellos,
 /// streams frames, heartbeats when idle.
-#[allow(clippy::too_many_arguments)]
 fn writer_loop(
     my_id: NodeId,
     addr: String,
     rx: Receiver<WireFrame>,
-    heartbeats: Arc<AtomicU64>,
-    reconnects: Arc<AtomicU64>,
+    stats: Arc<TrackedMutex<WriterStats>>,
     seed: u64,
 ) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -242,17 +241,18 @@ fn writer_loop(
                 Ok(s) => break s,
                 Err(_) => {
                     attempt += 1;
-                    if attempt > MAX_DIAL_ATTEMPTS {
+                    if attempt > TUNING.max_dial_attempts {
                         return;
                     }
-                    let backoff = (BACKOFF_BASE_MS << attempt.min(6)).min(BACKOFF_CAP_MS);
+                    let backoff =
+                        (TUNING.backoff_base_ms << attempt.min(6)).min(TUNING.backoff_cap_ms);
                     let jitter = rng.gen_range(0..=backoff / 2);
                     thread::sleep(Duration::from_millis(backoff + jitter));
                 }
             }
         };
         if incarnation > 0 {
-            reconnects.fetch_add(1, Ordering::Relaxed);
+            stats.lock().reconnects += 1;
         }
         incarnation += 1;
         buf.clear();
@@ -269,7 +269,7 @@ fn writer_loop(
         loop {
             let frame = match carry.take() {
                 Some(f) => f,
-                None => match rx.recv_timeout(HEARTBEAT) {
+                None => match rx.recv_timeout(TUNING.heartbeat()) {
                     Ok(f) => f,
                     Err(RecvTimeoutError::Timeout) => {
                         clock += 1;
@@ -282,7 +282,7 @@ fn writer_loop(
                         if stream.write_all(&buf).is_err() {
                             continue 'connect;
                         }
-                        heartbeats.fetch_add(1, Ordering::Relaxed);
+                        stats.lock().heartbeats += 1;
                         continue;
                     }
                     Err(RecvTimeoutError::Disconnected) => return,
@@ -330,6 +330,11 @@ where
     R: Read + Send + 'static,
     W: Write,
 {
+    // In proc mode this is the process main thread; in inproc mode the
+    // orchestrator's spawn already registered it (re-registration is
+    // idempotent). Either way the declared role holds from here on.
+    register_thread(COMPONENT, "node.main");
+    let model = crate::conc::model(&TUNING);
     let graph = Graph::from_edges(cfg.n, &cfg.edges).map_err(io::Error::other)?;
     let p = cfg.node;
     let neighbors: Vec<NodeId> = graph.neighbors(p).to_vec();
@@ -353,21 +358,25 @@ where
     // --- sockets up, report ready ---
     let (listener, my_addr) = NetListener::bind(&cfg.listen, p)?;
     let stop_flag = Arc::new(AtomicBool::new(false));
-    let (inbound_tx, inbound_rx) = mpsc::channel::<(NodeId, WireFrame)>();
+    let (inbound_tx, inbound_rx, inbound_stats) =
+        tracked_channel::<(NodeId, WireFrame)>(COMPONENT, model.channel_decl("node.inbound"));
     {
         let tx = inbound_tx.clone();
         let stop = stop_flag.clone();
-        thread::spawn(move || accept_loop(listener, tx, stop));
+        spawn_registered(COMPONENT, "node.accept", move || {
+            accept_loop(listener, tx, stop)
+        });
     }
     writeln!(ctrl_w, "ready {my_addr}")?;
     ctrl_w.flush()?;
 
     // --- control reader ---
-    let (ctrl_tx, ctrl_rx) = mpsc::channel::<String>();
-    thread::spawn(move || {
+    let (ctrl_tx, ctrl_rx, ctrl_stats) =
+        tracked_channel::<String>(COMPONENT, model.channel_decl("node.ctrl"));
+    spawn_registered(COMPONENT, "ctrl.reader", move || {
         for line in BufReader::new(ctrl_r).lines() {
             let Ok(line) = line else { return };
-            if ctrl_tx.send(line).is_err() {
+            if ctrl_tx.send(line) == SendOutcome::Disconnected {
                 return;
             }
         }
@@ -390,17 +399,23 @@ where
     if addrs.len() != cfg.n {
         return Err(io::Error::other("peers line has wrong arity"));
     }
-    let heartbeats = Arc::new(AtomicU64::new(0));
-    let reconnects = Arc::new(AtomicU64::new(0));
-    let mut senders: HashMap<NodeId, SyncSender<WireFrame>> = HashMap::new();
+    let writer_stats = Arc::new(TrackedMutex::new(
+        model.lock_decl("writer.stats"),
+        WriterStats::default(),
+    ));
+    let mut senders: HashMap<NodeId, TrackedSender<WireFrame>> = HashMap::new();
+    let mut sendq_stats = Vec::with_capacity(neighbors.len());
     for &q in &neighbors {
-        let (tx, rx) = mpsc::sync_channel::<WireFrame>(SEND_QUEUE);
+        let (tx, rx, stats) =
+            tracked_channel::<WireFrame>(COMPONENT, model.channel_decl("node.sendq"));
         senders.insert(q, tx);
+        sendq_stats.push(stats);
         let addr = addrs[q].to_string();
-        let hb = heartbeats.clone();
-        let rc = reconnects.clone();
+        let ws = writer_stats.clone();
         let seed = cfg.seed ^ ((p as u64) << 32 | q as u64).wrapping_mul(0xDEAD_BEEF_1234_5677);
-        thread::spawn(move || writer_loop(p, addr, rx, hb, rc, seed));
+        spawn_registered(COMPONENT, "net.writer", move || {
+            writer_loop(p, addr, rx, ws, seed)
+        });
     }
     expect(&ctrl_rx, "start")?;
 
@@ -419,7 +434,7 @@ where
         }
 
         // Inbound: block briefly so the loop idles at TICK granularity.
-        match inbound_rx.recv_timeout(TICK) {
+        match inbound_rx.recv_timeout(TUNING.tick()) {
             Ok((from, frame)) => {
                 let mut push = |from: NodeId, frame: WireFrame| {
                     if frame.is_data_plane() {
@@ -450,7 +465,7 @@ where
         }
 
         // Protocol timeouts.
-        if last_tick.elapsed() >= TICK {
+        if last_tick.elapsed() >= TUNING.tick() {
             last_tick = Instant::now();
             fwd.on_timeout(&mut out);
         }
@@ -482,26 +497,18 @@ where
             }
         }
 
-        // Ship the outbox through the bounded writer queues.
+        // Ship the outbox through the bounded writer queues. The declared
+        // Block policy means a full queue stalls the loop here —
+        // backpressure propagating into the protocol, counted per queue.
         for (to, msg) in out.drain() {
             let tx = senders.get(&to).expect("send to non-neighbour");
             let frame = msg_to_frame(&msg);
             counters.frames_sent += 1;
-            match tx.try_send(frame) {
-                Ok(()) => {}
-                Err(TrySendError::Full(frame)) => {
-                    counters.backpressure_stalls += 1;
-                    // Block: backpressure propagates into the protocol loop.
-                    if tx.send(frame).is_err() {
-                        break;
-                    }
-                }
-                Err(TrySendError::Disconnected(_)) => {}
-            }
+            let _ = tx.send(frame);
         }
 
         // Status push.
-        if last_status.elapsed() >= STATUS_EVERY {
+        if last_status.elapsed() >= TUNING.status_every() {
             last_status = Instant::now();
             writeln!(
                 ctrl_w,
@@ -524,8 +531,20 @@ where
         counters.chaos_reordered += r;
         counters.partition_dropped += c.partition_dropped();
     }
-    counters.heartbeats_sent = heartbeats.load(Ordering::Relaxed);
-    counters.reconnects = reconnects.load(Ordering::Relaxed);
+    {
+        let ws = writer_stats.lock();
+        counters.heartbeats_sent = ws.heartbeats;
+        counters.reconnects = ws.reconnects;
+    }
+    counters.backpressure_stalls = sendq_stats.iter().map(|s| s.stall_count()).sum();
+    counters.inbound_shed = inbound_stats.shed_count();
+    // The control queue's bound dwarfs the lines-per-run the orchestrator
+    // sends; its Shed policy must therefore never fire.
+    debug_assert_eq!(
+        ctrl_stats.shed_count(),
+        0,
+        "control lines were shed — the node.ctrl capacity argument is broken"
+    );
     drop(senders); // writers drain and exit
 
     let report = NodeReport {
@@ -593,7 +612,7 @@ pub fn write_report<W: Write>(w: &mut W, r: &NodeReport) -> io::Result<()> {
     let c = &r.counters;
     writeln!(
         w,
-        "ctr {} {} {} {} {} {} {} {} {}",
+        "ctr {} {} {} {} {} {} {} {} {} {}",
         c.frames_sent,
         c.frames_received,
         c.heartbeats_sent,
@@ -602,7 +621,8 @@ pub fn write_report<W: Write>(w: &mut W, r: &NodeReport) -> io::Result<()> {
         c.chaos_duplicated,
         c.chaos_reordered,
         c.partition_dropped,
-        c.backpressure_stalls
+        c.backpressure_stalls,
+        c.inbound_shed
     )?;
     writeln!(w, "end")
 }
@@ -659,6 +679,7 @@ pub fn parse_report_body(
                     chaos_reordered: next()?,
                     partition_dropped: next()?,
                     backpressure_stalls: next()?,
+                    inbound_shed: next()?,
                 };
             }
             "end" => return Some(r),
@@ -694,6 +715,7 @@ mod tests {
                 chaos_reordered: 7,
                 partition_dropped: 8,
                 backpressure_stalls: 9,
+                inbound_shed: 10,
             },
         };
         let mut buf = Vec::new();

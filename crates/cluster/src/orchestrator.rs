@@ -10,19 +10,24 @@
 //!   deployment shape.
 
 use crate::chaos::{ChaosSpec, PartitionSpec};
+use crate::conc::COMPONENT;
 use crate::frame::ghost_to_wire;
 use crate::node::{node_main, parse_report_body, ListenSpec, NodeConfig, NodeReport};
 use crate::telemetry::{LogHistogram, NodeCounters};
+use crate::tuning::TUNING;
 use crate::workload::{is_ack_ghost, WorkloadKind, WorkloadSpec};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use ssmfp_core::conc::{
+    register_thread, spawn_registered, tracked_channel, SendOutcome, TrackedSender,
+};
 use ssmfp_core::{reconcile_ledgers, ClusterVerdict, NodeLedger};
 use ssmfp_topology::Graph;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -58,10 +63,6 @@ pub struct ClusterSpec {
     /// Give up (converged = false) after this long.
     pub timeout: Duration,
 }
-
-/// Consecutive identical all-done snapshots required to declare
-/// convergence (guards against reading between a send and its delivery).
-const STABLE_SNAPSHOTS: u32 = 3;
 
 /// Outcome of one cluster run.
 #[derive(Debug, Clone)]
@@ -119,7 +120,7 @@ impl RunReport {
                 "  \"counters\": {{\"frames_sent\": {}, \"frames_received\": {}, ",
                 "\"heartbeats_sent\": {}, \"reconnects\": {}, \"chaos_dropped\": {}, ",
                 "\"chaos_duplicated\": {}, \"chaos_reordered\": {}, \"partition_dropped\": {}, ",
-                "\"backpressure_stalls\": {}}}\n",
+                "\"backpressure_stalls\": {}, \"inbound_shed\": {}}}\n",
                 "}}"
             ),
             self.topology,
@@ -155,6 +156,7 @@ impl RunReport {
             c.chaos_reordered,
             c.partition_dropped,
             c.backpressure_stalls,
+            c.inbound_shed,
         )
     }
 }
@@ -206,12 +208,12 @@ impl NodeHandle {
             }
             NodeHandle::Proc { mut child, stdin } => {
                 drop(stdin);
-                let deadline = Instant::now() + Duration::from_secs(5);
+                let deadline = Instant::now() + TUNING.proc_exit_grace();
                 loop {
                     match child.try_wait() {
                         Ok(Some(_)) => break,
                         Ok(None) if Instant::now() < deadline => {
-                            thread::sleep(Duration::from_millis(10));
+                            thread::sleep(TUNING.proc_wait_poll());
                         }
                         _ => {
                             let _ = child.kill();
@@ -225,11 +227,11 @@ impl NodeHandle {
     }
 }
 
-fn spawn_line_reader(id: usize, r: impl Read + Send + 'static, tx: Sender<(usize, String)>) {
-    thread::spawn(move || {
+fn spawn_line_reader(id: usize, r: impl Read + Send + 'static, tx: TrackedSender<(usize, String)>) {
+    spawn_registered(COMPONENT, "orch.line-reader", move || {
         for line in BufReader::new(r).lines() {
             let Ok(line) = line else { return };
-            if tx.send((id, line)).is_err() {
+            if tx.send((id, line)) == SendOutcome::Disconnected {
                 return;
             }
         }
@@ -397,8 +399,11 @@ fn node_config(spec: &ClusterSpec, p: usize) -> NodeConfig {
 
 /// Runs a cluster to convergence (or timeout) and reconciles the ledgers.
 pub fn run_cluster(spec: &ClusterSpec) -> io::Result<RunReport> {
+    register_thread(COMPONENT, "orch.main");
+    let model = crate::conc::model(&TUNING);
     let n = spec.graph.n();
-    let (line_tx, line_rx) = mpsc::channel::<(usize, String)>();
+    let (line_tx, line_rx, _line_stats) =
+        tracked_channel::<(usize, String)>(COMPONENT, model.channel_decl("orch.lines"));
     let mut handles: Vec<NodeHandle> = Vec::with_capacity(n);
 
     for p in 0..n {
@@ -407,7 +412,9 @@ pub fn run_cluster(spec: &ClusterSpec) -> io::Result<RunReport> {
             RunMode::Inproc => {
                 let (orch_side, node_side) = UnixStream::pair()?;
                 let node_r = node_side.try_clone()?;
-                let join = thread::spawn(move || node_main(&cfg, node_r, node_side));
+                let join = spawn_registered(COMPONENT, "node.main", move || {
+                    node_main(&cfg, node_r, node_side)
+                });
                 spawn_line_reader(p, orch_side.try_clone()?, line_tx.clone());
                 handles.push(NodeHandle::Thread {
                     ctrl_w: orch_side,
@@ -522,7 +529,7 @@ pub fn run_cluster(spec: &ClusterSpec) -> io::Result<RunReport> {
         if all_done && held == 0 && generated == delivered && generated > 0 {
             if last_snapshot.as_deref() == Some(&status[..]) {
                 stable += 1;
-                if stable >= STABLE_SNAPSHOTS {
+                if stable >= TUNING.stable_snapshots {
                     converged = true;
                     wall_s = started.elapsed().as_secs_f64();
                     break;
@@ -541,7 +548,7 @@ pub fn run_cluster(spec: &ClusterSpec) -> io::Result<RunReport> {
     for h in &mut handles {
         let _ = h.write_line("stop");
     }
-    let report_deadline = Instant::now() + Duration::from_secs(20);
+    let report_deadline = Instant::now() + TUNING.report_grace();
     let mut bufs: Vec<Vec<String>> = vec![Vec::new(); n];
     let mut ended = vec![false; n];
     while ended.iter().any(|e| !e) {
@@ -599,6 +606,7 @@ pub fn run_cluster(spec: &ClusterSpec) -> io::Result<RunReport> {
         counters.chaos_reordered += c.chaos_reordered;
         counters.partition_dropped += c.partition_dropped;
         counters.backpressure_stalls += c.backpressure_stalls;
+        counters.inbound_shed += c.inbound_shed;
     }
     let throughput = if wall_s > 0.0 {
         primaries_delivered as f64 / wall_s

@@ -171,6 +171,10 @@ pub struct NodeCounters {
     /// Times a bounded send queue was full and the protocol loop had to
     /// spin (backpressure events).
     pub backpressure_stalls: u64,
+    /// Inbound frames shed because `node.inbound` was full — wire drops
+    /// the protocol's retransmission tolerates (see the declared channel
+    /// policy in `crate::conc`).
+    pub inbound_shed: u64,
 }
 
 #[cfg(test)]

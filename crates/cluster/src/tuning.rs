@@ -1,0 +1,121 @@
+//! Every tunable constant of the cluster runtime in one documented place.
+//!
+//! PR 5 scattered these across `node.rs` and `orchestrator.rs` as bare
+//! `const`s; now that the channel bounds are *declared* in the concurrency
+//! model ([`crate::conc::model`]) and lint-gated, the declaration and the
+//! running code must come from the same struct so they cannot drift. The
+//! runtime consumes [`TUNING`]; so does the model builder.
+
+use std::time::Duration;
+
+/// The cluster runtime's knobs. One instance ([`TUNING`]) configures both
+/// the running code and the declared concurrency model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterTuning {
+    /// Main-loop granularity: protocol timeouts fire at most this often.
+    pub tick_ms: u64,
+    /// Idle gap after which a writer emits a heartbeat.
+    pub heartbeat_ms: u64,
+    /// Status push period (node → orchestrator).
+    pub status_every_ms: u64,
+    /// Poll interval of the non-blocking accept loop.
+    pub accept_poll_ms: u64,
+    /// Bounded outbound queue depth per neighbour (`node.sendq`). Full
+    /// queue **blocks** the main loop: backpressure propagates into the
+    /// protocol.
+    pub send_queue: usize,
+    /// Bounded inbound frame queue depth (`node.inbound`). Full queue
+    /// **sheds** the frame — a wire drop the protocol's retransmission
+    /// already tolerates. Shedding (not blocking) here is what breaks the
+    /// cross-node wait cycle main → sendq → writer → socket → peer reader
+    /// → peer inbound → peer main.
+    pub inbound_queue: usize,
+    /// Bounded control-line queue depth (`node.ctrl`). The orchestrator
+    /// sends a handful of lines per run, far below this bound; the queue
+    /// sheds if overrun and the node asserts (debug builds) that nothing
+    /// was ever shed.
+    pub ctrl_queue: usize,
+    /// Bounded orchestrator line-mux queue depth (`orch.lines`).
+    pub orch_line_queue: usize,
+    /// Reconnect backoff base in ms (doubles per attempt, capped,
+    /// jittered).
+    pub backoff_base_ms: u64,
+    /// Reconnect backoff cap in ms.
+    pub backoff_cap_ms: u64,
+    /// Dial attempts before a writer gives up (node is shutting down or
+    /// the peer is gone for good).
+    pub max_dial_attempts: u32,
+    /// Consecutive identical all-done snapshots required to declare
+    /// convergence (guards against reading between a send and its
+    /// delivery).
+    pub stable_snapshots: u32,
+    /// How long the orchestrator waits for final reports after `stop`.
+    pub report_grace_s: u64,
+    /// How long the orchestrator waits for a node process to exit before
+    /// killing it.
+    pub proc_exit_grace_s: u64,
+    /// Poll interval while waiting for a node process to exit.
+    pub proc_wait_poll_ms: u64,
+}
+
+/// The tuning the cluster runtime actually runs with.
+pub const TUNING: ClusterTuning = ClusterTuning {
+    tick_ms: 1,
+    heartbeat_ms: 50,
+    status_every_ms: 25,
+    accept_poll_ms: 2,
+    send_queue: 1024,
+    inbound_queue: 4096,
+    ctrl_queue: 64,
+    orch_line_queue: 1024,
+    backoff_base_ms: 4,
+    backoff_cap_ms: 250,
+    max_dial_attempts: 400,
+    stable_snapshots: 3,
+    report_grace_s: 20,
+    proc_exit_grace_s: 5,
+    proc_wait_poll_ms: 10,
+};
+
+impl Default for ClusterTuning {
+    fn default() -> Self {
+        TUNING
+    }
+}
+
+impl ClusterTuning {
+    /// [`ClusterTuning::tick_ms`] as a `Duration`.
+    pub fn tick(&self) -> Duration {
+        Duration::from_millis(self.tick_ms)
+    }
+
+    /// [`ClusterTuning::heartbeat_ms`] as a `Duration`.
+    pub fn heartbeat(&self) -> Duration {
+        Duration::from_millis(self.heartbeat_ms)
+    }
+
+    /// [`ClusterTuning::status_every_ms`] as a `Duration`.
+    pub fn status_every(&self) -> Duration {
+        Duration::from_millis(self.status_every_ms)
+    }
+
+    /// [`ClusterTuning::accept_poll_ms`] as a `Duration`.
+    pub fn accept_poll(&self) -> Duration {
+        Duration::from_millis(self.accept_poll_ms)
+    }
+
+    /// [`ClusterTuning::report_grace_s`] as a `Duration`.
+    pub fn report_grace(&self) -> Duration {
+        Duration::from_secs(self.report_grace_s)
+    }
+
+    /// [`ClusterTuning::proc_exit_grace_s`] as a `Duration`.
+    pub fn proc_exit_grace(&self) -> Duration {
+        Duration::from_secs(self.proc_exit_grace_s)
+    }
+
+    /// [`ClusterTuning::proc_wait_poll_ms`] as a `Duration`.
+    pub fn proc_wait_poll(&self) -> Duration {
+        Duration::from_millis(self.proc_wait_poll_ms)
+    }
+}

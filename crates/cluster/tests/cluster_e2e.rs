@@ -32,7 +32,29 @@ fn chaos_spec(graph: &Graph, seed: u64) -> ChaosSpec {
     }
 }
 
+/// The runtime half of `conc-coverage`: every thread the run actually
+/// spawned (recorded by the debug-build registry) must be a declared role
+/// in the cluster concurrency model.
+fn assert_conc_coverage() {
+    if cfg!(debug_assertions) {
+        let observed = ssmfp_core::conc::observed_threads(ssmfp_cluster::conc::COMPONENT);
+        let undeclared = ssmfp_cluster::conc::default_model().undeclared_observed(&observed);
+        assert!(
+            undeclared.is_empty(),
+            "threads outside the declared cluster concurrency model: {undeclared:?}"
+        );
+        // The run actually exercised the tracked registration paths.
+        // (`orch.main` registers in every mode; `node.main` only lives in
+        // this process under `RunMode::Inproc`.)
+        assert!(
+            observed.iter().any(|r| r == "orch.main"),
+            "no orch.main thread was registered — the registry is not wired"
+        );
+    }
+}
+
 fn assert_clean(report: &ssmfp_cluster::RunReport) {
+    assert_conc_coverage();
     assert!(
         report.converged,
         "{}: cluster did not converge",

@@ -734,15 +734,14 @@ mod tests {
             // Pre-load some garbage so ColorFlip has occupants to re-color.
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let mut inv = 0;
-            for p in 0..n {
-                states[p].scatter_garbage(&g, p, 0.5, &mut rng, &mut inv);
+            for (p, state) in states.iter_mut().enumerate() {
+                state.scatter_garbage(&g, p, 0.5, &mut rng, &mut inv);
             }
             for f in &plan.faults {
                 let touched = f.apply(&g, &mut states);
                 assert_eq!(touched, f.kind.node());
             }
-            for p in 0..n {
-                let s = &states[p];
+            for (p, s) in states.iter().enumerate() {
                 for d in 0..n {
                     assert!(s.routing.dist[d] <= n as u32, "dist domain");
                     let par = s.routing.parent[d];

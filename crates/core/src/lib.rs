@@ -45,6 +45,10 @@
 //!   for the link-crossing traffic (handshake, routing advertisements,
 //!   supervision), with a total decoder and the tag/event-kind surface
 //!   `ssmfp-lint`'s `wire-coverage` lint audits.
+//! * [`conc`] — declared concurrency footprints (thread roles, lock ranks,
+//!   channel bounds, blocking edges) for the runtime layers, with the
+//!   debug-build `TrackedMutex`/`TrackedChannel` instrumentation and the
+//!   thread registry backing `ssmfp-lint`'s `conc-*` passes.
 
 pub mod api;
 pub mod baseline;
@@ -52,6 +56,7 @@ pub mod caterpillar;
 pub mod choice;
 pub mod codec;
 pub mod color;
+pub mod conc;
 pub mod faults;
 pub mod footprint;
 pub mod ledger;
@@ -69,6 +74,11 @@ pub use choice::ChoiceStrategy;
 pub use codec::{
     codec_footprint, deep_node_bytes, node_fingerprint, MessageTable, PackedSnapshot, StateCodec,
     NO_MESSAGE,
+};
+pub use conc::{
+    observed_threads, register_thread, spawn_registered, tracked_channel, BlockingEdge,
+    ChannelDecl, ChannelStats, ConcModel, FullPolicy, LockDecl, Multiplicity, SendOutcome,
+    ThreadDecl, TrackedMutex, TrackedSender, WaitPoint, EXTERN_ROLE,
 };
 pub use faults::{
     BufSel, Fault, FaultCursor, FaultInjector, FaultKind, FaultPlan, FaultPlanConfig, SeededBug,

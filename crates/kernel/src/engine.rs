@@ -293,8 +293,8 @@ impl<P: Protocol> Engine<P> {
         let mut touched = std::mem::take(&mut self.scratch_hook_touched);
         touched.clear();
         f(&self.graph, &mut self.states, &mut touched);
-        for i in 0..touched.len() {
-            self.refresh_after_write(touched[i]);
+        for &p in &touched {
+            self.refresh_after_write(p);
         }
         self.scratch_hook_touched = touched;
     }
@@ -389,8 +389,8 @@ impl<P: Protocol> Engine<P> {
             let mut touched = std::mem::take(&mut self.scratch_hook_touched);
             touched.clear();
             hook.before_step(self.steps, &self.graph, &mut self.states, &mut touched);
-            for i in 0..touched.len() {
-                self.refresh_after_write(touched[i]);
+            for &p in &touched {
+                self.refresh_after_write(p);
             }
             self.scratch_hook_touched = touched;
             self.hook = Some(hook);

@@ -1,0 +1,838 @@
+//! The `conc-*` lint family: static analyses over declared concurrency
+//! models ([`ssmfp_core::conc::ConcModel`]).
+//!
+//! The runtime layers (`crates/cluster`, `crates/mp`) declare their
+//! thread roles, lock ranks, channel bounds and blocking edges; these
+//! passes check the declarations the same way the footprint passes check
+//! the protocol rules:
+//!
+//! * **`conc-coverage`** — referential integrity: every name an edge or
+//!   channel mentions is declared, no duplicates, every spawner is a
+//!   declared role (or `extern`). The *runtime* half — every observed
+//!   thread appears in the model — runs in the debug-build test suites
+//!   via [`ssmfp_core::conc::ConcModel::undeclared_observed`].
+//! * **`conc-unbounded`** — every cross-thread channel declares a bound
+//!   and a full-queue policy. An unbounded queue is an unbounded memory
+//!   and latency liability that also hides from the deadlock analysis.
+//! * **`conc-hold-across-block`** — no declared edge blocks on a
+//!   socket/queue/accept while holding a lock. Lock acquisitions
+//!   themselves are governed by rank order instead.
+//! * **`conc-deadlock`** — two checks over the declared graph. First,
+//!   lock-rank inversions: an edge acquiring a lock whose rank is not
+//!   strictly above every lock it holds. Second, circular waits: a
+//!   wait-for graph is built from the *untimed* edges (a timed wait
+//!   cannot wedge), resolving each wait to the roles that can unblock it
+//!   — a full-channel send waits for the receiver, an empty-channel
+//!   receive waits for the senders, a socket operation waits for the
+//!   peer role, a lock waits for every role that blocks while holding
+//!   it. Elementary cycles are reported as violations, except cycles
+//!   that wait on both the *full* and the *empty* side of one FIFO
+//!   resource: a queue (or socket buffer) cannot be simultaneously full
+//!   and empty, so such a cycle is infeasible. (The prune reasons about
+//!   one resource instance; it is sound for this model because full- and
+//!   empty-waits of each resource pair off per connection/queue
+//!   instance.)
+
+use crate::{push, LintReport, Severity};
+use ssmfp_core::conc::{ConcModel, FullPolicy, WaitPoint, EXTERN_ROLE};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Summary of one analyzed component, carried in the JSON report.
+#[derive(Debug, Clone)]
+pub struct ConcComponentSummary {
+    /// Component name.
+    pub component: String,
+    /// Declared thread roles.
+    pub threads: usize,
+    /// Declared locks.
+    pub locks: usize,
+    /// Declared channels.
+    pub channels: usize,
+    /// Declared blocking edges.
+    pub edges: usize,
+    /// Edges without a deadline (the deadlock-relevant ones).
+    pub untimed_edges: usize,
+}
+
+/// Runs every `conc-*` pass over one model.
+pub fn lint_conc_model(model: &ConcModel, report: &mut LintReport) {
+    report.conc.push(ConcComponentSummary {
+        component: model.component.to_string(),
+        threads: model.threads.len(),
+        locks: model.locks.len(),
+        channels: model.channels.len(),
+        edges: model.edges.len(),
+        untimed_edges: model.edges.iter().filter(|e| !e.timed).count(),
+    });
+    lint_conc_coverage(model, report);
+    lint_conc_unbounded(model, report);
+    lint_conc_hold_across_block(model, report);
+    lint_conc_deadlock(model, report);
+}
+
+/// `conc-coverage`: the declaration is internally closed.
+pub fn lint_conc_coverage(model: &ConcModel, report: &mut LintReport) {
+    let comp = model.component;
+    let mut seen = BTreeSet::new();
+    for t in &model.threads {
+        if !seen.insert(t.role) {
+            push(
+                report,
+                Severity::Violation,
+                "conc-coverage",
+                format!("{comp}: thread role `{}` is declared twice", t.role),
+            );
+        }
+        if t.spawned_by != EXTERN_ROLE && model.thread(t.spawned_by).is_none() {
+            push(
+                report,
+                Severity::Violation,
+                "conc-coverage",
+                format!(
+                    "{comp}: thread role `{}` is spawned by `{}`, which is not a declared role \
+                     (use `{EXTERN_ROLE}` for harness threads)",
+                    t.role, t.spawned_by
+                ),
+            );
+        }
+    }
+    let mut seen = BTreeSet::new();
+    for l in &model.locks {
+        if !seen.insert(l.name) {
+            push(
+                report,
+                Severity::Violation,
+                "conc-coverage",
+                format!("{comp}: lock `{}` is declared twice", l.name),
+            );
+        }
+    }
+    let mut seen = BTreeSet::new();
+    for c in &model.channels {
+        if !seen.insert(c.name) {
+            push(
+                report,
+                Severity::Violation,
+                "conc-coverage",
+                format!("{comp}: channel `{}` is declared twice", c.name),
+            );
+        }
+        for role in c.senders.iter().chain(std::iter::once(&c.receiver)) {
+            if model.thread(role).is_none() {
+                push(
+                    report,
+                    Severity::Violation,
+                    "conc-coverage",
+                    format!(
+                        "{comp}: channel `{}` names role `{role}`, which is not declared",
+                        c.name
+                    ),
+                );
+            }
+        }
+    }
+    for e in &model.edges {
+        if model.thread(e.thread).is_none() {
+            push(
+                report,
+                Severity::Violation,
+                "conc-coverage",
+                format!(
+                    "{comp}: a blocking edge belongs to `{}`, which is not a declared role",
+                    e.thread
+                ),
+            );
+        }
+        for h in &e.holding {
+            if model.lock(h).is_none() {
+                push(
+                    report,
+                    Severity::Violation,
+                    "conc-coverage",
+                    format!(
+                        "{comp}: `{}` holds undeclared lock `{h}` across a blocking edge",
+                        e.thread
+                    ),
+                );
+            }
+        }
+        match e.waits {
+            WaitPoint::ChanSend(c) | WaitPoint::ChanRecv(c) => {
+                if model.channel(c).is_none() {
+                    push(
+                        report,
+                        Severity::Violation,
+                        "conc-coverage",
+                        format!("{comp}: `{}` blocks on undeclared channel `{c}`", e.thread),
+                    );
+                } else if matches!(e.waits, WaitPoint::ChanSend(_))
+                    && model.channel(c).and_then(|d| d.policy) == Some(FullPolicy::Shed)
+                {
+                    push(
+                        report,
+                        Severity::Warning,
+                        "conc-coverage",
+                        format!(
+                            "{comp}: `{}` declares a blocking send on `{c}`, but that channel \
+                             sheds when full and can never block a sender — stale edge",
+                            e.thread
+                        ),
+                    );
+                }
+            }
+            WaitPoint::LockAcquire(l) => {
+                if model.lock(l).is_none() {
+                    push(
+                        report,
+                        Severity::Violation,
+                        "conc-coverage",
+                        format!("{comp}: `{}` blocks on undeclared lock `{l}`", e.thread),
+                    );
+                }
+            }
+            WaitPoint::SockRead(p) | WaitPoint::SockWrite(p) | WaitPoint::Accept(p) => {
+                if model.thread(p).is_none() {
+                    push(
+                        report,
+                        Severity::Violation,
+                        "conc-coverage",
+                        format!(
+                            "{comp}: `{}` waits on peer role `{p}`, which is not declared",
+                            e.thread
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `conc-unbounded`: every channel declares a bound and a policy.
+pub fn lint_conc_unbounded(model: &ConcModel, report: &mut LintReport) {
+    for c in &model.channels {
+        if c.bound.is_none() {
+            push(
+                report,
+                Severity::Violation,
+                "conc-unbounded",
+                format!(
+                    "{}: channel `{}` declares no bound — every cross-thread channel must be \
+                     bounded (unbounded queues hide from the deadlock analysis and are an \
+                     unbounded memory/latency liability)",
+                    model.component, c.name
+                ),
+            );
+        }
+        if c.policy.is_none() {
+            push(
+                report,
+                Severity::Violation,
+                "conc-unbounded",
+                format!(
+                    "{}: channel `{}` declares no full-queue policy — say whether a full queue \
+                     blocks the sender (counted backpressure) or sheds the message",
+                    model.component, c.name
+                ),
+            );
+        }
+    }
+}
+
+/// `conc-hold-across-block`: no lock held across a socket/queue wait.
+pub fn lint_conc_hold_across_block(model: &ConcModel, report: &mut LintReport) {
+    for e in &model.edges {
+        if e.holding.is_empty() || matches!(e.waits, WaitPoint::LockAcquire(_)) {
+            continue;
+        }
+        push(
+            report,
+            Severity::Violation,
+            "conc-hold-across-block",
+            format!(
+                "{}: `{}` holds {:?} across a {} — a lock held across a blocking I/O or queue \
+                 wait stalls every contender for as long as the peer takes",
+                model.component,
+                e.thread,
+                e.holding,
+                e.waits.describe()
+            ),
+        );
+    }
+}
+
+/// Polarity of a wait on a FIFO resource, for the full+empty prune rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Polarity {
+    /// Waiting for space (send on full queue, write to full buffer).
+    Full,
+    /// Waiting for data (receive on empty queue, read from empty buffer).
+    Empty,
+    /// Lock waits have no pairing polarity.
+    Lock,
+}
+
+#[derive(Debug, Clone)]
+struct WaitArc {
+    from: &'static str,
+    to: &'static str,
+    resource: String,
+    polarity: Polarity,
+    label: String,
+}
+
+fn sock_resource(a: &str, b: &str) -> String {
+    if a <= b {
+        format!("sock:{a}<->{b}")
+    } else {
+        format!("sock:{b}<->{a}")
+    }
+}
+
+/// `conc-deadlock`: rank inversions + circular waits.
+pub fn lint_conc_deadlock(model: &ConcModel, report: &mut LintReport) {
+    // Lock-rank inversions (checked on every edge, timed or not: an
+    // out-of-order acquisition is wrong even under a deadline).
+    for e in &model.edges {
+        if let WaitPoint::LockAcquire(l) = e.waits {
+            let Some(target) = model.lock(l) else {
+                continue;
+            };
+            if e.holding.contains(&l) {
+                push(
+                    report,
+                    Severity::Violation,
+                    "conc-deadlock",
+                    format!(
+                        "{}: `{}` acquires lock `{l}` while already holding it — self-deadlock",
+                        model.component, e.thread
+                    ),
+                );
+                continue;
+            }
+            for h in &e.holding {
+                let Some(held) = model.lock(h) else { continue };
+                if held.rank >= target.rank {
+                    push(
+                        report,
+                        Severity::Violation,
+                        "conc-deadlock",
+                        format!(
+                            "{}: `{}` acquires lock `{l}` (rank {}) while holding `{h}` (rank \
+                             {}) — the declared acquisition order is strictly increasing rank",
+                            model.component, e.thread, target.rank, held.rank
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // Wait-for graph over the untimed edges.
+    let mut arcs: Vec<WaitArc> = Vec::new();
+    for e in model.edges.iter().filter(|e| !e.timed) {
+        let label = format!("{} {}", e.thread, e.waits.describe());
+        match e.waits {
+            WaitPoint::ChanSend(c) => {
+                let Some(decl) = model.channel(c) else {
+                    continue;
+                };
+                // A shedding channel never blocks its senders.
+                if decl.policy == Some(FullPolicy::Shed) {
+                    continue;
+                }
+                arcs.push(WaitArc {
+                    from: e.thread,
+                    to: decl.receiver,
+                    resource: format!("chan:{c}"),
+                    polarity: Polarity::Full,
+                    label: label.clone(),
+                });
+            }
+            WaitPoint::ChanRecv(c) => {
+                let Some(decl) = model.channel(c) else {
+                    continue;
+                };
+                for &s in &decl.senders {
+                    arcs.push(WaitArc {
+                        from: e.thread,
+                        to: s,
+                        resource: format!("chan:{c}"),
+                        polarity: Polarity::Empty,
+                        label: label.clone(),
+                    });
+                }
+            }
+            WaitPoint::LockAcquire(l) => {
+                // Unblocked by whoever can be blocked while holding it; a
+                // holder that only blocks under a deadline releases in
+                // bounded time and creates no wait-for edge.
+                let holders: BTreeSet<&'static str> = model
+                    .edges
+                    .iter()
+                    .filter(|h| !h.timed && h.holding.contains(&l) && h.thread != e.thread)
+                    .map(|h| h.thread)
+                    .collect();
+                for to in holders {
+                    arcs.push(WaitArc {
+                        from: e.thread,
+                        to,
+                        resource: format!("lock:{l}"),
+                        polarity: Polarity::Lock,
+                        label: label.clone(),
+                    });
+                }
+            }
+            WaitPoint::SockRead(p) => arcs.push(WaitArc {
+                from: e.thread,
+                to: p,
+                resource: sock_resource(e.thread, p),
+                polarity: Polarity::Empty,
+                label: label.clone(),
+            }),
+            WaitPoint::SockWrite(p) => arcs.push(WaitArc {
+                from: e.thread,
+                to: p,
+                resource: sock_resource(e.thread, p),
+                polarity: Polarity::Full,
+                label: label.clone(),
+            }),
+            WaitPoint::Accept(p) => arcs.push(WaitArc {
+                from: e.thread,
+                to: p,
+                resource: format!("accept:{}<-{p}", e.thread),
+                polarity: Polarity::Empty,
+                label: label.clone(),
+            }),
+        }
+    }
+
+    // Enumerate elementary cycles (tiny role graphs: DFS with the
+    // smallest-role-starts-the-cycle convention to dedupe rotations).
+    let mut by_from: BTreeMap<&str, Vec<&WaitArc>> = BTreeMap::new();
+    for a in &arcs {
+        by_from.entry(a.from).or_default().push(a);
+    }
+    let roles: Vec<&str> = by_from.keys().copied().collect();
+    let mut reported: BTreeSet<String> = BTreeSet::new();
+    for &start in &roles {
+        let mut path: Vec<&WaitArc> = Vec::new();
+        let mut on_path: BTreeSet<&str> = BTreeSet::new();
+        dfs_cycles(
+            start,
+            start,
+            &by_from,
+            &mut path,
+            &mut on_path,
+            &mut |cycle: &[&WaitArc]| {
+                if !feasible(cycle) {
+                    return;
+                }
+                let desc = cycle
+                    .iter()
+                    .map(|a| a.label.as_str())
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                if reported.insert(desc.clone()) {
+                    push(
+                        report,
+                        Severity::Violation,
+                        "conc-deadlock",
+                        format!(
+                            "{}: circular wait — {desc} — every thread in the cycle waits on \
+                             the next with no deadline; break the cycle with a bound policy, a \
+                             timeout, or a re-layered resource",
+                            model.component
+                        ),
+                    );
+                }
+            },
+        );
+    }
+}
+
+/// The full+empty prune: a cycle needing one FIFO resource to be both
+/// full and empty at once cannot happen.
+fn feasible(cycle: &[&WaitArc]) -> bool {
+    for a in cycle {
+        if a.polarity == Polarity::Full
+            && cycle
+                .iter()
+                .any(|b| b.resource == a.resource && b.polarity == Polarity::Empty)
+        {
+            return false;
+        }
+    }
+    true
+}
+
+fn dfs_cycles<'a>(
+    start: &'a str,
+    at: &'a str,
+    by_from: &BTreeMap<&str, Vec<&'a WaitArc>>,
+    path: &mut Vec<&'a WaitArc>,
+    on_path: &mut BTreeSet<&'a str>,
+    found: &mut impl FnMut(&[&'a WaitArc]),
+) {
+    on_path.insert(at);
+    for &arc in by_from.get(at).into_iter().flatten() {
+        if arc.to == start {
+            path.push(arc);
+            found(path);
+            path.pop();
+        } else if arc.to > start && !on_path.contains(arc.to) {
+            // Only roles lexicographically above the start extend the
+            // path: every cycle is found exactly once, rooted at its
+            // smallest role.
+            path.push(arc);
+            dfs_cycles(start, arc.to, by_from, path, on_path, found);
+            path.pop();
+        }
+    }
+    on_path.remove(at);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssmfp_core::conc::{
+        BlockingEdge, ChannelDecl, ConcModel, LockDecl, Multiplicity, ThreadDecl,
+    };
+
+    fn thread(role: &'static str) -> ThreadDecl {
+        ThreadDecl {
+            role,
+            multiplicity: Multiplicity::One,
+            spawned_by: EXTERN_ROLE,
+            doc: "test",
+        }
+    }
+
+    fn codes(report: &LintReport) -> Vec<&'static str> {
+        report.findings.iter().map(|f| f.code).collect()
+    }
+
+    #[test]
+    fn shipped_conc_models_are_clean() {
+        for model in crate::default_conc_models() {
+            let mut report = LintReport::default();
+            lint_conc_model(&model, &mut report);
+            assert!(
+                report.findings.is_empty(),
+                "{}: {:?}",
+                model.component,
+                report.findings
+            );
+        }
+    }
+
+    #[test]
+    fn planted_lock_cycle_is_caught() {
+        // Classic AB/BA: t1 takes `a` then `b`, t2 takes `b` then `a`.
+        let model = ConcModel {
+            component: "red",
+            threads: vec![thread("t1"), thread("t2")],
+            locks: vec![
+                LockDecl {
+                    name: "a",
+                    rank: 1,
+                    doc: "test",
+                },
+                LockDecl {
+                    name: "b",
+                    rank: 2,
+                    doc: "test",
+                },
+            ],
+            channels: vec![],
+            edges: vec![
+                BlockingEdge {
+                    thread: "t1",
+                    waits: WaitPoint::LockAcquire("b"),
+                    holding: vec!["a"],
+                    timed: false,
+                },
+                BlockingEdge {
+                    thread: "t2",
+                    waits: WaitPoint::LockAcquire("a"),
+                    holding: vec!["b"],
+                    timed: false,
+                },
+            ],
+        };
+        let mut report = LintReport::default();
+        lint_conc_deadlock(&model, &mut report);
+        // t2's acquisition inverts the rank order…
+        assert!(
+            report
+                .violations()
+                .any(|f| f.code == "conc-deadlock" && f.message.contains("rank")),
+            "{:?}",
+            report.findings
+        );
+        // …and the wait-for graph has the t1 ⇄ t2 cycle.
+        assert!(
+            report
+                .violations()
+                .any(|f| f.code == "conc-deadlock" && f.message.contains("circular wait")),
+            "{:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn planted_channel_send_cycle_is_caught() {
+        // Two bounded Block channels in a ring: both senders can be stuck
+        // on a full queue whose receiver is the other stuck sender.
+        let model = ConcModel {
+            component: "red",
+            threads: vec![thread("t1"), thread("t2")],
+            locks: vec![],
+            channels: vec![
+                ChannelDecl {
+                    name: "x",
+                    senders: vec!["t1"],
+                    receiver: "t2",
+                    bound: Some(8),
+                    policy: Some(FullPolicy::Block),
+                    doc: "test",
+                },
+                ChannelDecl {
+                    name: "y",
+                    senders: vec!["t2"],
+                    receiver: "t1",
+                    bound: Some(8),
+                    policy: Some(FullPolicy::Block),
+                    doc: "test",
+                },
+            ],
+            edges: vec![
+                BlockingEdge {
+                    thread: "t1",
+                    waits: WaitPoint::ChanSend("x"),
+                    holding: vec![],
+                    timed: false,
+                },
+                BlockingEdge {
+                    thread: "t2",
+                    waits: WaitPoint::ChanSend("y"),
+                    holding: vec![],
+                    timed: false,
+                },
+            ],
+        };
+        let mut report = LintReport::default();
+        lint_conc_deadlock(&model, &mut report);
+        assert!(
+            report
+                .violations()
+                .any(|f| f.code == "conc-deadlock" && f.message.contains("circular wait")),
+            "{:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn full_empty_prune_discards_infeasible_cycles() {
+        // Producer blocked sending (queue full) + consumer blocked
+        // receiving (queue empty) on the SAME channel is a 2-cycle in the
+        // raw graph but cannot happen: one queue is not both full and
+        // empty.
+        let model = ConcModel {
+            component: "ok",
+            threads: vec![thread("prod"), thread("cons")],
+            locks: vec![],
+            channels: vec![ChannelDecl {
+                name: "q",
+                senders: vec!["prod"],
+                receiver: "cons",
+                bound: Some(8),
+                policy: Some(FullPolicy::Block),
+                doc: "test",
+            }],
+            edges: vec![
+                BlockingEdge {
+                    thread: "prod",
+                    waits: WaitPoint::ChanSend("q"),
+                    holding: vec![],
+                    timed: false,
+                },
+                BlockingEdge {
+                    thread: "cons",
+                    waits: WaitPoint::ChanRecv("q"),
+                    holding: vec![],
+                    timed: false,
+                },
+            ],
+        };
+        let mut report = LintReport::default();
+        lint_conc_deadlock(&model, &mut report);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn unbounded_or_policyless_channel_is_caught() {
+        let model = ConcModel {
+            component: "red",
+            threads: vec![thread("t1"), thread("t2")],
+            locks: vec![],
+            channels: vec![
+                ChannelDecl {
+                    name: "nobound",
+                    senders: vec!["t1"],
+                    receiver: "t2",
+                    bound: None,
+                    policy: Some(FullPolicy::Block),
+                    doc: "test",
+                },
+                ChannelDecl {
+                    name: "nopolicy",
+                    senders: vec!["t1"],
+                    receiver: "t2",
+                    bound: Some(4),
+                    policy: None,
+                    doc: "test",
+                },
+            ],
+            edges: vec![],
+        };
+        let mut report = LintReport::default();
+        lint_conc_unbounded(&model, &mut report);
+        assert_eq!(codes(&report), vec!["conc-unbounded", "conc-unbounded"]);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.message.contains("nobound")));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.message.contains("nopolicy")));
+    }
+
+    #[test]
+    fn hold_across_block_is_caught() {
+        let model = ConcModel {
+            component: "red",
+            threads: vec![thread("t1"), thread("t2")],
+            locks: vec![LockDecl {
+                name: "stats",
+                rank: 1,
+                doc: "test",
+            }],
+            channels: vec![],
+            edges: vec![BlockingEdge {
+                thread: "t1",
+                waits: WaitPoint::SockRead("t2"),
+                holding: vec!["stats"],
+                timed: false,
+            }],
+        };
+        let mut report = LintReport::default();
+        lint_conc_hold_across_block(&model, &mut report);
+        assert_eq!(codes(&report), vec!["conc-hold-across-block"]);
+    }
+
+    #[test]
+    fn dangling_names_are_caught_by_coverage() {
+        let model = ConcModel {
+            component: "red",
+            threads: vec![ThreadDecl {
+                role: "t1",
+                multiplicity: Multiplicity::One,
+                spawned_by: "ghost-spawner",
+                doc: "test",
+            }],
+            locks: vec![],
+            channels: vec![ChannelDecl {
+                name: "c",
+                senders: vec!["nobody"],
+                receiver: "t1",
+                bound: Some(4),
+                policy: Some(FullPolicy::Block),
+                doc: "test",
+            }],
+            edges: vec![BlockingEdge {
+                thread: "phantom",
+                waits: WaitPoint::LockAcquire("missing-lock"),
+                holding: vec![],
+                timed: false,
+            }],
+        };
+        let mut report = LintReport::default();
+        lint_conc_coverage(&model, &mut report);
+        let msgs: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();
+        assert!(report.findings.iter().all(|f| f.code == "conc-coverage"));
+        assert!(msgs.iter().any(|m| m.contains("ghost-spawner")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("nobody")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("phantom")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("missing-lock")), "{msgs:?}");
+    }
+
+    #[test]
+    fn stale_blocking_edge_on_shed_channel_is_a_warning() {
+        let model = ConcModel {
+            component: "warn",
+            threads: vec![thread("t1"), thread("t2")],
+            locks: vec![],
+            channels: vec![ChannelDecl {
+                name: "c",
+                senders: vec!["t1"],
+                receiver: "t2",
+                bound: Some(4),
+                policy: Some(FullPolicy::Shed),
+                doc: "test",
+            }],
+            edges: vec![BlockingEdge {
+                thread: "t1",
+                waits: WaitPoint::ChanSend("c"),
+                holding: vec![],
+                timed: false,
+            }],
+        };
+        let mut report = LintReport::default();
+        lint_conc_coverage(&model, &mut report);
+        assert!(
+            report.violations().next().is_none(),
+            "{:?}",
+            report.findings
+        );
+        assert!(report
+            .warnings()
+            .any(|f| f.code == "conc-coverage" && f.message.contains("stale edge")));
+    }
+
+    #[test]
+    fn ctrl_backpressure_flip_reintroduces_the_orchestrator_cycle() {
+        // Documents WHY `node.ctrl` sheds: if control lines exerted
+        // backpressure (Block + a blocking-send edge for ctrl.reader), the
+        // control plane closes a feasible 4-cycle through the orchestrator
+        // — ctrl.reader → node.main → orch.line-reader → orch.main →
+        // ctrl.reader — and the lint must refuse it. The shipped model
+        // sheds instead and checks the capacity argument at runtime
+        // (`shed_count() == 0` at node shutdown).
+        let mut model = ssmfp_cluster::conc::default_model();
+        let ctrl = model
+            .channels
+            .iter_mut()
+            .find(|c| c.name == "node.ctrl")
+            .expect("node.ctrl declared");
+        ctrl.policy = Some(FullPolicy::Block);
+        model.edges.push(BlockingEdge {
+            thread: "ctrl.reader",
+            waits: WaitPoint::ChanSend("node.ctrl"),
+            holding: vec![],
+            timed: false,
+        });
+        let mut report = LintReport::default();
+        lint_conc_deadlock(&model, &mut report);
+        assert!(
+            report.violations().any(|f| {
+                f.code == "conc-deadlock"
+                    && f.message.contains("circular wait")
+                    && f.message.contains("ctrl.reader")
+                    && f.message.contains("orch.main")
+            }),
+            "{:?}",
+            report.findings
+        );
+    }
+}

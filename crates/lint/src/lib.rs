@@ -45,10 +45,25 @@
 //!   or state the protocol never repairs, and the soak oracle's
 //!   post-fault argument would be vacuous.
 //!
+//! * **`conc-*`** (module [`conc`]) — the runtime crates declare their
+//!   concurrency footprint ([`ssmfp_core::conc::ConcModel`]: thread
+//!   roles, lock ranks, channel bounds/policies, blocking edges) the
+//!   same way the rules declare state footprints. `conc-deadlock`
+//!   detects lock-rank inversions and feasible circular waits,
+//!   `conc-unbounded` requires a bound and a full-queue policy on every
+//!   cross-thread channel, `conc-hold-across-block` forbids holding a
+//!   lock across blocking I/O, and `conc-coverage` keeps the
+//!   declarations referentially closed (its runtime half — observed
+//!   threads ⊆ declared roles — runs in the debug-build suites).
+//!
 //! Findings are emitted as a machine-readable JSON report by the
 //! `ssmfp-lint` binary, which exits nonzero on violations (and, under
-//! `-D`, on warnings).
+//! `-D`, on warnings). `ssmfp-lint --list` prints the pass catalog;
+//! `--only`/`--skip` filter findings by pass name.
 
+pub mod conc;
+
+use ssmfp_core::conc::ConcModel;
 use ssmfp_core::footprint::{composed_fwd_footprint, guards_can_overlap, LAYER_SSMFP};
 use ssmfp_core::wire::{FrameTag, LINK_EVENT_KINDS};
 use ssmfp_core::{codec_footprint, FaultKind, Rule};
@@ -164,6 +179,8 @@ pub struct LintReport {
     pub fault_write_classes: Vec<String>,
     /// The wire surface as audited: `(frame tag, event kind)` pairs.
     pub wire_tags: Vec<(String, String)>,
+    /// Per-component summaries of the analyzed concurrency models.
+    pub conc: Vec<conc::ConcComponentSummary>,
 }
 
 impl LintReport {
@@ -190,7 +207,12 @@ impl LintReport {
     }
 }
 
-fn push(report: &mut LintReport, severity: Severity, code: &'static str, message: String) {
+pub(crate) fn push(
+    report: &mut LintReport,
+    severity: Severity,
+    code: &'static str,
+    message: String,
+) {
     report.findings.push(Finding {
         severity,
         code,
@@ -198,8 +220,98 @@ fn push(report: &mut LintReport, severity: Severity, code: &'static str, message
     });
 }
 
-/// Runs every analysis over `decls`.
-pub fn analyze(decls: &[RuleDecl]) -> LintReport {
+/// The pass catalog: every finding code the analyzer can emit, with a
+/// one-line description. This is what `ssmfp-lint --list` prints and what
+/// `--only`/`--skip` names are validated against.
+pub const PASSES: &[(&str, &str)] = &[
+    (
+        "non-local-write",
+        "every declared write targets the acting processor's own variables",
+    ),
+    (
+        "ownership",
+        "no layer writes a variable the other layer owns (priority composition contract)",
+    ),
+    (
+        "duplicate-access",
+        "footprint hygiene: no access is declared twice (warning)",
+    ),
+    (
+        "guard-overlap",
+        "simultaneous-enabledness pairs match the hand-verified allow-list",
+    ),
+    (
+        "stale-overlap-allowance",
+        "the overlap allow-list contains no pairs the guard shapes rule out (warning)",
+    ),
+    (
+        "write-write-race",
+        "no two rules at neighbouring processors write a common variable instance",
+    ),
+    (
+        "cross-dest-interference",
+        "different-destination instances are independent without A's priority coupling",
+    ),
+    (
+        "codec-impure",
+        "the packed state codec declares no writes (packing is a pure observation)",
+    ),
+    (
+        "codec-coverage",
+        "the codec reads every variable class some rule can write",
+    ),
+    (
+        "fault-domain",
+        "every injectable fault writes only classes some declared rule writes",
+    ),
+    (
+        "wire-coverage",
+        "frame tags ↔ link-crossing event kinds is a bijection",
+    ),
+    (
+        "conc-deadlock",
+        "no lock-rank inversions and no feasible circular wait in the declared blocking graph",
+    ),
+    (
+        "conc-unbounded",
+        "every cross-thread channel declares a bound and a full-queue policy",
+    ),
+    (
+        "conc-hold-across-block",
+        "no lock is held across a declared socket/queue blocking edge",
+    ),
+    (
+        "conc-coverage",
+        "concurrency declarations are referentially closed (runtime half: observed ⊆ declared)",
+    ),
+];
+
+/// True iff `name` is a known pass name.
+pub fn known_pass(name: &str) -> bool {
+    PASSES.iter().any(|&(p, _)| p == name)
+}
+
+impl LintReport {
+    /// Restricts the findings to the selected passes: with a non-empty
+    /// `only`, keep only those codes; then drop every code in `skip`.
+    /// Summary sections (overlap matrices, conc summaries, …) are kept —
+    /// the filter gates pass *verdicts*, not the audit data.
+    pub fn retain_passes(&mut self, only: &[String], skip: &[String]) {
+        self.findings.retain(|f| {
+            (only.is_empty() || only.iter().any(|p| p == f.code))
+                && !skip.iter().any(|p| p == f.code)
+        });
+    }
+}
+
+/// The shipped concurrency models: the cluster data plane and the
+/// (single-threaded) message-passing simulator.
+pub fn default_conc_models() -> Vec<ConcModel> {
+    vec![ssmfp_mp::conc_model(), ssmfp_cluster::conc::default_model()]
+}
+
+/// Runs every analysis over `decls` and `models`.
+pub fn analyze_with_conc(decls: &[RuleDecl], models: &[ConcModel]) -> LintReport {
     let mut report = LintReport::default();
     lint_non_local_writes(decls, &mut report);
     lint_ownership(decls, &mut report);
@@ -209,10 +321,18 @@ pub fn analyze(decls: &[RuleDecl]) -> LintReport {
     lint_codec(decls, &codec_footprint(), &mut report);
     lint_fault_domains(decls, &mut report);
     lint_wire_coverage(&default_wire_surface(), &mut report);
+    for model in models {
+        conc::lint_conc_model(model, &mut report);
+    }
     report
         .findings
         .sort_by_key(|f| (f.severity == Severity::Warning) as u8);
     report
+}
+
+/// Runs every analysis over `decls`, with the shipped concurrency models.
+pub fn analyze(decls: &[RuleDecl]) -> LintReport {
+    analyze_with_conc(decls, &default_conc_models())
 }
 
 /// Convenience: analyze the shipped declarations.
@@ -613,11 +733,27 @@ pub fn to_json(report: &LintReport) -> String {
         let items: Vec<String> = list.iter().map(|v| format!("\"{}\"", esc(v))).collect();
         items.join(",")
     };
+    let conc_items: Vec<String> = report
+        .conc
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"component\":\"{}\",\"threads\":{},\"locks\":{},\"channels\":{},\
+                 \"edges\":{},\"untimed_edges\":{}}}",
+                esc(&c.component),
+                c.threads,
+                c.locks,
+                c.channels,
+                c.edges,
+                c.untimed_edges
+            )
+        })
+        .collect();
     format!(
         "{{\n  \"tool\": \"ssmfp-lint\",\n  \"violations\": {},\n  \"warnings\": {},\n  \
          \"guard_overlaps\": {},\n  \"same_dest_interference\": {},\n  \
          \"cross_dest_independent\": {},\n  \"codec_reads\": [{}],\n  \
-         \"fault_write_classes\": [{}],\n  \"wire_tags\": {}\n}}",
+         \"fault_write_classes\": [{}],\n  \"wire_tags\": {},\n  \"conc\": [{}]\n}}",
         findings(report.violations().collect()),
         findings(report.warnings().collect()),
         pairs(&report.guard_overlaps),
@@ -626,6 +762,7 @@ pub fn to_json(report: &LintReport) -> String {
         strings(&report.codec_reads),
         strings(&report.fault_write_classes),
         pairs(&report.wire_tags),
+        conc_items.join(","),
     )
 }
 

@@ -1,25 +1,40 @@
-//! `ssmfp-lint` — static rule-footprint analyzer.
+//! `ssmfp-lint` — static rule-footprint and concurrency-model analyzer.
 //!
 //! ```text
 //! cargo run -p ssmfp-lint            # JSON report on stdout, summary on stderr
 //! cargo run -p ssmfp-lint -- -D     # also fail (exit 1) on warnings
 //! cargo run -p ssmfp-lint -- --json report.json   # write the report to a file
+//! cargo run -p ssmfp-lint -- --list               # print the pass catalog
+//! cargo run -p ssmfp-lint -- --only conc-deadlock # gate on selected passes only
+//! cargo run -p ssmfp-lint -- --skip guard-overlap # run all but the named passes
 //! ```
 //!
-//! Exit status: 0 when the shipped rule declarations pass every analysis,
-//! 1 when any violation (or, under `-D`, any finding) exists, 2 on usage
-//! errors.
+//! Exit status: 0 when the shipped declarations pass every (selected)
+//! analysis, 1 when any violation (or, under `-D`, any finding) exists,
+//! 2 on usage errors.
 
-use ssmfp_lint::{analyze_default, to_json, Severity};
+use ssmfp_lint::{analyze_default, known_pass, to_json, Severity, PASSES};
 
 fn die(msg: &str) -> ! {
     eprintln!("ssmfp-lint: {msg}");
     std::process::exit(2);
 }
 
+fn pass_arg(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    let name = args
+        .next()
+        .unwrap_or_else(|| die(&format!("{flag} needs a pass name (see --list)")));
+    if !known_pass(&name) {
+        die(&format!("unknown pass `{name}` (see --list)"));
+    }
+    name
+}
+
 fn main() {
     let mut deny_warnings = false;
     let mut json_path: Option<String> = None;
+    let mut only: Vec<String> = Vec::new();
+    let mut skip: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -30,19 +45,32 @@ fn main() {
                         .unwrap_or_else(|| die("--json needs a file ('-' = stdout)")),
                 );
             }
+            "--only" => only.push(pass_arg(&mut args, "--only")),
+            "--skip" => skip.push(pass_arg(&mut args, "--skip")),
+            "--list" => {
+                let width = PASSES.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+                for (name, doc) in PASSES {
+                    println!("{name:width$}  {doc}");
+                }
+                return;
+            }
             "--version" => {
                 println!("ssmfp-lint {}", env!("CARGO_PKG_VERSION"));
                 return;
             }
             "-h" | "--help" => {
-                eprintln!("usage: ssmfp-lint [-D|--deny-warnings] [--json FILE] [--version]");
+                eprintln!(
+                    "usage: ssmfp-lint [-D|--deny-warnings] [--json FILE] [--only PASS]... \
+                     [--skip PASS]... [--list] [--version]"
+                );
                 return;
             }
             other => die(&format!("unknown argument `{other}` (try --help)")),
         }
     }
 
-    let report = analyze_default();
+    let mut report = analyze_default();
+    report.retain_passes(&only, &skip);
     let json = to_json(&report);
     match json_path.as_deref() {
         None | Some("-") => println!("{json}"),
@@ -63,12 +91,14 @@ fn main() {
     }
     eprintln!(
         "ssmfp-lint: {} violation(s), {} warning(s); {} guard-overlap pair(s), \
-         {} same-destination interference edge(s), {} cross-destination independent pair(s)",
+         {} same-destination interference edge(s), {} cross-destination independent pair(s), \
+         {} concurrency model(s)",
         report.violations().count(),
         report.warnings().count(),
         report.guard_overlaps.len(),
         report.same_dest_interference.len(),
         report.cross_dest_independent.len(),
+        report.conc.len(),
     );
     std::process::exit(report.exit_code(deny_warnings));
 }

@@ -30,9 +30,12 @@
 //! destination per node) and to its mechanisms (colors, next-hop
 //! certification, single-successor erasure).
 
+pub mod conc;
 pub mod net;
 pub mod port;
 pub mod suite;
+
+pub use conc::model as conc_model;
 
 pub use net::{
     ChannelFaults, ChannelTransport, FaultClerk, LinkId, MpConfig, MpNetwork, MpNode, Outbox,

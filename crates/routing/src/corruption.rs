@@ -140,9 +140,9 @@ mod tests {
         let g = gen::random_connected(12, 8, 2);
         for kind in CorruptionKind::ADVERSARIAL {
             let states = corrupt(&g, kind, 3);
-            for p in 0..g.n() {
+            for (p, state) in states.iter().enumerate() {
                 for d in 0..g.n() {
-                    let par = states[p].parent[d];
+                    let par = state.parent[d];
                     assert!(
                         par == p || par == d || g.has_edge(p, par),
                         "{kind:?}: parent_p(d) must be a link label (p={p}, d={d}, par={par})"

@@ -48,12 +48,12 @@ impl RoutingState {
         let n = graph.n();
         let mut dist = Vec::with_capacity(n);
         let mut parent = Vec::with_capacity(n);
-        for d in 0..n {
-            dist.push(trees[d].depth(p));
+        for (d, tree) in trees.iter().enumerate().take(n) {
+            dist.push(tree.depth(p));
             parent.push(if p == d {
                 d
             } else {
-                trees[d].parent(p).expect("non-root has a parent")
+                tree.parent(p).expect("non-root has a parent")
             });
         }
         RoutingState { dist, parent }
@@ -273,9 +273,9 @@ mod tests {
         let g = gen::random_connected(15, 10, 2);
         let ap = AllPairs::new(&g);
         let states = converged_states(&g);
-        for p in 0..g.n() {
+        for (p, state) in states.iter().enumerate() {
             for d in 0..g.n() {
-                assert_eq!(states[p].dist[d], ap.dist(p, d));
+                assert_eq!(state.dist[d], ap.dist(p, d));
             }
         }
     }

@@ -16,13 +16,13 @@ pub fn next_hop(states: &[RoutingState], p: NodeId, d: NodeId) -> NodeId {
 /// one step closer to `d` (so every route is minimal in edges).
 pub fn routing_is_correct(graph: &Graph, states: &[RoutingState]) -> bool {
     let ap = AllPairs::new(graph);
-    for p in 0..graph.n() {
+    for (p, state) in states.iter().enumerate().take(graph.n()) {
         for d in 0..graph.n() {
-            if states[p].dist[d] != ap.dist(p, d) {
+            if state.dist[d] != ap.dist(p, d) {
                 return false;
             }
             if p != d {
-                let par = states[p].parent[d];
+                let par = state.parent[d];
                 if !graph.has_edge(p, par) || ap.dist(par, d) + 1 != ap.dist(p, d) {
                     return false;
                 }

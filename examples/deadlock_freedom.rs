@@ -39,9 +39,9 @@ fn main() {
     let mut sim = StoreForward::new(destination_based(&trees));
     let mut id = 0;
     for s in 0..g.n() {
-        for d in 0..g.n() {
+        for (d, tree) in trees.iter().enumerate() {
             if s != d {
-                let route: Vec<BufferId> = trees[d]
+                let route: Vec<BufferId> = tree
                     .path_to_root(s)
                     .into_iter()
                     .map(|p| BufferId::new(p, d))
