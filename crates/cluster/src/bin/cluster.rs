@@ -3,7 +3,8 @@
 //! ```text
 //! ssmfp-cluster [--topology line:5] [--workload closed:4:200] [--seed 1]
 //!               [--faults 2] [--partition 20:40] [--transport uds|tcp]
-//!               [--inproc] [--timeout-s 60] [--json FILE] [--quiet]
+//!               [--io event|blocking] [--inproc] [--timeout-s 60]
+//!               [--json FILE] [--quiet]
 //! ```
 //!
 //! Exit codes: `0` clean run (converged, zero SP violations), `1` dirty
@@ -12,7 +13,7 @@
 
 use ssmfp_cluster::{
     node_main, parse_chaos, parse_node_args, parse_workload, pick_partition, run_cluster,
-    ChaosSpec, ClusterSpec, ListenSpec, RunMode, WorkloadKind, WorkloadSpec,
+    ChaosSpec, ClusterSpec, IoMode, ListenSpec, RunMode, WorkloadKind, WorkloadSpec,
 };
 use ssmfp_topology::{gen, Graph};
 use std::io::Write;
@@ -43,6 +44,8 @@ OPTIONS:
     --partition F:L    one partition/heal cycle: drop data-plane arrivals
                        [F, F+L) on a seed-picked edge (default off)
     --transport T      uds | tcp (default uds)
+    --io MODE          event (poll-based coalescing data plane, default) |
+                       blocking (legacy thread-per-edge plane)
     --inproc           nodes as threads instead of processes
     --timeout-s T      convergence timeout in seconds (default 60)
     --json FILE        write the JSON run report to FILE ('-' = stdout)
@@ -98,6 +101,7 @@ fn main() -> ExitCode {
     let mut faults: u32 = 0;
     let mut partition: Option<(u64, u64)> = None;
     let mut transport = "uds".to_string();
+    let mut io = IoMode::default();
     let mut inproc = false;
     let mut timeout_s: u64 = 60;
     let mut json: Option<String> = None;
@@ -147,6 +151,11 @@ fn main() -> ExitCode {
                 if transport != "uds" && transport != "tcp" {
                     die(&format!("bad --transport {transport:?} (want uds|tcp)"));
                 }
+            }
+            "--io" => {
+                let v = val();
+                io = IoMode::parse(v)
+                    .unwrap_or_else(|| die(&format!("bad --io {v:?} (want event|blocking)")));
             }
             "--inproc" => inproc = true,
             "--timeout-s" => {
@@ -208,6 +217,7 @@ fn main() -> ExitCode {
         workload,
         chaos,
         listen,
+        io,
         mode,
         timeout: Duration::from_secs(timeout_s),
     };

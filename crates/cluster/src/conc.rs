@@ -8,18 +8,31 @@
 //!
 //! ## The shape of the graph
 //!
-//! Per node: a main protocol loop, an accept thread, one reader per
-//! inbound connection, one writer per neighbour, and a control-pipe
-//! reader. The orchestrator adds its own main thread and one line-reader
-//! per node. Channels:
+//! Per node on the default **event** data plane: a main protocol loop,
+//! one `node.io` event-loop thread multiplexing every socket through
+//! `poll(2)`, and a control-pipe reader. The legacy **blocking** plane
+//! (`--io blocking`, kept for one release) instead runs an accept
+//! thread, one reader per inbound connection and one writer per
+//! neighbour — both planes stay declared here because the e2e suite
+//! asserts observed ⊆ declared whichever plane a run selects. The
+//! orchestrator adds its own main thread and one line-reader per node.
+//! Channels:
 //!
-//! * `node.sendq` (per neighbour, blocks when full) — the *only* place
+//! * `node.ioq` (event plane, blocks when full) / `node.sendq` (blocking
+//!   plane, per neighbour, blocks when full) — the *only* places
 //!   backpressure deliberately stalls the protocol loop;
 //! * `node.inbound` (sheds when full) — shedding here is a wire drop the
 //!   protocol's retransmission tolerates, and it is what breaks the
-//!   cross-node cycle `main → sendq → writer → socket → peer reader →
-//!   peer inbound → peer main`;
+//!   cross-node cycle `main → outbound queue → socket → peer read side →
+//!   peer inbound → peer main` on either plane;
 //! * `node.ctrl` and `orch.lines` — control-plane line muxes.
+//!
+//! Every wait the `node.io` thread declares is **timed**: its `poll` has
+//! a deadline (the nearest heartbeat/reconnect timer), its sockets are
+//! nonblocking, and it drains `node.ioq` with `try_recv`. It therefore
+//! adds no untimed arc to the wait-for graph — the deadlock analysis
+//! stays cycle-free by the same argument as before, now with the io
+//! thread guaranteed to keep draining both directions of every socket.
 //!
 //! `node.ctrl` sheds rather than blocks: the orchestrator sends a
 //! handful of lines per run, far below the bound, so shedding is
@@ -65,10 +78,17 @@ pub fn model(t: &ClusterTuning) -> ConcModel {
                 doc: "the protocol loop: inbound frames, timeouts, workload, outbox",
             },
             ThreadDecl {
+                role: "node.io",
+                multiplicity: Multiplicity::PerNode,
+                spawned_by: "node.main",
+                doc: "event plane: poll(2)-multiplexes listener + every connection, \
+                      coalesces writes, owns heartbeat/reconnect deadlines",
+            },
+            ThreadDecl {
                 role: "node.accept",
                 multiplicity: Multiplicity::PerNode,
                 spawned_by: "node.main",
-                doc: "polls the listener, spawns one reader per inbound connection",
+                doc: "blocking plane: polls the listener, spawns one reader per inbound connection",
             },
             ThreadDecl {
                 role: "net.reader",
@@ -97,11 +117,19 @@ pub fn model(t: &ClusterTuning) -> ConcModel {
         channels: vec![
             ChannelDecl {
                 name: "node.inbound",
-                senders: vec!["net.reader"],
+                senders: vec!["net.reader", "node.io"],
                 receiver: "node.main",
                 bound: Some(t.inbound_queue),
                 policy: Some(FullPolicy::Shed),
                 doc: "decoded inbound frames; sheds when full (a tolerated wire drop)",
+            },
+            ChannelDecl {
+                name: "node.ioq",
+                senders: vec!["node.main"],
+                receiver: "node.io",
+                bound: Some(t.io_queue),
+                policy: Some(FullPolicy::Block),
+                doc: "event plane outbound frames; blocking is the backpressure path",
             },
             ChannelDecl {
                 name: "node.sendq",
@@ -109,7 +137,8 @@ pub fn model(t: &ClusterTuning) -> ConcModel {
                 receiver: "net.writer",
                 bound: Some(t.send_queue),
                 policy: Some(FullPolicy::Block),
-                doc: "per-neighbour outbound frames; blocking is the backpressure path",
+                doc: "blocking plane per-neighbour outbound frames; blocking is the \
+                      backpressure path",
             },
             ChannelDecl {
                 name: "node.ctrl",
@@ -138,6 +167,12 @@ pub fn model(t: &ClusterTuning) -> ConcModel {
             },
             BlockingEdge {
                 thread: "node.main",
+                waits: WaitPoint::ChanSend("node.ioq"),
+                holding: vec![],
+                timed: false, // backpressure: deliberately stalls the loop
+            },
+            BlockingEdge {
+                thread: "node.main",
                 waits: WaitPoint::ChanSend("node.sendq"),
                 holding: vec![],
                 timed: false, // backpressure: deliberately stalls the loop
@@ -153,6 +188,33 @@ pub fn model(t: &ClusterTuning) -> ConcModel {
                 waits: WaitPoint::LockAcquire("writer.stats"),
                 holding: vec![],
                 timed: false, // shutdown counter harvest
+            },
+            // node.io — every wait is timed: poll(2) with a deadline,
+            // nonblocking sockets, try_recv on the queue. The io thread
+            // contributes no untimed arc to the wait-for graph.
+            BlockingEdge {
+                thread: "node.io",
+                waits: WaitPoint::ChanRecv("node.ioq"),
+                holding: vec![],
+                timed: true, // try_recv drain + poll deadline + wake pipe
+            },
+            BlockingEdge {
+                thread: "node.io",
+                waits: WaitPoint::Accept("node.io"),
+                holding: vec![],
+                timed: true, // nonblocking accept on listener readiness
+            },
+            BlockingEdge {
+                thread: "node.io",
+                waits: WaitPoint::SockRead("node.io"),
+                holding: vec![],
+                timed: true, // nonblocking reads, fed by the peer's io thread
+            },
+            BlockingEdge {
+                thread: "node.io",
+                waits: WaitPoint::SockWrite("node.io"),
+                holding: vec![],
+                timed: true, // nonblocking writes, POLLOUT-driven retry
             },
             // node.accept
             BlockingEdge {
@@ -238,6 +300,7 @@ mod tests {
     fn declared_bounds_come_from_tuning() {
         let m = default_model();
         assert_eq!(m.channel_decl("node.sendq").bound, Some(TUNING.send_queue));
+        assert_eq!(m.channel_decl("node.ioq").bound, Some(TUNING.io_queue));
         assert_eq!(
             m.channel_decl("node.inbound").bound,
             Some(TUNING.inbound_queue)
@@ -247,6 +310,16 @@ mod tests {
             m.channel_decl("orch.lines").bound,
             Some(TUNING.orch_line_queue)
         );
+    }
+
+    #[test]
+    fn io_thread_declares_only_timed_waits() {
+        let m = default_model();
+        let io_edges: Vec<_> = m.edges.iter().filter(|e| e.thread == "node.io").collect();
+        assert!(!io_edges.is_empty());
+        for e in io_edges {
+            assert!(e.timed, "node.io edge {:?} must be timed", e.waits);
+        }
     }
 
     #[test]

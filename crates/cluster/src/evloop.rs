@@ -1,0 +1,1005 @@
+//! The readiness-based event-loop data plane.
+//!
+//! One `node.io` thread per node multiplexes *every* per-edge socket —
+//! the listener, all inbound connections, all outbound connections and a
+//! self-pipe wakeup — through `poll(2)`, replacing PR-5's two blocking
+//! threads per directed edge. The protocol loop talks to it through one
+//! bounded channel (`node.ioq`, Block policy: the backpressure contract
+//! is unchanged) plus a one-byte wake write.
+//!
+//! ## Batching policy
+//!
+//! Outbound frames append straight into a per-connection [`WriteBuf`]
+//! (length-prefixed wire bytes, no intermediate `Vec` per frame) and one
+//! `write()` ships everything pending. When the node is idle a frame is
+//! flushed the moment it is enqueued; under load the queue drains in
+//! bursts and frames coalesce naturally, bounded by the
+//! [`ClusterTuning`] byte/frame budgets (`batch_max_bytes`,
+//! `batch_max_frames`). The buffer never reallocates in steady state: it
+//! is pre-sized to the batch budget and `consume` recycles capacity.
+//!
+//! Per-directed-edge FIFO ordering is preserved under coalescing: the
+//! protocol loop enqueues frames in send order, the io thread drains the
+//! queue in order, appends to each edge's buffer in order, and a buffer
+//! is always written front-to-back — coalescing only changes syscall
+//! boundaries, never byte order on a connection.
+//!
+//! ## Timers
+//!
+//! Heartbeats and reconnect backoff are deadlines on the loop: the
+//! `poll` timeout is the distance to the nearest one, so nothing in the
+//! data plane sleeps at a fixed granularity anymore.
+//!
+//! ## Failure policy
+//!
+//! A connection that errors mid-stream drops its buffered bytes (a
+//! counted burst of wire drops — a partially-written frame cannot be
+//! resumed on a new connection, and the protocol's retransmission
+//! recovers), then redials with the shared backoff schedule. A peer that
+//! stops reading cannot grow the buffer past `out_buf_cap_bytes`:
+//! beyond it, new frames for that edge are shed and counted.
+
+use crate::conc::COMPONENT;
+use crate::node::ListenSpec;
+use crate::telemetry::LogHistogram;
+use crate::tuning::{ClusterTuning, TUNING};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use ssmfp_core::conc::{
+    spawn_registered, tracked_channel, ChannelStats, SendOutcome, TrackedSender,
+};
+use ssmfp_core::wire::{encode_frame, FrameReader, WireFrame, MAX_FRAME_LEN};
+use ssmfp_topology::NodeId;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Raw `poll(2)` bindings. The workspace vendors no `libc`, and the only
+/// system interface the event loop needs is one syscall with a stable,
+/// tiny ABI — so it is declared by hand for the Linux targets the
+/// cluster runtime already assumes (Unix-domain sockets everywhere).
+mod sys {
+    /// `struct pollfd` from `<poll.h>`.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    #[allow(non_camel_case_types)]
+    pub struct pollfd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    extern "C" {
+        /// `nfds_t` is `c_ulong` (= `u64` on every 64-bit Linux target).
+        pub fn poll(fds: *mut pollfd, nfds: u64, timeout: i32) -> i32;
+    }
+}
+
+/// Readable (data or EOF pending).
+pub const POLLIN: i16 = 0x001;
+/// Writable without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (always polled, delivered in `revents` only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up.
+pub const POLLHUP: i16 = 0x010;
+/// fd not open (always polled, delivered in `revents` only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// A reusable `poll(2)` interest set: build it each cycle (O(degree),
+/// the allocation is recycled), poll once, read `revents` back by index.
+pub struct PollSet {
+    fds: Vec<sys::pollfd>,
+}
+
+impl Default for PollSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PollSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        PollSet { fds: Vec::new() }
+    }
+
+    /// Removes every registered fd (keeps capacity).
+    pub fn clear(&mut self) {
+        self.fds.clear();
+    }
+
+    /// Registers `fd` with the given interest; returns its slot index.
+    pub fn push(&mut self, fd: RawFd, events: i16) -> usize {
+        self.fds.push(sys::pollfd {
+            fd,
+            events,
+            revents: 0,
+        });
+        self.fds.len() - 1
+    }
+
+    /// Blocks until an fd is ready or `timeout` elapses (`None` = wait
+    /// forever). Returns the number of ready fds. EINTR retries.
+    pub fn poll(&mut self, timeout: Option<Duration>) -> io::Result<usize> {
+        // Round sub-millisecond deadlines *up*: a 0ms timeout would turn
+        // a near deadline into a busy spin.
+        let ms: i32 = match timeout {
+            None => -1,
+            Some(d) => d.as_micros().div_ceil(1000).min(i32::MAX as u128) as i32,
+        };
+        loop {
+            let rc = unsafe { sys::poll(self.fds.as_mut_ptr(), self.fds.len() as u64, ms) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let e = io::Error::last_os_error();
+            if e.kind() != io::ErrorKind::Interrupted {
+                return Err(e);
+            }
+        }
+    }
+
+    /// The result events of slot `idx` from the last [`PollSet::poll`].
+    pub fn revents(&self, idx: usize) -> i16 {
+        self.fds[idx].revents
+    }
+
+    /// Number of registered fds (slot indices are `0..fds_len()`).
+    pub fn fds_len(&self) -> usize {
+        self.fds.len()
+    }
+}
+
+/// One stream socket of either flavour, with raw-fd access for the poll
+/// set. (The PR-5 plane erased streams to `Box<dyn Read>`, which made
+/// readiness multiplexing impossible.)
+pub enum NetStream {
+    /// Unix-domain stream.
+    Unix(UnixStream),
+    /// TCP stream (Nagle disabled by [`dial`]/[`NetListener::accept`]).
+    Tcp(TcpStream),
+}
+
+impl NetStream {
+    /// The raw fd, for poll registration.
+    pub fn fd(&self) -> RawFd {
+        match self {
+            NetStream::Unix(s) => s.as_raw_fd(),
+            NetStream::Tcp(s) => s.as_raw_fd(),
+        }
+    }
+
+    /// Toggles nonblocking mode.
+    pub fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            NetStream::Unix(s) => s.set_nonblocking(nb),
+            NetStream::Tcp(s) => s.set_nonblocking(nb),
+        }
+    }
+}
+
+impl Read for NetStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            NetStream::Unix(s) => s.read(buf),
+            NetStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for NetStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            NetStream::Unix(s) => s.write(buf),
+            NetStream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            NetStream::Unix(s) => s.flush(),
+            NetStream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A node's listener of either flavour (always nonblocking).
+pub enum NetListener {
+    /// Unix-domain listener at `<dir>/node<k>.sock`.
+    Unix(UnixListener),
+    /// TCP listener on `127.0.0.1`, OS-assigned port.
+    Tcp(TcpListener),
+}
+
+impl NetListener {
+    /// Binds per `spec` and returns the listener plus its dialable
+    /// address string (`uds:<path>` / `tcp:<addr>`).
+    pub fn bind(spec: &ListenSpec, node: NodeId) -> io::Result<(Self, String)> {
+        match spec {
+            ListenSpec::Uds { dir } => {
+                let path = dir.join(format!("node{node}.sock"));
+                let _ = std::fs::remove_file(&path);
+                let l = UnixListener::bind(&path)?;
+                l.set_nonblocking(true)?;
+                Ok((NetListener::Unix(l), format!("uds:{}", path.display())))
+            }
+            ListenSpec::Tcp => {
+                let l = TcpListener::bind("127.0.0.1:0")?;
+                l.set_nonblocking(true)?;
+                let addr = l.local_addr()?;
+                Ok((NetListener::Tcp(l), format!("tcp:{addr}")))
+            }
+        }
+    }
+
+    /// The raw fd, for poll registration.
+    pub fn fd(&self) -> RawFd {
+        match self {
+            NetListener::Unix(l) => l.as_raw_fd(),
+            NetListener::Tcp(l) => l.as_raw_fd(),
+        }
+    }
+
+    /// Accepts one connection (nonblocking: `WouldBlock` when none).
+    /// The accepted stream inherits nonblocking off; callers pick.
+    pub fn accept(&self) -> io::Result<NetStream> {
+        match self {
+            NetListener::Unix(l) => {
+                let (s, _) = l.accept()?;
+                Ok(NetStream::Unix(s))
+            }
+            NetListener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                let _ = s.set_nodelay(true);
+                Ok(NetStream::Tcp(s))
+            }
+        }
+    }
+}
+
+/// Dials a `uds:<path>` / `tcp:<addr>` address string (blocking connect;
+/// both flavours complete immediately on localhost).
+pub fn dial(addr: &str) -> io::Result<NetStream> {
+    if let Some(path) = addr.strip_prefix("uds:") {
+        Ok(NetStream::Unix(UnixStream::connect(path)?))
+    } else if let Some(sock) = addr.strip_prefix("tcp:") {
+        let s = TcpStream::connect(sock)?;
+        let _ = s.set_nodelay(true);
+        Ok(NetStream::Tcp(s))
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("bad peer address {addr:?}"),
+        ))
+    }
+}
+
+/// A per-connection outbound byte buffer: frames are encoded straight
+/// into it (append-only, front-to-back writes), so the hot path performs
+/// no per-frame allocation and one `write()` can carry a whole batch.
+pub struct WriteBuf {
+    buf: Vec<u8>,
+    at: usize,
+    frames: usize,
+}
+
+impl WriteBuf {
+    /// An empty buffer pre-sized so the steady-state batch never grows it.
+    pub fn with_capacity(cap: usize) -> Self {
+        WriteBuf {
+            buf: Vec::with_capacity(cap),
+            at: 0,
+            frames: 0,
+        }
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.at == self.buf.len()
+    }
+
+    /// Bytes pending (encoded but not yet written).
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    /// Frames appended since the buffer was last empty.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Encodes `frame` in place (no intermediate buffer).
+    pub fn push_frame(&mut self, frame: &WireFrame) {
+        encode_frame(frame, &mut self.buf);
+        self.frames += 1;
+    }
+
+    /// The pending byte range, for `write()`.
+    pub fn pending_bytes(&self) -> &[u8] {
+        &self.buf[self.at..]
+    }
+
+    /// Consumes `k` written bytes. Returns `Some(frames)` when the write
+    /// emptied the buffer (the completed batch size, for the histogram)
+    /// and recycles capacity; `None` while bytes remain.
+    pub fn consume(&mut self, k: usize) -> Option<usize> {
+        self.at += k;
+        debug_assert!(self.at <= self.buf.len());
+        if self.at == self.buf.len() {
+            self.buf.clear();
+            self.at = 0;
+            let batch = self.frames;
+            self.frames = 0;
+            Some(batch)
+        } else {
+            None
+        }
+    }
+
+    /// Drops everything pending (connection died). Returns the frame
+    /// count lost, for the wire-drop counters.
+    pub fn reset(&mut self) -> usize {
+        self.buf.clear();
+        self.at = 0;
+        std::mem::take(&mut self.frames)
+    }
+
+    /// Current heap capacity (for the no-realloc assertions).
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Current heap base pointer (for the no-realloc assertions).
+    pub fn as_ptr(&self) -> *const u8 {
+        self.buf.as_ptr()
+    }
+}
+
+/// Counters and the frames-per-write histogram the io thread hands back
+/// at shutdown, merged into the node's [`crate::telemetry::NodeCounters`].
+#[derive(Debug, Default)]
+pub struct IoStats {
+    /// `write()` syscalls issued on data connections.
+    pub write_syscalls: u64,
+    /// `read()` syscalls that returned data.
+    pub read_syscalls: u64,
+    /// Heartbeats written on idle links.
+    pub heartbeats: u64,
+    /// Successful re-dials beyond the first connection per link.
+    pub reconnects: u64,
+    /// Frames lost with a dying connection or shed at the out-buffer
+    /// cap — wire drops the protocol's retransmission tolerates.
+    pub conn_frames_dropped: u64,
+    /// Frames per buffer-emptying `write()` (the coalescing win,
+    /// observable rather than inferred).
+    pub batch: LogHistogram,
+}
+
+/// Handle the protocol loop holds on the event-loop data plane.
+pub(crate) struct EventPlane {
+    tx: TrackedSender<(NodeId, WireFrame)>,
+    stats: Arc<ChannelStats>,
+    wake: UnixStream,
+    sleeping: Arc<AtomicBool>,
+    stop: Arc<AtomicBool>,
+    join: JoinHandle<IoStats>,
+}
+
+impl EventPlane {
+    /// Spawns the `node.io` thread owning `listener` and one outbound
+    /// connection per `(neighbour, address)` pair.
+    pub fn spawn(
+        my_id: NodeId,
+        listener: NetListener,
+        peers: Vec<(NodeId, String)>,
+        inbound: TrackedSender<(NodeId, WireFrame)>,
+        seed: u64,
+    ) -> io::Result<Self> {
+        let model = crate::conc::model(&TUNING);
+        let (tx, rx, stats) =
+            tracked_channel::<(NodeId, WireFrame)>(COMPONENT, model.channel_decl("node.ioq"));
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_tx.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let sleeping = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let sleeping2 = sleeping.clone();
+        let join = spawn_registered(COMPONENT, "node.io", move || {
+            IoLoop::new(
+                my_id, listener, peers, rx, inbound, wake_rx, stop2, sleeping2, seed,
+            )
+            .run()
+        });
+        Ok(EventPlane {
+            tx,
+            stats,
+            wake: wake_tx,
+            sleeping,
+            stop,
+            join,
+        })
+    }
+
+    /// Enqueues one frame for `to`. Blocks when `node.ioq` is full — the
+    /// declared backpressure edge. Call [`EventPlane::wake`] after a
+    /// burst (not per frame: one wake byte covers a whole outbox drain).
+    pub fn send(&self, to: NodeId, frame: WireFrame) -> SendOutcome {
+        self.tx.send((to, frame))
+    }
+
+    /// Nudges the io thread's `poll` (self-pipe byte; a full pipe
+    /// already guarantees a pending wakeup, so `WouldBlock` is success).
+    /// Elided when the io thread is provably awake: it re-drains the
+    /// queue *after* publishing `sleeping`, so a sender that read
+    /// `sleeping == false` has its frames picked up by that drain — two
+    /// syscalls saved per outbox burst on the hot path.
+    pub fn wake(&self) {
+        if self.sleeping.load(Ordering::SeqCst) {
+            let _ = (&self.wake).write(&[1u8]);
+        }
+    }
+
+    /// Backpressure stalls observed on `node.ioq` so far.
+    pub fn stalls(&self) -> u64 {
+        self.stats.stall_count()
+    }
+
+    /// Stops the io thread (best-effort flush of pending frames inside
+    /// `io_flush_grace`) and returns its stats.
+    pub fn shutdown(self) -> IoStats {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = (&self.wake).write(&[1u8]);
+        drop(self.tx);
+        self.join.join().unwrap_or_default()
+    }
+}
+
+/// Worst-case encoded frame size (length prefix + body), the margin the
+/// out-buffer cap check leaves before appending.
+const FRAME_MAX: usize = 4 + MAX_FRAME_LEN as usize;
+
+struct OutLink {
+    peer: NodeId,
+    addr: String,
+    stream: Option<NetStream>,
+    out: WriteBuf,
+    /// Dial attempts this connection session (resets on success).
+    attempt: u32,
+    incarnation: u32,
+    /// Next dial deadline while disconnected.
+    next_dial: Instant,
+    /// Link gave up redialing (peer gone for good / shutdown race).
+    dead: bool,
+    last_write: Instant,
+    hb_clock: u64,
+}
+
+struct InConn {
+    stream: NetStream,
+    reader: FrameReader,
+    from: Option<NodeId>,
+}
+
+struct IoLoop {
+    my_id: NodeId,
+    t: &'static ClusterTuning,
+    listener: NetListener,
+    links: Vec<OutLink>,
+    conns: Vec<InConn>,
+    ioq: Receiver<(NodeId, WireFrame)>,
+    ioq_done: bool,
+    inbound: TrackedSender<(NodeId, WireFrame)>,
+    wake_rx: UnixStream,
+    stop: Arc<AtomicBool>,
+    /// Published (SeqCst) right before blocking in `poll`; lets
+    /// [`EventPlane::wake`] skip the self-pipe syscall while this thread
+    /// is demonstrably processing.
+    sleeping: Arc<AtomicBool>,
+    rng: ChaCha8Rng,
+    poll: PollSet,
+    scratch: Vec<u8>,
+    hello: Vec<u8>,
+    stats: IoStats,
+}
+
+impl IoLoop {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        my_id: NodeId,
+        listener: NetListener,
+        peers: Vec<(NodeId, String)>,
+        ioq: Receiver<(NodeId, WireFrame)>,
+        inbound: TrackedSender<(NodeId, WireFrame)>,
+        wake_rx: UnixStream,
+        stop: Arc<AtomicBool>,
+        sleeping: Arc<AtomicBool>,
+        seed: u64,
+    ) -> Self {
+        let t = &TUNING;
+        let now = Instant::now();
+        let links = peers
+            .into_iter()
+            .map(|(peer, addr)| OutLink {
+                peer,
+                addr,
+                stream: None,
+                out: WriteBuf::with_capacity(t.batch_max_bytes + FRAME_MAX),
+                attempt: 0,
+                incarnation: 0,
+                next_dial: now,
+                dead: false,
+                last_write: now,
+                hb_clock: 0,
+            })
+            .collect();
+        IoLoop {
+            my_id,
+            t,
+            listener,
+            links,
+            conns: Vec::new(),
+            ioq,
+            ioq_done: false,
+            inbound,
+            wake_rx,
+            stop,
+            sleeping,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            poll: PollSet::new(),
+            scratch: vec![0u8; t.io_read_chunk],
+            hello: Vec::with_capacity(FRAME_MAX),
+            stats: IoStats::default(),
+        }
+    }
+
+    fn run(mut self) -> IoStats {
+        let mut flush_deadline: Option<Instant> = None;
+        loop {
+            let stopping = self.stop.load(Ordering::Relaxed);
+            self.drain_ioq();
+            self.flush_all();
+            let now = Instant::now();
+            self.run_timers(now, stopping);
+
+            if stopping {
+                let deadline = *flush_deadline.get_or_insert_with(|| now + self.t.io_flush_grace());
+                let pending = self
+                    .links
+                    .iter()
+                    .any(|l| !l.out.is_empty() && l.stream.is_some());
+                if !pending || now >= deadline {
+                    break;
+                }
+                // Only the blocked writes matter now; wait for POLLOUT.
+                let timeout = deadline.saturating_duration_since(now);
+                self.poll_once(Some(timeout), stopping);
+                continue;
+            }
+
+            let timeout = self.next_deadline(now);
+            // Publish the intent to block, then re-drain: any sender that
+            // read `sleeping == false` (and therefore skipped the wake
+            // syscall) enqueued before our store in the SeqCst order, so
+            // this drain observes its frames and the iteration restarts.
+            self.sleeping.store(true, Ordering::SeqCst);
+            if self.drain_ioq() {
+                self.sleeping.store(false, Ordering::SeqCst);
+                continue;
+            }
+            self.poll_once(Some(timeout), stopping);
+            self.sleeping.store(false, Ordering::SeqCst);
+        }
+        self.stats
+    }
+
+    /// Moves queued frames into per-edge write buffers, flushing at the
+    /// batch budget and shedding at the hard cap. Returns whether any
+    /// frame was drained.
+    fn drain_ioq(&mut self) -> bool {
+        let mut any = false;
+        loop {
+            let (to, frame) = match self.ioq.try_recv() {
+                Ok(v) => v,
+                Err(TryRecvError::Empty) => return any,
+                Err(TryRecvError::Disconnected) => {
+                    self.ioq_done = true;
+                    return any;
+                }
+            };
+            any = true;
+            let Some(i) = self.links.iter().position(|l| l.peer == to) else {
+                debug_assert!(false, "send to non-neighbour {to}");
+                continue;
+            };
+            let l = &mut self.links[i];
+            if l.dead {
+                self.stats.conn_frames_dropped += 1;
+                continue;
+            }
+            if l.out.pending() >= self.t.batch_max_bytes
+                || l.out.frames() >= self.t.batch_max_frames
+            {
+                Self::flush_link(l, &mut self.stats);
+            }
+            if l.out.pending() + FRAME_MAX > self.t.out_buf_cap_bytes {
+                // Congested or disconnected peer: bounded buffer, counted
+                // wire drop, retransmission recovers.
+                self.stats.conn_frames_dropped += 1;
+                continue;
+            }
+            l.out.push_frame(&frame);
+        }
+    }
+
+    fn flush_all(&mut self) {
+        for l in &mut self.links {
+            if !l.out.is_empty() {
+                Self::flush_link(l, &mut self.stats);
+            }
+        }
+    }
+
+    /// Writes as much of `l.out` as the socket accepts. On error the
+    /// connection dies (buffered bytes become counted wire drops) and the
+    /// link redials immediately.
+    fn flush_link(l: &mut OutLink, stats: &mut IoStats) {
+        let Some(stream) = &mut l.stream else { return };
+        while !l.out.is_empty() {
+            match stream.write(l.out.pending_bytes()) {
+                Ok(0) => {
+                    Self::disconnect(l, stats);
+                    return;
+                }
+                Ok(k) => {
+                    stats.write_syscalls += 1;
+                    l.last_write = Instant::now();
+                    if let Some(batch) = l.out.consume(k) {
+                        stats.batch.record(batch as u64);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    Self::disconnect(l, stats);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn disconnect(l: &mut OutLink, stats: &mut IoStats) {
+        l.stream = None;
+        stats.conn_frames_dropped += l.out.reset() as u64;
+        l.attempt = 0;
+        l.next_dial = Instant::now();
+    }
+
+    /// Fires due dials and heartbeats; `poll` sleeps exactly until the
+    /// nearest remaining deadline.
+    fn run_timers(&mut self, now: Instant, stopping: bool) {
+        for i in 0..self.links.len() {
+            let l = &mut self.links[i];
+            if l.dead {
+                continue;
+            }
+            if l.stream.is_none() {
+                if stopping || now < l.next_dial {
+                    continue;
+                }
+                match dial(&l.addr) {
+                    Ok(s) => {
+                        if s.set_nonblocking(true).is_err() {
+                            l.next_dial = now + Duration::from_millis(self.t.backoff_ms(l.attempt));
+                            continue;
+                        }
+                        if l.incarnation > 0 {
+                            self.stats.reconnects += 1;
+                        }
+                        l.incarnation += 1;
+                        l.attempt = 0;
+                        // The Hello must precede any buffered frames. A
+                        // fresh socket's send buffer is empty, so this
+                        // tiny write cannot WouldBlock in practice; if it
+                        // somehow fails the link just redials.
+                        self.hello.clear();
+                        encode_frame(
+                            &WireFrame::Hello {
+                                node: self.my_id as u16,
+                                incarnation: l.incarnation,
+                            },
+                            &mut self.hello,
+                        );
+                        let mut s = s;
+                        match s.write(&self.hello) {
+                            Ok(k) if k == self.hello.len() => {
+                                self.stats.write_syscalls += 1;
+                                l.stream = Some(s);
+                                l.last_write = now;
+                                Self::flush_link(l, &mut self.stats);
+                            }
+                            _ => {
+                                l.next_dial = now + Duration::from_millis(1);
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        l.attempt += 1;
+                        if l.attempt > self.t.max_dial_attempts {
+                            l.dead = true;
+                            self.stats.conn_frames_dropped += l.out.reset() as u64;
+                            continue;
+                        }
+                        let backoff = self.t.backoff_ms(l.attempt);
+                        let jitter = self.rng.gen_range(0..=backoff / 2);
+                        l.next_dial = now + Duration::from_millis(backoff + jitter);
+                    }
+                }
+            } else if !stopping && now.duration_since(l.last_write) >= self.t.heartbeat() {
+                l.hb_clock += 1;
+                let hb = WireFrame::Heartbeat {
+                    node: self.my_id as u16,
+                    clock: l.hb_clock,
+                };
+                l.out.push_frame(&hb);
+                self.stats.heartbeats += 1;
+                Self::flush_link(l, &mut self.stats);
+            }
+        }
+    }
+
+    /// Distance to the nearest heartbeat/dial deadline (the poll
+    /// timeout); the idle ceiling is one heartbeat period.
+    fn next_deadline(&self, now: Instant) -> Duration {
+        let mut next: Option<Instant> = None;
+        let mut consider = |d: Instant| {
+            next = Some(match next {
+                Some(n) if n <= d => n,
+                _ => d,
+            });
+        };
+        for l in &self.links {
+            if l.dead {
+                continue;
+            }
+            match &l.stream {
+                Some(_) => consider(l.last_write + self.t.heartbeat()),
+                None => consider(l.next_dial),
+            }
+        }
+        match next {
+            Some(d) => d.saturating_duration_since(now).min(self.t.heartbeat()),
+            None => self.t.heartbeat(),
+        }
+    }
+
+    fn poll_once(&mut self, timeout: Option<Duration>, stopping: bool) {
+        self.poll.clear();
+        let wake_idx = self.poll.push(self.wake_rx.as_raw_fd(), POLLIN);
+        // While stopping only blocked writes matter: skip the read side so
+        // chatty peers cannot stretch the flush window.
+        let listener_idx = if stopping {
+            usize::MAX
+        } else {
+            self.poll.push(self.listener.fd(), POLLIN)
+        };
+        let conn_base = self.poll.fds_len();
+        let n_conns = if stopping { 0 } else { self.conns.len() };
+        for c in self.conns.iter().take(n_conns) {
+            self.poll.push(c.stream.fd(), POLLIN);
+        }
+        let mut out_slots: Vec<(usize, usize)> = Vec::with_capacity(self.links.len());
+        for (i, l) in self.links.iter().enumerate() {
+            if let Some(s) = &l.stream {
+                if !l.out.is_empty() {
+                    out_slots.push((self.poll.push(s.fd(), POLLOUT), i));
+                }
+            }
+        }
+        if self.poll.poll(timeout).is_err() {
+            return;
+        }
+
+        // Wake pipe: drain it (level-triggered; bytes are just nudges).
+        if self.poll.revents(wake_idx) & (POLLIN | POLLERR | POLLHUP) != 0 {
+            let mut sink = [0u8; 256];
+            while matches!((&self.wake_rx).read(&mut sink), Ok(k) if k > 0) {}
+        }
+
+        // New inbound connections.
+        if listener_idx != usize::MAX && self.poll.revents(listener_idx) & POLLIN != 0 {
+            loop {
+                match self.listener.accept() {
+                    Ok(s) => {
+                        if s.set_nonblocking(true).is_ok() {
+                            self.conns.push(InConn {
+                                stream: s,
+                                reader: FrameReader::new(),
+                                from: None,
+                            });
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
+
+        // Readable inbound connections. Slot `s` was registered for
+        // `conns[s]`; walking slots in *reverse* keeps that mapping valid
+        // across `swap_remove` (a removal at `s` only disturbs indices
+        // ≥ s, all already visited — conns accepted this cycle live past
+        // the polled range and get polled next cycle).
+        for slot in (0..n_conns).rev() {
+            let ev = self.poll.revents(conn_base + slot);
+            if ev & (POLLIN | POLLERR | POLLHUP | POLLNVAL) == 0 {
+                continue;
+            }
+            if !self.read_conn(slot) {
+                self.conns.swap_remove(slot);
+            }
+        }
+
+        // Writable outbound connections (previously blocked flushes).
+        for (slot, link_i) in out_slots {
+            if self.poll.revents(slot) & (POLLOUT | POLLERR | POLLHUP | POLLNVAL) != 0 {
+                Self::flush_link(&mut self.links[link_i], &mut self.stats);
+            }
+        }
+    }
+
+    /// Drains one readable inbound connection. Returns false when the
+    /// connection must be dropped (EOF, error, garbage, pre-Hello data).
+    fn read_conn(&mut self, i: usize) -> bool {
+        loop {
+            let k = match self.conns[i].stream.read(&mut self.scratch) {
+                Ok(0) => return false,
+                Ok(k) => k,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            };
+            self.stats.read_syscalls += 1;
+            let conn = &mut self.conns[i];
+            conn.reader.extend(&self.scratch[..k]);
+            loop {
+                match conn.reader.next_frame() {
+                    Ok(Some(WireFrame::Hello { node, .. })) => conn.from = Some(node as NodeId),
+                    Ok(Some(frame)) => match conn.from {
+                        // Frames before the Hello: unidentified
+                        // connection, drop it (the dialer re-Hellos).
+                        None => return false,
+                        Some(p) => {
+                            // Shed outcomes are counted wire drops; the
+                            // io thread never blocks here (that non-edge
+                            // keeps the cross-node wait graph acyclic).
+                            if self.inbound.send((p, frame)) == SendOutcome::Disconnected {
+                                return false;
+                            }
+                        }
+                    },
+                    Ok(None) => break,
+                    Err(_) => return false, // garbage on the wire
+                }
+            }
+            if k < self.scratch.len() {
+                return true; // short read: socket drained
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssmfp_core::message::GhostId;
+    use ssmfp_core::wire::WireMessage;
+
+    fn data_frame(seq: u64) -> WireFrame {
+        WireFrame::Offer {
+            d: 4,
+            msg: WireMessage {
+                payload: seq,
+                color: (seq % 3) as u8,
+                ghost: GhostId::Valid(seq),
+            },
+            nonce: seq,
+        }
+    }
+
+    /// The zero-realloc pin for the hot path: once warmed to the batch
+    /// budget, encode/flush cycles never move or grow the buffer.
+    #[test]
+    fn steady_state_write_path_never_reallocs() {
+        let mut wb = WriteBuf::with_capacity(TUNING.batch_max_bytes + FRAME_MAX);
+        // Warm one full batch.
+        let mut seq = 0u64;
+        while wb.pending() < TUNING.batch_max_bytes {
+            wb.push_frame(&data_frame(seq));
+            seq += 1;
+        }
+        let batch_frames = wb.frames();
+        assert!(batch_frames > 0);
+        assert_eq!(wb.consume(wb.pending()), Some(batch_frames));
+        let (ptr, cap) = (wb.as_ptr(), wb.capacity());
+        // 200 steady-state batch cycles: same allocation throughout.
+        for cycle in 0..200u64 {
+            while wb.pending() < TUNING.batch_max_bytes {
+                wb.push_frame(&data_frame(seq));
+                seq += 1;
+            }
+            // Partial then completing writes both recycle in place.
+            let half = wb.pending() / 2;
+            assert_eq!(wb.consume(half), None);
+            assert!(wb.consume(wb.pending()).is_some());
+            assert_eq!(wb.as_ptr(), ptr, "hot path reallocated on cycle {cycle}");
+            assert_eq!(wb.capacity(), cap, "hot path grew on cycle {cycle}");
+        }
+    }
+
+    /// Frames-per-write accounting: a batch completed across partial
+    /// writes is attributed once, with the full frame count.
+    #[test]
+    fn write_buf_counts_frames_per_completed_batch() {
+        let mut wb = WriteBuf::with_capacity(4096);
+        for seq in 0..10 {
+            wb.push_frame(&data_frame(seq));
+        }
+        assert_eq!(wb.frames(), 10);
+        let total = wb.pending();
+        assert_eq!(wb.consume(total / 3), None);
+        assert_eq!(wb.consume(total - total / 3), Some(10));
+        assert!(wb.is_empty());
+        assert_eq!(wb.frames(), 0);
+    }
+
+    #[test]
+    fn reset_reports_dropped_frames() {
+        let mut wb = WriteBuf::with_capacity(1024);
+        for seq in 0..7 {
+            wb.push_frame(&data_frame(seq));
+        }
+        assert_eq!(wb.reset(), 7);
+        assert!(wb.is_empty());
+        assert_eq!(wb.pending(), 0);
+    }
+
+    /// The poll shim against a real socketpair: writability up front,
+    /// readability only after bytes land, timeouts when idle.
+    #[test]
+    fn poll_set_reports_readiness_on_a_socketpair() {
+        let (a, b) = UnixStream::pair().expect("socketpair");
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        let mut ps = PollSet::new();
+
+        // Nothing to read yet: a pure POLLIN wait times out.
+        ps.clear();
+        let ri = ps.push(b.as_raw_fd(), POLLIN);
+        let n = ps.poll(Some(Duration::from_millis(1))).unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(ps.revents(ri) & POLLIN, 0);
+
+        // An empty socket is writable immediately.
+        ps.clear();
+        let wi = ps.push(a.as_raw_fd(), POLLOUT);
+        assert_eq!(ps.poll(Some(Duration::from_millis(100))).unwrap(), 1);
+        assert_ne!(ps.revents(wi) & POLLOUT, 0);
+
+        // After a write, the peer polls readable.
+        (&a).write_all(&[42u8, 43]).unwrap();
+        ps.clear();
+        let ri = ps.push(b.as_raw_fd(), POLLIN);
+        assert_eq!(ps.poll(Some(Duration::from_millis(100))).unwrap(), 1);
+        assert_ne!(ps.revents(ri) & POLLIN, 0);
+        let mut buf = [0u8; 8];
+        assert_eq!((&b).read(&mut buf).unwrap(), 2);
+    }
+}

@@ -6,16 +6,22 @@
 //! Module map:
 //! * [`frame`] — lossless bridge between the simulator's `WireMsg` and
 //!   the wire codec's `WireFrame`.
-//! * [`transport`] — [`transport::LoopbackTransport`], a socket-backed
-//!   `ssmfp_mp::Transport` the shared exactly-once suite runs against.
+//! * [`transport`] — socket-backed `ssmfp_mp::Transport` impls the shared
+//!   exactly-once suite runs against: [`transport::LoopbackTransport`]
+//!   (blocking reader threads) and [`transport::PolledTransport`] (the
+//!   event loop's readiness/coalescing building blocks).
 //! * [`chaos`] — socket-level fault shim (drop/duplicate/reorder budgets
 //!   plus one partition/heal cycle), sharing the simulator's
 //!   `FaultClerk` decision procedure.
 //! * [`workload`] — open-loop (Poisson) and closed-loop (K outstanding)
 //!   generators, with the payload-stamp and ghost-numbering conventions.
-//! * [`node`] — one node: forwarder + listener + per-neighbour writer
-//!   threads (bounded queues, heartbeats, backoff reconnect) + the
-//!   line-based control protocol.
+//! * [`evloop`] — the readiness-based event-loop data plane: a `poll(2)`
+//!   shim, per-connection coalescing write buffers (zero-realloc hot
+//!   path), and the `node.io` thread multiplexing every socket with
+//!   heartbeat/reconnect deadlines on its timer list.
+//! * [`node`] — one node: the forwarder wired to either data plane
+//!   ([`node::IoMode`]: the event loop, or the legacy thread-per-edge
+//!   blocking plane) + the line-based control protocol.
 //! * [`orchestrator`] — spawns a topology (threads or processes), waits
 //!   for convergence, reconciles ledgers into a cluster-wide SP verdict,
 //!   and renders the JSON run report.
@@ -28,6 +34,7 @@
 
 pub mod chaos;
 pub mod conc;
+pub mod evloop;
 pub mod frame;
 pub mod node;
 pub mod orchestrator;
@@ -37,12 +44,12 @@ pub mod tuning;
 pub mod workload;
 
 pub use chaos::{ChaosSpec, PartitionSpec};
-pub use node::{node_main, ListenSpec, NodeConfig, NodeReport};
+pub use node::{node_main, IoMode, ListenSpec, NodeConfig, NodeReport};
 pub use orchestrator::{
     node_args, parse_chaos, parse_node_args, parse_workload, pick_partition, run_cluster,
     ClusterSpec, RunMode, RunReport,
 };
 pub use telemetry::{LogHistogram, NodeCounters};
-pub use transport::LoopbackTransport;
+pub use transport::{LoopbackTransport, PolledTransport};
 pub use tuning::{ClusterTuning, TUNING};
 pub use workload::{is_ack_ghost, WorkloadGen, WorkloadKind, WorkloadSpec};

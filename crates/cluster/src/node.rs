@@ -10,13 +10,30 @@
 //! which the protocol's retransmission already tolerates, and the dialer
 //! re-establishes with exponential backoff plus jitter.
 //!
-//! ## Supervision
+//! ## Data planes
 //!
-//! Per-neighbour writer threads own the outbound connections: bounded
-//! frame queues (backpressure), heartbeats on idle links, seeded backoff
-//! on reconnect. An accept thread spawns one reader per inbound
-//! connection; readers park garbage/truncated input by dropping the
-//! connection (the codec is total, so malformed bytes can never panic).
+//! Two implementations of that model, selected by [`IoMode`]:
+//!
+//! * **Event** (default) — one `node.io` thread per node multiplexes every
+//!   socket through `poll(2)` ([`crate::evloop`]): frames coalesce into
+//!   batched writes, reads are readiness-driven, heartbeats and reconnect
+//!   backoff are timer-wheel deadlines. The protocol loop feeds it through
+//!   one bounded queue (`node.ioq`) plus a self-pipe wake.
+//! * **Blocking** (legacy, kept for one release behind `--io blocking`) —
+//!   the PR-5 plane: per-neighbour writer threads with bounded queues, an
+//!   accept thread spawning one reader per inbound connection.
+//!
+//! Both planes speak the same wire protocol, so a cluster can even mix
+//! them; the e2e suite cross-checks they reach the same reconciled SP
+//! verdict under chaos.
+//!
+//! The protocol loop itself is *event-driven*: `on_timeout` (which moves
+//! the R1/R2/R6 pipeline and retransmission) fires whenever the loop did
+//! work — inbound frames, workload, deliveries — and at worst every tick
+//! when idle. Per-hop latency therefore tracks socket readiness, not the
+//! tick. Correctness is schedule-independent (the simulated suite drives
+//! the same forwarder under an adversarial scheduler), so firing timeouts
+//! faster is safe by construction.
 //!
 //! ## Control protocol
 //!
@@ -29,6 +46,7 @@
 
 use crate::chaos::{ChaosSpec, InboundChaos};
 use crate::conc::COMPONENT;
+use crate::evloop::{dial, EventPlane, NetListener, NetStream};
 use crate::frame::{frame_to_msg, msg_to_frame};
 use crate::telemetry::{LogHistogram, NodeCounters};
 use crate::tuning::TUNING;
@@ -36,15 +54,14 @@ use crate::workload::{ack_payload, is_ack, stamp_of, WorkloadGen, WorkloadSpec, 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use ssmfp_core::conc::{
-    register_thread, spawn_registered, tracked_channel, SendOutcome, TrackedMutex, TrackedSender,
+    register_thread, spawn_registered, tracked_channel, ChannelStats, SendOutcome, TrackedMutex,
+    TrackedSender,
 };
 use ssmfp_core::wire::{encode_frame, FrameReader, WireFrame};
 use ssmfp_mp::{MpForwarder, MpGhost, MpNode, Outbox};
 use ssmfp_topology::{BfsTree, Graph, NodeId};
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{TcpListener, TcpStream};
-use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
@@ -64,6 +81,35 @@ pub enum ListenSpec {
     Tcp,
 }
 
+/// Which data plane carries the node's frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoMode {
+    /// Readiness-based event loop with frame coalescing (`node.io`).
+    #[default]
+    Event,
+    /// The PR-5 thread-per-edge blocking plane (kept for one release).
+    Blocking,
+}
+
+impl IoMode {
+    /// The CLI/control-line spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IoMode::Event => "event",
+            IoMode::Blocking => "blocking",
+        }
+    }
+
+    /// Inverse of [`IoMode::as_str`].
+    pub fn parse(s: &str) -> Option<IoMode> {
+        match s {
+            "event" => Some(IoMode::Event),
+            "blocking" => Some(IoMode::Blocking),
+            _ => None,
+        }
+    }
+}
+
 /// Everything one node needs to run.
 #[derive(Debug, Clone)]
 pub struct NodeConfig {
@@ -77,6 +123,8 @@ pub struct NodeConfig {
     pub seed: u64,
     /// Listener flavour.
     pub listen: ListenSpec,
+    /// Data plane flavour.
+    pub io: IoMode,
     /// Workload shape and quota.
     pub workload: WorkloadSpec,
     /// Link chaos.
@@ -96,68 +144,15 @@ pub struct NodeReport {
     pub held: Vec<MpGhost>,
     /// One-way latency of primaries delivered here (µs).
     pub latency: LogHistogram,
+    /// Frames per coalesced `write()` (event plane; empty on blocking).
+    pub batch: LogHistogram,
     /// Transport/chaos counters.
     pub counters: NodeCounters,
 }
 
-enum NetListener {
-    Unix(UnixListener),
-    Tcp(TcpListener),
-}
-
-impl NetListener {
-    fn bind(spec: &ListenSpec, node: NodeId) -> io::Result<(Self, String)> {
-        match spec {
-            ListenSpec::Uds { dir } => {
-                let path = dir.join(format!("node{node}.sock"));
-                let _ = std::fs::remove_file(&path);
-                let l = UnixListener::bind(&path)?;
-                l.set_nonblocking(true)?;
-                Ok((NetListener::Unix(l), format!("uds:{}", path.display())))
-            }
-            ListenSpec::Tcp => {
-                let l = TcpListener::bind("127.0.0.1:0")?;
-                l.set_nonblocking(true)?;
-                let addr = l.local_addr()?;
-                Ok((NetListener::Tcp(l), format!("tcp:{addr}")))
-            }
-        }
-    }
-
-    fn accept(&self) -> io::Result<Box<dyn Read + Send>> {
-        match self {
-            NetListener::Unix(l) => {
-                let (s, _) = l.accept()?;
-                s.set_nonblocking(false)?;
-                Ok(Box::new(s))
-            }
-            NetListener::Tcp(l) => {
-                let (s, _) = l.accept()?;
-                s.set_nonblocking(false)?;
-                let _ = s.set_nodelay(true);
-                Ok(Box::new(s))
-            }
-        }
-    }
-}
-
-fn dial(addr: &str) -> io::Result<Box<dyn Write + Send>> {
-    if let Some(path) = addr.strip_prefix("uds:") {
-        Ok(Box::new(UnixStream::connect(path)?))
-    } else if let Some(sock) = addr.strip_prefix("tcp:") {
-        let s = TcpStream::connect(sock)?;
-        let _ = s.set_nodelay(true);
-        Ok(Box::new(s))
-    } else {
-        Err(io::Error::new(
-            io::ErrorKind::InvalidInput,
-            format!("bad peer address {addr:?}"),
-        ))
-    }
-}
-
 /// Per-writer supervision counters, behind the declared `writer.stats`
 /// lock (see `crate::conc`). Never held across a blocking operation.
+/// (Blocking plane only; the event plane returns its stats by value.)
 #[derive(Debug, Default)]
 struct WriterStats {
     heartbeats: u64,
@@ -165,7 +160,8 @@ struct WriterStats {
 }
 
 /// Reads frames off one inbound connection until EOF or garbage.
-fn reader_loop(mut stream: Box<dyn Read + Send>, inbound: TrackedSender<(NodeId, WireFrame)>) {
+/// (Blocking plane only.)
+fn reader_loop(mut stream: NetStream, inbound: TrackedSender<(NodeId, WireFrame)>) {
     let mut fr = FrameReader::new();
     let mut from: Option<NodeId> = None;
     let mut buf = [0u8; 4096];
@@ -198,6 +194,7 @@ fn reader_loop(mut stream: Box<dyn Read + Send>, inbound: TrackedSender<(NodeId,
     }
 }
 
+/// (Blocking plane only.)
 fn accept_loop(
     listener: NetListener,
     inbound: TrackedSender<(NodeId, WireFrame)>,
@@ -206,6 +203,9 @@ fn accept_loop(
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok(stream) => {
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
                 let tx = inbound.clone();
                 spawn_registered(COMPONENT, "net.reader", move || reader_loop(stream, tx));
             }
@@ -218,7 +218,7 @@ fn accept_loop(
 }
 
 /// Owns one outbound simplex connection: dials with backoff, Hellos,
-/// streams frames, heartbeats when idle.
+/// streams frames, heartbeats when idle. (Blocking plane only.)
 fn writer_loop(
     my_id: NodeId,
     addr: String,
@@ -228,6 +228,8 @@ fn writer_loop(
 ) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut incarnation: u32 = 0;
+    // One scratch buffer for the connection's lifetime: frames encode into
+    // it in place, no per-send allocation.
     let mut buf = Vec::with_capacity(64);
     let mut clock: u64 = 0;
     // A frame that failed mid-write is retried on the next connection —
@@ -244,8 +246,7 @@ fn writer_loop(
                     if attempt > TUNING.max_dial_attempts {
                         return;
                     }
-                    let backoff =
-                        (TUNING.backoff_base_ms << attempt.min(6)).min(TUNING.backoff_cap_ms);
+                    let backoff = TUNING.backoff_ms(attempt);
                     let jitter = rng.gen_range(0..=backoff / 2);
                     thread::sleep(Duration::from_millis(backoff + jitter));
                 }
@@ -293,6 +294,69 @@ fn writer_loop(
             if stream.write_all(&buf).is_err() {
                 carry = Some(frame);
                 continue 'connect;
+            }
+        }
+    }
+}
+
+/// The selected data plane, behind one enqueue/wake/shutdown surface.
+enum DataPlane {
+    Event(EventPlane),
+    Blocking {
+        senders: HashMap<NodeId, TrackedSender<WireFrame>>,
+        sendq_stats: Vec<Arc<ChannelStats>>,
+        writer_stats: Arc<TrackedMutex<WriterStats>>,
+    },
+}
+
+impl DataPlane {
+    fn send(&self, to: NodeId, frame: WireFrame) {
+        match self {
+            DataPlane::Event(ep) => {
+                let _ = ep.send(to, frame);
+            }
+            DataPlane::Blocking { senders, .. } => {
+                let tx = senders.get(&to).expect("send to non-neighbour");
+                let _ = tx.send(frame);
+            }
+        }
+    }
+
+    /// One nudge after a burst of sends (event plane's self-pipe; the
+    /// blocking writers wake on their own queues).
+    fn flush(&self) {
+        if let DataPlane::Event(ep) = self {
+            ep.wake();
+        }
+    }
+
+    /// Tears the plane down and folds its supervision stats into
+    /// `counters`; returns the batch histogram (empty on blocking).
+    fn shutdown(self, counters: &mut NodeCounters) -> LogHistogram {
+        match self {
+            DataPlane::Event(ep) => {
+                counters.backpressure_stalls = ep.stalls();
+                let io = ep.shutdown();
+                counters.heartbeats_sent = io.heartbeats;
+                counters.reconnects = io.reconnects;
+                counters.write_syscalls = io.write_syscalls;
+                counters.read_syscalls = io.read_syscalls;
+                counters.conn_frames_dropped = io.conn_frames_dropped;
+                io.batch
+            }
+            DataPlane::Blocking {
+                senders,
+                sendq_stats,
+                writer_stats,
+            } => {
+                {
+                    let ws = writer_stats.lock();
+                    counters.heartbeats_sent = ws.heartbeats;
+                    counters.reconnects = ws.reconnects;
+                }
+                counters.backpressure_stalls = sendq_stats.iter().map(|s| s.stall_count()).sum();
+                drop(senders); // writers drain and exit
+                LogHistogram::new()
             }
         }
     }
@@ -357,15 +421,17 @@ where
 
     // --- sockets up, report ready ---
     let (listener, my_addr) = NetListener::bind(&cfg.listen, p)?;
+    let mut listener = Some(listener);
     let stop_flag = Arc::new(AtomicBool::new(false));
     let (inbound_tx, inbound_rx, inbound_stats) =
         tracked_channel::<(NodeId, WireFrame)>(COMPONENT, model.channel_decl("node.inbound"));
-    {
+    if cfg.io == IoMode::Blocking {
+        // The event plane accepts on its own loop; the kernel backlog
+        // holds early dialers until it spins up after the peers line.
+        let l = listener.take().expect("listener");
         let tx = inbound_tx.clone();
         let stop = stop_flag.clone();
-        spawn_registered(COMPONENT, "node.accept", move || {
-            accept_loop(listener, tx, stop)
-        });
+        spawn_registered(COMPONENT, "node.accept", move || accept_loop(l, tx, stop));
     }
     writeln!(ctrl_w, "ready {my_addr}")?;
     ctrl_w.flush()?;
@@ -393,30 +459,54 @@ where
         }
     };
 
-    // --- peers, writers, start ---
+    // --- peers, data plane, start ---
     let peers_line = expect(&ctrl_rx, "peers ")?;
     let addrs: Vec<&str> = peers_line["peers ".len()..].split_whitespace().collect();
     if addrs.len() != cfg.n {
         return Err(io::Error::other("peers line has wrong arity"));
     }
-    let writer_stats = Arc::new(TrackedMutex::new(
-        model.lock_decl("writer.stats"),
-        WriterStats::default(),
-    ));
-    let mut senders: HashMap<NodeId, TrackedSender<WireFrame>> = HashMap::new();
-    let mut sendq_stats = Vec::with_capacity(neighbors.len());
-    for &q in &neighbors {
-        let (tx, rx, stats) =
-            tracked_channel::<WireFrame>(COMPONENT, model.channel_decl("node.sendq"));
-        senders.insert(q, tx);
-        sendq_stats.push(stats);
-        let addr = addrs[q].to_string();
-        let ws = writer_stats.clone();
-        let seed = cfg.seed ^ ((p as u64) << 32 | q as u64).wrapping_mul(0xDEAD_BEEF_1234_5677);
-        spawn_registered(COMPONENT, "net.writer", move || {
-            writer_loop(p, addr, rx, ws, seed)
-        });
-    }
+    let plane = match cfg.io {
+        IoMode::Event => {
+            let peers: Vec<(NodeId, String)> = neighbors
+                .iter()
+                .map(|&q| (q, addrs[q].to_string()))
+                .collect();
+            let seed = cfg.seed ^ ((p as u64) << 32).wrapping_mul(0xDEAD_BEEF_1234_5677);
+            DataPlane::Event(EventPlane::spawn(
+                p,
+                listener.take().expect("listener"),
+                peers,
+                inbound_tx.clone(),
+                seed,
+            )?)
+        }
+        IoMode::Blocking => {
+            let writer_stats = Arc::new(TrackedMutex::new(
+                model.lock_decl("writer.stats"),
+                WriterStats::default(),
+            ));
+            let mut senders: HashMap<NodeId, TrackedSender<WireFrame>> = HashMap::new();
+            let mut sendq_stats = Vec::with_capacity(neighbors.len());
+            for &q in &neighbors {
+                let (tx, rx, stats) =
+                    tracked_channel::<WireFrame>(COMPONENT, model.channel_decl("node.sendq"));
+                senders.insert(q, tx);
+                sendq_stats.push(stats);
+                let addr = addrs[q].to_string();
+                let ws = writer_stats.clone();
+                let seed =
+                    cfg.seed ^ ((p as u64) << 32 | q as u64).wrapping_mul(0xDEAD_BEEF_1234_5677);
+                spawn_registered(COMPONENT, "net.writer", move || {
+                    writer_loop(p, addr, rx, ws, seed)
+                });
+            }
+            DataPlane::Blocking {
+                senders,
+                sendq_stats,
+                writer_stats,
+            }
+        }
+    };
     expect(&ctrl_rx, "start")?;
 
     // --- main protocol loop ---
@@ -432,6 +522,10 @@ where
                 stopping = true;
             }
         }
+
+        // Did this iteration move the protocol? Drives the event-driven
+        // timeout below.
+        let mut worked = false;
 
         // Inbound: block briefly so the loop idles at TICK granularity.
         match inbound_rx.recv_timeout(TUNING.tick()) {
@@ -449,6 +543,7 @@ where
                 while let Ok((from, frame)) = inbound_rx.try_recv() {
                     push(from, frame);
                 }
+                worked = true;
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
@@ -460,14 +555,9 @@ where
             while let Some(frame) = c.poll() {
                 if let Some(msg) = frame_to_msg(&frame) {
                     fwd.on_message(q, msg, &mut out);
+                    worked = true;
                 }
             }
-        }
-
-        // Protocol timeouts.
-        if last_tick.elapsed() >= TUNING.tick() {
-            last_tick = Instant::now();
-            fwd.on_timeout(&mut out);
         }
 
         // Workload.
@@ -476,7 +566,20 @@ where
             while let Some(issue) = gen.poll(now) {
                 fwd.enqueue_send(issue.dest, issue.payload, issue.ghost);
                 gen_list.push((issue.ghost, issue.dest));
+                worked = true;
             }
+        }
+
+        // Protocol timeouts: event-driven, tick-bounded. `on_timeout`
+        // advances the R1/R2/R6 pipeline and retransmission, so firing it
+        // after every productive iteration makes per-hop latency track
+        // socket readiness instead of the tick; the idle path still fires
+        // at tick granularity so retransmission never starves. The
+        // adversarial-scheduler suite proves correctness at any firing
+        // schedule.
+        if worked || last_tick.elapsed() >= TUNING.tick() {
+            last_tick = Instant::now();
+            fwd.on_timeout(&mut out);
         }
 
         // New deliveries: record latency, issue acks, close windows.
@@ -497,14 +600,17 @@ where
             }
         }
 
-        // Ship the outbox through the bounded writer queues. The declared
-        // Block policy means a full queue stalls the loop here —
-        // backpressure propagating into the protocol, counted per queue.
+        // Ship the outbox. Event plane: frames enqueue into `node.ioq`
+        // (Block policy — a full queue stalls the loop here, the declared
+        // backpressure edge) and one wake covers the whole burst.
+        let mut sent_any = false;
         for (to, msg) in out.drain() {
-            let tx = senders.get(&to).expect("send to non-neighbour");
-            let frame = msg_to_frame(&msg);
             counters.frames_sent += 1;
-            let _ = tx.send(frame);
+            plane.send(to, msg_to_frame(&msg));
+            sent_any = true;
+        }
+        if sent_any {
+            plane.flush();
         }
 
         // Status push.
@@ -531,12 +637,7 @@ where
         counters.chaos_reordered += r;
         counters.partition_dropped += c.partition_dropped();
     }
-    {
-        let ws = writer_stats.lock();
-        counters.heartbeats_sent = ws.heartbeats;
-        counters.reconnects = ws.reconnects;
-    }
-    counters.backpressure_stalls = sendq_stats.iter().map(|s| s.stall_count()).sum();
+    let batch = plane.shutdown(&mut counters);
     counters.inbound_shed = inbound_stats.shed_count();
     // The control queue's bound dwarfs the lines-per-run the orchestrator
     // sends; its Shed policy must therefore never fire.
@@ -545,7 +646,6 @@ where
         0,
         "control lines were shed — the node.ctrl capacity argument is broken"
     );
-    drop(senders); // writers drain and exit
 
     let report = NodeReport {
         node: p,
@@ -553,6 +653,7 @@ where
         delivered: fwd.delivered.clone(),
         held: fwd.held_ghosts(),
         latency,
+        batch,
         counters,
     };
     write_report(&mut ctrl_w, &report)?;
@@ -580,6 +681,26 @@ fn parse_ghost(s: &str) -> Option<MpGhost> {
     }
 }
 
+fn write_histogram<W: Write>(w: &mut W, tag: &str, h: &LogHistogram) -> io::Result<()> {
+    write!(w, "{tag} {} {} {}", h.count(), h.max(), h.sum())?;
+    for (i, c) in h.nonzero_buckets() {
+        write!(w, " {i}:{c}")?;
+    }
+    writeln!(w)
+}
+
+fn parse_histogram(it: &mut std::str::SplitWhitespace<'_>) -> Option<LogHistogram> {
+    let _count: u64 = it.next()?.parse().ok()?;
+    let max: u64 = it.next()?.parse().ok()?;
+    let sum: u64 = it.next()?.parse().ok()?;
+    let mut pairs = Vec::new();
+    for tok in it {
+        let (i, c) = tok.split_once(':')?;
+        pairs.push((i.parse().ok()?, c.parse().ok()?));
+    }
+    Some(LogHistogram::from_parts(&pairs, max, sum))
+}
+
 /// Writes the line-based `report … end` block.
 pub fn write_report<W: Write>(w: &mut W, r: &NodeReport) -> io::Result<()> {
     writeln!(w, "report {}", r.node)?;
@@ -598,21 +719,12 @@ pub fn write_report<W: Write>(w: &mut W, r: &NodeReport) -> io::Result<()> {
         write!(w, " {}", ghost_key(g))?;
     }
     writeln!(w)?;
-    write!(
-        w,
-        "lat {} {} {}",
-        r.latency.count(),
-        r.latency.max(),
-        r.latency.sum()
-    )?;
-    for (i, c) in r.latency.nonzero_buckets() {
-        write!(w, " {i}:{c}")?;
-    }
-    writeln!(w)?;
+    write_histogram(w, "lat", &r.latency)?;
+    write_histogram(w, "bat", &r.batch)?;
     let c = &r.counters;
     writeln!(
         w,
-        "ctr {} {} {} {} {} {} {} {} {} {}",
+        "ctr {} {} {} {} {} {} {} {} {} {} {} {} {}",
         c.frames_sent,
         c.frames_received,
         c.heartbeats_sent,
@@ -622,7 +734,10 @@ pub fn write_report<W: Write>(w: &mut W, r: &NodeReport) -> io::Result<()> {
         c.chaos_reordered,
         c.partition_dropped,
         c.backpressure_stalls,
-        c.inbound_shed
+        c.inbound_shed,
+        c.write_syscalls,
+        c.read_syscalls,
+        c.conn_frames_dropped
     )?;
     writeln!(w, "end")
 }
@@ -656,17 +771,8 @@ pub fn parse_report_body(
                     r.held.push(parse_ghost(tok)?);
                 }
             }
-            "lat" => {
-                let _count: u64 = it.next()?.parse().ok()?;
-                let max: u64 = it.next()?.parse().ok()?;
-                let sum: u64 = it.next()?.parse().ok()?;
-                let mut pairs = Vec::new();
-                for tok in it {
-                    let (i, c) = tok.split_once(':')?;
-                    pairs.push((i.parse().ok()?, c.parse().ok()?));
-                }
-                r.latency = LogHistogram::from_parts(&pairs, max, sum);
-            }
+            "lat" => r.latency = parse_histogram(&mut it)?,
+            "bat" => r.batch = parse_histogram(&mut it)?,
             "ctr" => {
                 let mut next = || it.next().and_then(|t| t.parse::<u64>().ok());
                 r.counters = NodeCounters {
@@ -680,6 +786,9 @@ pub fn parse_report_body(
                     partition_dropped: next()?,
                     backpressure_stalls: next()?,
                     inbound_shed: next()?,
+                    write_syscalls: next()?,
+                    read_syscalls: next()?,
+                    conn_frames_dropped: next()?,
                 };
             }
             "end" => return Some(r),
@@ -699,12 +808,17 @@ mod tests {
         for v in [10u64, 500, 70_000] {
             lat.record(v);
         }
+        let mut bat = LogHistogram::new();
+        for v in [1u64, 1, 4, 17] {
+            bat.record(v);
+        }
         let r = NodeReport {
             node: 3,
             generated: vec![(MpGhost::Valid(7), 1), (MpGhost::Invalid(9), 0)],
             delivered: vec![MpGhost::Valid(42)],
             held: vec![],
             latency: lat,
+            batch: bat,
             counters: NodeCounters {
                 frames_sent: 1,
                 frames_received: 2,
@@ -716,6 +830,9 @@ mod tests {
                 partition_dropped: 8,
                 backpressure_stalls: 9,
                 inbound_shed: 10,
+                write_syscalls: 11,
+                read_syscalls: 12,
+                conn_frames_dropped: 13,
             },
         };
         let mut buf = Vec::new();
@@ -733,5 +850,16 @@ mod tests {
         assert_eq!(back.latency.count(), r.latency.count());
         assert_eq!(back.latency.quantile(0.5), r.latency.quantile(0.5));
         assert_eq!(back.latency.max(), r.latency.max());
+        assert_eq!(back.batch.count(), r.batch.count());
+        assert_eq!(back.batch.mean(), r.batch.mean());
+    }
+
+    #[test]
+    fn io_mode_spelling_roundtrips() {
+        for mode in [IoMode::Event, IoMode::Blocking] {
+            assert_eq!(IoMode::parse(mode.as_str()), Some(mode));
+        }
+        assert_eq!(IoMode::parse("epoll"), None);
+        assert_eq!(IoMode::default(), IoMode::Event);
     }
 }

@@ -12,7 +12,7 @@
 use crate::chaos::{ChaosSpec, PartitionSpec};
 use crate::conc::COMPONENT;
 use crate::frame::ghost_to_wire;
-use crate::node::{node_main, parse_report_body, ListenSpec, NodeConfig, NodeReport};
+use crate::node::{node_main, parse_report_body, IoMode, ListenSpec, NodeConfig, NodeReport};
 use crate::telemetry::{LogHistogram, NodeCounters};
 use crate::tuning::TUNING;
 use crate::workload::{is_ack_ghost, WorkloadKind, WorkloadSpec};
@@ -58,6 +58,8 @@ pub struct ClusterSpec {
     pub chaos: ChaosSpec,
     /// Socket flavour.
     pub listen: ListenSpec,
+    /// Data plane flavour.
+    pub io: IoMode,
     /// Launch mode.
     pub mode: RunMode,
     /// Give up (converged = false) after this long.
@@ -85,6 +87,10 @@ pub struct RunReport {
     pub throughput: f64,
     /// Merged one-way latency histogram (µs).
     pub latency: LogHistogram,
+    /// Merged frames-per-write histogram (event plane coalescing).
+    pub batch: LogHistogram,
+    /// Which data plane the run used.
+    pub io: IoMode,
     /// Summed per-node counters.
     pub counters: NodeCounters,
     /// The raw per-node reports.
@@ -120,7 +126,10 @@ impl RunReport {
                 "  \"counters\": {{\"frames_sent\": {}, \"frames_received\": {}, ",
                 "\"heartbeats_sent\": {}, \"reconnects\": {}, \"chaos_dropped\": {}, ",
                 "\"chaos_duplicated\": {}, \"chaos_reordered\": {}, \"partition_dropped\": {}, ",
-                "\"backpressure_stalls\": {}, \"inbound_shed\": {}}}\n",
+                "\"backpressure_stalls\": {}, \"inbound_shed\": {}}},\n",
+                "  \"io\": {{\"mode\": \"{}\", \"write_syscalls\": {}, \"read_syscalls\": {}, ",
+                "\"conn_frames_dropped\": {}, \"frames_per_write\": {{\"count\": {}, ",
+                "\"mean\": {:.2}, \"p50\": {}, \"p99\": {}, \"max\": {}}}}}\n",
                 "}}"
             ),
             self.topology,
@@ -157,6 +166,15 @@ impl RunReport {
             c.partition_dropped,
             c.backpressure_stalls,
             c.inbound_shed,
+            self.io.as_str(),
+            c.write_syscalls,
+            c.read_syscalls,
+            c.conn_frames_dropped,
+            self.batch.count(),
+            self.batch.mean(),
+            self.batch.quantile(0.50),
+            self.batch.quantile(0.99),
+            self.batch.max(),
         )
     }
 }
@@ -274,6 +292,8 @@ pub fn node_args(cfg: &NodeConfig) -> Vec<String> {
         cfg.seed.to_string(),
         "--listen".into(),
         listen,
+        "--io".into(),
+        cfg.io.as_str().into(),
         "--workload".into(),
         workload,
         "--chaos".into(),
@@ -290,6 +310,7 @@ pub fn parse_node_args(args: &[String]) -> Result<NodeConfig, String> {
         edges: Vec::new(),
         seed: 0,
         listen: ListenSpec::Tcp,
+        io: IoMode::default(),
         workload: WorkloadSpec {
             kind: WorkloadKind::Closed { outstanding: 1 },
             messages: 0,
@@ -329,6 +350,10 @@ pub fn parse_node_args(args: &[String]) -> Result<NodeConfig, String> {
                 } else {
                     return Err(format!("bad --listen {v:?}"));
                 };
+            }
+            "--io" => {
+                let v = val()?;
+                cfg.io = IoMode::parse(v).ok_or_else(|| format!("bad --io {v:?}"))?;
             }
             "--workload" => cfg.workload = parse_workload(val()?)?,
             "--chaos" => cfg.chaos = parse_chaos(val()?)?,
@@ -392,6 +417,7 @@ fn node_config(spec: &ClusterSpec, p: usize) -> NodeConfig {
         edges: spec.graph.edges().to_vec(),
         seed: spec.seed,
         listen: spec.listen.clone(),
+        io: spec.io,
         workload: spec.workload,
         chaos: spec.chaos,
     }
@@ -591,10 +617,12 @@ pub fn run_cluster(spec: &ClusterSpec) -> io::Result<RunReport> {
         .collect();
     let verdict = reconcile_ledgers(&ledgers);
     let mut latency = LogHistogram::new();
+    let mut batch = LogHistogram::new();
     let mut counters = NodeCounters::default();
     let mut primaries_delivered = 0u64;
     for r in &nodes {
         latency.merge(&r.latency);
+        batch.merge(&r.batch);
         primaries_delivered += r.delivered.iter().filter(|&&g| !is_ack_ghost(g)).count() as u64;
         let c = &r.counters;
         counters.frames_sent += c.frames_sent;
@@ -607,6 +635,9 @@ pub fn run_cluster(spec: &ClusterSpec) -> io::Result<RunReport> {
         counters.partition_dropped += c.partition_dropped;
         counters.backpressure_stalls += c.backpressure_stalls;
         counters.inbound_shed += c.inbound_shed;
+        counters.write_syscalls += c.write_syscalls;
+        counters.read_syscalls += c.read_syscalls;
+        counters.conn_frames_dropped += c.conn_frames_dropped;
     }
     let throughput = if wall_s > 0.0 {
         primaries_delivered as f64 / wall_s
@@ -623,6 +654,8 @@ pub fn run_cluster(spec: &ClusterSpec) -> io::Result<RunReport> {
         primaries_delivered,
         throughput,
         latency,
+        batch,
+        io: spec.io,
         counters,
         nodes,
     })
@@ -642,6 +675,7 @@ mod tests {
             listen: ListenSpec::Uds {
                 dir: PathBuf::from("/tmp/x"),
             },
+            io: IoMode::Blocking,
             workload: WorkloadSpec {
                 kind: WorkloadKind::Open {
                     rate_per_sec: 250.0,
@@ -666,8 +700,35 @@ mod tests {
         assert_eq!(back.edges, cfg.edges);
         assert_eq!(back.seed, cfg.seed);
         assert_eq!(back.listen, cfg.listen);
+        assert_eq!(back.io, cfg.io);
         assert_eq!(back.workload, cfg.workload);
         assert_eq!(back.chaos, cfg.chaos);
+    }
+
+    #[test]
+    fn io_mode_defaults_to_event_when_flag_absent() {
+        let args: Vec<String> = [
+            "--id",
+            "0",
+            "--n",
+            "2",
+            "--edges",
+            "0-1",
+            "--seed",
+            "1",
+            "--listen",
+            "tcp",
+            "--workload",
+            "closed:1:1",
+            "--chaos",
+            "0:0",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let cfg = parse_node_args(&args).unwrap();
+        assert_eq!(cfg.io, IoMode::Event);
+        assert!(parse_node_args(&["--io".to_string(), "epoll".to_string()]).is_err());
     }
 
     #[test]

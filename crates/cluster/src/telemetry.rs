@@ -175,6 +175,17 @@ pub struct NodeCounters {
     /// the protocol's retransmission tolerates (see the declared channel
     /// policy in `crate::conc`).
     pub inbound_shed: u64,
+    /// `write()` syscalls on data connections (event plane; zero on the
+    /// blocking plane, which does not instrument its writers). Together
+    /// with `frames_sent` this makes the coalescing ratio observable:
+    /// frames per write ≈ `frames_sent / write_syscalls`.
+    pub write_syscalls: u64,
+    /// `read()` syscalls that returned data (event plane only).
+    pub read_syscalls: u64,
+    /// Frames lost with a dying connection or shed at the per-connection
+    /// out-buffer cap (event plane) — counted wire drops, distinct from
+    /// the chaos shim's deliberate ones.
+    pub conn_frames_dropped: u64,
 }
 
 #[cfg(test)]

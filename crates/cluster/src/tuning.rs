@@ -56,13 +56,39 @@ pub struct ClusterTuning {
     pub proc_exit_grace_s: u64,
     /// Poll interval while waiting for a node process to exit.
     pub proc_wait_poll_ms: u64,
+    /// Bounded main→io frame queue depth (`node.ioq`, event-loop data
+    /// plane). Full queue **blocks** the protocol loop — the same
+    /// backpressure contract `node.sendq` has on the blocking plane.
+    pub io_queue: usize,
+    /// Adaptive-batching byte budget: the event loop stops appending
+    /// queued frames to one connection's write buffer past this many
+    /// pending bytes and flushes first. When the loop is idle a single
+    /// frame flushes immediately — the budget only shapes behaviour under
+    /// load.
+    pub batch_max_bytes: usize,
+    /// Adaptive-batching frame budget per `write()` (same role as
+    /// [`ClusterTuning::batch_max_bytes`], counted in frames).
+    pub batch_max_frames: usize,
+    /// Hard cap on bytes buffered for one congested connection. Beyond
+    /// it, new frames for that peer are shed as counted wire drops (the
+    /// retransmission path recovers), which keeps the write buffer — and
+    /// therefore the zero-realloc guarantee — bounded even against a peer
+    /// that stops reading.
+    pub out_buf_cap_bytes: usize,
+    /// Size of the event loop's reusable read scratch buffer.
+    pub io_read_chunk: usize,
+    /// Best-effort flush window for still-buffered frames at shutdown.
+    pub io_flush_grace_ms: u64,
 }
 
 /// The tuning the cluster runtime actually runs with.
 pub const TUNING: ClusterTuning = ClusterTuning {
     tick_ms: 1,
     heartbeat_ms: 50,
-    status_every_ms: 25,
+    // 10ms: with `stable_snapshots: 3` the convergence-detection tail is
+    // ~30-40ms of every run's wall clock. At 25ms the tail dwarfed short
+    // benchmark runs on the event-driven plane.
+    status_every_ms: 10,
     accept_poll_ms: 2,
     send_queue: 1024,
     inbound_queue: 4096,
@@ -75,6 +101,12 @@ pub const TUNING: ClusterTuning = ClusterTuning {
     report_grace_s: 20,
     proc_exit_grace_s: 5,
     proc_wait_poll_ms: 10,
+    io_queue: 4096,
+    batch_max_bytes: 32 * 1024,
+    batch_max_frames: 512,
+    out_buf_cap_bytes: 256 * 1024,
+    io_read_chunk: 64 * 1024,
+    io_flush_grace_ms: 50,
 };
 
 impl Default for ClusterTuning {
@@ -117,5 +149,17 @@ impl ClusterTuning {
     /// [`ClusterTuning::proc_wait_poll_ms`] as a `Duration`.
     pub fn proc_wait_poll(&self) -> Duration {
         Duration::from_millis(self.proc_wait_poll_ms)
+    }
+
+    /// [`ClusterTuning::io_flush_grace_ms`] as a `Duration`.
+    pub fn io_flush_grace(&self) -> Duration {
+        Duration::from_millis(self.io_flush_grace_ms)
+    }
+
+    /// Reconnect backoff for the given in-session attempt number, in ms
+    /// (exclusive of jitter). Shared by both data planes so the blocking
+    /// and event-loop reconnect schedules agree.
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        (self.backoff_base_ms << attempt.min(6)).min(self.backoff_cap_ms)
     }
 }

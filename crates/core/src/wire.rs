@@ -412,8 +412,15 @@ impl FrameReader {
 
     /// Appends received bytes.
     pub fn extend(&mut self, bytes: &[u8]) {
-        // Compact lazily: only when the consumed prefix dominates.
-        if self.at > 4096 && self.at * 2 > self.buf.len() {
+        if self.at == self.buf.len() {
+            // Fully consumed: recycle capacity for free instead of
+            // letting the dead prefix grow toward the compaction
+            // threshold — the common case on the event loop's incremental
+            // readiness reads, where most reads end frame-aligned.
+            self.buf.clear();
+            self.at = 0;
+        } else if self.at > 4096 && self.at * 2 > self.buf.len() {
+            // Compact lazily: only when the consumed prefix dominates.
             self.buf.drain(..self.at);
             self.at = 0;
         }

@@ -219,6 +219,13 @@ pub trait Transport<M> {
     /// exist in the topology.
     fn send(&mut self, link: LinkId, msg: M);
 
+    /// Advances any nonblocking machinery the transport owns: flush
+    /// coalesced write buffers, poll readiness, run reconnect/heartbeat
+    /// timers. Called once at the top of every scheduler step. The
+    /// default is a no-op — purely in-memory transports (and transports
+    /// whose I/O runs on background threads) have nothing to drive.
+    fn drive(&mut self) {}
+
     /// Appends every link that currently has at least one deliverable
     /// message to `out` (cleared by the caller). For socket transports
     /// this drains readable OS buffers first, so "deliverable" means the
@@ -436,6 +443,7 @@ impl<N: MpNode, T: Transport<N::Msg>> MpNetwork<N, T> {
     /// Executes one scheduler step. Returns the event, or `None` if the
     /// system is fully quiescent (no in-flight messages, all nodes idle).
     pub fn step(&mut self) -> Option<SchedulerEvent> {
+        self.transport.drive();
         let mut busy_links = std::mem::take(&mut self.busy_scratch);
         busy_links.clear();
         self.transport.busy_links(&mut busy_links);
