@@ -13,7 +13,10 @@
 //!
 //! It also emits `BENCH_cluster.json` (socket-cluster end-to-end
 //! throughput and one-way latency quantiles: line-5 and caterpillar(3,2)
-//! topologies, closed- and open-loop workloads over Unix-domain sockets).
+//! topologies, closed- and open-loop workloads over Unix-domain sockets)
+//! and `BENCH_scale.json` (the same end-to-end pipeline on 25-, 64- and
+//! 100-node grids with a sharded orchestrator: throughput and latency
+//! versus node count).
 //!
 //! Usage: `perf [--quick] [--threads N] [--out-dir DIR] [--baseline DIR]`
 //!
@@ -511,6 +514,7 @@ fn cluster_run(
     graph: Graph,
     kind: ssmfp_cluster::WorkloadKind,
     messages: u64,
+    shards: usize,
     dir: &std::path::Path,
 ) -> ssmfp_cluster::RunReport {
     let spec = ssmfp_cluster::ClusterSpec {
@@ -522,9 +526,9 @@ fn cluster_run(
         listen: ssmfp_cluster::ListenSpec::Uds {
             dir: dir.to_path_buf(),
         },
-        io: ssmfp_cluster::IoMode::Event,
+        shards,
         mode: ssmfp_cluster::RunMode::Inproc,
-        timeout: std::time::Duration::from_secs(120),
+        timeout: std::time::Duration::from_secs(180),
     };
     ssmfp_cluster::run_cluster(&spec).unwrap_or_else(|e| {
         eprintln!("perf: cluster run {topology} failed: {e}");
@@ -578,7 +582,7 @@ fn bench_cluster(opts: &Options, json: &mut String) {
     let mut i = 0;
     for (topo_name, graph) in &topologies {
         for (wl_name, kind) in workloads {
-            let report = cluster_run(topo_name, graph.clone(), kind, msgs, &dir);
+            let report = cluster_run(topo_name, graph.clone(), kind, msgs, 1, &dir);
             if !report.clean() {
                 eprintln!("perf: CLUSTER RUN NOT CLEAN on {topo_name}/{wl_name}");
                 std::process::exit(1);
@@ -612,6 +616,71 @@ fn bench_cluster(opts: &Options, json: &mut String) {
             writeln!(json, "    }}{}", if i == last { "" } else { "," }).unwrap();
             i += 1;
         }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+}
+
+/// Scale sweep: closed-loop grid workloads at 25, 64 and 100 nodes over
+/// UDS, 4 orchestrator shards, no chaos — measures how end-to-end
+/// throughput scales with topology size under the one-thread-per-node
+/// data plane and the sharded control plane. The regression gate reads
+/// `msgs_per_sec` only; p99 is reported for the record (tail latency on
+/// a shared core is too noisy for a 25% floor).
+fn bench_scale(opts: &Options, json: &mut String) {
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"scale\",").unwrap();
+    writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if opts.quick { "quick" } else { "full" }
+    )
+    .unwrap();
+    writeln!(json, "  \"instances\": [").unwrap();
+
+    // Per-node message counts: enough that the drain window dominates the
+    // fixed convergence tail even at 25 nodes, small enough that the
+    // 100-node quick run stays CI-sized.
+    let msgs: u64 = if opts.quick { 30 } else { 200 };
+    let shards = 4;
+    let grids: [(&str, usize, usize); 3] = [
+        ("grid-5x5", 5, 5),
+        ("grid-8x8", 8, 8),
+        ("grid-10x10", 10, 10),
+    ];
+    let dir = std::env::temp_dir().join(format!("ssmfp-perf-scale-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scale bench dir");
+    let last = grids.len() - 1;
+    for (i, (name, rows, cols)) in grids.into_iter().enumerate() {
+        let graph = gen::grid(rows, cols);
+        let kind = ssmfp_cluster::WorkloadKind::Closed { outstanding: 2 };
+        let report = cluster_run(name, graph, kind, msgs, shards, &dir);
+        if !report.clean() {
+            eprintln!("perf: SCALE RUN NOT CLEAN on {name}");
+            std::process::exit(1);
+        }
+        let (p50, p99) = (report.latency.quantile(0.50), report.latency.quantile(0.99));
+        eprintln!(
+            "scale | {:<12} | n={:>3} shards={} | {:>5} primaries | {:>8.0} msg/s | p50 {:>7} us | p99 {:>7} us | wall {:.2}s",
+            name, report.n, report.shards, report.primaries_delivered, report.throughput, p50, p99, report.wall_s
+        );
+        writeln!(json, "    {{").unwrap();
+        writeln!(json, "      \"name\": \"{name}\",").unwrap();
+        writeln!(json, "      \"n\": {},", report.n).unwrap();
+        writeln!(json, "      \"shards\": {},", report.shards).unwrap();
+        writeln!(
+            json,
+            "      \"primaries_delivered\": {},",
+            report.primaries_delivered
+        )
+        .unwrap();
+        writeln!(json, "      \"wall_s\": {:.4},", report.wall_s).unwrap();
+        writeln!(json, "      \"msgs_per_sec\": {:.1},", report.throughput).unwrap();
+        writeln!(json, "      \"p50_us\": {p50},").unwrap();
+        writeln!(json, "      \"p99_us\": {p99},").unwrap();
+        writeln!(json, "      \"clean\": {}", report.clean()).unwrap();
+        writeln!(json, "    }}{}", if i == last { "" } else { "," }).unwrap();
     }
     let _ = std::fs::remove_dir_all(&dir);
     writeln!(json, "  ]").unwrap();
@@ -704,14 +773,15 @@ fn compare_file(label: &str, key: &str, baseline: &str, current: &str) -> usize 
 /// `dir`. Missing baseline files are skipped with a note (so a baseline
 /// directory can predate `BENCH_state.json`). Exits nonzero on any >25%
 /// throughput regression.
-fn compare_baseline(dir: &str, check: &str, engine: &str, state: &str, cluster: &str) {
+fn compare_baseline(dir: &str, check: &str, engine: &str, state: &str, cluster: &str, scale: &str) {
     let mut regressions = 0;
-    let files: [(&str, &str, &str, &str); 5] = [
+    let files: [(&str, &str, &str, &str); 6] = [
         ("check", "BENCH_check.json", "states_per_sec", check),
         ("engine", "BENCH_engine.json", "steps_per_sec", engine),
         ("state", "BENCH_state.json", "nodes_per_sec", state),
         ("state", "BENCH_state.json", "compression", state),
         ("cluster", "BENCH_cluster.json", "msgs_per_sec", cluster),
+        ("scale", "BENCH_scale.json", "msgs_per_sec", scale),
     ];
     for (label, file, key, current) in files {
         match std::fs::read_to_string(format!("{dir}/{file}")) {
@@ -736,18 +806,29 @@ fn main() {
     bench_state(&opts, &mut state_json);
     let mut cluster_json = String::new();
     bench_cluster(&opts, &mut cluster_json);
+    let mut scale_json = String::new();
+    bench_scale(&opts, &mut scale_json);
 
     let check_path = format!("{}/BENCH_check.json", opts.out_dir);
     let engine_path = format!("{}/BENCH_engine.json", opts.out_dir);
     let state_path = format!("{}/BENCH_state.json", opts.out_dir);
     let cluster_path = format!("{}/BENCH_cluster.json", opts.out_dir);
+    let scale_path = format!("{}/BENCH_scale.json", opts.out_dir);
     std::fs::write(&check_path, &check_json).expect("write BENCH_check.json");
     std::fs::write(&engine_path, &engine_json).expect("write BENCH_engine.json");
     std::fs::write(&state_path, &state_json).expect("write BENCH_state.json");
     std::fs::write(&cluster_path, &cluster_json).expect("write BENCH_cluster.json");
-    eprintln!("wrote {check_path}, {engine_path}, {state_path} and {cluster_path}");
+    std::fs::write(&scale_path, &scale_json).expect("write BENCH_scale.json");
+    eprintln!("wrote {check_path}, {engine_path}, {state_path}, {cluster_path} and {scale_path}");
 
     if let Some(dir) = &opts.baseline {
-        compare_baseline(dir, &check_json, &engine_json, &state_json, &cluster_json);
+        compare_baseline(
+            dir,
+            &check_json,
+            &engine_json,
+            &state_json,
+            &cluster_json,
+            &scale_json,
+        );
     }
 }

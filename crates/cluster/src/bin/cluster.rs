@@ -1,9 +1,9 @@
 //! `ssmfp-cluster`: run an SSMFP topology as real nodes over sockets.
 //!
 //! ```text
-//! ssmfp-cluster [--topology line:5] [--workload closed:4:200] [--seed 1]
+//! ssmfp-cluster [--topology grid:10x10] [--workload closed:4:200] [--seed 1]
 //!               [--faults 2] [--partition 20:40] [--transport uds|tcp]
-//!               [--io event|blocking] [--inproc] [--timeout-s 60]
+//!               [--shards K] [--inproc] [--timeout-s 60]
 //!               [--json FILE] [--quiet]
 //! ```
 //!
@@ -13,7 +13,7 @@
 
 use ssmfp_cluster::{
     node_main, parse_chaos, parse_node_args, parse_workload, pick_partition, run_cluster,
-    ChaosSpec, ClusterSpec, IoMode, ListenSpec, RunMode, WorkloadKind, WorkloadSpec,
+    ChaosSpec, ClusterSpec, CtrlPipe, ListenSpec, RunMode, WorkloadKind, WorkloadSpec,
 };
 use ssmfp_topology::{gen, Graph};
 use std::io::Write;
@@ -35,8 +35,9 @@ USAGE:
     ssmfp-cluster [OPTIONS]
 
 OPTIONS:
-    --topology SPEC    line:N | ring:N | star:N | caterpillar:S:L | grid:R:C
-                       (default line:5)
+    --topology SPEC    line:N | ring:N | star:N | caterpillar:S:L |
+                       grid:RxC | torus:RxC   (also grid:R:C / torus:R:C;
+                       default line:5)
     --workload SPEC    open:<rate/s>:<msgs> | closed:<K>:<msgs> per node
                        (default closed:4:50)
     --seed S           run seed (default 1)
@@ -44,8 +45,8 @@ OPTIONS:
     --partition F:L    one partition/heal cycle: drop data-plane arrivals
                        [F, F+L) on a seed-picked edge (default off)
     --transport T      uds | tcp (default uds)
-    --io MODE          event (poll-based coalescing data plane, default) |
-                       blocking (legacy thread-per-edge plane)
+    --shards K         orchestrator shards, each supervising a node group
+                       (default: one per 25 nodes; clamped to 1..=n)
     --inproc           nodes as threads instead of processes
     --timeout-s T      convergence timeout in seconds (default 60)
     --json FILE        write the JSON run report to FILE ('-' = stdout)
@@ -57,18 +58,32 @@ OPTIONS:
 
 fn parse_topology(s: &str) -> Result<(String, Graph), String> {
     let parts: Vec<&str> = s.split(':').collect();
-    let num = |i: usize| -> Result<usize, String> {
-        parts
-            .get(i)
-            .and_then(|t| t.parse().ok())
+    let num = |t: Option<&&str>| -> Result<usize, String> {
+        t.and_then(|t| t.parse().ok())
             .ok_or_else(|| format!("bad topology {s:?}"))
     };
+    // grid:10x10 / torus:4x8 are the compact forms; grid:R:C still works.
+    let dims = |spec: &str| -> Result<(usize, usize), String> {
+        let (r, c) = spec
+            .split_once('x')
+            .ok_or_else(|| format!("bad topology {s:?} (want RxC)"))?;
+        Ok((num(Some(&r))?, num(Some(&c))?))
+    };
     let g = match (parts[0], parts.len()) {
-        ("line", 2) => gen::line(num(1)?),
-        ("ring", 2) => gen::ring(num(1)?),
-        ("star", 2) => gen::star(num(1)?),
-        ("caterpillar", 3) => gen::caterpillar(num(1)?, num(2)?),
-        ("grid", 3) => gen::grid(num(1)?, num(2)?),
+        ("line", 2) => gen::line(num(parts.get(1))?),
+        ("ring", 2) => gen::ring(num(parts.get(1))?),
+        ("star", 2) => gen::star(num(parts.get(1))?),
+        ("caterpillar", 3) => gen::caterpillar(num(parts.get(1))?, num(parts.get(2))?),
+        ("grid", 2) => {
+            let (r, c) = dims(parts[1])?;
+            gen::grid(r, c)
+        }
+        ("grid", 3) => gen::grid(num(parts.get(1))?, num(parts.get(2))?),
+        ("torus", 2) => {
+            let (r, c) = dims(parts[1])?;
+            gen::torus(r, c)
+        }
+        ("torus", 3) => gen::torus(num(parts.get(1))?, num(parts.get(2))?),
         _ => return Err(format!("unknown topology {s:?}")),
     };
     Ok((s.to_string(), g))
@@ -77,13 +92,13 @@ fn parse_topology(s: &str) -> Result<(String, Graph), String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
-    // Hidden per-node worker mode (spawned by the orchestrator).
+    // Hidden per-node worker mode (spawned by a shard supervisor).
     if args.first().map(String::as_str) == Some("--node-worker") {
         let cfg = match parse_node_args(&args[1..]) {
             Ok(c) => c,
             Err(e) => die(&e),
         };
-        return match node_main(&cfg, std::io::stdin(), std::io::stdout()) {
+        return match node_main(&cfg, CtrlPipe::Stdio) {
             Ok(_) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("ssmfp-cluster node {}: {e}", cfg.node);
@@ -101,7 +116,7 @@ fn main() -> ExitCode {
     let mut faults: u32 = 0;
     let mut partition: Option<(u64, u64)> = None;
     let mut transport = "uds".to_string();
-    let mut io = IoMode::default();
+    let mut shards: Option<usize> = None;
     let mut inproc = false;
     let mut timeout_s: u64 = 60;
     let mut json: Option<String> = None;
@@ -152,10 +167,13 @@ fn main() -> ExitCode {
                     die(&format!("bad --transport {transport:?} (want uds|tcp)"));
                 }
             }
-            "--io" => {
+            "--shards" => {
                 let v = val();
-                io = IoMode::parse(v)
-                    .unwrap_or_else(|| die(&format!("bad --io {v:?} (want event|blocking)")));
+                let k: usize = v.parse().unwrap_or_else(|e| die(&format!("--shards: {e}")));
+                if k == 0 {
+                    die("--shards must be at least 1");
+                }
+                shards = Some(k);
             }
             "--inproc" => inproc = true,
             "--timeout-s" => {
@@ -181,6 +199,7 @@ fn main() -> ExitCode {
     if graph.n() < 2 {
         die("topology needs at least 2 nodes");
     }
+    let shards = shards.unwrap_or_else(|| graph.n().div_ceil(25));
     // An ignored side effect of `--chaos` syntax reuse: validate early so
     // the worker round-trip can't fail later.
     let chaos = ChaosSpec {
@@ -217,7 +236,7 @@ fn main() -> ExitCode {
         workload,
         chaos,
         listen,
-        io,
+        shards,
         mode,
         timeout: Duration::from_secs(timeout_s),
     };
@@ -234,11 +253,12 @@ fn main() -> ExitCode {
     if !quiet {
         let v = &report.verdict;
         eprintln!(
-            "{}: n={} seed={} converged={} wall={:.2}s generated={} exactly_once={} \
+            "{}: n={} seed={} shards={} converged={} wall={:.2}s generated={} exactly_once={} \
              violations={} | {:.0} msg/s p50={}µs p99={}µs | chaos d/u/r={}/{}/{} part={}",
             report.topology,
             report.n,
             report.seed,
+            report.shards,
             report.converged,
             report.wall_s,
             v.generated,

@@ -1,54 +1,43 @@
 //! The cluster runtime's declared concurrency model.
 //!
-//! Every thread role, lock, cross-thread channel and blocking edge of
+//! Every thread role, cross-thread channel and blocking edge of
 //! `node.rs`/`orchestrator.rs`, declared as data for `ssmfp-lint`'s
 //! `conc-*` passes and for the debug-build runtime assertions. Bounds come
 //! from the same [`ClusterTuning`] the running code consumes, so the
 //! declaration cannot drift from the implementation.
 //!
-//! ## The shape of the graph
+//! ## The shape of the graph (PR 8: a control *tree*)
 //!
-//! Per node on the default **event** data plane: a main protocol loop,
-//! one `node.io` event-loop thread multiplexing every socket through
-//! `poll(2)`, and a control-pipe reader. The legacy **blocking** plane
-//! (`--io blocking`, kept for one release) instead runs an accept
-//! thread, one reader per inbound connection and one writer per
-//! neighbour — both planes stay declared here because the e2e suite
-//! asserts observed ⊆ declared whichever plane a run selects. The
-//! orchestrator adds its own main thread and one line-reader per node.
-//! Channels:
+//! Three roles, period:
 //!
-//! * `node.ioq` (event plane, blocks when full) / `node.sendq` (blocking
-//!   plane, per neighbour, blocks when full) — the *only* places
-//!   backpressure deliberately stalls the protocol loop;
-//! * `node.inbound` (sheds when full) — shedding here is a wire drop the
-//!   protocol's retransmission tolerates, and it is what breaks the
-//!   cross-node cycle `main → outbound queue → socket → peer read side →
-//!   peer inbound → peer main` on either plane;
-//! * `node.ctrl` and `orch.lines` — control-plane line muxes.
+//! * `orch.main` — the run driver. Spawns shard supervisors, distributes
+//!   `peers`/`start`/`stop` over per-shard socketpairs, and drains the
+//!   one channel (`orch.shard`) everything flows up through.
+//! * `shard.super` — one per shard: supervises a group of nodes (spawns
+//!   threads inproc, processes in proc mode), polls their control pipes,
+//!   pre-merges status/telemetry, forwards control lines downward with
+//!   POLLOUT-gated nonblocking writes.
+//! * `node.main` — one per node, and the *only* thread a node has: the
+//!   [`crate::evloop::NodeLoop`] multiplexes ctrl + listener + every data
+//!   connection through one `poll(2)` set and runs the protocol engine
+//!   between I/O bursts.
 //!
-//! Every wait the `node.io` thread declares is **timed**: its `poll` has
-//! a deadline (the nearest heartbeat/reconnect timer), its sockets are
-//! nonblocking, and it drains `node.ioq` with `try_recv`. It therefore
-//! adds no untimed arc to the wait-for graph — the deadlock analysis
-//! stays cycle-free by the same argument as before, now with the io
-//! thread guaranteed to keep draining both directions of every socket.
+//! Every data-plane wait is timed (nonblocking sockets behind a poll
+//! deadline). Exactly two untimed edges remain, and they form a chain up
+//! the control tree — `node.main` blocking-writes status/report lines to
+//! its shard (which polls node pipes unconditionally), and `shard.super`
+//! blocking-sends on `orch.shard` (which `orch.main` drains with a
+//! timeout). Leaf → shard → root is acyclic by construction; the
+//! `conc-deadlock` lint checks it, and flipping any downward control
+//! write to untimed re-closes the old orchestrator cycle (a red test
+//! keeps that detection honest).
 //!
-//! `node.ctrl` sheds rather than blocks: the orchestrator sends a
-//! handful of lines per run, far below the bound, so shedding is
-//! *impossible* — and the node asserts at shutdown (debug builds) that
-//! its shed count is zero, turning the capacity argument into a checked
-//! invariant instead of a blocking edge that would close a wait cycle
-//! through the orchestrator.
-//!
-//! One lock: `writer.stats`, the per-writer heartbeat/reconnect counters
-//! the main loop reads at shutdown. It is never held across a blocking
-//! operation (lint `conc-hold-across-block` keeps it that way).
+//! No locks remain: the writer-stats mutex died with the blocking plane.
 
 use crate::tuning::ClusterTuning;
 use ssmfp_core::conc::{
-    BlockingEdge, ChannelDecl, ConcModel, FullPolicy, LockDecl, Multiplicity, ThreadDecl,
-    WaitPoint, EXTERN_ROLE,
+    BlockingEdge, ChannelDecl, ConcModel, FullPolicy, Multiplicity, ThreadDecl, WaitPoint,
+    EXTERN_ROLE,
 };
 
 /// Component name under which cluster threads register.
@@ -63,224 +52,103 @@ pub fn model(t: &ClusterTuning) -> ConcModel {
                 role: "orch.main",
                 multiplicity: Multiplicity::One,
                 spawned_by: EXTERN_ROLE,
-                doc: "drives the run: launches nodes, muxes their lines, declares convergence",
+                doc: "drives the run: spawns shards, distributes control, declares convergence",
             },
             ThreadDecl {
-                role: "orch.line-reader",
-                multiplicity: Multiplicity::PerNode,
+                role: "shard.super",
+                multiplicity: Multiplicity::PerShard,
                 spawned_by: "orch.main",
-                doc: "reads one node's status/report lines into orch.lines",
+                doc: "supervises one node group: polls ctrl pipes, pre-merges status/telemetry",
             },
             ThreadDecl {
                 role: "node.main",
                 multiplicity: Multiplicity::PerNode,
-                spawned_by: "orch.main",
-                doc: "the protocol loop: inbound frames, timeouts, workload, outbox",
-            },
-            ThreadDecl {
-                role: "node.io",
-                multiplicity: Multiplicity::PerNode,
-                spawned_by: "node.main",
-                doc: "event plane: poll(2)-multiplexes listener + every connection, \
-                      coalesces writes, owns heartbeat/reconnect deadlines",
-            },
-            ThreadDecl {
-                role: "node.accept",
-                multiplicity: Multiplicity::PerNode,
-                spawned_by: "node.main",
-                doc: "blocking plane: polls the listener, spawns one reader per inbound connection",
-            },
-            ThreadDecl {
-                role: "net.reader",
-                multiplicity: Multiplicity::PerConnection,
-                spawned_by: "node.accept",
-                doc: "decodes frames off one inbound connection into node.inbound",
-            },
-            ThreadDecl {
-                role: "net.writer",
-                multiplicity: Multiplicity::PerNeighbor,
-                spawned_by: "node.main",
-                doc: "owns one outbound connection: dials, Hellos, streams, heartbeats",
-            },
-            ThreadDecl {
-                role: "ctrl.reader",
-                multiplicity: Multiplicity::PerNode,
-                spawned_by: "node.main",
-                doc: "reads orchestrator control lines into node.ctrl",
+                spawned_by: "shard.super",
+                doc: "the whole node: poll(2)-multiplexed ctrl/listener/connections plus \
+                      the protocol engine, one thread total",
             },
         ],
-        locks: vec![LockDecl {
-            name: "writer.stats",
-            rank: 10,
-            doc: "per-writer heartbeat/reconnect counters, read by node.main at shutdown",
+        locks: vec![],
+        channels: vec![ChannelDecl {
+            name: "orch.shard",
+            senders: vec!["shard.super"],
+            receiver: "orch.main",
+            bound: Some(t.orch_shard_queue),
+            policy: Some(FullPolicy::Block),
+            doc: "shard → orchestrator upstream: ready sets, merged status, shard reports",
         }],
-        channels: vec![
-            ChannelDecl {
-                name: "node.inbound",
-                senders: vec!["net.reader", "node.io"],
-                receiver: "node.main",
-                bound: Some(t.inbound_queue),
-                policy: Some(FullPolicy::Shed),
-                doc: "decoded inbound frames; sheds when full (a tolerated wire drop)",
-            },
-            ChannelDecl {
-                name: "node.ioq",
-                senders: vec!["node.main"],
-                receiver: "node.io",
-                bound: Some(t.io_queue),
-                policy: Some(FullPolicy::Block),
-                doc: "event plane outbound frames; blocking is the backpressure path",
-            },
-            ChannelDecl {
-                name: "node.sendq",
-                senders: vec!["node.main"],
-                receiver: "net.writer",
-                bound: Some(t.send_queue),
-                policy: Some(FullPolicy::Block),
-                doc: "blocking plane per-neighbour outbound frames; blocking is the \
-                      backpressure path",
-            },
-            ChannelDecl {
-                name: "node.ctrl",
-                senders: vec!["ctrl.reader"],
-                receiver: "node.main",
-                bound: Some(t.ctrl_queue),
-                policy: Some(FullPolicy::Shed),
-                doc: "orchestrator control lines; bound >> lines-per-run, shed asserted zero",
-            },
-            ChannelDecl {
-                name: "orch.lines",
-                senders: vec!["orch.line-reader"],
-                receiver: "orch.main",
-                bound: Some(t.orch_line_queue),
-                policy: Some(FullPolicy::Block),
-                doc: "per-node line mux feeding the orchestrator's event loop",
-            },
-        ],
         edges: vec![
-            // node.main
+            // node.main — every data-plane wait is a timed poll; the one
+            // untimed edge is the blocking status/report write up to the
+            // shard, which drains node pipes unconditionally.
             BlockingEdge {
                 thread: "node.main",
-                waits: WaitPoint::ChanRecv("node.inbound"),
+                waits: WaitPoint::SockRead("node.main"),
                 holding: vec![],
-                timed: true, // recv_timeout(tick)
-            },
-            BlockingEdge {
-                thread: "node.main",
-                waits: WaitPoint::ChanSend("node.ioq"),
-                holding: vec![],
-                timed: false, // backpressure: deliberately stalls the loop
+                timed: true, // nonblocking reads behind the poll deadline
             },
             BlockingEdge {
                 thread: "node.main",
-                waits: WaitPoint::ChanSend("node.sendq"),
+                waits: WaitPoint::SockWrite("node.main"),
                 holding: vec![],
-                timed: false, // backpressure: deliberately stalls the loop
+                timed: true, // nonblocking writes, POLLOUT-driven retry
             },
             BlockingEdge {
                 thread: "node.main",
-                waits: WaitPoint::SockWrite("orch.line-reader"),
-                holding: vec![],
-                timed: false, // status/report lines into the control pipe
-            },
-            BlockingEdge {
-                thread: "node.main",
-                waits: WaitPoint::LockAcquire("writer.stats"),
-                holding: vec![],
-                timed: false, // shutdown counter harvest
-            },
-            // node.io — every wait is timed: poll(2) with a deadline,
-            // nonblocking sockets, try_recv on the queue. The io thread
-            // contributes no untimed arc to the wait-for graph.
-            BlockingEdge {
-                thread: "node.io",
-                waits: WaitPoint::ChanRecv("node.ioq"),
-                holding: vec![],
-                timed: true, // try_recv drain + poll deadline + wake pipe
-            },
-            BlockingEdge {
-                thread: "node.io",
-                waits: WaitPoint::Accept("node.io"),
+                waits: WaitPoint::Accept("node.main"),
                 holding: vec![],
                 timed: true, // nonblocking accept on listener readiness
             },
             BlockingEdge {
-                thread: "node.io",
-                waits: WaitPoint::SockRead("node.io"),
+                thread: "node.main",
+                waits: WaitPoint::SockRead("shard.super"),
                 holding: vec![],
-                timed: true, // nonblocking reads, fed by the peer's io thread
+                timed: true, // single-shot ctrl read behind the poll deadline
             },
             BlockingEdge {
-                thread: "node.io",
-                waits: WaitPoint::SockWrite("node.io"),
+                thread: "node.main",
+                waits: WaitPoint::SockWrite("shard.super"),
                 holding: vec![],
-                timed: true, // nonblocking writes, POLLOUT-driven retry
+                timed: false, // status/report write_all — leaf edge of the control tree
             },
-            // node.accept
+            // shard.super — polls node pipes and its orch socketpair;
+            // downward control writes are POLLOUT-gated and nonblocking.
             BlockingEdge {
-                thread: "node.accept",
-                waits: WaitPoint::Accept("net.writer"),
-                holding: vec![],
-                timed: true, // non-blocking accept + accept_poll sleep
-            },
-            // net.reader
-            BlockingEdge {
-                thread: "net.reader",
-                waits: WaitPoint::SockRead("net.writer"),
-                holding: vec![],
-                timed: false, // fed by the peer node's writer
-            },
-            // net.writer
-            BlockingEdge {
-                thread: "net.writer",
-                waits: WaitPoint::ChanRecv("node.sendq"),
-                holding: vec![],
-                timed: true, // recv_timeout(heartbeat)
-            },
-            BlockingEdge {
-                thread: "net.writer",
-                waits: WaitPoint::SockWrite("net.reader"),
-                holding: vec![],
-                timed: false, // drained by the peer node's reader
-            },
-            BlockingEdge {
-                thread: "net.writer",
-                waits: WaitPoint::LockAcquire("writer.stats"),
-                holding: vec![],
-                timed: false, // heartbeat/reconnect bump
-            },
-            // ctrl.reader
-            BlockingEdge {
-                thread: "ctrl.reader",
-                waits: WaitPoint::SockRead("orch.main"),
-                holding: vec![],
-                timed: false, // control pipe
-            },
-            // orch.line-reader
-            BlockingEdge {
-                thread: "orch.line-reader",
+                thread: "shard.super",
                 waits: WaitPoint::SockRead("node.main"),
                 holding: vec![],
-                timed: false, // the node's status/report pipe
+                timed: true, // poll over node ctrl pipes with a deadline
             },
             BlockingEdge {
-                thread: "orch.line-reader",
-                waits: WaitPoint::ChanSend("orch.lines"),
+                thread: "shard.super",
+                waits: WaitPoint::SockRead("orch.main"),
                 holding: vec![],
-                timed: false,
+                timed: true, // same poll set
+            },
+            BlockingEdge {
+                thread: "shard.super",
+                waits: WaitPoint::SockWrite("node.main"),
+                holding: vec![],
+                timed: true, // staged ctrl bytes, written on POLLOUT only
+            },
+            BlockingEdge {
+                thread: "shard.super",
+                waits: WaitPoint::ChanSend("orch.shard"),
+                holding: vec![],
+                timed: false, // upstream edge of the control tree
             },
             // orch.main
             BlockingEdge {
                 thread: "orch.main",
-                waits: WaitPoint::ChanRecv("orch.lines"),
+                waits: WaitPoint::ChanRecv("orch.shard"),
                 holding: vec![],
                 timed: true, // recv_timeout against the run deadline
             },
             BlockingEdge {
                 thread: "orch.main",
-                waits: WaitPoint::SockWrite("ctrl.reader"),
+                waits: WaitPoint::SockWrite("shard.super"),
                 holding: vec![],
-                timed: false, // peers/start/stop lines
+                timed: true, // peers/start/stop, POLLOUT-gated with a deadline
             },
         ],
     }
@@ -299,27 +167,32 @@ mod tests {
     #[test]
     fn declared_bounds_come_from_tuning() {
         let m = default_model();
-        assert_eq!(m.channel_decl("node.sendq").bound, Some(TUNING.send_queue));
-        assert_eq!(m.channel_decl("node.ioq").bound, Some(TUNING.io_queue));
         assert_eq!(
-            m.channel_decl("node.inbound").bound,
-            Some(TUNING.inbound_queue)
-        );
-        assert_eq!(m.channel_decl("node.ctrl").bound, Some(TUNING.ctrl_queue));
-        assert_eq!(
-            m.channel_decl("orch.lines").bound,
-            Some(TUNING.orch_line_queue)
+            m.channel_decl("orch.shard").bound,
+            Some(TUNING.orch_shard_queue)
         );
     }
 
+    /// The single-thread node's data-plane waits are all timed — its one
+    /// untimed edge is the upward control write. That asymmetry is the
+    /// whole deadlock-freedom argument, so pin it.
     #[test]
-    fn io_thread_declares_only_timed_waits() {
+    fn node_main_untimed_edges_point_only_up_the_control_tree() {
         let m = default_model();
-        let io_edges: Vec<_> = m.edges.iter().filter(|e| e.thread == "node.io").collect();
-        assert!(!io_edges.is_empty());
-        for e in io_edges {
-            assert!(e.timed, "node.io edge {:?} must be timed", e.waits);
+        let node_edges: Vec<_> = m.edges.iter().filter(|e| e.thread == "node.main").collect();
+        assert!(!node_edges.is_empty());
+        for e in &node_edges {
+            if !e.timed {
+                assert_eq!(
+                    e.waits,
+                    WaitPoint::SockWrite("shard.super"),
+                    "the only untimed node.main edge is the status/report write"
+                );
+            }
         }
+        // And the model shrank for real: exactly three roles, no locks.
+        assert_eq!(m.threads.len(), 3);
+        assert!(m.locks.is_empty());
     }
 
     #[test]

@@ -1,34 +1,46 @@
-//! The readiness-based event-loop data plane.
+//! The readiness-based event loop — since PR 8 the *entire* node.
 //!
-//! One `node.io` thread per node multiplexes *every* per-edge socket —
-//! the listener, all inbound connections, all outbound connections and a
-//! self-pipe wakeup — through `poll(2)`, replacing PR-5's two blocking
-//! threads per directed edge. The protocol loop talks to it through one
-//! bounded channel (`node.ioq`, Block policy: the backpressure contract
-//! is unchanged) plus a one-byte wake write.
+//! One `node.main` thread per node multiplexes *every* file descriptor
+//! the node owns — the control pipe to its supervising shard, the
+//! listener, all inbound connections and all outbound connections —
+//! through `poll(2)`, and runs the protocol engine between I/O bursts.
+//! PR 7's separate `node.io` thread (readiness loop fed by a bounded
+//! channel plus a self-pipe wake) is gone: [`NodeLoop`] is driven
+//! directly by `node_main`, so outbound frames append to per-connection
+//! buffers without crossing a thread boundary and inbound frames surface
+//! in a plain vector the caller drains each iteration. Engine work is a
+//! deadline task: the caller passes the distance to its next protocol
+//! tick as the poll budget and the loop sleeps exactly until the nearest
+//! deadline — tick, status, heartbeat, or reconnect.
 //!
 //! ## Batching policy
 //!
 //! Outbound frames append straight into a per-connection [`WriteBuf`]
 //! (length-prefixed wire bytes, no intermediate `Vec` per frame) and one
 //! `write()` ships everything pending. When the node is idle a frame is
-//! flushed the moment it is enqueued; under load the queue drains in
+//! flushed the moment it is enqueued; under load the outbox drains in
 //! bursts and frames coalesce naturally, bounded by the
 //! [`ClusterTuning`] byte/frame budgets (`batch_max_bytes`,
 //! `batch_max_frames`). The buffer never reallocates in steady state: it
 //! is pre-sized to the batch budget and `consume` recycles capacity.
 //!
 //! Per-directed-edge FIFO ordering is preserved under coalescing: the
-//! protocol loop enqueues frames in send order, the io thread drains the
-//! queue in order, appends to each edge's buffer in order, and a buffer
-//! is always written front-to-back — coalescing only changes syscall
-//! boundaries, never byte order on a connection.
+//! protocol enqueues frames in send order, they append to each edge's
+//! buffer in order, and a buffer is always written front-to-back —
+//! coalescing only changes syscall boundaries, never byte order on a
+//! connection.
 //!
-//! ## Timers
+//! ## Control pipe
 //!
-//! Heartbeats and reconnect backoff are deadlines on the loop: the
-//! `poll` timeout is the distance to the nearest one, so nothing in the
-//! data plane sleeps at a fixed granularity anymore.
+//! The ctrl fd sits in the same poll set as the sockets. Reads are
+//! *single-shot*: one `read(2)` per `POLLIN` readiness on a blocking fd
+//! never blocks, and level-triggered `poll` re-arms anything left
+//! unread. This deliberately avoids `BufReader`, whose invisible
+//! buffering holds complete lines where `poll` cannot see them. Writes
+//! (status lines, the final report) are plain blocking `write_all`: the
+//! supervising shard drains node pipes unconditionally, and this edge is
+//! declared untimed in the concurrency model — it is the one leaf-to-root
+//! arc of an acyclic control tree.
 //!
 //! ## Failure policy
 //!
@@ -39,31 +51,25 @@
 //! stops reading cannot grow the buffer past `out_buf_cap_bytes`:
 //! beyond it, new frames for that edge are shed and counted.
 
-use crate::conc::COMPONENT;
 use crate::node::ListenSpec;
 use crate::telemetry::LogHistogram;
 use crate::tuning::{ClusterTuning, TUNING};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use ssmfp_core::conc::{
-    spawn_registered, tracked_channel, ChannelStats, SendOutcome, TrackedSender,
-};
 use ssmfp_core::wire::{encode_frame, FrameReader, WireFrame, MAX_FRAME_LEN};
 use ssmfp_topology::NodeId;
+use std::fs::File;
 use std::io::{self, Read, Write};
+use std::mem::ManuallyDrop;
 use std::net::{TcpListener, TcpStream};
-use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::io::{AsRawFd, FromRawFd, RawFd};
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, TryRecvError};
-use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Raw `poll(2)` bindings. The workspace vendors no `libc`, and the only
-/// system interface the event loop needs is one syscall with a stable,
-/// tiny ABI — so it is declared by hand for the Linux targets the
-/// cluster runtime already assumes (Unix-domain sockets everywhere).
+/// Raw syscall bindings. The workspace vendors no `libc`, and the only
+/// system interfaces the event loop needs are a handful of calls with a
+/// stable, tiny ABI — so they are declared by hand for the Linux targets
+/// the cluster runtime already assumes (Unix-domain sockets everywhere).
 mod sys {
     /// `struct pollfd` from `<poll.h>`.
     #[repr(C)]
@@ -75,9 +81,30 @@ mod sys {
         pub revents: i16,
     }
 
+    /// `struct rlimit` from `<sys/resource.h>` (`rlim_t` is `u64` on
+    /// every 64-bit Linux target).
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    #[allow(non_camel_case_types)]
+    pub struct rlimit {
+        pub rlim_cur: u64,
+        pub rlim_max: u64,
+    }
+
+    /// `RLIMIT_NOFILE` on Linux.
+    pub const RLIMIT_NOFILE: i32 = 7;
+    /// `fcntl` get/set file-status-flags commands.
+    pub const F_GETFL: i32 = 3;
+    pub const F_SETFL: i32 = 4;
+    /// `O_NONBLOCK` on Linux.
+    pub const O_NONBLOCK: i32 = 0o4000;
+
     extern "C" {
         /// `nfds_t` is `c_ulong` (= `u64` on every 64-bit Linux target).
         pub fn poll(fds: *mut pollfd, nfds: u64, timeout: i32) -> i32;
+        pub fn getrlimit(resource: i32, rlim: *mut rlimit) -> i32;
+        pub fn setrlimit(resource: i32, rlim: *const rlimit) -> i32;
+        pub fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
     }
 }
 
@@ -91,6 +118,56 @@ pub const POLLERR: i16 = 0x008;
 pub const POLLHUP: i16 = 0x010;
 /// fd not open (always polled, delivered in `revents` only).
 pub const POLLNVAL: i16 = 0x020;
+
+/// Best-effort raise of the soft `RLIMIT_NOFILE` toward `want` (capped
+/// by the hard limit). An inproc 100-node grid holds both ends of every
+/// data connection in one process — comfortably past the common 1024
+/// default — so the orchestrator calls this before spawning anything.
+/// Returns the resulting soft limit (0 if even `getrlimit` failed).
+pub fn raise_nofile_limit(want: u64) -> u64 {
+    unsafe {
+        let mut cur = sys::rlimit {
+            rlim_cur: 0,
+            rlim_max: 0,
+        };
+        if sys::getrlimit(sys::RLIMIT_NOFILE, &mut cur) != 0 {
+            return 0;
+        }
+        if cur.rlim_cur >= want {
+            return cur.rlim_cur;
+        }
+        let target = want.min(cur.rlim_max);
+        let raised = sys::rlimit {
+            rlim_cur: target,
+            rlim_max: cur.rlim_max,
+        };
+        if sys::setrlimit(sys::RLIMIT_NOFILE, &raised) == 0 {
+            target
+        } else {
+            cur.rlim_cur
+        }
+    }
+}
+
+/// Toggles `O_NONBLOCK` on a raw fd — for pipe fds (child stdin/stdout)
+/// that have no `set_nonblocking` in std.
+pub fn set_nonblocking_fd(fd: RawFd, nb: bool) -> io::Result<()> {
+    unsafe {
+        let flags = sys::fcntl(fd, sys::F_GETFL, 0);
+        if flags < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let flags = if nb {
+            flags | sys::O_NONBLOCK
+        } else {
+            flags & !sys::O_NONBLOCK
+        };
+        if sys::fcntl(fd, sys::F_SETFL, flags) < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+}
 
 /// A reusable `poll(2)` interest set: build it each cycle (O(degree),
 /// the allocation is recycled), poll once, read `revents` back by index.
@@ -362,8 +439,8 @@ impl WriteBuf {
     }
 }
 
-/// Counters and the frames-per-write histogram the io thread hands back
-/// at shutdown, merged into the node's [`crate::telemetry::NodeCounters`].
+/// Counters and the frames-per-write histogram the loop accumulates,
+/// merged into the node's [`crate::telemetry::NodeCounters`] at the end.
 #[derive(Debug, Default)]
 pub struct IoStats {
     /// `write()` syscalls issued on data connections.
@@ -382,89 +459,77 @@ pub struct IoStats {
     pub batch: LogHistogram,
 }
 
-/// Handle the protocol loop holds on the event-loop data plane.
-pub(crate) struct EventPlane {
-    tx: TrackedSender<(NodeId, WireFrame)>,
-    stats: Arc<ChannelStats>,
-    wake: UnixStream,
-    sleeping: Arc<AtomicBool>,
-    stop: Arc<AtomicBool>,
-    join: JoinHandle<IoStats>,
-}
-
-impl EventPlane {
-    /// Spawns the `node.io` thread owning `listener` and one outbound
-    /// connection per `(neighbour, address)` pair.
-    pub fn spawn(
-        my_id: NodeId,
-        listener: NetListener,
-        peers: Vec<(NodeId, String)>,
-        inbound: TrackedSender<(NodeId, WireFrame)>,
-        seed: u64,
-    ) -> io::Result<Self> {
-        let model = crate::conc::model(&TUNING);
-        let (tx, rx, stats) =
-            tracked_channel::<(NodeId, WireFrame)>(COMPONENT, model.channel_decl("node.ioq"));
-        let (wake_tx, wake_rx) = UnixStream::pair()?;
-        wake_tx.set_nonblocking(true)?;
-        wake_rx.set_nonblocking(true)?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let sleeping = Arc::new(AtomicBool::new(false));
-        let stop2 = stop.clone();
-        let sleeping2 = sleeping.clone();
-        let join = spawn_registered(COMPONENT, "node.io", move || {
-            IoLoop::new(
-                my_id, listener, peers, rx, inbound, wake_rx, stop2, sleeping2, seed,
-            )
-            .run()
-        });
-        Ok(EventPlane {
-            tx,
-            stats,
-            wake: wake_tx,
-            sleeping,
-            stop,
-            join,
-        })
-    }
-
-    /// Enqueues one frame for `to`. Blocks when `node.ioq` is full — the
-    /// declared backpressure edge. Call [`EventPlane::wake`] after a
-    /// burst (not per frame: one wake byte covers a whole outbox drain).
-    pub fn send(&self, to: NodeId, frame: WireFrame) -> SendOutcome {
-        self.tx.send((to, frame))
-    }
-
-    /// Nudges the io thread's `poll` (self-pipe byte; a full pipe
-    /// already guarantees a pending wakeup, so `WouldBlock` is success).
-    /// Elided when the io thread is provably awake: it re-drains the
-    /// queue *after* publishing `sleeping`, so a sender that read
-    /// `sleeping == false` has its frames picked up by that drain — two
-    /// syscalls saved per outbox burst on the hot path.
-    pub fn wake(&self) {
-        if self.sleeping.load(Ordering::SeqCst) {
-            let _ = (&self.wake).write(&[1u8]);
-        }
-    }
-
-    /// Backpressure stalls observed on `node.ioq` so far.
-    pub fn stalls(&self) -> u64 {
-        self.stats.stall_count()
-    }
-
-    /// Stops the io thread (best-effort flush of pending frames inside
-    /// `io_flush_grace`) and returns its stats.
-    pub fn shutdown(self) -> IoStats {
-        self.stop.store(true, Ordering::Relaxed);
-        let _ = (&self.wake).write(&[1u8]);
-        drop(self.tx);
-        self.join.join().unwrap_or_default()
-    }
-}
-
 /// Worst-case encoded frame size (length prefix + body), the margin the
 /// out-buffer cap check leaves before appending.
 const FRAME_MAX: usize = 4 + MAX_FRAME_LEN as usize;
+
+/// The node's control pipe to its supervising shard.
+pub enum CtrlPipe {
+    /// One bidirectional socketpair end (inproc mode: the shard holds
+    /// the other end).
+    Stream(UnixStream),
+    /// This process's raw stdin/stdout (`--node-worker` process mode).
+    /// Read and written as bare fds — never through `Stdin`'s
+    /// `BufReader`, whose invisible buffering would hold complete lines
+    /// where `poll` cannot see them.
+    Stdio,
+}
+
+/// The in-loop form of [`CtrlPipe`]: raw single-shot reads plus a
+/// blocking writer. `ManuallyDrop` keeps the process's stdio fds open
+/// when the wrapper is dropped.
+enum CtrlIo {
+    Stream(UnixStream),
+    Stdio {
+        r: ManuallyDrop<File>,
+        w: ManuallyDrop<File>,
+    },
+}
+
+impl CtrlIo {
+    fn new(pipe: CtrlPipe) -> Self {
+        match pipe {
+            CtrlPipe::Stream(s) => CtrlIo::Stream(s),
+            CtrlPipe::Stdio => CtrlIo::Stdio {
+                r: ManuallyDrop::new(unsafe { File::from_raw_fd(0) }),
+                w: ManuallyDrop::new(unsafe { File::from_raw_fd(1) }),
+            },
+        }
+    }
+
+    fn read_fd(&self) -> RawFd {
+        match self {
+            CtrlIo::Stream(s) => s.as_raw_fd(),
+            CtrlIo::Stdio { r, .. } => r.as_raw_fd(),
+        }
+    }
+
+    /// One `read(2)`. The fd is blocking, so this is only called after
+    /// `poll` reported `POLLIN` — a single read on a readable fd never
+    /// blocks, and level-triggered poll re-arms any remainder.
+    fn read_once(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            CtrlIo::Stream(s) => (&*s).read(buf),
+            CtrlIo::Stdio { r, .. } => (&**r).read(buf),
+        }
+    }
+}
+
+impl Write for CtrlIo {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            CtrlIo::Stream(s) => (&*s).write(buf),
+            CtrlIo::Stdio { w, .. } => (&**w).write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            CtrlIo::Stream(s) => (&*s).flush(),
+            CtrlIo::Stdio { w, .. } => (&**w).flush(),
+        }
+    }
+}
 
 struct OutLink {
     peer: NodeId,
@@ -488,50 +553,65 @@ struct InConn {
     from: Option<NodeId>,
 }
 
-struct IoLoop {
+/// The single-thread node: every fd the node owns in one poll set, with
+/// the protocol engine driven by the caller between I/O bursts.
+///
+/// `node_main` pumps the loop with the distance to its next protocol
+/// deadline, drains [`NodeLoop::inbound`] / [`NodeLoop::ctrl_lines`],
+/// steps the engine, and enqueues its outbox through [`NodeLoop::send`].
+pub(crate) struct NodeLoop {
     my_id: NodeId,
     t: &'static ClusterTuning,
     listener: NetListener,
     links: Vec<OutLink>,
     conns: Vec<InConn>,
-    ioq: Receiver<(NodeId, WireFrame)>,
-    ioq_done: bool,
-    inbound: TrackedSender<(NodeId, WireFrame)>,
-    wake_rx: UnixStream,
-    stop: Arc<AtomicBool>,
-    /// Published (SeqCst) right before blocking in `poll`; lets
-    /// [`EventPlane::wake`] skip the self-pipe syscall while this thread
-    /// is demonstrably processing.
-    sleeping: Arc<AtomicBool>,
+    ctrl: CtrlIo,
+    ctrl_eof: bool,
+    ctrl_acc: Vec<u8>,
     rng: ChaCha8Rng,
     poll: PollSet,
     scratch: Vec<u8>,
     hello: Vec<u8>,
     stats: IoStats,
+    /// Data-plane frames read since the caller last drained.
+    pub inbound: Vec<(NodeId, WireFrame)>,
+    /// Complete control lines read since the caller last drained.
+    pub ctrl_lines: Vec<String>,
 }
 
-impl IoLoop {
-    #[allow(clippy::too_many_arguments)]
-    fn new(
-        my_id: NodeId,
-        listener: NetListener,
-        peers: Vec<(NodeId, String)>,
-        ioq: Receiver<(NodeId, WireFrame)>,
-        inbound: TrackedSender<(NodeId, WireFrame)>,
-        wake_rx: UnixStream,
-        stop: Arc<AtomicBool>,
-        sleeping: Arc<AtomicBool>,
-        seed: u64,
-    ) -> Self {
+impl NodeLoop {
+    pub fn new(my_id: NodeId, listener: NetListener, ctrl: CtrlPipe, seed: u64) -> Self {
         let t = &TUNING;
+        NodeLoop {
+            my_id,
+            t,
+            listener,
+            links: Vec::new(),
+            conns: Vec::new(),
+            ctrl: CtrlIo::new(ctrl),
+            ctrl_eof: false,
+            ctrl_acc: Vec::new(),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            poll: PollSet::new(),
+            scratch: vec![0u8; t.io_read_chunk],
+            hello: Vec::with_capacity(FRAME_MAX),
+            stats: IoStats::default(),
+            inbound: Vec::new(),
+            ctrl_lines: Vec::new(),
+        }
+    }
+
+    /// Registers the outbound links (once the peer map arrives over
+    /// ctrl); dialing starts on the next pump.
+    pub fn connect_peers(&mut self, peers: Vec<(NodeId, String)>) {
         let now = Instant::now();
-        let links = peers
+        self.links = peers
             .into_iter()
             .map(|(peer, addr)| OutLink {
                 peer,
                 addr,
                 stream: None,
-                out: WriteBuf::with_capacity(t.batch_max_bytes + FRAME_MAX),
+                out: WriteBuf::with_capacity(self.t.batch_max_bytes + FRAME_MAX),
                 attempt: 0,
                 incarnation: 0,
                 next_dial: now,
@@ -540,103 +620,88 @@ impl IoLoop {
                 hb_clock: 0,
             })
             .collect();
-        IoLoop {
-            my_id,
-            t,
-            listener,
-            links,
-            conns: Vec::new(),
-            ioq,
-            ioq_done: false,
-            inbound,
-            wake_rx,
-            stop,
-            sleeping,
-            rng: ChaCha8Rng::seed_from_u64(seed),
-            poll: PollSet::new(),
-            scratch: vec![0u8; t.io_read_chunk],
-            hello: Vec::with_capacity(FRAME_MAX),
-            stats: IoStats::default(),
-        }
     }
 
-    fn run(mut self) -> IoStats {
-        let mut flush_deadline: Option<Instant> = None;
+    /// True once the supervisor closed the control pipe (treat as stop).
+    pub fn ctrl_eof(&self) -> bool {
+        self.ctrl_eof
+    }
+
+    /// Blocking line write to the supervisor — the declared untimed
+    /// `SockWrite(shard.super)` edge (the shard drains unconditionally).
+    pub fn write_ctrl(&mut self, text: &str) -> io::Result<()> {
+        self.ctrl.write_all(text.as_bytes())?;
+        self.ctrl.flush()
+    }
+
+    /// The control pipe as a writer, for the multi-line report codec.
+    pub fn ctrl_writer(&mut self) -> &mut impl Write {
+        &mut self.ctrl
+    }
+
+    /// Enqueues one frame for `to`: appends to the edge's write buffer,
+    /// flushing at the batch budget and shedding (counted) at the hard
+    /// cap.
+    pub fn send(&mut self, to: NodeId, frame: &WireFrame) {
+        let Some(i) = self.links.iter().position(|l| l.peer == to) else {
+            debug_assert!(false, "send to non-neighbour {to}");
+            return;
+        };
+        let l = &mut self.links[i];
+        if l.dead {
+            self.stats.conn_frames_dropped += 1;
+            return;
+        }
+        if l.out.pending() >= self.t.batch_max_bytes || l.out.frames() >= self.t.batch_max_frames {
+            Self::flush_link(l, &mut self.stats);
+        }
+        if l.out.pending() + FRAME_MAX > self.t.out_buf_cap_bytes {
+            // Congested or disconnected peer: bounded buffer, counted
+            // wire drop, retransmission recovers.
+            self.stats.conn_frames_dropped += 1;
+            return;
+        }
+        l.out.push_frame(frame);
+    }
+
+    /// One loop turn: flush pending buffers, fire due timers, then block
+    /// in `poll` until I/O readiness or the nearest deadline — capped by
+    /// `max_wait`, the caller's distance to its next engine deadline.
+    /// Inbound frames and ctrl lines land in the public vectors.
+    pub fn pump(&mut self, max_wait: Duration) {
+        self.flush_all();
+        let now = Instant::now();
+        self.run_timers(now, false);
+        let timeout = self.next_deadline(now).min(max_wait);
+        self.poll_once(Some(timeout), false);
+    }
+
+    /// Shutdown flush: keeps writing blocked buffers (POLLOUT waits
+    /// only) until everything pending drains or `io_flush_grace`
+    /// expires. Undelivered frames become counted wire drops.
+    pub fn shutdown_flush(&mut self) {
+        let deadline = Instant::now() + self.t.io_flush_grace();
         loop {
-            let stopping = self.stop.load(Ordering::Relaxed);
-            self.drain_ioq();
             self.flush_all();
             let now = Instant::now();
-            self.run_timers(now, stopping);
-
-            if stopping {
-                let deadline = *flush_deadline.get_or_insert_with(|| now + self.t.io_flush_grace());
-                let pending = self
-                    .links
-                    .iter()
-                    .any(|l| !l.out.is_empty() && l.stream.is_some());
-                if !pending || now >= deadline {
-                    break;
-                }
-                // Only the blocked writes matter now; wait for POLLOUT.
-                let timeout = deadline.saturating_duration_since(now);
-                self.poll_once(Some(timeout), stopping);
-                continue;
+            let pending = self
+                .links
+                .iter()
+                .any(|l| !l.out.is_empty() && l.stream.is_some());
+            if !pending || now >= deadline {
+                break;
             }
-
-            let timeout = self.next_deadline(now);
-            // Publish the intent to block, then re-drain: any sender that
-            // read `sleeping == false` (and therefore skipped the wake
-            // syscall) enqueued before our store in the SeqCst order, so
-            // this drain observes its frames and the iteration restarts.
-            self.sleeping.store(true, Ordering::SeqCst);
-            if self.drain_ioq() {
-                self.sleeping.store(false, Ordering::SeqCst);
-                continue;
-            }
-            self.poll_once(Some(timeout), stopping);
-            self.sleeping.store(false, Ordering::SeqCst);
+            self.poll_once(Some(deadline.saturating_duration_since(now)), true);
         }
-        self.stats
+        for l in &mut self.links {
+            self.stats.conn_frames_dropped += l.out.reset() as u64;
+        }
     }
 
-    /// Moves queued frames into per-edge write buffers, flushing at the
-    /// batch budget and shedding at the hard cap. Returns whether any
-    /// frame was drained.
-    fn drain_ioq(&mut self) -> bool {
-        let mut any = false;
-        loop {
-            let (to, frame) = match self.ioq.try_recv() {
-                Ok(v) => v,
-                Err(TryRecvError::Empty) => return any,
-                Err(TryRecvError::Disconnected) => {
-                    self.ioq_done = true;
-                    return any;
-                }
-            };
-            any = true;
-            let Some(i) = self.links.iter().position(|l| l.peer == to) else {
-                debug_assert!(false, "send to non-neighbour {to}");
-                continue;
-            };
-            let l = &mut self.links[i];
-            if l.dead {
-                self.stats.conn_frames_dropped += 1;
-                continue;
-            }
-            if l.out.pending() >= self.t.batch_max_bytes
-                || l.out.frames() >= self.t.batch_max_frames
-            {
-                Self::flush_link(l, &mut self.stats);
-            }
-            if l.out.pending() + FRAME_MAX > self.t.out_buf_cap_bytes {
-                // Congested or disconnected peer: bounded buffer, counted
-                // wire drop, retransmission recovers.
-                self.stats.conn_frames_dropped += 1;
-                continue;
-            }
-            l.out.push_frame(&frame);
-        }
+    /// Hands the accumulated I/O stats to the caller (for the final
+    /// report merge).
+    pub fn take_stats(&mut self) -> IoStats {
+        std::mem::take(&mut self.stats)
     }
 
     fn flush_all(&mut self) {
@@ -782,9 +847,13 @@ impl IoLoop {
 
     fn poll_once(&mut self, timeout: Option<Duration>, stopping: bool) {
         self.poll.clear();
-        let wake_idx = self.poll.push(self.wake_rx.as_raw_fd(), POLLIN);
-        // While stopping only blocked writes matter: skip the read side so
-        // chatty peers cannot stretch the flush window.
+        // While stopping only blocked writes matter: skip the read side
+        // so chatty peers cannot stretch the flush window.
+        let ctrl_idx = if stopping || self.ctrl_eof {
+            usize::MAX
+        } else {
+            self.poll.push(self.ctrl.read_fd(), POLLIN)
+        };
         let listener_idx = if stopping {
             usize::MAX
         } else {
@@ -807,10 +876,10 @@ impl IoLoop {
             return;
         }
 
-        // Wake pipe: drain it (level-triggered; bytes are just nudges).
-        if self.poll.revents(wake_idx) & (POLLIN | POLLERR | POLLHUP) != 0 {
-            let mut sink = [0u8; 256];
-            while matches!((&self.wake_rx).read(&mut sink), Ok(k) if k > 0) {}
+        // Control pipe: one single-shot read per readiness.
+        if ctrl_idx != usize::MAX && self.poll.revents(ctrl_idx) & (POLLIN | POLLERR | POLLHUP) != 0
+        {
+            self.read_ctrl();
         }
 
         // New inbound connections.
@@ -855,6 +924,26 @@ impl IoLoop {
         }
     }
 
+    /// One single-shot ctrl read; complete lines move to `ctrl_lines`.
+    fn read_ctrl(&mut self) {
+        match self.ctrl.read_once(&mut self.scratch) {
+            Ok(0) => self.ctrl_eof = true,
+            Ok(k) => {
+                self.ctrl_acc.extend_from_slice(&self.scratch[..k]);
+                while let Some(nl) = self.ctrl_acc.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = self.ctrl_acc.drain(..=nl).collect();
+                    let text = String::from_utf8_lossy(&line[..nl]).trim_end().to_string();
+                    if !text.is_empty() {
+                        self.ctrl_lines.push(text);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => self.ctrl_eof = true,
+        }
+    }
+
     /// Drains one readable inbound connection. Returns false when the
     /// connection must be dropped (EOF, error, garbage, pre-Hello data).
     fn read_conn(&mut self, i: usize) -> bool {
@@ -876,14 +965,7 @@ impl IoLoop {
                         // Frames before the Hello: unidentified
                         // connection, drop it (the dialer re-Hellos).
                         None => return false,
-                        Some(p) => {
-                            // Shed outcomes are counted wire drops; the
-                            // io thread never blocks here (that non-edge
-                            // keeps the cross-node wait graph acyclic).
-                            if self.inbound.send((p, frame)) == SendOutcome::Disconnected {
-                                return false;
-                            }
-                        }
+                        Some(p) => self.inbound.push((p, frame)),
                     },
                     Ok(None) => break,
                     Err(_) => return false, // garbage on the wire
@@ -1001,5 +1083,26 @@ mod tests {
         assert_ne!(ps.revents(ri) & POLLIN, 0);
         let mut buf = [0u8; 8];
         assert_eq!((&b).read(&mut buf).unwrap(), 2);
+    }
+
+    /// The nonblocking-fd shim against a real pipe-like fd: flipping
+    /// `O_NONBLOCK` on turns an empty-read block into `WouldBlock`.
+    #[test]
+    fn set_nonblocking_fd_flips_o_nonblock() {
+        let (a, _b) = UnixStream::pair().expect("socketpair");
+        set_nonblocking_fd(a.as_raw_fd(), true).expect("set nonblocking");
+        let mut buf = [0u8; 4];
+        let err = (&a).read(&mut buf).expect_err("empty nonblocking read");
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        set_nonblocking_fd(a.as_raw_fd(), false).expect("clear nonblocking");
+    }
+
+    /// `raise_nofile_limit` is monotone and never lowers the soft limit.
+    #[test]
+    fn raise_nofile_limit_is_best_effort_monotone() {
+        let before = raise_nofile_limit(0);
+        assert!(before > 0, "getrlimit failed");
+        let after = raise_nofile_limit(before);
+        assert!(after >= before);
     }
 }

@@ -15,16 +15,19 @@
 //!   `FaultClerk` decision procedure.
 //! * [`workload`] — open-loop (Poisson) and closed-loop (K outstanding)
 //!   generators, with the payload-stamp and ghost-numbering conventions.
-//! * [`evloop`] — the readiness-based event-loop data plane: a `poll(2)`
-//!   shim, per-connection coalescing write buffers (zero-realloc hot
-//!   path), and the `node.io` thread multiplexing every socket with
+//! * [`evloop`] — the whole node's I/O machinery: a `poll(2)` shim,
+//!   per-connection coalescing write buffers (zero-realloc hot path),
+//!   and [`evloop::NodeLoop`], which multiplexes the control pipe, the
+//!   listener and every data connection in one readiness set with
 //!   heartbeat/reconnect deadlines on its timer list.
-//! * [`node`] — one node: the forwarder wired to either data plane
-//!   ([`node::IoMode`]: the event loop, or the legacy thread-per-edge
-//!   blocking plane) + the line-based control protocol.
-//! * [`orchestrator`] — spawns a topology (threads or processes), waits
-//!   for convergence, reconciles ledgers into a cluster-wide SP verdict,
-//!   and renders the JSON run report.
+//! * [`node`] — one node = **one thread**: [`node_main`] runs the
+//!   forwarder, the workload and the control state machine between
+//!   [`evloop::NodeLoop`] pump bursts.
+//! * [`orchestrator`] — the sharded control tree: K `shard.super`
+//!   threads each supervise a node group (threads or processes),
+//!   pre-merging status and telemetry so the root works O(shards) per
+//!   tick, then one global ledger reconciliation renders the SP verdict
+//!   and the JSON run report.
 //! * [`telemetry`] — log-bucketed latency histograms and counters.
 //! * [`tuning`] — every runtime knob in one documented [`ClusterTuning`]
 //!   struct, consumed by both the running code and the declared model.
@@ -44,10 +47,11 @@ pub mod tuning;
 pub mod workload;
 
 pub use chaos::{ChaosSpec, PartitionSpec};
-pub use node::{node_main, IoMode, ListenSpec, NodeConfig, NodeReport};
+pub use evloop::CtrlPipe;
+pub use node::{node_main, ListenSpec, NodeConfig, NodeReport};
 pub use orchestrator::{
     node_args, parse_chaos, parse_node_args, parse_workload, pick_partition, run_cluster,
-    ClusterSpec, RunMode, RunReport,
+    shard_ranges, ClusterSpec, RunMode, RunReport, ShardReport, ShardStatus, ShardSummary,
 };
 pub use telemetry::{LogHistogram, NodeCounters};
 pub use transport::{LoopbackTransport, PolledTransport};

@@ -10,22 +10,18 @@
 //! which the protocol's retransmission already tolerates, and the dialer
 //! re-establishes with exponential backoff plus jitter.
 //!
-//! ## Data planes
+//! ## One thread per node
 //!
-//! Two implementations of that model, selected by [`IoMode`]:
-//!
-//! * **Event** (default) — one `node.io` thread per node multiplexes every
-//!   socket through `poll(2)` ([`crate::evloop`]): frames coalesce into
-//!   batched writes, reads are readiness-driven, heartbeats and reconnect
-//!   backoff are timer-wheel deadlines. The protocol loop feeds it through
-//!   one bounded queue (`node.ioq`) plus a self-pipe wake.
-//! * **Blocking** (legacy, kept for one release behind `--io blocking`) —
-//!   the PR-5 plane: per-neighbour writer threads with bounded queues, an
-//!   accept thread spawning one reader per inbound connection.
-//!
-//! Both planes speak the same wire protocol, so a cluster can even mix
-//! them; the e2e suite cross-checks they reach the same reconciled SP
-//! verdict under chaos.
+//! Since PR 8 a node *is* one thread: [`node_main`] drives the
+//! [`crate::evloop::NodeLoop`], which multiplexes the control pipe, the
+//! listener and every data connection through one `poll(2)` set, and runs
+//! the protocol engine between I/O bursts. There is no inbound queue, no
+//! writer threads, no control-reader thread — frames and control lines
+//! surface in plain vectors the loop drains, and outbound frames append
+//! to per-connection coalescing buffers in the same stack frame that
+//! produced them. (The PR-5 blocking plane — per-neighbour writers,
+//! accept + reader threads — was retired after PR 7 cross-checked the SP
+//! verdicts of both planes.)
 //!
 //! The protocol loop itself is *event-driven*: `on_timeout` (which moves
 //! the R1/R2/R6 pipeline and retransmission) fires whenever the loop did
@@ -37,36 +33,26 @@
 //!
 //! ## Control protocol
 //!
-//! Line-based, over the orchestrator's pipe:
-//! * node → orch: `ready <addr>`
-//! * orch → node: `peers <addr_0> … <addr_{n-1}>`, then `start`
-//! * node → orch: `status <done_issuing> <generated> <delivered> <held>`
-//! * orch → node: `stop`
-//! * node → orch: a multi-line `report … end` block, then exit.
+//! Line-based, over the supervising shard's pipe:
+//! * node → shard: `ready <addr>`
+//! * shard → node: `peers <addr_0> … <addr_{n-1}>`, then `start`
+//! * node → shard: `status <done_issuing> <generated> <delivered> <held>`
+//! * shard → node: `stop`
+//! * node → shard: a multi-line `report … end` block, then exit.
 
 use crate::chaos::{ChaosSpec, InboundChaos};
 use crate::conc::COMPONENT;
-use crate::evloop::{dial, EventPlane, NetListener, NetStream};
+use crate::evloop::{CtrlPipe, NetListener, NodeLoop};
 use crate::frame::{frame_to_msg, msg_to_frame};
 use crate::telemetry::{LogHistogram, NodeCounters};
 use crate::tuning::TUNING;
 use crate::workload::{ack_payload, is_ack, stamp_of, WorkloadGen, WorkloadSpec, STAMP_MASK};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-use ssmfp_core::conc::{
-    register_thread, spawn_registered, tracked_channel, ChannelStats, SendOutcome, TrackedMutex,
-    TrackedSender,
-};
-use ssmfp_core::wire::{encode_frame, FrameReader, WireFrame};
+use ssmfp_core::conc::register_thread;
 use ssmfp_mp::{MpForwarder, MpGhost, MpNode, Outbox};
 use ssmfp_topology::{BfsTree, Graph, NodeId};
 use std::collections::HashMap;
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, Write};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError};
-use std::sync::Arc;
-use std::thread;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Where a node listens for inbound connections.
@@ -79,35 +65,6 @@ pub enum ListenSpec {
     },
     /// TCP on `127.0.0.1`, OS-assigned port.
     Tcp,
-}
-
-/// Which data plane carries the node's frames.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum IoMode {
-    /// Readiness-based event loop with frame coalescing (`node.io`).
-    #[default]
-    Event,
-    /// The PR-5 thread-per-edge blocking plane (kept for one release).
-    Blocking,
-}
-
-impl IoMode {
-    /// The CLI/control-line spelling.
-    pub fn as_str(self) -> &'static str {
-        match self {
-            IoMode::Event => "event",
-            IoMode::Blocking => "blocking",
-        }
-    }
-
-    /// Inverse of [`IoMode::as_str`].
-    pub fn parse(s: &str) -> Option<IoMode> {
-        match s {
-            "event" => Some(IoMode::Event),
-            "blocking" => Some(IoMode::Blocking),
-            _ => None,
-        }
-    }
 }
 
 /// Everything one node needs to run.
@@ -123,8 +80,6 @@ pub struct NodeConfig {
     pub seed: u64,
     /// Listener flavour.
     pub listen: ListenSpec,
-    /// Data plane flavour.
-    pub io: IoMode,
     /// Workload shape and quota.
     pub workload: WorkloadSpec,
     /// Link chaos.
@@ -144,222 +99,10 @@ pub struct NodeReport {
     pub held: Vec<MpGhost>,
     /// One-way latency of primaries delivered here (µs).
     pub latency: LogHistogram,
-    /// Frames per coalesced `write()` (event plane; empty on blocking).
+    /// Frames per coalesced `write()`.
     pub batch: LogHistogram,
     /// Transport/chaos counters.
     pub counters: NodeCounters,
-}
-
-/// Per-writer supervision counters, behind the declared `writer.stats`
-/// lock (see `crate::conc`). Never held across a blocking operation.
-/// (Blocking plane only; the event plane returns its stats by value.)
-#[derive(Debug, Default)]
-struct WriterStats {
-    heartbeats: u64,
-    reconnects: u64,
-}
-
-/// Reads frames off one inbound connection until EOF or garbage.
-/// (Blocking plane only.)
-fn reader_loop(mut stream: NetStream, inbound: TrackedSender<(NodeId, WireFrame)>) {
-    let mut fr = FrameReader::new();
-    let mut from: Option<NodeId> = None;
-    let mut buf = [0u8; 4096];
-    loop {
-        let k = match stream.read(&mut buf) {
-            Ok(0) | Err(_) => return,
-            Ok(k) => k,
-        };
-        fr.extend(&buf[..k]);
-        loop {
-            match fr.next_frame() {
-                Ok(Some(WireFrame::Hello { node, .. })) => from = Some(node as NodeId),
-                Ok(Some(frame)) => match from {
-                    // Frames before the Hello: unidentified connection,
-                    // drop it (the dialer will reconnect and re-Hello).
-                    None => return,
-                    Some(p) => {
-                        // A Shed outcome is a counted wire drop; the
-                        // reader never blocks here (that non-edge is what
-                        // keeps the cross-node wait graph acyclic).
-                        if inbound.send((p, frame)) == SendOutcome::Disconnected {
-                            return;
-                        }
-                    }
-                },
-                Ok(None) => break,
-                Err(_) => return, // garbage on the wire: kill the connection
-            }
-        }
-    }
-}
-
-/// (Blocking plane only.)
-fn accept_loop(
-    listener: NetListener,
-    inbound: TrackedSender<(NodeId, WireFrame)>,
-    stop: Arc<AtomicBool>,
-) {
-    while !stop.load(Ordering::Relaxed) {
-        match listener.accept() {
-            Ok(stream) => {
-                if stream.set_nonblocking(false).is_err() {
-                    continue;
-                }
-                let tx = inbound.clone();
-                spawn_registered(COMPONENT, "net.reader", move || reader_loop(stream, tx));
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                thread::sleep(TUNING.accept_poll());
-            }
-            Err(_) => return,
-        }
-    }
-}
-
-/// Owns one outbound simplex connection: dials with backoff, Hellos,
-/// streams frames, heartbeats when idle. (Blocking plane only.)
-fn writer_loop(
-    my_id: NodeId,
-    addr: String,
-    rx: Receiver<WireFrame>,
-    stats: Arc<TrackedMutex<WriterStats>>,
-    seed: u64,
-) {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut incarnation: u32 = 0;
-    // One scratch buffer for the connection's lifetime: frames encode into
-    // it in place, no per-send allocation.
-    let mut buf = Vec::with_capacity(64);
-    let mut clock: u64 = 0;
-    // A frame that failed mid-write is retried on the next connection —
-    // losing it entirely would be a *wire* drop, which is fine, but
-    // retrying is cheap and keeps chaos accounting to the chaos shim.
-    let mut carry: Option<WireFrame> = None;
-    'connect: loop {
-        let mut attempt: u32 = 0;
-        let mut stream = loop {
-            match dial(&addr) {
-                Ok(s) => break s,
-                Err(_) => {
-                    attempt += 1;
-                    if attempt > TUNING.max_dial_attempts {
-                        return;
-                    }
-                    let backoff = TUNING.backoff_ms(attempt);
-                    let jitter = rng.gen_range(0..=backoff / 2);
-                    thread::sleep(Duration::from_millis(backoff + jitter));
-                }
-            }
-        };
-        if incarnation > 0 {
-            stats.lock().reconnects += 1;
-        }
-        incarnation += 1;
-        buf.clear();
-        encode_frame(
-            &WireFrame::Hello {
-                node: my_id as u16,
-                incarnation,
-            },
-            &mut buf,
-        );
-        if stream.write_all(&buf).is_err() {
-            continue 'connect;
-        }
-        loop {
-            let frame = match carry.take() {
-                Some(f) => f,
-                None => match rx.recv_timeout(TUNING.heartbeat()) {
-                    Ok(f) => f,
-                    Err(RecvTimeoutError::Timeout) => {
-                        clock += 1;
-                        let hb = WireFrame::Heartbeat {
-                            node: my_id as u16,
-                            clock,
-                        };
-                        buf.clear();
-                        encode_frame(&hb, &mut buf);
-                        if stream.write_all(&buf).is_err() {
-                            continue 'connect;
-                        }
-                        stats.lock().heartbeats += 1;
-                        continue;
-                    }
-                    Err(RecvTimeoutError::Disconnected) => return,
-                },
-            };
-            buf.clear();
-            encode_frame(&frame, &mut buf);
-            if stream.write_all(&buf).is_err() {
-                carry = Some(frame);
-                continue 'connect;
-            }
-        }
-    }
-}
-
-/// The selected data plane, behind one enqueue/wake/shutdown surface.
-enum DataPlane {
-    Event(EventPlane),
-    Blocking {
-        senders: HashMap<NodeId, TrackedSender<WireFrame>>,
-        sendq_stats: Vec<Arc<ChannelStats>>,
-        writer_stats: Arc<TrackedMutex<WriterStats>>,
-    },
-}
-
-impl DataPlane {
-    fn send(&self, to: NodeId, frame: WireFrame) {
-        match self {
-            DataPlane::Event(ep) => {
-                let _ = ep.send(to, frame);
-            }
-            DataPlane::Blocking { senders, .. } => {
-                let tx = senders.get(&to).expect("send to non-neighbour");
-                let _ = tx.send(frame);
-            }
-        }
-    }
-
-    /// One nudge after a burst of sends (event plane's self-pipe; the
-    /// blocking writers wake on their own queues).
-    fn flush(&self) {
-        if let DataPlane::Event(ep) = self {
-            ep.wake();
-        }
-    }
-
-    /// Tears the plane down and folds its supervision stats into
-    /// `counters`; returns the batch histogram (empty on blocking).
-    fn shutdown(self, counters: &mut NodeCounters) -> LogHistogram {
-        match self {
-            DataPlane::Event(ep) => {
-                counters.backpressure_stalls = ep.stalls();
-                let io = ep.shutdown();
-                counters.heartbeats_sent = io.heartbeats;
-                counters.reconnects = io.reconnects;
-                counters.write_syscalls = io.write_syscalls;
-                counters.read_syscalls = io.read_syscalls;
-                counters.conn_frames_dropped = io.conn_frames_dropped;
-                io.batch
-            }
-            DataPlane::Blocking {
-                senders,
-                sendq_stats,
-                writer_stats,
-            } => {
-                {
-                    let ws = writer_stats.lock();
-                    counters.heartbeats_sent = ws.heartbeats;
-                    counters.reconnects = ws.reconnects;
-                }
-                counters.backpressure_stalls = sendq_stats.iter().map(|s| s.stall_count()).sum();
-                drop(senders); // writers drain and exit
-                LogHistogram::new()
-            }
-        }
-    }
 }
 
 /// Wall clock in µs, truncated to the payload stamp width. Latency is the
@@ -388,17 +131,12 @@ fn routing_table(graph: &Graph, p: NodeId) -> Vec<NodeId> {
 }
 
 /// Runs one node to completion over the given control pipe. Returns the
-/// report it also wrote to the orchestrator.
-pub fn node_main<R, W>(cfg: &NodeConfig, ctrl_r: R, mut ctrl_w: W) -> io::Result<NodeReport>
-where
-    R: Read + Send + 'static,
-    W: Write,
-{
+/// report it also wrote to the supervisor.
+pub fn node_main(cfg: &NodeConfig, ctrl: CtrlPipe) -> io::Result<NodeReport> {
     // In proc mode this is the process main thread; in inproc mode the
-    // orchestrator's spawn already registered it (re-registration is
+    // shard's spawn already registered it (re-registration is
     // idempotent). Either way the declared role holds from here on.
     register_thread(COMPONENT, "node.main");
-    let model = crate::conc::model(&TUNING);
     let graph = Graph::from_edges(cfg.n, &cfg.edges).map_err(io::Error::other)?;
     let p = cfg.node;
     let neighbors: Vec<NodeId> = graph.neighbors(p).to_vec();
@@ -421,135 +159,88 @@ where
 
     // --- sockets up, report ready ---
     let (listener, my_addr) = NetListener::bind(&cfg.listen, p)?;
-    let mut listener = Some(listener);
-    let stop_flag = Arc::new(AtomicBool::new(false));
-    let (inbound_tx, inbound_rx, inbound_stats) =
-        tracked_channel::<(NodeId, WireFrame)>(COMPONENT, model.channel_decl("node.inbound"));
-    if cfg.io == IoMode::Blocking {
-        // The event plane accepts on its own loop; the kernel backlog
-        // holds early dialers until it spins up after the peers line.
-        let l = listener.take().expect("listener");
-        let tx = inbound_tx.clone();
-        let stop = stop_flag.clone();
-        spawn_registered(COMPONENT, "node.accept", move || accept_loop(l, tx, stop));
+    let io_seed = cfg.seed ^ ((p as u64) << 32).wrapping_mul(0xDEAD_BEEF_1234_5677);
+    let mut nl = NodeLoop::new(p, listener, ctrl, io_seed);
+    nl.write_ctrl(&format!("ready {my_addr}\n"))?;
+
+    // --- control state machine: peers, then start (or an early stop) ---
+    // A single pump can surface several control lines at once (the shard
+    // may write `peers` and `start` back-to-back), so parse every line as
+    // it arrives instead of blocking per expected token.
+    let mut addrs: Option<Vec<String>> = None;
+    let mut started = false;
+    let mut stopping = false;
+    let handle_line =
+        |line: &str, addrs: &mut Option<Vec<String>>, started: &mut bool, stopping: &mut bool| {
+            if let Some(rest) = line.strip_prefix("peers ") {
+                *addrs = Some(rest.split_whitespace().map(str::to_string).collect());
+            } else if line.starts_with("start") {
+                *started = true;
+            } else if line.starts_with("stop") {
+                *stopping = true;
+            }
+        };
+    let mut peers_wired = false;
+    while !(started || stopping) {
+        if nl.ctrl_eof() {
+            return Err(io::Error::other("control pipe closed"));
+        }
+        nl.pump(TUNING.status_every());
+        for line in std::mem::take(&mut nl.ctrl_lines) {
+            handle_line(&line, &mut addrs, &mut started, &mut stopping);
+        }
+        if let (Some(a), false) = (&addrs, peers_wired) {
+            if a.len() != cfg.n {
+                return Err(io::Error::other("peers line has wrong arity"));
+            }
+            let peers: Vec<(NodeId, String)> =
+                neighbors.iter().map(|&q| (q, a[q].clone())).collect();
+            nl.connect_peers(peers);
+            peers_wired = true;
+        }
     }
-    writeln!(ctrl_w, "ready {my_addr}")?;
-    ctrl_w.flush()?;
-
-    // --- control reader ---
-    let (ctrl_tx, ctrl_rx, ctrl_stats) =
-        tracked_channel::<String>(COMPONENT, model.channel_decl("node.ctrl"));
-    spawn_registered(COMPONENT, "ctrl.reader", move || {
-        for line in BufReader::new(ctrl_r).lines() {
-            let Ok(line) = line else { return };
-            if ctrl_tx.send(line) == SendOutcome::Disconnected {
-                return;
-            }
-        }
-    });
-
-    let expect = |rx: &Receiver<String>, what: &str| -> io::Result<String> {
-        loop {
-            let line = rx
-                .recv()
-                .map_err(|_| io::Error::other("control pipe closed"))?;
-            if line.starts_with(what) {
-                return Ok(line);
-            }
-        }
-    };
-
-    // --- peers, data plane, start ---
-    let peers_line = expect(&ctrl_rx, "peers ")?;
-    let addrs: Vec<&str> = peers_line["peers ".len()..].split_whitespace().collect();
-    if addrs.len() != cfg.n {
-        return Err(io::Error::other("peers line has wrong arity"));
+    if started && !peers_wired {
+        return Err(io::Error::other("start before peers"));
     }
-    let plane = match cfg.io {
-        IoMode::Event => {
-            let peers: Vec<(NodeId, String)> = neighbors
-                .iter()
-                .map(|&q| (q, addrs[q].to_string()))
-                .collect();
-            let seed = cfg.seed ^ ((p as u64) << 32).wrapping_mul(0xDEAD_BEEF_1234_5677);
-            DataPlane::Event(EventPlane::spawn(
-                p,
-                listener.take().expect("listener"),
-                peers,
-                inbound_tx.clone(),
-                seed,
-            )?)
-        }
-        IoMode::Blocking => {
-            let writer_stats = Arc::new(TrackedMutex::new(
-                model.lock_decl("writer.stats"),
-                WriterStats::default(),
-            ));
-            let mut senders: HashMap<NodeId, TrackedSender<WireFrame>> = HashMap::new();
-            let mut sendq_stats = Vec::with_capacity(neighbors.len());
-            for &q in &neighbors {
-                let (tx, rx, stats) =
-                    tracked_channel::<WireFrame>(COMPONENT, model.channel_decl("node.sendq"));
-                senders.insert(q, tx);
-                sendq_stats.push(stats);
-                let addr = addrs[q].to_string();
-                let ws = writer_stats.clone();
-                let seed =
-                    cfg.seed ^ ((p as u64) << 32 | q as u64).wrapping_mul(0xDEAD_BEEF_1234_5677);
-                spawn_registered(COMPONENT, "net.writer", move || {
-                    writer_loop(p, addr, rx, ws, seed)
-                });
-            }
-            DataPlane::Blocking {
-                senders,
-                sendq_stats,
-                writer_stats,
-            }
-        }
-    };
-    expect(&ctrl_rx, "start")?;
 
-    // --- main protocol loop ---
+    // --- main protocol loop: engine steps between I/O bursts ---
     let mut out = Outbox::new();
     let mut seen_deliveries = 0usize;
     let mut last_tick = Instant::now();
     let mut last_status = Instant::now();
-    let mut stopping = false;
     while !stopping {
+        // Sleep until readiness or the nearest engine deadline — the
+        // protocol tick or the status push, whichever is closer.
+        let now = Instant::now();
+        let tick_in = TUNING.tick().saturating_sub(now.duration_since(last_tick));
+        let status_in = TUNING
+            .status_every()
+            .saturating_sub(now.duration_since(last_status));
+        nl.pump(tick_in.min(status_in));
+
         // Control.
-        while let Ok(line) = ctrl_rx.try_recv() {
-            if line.starts_with("stop") {
-                stopping = true;
-            }
+        if nl.ctrl_eof() {
+            stopping = true;
+        }
+        for line in std::mem::take(&mut nl.ctrl_lines) {
+            handle_line(&line, &mut addrs, &mut started, &mut stopping);
         }
 
         // Did this iteration move the protocol? Drives the event-driven
         // timeout below.
         let mut worked = false;
 
-        // Inbound: block briefly so the loop idles at TICK granularity.
-        match inbound_rx.recv_timeout(TUNING.tick()) {
-            Ok((from, frame)) => {
-                let mut push = |from: NodeId, frame: WireFrame| {
-                    if frame.is_data_plane() {
-                        counters.frames_received += 1;
-                        if let Some(c) = chaos.get_mut(&from) {
-                            c.push(frame);
-                        }
-                    }
-                };
-                push(from, frame);
-                // Drain whatever else arrived in the same tick.
-                while let Ok((from, frame)) = inbound_rx.try_recv() {
-                    push(from, frame);
+        // Inbound, through the chaos shim (data-plane frames only:
+        // heartbeats keep connections warm but carry no protocol).
+        for (from, frame) in std::mem::take(&mut nl.inbound) {
+            if frame.is_data_plane() {
+                counters.frames_received += 1;
+                if let Some(c) = chaos.get_mut(&from) {
+                    c.push(frame);
                 }
-                worked = true;
             }
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => break,
+            worked = true;
         }
-
-        // Deliver through the chaos shim.
         for &q in &neighbors {
             let c = chaos.get_mut(&q).expect("neighbour chaos");
             while let Some(frame) = c.poll() {
@@ -600,36 +291,29 @@ where
             }
         }
 
-        // Ship the outbox. Event plane: frames enqueue into `node.ioq`
-        // (Block policy — a full queue stalls the loop here, the declared
-        // backpressure edge) and one wake covers the whole burst.
-        let mut sent_any = false;
+        // Ship the outbox straight into the per-edge coalescing buffers;
+        // the next pump's leading flush writes them (same stack, no
+        // queue, no wake).
         for (to, msg) in out.drain() {
             counters.frames_sent += 1;
-            plane.send(to, msg_to_frame(&msg));
-            sent_any = true;
-        }
-        if sent_any {
-            plane.flush();
+            nl.send(to, &msg_to_frame(&msg));
         }
 
         // Status push.
         if last_status.elapsed() >= TUNING.status_every() {
             last_status = Instant::now();
-            writeln!(
-                ctrl_w,
-                "status {} {} {} {}",
+            nl.write_ctrl(&format!(
+                "status {} {} {} {}\n",
                 gen.done_issuing() as u8,
                 fwd.generated.len(),
                 fwd.delivered.len(),
                 fwd.held_ghosts().len()
-            )?;
-            ctrl_w.flush()?;
+            ))?;
         }
     }
 
-    // --- shutdown: aggregate chaos counters, emit the report ---
-    stop_flag.store(true, Ordering::Relaxed);
+    // --- shutdown: flush, aggregate counters, emit the report ---
+    nl.shutdown_flush();
     for c in chaos.values() {
         let (d, u, r) = c.fault_counts();
         counters.chaos_dropped += d;
@@ -637,15 +321,12 @@ where
         counters.chaos_reordered += r;
         counters.partition_dropped += c.partition_dropped();
     }
-    let batch = plane.shutdown(&mut counters);
-    counters.inbound_shed = inbound_stats.shed_count();
-    // The control queue's bound dwarfs the lines-per-run the orchestrator
-    // sends; its Shed policy must therefore never fire.
-    debug_assert_eq!(
-        ctrl_stats.shed_count(),
-        0,
-        "control lines were shed — the node.ctrl capacity argument is broken"
-    );
+    let io_stats = nl.take_stats();
+    counters.heartbeats_sent = io_stats.heartbeats;
+    counters.reconnects = io_stats.reconnects;
+    counters.write_syscalls = io_stats.write_syscalls;
+    counters.read_syscalls = io_stats.read_syscalls;
+    counters.conn_frames_dropped = io_stats.conn_frames_dropped;
 
     let report = NodeReport {
         node: p,
@@ -653,11 +334,14 @@ where
         delivered: fwd.delivered.clone(),
         held: fwd.held_ghosts(),
         latency,
-        batch,
+        batch: io_stats.batch,
         counters,
     };
-    write_report(&mut ctrl_w, &report)?;
-    ctrl_w.flush()?;
+    {
+        let w = nl.ctrl_writer();
+        write_report(w, &report)?;
+        w.flush()?;
+    }
     if let ListenSpec::Uds { dir } = &cfg.listen {
         let _ = std::fs::remove_file(dir.join(format!("node{p}.sock")));
     }
@@ -724,7 +408,7 @@ pub fn write_report<W: Write>(w: &mut W, r: &NodeReport) -> io::Result<()> {
     let c = &r.counters;
     writeln!(
         w,
-        "ctr {} {} {} {} {} {} {} {} {} {} {} {} {}",
+        "ctr {} {} {} {} {} {} {} {} {} {} {}",
         c.frames_sent,
         c.frames_received,
         c.heartbeats_sent,
@@ -733,8 +417,6 @@ pub fn write_report<W: Write>(w: &mut W, r: &NodeReport) -> io::Result<()> {
         c.chaos_duplicated,
         c.chaos_reordered,
         c.partition_dropped,
-        c.backpressure_stalls,
-        c.inbound_shed,
         c.write_syscalls,
         c.read_syscalls,
         c.conn_frames_dropped
@@ -784,8 +466,6 @@ pub fn parse_report_body(
                     chaos_duplicated: next()?,
                     chaos_reordered: next()?,
                     partition_dropped: next()?,
-                    backpressure_stalls: next()?,
-                    inbound_shed: next()?,
                     write_syscalls: next()?,
                     read_syscalls: next()?,
                     conn_frames_dropped: next()?,
@@ -828,8 +508,6 @@ mod tests {
                 chaos_duplicated: 6,
                 chaos_reordered: 7,
                 partition_dropped: 8,
-                backpressure_stalls: 9,
-                inbound_shed: 10,
                 write_syscalls: 11,
                 read_syscalls: 12,
                 conn_frames_dropped: 13,
@@ -852,14 +530,5 @@ mod tests {
         assert_eq!(back.latency.max(), r.latency.max());
         assert_eq!(back.batch.count(), r.batch.count());
         assert_eq!(back.batch.mean(), r.batch.mean());
-    }
-
-    #[test]
-    fn io_mode_spelling_roundtrips() {
-        for mode in [IoMode::Event, IoMode::Blocking] {
-            assert_eq!(IoMode::parse(mode.as_str()), Some(mode));
-        }
-        assert_eq!(IoMode::parse("epoll"), None);
-        assert_eq!(IoMode::default(), IoMode::Event);
     }
 }

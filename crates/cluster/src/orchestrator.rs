@@ -2,31 +2,52 @@
 //! watch it converge, reconcile the per-node ledgers into a cluster-wide
 //! SP verdict, and emit a JSON run report.
 //!
-//! Two launch modes share every other code path:
-//! * **Inproc** — each node is a thread calling [`node_main`] over a
-//!   socketpair control pipe (fast, used by tests).
-//! * **Proc** — each node is its own OS process (`ssmfp-cluster
-//!   --node-worker …`) controlled over stdin/stdout, which is the real
-//!   deployment shape.
+//! ## The shard tree (PR 8)
+//!
+//! The control plane is a two-level tree. `orch.main` spawns K
+//! `shard.super` threads, each supervising a contiguous block of nodes
+//! (threads in [`RunMode::Inproc`], OS processes in [`RunMode::Proc`]).
+//! A shard polls its nodes' control pipes directly — no per-node reader
+//! threads — so a whole run costs `nodes + shards + 1` threads, and the
+//! 100-node topologies that motivated this PR stay cheap to supervise.
+//!
+//! Shards pre-merge what flows upward: per-node status lines become one
+//! [`ShardStatus`] sum per period, and per-node reports become one
+//! [`ShardReport`] whose [`ShardSummary`] already carries the merged
+//! histograms and counters. The orchestrator then works O(K) per status
+//! tick and O(merged) at reconciliation — it concatenates the shard
+//! ledger lists and calls `reconcile_ledgers` exactly once (the SP
+//! verdict is a global join; only the *assembly* shards, never the
+//! verdict).
+//!
+//! Convergence is judged on shard sums. Every summed quantity
+//! (generated, delivered, held, done-count) is per-node monotone during
+//! drain, so "all shards report identical sums for
+//! `stable_snapshots` consecutive periods" is exactly as sound as the
+//! old per-node snapshot comparison, at a K-th of the traffic.
 
 use crate::chaos::{ChaosSpec, PartitionSpec};
 use crate::conc::COMPONENT;
+use crate::evloop::{
+    raise_nofile_limit, set_nonblocking_fd, CtrlPipe, PollSet, POLLERR, POLLHUP, POLLIN, POLLNVAL,
+    POLLOUT,
+};
 use crate::frame::ghost_to_wire;
-use crate::node::{node_main, parse_report_body, IoMode, ListenSpec, NodeConfig, NodeReport};
+use crate::node::{node_main, parse_report_body, ListenSpec, NodeConfig, NodeReport};
 use crate::telemetry::{LogHistogram, NodeCounters};
 use crate::tuning::TUNING;
 use crate::workload::{is_ack_ghost, WorkloadKind, WorkloadSpec};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use ssmfp_core::conc::{
-    register_thread, spawn_registered, tracked_channel, SendOutcome, TrackedSender,
-};
+use ssmfp_core::conc::{register_thread, spawn_registered, tracked_channel, TrackedSender};
 use ssmfp_core::{reconcile_ledgers, ClusterVerdict, NodeLedger};
-use ssmfp_topology::Graph;
-use std::io::{self, BufRead, BufReader, Read, Write};
+use ssmfp_topology::{Graph, NodeId};
+use std::io::{self, Read, Write};
+use std::ops::Range;
+use std::os::unix::io::AsRawFd;
 use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
-use std::process::{Child, Command, Stdio};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -58,12 +79,70 @@ pub struct ClusterSpec {
     pub chaos: ChaosSpec,
     /// Socket flavour.
     pub listen: ListenSpec,
-    /// Data plane flavour.
-    pub io: IoMode,
+    /// Orchestrator shards (supervised node groups); clamped to `1..=n`.
+    pub shards: usize,
     /// Launch mode.
     pub mode: RunMode,
     /// Give up (converged = false) after this long.
     pub timeout: Duration,
+}
+
+/// One shard's pre-merged telemetry: the node-group totals the
+/// orchestrator folds into the run report.
+#[derive(Debug, Clone, Default)]
+pub struct ShardSummary {
+    /// Shard index.
+    pub shard: usize,
+    /// Nodes in the shard.
+    pub nodes: usize,
+    /// Primaries delivered inside the shard.
+    pub primaries_delivered: u64,
+    /// Merged one-way latency histogram (µs).
+    pub latency: LogHistogram,
+    /// Merged frames-per-write histogram.
+    pub batch: LogHistogram,
+    /// Summed per-node counters.
+    pub counters: NodeCounters,
+}
+
+/// Everything a shard sends upward at the end of a run.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// The pre-merged totals.
+    pub summary: ShardSummary,
+    /// The raw per-node reports (ledgers ride here to the single global
+    /// reconciliation).
+    pub reports: Vec<NodeReport>,
+}
+
+/// One shard's merged status snapshot (all fields are sums over the
+/// shard's nodes; `done` counts nodes that finished issuing).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStatus {
+    /// Nodes in the shard.
+    pub nodes: u64,
+    /// Nodes done issuing their workload.
+    pub done: u64,
+    /// Messages generated.
+    pub generated: u64,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Messages still held.
+    pub held: u64,
+}
+
+/// Shard → orchestrator upstream messages (the `orch.shard` channel).
+enum ShardUp {
+    /// All shard nodes bound their listeners.
+    Ready(Vec<(NodeId, String)>),
+    /// Periodic merged status.
+    Status(ShardStatus),
+    /// Final report (boxed: the reports dwarf the other variants).
+    Done(Box<ShardReport>),
+    /// The shard cannot finish the run.
+    Error(String),
 }
 
 /// Outcome of one cluster run.
@@ -75,6 +154,8 @@ pub struct RunReport {
     pub n: usize,
     /// Run seed.
     pub seed: u64,
+    /// Orchestrator shards the run used.
+    pub shards: usize,
     /// Whether the cluster quiesced before the timeout.
     pub converged: bool,
     /// Wall-clock seconds from `start` to convergence (or timeout).
@@ -87,13 +168,14 @@ pub struct RunReport {
     pub throughput: f64,
     /// Merged one-way latency histogram (µs).
     pub latency: LogHistogram,
-    /// Merged frames-per-write histogram (event plane coalescing).
+    /// Merged frames-per-write histogram (coalescing).
     pub batch: LogHistogram,
-    /// Which data plane the run used.
-    pub io: IoMode,
     /// Summed per-node counters.
     pub counters: NodeCounters,
-    /// The raw per-node reports.
+    /// The per-shard pre-merged totals (the top-level numbers above are
+    /// folds of exactly these — pinned by a unit test).
+    pub shard_summaries: Vec<ShardSummary>,
+    /// The raw per-node reports, ordered by node id.
     pub nodes: Vec<NodeReport>,
 }
 
@@ -115,6 +197,7 @@ impl RunReport {
                 "  \"topology\": \"{}\",\n",
                 "  \"n\": {},\n",
                 "  \"seed\": {},\n",
+                "  \"shards\": {},\n",
                 "  \"converged\": {},\n",
                 "  \"wall_s\": {:.4},\n",
                 "  \"sp\": {{\"generated\": {}, \"exactly_once\": {}, \"in_flight\": {}, ",
@@ -125,9 +208,8 @@ impl RunReport {
                 "\"p99\": {}, \"p999\": {}, \"max\": {}}},\n",
                 "  \"counters\": {{\"frames_sent\": {}, \"frames_received\": {}, ",
                 "\"heartbeats_sent\": {}, \"reconnects\": {}, \"chaos_dropped\": {}, ",
-                "\"chaos_duplicated\": {}, \"chaos_reordered\": {}, \"partition_dropped\": {}, ",
-                "\"backpressure_stalls\": {}, \"inbound_shed\": {}}},\n",
-                "  \"io\": {{\"mode\": \"{}\", \"write_syscalls\": {}, \"read_syscalls\": {}, ",
+                "\"chaos_duplicated\": {}, \"chaos_reordered\": {}, \"partition_dropped\": {}}},\n",
+                "  \"io\": {{\"write_syscalls\": {}, \"read_syscalls\": {}, ",
                 "\"conn_frames_dropped\": {}, \"frames_per_write\": {{\"count\": {}, ",
                 "\"mean\": {:.2}, \"p50\": {}, \"p99\": {}, \"max\": {}}}}}\n",
                 "}}"
@@ -135,6 +217,7 @@ impl RunReport {
             self.topology,
             self.n,
             self.seed,
+            self.shards,
             self.converged,
             self.wall_s,
             v.generated,
@@ -164,9 +247,6 @@ impl RunReport {
             c.chaos_duplicated,
             c.chaos_reordered,
             c.partition_dropped,
-            c.backpressure_stalls,
-            c.inbound_shed,
-            self.io.as_str(),
             c.write_syscalls,
             c.read_syscalls,
             c.conn_frames_dropped,
@@ -193,67 +273,31 @@ pub fn pick_partition(graph: &Graph, seed: u64, from_arrival: u64, len: u64) -> 
     }
 }
 
-enum NodeHandle {
-    Thread {
-        ctrl_w: UnixStream,
-        join: JoinHandle<io::Result<NodeReport>>,
-    },
-    Proc {
-        child: Child,
-        stdin: std::process::ChildStdin,
-    },
+/// Splits `0..n` into at most `shards` contiguous non-empty blocks.
+/// The effective shard count is the returned length.
+pub fn shard_ranges(n: usize, shards: usize) -> Vec<Range<usize>> {
+    let k = shards.clamp(1, n.max(1));
+    let chunk = n.div_ceil(k);
+    (0..k)
+        .map(|s| (s * chunk).min(n)..((s + 1) * chunk).min(n))
+        .filter(|r| !r.is_empty())
+        .collect()
 }
 
-impl NodeHandle {
-    fn write_line(&mut self, line: &str) -> io::Result<()> {
-        match self {
-            NodeHandle::Thread { ctrl_w, .. } => {
-                writeln!(ctrl_w, "{line}")?;
-                ctrl_w.flush()
-            }
-            NodeHandle::Proc { stdin, .. } => {
-                writeln!(stdin, "{line}")?;
-                stdin.flush()
-            }
-        }
+/// Folds a node group's reports into its pre-merged [`ShardSummary`].
+fn summarize(shard: usize, reports: &[NodeReport]) -> ShardSummary {
+    let mut s = ShardSummary {
+        shard,
+        nodes: reports.len(),
+        ..ShardSummary::default()
+    };
+    for r in reports {
+        s.latency.merge(&r.latency);
+        s.batch.merge(&r.batch);
+        s.primaries_delivered += r.delivered.iter().filter(|&&g| !is_ack_ghost(g)).count() as u64;
+        s.counters.add(&r.counters);
     }
-
-    fn finish(self) {
-        match self {
-            NodeHandle::Thread { ctrl_w, join } => {
-                drop(ctrl_w);
-                let _ = join.join();
-            }
-            NodeHandle::Proc { mut child, stdin } => {
-                drop(stdin);
-                let deadline = Instant::now() + TUNING.proc_exit_grace();
-                loop {
-                    match child.try_wait() {
-                        Ok(Some(_)) => break,
-                        Ok(None) if Instant::now() < deadline => {
-                            thread::sleep(TUNING.proc_wait_poll());
-                        }
-                        _ => {
-                            let _ = child.kill();
-                            let _ = child.wait();
-                            break;
-                        }
-                    }
-                }
-            }
-        }
-    }
-}
-
-fn spawn_line_reader(id: usize, r: impl Read + Send + 'static, tx: TrackedSender<(usize, String)>) {
-    spawn_registered(COMPONENT, "orch.line-reader", move || {
-        for line in BufReader::new(r).lines() {
-            let Ok(line) = line else { return };
-            if tx.send((id, line)) == SendOutcome::Disconnected {
-                return;
-            }
-        }
-    });
+    s
 }
 
 /// Serializes a node config into `--node-worker` CLI arguments (the
@@ -292,8 +336,6 @@ pub fn node_args(cfg: &NodeConfig) -> Vec<String> {
         cfg.seed.to_string(),
         "--listen".into(),
         listen,
-        "--io".into(),
-        cfg.io.as_str().into(),
         "--workload".into(),
         workload,
         "--chaos".into(),
@@ -310,7 +352,6 @@ pub fn parse_node_args(args: &[String]) -> Result<NodeConfig, String> {
         edges: Vec::new(),
         seed: 0,
         listen: ListenSpec::Tcp,
-        io: IoMode::default(),
         workload: WorkloadSpec {
             kind: WorkloadKind::Closed { outstanding: 1 },
             messages: 0,
@@ -350,10 +391,6 @@ pub fn parse_node_args(args: &[String]) -> Result<NodeConfig, String> {
                 } else {
                     return Err(format!("bad --listen {v:?}"));
                 };
-            }
-            "--io" => {
-                let v = val()?;
-                cfg.io = IoMode::parse(v).ok_or_else(|| format!("bad --io {v:?}"))?;
             }
             "--workload" => cfg.workload = parse_workload(val()?)?,
             "--chaos" => cfg.chaos = parse_chaos(val()?)?,
@@ -417,143 +454,600 @@ fn node_config(spec: &ClusterSpec, p: usize) -> NodeConfig {
         edges: spec.graph.edges().to_vec(),
         seed: spec.seed,
         listen: spec.listen.clone(),
-        io: spec.io,
         workload: spec.workload,
         chaos: spec.chaos,
     }
 }
 
-/// Runs a cluster to convergence (or timeout) and reconciles the ledgers.
-pub fn run_cluster(spec: &ClusterSpec) -> io::Result<RunReport> {
-    register_thread(COMPONENT, "orch.main");
-    let model = crate::conc::model(&TUNING);
-    let n = spec.graph.n();
-    let (line_tx, line_rx, _line_stats) =
-        tracked_channel::<(usize, String)>(COMPONENT, model.channel_decl("orch.lines"));
-    let mut handles: Vec<NodeHandle> = Vec::with_capacity(n);
+// ---------------------------------------------------------------------------
+// Shard supervisor
+// ---------------------------------------------------------------------------
 
-    for p in 0..n {
-        let cfg = node_config(spec, p);
-        match &spec.mode {
-            RunMode::Inproc => {
-                let (orch_side, node_side) = UnixStream::pair()?;
-                let node_r = node_side.try_clone()?;
-                let join = spawn_registered(COMPONENT, "node.main", move || {
-                    node_main(&cfg, node_r, node_side)
-                });
-                spawn_line_reader(p, orch_side.try_clone()?, line_tx.clone());
-                handles.push(NodeHandle::Thread {
-                    ctrl_w: orch_side,
-                    join,
-                });
+/// A shard's handle on one node's control pipe and lifetime.
+enum NodeCtrl {
+    Thread {
+        /// The supervisor's end of the socketpair (nonblocking).
+        pipe: UnixStream,
+        join: JoinHandle<io::Result<NodeReport>>,
+    },
+    Proc {
+        child: Child,
+        /// Parent's write end of the child's stdin pipe (nonblocking).
+        stdin: Option<ChildStdin>,
+        /// Parent's read end of the child's stdout pipe (nonblocking).
+        stdout: ChildStdout,
+    },
+}
+
+impl NodeCtrl {
+    fn read_fd(&self) -> i32 {
+        match self {
+            NodeCtrl::Thread { pipe, .. } => pipe.as_raw_fd(),
+            NodeCtrl::Proc { stdout, .. } => stdout.as_raw_fd(),
+        }
+    }
+
+    fn write_fd(&self) -> i32 {
+        match self {
+            NodeCtrl::Thread { pipe, .. } => pipe.as_raw_fd(),
+            NodeCtrl::Proc { stdin, .. } => stdin.as_ref().expect("stdin open").as_raw_fd(),
+        }
+    }
+
+    fn read_once(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            NodeCtrl::Thread { pipe, .. } => (&*pipe).read(buf),
+            NodeCtrl::Proc { stdout, .. } => stdout.read(buf),
+        }
+    }
+
+    fn write_some(&mut self, bytes: &[u8]) -> io::Result<usize> {
+        match self {
+            NodeCtrl::Thread { pipe, .. } => (&*pipe).write(bytes),
+            NodeCtrl::Proc { stdin, .. } => stdin.as_mut().expect("stdin open").write(bytes),
+        }
+    }
+
+    fn finish(self) {
+        match self {
+            NodeCtrl::Thread { pipe, join } => {
+                drop(pipe);
+                let _ = join.join();
             }
-            RunMode::Proc { exe } => {
-                let mut child = Command::new(exe)
-                    .arg("--node-worker")
-                    .args(node_args(&cfg))
-                    .stdin(Stdio::piped())
-                    .stdout(Stdio::piped())
-                    .stderr(Stdio::inherit())
-                    .spawn()?;
-                let stdin = child.stdin.take().expect("piped stdin");
-                let stdout = child.stdout.take().expect("piped stdout");
-                spawn_line_reader(p, stdout, line_tx.clone());
-                handles.push(NodeHandle::Proc { child, stdin });
+            NodeCtrl::Proc {
+                mut child, stdin, ..
+            } => {
+                drop(stdin);
+                let deadline = Instant::now() + TUNING.proc_exit_grace();
+                loop {
+                    match child.try_wait() {
+                        Ok(Some(_)) => break,
+                        Ok(None) if Instant::now() < deadline => {
+                            thread::sleep(TUNING.proc_wait_poll());
+                        }
+                        _ => {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            break;
+                        }
+                    }
+                }
             }
         }
     }
-    drop(line_tx);
+}
 
-    let recv_or_timeout = |rx: &Receiver<(usize, String)>,
-                           deadline: Instant|
-     -> io::Result<Option<(usize, String)>> {
-        let now = Instant::now();
-        if now >= deadline {
-            return Ok(None);
+#[derive(Clone, Copy, Default)]
+struct NodeStatus {
+    done: bool,
+    generated: u64,
+    delivered: u64,
+    held: u64,
+}
+
+/// A shard's per-node supervision state.
+struct NodeSlot {
+    id: NodeId,
+    ctrl: NodeCtrl,
+    /// Read accumulator (partial control lines).
+    acc: Vec<u8>,
+    /// Staged downward control bytes, written on `POLLOUT` only.
+    staged: Vec<u8>,
+    staged_at: usize,
+    eof: bool,
+    ready: Option<String>,
+    status: NodeStatus,
+    /// Everything the node says after `stop` (the report block).
+    lines: Vec<String>,
+    ended: bool,
+}
+
+impl NodeSlot {
+    fn new(id: NodeId, ctrl: NodeCtrl) -> Self {
+        NodeSlot {
+            id,
+            ctrl,
+            acc: Vec::new(),
+            staged: Vec::new(),
+            staged_at: 0,
+            eof: false,
+            ready: None,
+            status: NodeStatus::default(),
+            lines: Vec::new(),
+            ended: false,
         }
-        match rx.recv_timeout(deadline - now) {
-            Ok(v) => Ok(Some(v)),
-            Err(RecvTimeoutError::Timeout) => Ok(None),
-            Err(RecvTimeoutError::Disconnected) => {
-                Err(io::Error::other("every node hung up before reporting"))
+    }
+
+    fn stage(&mut self, line: &str) {
+        self.staged.extend_from_slice(line.as_bytes());
+        self.staged.push(b'\n');
+    }
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Phase {
+    Ready,
+    Running,
+    Reporting,
+}
+
+/// Splits complete lines out of a byte accumulator (trimmed; empty lines
+/// dropped).
+fn take_lines(acc: &mut Vec<u8>) -> Vec<String> {
+    let mut out = Vec::new();
+    while let Some(nl) = acc.iter().position(|&b| b == b'\n') {
+        let line: Vec<u8> = acc.drain(..=nl).collect();
+        let text = String::from_utf8_lossy(&line[..nl]).trim_end().to_string();
+        if !text.is_empty() {
+            out.push(text);
+        }
+    }
+    out
+}
+
+fn spawn_proc_node(exe: &PathBuf, cfg: &NodeConfig) -> io::Result<NodeCtrl> {
+    let mut child = Command::new(exe)
+        .arg("--node-worker")
+        .args(node_args(cfg))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()?;
+    let stdin = child.stdin.take().expect("piped stdin");
+    let stdout = child.stdout.take().expect("piped stdout");
+    // Only the parent's pipe ends go nonblocking: the child's stdio fds
+    // are separate file descriptions, so the node's blocking ctrl writes
+    // are untouched.
+    set_nonblocking_fd(stdin.as_raw_fd(), true)?;
+    set_nonblocking_fd(stdout.as_raw_fd(), true)?;
+    Ok(NodeCtrl::Proc {
+        child,
+        stdin: Some(stdin),
+        stdout,
+    })
+}
+
+/// One shard supervisor: spawns its node group, polls every control pipe
+/// plus the orchestrator socketpair in one `poll(2)` set, forwards
+/// control lines downward (staged, `POLLOUT`-gated — the declared timed
+/// write), and pre-merges status and reports upward.
+fn shard_main(
+    shard: usize,
+    cfgs: Vec<NodeConfig>,
+    mode: RunMode,
+    orch: UnixStream,
+    up: TrackedSender<(usize, ShardUp)>,
+) {
+    register_thread(COMPONENT, "shard.super");
+    let send_up = |msg: ShardUp| {
+        // Untimed `ChanSend(orch.shard)` — the declared upstream edge.
+        // A disconnected receiver means the orchestrator already gave
+        // up; keep going so the node handles still get finished.
+        let _ = up.send((shard, msg));
+    };
+
+    // --- spawn the node group ---
+    let mut slots: Vec<NodeSlot> = Vec::with_capacity(cfgs.len());
+    for cfg in cfgs {
+        let id = cfg.node;
+        let ctrl = match &mode {
+            RunMode::Inproc => match UnixStream::pair() {
+                Ok((sup_side, node_side)) => {
+                    if let Err(e) = sup_side.set_nonblocking(true) {
+                        send_up(ShardUp::Error(format!("nonblocking ctrl: {e}")));
+                        for s in slots {
+                            s.ctrl.finish();
+                        }
+                        return;
+                    }
+                    let join = spawn_registered(COMPONENT, "node.main", move || {
+                        node_main(&cfg, CtrlPipe::Stream(node_side))
+                    });
+                    NodeCtrl::Thread {
+                        pipe: sup_side,
+                        join,
+                    }
+                }
+                Err(e) => {
+                    send_up(ShardUp::Error(format!("socketpair: {e}")));
+                    for s in slots {
+                        s.ctrl.finish();
+                    }
+                    return;
+                }
+            },
+            RunMode::Proc { exe } => match spawn_proc_node(exe, &cfg) {
+                Ok(c) => c,
+                Err(e) => {
+                    send_up(ShardUp::Error(format!("spawn node {id}: {e}")));
+                    for s in slots {
+                        s.ctrl.finish();
+                    }
+                    return;
+                }
+            },
+        };
+        slots.push(NodeSlot::new(id, ctrl));
+    }
+
+    // --- supervision loop ---
+    let mut poll = PollSet::new();
+    let mut scratch = vec![0u8; 16 * 1024];
+    let mut orch_acc: Vec<u8> = Vec::new();
+    let mut orch_eof = false;
+    let mut phase = Phase::Ready;
+    let mut ready_sent = false;
+    let mut last_status = Instant::now();
+    let mut report_deadline = Instant::now();
+    let mut failed: Option<String> = None;
+    loop {
+        poll.clear();
+        let orch_idx = if orch_eof {
+            usize::MAX
+        } else {
+            poll.push(orch.as_raw_fd(), POLLIN)
+        };
+        let mut read_slots: Vec<(usize, usize)> = Vec::with_capacity(slots.len());
+        let mut write_slots: Vec<(usize, usize)> = Vec::new();
+        for (i, s) in slots.iter().enumerate() {
+            if !s.eof {
+                read_slots.push((poll.push(s.ctrl.read_fd(), POLLIN), i));
+            }
+            if s.staged_at < s.staged.len() {
+                write_slots.push((poll.push(s.ctrl.write_fd(), POLLOUT), i));
             }
         }
-    };
+        let cap = Duration::from_millis(50);
+        let timeout = match phase {
+            Phase::Ready => cap,
+            Phase::Running => TUNING
+                .status_every()
+                .saturating_sub(last_status.elapsed())
+                .min(cap),
+            Phase::Reporting => report_deadline
+                .saturating_duration_since(Instant::now())
+                .min(cap),
+        };
+        let _ = poll.poll(Some(timeout));
+
+        // Orchestrator lines: interpret, then forward verbatim to every
+        // node. (The shard's end of the socketpair is blocking: one
+        // single-shot read per POLLIN readiness never blocks.)
+        if orch_idx != usize::MAX && poll.revents(orch_idx) & (POLLIN | POLLERR | POLLHUP) != 0 {
+            match (&orch).read(&mut scratch) {
+                Ok(0) => orch_eof = true,
+                Ok(k) => {
+                    orch_acc.extend_from_slice(&scratch[..k]);
+                    for line in take_lines(&mut orch_acc) {
+                        for s in &mut slots {
+                            s.stage(&line);
+                        }
+                        if line.starts_with("start") && phase == Phase::Ready {
+                            phase = Phase::Running;
+                            last_status = Instant::now();
+                        } else if line.starts_with("stop") && phase != Phase::Reporting {
+                            phase = Phase::Reporting;
+                            report_deadline = Instant::now() + TUNING.report_grace();
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => orch_eof = true,
+            }
+            if orch_eof && phase != Phase::Reporting {
+                // Orchestrator gone: wind the run down cleanly.
+                for s in &mut slots {
+                    s.stage("stop");
+                }
+                phase = Phase::Reporting;
+                report_deadline = Instant::now() + TUNING.report_grace();
+            }
+        }
+
+        // Node lines (nonblocking fds: drain to WouldBlock).
+        for &(idx, i) in &read_slots {
+            if poll.revents(idx) & (POLLIN | POLLERR | POLLHUP | POLLNVAL) == 0 {
+                continue;
+            }
+            loop {
+                match slots[i].ctrl.read_once(&mut scratch) {
+                    Ok(0) => {
+                        slots[i].eof = true;
+                        break;
+                    }
+                    Ok(k) => {
+                        slots[i].acc.extend_from_slice(&scratch[..k]);
+                        let short = k < scratch.len();
+                        for line in take_lines(&mut slots[i].acc) {
+                            let s = &mut slots[i];
+                            if phase == Phase::Reporting {
+                                if line == "end" {
+                                    s.ended = true;
+                                }
+                                s.lines.push(line);
+                            } else if let Some(a) = line.strip_prefix("ready ") {
+                                s.ready = Some(a.to_string());
+                            } else if let Some(rest) = line.strip_prefix("status ") {
+                                let mut it = rest.split_whitespace();
+                                let mut num =
+                                    || it.next().and_then(|t| t.parse::<u64>().ok()).unwrap_or(0);
+                                s.status = NodeStatus {
+                                    done: num() == 1,
+                                    generated: num(),
+                                    delivered: num(),
+                                    held: num(),
+                                };
+                            }
+                        }
+                        if short {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        slots[i].eof = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Staged downward writes, POLLOUT-gated (the declared timed
+        // `SockWrite(node.main)` edge — the shard never blocks on a
+        // node).
+        for &(idx, i) in &write_slots {
+            if poll.revents(idx) & (POLLOUT | POLLERR | POLLHUP | POLLNVAL) == 0 {
+                continue;
+            }
+            let s = &mut slots[i];
+            while s.staged_at < s.staged.len() {
+                match s.ctrl.write_some(&s.staged[s.staged_at..]) {
+                    Ok(0) => break,
+                    Ok(k) => s.staged_at += k,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        // Node died; the read side will surface EOF.
+                        s.staged_at = s.staged.len();
+                        break;
+                    }
+                }
+            }
+            if s.staged_at == s.staged.len() {
+                s.staged.clear();
+                s.staged_at = 0;
+            }
+        }
+
+        // Phase work.
+        match phase {
+            Phase::Ready => {
+                if !ready_sent && slots.iter().all(|s| s.ready.is_some()) {
+                    let list: Vec<(NodeId, String)> = slots
+                        .iter()
+                        .map(|s| (s.id, s.ready.clone().expect("all ready")))
+                        .collect();
+                    send_up(ShardUp::Ready(list));
+                    ready_sent = true;
+                }
+                if let Some(dead) = slots.iter().find(|s| s.eof && s.ready.is_none()) {
+                    failed = Some(format!("node {} exited before ready", dead.id));
+                    break;
+                }
+            }
+            Phase::Running => {
+                if last_status.elapsed() >= TUNING.status_every() {
+                    last_status = Instant::now();
+                    let mut st = ShardStatus {
+                        nodes: slots.len() as u64,
+                        ..ShardStatus::default()
+                    };
+                    for s in &slots {
+                        st.done += u64::from(s.status.done);
+                        st.generated += s.status.generated;
+                        st.delivered += s.status.delivered;
+                        st.held += s.status.held;
+                    }
+                    send_up(ShardUp::Status(st));
+                }
+            }
+            Phase::Reporting => {
+                if slots.iter().all(|s| s.ended || s.eof) {
+                    break;
+                }
+                if Instant::now() >= report_deadline {
+                    let missing = slots.iter().find(|s| !s.ended).map(|s| s.id).unwrap_or(0);
+                    failed = Some(format!("node {missing} sent no report in time"));
+                    break;
+                }
+            }
+        }
+    }
+
+    // --- parse reports, send the pre-merged shard report ---
+    if failed.is_none() {
+        if let Some(s) = slots.iter().find(|s| !s.ended) {
+            failed = Some(format!("node {} hung up before its report", s.id));
+        }
+    }
+    match failed {
+        Some(e) => send_up(ShardUp::Error(e)),
+        None => {
+            let mut reports: Vec<NodeReport> = Vec::with_capacity(slots.len());
+            let mut ok = true;
+            for s in &mut slots {
+                let mut it = std::mem::take(&mut s.lines)
+                    .into_iter()
+                    .skip_while(|l| !l.starts_with("report "))
+                    .skip(1);
+                match parse_report_body(s.id, &mut it) {
+                    Some(r) => reports.push(r),
+                    None => {
+                        send_up(ShardUp::Error(format!("node {} report unparsable", s.id)));
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                let summary = summarize(shard, &reports);
+                send_up(ShardUp::Done(Box::new(ShardReport {
+                    shard,
+                    summary,
+                    reports,
+                })));
+            }
+        }
+    }
+    for s in slots {
+        s.ctrl.finish();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Orchestrator
+// ---------------------------------------------------------------------------
+
+/// Deadline-bounded `write_all` on a nonblocking stream (the declared
+/// timed `SockWrite(shard.super)` edge). Control lines are tiny next to
+/// the socketpair buffer, so the poll path is cold.
+fn write_all_deadline(s: &UnixStream, mut bytes: &[u8], deadline: Instant) -> io::Result<()> {
+    while !bytes.is_empty() {
+        match (&*s).write(bytes) {
+            Ok(0) => return Err(io::Error::new(io::ErrorKind::WriteZero, "shard hung up")),
+            Ok(k) => bytes = &bytes[k..],
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "shard not draining control writes",
+                    ));
+                }
+                let mut ps = PollSet::new();
+                ps.push(s.as_raw_fd(), POLLOUT);
+                ps.poll(Some(deadline - now))?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+fn recv_or_timeout(
+    rx: &Receiver<(usize, ShardUp)>,
+    deadline: Instant,
+) -> io::Result<Option<(usize, ShardUp)>> {
+    let now = Instant::now();
+    if now >= deadline {
+        return Ok(None);
+    }
+    match rx.recv_timeout(deadline - now) {
+        Ok(v) => Ok(Some(v)),
+        Err(RecvTimeoutError::Timeout) => Ok(None),
+        Err(RecvTimeoutError::Disconnected) => {
+            Err(io::Error::other("every shard hung up before reporting"))
+        }
+    }
+}
+
+/// The orchestrator's control phases against live shards: gather ready
+/// addresses, broadcast `peers`/`start`, watch shard status sums until
+/// stable, broadcast `stop`, collect shard reports.
+fn drive(
+    spec: &ClusterSpec,
+    n: usize,
+    rx: &Receiver<(usize, ShardUp)>,
+    pipes: &[UnixStream],
+) -> io::Result<(bool, f64, Vec<ShardReport>)> {
+    let k = pipes.len();
 
     // --- gather ready addresses ---
     let setup_deadline = Instant::now() + spec.timeout;
     let mut addrs: Vec<Option<String>> = vec![None; n];
-    let mut pending_lines: Vec<(usize, String)> = Vec::new();
-    while addrs.iter().any(Option::is_none) {
-        let Some((p, line)) = recv_or_timeout(&line_rx, setup_deadline)? else {
-            for h in handles {
-                h.finish();
-            }
+    let mut filled = 0usize;
+    while filled < n {
+        let Some((s, up)) = recv_or_timeout(rx, setup_deadline)? else {
             return Err(io::Error::other("timed out waiting for ready"));
         };
-        if let Some(addr) = line.strip_prefix("ready ") {
-            addrs[p] = Some(addr.to_string());
-        } else {
-            pending_lines.push((p, line));
+        match up {
+            ShardUp::Ready(list) => {
+                for (p, a) in list {
+                    if addrs[p].is_none() {
+                        filled += 1;
+                    }
+                    addrs[p] = Some(a);
+                }
+            }
+            ShardUp::Error(e) => return Err(io::Error::other(format!("shard {s}: {e}"))),
+            _ => {}
         }
     }
     let peer_line = format!(
-        "peers {}",
+        "peers {}\n",
         addrs
             .iter()
             .map(|a| a.as_deref().expect("all ready"))
             .collect::<Vec<_>>()
             .join(" ")
     );
-    for h in &mut handles {
-        h.write_line(&peer_line)?;
-    }
-    for h in &mut handles {
-        h.write_line("start")?;
+    let wdl = Instant::now() + TUNING.report_grace();
+    for p in pipes {
+        write_all_deadline(p, peer_line.as_bytes(), wdl)?;
+        write_all_deadline(p, b"start\n", wdl)?;
     }
 
-    // --- watch status until converged or timed out ---
-    #[derive(Clone, Copy, Default, PartialEq)]
-    struct Status {
-        done: bool,
-        generated: u64,
-        delivered: u64,
-        held: u64,
-    }
+    // --- watch shard status sums until converged or timed out ---
     let started = Instant::now();
     let deadline = started + spec.timeout;
-    let mut status: Vec<Status> = vec![Status::default(); n];
-    let mut last_snapshot: Option<Vec<Status>> = None;
+    let mut shard_status: Vec<Option<ShardStatus>> = vec![None; k];
+    let mut last_snapshot: Option<Vec<ShardStatus>> = None;
     let mut stable: u32 = 0;
     let mut converged = false;
     let mut wall_s;
     loop {
         wall_s = started.elapsed().as_secs_f64();
-        let next = if let Some(l) = pending_lines.pop() {
-            Some(l)
-        } else {
-            recv_or_timeout(&line_rx, deadline)?
-        };
-        let Some((p, line)) = next else {
+        let Some((s, up)) = recv_or_timeout(rx, deadline)? else {
             break; // timeout: not converged
         };
-        let mut it = line.split_whitespace();
-        if it.next() != Some("status") {
+        match up {
+            ShardUp::Status(st) => shard_status[s] = Some(st),
+            ShardUp::Error(e) => return Err(io::Error::other(format!("shard {s}: {e}"))),
+            _ => continue,
+        }
+        if shard_status.iter().any(Option::is_none) {
             continue;
         }
-        let mut num = || it.next().and_then(|t| t.parse::<u64>().ok()).unwrap_or(0);
-        status[p] = Status {
-            done: num() == 1,
-            generated: num(),
-            delivered: num(),
-            held: num(),
-        };
-        let all_done = status.iter().all(|s| s.done);
-        let held: u64 = status.iter().map(|s| s.held).sum();
-        let generated: u64 = status.iter().map(|s| s.generated).sum();
-        let delivered: u64 = status.iter().map(|s| s.delivered).sum();
+        let snap: Vec<ShardStatus> = shard_status.iter().map(|s| s.expect("checked")).collect();
+        let all_done = snap.iter().all(|s| s.done == s.nodes);
+        let held: u64 = snap.iter().map(|s| s.held).sum();
+        let generated: u64 = snap.iter().map(|s| s.generated).sum();
+        let delivered: u64 = snap.iter().map(|s| s.delivered).sum();
         if all_done && held == 0 && generated == delivered && generated > 0 {
-            if last_snapshot.as_deref() == Some(&status[..]) {
+            if last_snapshot.as_deref() == Some(&snap[..]) {
                 stable += 1;
                 if stable >= TUNING.stable_snapshots {
                     converged = true;
@@ -561,7 +1055,7 @@ pub fn run_cluster(spec: &ClusterSpec) -> io::Result<RunReport> {
                     break;
                 }
             } else {
-                last_snapshot = Some(status.clone());
+                last_snapshot = Some(snap);
                 stable = 1;
             }
         } else {
@@ -570,38 +1064,74 @@ pub fn run_cluster(spec: &ClusterSpec) -> io::Result<RunReport> {
         }
     }
 
-    // --- stop everyone, collect reports ---
-    for h in &mut handles {
-        let _ = h.write_line("stop");
+    // --- stop everyone, collect the shard reports ---
+    let wdl = Instant::now() + TUNING.report_grace();
+    for p in pipes {
+        let _ = write_all_deadline(p, b"stop\n", wdl);
     }
     let report_deadline = Instant::now() + TUNING.report_grace();
-    let mut bufs: Vec<Vec<String>> = vec![Vec::new(); n];
-    let mut ended = vec![false; n];
-    while ended.iter().any(|e| !e) {
-        let Some((p, line)) = recv_or_timeout(&line_rx, report_deadline)? else {
+    let mut reports: Vec<Option<ShardReport>> = (0..k).map(|_| None).collect();
+    while reports.iter().any(Option::is_none) {
+        let Some((s, up)) = recv_or_timeout(rx, report_deadline)? else {
             break;
         };
-        if line == "end" {
-            ended[p] = true;
+        match up {
+            ShardUp::Done(r) => reports[s] = Some(*r),
+            ShardUp::Error(e) => return Err(io::Error::other(format!("shard {s}: {e}"))),
+            _ => {}
         }
-        bufs[p].push(line);
     }
-    for h in handles {
-        h.finish();
+    let mut out = Vec::with_capacity(k);
+    for (s, r) in reports.into_iter().enumerate() {
+        out.push(r.ok_or_else(|| io::Error::other(format!("shard {s} sent no report")))?);
     }
+    Ok((converged, wall_s, out))
+}
 
+/// Runs a cluster to convergence (or timeout) and reconciles the ledgers.
+pub fn run_cluster(spec: &ClusterSpec) -> io::Result<RunReport> {
+    register_thread(COMPONENT, "orch.main");
+    let model = crate::conc::model(&TUNING);
+    let n = spec.graph.n();
+    let ranges = shard_ranges(n, spec.shards);
+    let k = ranges.len();
+    // An inproc run holds both ends of every data connection plus the
+    // control tree in one process — past the common 1024-fd default well
+    // before 100 nodes.
+    raise_nofile_limit((4 * spec.graph.edges().len() + 6 * n + 8 * k + 64) as u64);
+
+    let (up_tx, up_rx, _up_stats) =
+        tracked_channel::<(usize, ShardUp)>(COMPONENT, model.channel_decl("orch.shard"));
+    let mut pipes: Vec<UnixStream> = Vec::with_capacity(k);
+    let mut joins: Vec<JoinHandle<()>> = Vec::with_capacity(k);
+    for (s, range) in ranges.iter().enumerate() {
+        let (orch_side, shard_side) = UnixStream::pair()?;
+        orch_side.set_nonblocking(true)?;
+        let cfgs: Vec<NodeConfig> = range.clone().map(|p| node_config(spec, p)).collect();
+        let mode = spec.mode.clone();
+        let tx = up_tx.clone();
+        joins.push(spawn_registered(COMPONENT, "shard.super", move || {
+            shard_main(s, cfgs, mode, shard_side, tx)
+        }));
+        pipes.push(orch_side);
+    }
+    drop(up_tx);
+
+    let outcome = drive(spec, n, &up_rx, &pipes);
+    // Dropping the pipes EOFs any shard still in flight (error paths);
+    // shards wind their nodes down and exit, so the joins are bounded.
+    drop(pipes);
+    for j in joins {
+        let _ = j.join();
+    }
+    let (converged, wall_s, shard_reports) = outcome?;
+
+    // --- reconcile + hierarchical aggregation ---
     let mut nodes: Vec<NodeReport> = Vec::with_capacity(n);
-    for (p, buf) in bufs.into_iter().enumerate() {
-        let mut it = buf
-            .into_iter()
-            .skip_while(|l| !l.starts_with("report "))
-            .skip(1);
-        let report = parse_report_body(p, &mut it)
-            .ok_or_else(|| io::Error::other(format!("node {p} sent no parsable report")))?;
-        nodes.push(report);
+    for sr in &shard_reports {
+        nodes.extend(sr.reports.iter().cloned());
     }
-
-    // --- reconcile + aggregate ---
+    nodes.sort_by_key(|r| r.node);
     let ledgers: Vec<NodeLedger> = nodes
         .iter()
         .map(|r| NodeLedger {
@@ -616,28 +1146,18 @@ pub fn run_cluster(spec: &ClusterSpec) -> io::Result<RunReport> {
         })
         .collect();
     let verdict = reconcile_ledgers(&ledgers);
+
+    let shard_summaries: Vec<ShardSummary> =
+        shard_reports.iter().map(|r| r.summary.clone()).collect();
     let mut latency = LogHistogram::new();
     let mut batch = LogHistogram::new();
     let mut counters = NodeCounters::default();
     let mut primaries_delivered = 0u64;
-    for r in &nodes {
-        latency.merge(&r.latency);
-        batch.merge(&r.batch);
-        primaries_delivered += r.delivered.iter().filter(|&&g| !is_ack_ghost(g)).count() as u64;
-        let c = &r.counters;
-        counters.frames_sent += c.frames_sent;
-        counters.frames_received += c.frames_received;
-        counters.heartbeats_sent += c.heartbeats_sent;
-        counters.reconnects += c.reconnects;
-        counters.chaos_dropped += c.chaos_dropped;
-        counters.chaos_duplicated += c.chaos_duplicated;
-        counters.chaos_reordered += c.chaos_reordered;
-        counters.partition_dropped += c.partition_dropped;
-        counters.backpressure_stalls += c.backpressure_stalls;
-        counters.inbound_shed += c.inbound_shed;
-        counters.write_syscalls += c.write_syscalls;
-        counters.read_syscalls += c.read_syscalls;
-        counters.conn_frames_dropped += c.conn_frames_dropped;
+    for s in &shard_summaries {
+        latency.merge(&s.latency);
+        batch.merge(&s.batch);
+        counters.add(&s.counters);
+        primaries_delivered += s.primaries_delivered;
     }
     let throughput = if wall_s > 0.0 {
         primaries_delivered as f64 / wall_s
@@ -648,6 +1168,7 @@ pub fn run_cluster(spec: &ClusterSpec) -> io::Result<RunReport> {
         topology: spec.topology.clone(),
         n,
         seed: spec.seed,
+        shards: k,
         converged,
         wall_s,
         verdict,
@@ -655,8 +1176,8 @@ pub fn run_cluster(spec: &ClusterSpec) -> io::Result<RunReport> {
         throughput,
         latency,
         batch,
-        io: spec.io,
         counters,
+        shard_summaries,
         nodes,
     })
 }
@@ -664,6 +1185,7 @@ pub fn run_cluster(spec: &ClusterSpec) -> io::Result<RunReport> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ssmfp_mp::MpGhost;
 
     #[test]
     fn node_args_roundtrip() {
@@ -675,7 +1197,6 @@ mod tests {
             listen: ListenSpec::Uds {
                 dir: PathBuf::from("/tmp/x"),
             },
-            io: IoMode::Blocking,
             workload: WorkloadSpec {
                 kind: WorkloadKind::Open {
                     rate_per_sec: 250.0,
@@ -700,35 +1221,85 @@ mod tests {
         assert_eq!(back.edges, cfg.edges);
         assert_eq!(back.seed, cfg.seed);
         assert_eq!(back.listen, cfg.listen);
-        assert_eq!(back.io, cfg.io);
         assert_eq!(back.workload, cfg.workload);
         assert_eq!(back.chaos, cfg.chaos);
+        // The blocking plane is gone: its flag is rejected, not ignored.
+        assert!(parse_node_args(&["--io".to_string(), "event".to_string()]).is_err());
     }
 
     #[test]
-    fn io_mode_defaults_to_event_when_flag_absent() {
-        let args: Vec<String> = [
-            "--id",
-            "0",
-            "--n",
-            "2",
-            "--edges",
-            "0-1",
-            "--seed",
-            "1",
-            "--listen",
-            "tcp",
-            "--workload",
-            "closed:1:1",
-            "--chaos",
-            "0:0",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
-        let cfg = parse_node_args(&args).unwrap();
-        assert_eq!(cfg.io, IoMode::Event);
-        assert!(parse_node_args(&["--io".to_string(), "epoll".to_string()]).is_err());
+    fn shard_ranges_partition_the_nodes() {
+        for n in [1usize, 2, 5, 10, 64, 100] {
+            for shards in [0usize, 1, 2, 3, 4, 7, 100, 1000] {
+                let ranges = shard_ranges(n, shards);
+                assert!(!ranges.is_empty());
+                assert!(ranges.len() <= shards.max(1).min(n));
+                // Contiguous, disjoint, covering.
+                let mut next = 0usize;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "gap at n={n} shards={shards}");
+                    assert!(r.end > r.start);
+                    next = r.end;
+                }
+                assert_eq!(next, n, "short cover at n={n} shards={shards}");
+            }
+        }
+    }
+
+    /// The satellite pin: the orchestrator's hierarchical merge (nodes →
+    /// shard summaries → run totals) equals the flat per-node sum, for
+    /// histograms and every counter, at any sharding.
+    #[test]
+    fn merged_report_equals_sum_of_shard_reports() {
+        let reports: Vec<NodeReport> = (0..10usize)
+            .map(|p| {
+                let mut lat = LogHistogram::new();
+                let mut bat = LogHistogram::new();
+                for v in 0..40u64 {
+                    lat.record((p as u64 + 1) * 100 + v * 7);
+                    bat.record(v % 9 + 1);
+                }
+                NodeReport {
+                    node: p,
+                    generated: vec![],
+                    delivered: vec![MpGhost::Valid(p as u64), MpGhost::Valid(1000 + p as u64)],
+                    held: vec![],
+                    latency: lat,
+                    batch: bat,
+                    counters: NodeCounters {
+                        frames_sent: 10 + p as u64,
+                        frames_received: 20 + p as u64,
+                        heartbeats_sent: p as u64,
+                        reconnects: p as u64 % 2,
+                        chaos_dropped: 3 * p as u64,
+                        chaos_duplicated: p as u64 / 2,
+                        chaos_reordered: p as u64,
+                        partition_dropped: p as u64 % 3,
+                        write_syscalls: 5 + p as u64,
+                        read_syscalls: 6 + p as u64,
+                        conn_frames_dropped: p as u64 % 4,
+                    },
+                }
+            })
+            .collect();
+        let flat = summarize(0, &reports);
+        for shards in [1usize, 2, 3, 4, 10] {
+            let mut top_lat = LogHistogram::new();
+            let mut top_bat = LogHistogram::new();
+            let mut top_ctr = NodeCounters::default();
+            let mut top_prim = 0u64;
+            for (s, range) in shard_ranges(reports.len(), shards).iter().enumerate() {
+                let sum = summarize(s, &reports[range.clone()]);
+                top_lat.merge(&sum.latency);
+                top_bat.merge(&sum.batch);
+                top_ctr.add(&sum.counters);
+                top_prim += sum.primaries_delivered;
+            }
+            assert_eq!(top_ctr, flat.counters, "counters diverged at {shards}");
+            assert_eq!(top_lat, flat.latency, "latency diverged at {shards}");
+            assert_eq!(top_bat, flat.batch, "batch diverged at {shards}");
+            assert_eq!(top_prim, flat.primaries_delivered);
+        }
     }
 
     #[test]

@@ -168,24 +168,36 @@ pub struct NodeCounters {
     pub chaos_reordered: u64,
     /// Frames dropped by the partition window.
     pub partition_dropped: u64,
-    /// Times a bounded send queue was full and the protocol loop had to
-    /// spin (backpressure events).
-    pub backpressure_stalls: u64,
-    /// Inbound frames shed because `node.inbound` was full — wire drops
-    /// the protocol's retransmission tolerates (see the declared channel
-    /// policy in `crate::conc`).
-    pub inbound_shed: u64,
-    /// `write()` syscalls on data connections (event plane; zero on the
-    /// blocking plane, which does not instrument its writers). Together
-    /// with `frames_sent` this makes the coalescing ratio observable:
+    /// `write()` syscalls on data connections. Together with
+    /// `frames_sent` this makes the coalescing ratio observable:
     /// frames per write ≈ `frames_sent / write_syscalls`.
     pub write_syscalls: u64,
-    /// `read()` syscalls that returned data (event plane only).
+    /// `read()` syscalls that returned data.
     pub read_syscalls: u64,
     /// Frames lost with a dying connection or shed at the per-connection
-    /// out-buffer cap (event plane) — counted wire drops, distinct from
-    /// the chaos shim's deliberate ones.
+    /// out-buffer cap — counted wire drops, distinct from the chaos
+    /// shim's deliberate ones.
     pub conn_frames_dropped: u64,
+}
+
+impl NodeCounters {
+    /// Field-wise accumulation, the single merge path for both levels of
+    /// the shard tree: shard summaries sum their nodes' counters with it,
+    /// and the orchestrator sums shard summaries with it. One definition
+    /// means the merged report *is* the flat sum (pinned by a test).
+    pub fn add(&mut self, other: &NodeCounters) {
+        self.frames_sent += other.frames_sent;
+        self.frames_received += other.frames_received;
+        self.heartbeats_sent += other.heartbeats_sent;
+        self.reconnects += other.reconnects;
+        self.chaos_dropped += other.chaos_dropped;
+        self.chaos_duplicated += other.chaos_duplicated;
+        self.chaos_reordered += other.chaos_reordered;
+        self.partition_dropped += other.partition_dropped;
+        self.write_syscalls += other.write_syscalls;
+        self.read_syscalls += other.read_syscalls;
+        self.conn_frames_dropped += other.conn_frames_dropped;
+    }
 }
 
 #[cfg(test)]
@@ -242,6 +254,71 @@ mod tests {
             assert_eq!(a.quantile(q), u.quantile(q));
         }
         assert_eq!(a.max(), u.max());
+    }
+
+    /// Hierarchical aggregation must be invisible: summing per-node
+    /// counters shard-by-shard and then summing the shard totals gives
+    /// exactly the flat sum over all nodes, for any sharding. Same for
+    /// histograms (merge of merges == merge of all).
+    #[test]
+    fn sharded_merge_equals_flat_sum() {
+        // 10 synthetic node counter sets with distinct values per field.
+        let nodes: Vec<NodeCounters> = (0..10u64)
+            .map(|i| NodeCounters {
+                frames_sent: 100 + i,
+                frames_received: 200 + 2 * i,
+                heartbeats_sent: i,
+                reconnects: i % 3,
+                chaos_dropped: 7 * i,
+                chaos_duplicated: i / 2,
+                chaos_reordered: 3 * i,
+                partition_dropped: i % 5,
+                write_syscalls: 50 + i,
+                read_syscalls: 60 + i,
+                conn_frames_dropped: i % 2,
+            })
+            .collect();
+
+        let mut flat = NodeCounters::default();
+        for n in &nodes {
+            flat.add(n);
+        }
+
+        for shards in [1usize, 2, 3, 4, 10] {
+            let chunk = nodes.len().div_ceil(shards);
+            let mut top = NodeCounters::default();
+            for group in nodes.chunks(chunk) {
+                let mut shard_sum = NodeCounters::default();
+                for n in group {
+                    shard_sum.add(n);
+                }
+                top.add(&shard_sum);
+            }
+            assert_eq!(top, flat, "sharded sum diverged at shards={shards}");
+        }
+
+        // Histograms: merging per-shard merges equals merging everything.
+        let mut per_node: Vec<LogHistogram> = Vec::new();
+        for i in 0..10u64 {
+            let mut h = LogHistogram::new();
+            for v in 0..50u64 {
+                h.record(i * 1000 + v * 13);
+            }
+            per_node.push(h);
+        }
+        let mut flat_h = LogHistogram::new();
+        for h in &per_node {
+            flat_h.merge(h);
+        }
+        let mut top_h = LogHistogram::new();
+        for group in per_node.chunks(3) {
+            let mut shard_h = LogHistogram::new();
+            for h in group {
+                shard_h.merge(h);
+            }
+            top_h.merge(&shard_h);
+        }
+        assert_eq!(top_h, flat_h);
     }
 
     #[test]

@@ -14,35 +14,20 @@ use std::time::Duration;
 pub struct ClusterTuning {
     /// Main-loop granularity: protocol timeouts fire at most this often.
     pub tick_ms: u64,
-    /// Idle gap after which a writer emits a heartbeat.
+    /// Idle gap after which a link emits a heartbeat.
     pub heartbeat_ms: u64,
-    /// Status push period (node → orchestrator).
+    /// Status push period (node → shard supervisor).
     pub status_every_ms: u64,
-    /// Poll interval of the non-blocking accept loop.
-    pub accept_poll_ms: u64,
-    /// Bounded outbound queue depth per neighbour (`node.sendq`). Full
-    /// queue **blocks** the main loop: backpressure propagates into the
-    /// protocol.
-    pub send_queue: usize,
-    /// Bounded inbound frame queue depth (`node.inbound`). Full queue
-    /// **sheds** the frame — a wire drop the protocol's retransmission
-    /// already tolerates. Shedding (not blocking) here is what breaks the
-    /// cross-node wait cycle main → sendq → writer → socket → peer reader
-    /// → peer inbound → peer main.
-    pub inbound_queue: usize,
-    /// Bounded control-line queue depth (`node.ctrl`). The orchestrator
-    /// sends a handful of lines per run, far below this bound; the queue
-    /// sheds if overrun and the node asserts (debug builds) that nothing
-    /// was ever shed.
-    pub ctrl_queue: usize,
-    /// Bounded orchestrator line-mux queue depth (`orch.lines`).
-    pub orch_line_queue: usize,
+    /// Bounded shard → orchestrator upstream queue depth (`orch.shard`).
+    /// Shards send a handful of messages per run; the bound is slack by
+    /// orders of magnitude and **blocks** if ever hit.
+    pub orch_shard_queue: usize,
     /// Reconnect backoff base in ms (doubles per attempt, capped,
     /// jittered).
     pub backoff_base_ms: u64,
     /// Reconnect backoff cap in ms.
     pub backoff_cap_ms: u64,
-    /// Dial attempts before a writer gives up (node is shutting down or
+    /// Dial attempts before a link gives up (node is shutting down or
     /// the peer is gone for good).
     pub max_dial_attempts: u32,
     /// Consecutive identical all-done snapshots required to declare
@@ -51,16 +36,12 @@ pub struct ClusterTuning {
     pub stable_snapshots: u32,
     /// How long the orchestrator waits for final reports after `stop`.
     pub report_grace_s: u64,
-    /// How long the orchestrator waits for a node process to exit before
-    /// killing it.
+    /// How long a shard waits for a node process to exit before killing
+    /// it.
     pub proc_exit_grace_s: u64,
     /// Poll interval while waiting for a node process to exit.
     pub proc_wait_poll_ms: u64,
-    /// Bounded main→io frame queue depth (`node.ioq`, event-loop data
-    /// plane). Full queue **blocks** the protocol loop — the same
-    /// backpressure contract `node.sendq` has on the blocking plane.
-    pub io_queue: usize,
-    /// Adaptive-batching byte budget: the event loop stops appending
+    /// Adaptive-batching byte budget: the node loop stops appending
     /// queued frames to one connection's write buffer past this many
     /// pending bytes and flushes first. When the loop is idle a single
     /// frame flushes immediately — the budget only shapes behaviour under
@@ -75,7 +56,7 @@ pub struct ClusterTuning {
     /// therefore the zero-realloc guarantee — bounded even against a peer
     /// that stops reading.
     pub out_buf_cap_bytes: usize,
-    /// Size of the event loop's reusable read scratch buffer.
+    /// Size of the node loop's reusable read scratch buffer.
     pub io_read_chunk: usize,
     /// Best-effort flush window for still-buffered frames at shutdown.
     pub io_flush_grace_ms: u64,
@@ -89,11 +70,7 @@ pub const TUNING: ClusterTuning = ClusterTuning {
     // ~30-40ms of every run's wall clock. At 25ms the tail dwarfed short
     // benchmark runs on the event-driven plane.
     status_every_ms: 10,
-    accept_poll_ms: 2,
-    send_queue: 1024,
-    inbound_queue: 4096,
-    ctrl_queue: 64,
-    orch_line_queue: 1024,
+    orch_shard_queue: 1024,
     backoff_base_ms: 4,
     backoff_cap_ms: 250,
     max_dial_attempts: 400,
@@ -101,7 +78,6 @@ pub const TUNING: ClusterTuning = ClusterTuning {
     report_grace_s: 20,
     proc_exit_grace_s: 5,
     proc_wait_poll_ms: 10,
-    io_queue: 4096,
     batch_max_bytes: 32 * 1024,
     batch_max_frames: 512,
     out_buf_cap_bytes: 256 * 1024,
@@ -131,11 +107,6 @@ impl ClusterTuning {
         Duration::from_millis(self.status_every_ms)
     }
 
-    /// [`ClusterTuning::accept_poll_ms`] as a `Duration`.
-    pub fn accept_poll(&self) -> Duration {
-        Duration::from_millis(self.accept_poll_ms)
-    }
-
     /// [`ClusterTuning::report_grace_s`] as a `Duration`.
     pub fn report_grace(&self) -> Duration {
         Duration::from_secs(self.report_grace_s)
@@ -157,8 +128,7 @@ impl ClusterTuning {
     }
 
     /// Reconnect backoff for the given in-session attempt number, in ms
-    /// (exclusive of jitter). Shared by both data planes so the blocking
-    /// and event-loop reconnect schedules agree.
+    /// (exclusive of jitter).
     pub fn backoff_ms(&self, attempt: u32) -> u64 {
         (self.backoff_base_ms << attempt.min(6)).min(self.backoff_cap_ms)
     }

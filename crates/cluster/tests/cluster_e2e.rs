@@ -3,7 +3,7 @@
 //! verdict.
 
 use ssmfp_cluster::{
-    pick_partition, run_cluster, ChaosSpec, ClusterSpec, IoMode, ListenSpec, RunMode, WorkloadKind,
+    pick_partition, run_cluster, ChaosSpec, ClusterSpec, ListenSpec, RunMode, WorkloadKind,
     WorkloadSpec,
 };
 use ssmfp_topology::{gen, Graph};
@@ -55,6 +55,19 @@ fn assert_conc_coverage() {
 
 fn assert_clean(report: &ssmfp_cluster::RunReport) {
     assert_conc_coverage();
+    // Everything now runs on the event plane: the syscall counters must
+    // be wired in every mode.
+    assert!(report.counters.write_syscalls > 0, "no write was counted");
+    // The shard tree preserves totals: the top-level primary count is the
+    // sum of the per-shard pre-merges.
+    assert_eq!(
+        report.primaries_delivered,
+        report
+            .shard_summaries
+            .iter()
+            .map(|s| s.primaries_delivered)
+            .sum::<u64>()
+    );
     assert!(
         report.converged,
         "{}: cluster did not converge",
@@ -89,7 +102,7 @@ fn five_node_line_uds_chaos_exactly_once() {
         },
         chaos,
         listen: ListenSpec::Uds { dir: uds_dir() },
-        io: IoMode::Event,
+        shards: 2,
         mode: RunMode::Inproc,
         timeout: Duration::from_secs(120),
     };
@@ -121,7 +134,7 @@ fn caterpillar_uds_open_loop_chaos_exactly_once() {
         },
         chaos,
         listen: ListenSpec::Uds { dir: uds_dir() },
-        io: IoMode::Event,
+        shards: 3,
         mode: RunMode::Inproc,
         timeout: Duration::from_secs(120),
     };
@@ -147,7 +160,7 @@ fn tcp_transport_also_clean() {
             partition: None,
         },
         listen: ListenSpec::Tcp,
-        io: IoMode::Event,
+        shards: 1,
         mode: RunMode::Inproc,
         timeout: Duration::from_secs(120),
     };
@@ -173,7 +186,7 @@ fn message_set_deterministic_under_fixed_seed() {
             },
             chaos: chaos_spec(&graph, 11),
             listen: ListenSpec::Uds { dir: uds_dir() },
-            io: IoMode::Event,
+            shards: 2,
             mode: RunMode::Inproc,
             timeout: Duration::from_secs(120),
         };
@@ -198,58 +211,6 @@ fn message_set_deterministic_under_fixed_seed() {
     assert_eq!(a.verdict.exactly_once, b.verdict.exactly_once);
 }
 
-/// The legacy blocking plane (kept for one release behind `--io
-/// blocking`) and the event loop must reach the *same* reconciled SP
-/// verdict on the 5-node UDS chaos run: coalescing and readiness-based
-/// scheduling change syscall boundaries, never protocol outcomes.
-#[test]
-fn event_and_blocking_planes_agree_on_the_sp_verdict() {
-    let run = |io: IoMode| {
-        let graph = gen::line(5);
-        let spec = ClusterSpec {
-            topology: "line:5".into(),
-            graph: graph.clone(),
-            seed: 21,
-            workload: WorkloadSpec {
-                kind: WorkloadKind::Closed { outstanding: 4 },
-                messages: 15,
-            },
-            chaos: chaos_spec(&graph, 21),
-            listen: ListenSpec::Uds { dir: uds_dir() },
-            io,
-            mode: RunMode::Inproc,
-            timeout: Duration::from_secs(120),
-        };
-        run_cluster(&spec).expect("run")
-    };
-    let ev = run(IoMode::Event);
-    let bl = run(IoMode::Blocking);
-    assert_clean(&ev);
-    assert_clean(&bl);
-    // Identical primary message set (seed-deterministic), identical
-    // exactly-once accounting, zero violations on both planes.
-    let key = |r: &ssmfp_cluster::RunReport| {
-        let mut g: Vec<_> = r
-            .nodes
-            .iter()
-            .flat_map(|n| n.generated.iter().copied())
-            .filter(|&(g, _)| !ssmfp_cluster::is_ack_ghost(g))
-            .collect();
-        g.sort();
-        g
-    };
-    assert_eq!(key(&ev), key(&bl), "planes saw different primary sets");
-    assert_eq!(ev.verdict.generated, bl.verdict.generated);
-    assert_eq!(ev.verdict.exactly_once, bl.verdict.exactly_once);
-    // The event plane actually used the batched path: syscall counters
-    // are only wired there, and coalescing must show up in them.
-    assert!(ev.counters.write_syscalls > 0, "event plane never wrote?");
-    assert_eq!(
-        bl.counters.write_syscalls, 0,
-        "blocking plane counts syscalls?"
-    );
-}
-
 /// The real deployment shape: one OS process per node, controlled over
 /// stdin/stdout, Unix-domain sockets between them.
 #[test]
@@ -266,7 +227,7 @@ fn process_mode_five_node_line_clean() {
         },
         chaos,
         listen: ListenSpec::Uds { dir: uds_dir() },
-        io: IoMode::Event,
+        shards: 2,
         mode: RunMode::Proc {
             exe: PathBuf::from(env!("CARGO_BIN_EXE_ssmfp-cluster")),
         },

@@ -12,7 +12,7 @@
 //! instead of hanging the whole suite until the harness timeout.
 
 use ssmfp_cluster::{
-    pick_partition, run_cluster, ChaosSpec, ClusterSpec, IoMode, ListenSpec, RunMode, WorkloadKind,
+    pick_partition, run_cluster, ChaosSpec, ClusterSpec, ListenSpec, RunMode, WorkloadKind,
     WorkloadSpec,
 };
 use ssmfp_topology::gen;
@@ -45,7 +45,7 @@ fn five_node_uds_chaos_never_wedges() {
         },
         chaos,
         listen: ListenSpec::Uds { dir },
-        io: IoMode::Event,
+        shards: 2,
         mode: RunMode::Inproc,
         timeout: Duration::from_secs(60),
     };

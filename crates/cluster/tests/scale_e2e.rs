@@ -1,0 +1,152 @@
+//! Scale end-to-end: the tentpole claim of the sharded orchestrator and
+//! the one-thread-per-node data plane, exercised on real grids.
+//!
+//! * A 64-node grid over UDS with full chaos (per-link faults plus a
+//!   partition/heal cycle) converges with a clean reconciled SP verdict
+//!   under 4 shards.
+//! * The run's thread footprint is `nodes + shards + O(1)` — measured by
+//!   the debug-build registration counter, not inferred.
+//! * Sharding is a pure supervision detail: the primary message set of a
+//!   `shards: 1` run equals that of a `shards: 4` run at the same seed.
+//!
+//! The registration counter is process-global and cumulative, so the
+//! tests serialize on a mutex and measure deltas.
+
+use ssmfp_cluster::{
+    pick_partition, run_cluster, shard_ranges, ChaosSpec, ClusterSpec, ListenSpec, RunMode,
+    WorkloadKind, WorkloadSpec,
+};
+use ssmfp_topology::gen;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Serializes the tests in this file: thread-count deltas are only
+/// meaningful when no other cluster run is registering threads.
+static SCALE_LOCK: Mutex<()> = Mutex::new(());
+
+fn uds_dir() -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ssmfp-scale-test-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create uds dir");
+    dir
+}
+
+fn grid_spec(rows: usize, cols: usize, seed: u64, shards: usize, msgs: u64) -> ClusterSpec {
+    let graph = gen::grid(rows, cols);
+    let chaos = ChaosSpec {
+        seed: seed ^ 0x5CA1E,
+        // Modest budgets: this is a debug-build test with 64 unoptimized
+        // nodes on shared CI cores — the point is scale, not fault volume.
+        faults_per_link: 1,
+        partition: Some(pick_partition(&graph, seed, 4, 10)),
+    };
+    ClusterSpec {
+        topology: format!("grid:{rows}x{cols}"),
+        graph,
+        seed,
+        workload: WorkloadSpec {
+            kind: WorkloadKind::Closed { outstanding: 2 },
+            messages: msgs,
+        },
+        chaos,
+        listen: ListenSpec::Uds { dir: uds_dir() },
+        shards,
+        mode: RunMode::Inproc,
+        timeout: Duration::from_secs(300),
+    }
+}
+
+fn primary_set(r: &ssmfp_cluster::RunReport) -> Vec<(ssmfp_mp::MpGhost, usize)> {
+    let mut g: Vec<_> = r
+        .nodes
+        .iter()
+        .flat_map(|n| n.generated.iter().copied())
+        .filter(|&(g, _)| !ssmfp_cluster::is_ack_ghost(g))
+        .collect();
+    g.sort();
+    g
+}
+
+/// The tentpole e2e: 64 nodes, full chaos, 4 shards, clean verdict, and
+/// a thread footprint bounded by `nodes + shards + O(1)`.
+#[test]
+fn grid_8x8_uds_chaos_clean_with_bounded_threads() {
+    let _guard = SCALE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let spec = grid_spec(8, 8, 64, 4, 6);
+    let n = spec.graph.n();
+    let shards = shard_ranges(n, spec.shards).len();
+
+    let before = ssmfp_core::conc::registered_thread_count(ssmfp_cluster::conc::COMPONENT);
+    let report = run_cluster(&spec).expect("run");
+    let after = ssmfp_core::conc::registered_thread_count(ssmfp_cluster::conc::COMPONENT);
+
+    assert!(report.converged, "64-node grid did not converge");
+    assert!(
+        report.verdict.clean(),
+        "SP violations at 64 nodes: {:?}",
+        report.verdict.violations
+    );
+    assert_eq!(report.n, 64);
+    assert_eq!(report.shards, 4);
+    assert_eq!(report.primaries_delivered, 64 * 6);
+    assert_eq!(report.nodes.len(), 64);
+    assert_eq!(report.shard_summaries.len(), 4);
+    // The chaos shim and the partition window actually fired at scale.
+    let c = &report.counters;
+    assert!(
+        c.chaos_dropped + c.chaos_duplicated + c.chaos_reordered + c.partition_dropped > 0,
+        "chaos never fired: {c:?}"
+    );
+
+    // One thread per node, one per shard, plus the orchestrator (the
+    // calling thread re-registers for free on repeat runs — hence ≤ 2
+    // slack, not an exact count). Only meaningful in debug builds, where
+    // the registry records anything at all.
+    if cfg!(debug_assertions) {
+        let delta = after - before;
+        assert!(
+            delta >= (n + shards) as u64,
+            "thread registry missed workers: delta {delta} < n+K = {}",
+            n + shards
+        );
+        assert!(
+            delta <= (n + shards + 2) as u64,
+            "thread footprint blew the per-run bound: delta {delta} > n+K+2 = {}",
+            n + shards + 2
+        );
+    }
+}
+
+/// Sharding must not leak into protocol behaviour: at a fixed seed the
+/// primary ghost↔destination set is identical whether one supervisor or
+/// four drive the same 25-node grid.
+#[test]
+fn primary_set_identical_across_shard_counts() {
+    let _guard = SCALE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let one = run_cluster(&grid_spec(5, 5, 17, 1, 6)).expect("shards=1 run");
+    let four = run_cluster(&grid_spec(5, 5, 17, 4, 6)).expect("shards=4 run");
+    for r in [&one, &four] {
+        assert!(r.converged, "shards={} run did not converge", r.shards);
+        assert!(
+            r.verdict.clean(),
+            "shards={}: SP violations: {:?}",
+            r.shards,
+            r.verdict.violations
+        );
+    }
+    assert_eq!(one.shards, 1);
+    assert_eq!(four.shards, 4);
+    assert_eq!(
+        primary_set(&one),
+        primary_set(&four),
+        "shard count changed the primary message set"
+    );
+    assert_eq!(one.verdict.generated, four.verdict.generated);
+    assert_eq!(one.verdict.exactly_once, four.verdict.exactly_once);
+}

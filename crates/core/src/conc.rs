@@ -34,7 +34,7 @@
 //! state-model side.
 
 use std::cell::RefCell;
-use std::collections::BTreeSet;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
@@ -50,6 +50,8 @@ pub enum Multiplicity {
     One,
     /// One per node of the topology.
     PerNode,
+    /// One per orchestrator shard (a supervised group of nodes).
+    PerShard,
     /// One per neighbour of a node.
     PerNeighbor,
     /// One per accepted connection (readers on a listening socket).
@@ -225,9 +227,9 @@ impl ConcModel {
 // Runtime thread registry (debug builds).
 // ---------------------------------------------------------------------------
 
-fn registry() -> &'static Mutex<BTreeSet<(String, String)>> {
-    static REG: OnceLock<Mutex<BTreeSet<(String, String)>>> = OnceLock::new();
-    REG.get_or_init(|| Mutex::new(BTreeSet::new()))
+fn registry() -> &'static Mutex<BTreeMap<(String, String), u64>> {
+    static REG: OnceLock<Mutex<BTreeMap<(String, String), u64>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
 thread_local! {
@@ -242,13 +244,24 @@ thread_local! {
 /// `component`. Debug builds record it in the global registry (for
 /// [`ConcModel::undeclared_observed`]) and remember it thread-locally so
 /// tracked channels can assert sender roles. A release no-op.
+///
+/// Each registration that actually *changes* the calling thread's role
+/// bumps the component's registration counter (see
+/// [`registered_thread_count`]); re-registering the same role on the same
+/// thread is idempotent, so a long-lived supervisor thread re-entering
+/// the same role across runs does not inflate the count.
 pub fn register_thread(component: &str, role: &str) {
     if cfg!(debug_assertions) {
-        registry()
-            .lock()
-            .expect("conc registry")
-            .insert((component.to_string(), role.to_string()));
-        CURRENT_ROLE.with(|r| *r.borrow_mut() = Some((component.to_string(), role.to_string())));
+        let pair = (component.to_string(), role.to_string());
+        let already = CURRENT_ROLE.with(|r| r.borrow().as_ref() == Some(&pair));
+        if !already {
+            *registry()
+                .lock()
+                .expect("conc registry")
+                .entry(pair.clone())
+                .or_insert(0) += 1;
+            CURRENT_ROLE.with(|r| *r.borrow_mut() = Some(pair));
+        }
     }
 }
 
@@ -258,10 +271,25 @@ pub fn observed_threads(component: &str) -> Vec<String> {
     registry()
         .lock()
         .expect("conc registry")
-        .iter()
+        .keys()
         .filter(|(c, _)| c == component)
         .map(|(_, r)| r.clone())
         .collect()
+}
+
+/// Total number of thread-role registrations recorded for `component` so
+/// far (cumulative across the process lifetime; zero in release builds).
+/// Tests bound a run's thread footprint by measuring the delta across the
+/// run: an inproc cluster run must register at most
+/// `nodes + shards + O(1)` new roles.
+pub fn registered_thread_count(component: &str) -> u64 {
+    registry()
+        .lock()
+        .expect("conc registry")
+        .iter()
+        .filter(|((c, _), _)| c == component)
+        .map(|(_, n)| *n)
+        .sum()
 }
 
 /// Spawns a thread pre-registered as `role` of `component`. The one

@@ -76,9 +76,9 @@ pub use codec::{
     NO_MESSAGE,
 };
 pub use conc::{
-    observed_threads, register_thread, spawn_registered, tracked_channel, BlockingEdge,
-    ChannelDecl, ChannelStats, ConcModel, FullPolicy, LockDecl, Multiplicity, SendOutcome,
-    ThreadDecl, TrackedMutex, TrackedSender, WaitPoint, EXTERN_ROLE,
+    observed_threads, register_thread, registered_thread_count, spawn_registered, tracked_channel,
+    BlockingEdge, ChannelDecl, ChannelStats, ConcModel, FullPolicy, LockDecl, Multiplicity,
+    SendOutcome, ThreadDecl, TrackedMutex, TrackedSender, WaitPoint, EXTERN_ROLE,
 };
 pub use faults::{
     BufSel, Fault, FaultCursor, FaultInjector, FaultKind, FaultPlan, FaultPlanConfig, SeededBug,

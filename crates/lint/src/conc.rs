@@ -801,38 +801,73 @@ mod tests {
     }
 
     #[test]
-    fn ctrl_backpressure_flip_reintroduces_the_orchestrator_cycle() {
-        // Documents WHY `node.ctrl` sheds: if control lines exerted
-        // backpressure (Block + a blocking-send edge for ctrl.reader), the
-        // control plane closes a feasible 4-cycle through the orchestrator
-        // — ctrl.reader → node.main → orch.line-reader → orch.main →
-        // ctrl.reader — and the lint must refuse it. The shipped model
-        // sheds instead and checks the capacity argument at runtime
-        // (`shed_count() == 0` at node shutdown).
+    fn untimed_downward_ctrl_write_reintroduces_the_shard_cycle() {
+        // Documents WHY the shard's downward control writes are staged and
+        // POLLOUT-gated (a *timed* edge): `node.main` already blocks
+        // untimed writing status/reports up to its shard. If the shard
+        // also blocked untimed writing control lines down to a node —
+        // e.g. a naive `write_all` of `peers`/`stop` while that node is
+        // itself stuck pushing status into a full pipe — both sides wait
+        // for buffer space on the same socketpair and the control tree
+        // wedges. The lint must refuse that flip: both waits are
+        // full-polarity on one resource, so the full+empty prune cannot
+        // discard the cycle.
         let mut model = ssmfp_cluster::conc::default_model();
-        let ctrl = model
-            .channels
+        let edge = model
+            .edges
             .iter_mut()
-            .find(|c| c.name == "node.ctrl")
-            .expect("node.ctrl declared");
-        ctrl.policy = Some(FullPolicy::Block);
-        model.edges.push(BlockingEdge {
-            thread: "ctrl.reader",
-            waits: WaitPoint::ChanSend("node.ctrl"),
-            holding: vec![],
-            timed: false,
-        });
+            .find(|e| e.thread == "shard.super" && e.waits == WaitPoint::SockWrite("node.main"))
+            .expect("shard.super declares its downward ctrl write");
+        assert!(edge.timed, "shipped model gates this write with POLLOUT");
+        edge.timed = false;
         let mut report = LintReport::default();
         lint_conc_deadlock(&model, &mut report);
         assert!(
             report.violations().any(|f| {
                 f.code == "conc-deadlock"
                     && f.message.contains("circular wait")
-                    && f.message.contains("ctrl.reader")
-                    && f.message.contains("orch.main")
+                    && f.message.contains("shard.super")
+                    && f.message.contains("node.main")
             }),
             "{:?}",
             report.findings
+        );
+    }
+
+    #[test]
+    fn stale_pr7_names_fail_conc_coverage() {
+        // The single-thread refactor deleted the `node.io` role and the
+        // `node.ioq` channel (with four other roles and channels). An edge
+        // that still references either must be a coverage violation —
+        // i.e., the names are really gone from the shipped model, and a
+        // half-reverted declaration cannot sneak through the lint gate.
+        let model = ssmfp_cluster::conc::default_model();
+        assert!(model.thread("node.io").is_none(), "node.io role lives on");
+        assert!(model.channel("node.ioq").is_none(), "node.ioq lives on");
+
+        let mut stale = model.clone();
+        stale.edges.push(BlockingEdge {
+            thread: "node.io",
+            waits: WaitPoint::SockRead("node.main"),
+            holding: vec![],
+            timed: true,
+        });
+        stale.edges.push(BlockingEdge {
+            thread: "node.main",
+            waits: WaitPoint::ChanSend("node.ioq"),
+            holding: vec![],
+            timed: false,
+        });
+        let mut report = LintReport::default();
+        lint_conc_coverage(&stale, &mut report);
+        let msgs: Vec<&str> = report.violations().map(|f| f.message.as_str()).collect();
+        assert!(
+            msgs.iter().any(|m| m.contains("node.io")),
+            "stale role not caught: {msgs:?}"
+        );
+        assert!(
+            msgs.iter().any(|m| m.contains("node.ioq")),
+            "stale channel not caught: {msgs:?}"
         );
     }
 }
