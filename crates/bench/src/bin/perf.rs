@@ -16,7 +16,11 @@
 //! topologies, closed- and open-loop workloads over Unix-domain sockets)
 //! and `BENCH_scale.json` (the same end-to-end pipeline on 25-, 64- and
 //! 100-node grids with a sharded orchestrator: throughput and latency
-//! versus node count).
+//! versus node count), plus `BENCH_clients.json` (the multiplexed client
+//! layer: 10k/100k — full mode: 1M — logical clients fanned into the
+//! 25-node grid, stamped end-to-end, per-client round-trip quantiles;
+//! the 10k point is held to the grid-5x5 per-node throughput measured in
+//! the same run).
 //!
 //! Usage: `perf [--quick] [--threads N] [--out-dir DIR] [--baseline DIR]`
 //!
@@ -526,6 +530,7 @@ fn cluster_run(
         listen: ssmfp_cluster::ListenSpec::Uds {
             dir: dir.to_path_buf(),
         },
+        clients: None,
         shards,
         mode: ssmfp_cluster::RunMode::Inproc,
         timeout: std::time::Duration::from_secs(180),
@@ -628,7 +633,10 @@ fn bench_cluster(opts: &Options, json: &mut String) {
 /// data plane and the sharded control plane. The regression gate reads
 /// `msgs_per_sec` only; p99 is reported for the record (tail latency on
 /// a shared core is too noisy for a 25% floor).
-fn bench_scale(opts: &Options, json: &mut String) {
+///
+/// Returns the measured grid-5x5 `msgs_per_sec`, which the client-layer
+/// sweep uses as its same-machine per-node throughput reference.
+fn bench_scale(opts: &Options, json: &mut String) -> f64 {
     writeln!(json, "{{").unwrap();
     writeln!(json, "  \"bench\": \"scale\",").unwrap();
     writeln!(
@@ -652,6 +660,7 @@ fn bench_scale(opts: &Options, json: &mut String) {
     let dir = std::env::temp_dir().join(format!("ssmfp-perf-scale-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create scale bench dir");
     let last = grids.len() - 1;
+    let mut grid_5x5_mps = 0.0;
     for (i, (name, rows, cols)) in grids.into_iter().enumerate() {
         let graph = gen::grid(rows, cols);
         let kind = ssmfp_cluster::WorkloadKind::Closed { outstanding: 2 };
@@ -659,6 +668,9 @@ fn bench_scale(opts: &Options, json: &mut String) {
         if !report.clean() {
             eprintln!("perf: SCALE RUN NOT CLEAN on {name}");
             std::process::exit(1);
+        }
+        if name == "grid-5x5" {
+            grid_5x5_mps = report.throughput;
         }
         let (p50, p99) = (report.latency.quantile(0.50), report.latency.quantile(0.99));
         eprintln!(
@@ -681,6 +693,121 @@ fn bench_scale(opts: &Options, json: &mut String) {
         writeln!(json, "      \"p99_us\": {p99},").unwrap();
         writeln!(json, "      \"clean\": {}", report.clean()).unwrap();
         writeln!(json, "    }}{}", if i == last { "" } else { "," }).unwrap();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+    grid_5x5_mps
+}
+
+/// Client fan-in sweep: tens of thousands (full mode: a million) of
+/// logical clients multiplexed onto the 25-node grid through the
+/// per-node `ClientMux`, stop-and-wait per client, every message stamped
+/// and audited for per-client exactly-once. No chaos — this measures
+/// the fan-in hot path. The regression gate reads `msgs_per_sec`; the
+/// 10k instance is additionally held, within the same run, to at least
+/// the per-node throughput of the plain grid-5x5 scale workload
+/// (`scale_5x5_mps / 25`), so client multiplexing can never quietly
+/// drop below what one directly-driven node sustains.
+fn bench_clients(opts: &Options, json: &mut String, scale_5x5_mps: f64) {
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"clients\",").unwrap();
+    writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if opts.quick { "quick" } else { "full" }
+    )
+    .unwrap();
+    writeln!(json, "  \"instances\": [").unwrap();
+
+    // Two stamped messages per client: enough to exercise FIFO-per-client
+    // (a second seq after the first ack) without inflating run time at
+    // the million-client point.
+    let messages = 2u64;
+    let shards = 4;
+    let counts: &[(&str, u64)] = if opts.quick {
+        &[("clients-10k", 10_000), ("clients-100k", 100_000)]
+    } else {
+        &[
+            ("clients-10k", 10_000),
+            ("clients-100k", 100_000),
+            ("clients-1m", 1_000_000),
+        ]
+    };
+    let dir = std::env::temp_dir().join(format!("ssmfp-perf-clients-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create clients bench dir");
+    let last = counts.len() - 1;
+    for (i, &(name, clients)) in counts.iter().enumerate() {
+        let spec = ssmfp_cluster::ClusterSpec {
+            topology: "grid:5x5".to_string(),
+            graph: gen::grid(5, 5),
+            seed: 0xBE_BC,
+            // Inert in client mode; the mux replaces the node workload.
+            workload: ssmfp_cluster::WorkloadSpec {
+                kind: ssmfp_cluster::WorkloadKind::Closed { outstanding: 2 },
+                messages: 0,
+            },
+            chaos: ssmfp_cluster::ChaosSpec::none(),
+            listen: ssmfp_cluster::ListenSpec::Uds {
+                dir: dir.to_path_buf(),
+            },
+            clients: Some(ssmfp_cluster::ClientSpec {
+                clients,
+                load: ssmfp_cluster::WorkloadSpec {
+                    kind: ssmfp_cluster::WorkloadKind::Closed { outstanding: 1 },
+                    messages,
+                },
+                mutation: None,
+            }),
+            shards,
+            mode: ssmfp_cluster::RunMode::Inproc,
+            timeout: std::time::Duration::from_secs(600),
+        };
+        let report = ssmfp_cluster::run_cluster(&spec).unwrap_or_else(|e| {
+            eprintln!("perf: client run {name} failed: {e}");
+            std::process::exit(1);
+        });
+        if !report.clean() {
+            eprintln!("perf: CLIENT RUN NOT CLEAN on {name}");
+            std::process::exit(1);
+        }
+        let (p50, p99) = (
+            report.client_rtt.quantile(0.50),
+            report.client_rtt.quantile(0.99),
+        );
+        eprintln!(
+            "clients | {:<12} | {:>8} clients | {:>8} completed | {:>8.0} msg/s | rtt p50 {:>7} us | p99 {:>7} us | wall {:.2}s",
+            name, report.clients, report.clients_completed, report.throughput, p50, p99, report.wall_s
+        );
+        writeln!(json, "    {{").unwrap();
+        writeln!(json, "      \"name\": \"{name}\",").unwrap();
+        writeln!(json, "      \"n\": {},", report.n).unwrap();
+        writeln!(json, "      \"shards\": {},", report.shards).unwrap();
+        writeln!(json, "      \"clients\": {},", report.clients).unwrap();
+        writeln!(json, "      \"completed\": {},", report.clients_completed).unwrap();
+        writeln!(
+            json,
+            "      \"primaries_delivered\": {},",
+            report.primaries_delivered
+        )
+        .unwrap();
+        writeln!(json, "      \"wall_s\": {:.4},", report.wall_s).unwrap();
+        writeln!(json, "      \"msgs_per_sec\": {:.1},", report.throughput).unwrap();
+        writeln!(json, "      \"rtt_p50_us\": {p50},").unwrap();
+        writeln!(json, "      \"rtt_p99_us\": {p99},").unwrap();
+        writeln!(json, "      \"clean\": {}", report.clean()).unwrap();
+        writeln!(json, "    }}{}", if i == last { "" } else { "," }).unwrap();
+
+        if name == "clients-10k" && scale_5x5_mps > 0.0 {
+            let per_node_floor = scale_5x5_mps / 25.0;
+            if report.throughput < per_node_floor {
+                eprintln!(
+                    "perf: CLIENT FAN-IN BELOW PER-NODE BASELINE: {:.0} msg/s < {per_node_floor:.0} msg/s (grid-5x5 {scale_5x5_mps:.0} / 25 nodes)",
+                    report.throughput
+                );
+                std::process::exit(1);
+            }
+        }
     }
     let _ = std::fs::remove_dir_all(&dir);
     writeln!(json, "  ]").unwrap();
@@ -773,15 +900,25 @@ fn compare_file(label: &str, key: &str, baseline: &str, current: &str) -> usize 
 /// `dir`. Missing baseline files are skipped with a note (so a baseline
 /// directory can predate `BENCH_state.json`). Exits nonzero on any >25%
 /// throughput regression.
-fn compare_baseline(dir: &str, check: &str, engine: &str, state: &str, cluster: &str, scale: &str) {
+#[allow(clippy::too_many_arguments)]
+fn compare_baseline(
+    dir: &str,
+    check: &str,
+    engine: &str,
+    state: &str,
+    cluster: &str,
+    scale: &str,
+    clients: &str,
+) {
     let mut regressions = 0;
-    let files: [(&str, &str, &str, &str); 6] = [
+    let files: [(&str, &str, &str, &str); 7] = [
         ("check", "BENCH_check.json", "states_per_sec", check),
         ("engine", "BENCH_engine.json", "steps_per_sec", engine),
         ("state", "BENCH_state.json", "nodes_per_sec", state),
         ("state", "BENCH_state.json", "compression", state),
         ("cluster", "BENCH_cluster.json", "msgs_per_sec", cluster),
         ("scale", "BENCH_scale.json", "msgs_per_sec", scale),
+        ("clients", "BENCH_clients.json", "msgs_per_sec", clients),
     ];
     for (label, file, key, current) in files {
         match std::fs::read_to_string(format!("{dir}/{file}")) {
@@ -807,19 +944,25 @@ fn main() {
     let mut cluster_json = String::new();
     bench_cluster(&opts, &mut cluster_json);
     let mut scale_json = String::new();
-    bench_scale(&opts, &mut scale_json);
+    let scale_5x5_mps = bench_scale(&opts, &mut scale_json);
+    let mut clients_json = String::new();
+    bench_clients(&opts, &mut clients_json, scale_5x5_mps);
 
     let check_path = format!("{}/BENCH_check.json", opts.out_dir);
     let engine_path = format!("{}/BENCH_engine.json", opts.out_dir);
     let state_path = format!("{}/BENCH_state.json", opts.out_dir);
     let cluster_path = format!("{}/BENCH_cluster.json", opts.out_dir);
     let scale_path = format!("{}/BENCH_scale.json", opts.out_dir);
+    let clients_path = format!("{}/BENCH_clients.json", opts.out_dir);
     std::fs::write(&check_path, &check_json).expect("write BENCH_check.json");
     std::fs::write(&engine_path, &engine_json).expect("write BENCH_engine.json");
     std::fs::write(&state_path, &state_json).expect("write BENCH_state.json");
     std::fs::write(&cluster_path, &cluster_json).expect("write BENCH_cluster.json");
     std::fs::write(&scale_path, &scale_json).expect("write BENCH_scale.json");
-    eprintln!("wrote {check_path}, {engine_path}, {state_path}, {cluster_path} and {scale_path}");
+    std::fs::write(&clients_path, &clients_json).expect("write BENCH_clients.json");
+    eprintln!(
+        "wrote {check_path}, {engine_path}, {state_path}, {cluster_path}, {scale_path} and {clients_path}"
+    );
 
     if let Some(dir) = &opts.baseline {
         compare_baseline(
@@ -829,6 +972,7 @@ fn main() {
             &state_json,
             &cluster_json,
             &scale_json,
+            &clients_json,
         );
     }
 }

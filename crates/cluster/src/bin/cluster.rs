@@ -2,18 +2,21 @@
 //!
 //! ```text
 //! ssmfp-cluster [--topology grid:10x10] [--workload closed:4:200] [--seed 1]
+//!               [--clients N] [--client-load closed:1:2]
 //!               [--faults 2] [--partition 20:40] [--transport uds|tcp]
 //!               [--shards K] [--inproc] [--timeout-s 60]
 //!               [--json FILE] [--quiet]
 //! ```
 //!
-//! Exit codes: `0` clean run (converged, zero SP violations), `1` dirty
-//! or non-converged run, `2` usage error. The hidden `--node-worker` mode
-//! is how the orchestrator spawns per-node processes.
+//! Exit codes: `0` clean run (converged, zero SP violations — and, with
+//! `--clients`, a clean per-client verdict), `1` dirty or non-converged
+//! run, `2` usage error. The hidden `--node-worker` mode is how the
+//! orchestrator spawns per-node processes.
 
 use ssmfp_cluster::{
     node_main, parse_chaos, parse_node_args, parse_workload, pick_partition, run_cluster,
-    ChaosSpec, ClusterSpec, CtrlPipe, ListenSpec, RunMode, WorkloadKind, WorkloadSpec,
+    ChaosSpec, ClientMutation, ClientSpec, ClusterSpec, CtrlPipe, ListenSpec, RunMode,
+    WorkloadKind, WorkloadSpec,
 };
 use ssmfp_topology::{gen, Graph};
 use std::io::Write;
@@ -36,10 +39,15 @@ USAGE:
 
 OPTIONS:
     --topology SPEC    line:N | ring:N | star:N | caterpillar:S:L |
-                       grid:RxC | torus:RxC   (also grid:R:C / torus:R:C;
-                       default line:5)
+                       grid:RxC | torus:RxC | hypercube:D | random:N,p
+                       (also grid:R:C / torus:R:C; random is a seeded
+                       connected Erdős–Rényi sample; default line:5)
     --workload SPEC    open:<rate/s>:<msgs> | closed:<K>:<msgs> per node
-                       (default closed:4:50)
+                       (default closed:4:50; ignored with --clients)
+    --clients N        client mode: N logical clients spread over the
+                       nodes, each an audited exactly-once+FIFO stream
+    --client-load SPEC per-client discipline, same syntax as --workload
+                       (default closed:1:2)
     --seed S           run seed (default 1)
     --faults K         per-link drop/duplicate/reorder budgets (default 0)
     --partition F:L    one partition/heal cycle: drop data-plane arrivals
@@ -56,7 +64,11 @@ OPTIONS:
     );
 }
 
-fn parse_topology(s: &str) -> Result<(String, Graph), String> {
+/// Seed-aware topology parsing: `random:N,p` draws a seeded connected
+/// Erdős–Rényi sample, so the graph cannot be built until the run seed
+/// is known — the CLI stashes the spec string and resolves it after the
+/// argument loop.
+fn parse_topology(s: &str, seed: u64) -> Result<(String, Graph), String> {
     let parts: Vec<&str> = s.split(':').collect();
     let num = |t: Option<&&str>| -> Result<usize, String> {
         t.and_then(|t| t.parse().ok())
@@ -84,6 +96,26 @@ fn parse_topology(s: &str) -> Result<(String, Graph), String> {
             gen::torus(r, c)
         }
         ("torus", 3) => gen::torus(num(parts.get(1))?, num(parts.get(2))?),
+        ("hypercube", 2) => {
+            let d = num(parts.get(1))?;
+            if d == 0 || d > 16 {
+                return Err(format!("bad topology {s:?} (want 1 <= D <= 16)"));
+            }
+            gen::hypercube(d as u32)
+        }
+        ("random", 2) => {
+            let (n, p) = parts[1]
+                .split_once(',')
+                .ok_or_else(|| format!("bad topology {s:?} (want random:N,p)"))?;
+            let n: usize = n.parse().map_err(|_| format!("bad topology {s:?}"))?;
+            let p: f64 = p.parse().map_err(|_| format!("bad topology {s:?}"))?;
+            if !(0.0..=1.0).contains(&p) || n == 0 {
+                return Err(format!("bad topology {s:?} (want N >= 1, p in [0, 1])"));
+            }
+            gen::erdos_renyi(n, p, seed).ok_or_else(|| {
+                format!("random:{n},{p} found no connected sample at seed {seed}; raise p")
+            })?
+        }
         _ => return Err(format!("unknown topology {s:?}")),
     };
     Ok((s.to_string(), g))
@@ -107,11 +139,17 @@ fn main() -> ExitCode {
         };
     }
 
-    let mut topology = None;
+    let mut topology: Option<String> = None;
     let mut workload = WorkloadSpec {
         kind: WorkloadKind::Closed { outstanding: 4 },
         messages: 50,
     };
+    let mut clients: Option<u64> = None;
+    let mut client_load = WorkloadSpec {
+        kind: WorkloadKind::Closed { outstanding: 1 },
+        messages: 2,
+    };
+    let mut client_mutation: Option<ClientMutation> = None;
     let mut seed: u64 = 1;
     let mut faults: u32 = 0;
     let mut partition: Option<(u64, u64)> = None;
@@ -130,13 +168,26 @@ fn main() -> ExitCode {
                 .unwrap_or_else(|| die(&format!("{flag} needs a value")))
         };
         match flag.as_str() {
-            "--topology" => match parse_topology(val()) {
-                Ok(t) => topology = Some(t),
-                Err(e) => die(&e),
-            },
+            "--topology" => topology = Some(val().to_string()),
             "--workload" => match parse_workload(val()) {
                 Ok(w) => workload = w,
                 Err(e) => die(&e),
+            },
+            "--clients" => {
+                let k: u64 = val()
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("--clients: {e}")));
+                clients = Some(k);
+            }
+            "--client-load" => match parse_workload(val()) {
+                Ok(w) => client_load = w,
+                Err(e) => die(&e),
+            },
+            // Hidden: seeded client-layer bug injection, for red-testing
+            // the per-client audit (a clean run must turn dirty).
+            "--client-mutation" => match val() {
+                "dup-stamp" => client_mutation = Some(ClientMutation::DuplicateStamp),
+                other => die(&format!("unknown --client-mutation {other:?}")),
             },
             "--seed" => {
                 seed = val()
@@ -195,9 +246,25 @@ fn main() -> ExitCode {
         }
     }
 
-    let (name, graph) = topology.unwrap_or_else(|| parse_topology("line:5").expect("default"));
+    // Resolve the topology only now: `random:N,p` needs the seed.
+    let (name, graph) = match parse_topology(topology.as_deref().unwrap_or("line:5"), seed) {
+        Ok(t) => t,
+        Err(e) => die(&e),
+    };
     if graph.n() < 2 {
         die("topology needs at least 2 nodes");
+    }
+    let client_spec = clients.map(|k| ClientSpec {
+        clients: k,
+        load: client_load,
+        mutation: client_mutation,
+    });
+    if let Some(c) = &client_spec {
+        if let Err(e) = c.validate(graph.n()) {
+            die(&e);
+        }
+    } else if client_mutation.is_some() {
+        die("--client-mutation needs --clients");
     }
     let shards = shards.unwrap_or_else(|| graph.n().div_ceil(25));
     // An ignored side effect of `--chaos` syntax reuse: validate early so
@@ -236,6 +303,7 @@ fn main() -> ExitCode {
         workload,
         chaos,
         listen,
+        clients: client_spec,
         shards,
         mode,
         timeout: Duration::from_secs(timeout_s),
@@ -272,6 +340,22 @@ fn main() -> ExitCode {
             report.counters.chaos_reordered,
             report.counters.partition_dropped,
         );
+        if let Some(cv) = &report.client_verdict {
+            eprintln!(
+                "clients: hosted={} completed={} stamped={} exactly_once={} in_flight={} \
+                 violations={} | rtt p50={}µs p99={}µs fairness p50={}µs p99={}µs",
+                report.clients,
+                report.clients_completed,
+                cv.stamped,
+                cv.exactly_once,
+                cv.in_flight,
+                cv.violations.len(),
+                report.client_rtt.quantile(0.50),
+                report.client_rtt.quantile(0.99),
+                report.client_fair.quantile(0.50),
+                report.client_fair.quantile(0.99),
+            );
+        }
     }
     match json.as_deref() {
         Some("-") => println!("{}", report.to_json()),

@@ -33,6 +33,18 @@
 //! keeps that detection honest).
 //!
 //! No locks remain: the writer-stats mutex died with the blocking plane.
+//!
+//! ## The client layer adds no concurrency (PR 9)
+//!
+//! [`crate::clients::ClientMux`] — up to millions of logical clients per
+//! node — is a plain struct owned by the `node.main` loop, polled
+//! between I/O bursts under the `client_send_budget` and fed by the same
+//! delivery vector the forwarder already fills. Re-deriving the model
+//! with it in place changes *nothing*: still three roles, zero locks,
+//! one channel. Session fan-in is a table walk inside an existing
+//! thread, not a queue between threads — a pin test holds the counts,
+//! and a red test in `ssmfp-lint` proves an undeclared `client.mux`
+//! channel would fail `conc-coverage` rather than ship silently.
 
 use crate::tuning::ClusterTuning;
 use ssmfp_core::conc::{
@@ -193,6 +205,24 @@ mod tests {
         // And the model shrank for real: exactly three roles, no locks.
         assert_eq!(m.threads.len(), 3);
         assert!(m.locks.is_empty());
+    }
+
+    /// The client-mux design claim, pinned: multiplexing millions of
+    /// logical clients changed the concurrency footprint not at all —
+    /// the same three roles, zero locks, and the single `orch.shard`
+    /// channel that PR 8 declared. If the mux ever grows a thread or a
+    /// queue, this count (and the model) must change together with it.
+    #[test]
+    fn client_mux_leaves_the_model_at_three_roles_no_locks_one_channel() {
+        let m = default_model();
+        assert_eq!(m.threads.len(), 3, "mux must not add thread roles");
+        assert!(m.locks.is_empty(), "mux must not add locks");
+        assert_eq!(m.channels.len(), 1, "mux must not add channels");
+        assert_eq!(m.channels[0].name, "orch.shard");
+        assert!(
+            m.channel("client.mux").is_none(),
+            "a client.mux queue would be a new design — declare it first"
+        );
     }
 
     #[test]

@@ -982,7 +982,7 @@ impl NodeLoop {
 mod tests {
     use super::*;
     use ssmfp_core::message::GhostId;
-    use ssmfp_core::wire::WireMessage;
+    use ssmfp_core::wire::{ClientStamp, WireMessage};
 
     fn data_frame(seq: u64) -> WireFrame {
         WireFrame::Offer {
@@ -991,6 +991,7 @@ mod tests {
                 payload: seq,
                 color: (seq % 3) as u8,
                 ghost: GhostId::Valid(seq),
+                stamp: ClientStamp::NONE,
             },
             nonce: seq,
         }

@@ -6,9 +6,9 @@
 //! bridge. `Hello`/`Heartbeat` frames are supervision-only and have no
 //! `WireMsg` counterpart — [`frame_to_msg`] returns `None` for them.
 
-use ssmfp_core::wire::{WireFrame, WireMessage};
+use ssmfp_core::wire::{ClientStamp, WireFrame, WireMessage};
 use ssmfp_core::GhostId;
-use ssmfp_mp::{MpGhost, MpMessage, WireMsg};
+use ssmfp_mp::{decode_client_ghost, MpGhost, MpMessage, WireMsg};
 
 /// `MpGhost` → `GhostId` (same 64-bit identity space).
 pub fn ghost_to_wire(g: MpGhost) -> GhostId {
@@ -31,6 +31,27 @@ fn msg_to_wire(m: &MpMessage) -> WireMessage {
         payload: m.payload,
         color: m.color,
         ghost: ghost_to_wire(m.ghost),
+        stamp: ClientStamp::NONE,
+    }
+}
+
+/// The wire stamp a client-mode ghost carries: the flat client id and
+/// sequence from [`ssmfp_mp::clients`]'s packing. Invalid ghosts
+/// (initial-configuration garbage) carry no stamp.
+pub fn client_stamp_of(g: MpGhost) -> ClientStamp {
+    match decode_client_ghost(g) {
+        Some(p) => ClientStamp {
+            client: p.client_id(),
+            seq: p.seq,
+        },
+        None => ClientStamp::NONE,
+    }
+}
+
+fn msg_to_wire_client(m: &MpMessage) -> WireMessage {
+    WireMessage {
+        stamp: client_stamp_of(m.ghost),
+        ..msg_to_wire(m)
     }
 }
 
@@ -46,25 +67,37 @@ fn msg_from_wire(m: &WireMessage) -> MpMessage {
 /// the simulator and `u16` on the wire; [`ssmfp_core::wire`]'s layout
 /// bounds instances at `n < 2^16`, far above any deployable topology.
 pub fn msg_to_frame(msg: &WireMsg) -> WireFrame {
+    msg_to_frame_with(msg, msg_to_wire)
+}
+
+/// Client-mode encoding: like [`msg_to_frame`] but every handshake
+/// frame carries the `(client_id, client_seq)` stamp decoded from its
+/// ghost, so the identity the per-client audit reconciles is visible on
+/// the wire itself (the ghost stays authoritative on decode).
+pub fn msg_to_frame_client(msg: &WireMsg) -> WireFrame {
+    msg_to_frame_with(msg, msg_to_wire_client)
+}
+
+fn msg_to_frame_with(msg: &WireMsg, conv: fn(&MpMessage) -> WireMessage) -> WireFrame {
     match msg {
         WireMsg::Offer { d, msg, nonce } => WireFrame::Offer {
             d: *d as u16,
-            msg: msg_to_wire(msg),
+            msg: conv(msg),
             nonce: *nonce,
         },
         WireMsg::Accept { d, msg, nonce } => WireFrame::Accept {
             d: *d as u16,
-            msg: msg_to_wire(msg),
+            msg: conv(msg),
             nonce: *nonce,
         },
         WireMsg::Confirm { d, msg, nonce } => WireFrame::Confirm {
             d: *d as u16,
-            msg: msg_to_wire(msg),
+            msg: conv(msg),
             nonce: *nonce,
         },
         WireMsg::Deny { d, msg, nonce } => WireFrame::Deny {
             d: *d as u16,
-            msg: msg_to_wire(msg),
+            msg: conv(msg),
             nonce: *nonce,
         },
         WireMsg::Dv { d, dist } => WireFrame::Dv {
@@ -142,5 +175,32 @@ mod tests {
             frame_to_msg(&WireFrame::Heartbeat { node: 1, clock: 2 }),
             None
         );
+    }
+
+    #[test]
+    fn client_mode_frames_carry_the_ghost_stamp() {
+        let g = ssmfp_mp::client_ghost(3, 17, 9);
+        let m = WireMsg::Offer {
+            d: 1,
+            msg: MpMessage {
+                payload: 5,
+                color: 1,
+                ghost: g,
+            },
+            nonce: 2,
+        };
+        let WireFrame::Offer { msg, .. } = msg_to_frame_client(&m) else {
+            panic!("offer stays an offer");
+        };
+        let parts = ssmfp_mp::decode_client_ghost(g).unwrap();
+        assert!(msg.stamp.is_present());
+        assert_eq!(msg.stamp.client, parts.client_id());
+        assert_eq!(msg.stamp.seq, 9);
+        // Node-mode frames carry no stamp; decode ignores it either way.
+        let WireFrame::Offer { msg: plain, .. } = msg_to_frame(&m) else {
+            panic!("offer stays an offer");
+        };
+        assert_eq!(plain.stamp, ClientStamp::NONE);
+        assert_eq!(frame_to_msg(&msg_to_frame_client(&m)), Some(m));
     }
 }

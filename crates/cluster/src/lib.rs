@@ -15,6 +15,10 @@
 //!   `FaultClerk` decision procedure.
 //! * [`workload`] — open-loop (Poisson) and closed-loop (K outstanding)
 //!   generators, with the payload-stamp and ghost-numbering conventions.
+//! * [`clients`] — the client multiplexer: up to millions of logical
+//!   clients per run, each a ~56-byte session stamping its sends with a
+//!   `(client, seq)` identity the shutdown reconcile audits per client
+//!   (exactly-once *and* FIFO), with fairness-spread telemetry.
 //! * [`evloop`] — the whole node's I/O machinery: a `poll(2)` shim,
 //!   per-connection coalescing write buffers (zero-realloc hot path),
 //!   and [`evloop::NodeLoop`], which multiplexes the control pipe, the
@@ -36,6 +40,7 @@
 //!   passes and the debug-build runtime assertions.
 
 pub mod chaos;
+pub mod clients;
 pub mod conc;
 pub mod evloop;
 pub mod frame;
@@ -47,6 +52,7 @@ pub mod tuning;
 pub mod workload;
 
 pub use chaos::{ChaosSpec, PartitionSpec};
+pub use clients::{ClientMutation, ClientMux, ClientSpec};
 pub use evloop::CtrlPipe;
 pub use node::{node_main, ListenSpec, NodeConfig, NodeReport};
 pub use orchestrator::{

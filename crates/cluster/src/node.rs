@@ -41,14 +41,16 @@
 //! * node → shard: a multi-line `report … end` block, then exit.
 
 use crate::chaos::{ChaosSpec, InboundChaos};
+use crate::clients::{ClientMux, ClientSpec};
 use crate::conc::COMPONENT;
 use crate::evloop::{CtrlPipe, NetListener, NodeLoop};
-use crate::frame::{frame_to_msg, msg_to_frame};
+use crate::frame::{frame_to_msg, msg_to_frame, msg_to_frame_client};
 use crate::telemetry::{LogHistogram, NodeCounters};
 use crate::tuning::TUNING;
 use crate::workload::{ack_payload, is_ack, stamp_of, WorkloadGen, WorkloadSpec, STAMP_MASK};
 use ssmfp_core::conc::register_thread;
-use ssmfp_mp::{MpForwarder, MpGhost, MpNode, Outbox};
+use ssmfp_core::wire::WireFrame;
+use ssmfp_mp::{ack_ghost_of, decode_client_ghost, MpForwarder, MpGhost, MpNode, Outbox, WireMsg};
 use ssmfp_topology::{BfsTree, Graph, NodeId};
 use std::collections::HashMap;
 use std::io::{self, Write};
@@ -84,6 +86,11 @@ pub struct NodeConfig {
     pub workload: WorkloadSpec,
     /// Link chaos.
     pub chaos: ChaosSpec,
+    /// Client mode: host this node's share of the cluster-wide logical
+    /// clients ([`crate::clients::ClientMux`]) instead of the node-level
+    /// workload generator, stamping every send with its `(client, seq)`
+    /// identity for the per-client audit.
+    pub clients: Option<ClientSpec>,
 }
 
 /// One node's final report, as parsed by the orchestrator.
@@ -103,6 +110,15 @@ pub struct NodeReport {
     pub batch: LogHistogram,
     /// Transport/chaos counters.
     pub counters: NodeCounters,
+    /// Client mode: every ack round trip, log-bucketed (empty otherwise).
+    pub client_rtt: LogHistogram,
+    /// Client mode: fairness spread — one sample per hosted session, its
+    /// mean RTT (empty otherwise).
+    pub client_fair: LogHistogram,
+    /// Client mode: sessions hosted here.
+    pub clients: u64,
+    /// Client mode: acked primaries across hosted sessions.
+    pub clients_completed: u64,
 }
 
 /// Wall clock in µs, truncated to the payload stamp width. Latency is the
@@ -149,6 +165,17 @@ pub fn node_main(cfg: &NodeConfig, ctrl: CtrlPipe) -> io::Result<NodeReport> {
         cfg.seed,
     );
     let mut gen = WorkloadGen::new(cfg.workload, p, cfg.n, cfg.seed);
+    let mut mux: Option<ClientMux> = cfg
+        .clients
+        .as_ref()
+        .map(|s| ClientMux::new(s, p, cfg.n, cfg.seed));
+    // Client-mode frames carry the `(client_id, client_seq)` wire stamp;
+    // picking the encoder once keeps the hot path branch-free.
+    let encode: fn(&WireMsg) -> WireFrame = if mux.is_some() {
+        msg_to_frame_client
+    } else {
+        msg_to_frame
+    };
     let mut chaos: HashMap<NodeId, InboundChaos> = neighbors
         .iter()
         .map(|&q| (q, InboundChaos::new(&cfg.chaos, q, p)))
@@ -251,13 +278,24 @@ pub fn node_main(cfg: &NodeConfig, ctrl: CtrlPipe) -> io::Result<NodeReport> {
             }
         }
 
-        // Workload.
+        // Workload: the client mux replaces the node-level generator in
+        // client mode. The budget bounds time away from the socket pump;
+        // the mux's round-robin ready queue keeps the cut fair.
         if !stopping {
             let now = now_stamp();
-            while let Some(issue) = gen.poll(now) {
-                fwd.enqueue_send(issue.dest, issue.payload, issue.ghost);
-                gen_list.push((issue.ghost, issue.dest));
-                worked = true;
+            if let Some(mux) = mux.as_mut() {
+                for _ in 0..TUNING.client_send_budget {
+                    let Some(issue) = mux.next(now) else { break };
+                    fwd.enqueue_send(issue.dest, issue.payload, issue.ghost);
+                    gen_list.push((issue.ghost, issue.dest));
+                    worked = true;
+                }
+            } else {
+                while let Some(issue) = gen.poll(now) {
+                    fwd.enqueue_send(issue.dest, issue.payload, issue.ghost);
+                    gen_list.push((issue.ghost, issue.dest));
+                    worked = true;
+                }
             }
         }
 
@@ -277,7 +315,26 @@ pub fn node_main(cfg: &NodeConfig, ctrl: CtrlPipe) -> io::Result<NodeReport> {
         while seen_deliveries < fwd.delivered_msgs.len() {
             let (ghost, payload) = fwd.delivered_msgs[seen_deliveries];
             seen_deliveries += 1;
-            if is_ack(payload) {
+            if let Some(mux) = mux.as_mut() {
+                // Client mode: the ghost *is* the identity. Acks credit
+                // their session; primaries answer with the identity-
+                // preserving ack ghost (primary | ack bit) — a real,
+                // audited SSMFP message, no per-client state here.
+                let now = now_stamp();
+                match decode_client_ghost(ghost) {
+                    Some(parts) if parts.ack => mux.on_ack(parts, now),
+                    Some(parts) => {
+                        latency.record(now.wrapping_sub(stamp_of(payload)) & STAMP_MASK);
+                        let src = parts.node;
+                        if src < cfg.n && src != p {
+                            let ack_ghost = ack_ghost_of(ghost);
+                            fwd.enqueue_send(src, ack_payload(now), ack_ghost);
+                            gen_list.push((ack_ghost, src));
+                        }
+                    }
+                    None => {} // initial-configuration garbage: audited, not answered
+                }
+            } else if is_ack(payload) {
                 gen.on_ack();
             } else {
                 let now = now_stamp();
@@ -296,15 +353,18 @@ pub fn node_main(cfg: &NodeConfig, ctrl: CtrlPipe) -> io::Result<NodeReport> {
         // queue, no wake).
         for (to, msg) in out.drain() {
             counters.frames_sent += 1;
-            nl.send(to, &msg_to_frame(&msg));
+            nl.send(to, &encode(&msg));
         }
 
         // Status push.
         if last_status.elapsed() >= TUNING.status_every() {
             last_status = Instant::now();
+            let done = mux
+                .as_ref()
+                .map_or_else(|| gen.done_issuing(), |m| m.done_issuing());
             nl.write_ctrl(&format!(
                 "status {} {} {} {}\n",
-                gen.done_issuing() as u8,
+                done as u8,
                 fwd.generated.len(),
                 fwd.delivered.len(),
                 fwd.held_ghosts().len()
@@ -336,6 +396,10 @@ pub fn node_main(cfg: &NodeConfig, ctrl: CtrlPipe) -> io::Result<NodeReport> {
         latency,
         batch: io_stats.batch,
         counters,
+        client_rtt: mux.as_ref().map(|m| m.rtt().clone()).unwrap_or_default(),
+        client_fair: mux.as_ref().map(ClientMux::fairness).unwrap_or_default(),
+        clients: mux.as_ref().map_or(0, ClientMux::hosted),
+        clients_completed: mux.as_ref().map_or(0, ClientMux::completed),
     };
     {
         let w = nl.ctrl_writer();
@@ -405,6 +469,9 @@ pub fn write_report<W: Write>(w: &mut W, r: &NodeReport) -> io::Result<()> {
     writeln!(w)?;
     write_histogram(w, "lat", &r.latency)?;
     write_histogram(w, "bat", &r.batch)?;
+    write_histogram(w, "crtt", &r.client_rtt)?;
+    write_histogram(w, "cfair", &r.client_fair)?;
+    writeln!(w, "cli {} {}", r.clients, r.clients_completed)?;
     let c = &r.counters;
     writeln!(
         w,
@@ -455,6 +522,12 @@ pub fn parse_report_body(
             }
             "lat" => r.latency = parse_histogram(&mut it)?,
             "bat" => r.batch = parse_histogram(&mut it)?,
+            "crtt" => r.client_rtt = parse_histogram(&mut it)?,
+            "cfair" => r.client_fair = parse_histogram(&mut it)?,
+            "cli" => {
+                r.clients = it.next()?.parse().ok()?;
+                r.clients_completed = it.next()?.parse().ok()?;
+            }
             "ctr" => {
                 let mut next = || it.next().and_then(|t| t.parse::<u64>().ok());
                 r.counters = NodeCounters {
@@ -492,6 +565,13 @@ mod tests {
         for v in [1u64, 1, 4, 17] {
             bat.record(v);
         }
+        let mut crtt = LogHistogram::new();
+        let mut cfair = LogHistogram::new();
+        for v in [250u64, 300, 90_000] {
+            crtt.record(v);
+        }
+        cfair.record(275);
+        cfair.record(90_000);
         let r = NodeReport {
             node: 3,
             generated: vec![(MpGhost::Valid(7), 1), (MpGhost::Invalid(9), 0)],
@@ -512,6 +592,10 @@ mod tests {
                 read_syscalls: 12,
                 conn_frames_dropped: 13,
             },
+            client_rtt: crtt,
+            client_fair: cfair,
+            clients: 2,
+            clients_completed: 3,
         };
         let mut buf = Vec::new();
         write_report(&mut buf, &r).unwrap();
@@ -530,5 +614,10 @@ mod tests {
         assert_eq!(back.latency.max(), r.latency.max());
         assert_eq!(back.batch.count(), r.batch.count());
         assert_eq!(back.batch.mean(), r.batch.mean());
+        assert_eq!(back.client_rtt.count(), r.client_rtt.count());
+        assert_eq!(back.client_rtt.max(), r.client_rtt.max());
+        assert_eq!(back.client_fair.count(), r.client_fair.count());
+        assert_eq!(back.clients, 2);
+        assert_eq!(back.clients_completed, 3);
     }
 }

@@ -27,6 +27,7 @@
 //! old per-node snapshot comparison, at a K-th of the traffic.
 
 use crate::chaos::{ChaosSpec, PartitionSpec};
+use crate::clients::{ClientMutation, ClientSpec};
 use crate::conc::COMPONENT;
 use crate::evloop::{
     raise_nofile_limit, set_nonblocking_fd, CtrlPipe, PollSet, POLLERR, POLLHUP, POLLIN, POLLNVAL,
@@ -40,7 +41,7 @@ use crate::workload::{is_ack_ghost, WorkloadKind, WorkloadSpec};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use ssmfp_core::conc::{register_thread, spawn_registered, tracked_channel, TrackedSender};
-use ssmfp_core::{reconcile_ledgers, ClusterVerdict, NodeLedger};
+use ssmfp_core::{reconcile_clients, reconcile_ledgers, ClientVerdict, ClusterVerdict, NodeLedger};
 use ssmfp_topology::{Graph, NodeId};
 use std::io::{self, Read, Write};
 use std::ops::Range;
@@ -79,6 +80,9 @@ pub struct ClusterSpec {
     pub chaos: ChaosSpec,
     /// Socket flavour.
     pub listen: ListenSpec,
+    /// Client mode: multiplex this many logical clients over the nodes
+    /// and audit them per-client at reconciliation.
+    pub clients: Option<ClientSpec>,
     /// Orchestrator shards (supervised node groups); clamped to `1..=n`.
     pub shards: usize,
     /// Launch mode.
@@ -103,6 +107,16 @@ pub struct ShardSummary {
     pub batch: LogHistogram,
     /// Summed per-node counters.
     pub counters: NodeCounters,
+    /// Client mode: merged ack round-trip histogram.
+    pub client_rtt: LogHistogram,
+    /// Client mode: merged fairness spread (one sample per session —
+    /// its mean RTT — merged bucket-wise, so shard and root work stay
+    /// O(buckets) however many clients the run hosts).
+    pub client_fair: LogHistogram,
+    /// Client mode: sessions hosted in the shard.
+    pub clients: u64,
+    /// Client mode: acked primaries in the shard.
+    pub clients_completed: u64,
 }
 
 /// Everything a shard sends upward at the end of a run.
@@ -172,6 +186,16 @@ pub struct RunReport {
     pub batch: LogHistogram,
     /// Summed per-node counters.
     pub counters: NodeCounters,
+    /// Client mode: the per-client exactly-once + FIFO verdict.
+    pub client_verdict: Option<ClientVerdict>,
+    /// Client mode: merged ack round-trip histogram (µs).
+    pub client_rtt: LogHistogram,
+    /// Client mode: merged fairness spread (one sample per session).
+    pub client_fair: LogHistogram,
+    /// Client mode: logical clients hosted across the cluster.
+    pub clients: u64,
+    /// Client mode: acked primaries across all clients.
+    pub clients_completed: u64,
     /// The per-shard pre-merged totals (the top-level numbers above are
     /// folds of exactly these — pinned by a unit test).
     pub shard_summaries: Vec<ShardSummary>,
@@ -181,9 +205,15 @@ pub struct RunReport {
 
 impl RunReport {
     /// Whether the run met the tentpole bar: converged with a clean
-    /// cluster-wide SP verdict.
+    /// cluster-wide SP verdict — and, in client mode, a clean
+    /// per-client verdict too.
     pub fn clean(&self) -> bool {
-        self.converged && self.verdict.clean()
+        self.converged
+            && self.verdict.clean()
+            && self
+                .client_verdict
+                .as_ref()
+                .is_none_or(ClientVerdict::clean)
     }
 
     /// Hand-rolled JSON (the workspace carries no serde).
@@ -191,6 +221,44 @@ impl RunReport {
         let v = &self.verdict;
         let violations: Vec<String> = v.violations.iter().map(|x| format!("{:?}", x)).collect();
         let c = &self.counters;
+        let clients_json = match &self.client_verdict {
+            None => String::new(),
+            Some(cv) => {
+                let cviol: Vec<String> = cv
+                    .violations
+                    .iter()
+                    .map(|x| format!("\"{}\"", format!("{x:?}").replace('"', "'")))
+                    .collect();
+                format!(
+                    concat!(
+                        ",\n  \"clients\": {{\"hosted\": {}, \"completed\": {}, ",
+                        "\"distinct\": {}, \"stamped\": {}, \"exactly_once\": {}, ",
+                        "\"in_flight\": {}, \"violations\": {}, \"violation_list\": [{}], ",
+                        "\"rtt_us\": {{\"count\": {}, \"mean\": {:.1}, \"p50\": {}, ",
+                        "\"p99\": {}, \"max\": {}}}, ",
+                        "\"fairness_us\": {{\"count\": {}, \"p50\": {}, \"p99\": {}, ",
+                        "\"max\": {}}}}}"
+                    ),
+                    self.clients,
+                    self.clients_completed,
+                    cv.clients,
+                    cv.stamped,
+                    cv.exactly_once,
+                    cv.in_flight,
+                    cv.violations.len(),
+                    cviol.join(", "),
+                    self.client_rtt.count(),
+                    self.client_rtt.mean(),
+                    self.client_rtt.quantile(0.50),
+                    self.client_rtt.quantile(0.99),
+                    self.client_rtt.max(),
+                    self.client_fair.count(),
+                    self.client_fair.quantile(0.50),
+                    self.client_fair.quantile(0.99),
+                    self.client_fair.max(),
+                )
+            }
+        };
         format!(
             concat!(
                 "{{\n",
@@ -211,7 +279,7 @@ impl RunReport {
                 "\"chaos_duplicated\": {}, \"chaos_reordered\": {}, \"partition_dropped\": {}}},\n",
                 "  \"io\": {{\"write_syscalls\": {}, \"read_syscalls\": {}, ",
                 "\"conn_frames_dropped\": {}, \"frames_per_write\": {{\"count\": {}, ",
-                "\"mean\": {:.2}, \"p50\": {}, \"p99\": {}, \"max\": {}}}}}\n",
+                "\"mean\": {:.2}, \"p50\": {}, \"p99\": {}, \"max\": {}}}}}{}\n",
                 "}}"
             ),
             self.topology,
@@ -255,6 +323,7 @@ impl RunReport {
             self.batch.quantile(0.50),
             self.batch.quantile(0.99),
             self.batch.max(),
+            clients_json,
         )
     }
 }
@@ -296,8 +365,30 @@ fn summarize(shard: usize, reports: &[NodeReport]) -> ShardSummary {
         s.batch.merge(&r.batch);
         s.primaries_delivered += r.delivered.iter().filter(|&&g| !is_ack_ghost(g)).count() as u64;
         s.counters.add(&r.counters);
+        s.client_rtt.merge(&r.client_rtt);
+        s.client_fair.merge(&r.client_fair);
+        s.clients += r.clients;
+        s.clients_completed += r.clients_completed;
     }
     s
+}
+
+/// Folds shard summaries into the run-level client totals. This is the
+/// *only* client aggregation the root does: K bucket-wise histogram
+/// merges plus K additions — O(shards · buckets), independent of how
+/// many clients the run hosted (pinned by a unit test).
+fn fold_client_totals(summaries: &[ShardSummary]) -> (LogHistogram, LogHistogram, u64, u64) {
+    let mut rtt = LogHistogram::new();
+    let mut fair = LogHistogram::new();
+    let mut clients = 0u64;
+    let mut completed = 0u64;
+    for s in summaries {
+        rtt.merge(&s.client_rtt);
+        fair.merge(&s.client_fair);
+        clients += s.clients;
+        completed += s.clients_completed;
+    }
+    (rtt, fair, clients, completed)
 }
 
 /// Serializes a node config into `--node-worker` CLI arguments (the
@@ -325,7 +416,7 @@ pub fn node_args(cfg: &NodeConfig) -> Vec<String> {
     if let Some(p) = cfg.chaos.partition {
         chaos.push_str(&format!(":{}-{}:{}:{}", p.a, p.b, p.from_arrival, p.len));
     }
-    vec![
+    let mut args = vec![
         "--id".into(),
         cfg.node.to_string(),
         "--n".into(),
@@ -340,7 +431,25 @@ pub fn node_args(cfg: &NodeConfig) -> Vec<String> {
         workload,
         "--chaos".into(),
         chaos,
-    ]
+    ];
+    if let Some(c) = &cfg.clients {
+        args.push("--clients".into());
+        args.push(c.clients.to_string());
+        args.push("--client-load".into());
+        args.push(match c.load.kind {
+            WorkloadKind::Open { rate_per_sec } => {
+                format!("open:{rate_per_sec}:{}", c.load.messages)
+            }
+            WorkloadKind::Closed { outstanding } => {
+                format!("closed:{outstanding}:{}", c.load.messages)
+            }
+        });
+        if let Some(ClientMutation::DuplicateStamp) = c.mutation {
+            args.push("--client-mutation".into());
+            args.push("dup-stamp".into());
+        }
+    }
+    args
 }
 
 /// Parses the arguments produced by [`node_args`]. `Err` carries a usage
@@ -357,7 +466,11 @@ pub fn parse_node_args(args: &[String]) -> Result<NodeConfig, String> {
             messages: 0,
         },
         chaos: ChaosSpec::none(),
+        clients: None,
     };
+    let mut client_count: Option<u64> = None;
+    let mut client_load: Option<WorkloadSpec> = None;
+    let mut client_mutation: Option<ClientMutation> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut val = || {
@@ -394,11 +507,30 @@ pub fn parse_node_args(args: &[String]) -> Result<NodeConfig, String> {
             }
             "--workload" => cfg.workload = parse_workload(val()?)?,
             "--chaos" => cfg.chaos = parse_chaos(val()?)?,
+            "--clients" => {
+                client_count = Some(val()?.parse().map_err(|e| format!("--clients: {e}"))?)
+            }
+            "--client-load" => client_load = Some(parse_workload(val()?)?),
+            "--client-mutation" => {
+                client_mutation = Some(match val()? {
+                    "dup-stamp" => ClientMutation::DuplicateStamp,
+                    other => return Err(format!("unknown client mutation {other:?}")),
+                })
+            }
             other => return Err(format!("unknown node-worker flag {other:?}")),
         }
     }
     if cfg.node == usize::MAX || cfg.n == 0 || cfg.edges.is_empty() {
         return Err("--id, --n and --edges are required".into());
+    }
+    if let Some(clients) = client_count {
+        cfg.clients = Some(ClientSpec {
+            clients,
+            load: client_load.ok_or("--clients needs --client-load")?,
+            mutation: client_mutation,
+        });
+    } else if client_load.is_some() || client_mutation.is_some() {
+        return Err("--client-load/--client-mutation need --clients".into());
     }
     Ok(cfg)
 }
@@ -456,6 +588,7 @@ fn node_config(spec: &ClusterSpec, p: usize) -> NodeConfig {
         listen: spec.listen.clone(),
         workload: spec.workload,
         chaos: spec.chaos,
+        clients: spec.clients,
     }
 }
 
@@ -1146,6 +1279,13 @@ pub fn run_cluster(spec: &ClusterSpec) -> io::Result<RunReport> {
         })
         .collect();
     let verdict = reconcile_ledgers(&ledgers);
+    // Client mode: the per-client audit is a second single-pass join over
+    // the same merged ledgers, with `stamp_decode` bridging the ghost
+    // packing into `(client, seq)` stamps (acks decode to None).
+    let client_verdict = spec
+        .clients
+        .as_ref()
+        .map(|_| reconcile_clients(&ledgers, crate::clients::stamp_decode));
 
     let shard_summaries: Vec<ShardSummary> =
         shard_reports.iter().map(|r| r.summary.clone()).collect();
@@ -1159,6 +1299,8 @@ pub fn run_cluster(spec: &ClusterSpec) -> io::Result<RunReport> {
         counters.add(&s.counters);
         primaries_delivered += s.primaries_delivered;
     }
+    let (client_rtt, client_fair, clients, clients_completed) =
+        fold_client_totals(&shard_summaries);
     let throughput = if wall_s > 0.0 {
         primaries_delivered as f64 / wall_s
     } else {
@@ -1177,6 +1319,11 @@ pub fn run_cluster(spec: &ClusterSpec) -> io::Result<RunReport> {
         latency,
         batch,
         counters,
+        client_verdict,
+        client_rtt,
+        client_fair,
+        clients,
+        clients_completed,
         shard_summaries,
         nodes,
     })
@@ -1213,6 +1360,14 @@ mod tests {
                     len: 25,
                 }),
             },
+            clients: Some(ClientSpec {
+                clients: 100_000,
+                load: WorkloadSpec {
+                    kind: WorkloadKind::Closed { outstanding: 1 },
+                    messages: 2,
+                },
+                mutation: Some(ClientMutation::DuplicateStamp),
+            }),
         };
         let args = node_args(&cfg);
         let back = parse_node_args(&args).unwrap();
@@ -1223,8 +1378,21 @@ mod tests {
         assert_eq!(back.listen, cfg.listen);
         assert_eq!(back.workload, cfg.workload);
         assert_eq!(back.chaos, cfg.chaos);
+        assert_eq!(back.clients, cfg.clients);
+        // Node mode stays the default: no client flags, no client spec.
+        let plain = NodeConfig {
+            clients: None,
+            ..cfg.clone()
+        };
+        let back = parse_node_args(&node_args(&plain)).unwrap();
+        assert_eq!(back.clients, None);
         // The blocking plane is gone: its flag is rejected, not ignored.
         assert!(parse_node_args(&["--io".to_string(), "event".to_string()]).is_err());
+        // Client flags are load-bearing together only.
+        let mut orphan = node_args(&plain);
+        orphan.push("--client-load".into());
+        orphan.push("closed:1:2".into());
+        assert!(parse_node_args(&orphan).is_err());
     }
 
     #[test]
@@ -1259,6 +1427,14 @@ mod tests {
                     lat.record((p as u64 + 1) * 100 + v * 7);
                     bat.record(v % 9 + 1);
                 }
+                let mut crtt = LogHistogram::new();
+                let mut cfair = LogHistogram::new();
+                for v in 0..25u64 {
+                    crtt.record((p as u64 + 1) * 200 + v * 11);
+                    if v % 5 == 0 {
+                        cfair.record((p as u64 + 1) * 210);
+                    }
+                }
                 NodeReport {
                     node: p,
                     generated: vec![],
@@ -1266,6 +1442,10 @@ mod tests {
                     held: vec![],
                     latency: lat,
                     batch: bat,
+                    client_rtt: crtt,
+                    client_fair: cfair,
+                    clients: 5 + p as u64,
+                    clients_completed: 25,
                     counters: NodeCounters {
                         frames_sent: 10 + p as u64,
                         frames_received: 20 + p as u64,
@@ -1288,8 +1468,12 @@ mod tests {
             let mut top_bat = LogHistogram::new();
             let mut top_ctr = NodeCounters::default();
             let mut top_prim = 0u64;
-            for (s, range) in shard_ranges(reports.len(), shards).iter().enumerate() {
-                let sum = summarize(s, &reports[range.clone()]);
+            let summaries: Vec<ShardSummary> = shard_ranges(reports.len(), shards)
+                .iter()
+                .enumerate()
+                .map(|(s, range)| summarize(s, &reports[range.clone()]))
+                .collect();
+            for sum in &summaries {
                 top_lat.merge(&sum.latency);
                 top_bat.merge(&sum.batch);
                 top_ctr.add(&sum.counters);
@@ -1299,7 +1483,60 @@ mod tests {
             assert_eq!(top_lat, flat.latency, "latency diverged at {shards}");
             assert_eq!(top_bat, flat.batch, "batch diverged at {shards}");
             assert_eq!(top_prim, flat.primaries_delivered);
+            // Client totals fold the same way through the same tree.
+            let (rtt, fair, clients, completed) = fold_client_totals(&summaries);
+            assert_eq!(rtt, flat.client_rtt, "client rtt diverged at {shards}");
+            assert_eq!(fair, flat.client_fair, "client fair diverged at {shards}");
+            assert_eq!(clients, flat.clients);
+            assert_eq!(completed, flat.clients_completed);
         }
+    }
+
+    /// The telemetry-complexity pin: what reaches the root per shard is a
+    /// *fixed-size* object however many clients the shard hosted, and the
+    /// root's client aggregation is exactly K histogram merges — so root
+    /// work is O(shards · BUCKET_CAPACITY), never O(total clients).
+    #[test]
+    fn root_client_work_is_bounded_by_shards_times_buckets() {
+        use crate::telemetry::BUCKET_CAPACITY;
+        let k = 8usize;
+        let clients_per_shard = 1_000_000u64;
+        let summaries: Vec<ShardSummary> = (0..k)
+            .map(|s| {
+                // A shard that hosted a million clients: a million RTT
+                // samples and a million fairness samples…
+                let mut rtt = LogHistogram::new();
+                let mut fair = LogHistogram::new();
+                for i in 0..clients_per_shard {
+                    rtt.record(100 + (i * 7919) % 1_000_000);
+                    fair.record(100 + (i * 104_729) % 1_000_000);
+                }
+                ShardSummary {
+                    shard: s,
+                    nodes: 3,
+                    client_rtt: rtt,
+                    client_fair: fair,
+                    clients: clients_per_shard,
+                    clients_completed: clients_per_shard,
+                    ..ShardSummary::default()
+                }
+            })
+            .collect();
+        // …yet its upward representation is bounded by the histogram
+        // capacity, independent of the sample count.
+        for s in &summaries {
+            assert_eq!(s.client_rtt.count(), clients_per_shard);
+            assert!(s.client_rtt.nonzero_buckets().len() <= BUCKET_CAPACITY);
+            assert!(s.client_fair.nonzero_buckets().len() <= BUCKET_CAPACITY);
+        }
+        // The root fold sees K such objects; its work is K bucket-wise
+        // merges over fixed-capacity arrays. Totals still come out exact.
+        let (rtt, fair, clients, completed) = fold_client_totals(&summaries);
+        assert_eq!(clients, k as u64 * clients_per_shard);
+        assert_eq!(completed, k as u64 * clients_per_shard);
+        assert_eq!(rtt.count(), k as u64 * clients_per_shard);
+        assert_eq!(fair.count(), k as u64 * clients_per_shard);
+        assert!(rtt.nonzero_buckets().len() <= BUCKET_CAPACITY);
     }
 
     #[test]

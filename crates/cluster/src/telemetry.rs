@@ -12,6 +12,12 @@ const SUB_BITS: u32 = 4;
 /// `SUB` buckets per remaining power of two of the u64 range.
 const BUCKETS: usize = (SUB as usize) + ((64 - SUB_BITS as usize) * SUB as usize);
 
+/// The fixed bucket capacity of every [`LogHistogram`] — and therefore
+/// the hard size bound of any serialized/merged histogram, however many
+/// samples went in. Root-side merge work is O(this), never O(samples):
+/// the telemetry-complexity regression tests pin against it.
+pub const BUCKET_CAPACITY: usize = BUCKETS;
+
 /// A log-linear histogram of microsecond latencies (any u64 unit works;
 /// the cluster records µs).
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -58,6 +58,13 @@ pub struct ClusterTuning {
     pub out_buf_cap_bytes: usize,
     /// Size of the node loop's reusable read scratch buffer.
     pub io_read_chunk: usize,
+    /// Client-mux issue budget per main-loop iteration. With millions of
+    /// hosted sessions the mux can have an arbitrarily deep ready queue;
+    /// the budget bounds how long one iteration stays away from the
+    /// socket pump (fairness between client fan-in and I/O), while the
+    /// round-robin ready queue guarantees no session starves across
+    /// iterations.
+    pub client_send_budget: u32,
     /// Best-effort flush window for still-buffered frames at shutdown.
     pub io_flush_grace_ms: u64,
 }
@@ -83,6 +90,7 @@ pub const TUNING: ClusterTuning = ClusterTuning {
     out_buf_cap_bytes: 256 * 1024,
     io_read_chunk: 64 * 1024,
     io_flush_grace_ms: 50,
+    client_send_budget: 2048,
 };
 
 impl Default for ClusterTuning {

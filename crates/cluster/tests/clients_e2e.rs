@@ -1,0 +1,139 @@
+//! Client-layer end-to-end: the multiplexed client fan-in exercised on a
+//! real grid, per-client verdict and all.
+//!
+//! * A 25-node grid over UDS with full chaos (per-link faults plus a
+//!   partition/heal cycle) hosting thousands of logical clients
+//!   converges with a clean SP verdict *and* a clean per-client verdict
+//!   (every stamp exactly once, FIFO per client).
+//! * The audit is load-bearing: the seeded `dup-stamp` mutation — two
+//!   logical messages sharing one `(client, seq)` stamp — turns the
+//!   verdict red and the run dirty.
+
+use ssmfp_cluster::{
+    pick_partition, run_cluster, ChaosSpec, ClientMutation, ClientSpec, ClusterSpec, ListenSpec,
+    RunMode, WorkloadKind, WorkloadSpec,
+};
+use ssmfp_core::ClientViolation;
+use ssmfp_topology::gen;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+fn uds_dir() -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ssmfp-clients-test-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create uds dir");
+    dir
+}
+
+fn client_spec(
+    clients: u64,
+    messages: u64,
+    seed: u64,
+    mutation: Option<ClientMutation>,
+    chaos: bool,
+) -> ClusterSpec {
+    let graph = gen::grid(5, 5);
+    let chaos = if chaos {
+        ChaosSpec {
+            seed: seed ^ 0x5CA1E,
+            faults_per_link: 1,
+            partition: Some(pick_partition(&graph, seed, 4, 10)),
+        }
+    } else {
+        ChaosSpec::none()
+    };
+    ClusterSpec {
+        topology: "grid:5x5".into(),
+        graph,
+        // The node-level workload is inert in client mode; give it a
+        // nonzero quota anyway to prove the mux really replaces it.
+        workload: WorkloadSpec {
+            kind: WorkloadKind::Closed { outstanding: 4 },
+            messages: 50,
+        },
+        seed,
+        chaos,
+        listen: ListenSpec::Uds { dir: uds_dir() },
+        clients: Some(ClientSpec {
+            clients,
+            load: WorkloadSpec {
+                kind: WorkloadKind::Closed { outstanding: 1 },
+                messages,
+            },
+            mutation,
+        }),
+        shards: 4,
+        mode: RunMode::Inproc,
+        timeout: Duration::from_secs(300),
+    }
+}
+
+/// The tentpole e2e: thousands of logical clients fanning into a 25-node
+/// grid under full chaos, audited per client end-to-end.
+#[test]
+fn grid_5x5_chaos_thousands_of_clients_clean_per_client_verdict() {
+    let clients = 2_000u64;
+    let messages = 2u64;
+    let spec = client_spec(clients, messages, 11, None, true);
+    let report = run_cluster(&spec).expect("run");
+
+    assert!(report.converged, "client run did not converge");
+    assert!(
+        report.verdict.clean(),
+        "SP violations: {:?}",
+        report.verdict.violations
+    );
+    let cv = report.client_verdict.as_ref().expect("client mode verdict");
+    assert!(cv.clean(), "per-client violations: {:?}", cv.violations);
+    assert!(report.clean(), "report not clean");
+
+    // Every stamp accounted for, exactly once, none stuck in flight.
+    assert_eq!(cv.clients, clients, "distinct clients seen by the audit");
+    assert_eq!(cv.stamped, clients * messages);
+    assert_eq!(cv.exactly_once, clients * messages);
+    assert_eq!(cv.in_flight, 0);
+
+    // The SP totals include the acks: one audited ack per primary.
+    assert_eq!(report.verdict.generated, 2 * clients * messages);
+
+    // Per-client telemetry reached the root through the shard tree.
+    assert_eq!(report.clients, clients);
+    assert_eq!(report.clients_completed, clients * messages);
+    assert_eq!(report.client_rtt.count(), clients * messages);
+    assert_eq!(
+        report.client_fair.count(),
+        clients,
+        "fairness is one sample per session"
+    );
+    // And the chaos was real.
+    let c = &report.counters;
+    assert!(
+        c.chaos_dropped + c.chaos_duplicated + c.chaos_reordered + c.partition_dropped > 0,
+        "chaos never fired: {c:?}"
+    );
+}
+
+/// Red e2e: the seeded duplicate-stamp mutation must be caught — the
+/// per-client verdict goes dirty with `DuplicateStamp` among the
+/// violations, and the run reports unclean.
+#[test]
+fn dup_stamp_mutation_turns_the_client_verdict_red() {
+    let spec = client_spec(200, 3, 11, Some(ClientMutation::DuplicateStamp), false);
+    let report = run_cluster(&spec).expect("run");
+    assert!(report.converged, "mutated run did not converge");
+    let cv = report.client_verdict.as_ref().expect("client mode verdict");
+    assert!(!cv.clean(), "mutation was not caught");
+    assert!(
+        cv.violations
+            .iter()
+            .any(|v| matches!(v, ClientViolation::DuplicateStamp { seq: 0, .. })),
+        "expected DuplicateStamp(seq 0) among: {:?}",
+        &cv.violations[..cv.violations.len().min(5)]
+    );
+    assert!(!report.clean(), "a red client verdict must dirty the run");
+}

@@ -102,6 +102,7 @@ fn five_node_line_uds_chaos_exactly_once() {
         },
         chaos,
         listen: ListenSpec::Uds { dir: uds_dir() },
+        clients: None,
         shards: 2,
         mode: RunMode::Inproc,
         timeout: Duration::from_secs(120),
@@ -134,6 +135,7 @@ fn caterpillar_uds_open_loop_chaos_exactly_once() {
         },
         chaos,
         listen: ListenSpec::Uds { dir: uds_dir() },
+        clients: None,
         shards: 3,
         mode: RunMode::Inproc,
         timeout: Duration::from_secs(120),
@@ -160,6 +162,7 @@ fn tcp_transport_also_clean() {
             partition: None,
         },
         listen: ListenSpec::Tcp,
+        clients: None,
         shards: 1,
         mode: RunMode::Inproc,
         timeout: Duration::from_secs(120),
@@ -186,6 +189,7 @@ fn message_set_deterministic_under_fixed_seed() {
             },
             chaos: chaos_spec(&graph, 11),
             listen: ListenSpec::Uds { dir: uds_dir() },
+            clients: None,
             shards: 2,
             mode: RunMode::Inproc,
             timeout: Duration::from_secs(120),
@@ -227,6 +231,7 @@ fn process_mode_five_node_line_clean() {
         },
         chaos,
         listen: ListenSpec::Uds { dir: uds_dir() },
+        clients: None,
         shards: 2,
         mode: RunMode::Proc {
             exe: PathBuf::from(env!("CARGO_BIN_EXE_ssmfp-cluster")),

@@ -45,6 +45,7 @@ fn five_node_uds_chaos_never_wedges() {
         },
         chaos,
         listen: ListenSpec::Uds { dir },
+        clients: None,
         shards: 2,
         mode: RunMode::Inproc,
         timeout: Duration::from_secs(60),

@@ -56,6 +56,7 @@ fn grid_spec(rows: usize, cols: usize, seed: u64, shards: usize, msgs: u64) -> C
         },
         chaos,
         listen: ListenSpec::Uds { dir: uds_dir() },
+        clients: None,
         shards,
         mode: RunMode::Inproc,
         timeout: Duration::from_secs(300),

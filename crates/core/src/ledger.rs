@@ -15,6 +15,7 @@
 use crate::message::{GhostId, Payload};
 use crate::protocol::Event;
 use crate::state::NodeState;
+use crate::wire::ClientStamp;
 use ssmfp_kernel::engine::EventRecord;
 use ssmfp_topology::NodeId;
 use std::collections::HashMap;
@@ -326,6 +327,22 @@ impl ClusterVerdict {
     }
 }
 
+/// Work meter for [`reconcile_ledgers_counted`]: how many ledger
+/// entries each phase of the join touched. The reconcile must stay
+/// `O(merged)` — one bounded-cost visit per entry, no global rescans —
+/// and this meter is what the regression test pins that against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReconcileWork {
+    /// Generated-list entries scanned (phase 1).
+    pub generated_scanned: u64,
+    /// Delivered-list entries scanned (phase 2).
+    pub delivered_scanned: u64,
+    /// Held-list entries scanned (phase 3).
+    pub held_scanned: u64,
+    /// Distinct generated ghosts resolved to a verdict (phase 4).
+    pub ghosts_resolved: u64,
+}
+
 /// Joins per-node ledger slices into the cluster-wide `SP` verdict:
 /// every generated valid message must be delivered exactly once, at its
 /// destination; undelivered messages still held somewhere count as
@@ -333,18 +350,31 @@ impl ClusterVerdict {
 /// at several nodes is both duplicated and (at the wrong nodes)
 /// misdelivered; the duplication is reported once and each wrong-node
 /// delivery separately.
+///
+/// The join is **total on adversarial input**: a ghost listed as
+/// generated by several entries (a duplicate-stamp bug upstream, or the
+/// seeded mutation check exercising the audit) is not an error here —
+/// the last destination wins for the `SP` join, and the per-client
+/// audit ([`reconcile_clients`]) reports the duplicate generation.
 pub fn reconcile_ledgers(ledgers: &[NodeLedger]) -> ClusterVerdict {
+    reconcile_ledgers_counted(ledgers).0
+}
+
+/// [`reconcile_ledgers`] with its [`ReconcileWork`] meter exposed.
+pub fn reconcile_ledgers_counted(ledgers: &[NodeLedger]) -> (ClusterVerdict, ReconcileWork) {
+    let mut work = ReconcileWork::default();
     let mut verdict = ClusterVerdict::default();
     let mut expected: HashMap<GhostId, NodeId> = HashMap::new();
     for l in ledgers {
         for &(ghost, dest) in &l.generated {
-            let prev = expected.insert(ghost, dest);
-            debug_assert!(prev.is_none(), "ghost {ghost:?} generated twice");
+            work.generated_scanned += 1;
+            expected.insert(ghost, dest);
         }
     }
     let mut deliveries: HashMap<GhostId, Vec<NodeId>> = HashMap::new();
     for l in ledgers {
         for &ghost in &l.delivered {
+            work.delivered_scanned += 1;
             if ghost.is_valid() && expected.contains_key(&ghost) {
                 deliveries.entry(ghost).or_default().push(l.node);
             } else {
@@ -354,12 +384,14 @@ pub fn reconcile_ledgers(ledgers: &[NodeLedger]) -> ClusterVerdict {
     }
     let mut held: std::collections::HashSet<GhostId> = std::collections::HashSet::new();
     for l in ledgers {
+        work.held_scanned += l.held.len() as u64;
         held.extend(l.held.iter().copied());
     }
     verdict.generated = expected.len() as u64;
     let mut ghosts: Vec<(&GhostId, &NodeId)> = expected.iter().collect();
     ghosts.sort(); // deterministic violation order across runs
     for (&ghost, &dest) in ghosts {
+        work.ghosts_resolved += 1;
         let at = deliveries.get(&ghost).map_or(&[][..], Vec::as_slice);
         match at.len() {
             0 => {
@@ -389,6 +421,184 @@ pub fn reconcile_ledgers(ledgers: &[NodeLedger]) -> ClusterVerdict {
             }
         }
     }
+    (verdict, work)
+}
+
+/// A violation of the per-client exactly-once/FIFO specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientViolation {
+    /// A stamped message was generated, never delivered, held nowhere.
+    Lost {
+        /// The issuing client.
+        client: u64,
+        /// The client's sequence number.
+        seq: u32,
+    },
+    /// A stamped message was delivered more than once.
+    Duplicate {
+        /// The issuing client.
+        client: u64,
+        /// The client's sequence number.
+        seq: u32,
+        /// Deliveries observed.
+        count: u64,
+    },
+    /// The same `(client, seq)` stamp was generated more than once — a
+    /// client-layer bug (two logical messages sharing one identity).
+    DuplicateStamp {
+        /// The issuing client.
+        client: u64,
+        /// The reused sequence number.
+        seq: u32,
+        /// Generations observed.
+        count: u64,
+    },
+    /// A client's messages arrived out of order at a delivering node:
+    /// `seq` was delivered after `prev_seq >= seq` had already landed.
+    OutOfOrder {
+        /// The delivering node.
+        node: NodeId,
+        /// The issuing client.
+        client: u64,
+        /// Highest sequence delivered there before this one.
+        prev_seq: u32,
+        /// The late sequence.
+        seq: u32,
+    },
+}
+
+/// The cluster-wide per-client verdict produced by
+/// [`reconcile_clients`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClientVerdict {
+    /// Distinct logical clients that generated at least one message.
+    pub clients: u64,
+    /// Stamped generations scanned (duplicates included).
+    pub stamped: u64,
+    /// Distinct stamps delivered exactly once.
+    pub exactly_once: u64,
+    /// Distinct stamps undelivered but still held somewhere.
+    pub in_flight: u64,
+    /// Every per-client violation the join exposes.
+    pub violations: Vec<ClientViolation>,
+}
+
+impl ClientVerdict {
+    /// True iff every client saw exactly-once, in-order service.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Joins per-node ledger slices into the **per-client** verdict: for
+/// every logical client, no stamp lost, no stamp delivered twice, no
+/// stamp generated twice, and deliveries in increasing sequence order
+/// at the delivering node (each node's `delivered` list is in delivery
+/// order, so per-node order is observable directly).
+///
+/// `decode` maps a ghost to its client stamp — `None` for ghosts that
+/// carry no client identity (acks, node-level traffic, garbage), which
+/// the per-client audit skips (the plain `SP` join still covers them).
+/// Keeping the stamp convention in a closure keeps this join agnostic
+/// of how upper layers pack identities into ghosts.
+///
+/// Cost is `O(merged)`: `decode` is called exactly once per ledger
+/// entry (generated + delivered + held) and every other step is a
+/// bounded-cost hash/compare per entry. The regression test pins the
+/// call count.
+pub fn reconcile_clients<F>(ledgers: &[NodeLedger], mut decode: F) -> ClientVerdict
+where
+    F: FnMut(GhostId) -> Option<ClientStamp>,
+{
+    let mut verdict = ClientVerdict::default();
+    // Phase 1: generations. Count per stamp so duplicate stamps (two
+    // logical messages sharing one identity) are caught even if the
+    // protocol collapses them into one delivery.
+    let mut gen_count: HashMap<(u64, u32), u64> = HashMap::new();
+    let mut clients: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    for l in ledgers {
+        for &(ghost, _dest) in &l.generated {
+            if let Some(s) = decode(ghost) {
+                verdict.stamped += 1;
+                *gen_count.entry((s.client, s.seq)).or_insert(0) += 1;
+                clients.insert(s.client);
+            }
+        }
+    }
+    verdict.clients = clients.len() as u64;
+    // Phase 2: deliveries, in each node's delivery order. FIFO is
+    // checked per (delivering node, client): sequences must be strictly
+    // increasing. Stamps nobody generated are skipped — the plain SP
+    // join already counts those deliveries as invalid.
+    let mut del_count: HashMap<(u64, u32), u64> = HashMap::new();
+    let mut last_seq: HashMap<(NodeId, u64), u32> = HashMap::new();
+    let mut order_violations: Vec<ClientViolation> = Vec::new();
+    for l in ledgers {
+        for &ghost in &l.delivered {
+            let Some(s) = decode(ghost) else { continue };
+            if !gen_count.contains_key(&(s.client, s.seq)) {
+                continue;
+            }
+            *del_count.entry((s.client, s.seq)).or_insert(0) += 1;
+            match last_seq.entry((l.node, s.client)) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(s.seq);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let prev = *e.get();
+                    if s.seq <= prev {
+                        order_violations.push(ClientViolation::OutOfOrder {
+                            node: l.node,
+                            client: s.client,
+                            prev_seq: prev,
+                            seq: s.seq,
+                        });
+                    } else {
+                        e.insert(s.seq);
+                    }
+                }
+            }
+        }
+    }
+    // Phase 3: held stamps (legal in-flight at a non-quiescent stop).
+    let mut held: std::collections::HashSet<(u64, u32)> = std::collections::HashSet::new();
+    for l in ledgers {
+        for &ghost in &l.held {
+            if let Some(s) = decode(ghost) {
+                held.insert((s.client, s.seq));
+            }
+        }
+    }
+    // Phase 4: one verdict per distinct stamp, deterministic order.
+    let mut stamps: Vec<(&(u64, u32), &u64)> = gen_count.iter().collect();
+    stamps.sort();
+    for (&(client, seq), &gcount) in stamps {
+        if gcount > 1 {
+            verdict.violations.push(ClientViolation::DuplicateStamp {
+                client,
+                seq,
+                count: gcount,
+            });
+        }
+        match del_count.get(&(client, seq)).copied().unwrap_or(0) {
+            0 => {
+                if held.contains(&(client, seq)) {
+                    verdict.in_flight += 1;
+                } else {
+                    verdict
+                        .violations
+                        .push(ClientViolation::Lost { client, seq });
+                }
+            }
+            1 => verdict.exactly_once += 1,
+            k => verdict.violations.push(ClientViolation::Duplicate {
+                client,
+                seq,
+                count: k,
+            }),
+        }
+    }
+    verdict.violations.extend(order_violations);
     verdict
 }
 
@@ -764,6 +974,182 @@ mod tests {
             actual: 1
         }));
         assert!(!v.clean());
+    }
+
+    #[test]
+    fn reconcile_is_total_on_duplicate_generations() {
+        // The same ghost generated twice (a client-layer duplicate-stamp
+        // bug) must not panic the SP join — it reports what it sees.
+        let g = GhostId::Valid(7);
+        let ledgers = vec![NodeLedger {
+            node: 0,
+            generated: vec![(g, 1), (g, 1)],
+            delivered: vec![],
+            held: vec![],
+        }];
+        let v = reconcile_ledgers(&ledgers);
+        assert_eq!(v.generated, 1);
+        assert_eq!(v.violations, vec![SpViolation::Lost { ghost: g }]);
+    }
+
+    #[test]
+    fn reconcile_work_is_one_visit_per_merged_entry() {
+        let mk = |node: NodeId, k: u64| NodeLedger {
+            node,
+            generated: (0..k)
+                .map(|i| (GhostId::Valid(node as u64 * 1000 + i), 0))
+                .collect(),
+            delivered: (0..2 * k).map(GhostId::Valid).collect(),
+            held: (0..3 * k).map(GhostId::Invalid).collect(),
+        };
+        let small = vec![mk(0, 4), mk(1, 4)];
+        let (_, w) = reconcile_ledgers_counted(&small);
+        // Exactly one visit per entry of each list — no rescans.
+        assert_eq!(w.generated_scanned, 8);
+        assert_eq!(w.delivered_scanned, 16);
+        assert_eq!(w.held_scanned, 24);
+        assert_eq!(w.ghosts_resolved, 8);
+        // Doubling the merged input exactly doubles the work: linear,
+        // not O(global scan per node).
+        let big = vec![mk(0, 4), mk(1, 4), mk(2, 4), mk(3, 4)];
+        let (_, w2) = reconcile_ledgers_counted(&big);
+        assert_eq!(w2.generated_scanned, 2 * w.generated_scanned);
+        assert_eq!(w2.delivered_scanned, 2 * w.delivered_scanned);
+        assert_eq!(w2.held_scanned, 2 * w.held_scanned);
+    }
+
+    // Test stamp convention: Valid(client << 8 | seq), acks = Invalid.
+    fn test_decode(g: GhostId) -> Option<ClientStamp> {
+        match g {
+            GhostId::Valid(k) => Some(ClientStamp {
+                client: k >> 8,
+                seq: (k & 0xFF) as u32,
+            }),
+            GhostId::Invalid(_) => None,
+        }
+    }
+
+    fn stamp_ghost(client: u64, seq: u32) -> GhostId {
+        GhostId::Valid(client << 8 | seq as u64)
+    }
+
+    #[test]
+    fn reconcile_clients_clean_fifo_run() {
+        // Two clients, two messages each, delivered in order at node 2.
+        let ledgers = vec![
+            NodeLedger {
+                node: 0,
+                generated: (0..2)
+                    .flat_map(|c| (0..2).map(move |s| (stamp_ghost(c, s), 2)))
+                    .collect(),
+                delivered: vec![],
+                held: vec![],
+            },
+            NodeLedger {
+                node: 2,
+                generated: vec![],
+                delivered: vec![
+                    stamp_ghost(0, 0),
+                    stamp_ghost(1, 0),
+                    stamp_ghost(0, 1),
+                    stamp_ghost(1, 1),
+                ],
+                // An ack (no stamp) rides along, ignored by this audit.
+                held: vec![GhostId::Invalid(9)],
+            },
+        ];
+        let v = reconcile_clients(&ledgers, test_decode);
+        assert!(v.clean(), "{:?}", v.violations);
+        assert_eq!(
+            (v.clients, v.stamped, v.exactly_once, v.in_flight),
+            (2, 4, 4, 0)
+        );
+    }
+
+    #[test]
+    fn reconcile_clients_exposes_every_violation_kind() {
+        let lost = stamp_ghost(1, 0);
+        let dup = stamp_ghost(1, 1);
+        let flight = stamp_ghost(2, 0);
+        let ledgers = vec![
+            NodeLedger {
+                node: 0,
+                // Client 3 reuses seq 5: duplicate stamp.
+                generated: vec![
+                    (lost, 2),
+                    (dup, 2),
+                    (flight, 2),
+                    (stamp_ghost(3, 5), 2),
+                    (stamp_ghost(3, 5), 2),
+                ],
+                delivered: vec![],
+                held: vec![],
+            },
+            NodeLedger {
+                node: 2,
+                generated: vec![(stamp_ghost(4, 0), 1), (stamp_ghost(4, 1), 1)],
+                delivered: vec![dup, dup, stamp_ghost(3, 5)],
+                held: vec![flight],
+            },
+            NodeLedger {
+                node: 1,
+                generated: vec![],
+                // Client 4's seq 1 lands before seq 0: out of order.
+                delivered: vec![stamp_ghost(4, 1), stamp_ghost(4, 0)],
+                held: vec![],
+            },
+        ];
+        let v = reconcile_clients(&ledgers, test_decode);
+        assert!(!v.clean());
+        assert_eq!(v.clients, 4, "clients 1-4 each generated");
+        assert!(v
+            .violations
+            .contains(&ClientViolation::Lost { client: 1, seq: 0 }));
+        assert!(v.violations.contains(&ClientViolation::Duplicate {
+            client: 1,
+            seq: 1,
+            count: 2
+        }));
+        assert!(v.violations.contains(&ClientViolation::DuplicateStamp {
+            client: 3,
+            seq: 5,
+            count: 2
+        }));
+        assert!(v.violations.contains(&ClientViolation::OutOfOrder {
+            node: 1,
+            client: 4,
+            prev_seq: 1,
+            seq: 0
+        }));
+        assert_eq!(v.in_flight, 1);
+    }
+
+    #[test]
+    fn reconcile_clients_decodes_each_merged_entry_exactly_once() {
+        // The O(merged) pin: the stamp decoder runs once per ledger
+        // entry — generated + delivered + held — and never again.
+        let ledgers = vec![
+            NodeLedger {
+                node: 0,
+                generated: (0..10).map(|s| (stamp_ghost(0, s), 1)).collect(),
+                delivered: vec![],
+                held: vec![],
+            },
+            NodeLedger {
+                node: 1,
+                generated: vec![],
+                delivered: (0..7).map(|s| stamp_ghost(0, s)).collect(),
+                held: (7..10).map(|s| stamp_ghost(0, s)).collect(),
+            },
+        ];
+        let mut calls = 0u64;
+        let v = reconcile_clients(&ledgers, |g| {
+            calls += 1;
+            test_decode(g)
+        });
+        assert_eq!(calls, 10 + 7 + 3);
+        assert!(v.clean());
+        assert_eq!((v.exactly_once, v.in_flight), (7, 3));
     }
 
     #[test]

@@ -84,13 +84,16 @@ pub use faults::{
     BufSel, Fault, FaultCursor, FaultInjector, FaultKind, FaultPlan, FaultPlanConfig, SeededBug,
 };
 pub use footprint::{action_footprint, guards_can_overlap, rule_footprint};
-pub use ledger::{reconcile_ledgers, ClusterVerdict, DeliveryLedger, NodeLedger, SpViolation};
+pub use ledger::{
+    reconcile_clients, reconcile_ledgers, reconcile_ledgers_counted, ClientVerdict,
+    ClientViolation, ClusterVerdict, DeliveryLedger, NodeLedger, ReconcileWork, SpViolation,
+};
 pub use message::{Color, GhostId, Message, Payload};
 pub use protocol::{Event, FwdAction, SsmfpAction, SsmfpProtocol};
 pub use rules::Rule;
 pub use state::{FwdSlot, NodeState};
 pub use trajectory::{Trajectory, TrajectoryLog, TrajectoryViolation};
 pub use wire::{
-    decode_body, encode_frame, FrameReader, FrameTag, WireError, WireFrame, WireMessage,
-    LINK_EVENT_KINDS, MAX_FRAME_LEN,
+    decode_body, encode_frame, ClientStamp, FrameReader, FrameTag, WireError, WireFrame,
+    WireMessage, CLIENT_STAMP_FIELDS, ENCODED_CLIENT_STAMP_FIELDS, LINK_EVENT_KINDS, MAX_FRAME_LEN,
 };

@@ -8,7 +8,8 @@
 use proptest::prelude::*;
 use ssmfp_core::message::{Color, GhostId, Message};
 use ssmfp_core::wire::{
-    decode_body, encode_frame, FrameReader, WireError, WireFrame, WireMessage, MAX_FRAME_LEN,
+    decode_body, encode_frame, ClientStamp, FrameReader, WireError, WireFrame, WireMessage,
+    MAX_FRAME_LEN,
 };
 use ssmfp_core::MessageTable;
 
@@ -19,12 +20,24 @@ fn arb_ghost() -> impl Strategy<Value = GhostId> {
     ]
 }
 
+fn arb_stamp() -> impl Strategy<Value = ClientStamp> {
+    // The NONE sentinel, tiny ids, and arbitrary ids all ride the same
+    // 12 fixed bytes — the codec must not special-case any of them.
+    prop_oneof![
+        Just(ClientStamp::NONE),
+        (any::<u64>(), any::<u32>()).prop_map(|(client, seq)| ClientStamp { client, seq }),
+    ]
+}
+
 fn arb_msg() -> impl Strategy<Value = WireMessage> {
-    (any::<u64>(), any::<u8>(), arb_ghost()).prop_map(|(payload, color, ghost)| WireMessage {
-        payload,
-        color,
-        ghost,
-    })
+    (any::<u64>(), any::<u8>(), arb_ghost(), arb_stamp()).prop_map(
+        |(payload, color, ghost, stamp)| WireMessage {
+            payload,
+            color,
+            ghost,
+            stamp,
+        },
+    )
 }
 
 fn arb_frame() -> impl Strategy<Value = WireFrame> {

@@ -870,4 +870,34 @@ mod tests {
             "stale channel not caught: {msgs:?}"
         );
     }
+
+    #[test]
+    fn undeclared_client_mux_channel_fails_conc_coverage() {
+        // The client layer's design claim: `ClientMux` lives *inside*
+        // `node.main` — no new threads, locks, or channels. If a future
+        // refactor gave it a queue (say a `client.mux` channel feeding
+        // sessions from another thread) without declaring it, the edge
+        // must fail conc-coverage rather than ship silently.
+        let model = ssmfp_cluster::conc::default_model();
+        assert!(
+            model.channel("client.mux").is_none(),
+            "the mux is declared queue-free; a client.mux channel would be a new design"
+        );
+        let mut stale = model.clone();
+        stale.edges.push(BlockingEdge {
+            thread: "node.main",
+            waits: WaitPoint::ChanSend("client.mux"),
+            holding: vec![],
+            timed: false,
+        });
+        let mut report = LintReport::default();
+        lint_conc_coverage(&stale, &mut report);
+        assert!(
+            report.violations().any(|f| f.code == "conc-coverage"
+                && f.message.contains("client.mux")
+                && f.message.contains("undeclared channel")),
+            "{:?}",
+            report.findings
+        );
+    }
 }

@@ -65,7 +65,9 @@ pub mod conc;
 
 use ssmfp_core::conc::ConcModel;
 use ssmfp_core::footprint::{composed_fwd_footprint, guards_can_overlap, LAYER_SSMFP};
-use ssmfp_core::wire::{FrameTag, LINK_EVENT_KINDS};
+use ssmfp_core::wire::{
+    FrameTag, CLIENT_STAMP_FIELDS, ENCODED_CLIENT_STAMP_FIELDS, LINK_EVENT_KINDS,
+};
 use ssmfp_core::{codec_footprint, FaultKind, Rule};
 use ssmfp_kernel::footprint::{independent, Access, Footprint, Locus, VarClass};
 use ssmfp_routing::footprint::{routing_footprint, LAYER_A};
@@ -626,16 +628,25 @@ pub struct WireSurface {
     pub kinds: Vec<String>,
     /// Every frame tag and the kind it claims to carry.
     pub tags: Vec<(String, String)>,
+    /// Per-client audit stamp fields the handshake body must carry.
+    pub stamp_required: Vec<String>,
+    /// Stamp fields the codec declares it actually encodes.
+    pub stamp_encoded: Vec<String>,
 }
 
-/// The shipped wire surface, read off [`FrameTag::ALL`] and
-/// [`LINK_EVENT_KINDS`].
+/// The shipped wire surface, read off [`FrameTag::ALL`],
+/// [`LINK_EVENT_KINDS`] and the client-stamp field declarations.
 pub fn default_wire_surface() -> WireSurface {
     WireSurface {
         kinds: LINK_EVENT_KINDS.iter().map(|k| k.to_string()).collect(),
         tags: FrameTag::ALL
             .iter()
             .map(|t| (format!("{t:?}"), t.event_kind().to_string()))
+            .collect(),
+        stamp_required: CLIENT_STAMP_FIELDS.iter().map(|f| f.to_string()).collect(),
+        stamp_encoded: ENCODED_CLIENT_STAMP_FIELDS
+            .iter()
+            .map(|f| f.to_string())
             .collect(),
     }
 }
@@ -700,6 +711,36 @@ fn lint_wire_coverage(surface: &WireSurface, report: &mut LintReport) {
             );
         }
         seen.push(tag);
+    }
+    // Client-stamp coverage: every field the per-client audit needs on
+    // the wire must be one the codec declares it encodes, and vice versa
+    // (an encoded-but-unrequired field is dead weight in every frame).
+    for f in &surface.stamp_required {
+        if !surface.stamp_encoded.contains(f) {
+            push(
+                report,
+                Severity::Violation,
+                "wire-coverage",
+                format!(
+                    "client stamp field `{f}` is required by the per-client audit but the \
+                     codec does not declare it encoded — the stamp would be dropped on the \
+                     wire and cross-process runs could not render a per-client verdict"
+                ),
+            );
+        }
+    }
+    for f in &surface.stamp_encoded {
+        if !surface.stamp_required.contains(f) {
+            push(
+                report,
+                Severity::Violation,
+                "wire-coverage",
+                format!(
+                    "codec encodes client stamp field `{f}` that no audit requires — \
+                     retire the field or declare the requirement"
+                ),
+            );
+        }
     }
 }
 
@@ -1016,6 +1057,29 @@ mod tests {
         assert!(report
             .violations()
             .any(|f| f.code == "wire-coverage" && f.message.contains("declared twice")));
+    }
+
+    #[test]
+    fn stamp_dropped_from_codec_is_caught() {
+        // Red test: the audit requires both stamp fields; a codec that
+        // stops encoding one (say, a refactor drops `client_seq` from
+        // `put_msg`) must fail wire-coverage.
+        let mut surface = default_wire_surface();
+        let dropped = surface.stamp_encoded.pop().expect("shipped stamp fields");
+        let mut report = LintReport::default();
+        lint_wire_coverage(&surface, &mut report);
+        assert!(report
+            .violations()
+            .any(|f| f.code == "wire-coverage" && f.message.contains(&dropped)));
+        assert_ne!(report.exit_code(false), 0);
+        // And the mirror: encoding a stamp field no audit requires.
+        let mut surface = default_wire_surface();
+        surface.stamp_encoded.push("stamp.vintage".to_string());
+        let mut report = LintReport::default();
+        lint_wire_coverage(&surface, &mut report);
+        assert!(report
+            .violations()
+            .any(|f| f.code == "wire-coverage" && f.message.contains("stamp.vintage")));
     }
 
     #[test]

@@ -29,7 +29,12 @@
 //! The port is faithful to the original's resource model (two buffers per
 //! destination per node) and to its mechanisms (colors, next-hop
 //! certification, single-successor erasure).
+//!
+//! [`clients`] adds the layer above: the ghost-packing convention that
+//! lets a per-node client multiplexer stamp every message with a
+//! `(client, seq)` identity the audit can reconcile per client.
 
+pub mod clients;
 pub mod conc;
 pub mod net;
 pub mod port;
@@ -37,6 +42,7 @@ pub mod suite;
 
 pub use conc::model as conc_model;
 
+pub use clients::{ack_ghost_of, client_ghost, decode_client_ghost, ClientParts};
 pub use net::{
     ChannelFaults, ChannelTransport, FaultClerk, LinkId, MpConfig, MpNetwork, MpNode, Outbox,
     SchedulerEvent, Transport,
